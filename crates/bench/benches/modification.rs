@@ -1,0 +1,75 @@
+//! A1 — query modification vs naive re-execution (the Sec. V motivation:
+//! "the system could undo all operations back to the i-th and then re-do
+//! from there again. However, this is likely to take too long").
+//!
+//! We build a history of k selections + grouping + aggregation, then
+//! modify the *first* selection: once through query state (one state
+//! edit + one re-evaluation) and once naively (rebuild the whole sheet
+//! from scratch, replaying every operator with the edit applied — one
+//! re-evaluation per replayed step, since a direct-manipulation
+//! interface shows every intermediate result).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spreadsheet_algebra::{Direction, Spreadsheet};
+use ssa_bench::synthetic_cars;
+use ssa_relation::{AggFunc, Expr};
+use std::hint::black_box;
+
+const ROWS: usize = 2_000;
+const HISTORY_LENGTHS: [usize; 3] = [4, 16, 64];
+
+fn build(k: usize) -> (Spreadsheet, u64) {
+    let mut s = Spreadsheet::over(synthetic_cars(ROWS));
+    let first = s.select(Expr::col("Price").lt(Expr::lit(30_000))).unwrap();
+    for i in 0..k {
+        // distinct, all-satisfiable predicates
+        s.select(Expr::col("Mileage").lt(Expr::lit(1_000_000 + i as i64))).unwrap();
+    }
+    s.group(&["Model"], Direction::Asc).unwrap();
+    s.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+    (s, first)
+}
+
+fn modification_via_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modify_via_query_state");
+    for k in HISTORY_LENGTHS {
+        let (sheet, first) = build(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut s = sheet.clone();
+                s.replace_selection(first, Expr::col("Price").lt(Expr::lit(20_000)))
+                    .unwrap();
+                black_box(s.view().unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn modification_naive_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modify_naive_replay");
+    for k in HISTORY_LENGTHS {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                // Start over and repeat all operations with the edit,
+                // evaluating after each step as the interface would.
+                let mut s = Spreadsheet::over(synthetic_cars(ROWS));
+                s.select(Expr::col("Price").lt(Expr::lit(20_000))).unwrap();
+                s.view().unwrap();
+                for i in 0..k {
+                    s.select(Expr::col("Mileage").lt(Expr::lit(1_000_000 + i as i64)))
+                        .unwrap();
+                    s.view().unwrap();
+                }
+                s.group(&["Model"], Direction::Asc).unwrap();
+                s.view().unwrap();
+                s.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+                black_box(s.view().unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, modification_via_state, modification_naive_replay);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! A2 — operator application scaling: how each spreadsheet operator's
+//! end-to-end cost (state edit + canonical re-evaluation) grows with the
+//! number of rows. Intermediate results are visible after *every* step in
+//! a direct-manipulation interface, so per-operator latency is the
+//! interactivity budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spreadsheet_algebra::{Direction, Spreadsheet};
+use ssa_bench::{arranged_sheet, synthetic_cars};
+use ssa_relation::{AggFunc, Expr};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection");
+    for n in SIZES {
+        let sheet = Spreadsheet::over(synthetic_cars(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = sheet.clone();
+                s.select(Expr::col("Price").lt(Expr::lit(15_000))).unwrap();
+                black_box(s.view().unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grouping");
+    for n in SIZES {
+        let sheet = Spreadsheet::over(synthetic_cars(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = sheet.clone();
+                s.group(&["Model"], Direction::Asc).unwrap();
+                s.group(&["Model", "Year"], Direction::Asc).unwrap();
+                black_box(s.view().unwrap().tree.depth())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation");
+    for n in SIZES {
+        let sheet = arranged_sheet(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = sheet.clone();
+                s.aggregate(AggFunc::Avg, "Price", 3).unwrap();
+                black_box(s.view().unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering");
+    for n in SIZES {
+        let sheet = arranged_sheet(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = sheet.clone();
+                s.order("Mileage", Direction::Desc, 3).unwrap();
+                black_box(s.view().unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("duplicate_elimination");
+    for n in SIZES {
+        let mut sheet = Spreadsheet::over(synthetic_cars(n));
+        sheet.project_out("ID").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = sheet.clone();
+                s.dedup().unwrap();
+                black_box(s.view().unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_grouping,
+    bench_aggregation,
+    bench_ordering,
+    bench_dedup
+);
+criterion_main!(benches);

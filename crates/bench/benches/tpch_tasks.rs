@@ -1,0 +1,51 @@
+//! A4 — the ten study tasks executed end-to-end, through both paths:
+//! the SQL reference evaluator and the Theorem-1 spreadsheet-algebra
+//! translation. Also benches the data generator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_sql::{eval_select, translate};
+use ssa_tpch::{generate, study_catalog, study_tasks, GenConfig};
+use std::hint::black_box;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpch_generate");
+    g.sample_size(10);
+    for scale in [0.05f64, 0.2] {
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| black_box(generate(&GenConfig::scale(scale), 1)).total_rows())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tasks(c: &mut Criterion) {
+    let data = generate(&GenConfig::scale(0.05), 1);
+    let catalog = study_catalog(&data).unwrap();
+    let tasks = study_tasks();
+
+    let mut g = c.benchmark_group("task_sql_reference");
+    g.sample_size(10);
+    for task in &tasks {
+        let stmt = task.stmt();
+        g.bench_with_input(BenchmarkId::from_parameter(task.id), &stmt, |b, stmt| {
+            b.iter(|| black_box(eval_select(stmt, &catalog).unwrap()).len())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("task_spreadsheet_algebra");
+    g.sample_size(10);
+    for task in &tasks {
+        let stmt = task.stmt();
+        g.bench_with_input(BenchmarkId::from_parameter(task.id), &stmt, |b, stmt| {
+            b.iter(|| {
+                let t = translate(stmt, &catalog).unwrap();
+                black_box(t.result().unwrap()).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generator, bench_tasks);
+criterion_main!(benches);

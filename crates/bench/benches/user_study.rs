@@ -1,0 +1,31 @@
+//! The full simulated user study (Figs. 3–5, Table VI inputs): 10
+//! subjects × 10 tasks × 2 tools, with and without the system-verification
+//! pass that runs every task through the real algebra first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssa_study::{run_study, StudyConfig};
+use std::hint::black_box;
+
+fn bench_simulation_only(c: &mut Criterion) {
+    c.bench_function("study_simulation_only", |b| {
+        b.iter(|| {
+            let r = run_study(&StudyConfig { seed: 2009, scale: 0.02, verify_system: false });
+            black_box(r.runs.len())
+        })
+    });
+}
+
+fn bench_with_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("study_with_system_verification");
+    g.sample_size(10);
+    g.bench_function("scale_0.02", |b| {
+        b.iter(|| {
+            let r = run_study(&StudyConfig { seed: 2009, scale: 0.02, verify_system: true });
+            black_box(r.runs.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation_only, bench_with_verification);
+criterion_main!(benches);

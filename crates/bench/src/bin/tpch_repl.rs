@@ -1,0 +1,59 @@
+//! Interactive SheetMusiq REPL over the generated TPC-H study database —
+//! the base tables plus the predefined study views, exactly as a study
+//! participant saw them. Try the study tasks yourself:
+//!
+//! ```text
+//! load v_custsales
+//! select c_mktsegment = 'BUILDING' AND o_orderdate < 19950315
+//! select l_shipdate > 19950315
+//! group l_orderkey
+//! agg sum l_revenue 2
+//! order Sum_l_revenue desc 2
+//! ```
+//!
+//! Or let the Theorem-1 translation do it: `sql SELECT …`.
+
+use sheetmusiq::{ScriptHost, Session};
+use ssa_tpch::study_setup;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    println!("Generating TPC-H study database at scale {scale} (seed 2009)…");
+    let (catalog, tasks) = study_setup(scale, 2009);
+    println!("Tables/views: {}", catalog.names().join(", "));
+    println!("\nThe ten study tasks:");
+    for t in &tasks {
+        println!("  {:>2}. [{}] {}", t.id, t.complexity, t.description);
+    }
+    println!("\n{}", sheetmusiq::HELP);
+
+    let mut host = ScriptHost::new(Session::new(catalog));
+    let stdin = io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("musiq> ");
+        io::stdout().flush().expect("stdout flush");
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let cmd = line.trim();
+        if cmd.eq_ignore_ascii_case("quit") || cmd.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match host.execute(cmd) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

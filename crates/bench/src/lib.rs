@@ -1,0 +1,71 @@
+//! # ssa-bench — benchmark harness
+//!
+//! * the [`repro`](../repro/index.html) binary (`cargo run -p ssa-bench --bin repro`)
+//!   regenerates every table and figure of the paper;
+//! * criterion benches (`cargo bench`) measure operator scaling, query
+//!   modification vs naive replay, commutativity overhead, the TPC-H
+//!   study tasks through both evaluation paths, and the simulated study.
+//!
+//! Shared workload builders live here so benches and the binary agree on
+//! the data they measure.
+
+use spreadsheet_algebra::Spreadsheet;
+use ssa_relation::schema::Schema;
+use ssa_relation::{Relation, Tuple, Value};
+use ssa_relation::ValueType::{Int, Str};
+
+/// A synthetic car-like relation of `n` rows for scaling benches.
+pub fn synthetic_cars(n: usize) -> Relation {
+    let schema = Schema::of(&[
+        ("ID", Int),
+        ("Model", Str),
+        ("Price", Int),
+        ("Year", Int),
+        ("Mileage", Int),
+    ]);
+    let models = ["Jetta", "Civic", "Accord", "Focus", "Corolla"];
+    let mut rel = Relation::new("cars", schema);
+    for i in 0..n {
+        // Deterministic pseudo-random-ish mix without an RNG dependency.
+        let m = models[(i * 7 + i / 11) % models.len()];
+        rel.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::str(m),
+            Value::Int(10_000 + ((i * 131) % 15_000) as i64),
+            Value::Int(2000 + ((i * 13) % 10) as i64),
+            Value::Int(10_000 + ((i * 977) % 150_000) as i64),
+        ]))
+        .expect("widths match");
+    }
+    rel
+}
+
+/// A sheet over [`synthetic_cars`] with the paper's standard arrangement.
+pub fn arranged_sheet(n: usize) -> Spreadsheet {
+    use spreadsheet_algebra::Direction;
+    let mut s = Spreadsheet::over(synthetic_cars(n));
+    s.group(&["Model"], Direction::Asc).expect("Model exists");
+    s.group(&["Model", "Year"], Direction::Asc).expect("superset");
+    s.order("Price", Direction::Asc, 3).expect("finest level");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_cars_deterministic_and_sized() {
+        let a = synthetic_cars(100);
+        let b = synthetic_cars(100);
+        assert!(a.multiset_eq(&b));
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn arranged_sheet_evaluates() {
+        let mut s = arranged_sheet(50);
+        assert_eq!(s.view().unwrap().len(), 50);
+        assert_eq!(s.view().unwrap().tree.depth(), 3);
+    }
+}

@@ -1,0 +1,295 @@
+//! Computed columns: the materialization vehicle for aggregation (η,
+//! Def. 11) and formula computation (θ, Def. 12).
+//!
+//! "Aggregation is defined not as an operator directly, but as the
+//! creation of a corresponding computed attribute" (Sec. I-C). The
+//! essential property is **automatic update**: a computed column stores
+//! its *definition*, and its values are re-derived whenever the underlying
+//! data changes — this is precisely why selection and aggregation commute
+//! in the spreadsheet algebra when they do not in relational algebra
+//! (Theorem 2's proof sketch).
+
+use serde::{Deserialize, Serialize};
+use ssa_relation::{AggFunc, Expr};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The definition of a computed column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ComputedDef {
+    /// η — `func(column)` evaluated per group at grouping `level`
+    /// (1-based; level 1 = the whole sheet), with the one result value
+    /// repeated on every row of the group (Table III's `Avg_Price`).
+    Aggregate {
+        func: AggFunc,
+        column: String,
+        level: usize,
+        /// The absolute grouping basis at `level` when the aggregate was
+        /// created. Kept so dependency checks can tell whether a later
+        /// grouping/ordering change would invalidate this aggregate.
+        basis: Vec<String>,
+    },
+    /// θ — a row-wise formula over other columns.
+    Formula { expr: Expr },
+}
+
+impl ComputedDef {
+    /// Columns this definition reads. Aggregates also depend on their
+    /// grouping-basis columns (the groups are formed from them).
+    pub fn dependencies(&self) -> BTreeSet<String> {
+        match self {
+            ComputedDef::Aggregate { column, basis, .. } => {
+                let mut d: BTreeSet<String> = basis.iter().cloned().collect();
+                d.insert(column.clone());
+                d
+            }
+            ComputedDef::Formula { expr } => expr.columns(),
+        }
+    }
+
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, ComputedDef::Aggregate { .. })
+    }
+
+    /// Rename a column in the definition (housekeeping Rename operator).
+    pub fn rename_column(&mut self, from: &str, to: &str) {
+        match self {
+            ComputedDef::Aggregate { column, basis, .. } => {
+                if column == from {
+                    *column = to.to_string();
+                }
+                for b in basis.iter_mut() {
+                    if b == from {
+                        *b = to.to_string();
+                    }
+                }
+            }
+            ComputedDef::Formula { expr } => {
+                *expr = expr.map_columns(&|c| if c == from { to.to_string() } else { c.to_string() });
+            }
+        }
+    }
+}
+
+impl fmt::Display for ComputedDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputedDef::Aggregate { func, column, level, .. } => {
+                write!(f, "{func}({column}) at level {level}")
+            }
+            ComputedDef::Formula { expr } => write!(f, "{expr}"),
+        }
+    }
+}
+
+/// A named computed column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputedColumn {
+    pub name: String,
+    pub def: ComputedDef,
+}
+
+impl ComputedColumn {
+    pub fn aggregate(
+        name: impl Into<String>,
+        func: AggFunc,
+        column: impl Into<String>,
+        level: usize,
+        basis: Vec<String>,
+    ) -> ComputedColumn {
+        ComputedColumn {
+            name: name.into(),
+            def: ComputedDef::Aggregate { func, column: column.into(), level, basis },
+        }
+    }
+
+    pub fn formula(name: impl Into<String>, expr: Expr) -> ComputedColumn {
+        ComputedColumn { name: name.into(), def: ComputedDef::Formula { expr } }
+    }
+}
+
+/// Assign evaluation ranks to computed columns.
+///
+/// Base columns have rank 0. A computed column's rank is
+/// `1 + max(rank of its dependencies)`. The canonical evaluator
+/// materializes computed columns in rank order, interleaving selections at
+/// their own rank, so a selection over `Avg_Price` is applied only after
+/// `Avg_Price` exists — the *precedence* constraint of Sec. IV-B made
+/// operational.
+///
+/// Returns `None` if a dependency is neither a base column nor another
+/// computed column (dangling reference), or if definitions are cyclic.
+pub fn compute_ranks(
+    base_columns: &BTreeSet<String>,
+    computed: &[ComputedColumn],
+) -> Option<Vec<usize>> {
+    let mut ranks: Vec<Option<usize>> = vec![None; computed.len()];
+    // Iterate to fixpoint; n passes suffice for an acyclic dependency
+    // graph of n columns.
+    for _ in 0..=computed.len() {
+        let mut progressed = false;
+        for (i, col) in computed.iter().enumerate() {
+            if ranks[i].is_some() {
+                continue;
+            }
+            let mut max_dep = 0usize;
+            let mut ready = true;
+            for dep in col.def.dependencies() {
+                if base_columns.contains(&dep) {
+                    continue;
+                }
+                match computed.iter().position(|c| c.name == dep) {
+                    Some(j) => match ranks[j] {
+                        Some(r) => max_dep = max_dep.max(r),
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    },
+                    None => return None, // dangling reference
+                }
+            }
+            if ready {
+                ranks[i] = Some(max_dep + 1);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    ranks.into_iter().collect()
+}
+
+/// Rank of an arbitrary column name given computed ranks: base → 0,
+/// computed → its rank, unknown → `None`.
+pub fn column_rank(
+    name: &str,
+    base_columns: &BTreeSet<String>,
+    computed: &[ComputedColumn],
+    ranks: &[usize],
+) -> Option<usize> {
+    if base_columns.contains(name) {
+        return Some(0);
+    }
+    computed
+        .iter()
+        .position(|c| c.name == name)
+        .map(|i| ranks[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_relation::Expr;
+
+    fn base() -> BTreeSet<String> {
+        ["Model", "Price", "Year"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_dependencies_include_basis() {
+        let c = ComputedColumn::aggregate(
+            "Avg_Price",
+            AggFunc::Avg,
+            "Price",
+            3,
+            vec!["Model".into(), "Year".into()],
+        );
+        let deps = c.def.dependencies();
+        assert!(deps.contains("Price"));
+        assert!(deps.contains("Model"));
+        assert!(deps.contains("Year"));
+        assert!(c.def.is_aggregate());
+    }
+
+    #[test]
+    fn formula_dependencies_from_expr() {
+        let c = ComputedColumn::formula("Rev", Expr::col("Price").mul(Expr::col("Qty")));
+        assert_eq!(
+            c.def.dependencies().into_iter().collect::<Vec<_>>(),
+            vec!["Price".to_string(), "Qty".into()]
+        );
+        assert!(!c.def.is_aggregate());
+    }
+
+    #[test]
+    fn ranks_layer_dependent_columns() {
+        let computed = vec![
+            ComputedColumn::aggregate("Avg_Price", AggFunc::Avg, "Price", 2, vec!["Model".into()]),
+            // formula over the aggregate: rank 2
+            ComputedColumn::formula(
+                "Delta",
+                Expr::col("Price").sub(Expr::col("Avg_Price")),
+            ),
+            // aggregate of the formula: rank 3
+            ComputedColumn::aggregate("Max_Delta", AggFunc::Max, "Delta", 1, vec![]),
+        ];
+        let ranks = compute_ranks(&base(), &computed).unwrap();
+        assert_eq!(ranks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ranks_reject_dangling_reference() {
+        let computed = vec![ComputedColumn::formula("X", Expr::col("Ghost"))];
+        assert_eq!(compute_ranks(&base(), &computed), None);
+    }
+
+    #[test]
+    fn ranks_reject_cycles() {
+        let computed = vec![
+            ComputedColumn::formula("A", Expr::col("B")),
+            ComputedColumn::formula("B", Expr::col("A")),
+        ];
+        assert_eq!(compute_ranks(&base(), &computed), None);
+    }
+
+    #[test]
+    fn ranks_independent_of_declaration_order() {
+        let a = ComputedColumn::formula("A", Expr::col("Price").add(Expr::lit(1)));
+        let b = ComputedColumn::formula("B", Expr::col("A").add(Expr::lit(1)));
+        let r1 = compute_ranks(&base(), &[a.clone(), b.clone()]).unwrap();
+        let r2 = compute_ranks(&base(), &[b, a]).unwrap();
+        assert_eq!(r1, vec![1, 2]);
+        assert_eq!(r2, vec![2, 1]);
+    }
+
+    #[test]
+    fn column_rank_lookup() {
+        let computed = vec![ComputedColumn::formula(
+            "A",
+            Expr::col("Price").add(Expr::lit(1)),
+        )];
+        let ranks = compute_ranks(&base(), &computed).unwrap();
+        assert_eq!(column_rank("Price", &base(), &computed, &ranks), Some(0));
+        assert_eq!(column_rank("A", &base(), &computed, &ranks), Some(1));
+        assert_eq!(column_rank("Ghost", &base(), &computed, &ranks), None);
+    }
+
+    #[test]
+    fn rename_rewrites_definitions() {
+        let mut c = ComputedColumn::aggregate(
+            "Avg_Price",
+            AggFunc::Avg,
+            "Price",
+            2,
+            vec!["Model".into()],
+        );
+        c.def.rename_column("Price", "Cost");
+        c.def.rename_column("Model", "Make");
+        let deps = c.def.dependencies();
+        assert!(deps.contains("Cost") && deps.contains("Make"));
+        let mut f = ComputedColumn::formula("F", Expr::col("Price").mul(Expr::lit(2)));
+        f.def.rename_column("Price", "Cost");
+        assert!(f.def.dependencies().contains("Cost"));
+    }
+
+    #[test]
+    fn display_definitions() {
+        let c = ComputedColumn::aggregate("A", AggFunc::Avg, "Price", 3, vec![]);
+        assert_eq!(c.def.to_string(), "Avg(Price) at level 3");
+    }
+}

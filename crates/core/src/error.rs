@@ -1,0 +1,147 @@
+//! Errors raised by spreadsheet-algebra operators.
+//!
+//! Several variants correspond to interactions the paper's interface
+//! surfaces as dialogs: destroying a grouping that aggregates depend on
+//! (Sec. VI-A "Ordering"), removing a column other operators need
+//! (Sec. V-B), and joining/unioning incompatible sheets.
+
+use ssa_relation::RelationError;
+use std::fmt;
+
+/// Error type for all spreadsheet operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SheetError {
+    /// Bubbled-up error from the relational substrate.
+    Relation(RelationError),
+    /// A referenced column does not exist on this spreadsheet.
+    UnknownColumn { name: String },
+    /// A column with this name already exists.
+    DuplicateColumn { name: String },
+    /// The column is referenced by other operators and cannot be removed
+    /// or modified; `dependents` lists what must be removed first.
+    ColumnInUse { name: String, dependents: Vec<String> },
+    /// The operation would destroy grouping levels that carry aggregates.
+    /// The paper's prototype refuses and asks the user to project the
+    /// aggregates out first.
+    GroupingInUse { level: usize, aggregates: Vec<String> },
+    /// τ was called with a basis that is not a strict superset of the
+    /// current finest grouping basis.
+    NotASuperset { basis: Vec<String> },
+    /// λ or η referenced a grouping level that does not exist.
+    NoSuchLevel { level: usize, levels: usize },
+    /// Ordering attribute is invalid for the requested level (e.g. a
+    /// grouping attribute of an outer level).
+    BadOrderingAttribute { attribute: String, level: usize },
+    /// An aggregate function was applied to a non-numeric column.
+    NonNumericAggregate { func: String, column: String },
+    /// Binary operator on sheets that are not union compatible.
+    NotCompatible { detail: String },
+    /// A named stored spreadsheet was not found.
+    UnknownSheet { name: String },
+    /// Attempt to modify an operation that lies behind a point of
+    /// non-commutativity ("where data from other sheets has been pulled
+    /// in we cannot go back beyond", Sec. V-A).
+    BehindNonCommutativityPoint { description: String },
+    /// The referenced selection (by id) does not exist in query state.
+    UnknownSelection { id: u64 },
+    /// Nothing to undo / redo.
+    HistoryExhausted { redo: bool },
+    /// The column exists but is currently projected out.
+    ColumnHidden { name: String },
+    /// Save/Open serialization failure.
+    Persist { message: String },
+}
+
+impl fmt::Display for SheetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SheetError::Relation(e) => write!(f, "{e}"),
+            SheetError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            SheetError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
+            SheetError::ColumnInUse { name, dependents } => write!(
+                f,
+                "column `{name}` is used by {}; remove those first",
+                dependents.join(", ")
+            ),
+            SheetError::GroupingInUse { level, aggregates } => write!(
+                f,
+                "grouping level {level} carries aggregate(s) {}; project them out first",
+                aggregates.join(", ")
+            ),
+            SheetError::NotASuperset { basis } => write!(
+                f,
+                "grouping basis {{{}}} must strictly extend the current finest basis",
+                basis.join(", ")
+            ),
+            SheetError::NoSuchLevel { level, levels } => {
+                write!(f, "group level {level} does not exist (sheet has {levels})")
+            }
+            SheetError::BadOrderingAttribute { attribute, level } => {
+                write!(f, "`{attribute}` cannot order groups at level {level}")
+            }
+            SheetError::NonNumericAggregate { func, column } => {
+                write!(f, "{func} requires a numeric column, `{column}` is not")
+            }
+            SheetError::NotCompatible { detail } => write!(f, "sheets not compatible: {detail}"),
+            SheetError::UnknownSheet { name } => write!(f, "no stored spreadsheet named `{name}`"),
+            SheetError::BehindNonCommutativityPoint { description } => write!(
+                f,
+                "cannot modify `{description}`: it precedes a binary operator (point of non-commutativity)"
+            ),
+            SheetError::UnknownSelection { id } => write!(f, "no selection with id {id}"),
+            SheetError::HistoryExhausted { redo } => {
+                write!(f, "nothing to {}", if *redo { "redo" } else { "undo" })
+            }
+            SheetError::ColumnHidden { name } => {
+                write!(f, "column `{name}` is projected out; reinstate it first")
+            }
+            SheetError::Persist { message } => write!(f, "persistence error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SheetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SheetError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for SheetError {
+    fn from(e: RelationError) -> Self {
+        match e {
+            RelationError::UnknownColumn { name } => SheetError::UnknownColumn { name },
+            RelationError::DuplicateColumn { name } => SheetError::DuplicateColumn { name },
+            other => SheetError::Relation(other),
+        }
+    }
+}
+
+/// Result alias for spreadsheet operations.
+pub type Result<T> = std::result::Result<T, SheetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_errors_lift_column_variants() {
+        let e: SheetError = RelationError::UnknownColumn { name: "x".into() }.into();
+        assert_eq!(e, SheetError::UnknownColumn { name: "x".into() });
+        let e: SheetError = RelationError::DivisionByZero.into();
+        assert_eq!(e, SheetError::Relation(RelationError::DivisionByZero));
+    }
+
+    #[test]
+    fn messages_mention_the_remedy() {
+        let e = SheetError::GroupingInUse { level: 2, aggregates: vec!["Avg_Price".into()] };
+        assert!(e.to_string().contains("project them out"));
+        let e = SheetError::ColumnInUse {
+            name: "Avg_Price".into(),
+            dependents: vec!["selection #3".into()],
+        };
+        assert!(e.to_string().contains("remove those first"));
+    }
+}

@@ -1,0 +1,587 @@
+//! Canonical evaluation: query state × base data → evaluated spreadsheet.
+//!
+//! Operators in this crate edit the [`QueryState`]; this module gives the
+//! state its single, deterministic meaning. Because evaluation is a pure
+//! function of `(base, state)`, any two operator sequences that produce
+//! the same state produce the same spreadsheet — the engine-level fact
+//! behind Theorem 2 (commutativity) and Theorem 3 (state change ≡ history
+//! rewrite).
+//!
+//! The canonical pipeline:
+//!
+//! 1. start from the base data (all of `R`'s columns, hidden or not);
+//! 2. if duplicate elimination is in force, remove duplicate `R`-tuples;
+//! 3. process *ranks* in increasing order — materialize the computed
+//!    columns of each rank (aggregates are computed over the tuples that
+//!    survive the selections of lower ranks), then apply the selections of
+//!    that rank. A selection's rank is the maximum rank of the columns it
+//!    references, so a predicate over `Avg_Price` runs only after
+//!    `Avg_Price` exists: precedence (Sec. IV-B), operationalized;
+//! 4. re-materialize every computed column over the final multiset — the
+//!    *automatic update* property of computed columns (Sec. III-B);
+//! 5. sort into presentation order (group keys level by level, then the
+//!    finest-level ordering) and build the group tree.
+
+use crate::computed::{column_rank, compute_ranks, ComputedColumn, ComputedDef};
+use crate::error::{Result, SheetError};
+use crate::spec::Spec;
+use crate::state::QueryState;
+use crate::tree::{build_tree, GroupTree};
+use ssa_relation::relation::Relation;
+use ssa_relation::schema::Column;
+use ssa_relation::value::{Value, ValueType};
+use ssa_relation::ops;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An evaluated spreadsheet: data in presentation order, the group tree
+/// over it, and the visible columns in display order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derived {
+    /// All columns (base + computed), rows in presentation order.
+    pub data: Relation,
+    /// Grouping materialized over `data`'s rows.
+    pub tree: GroupTree,
+    /// Column names shown to the user, in display order.
+    pub visible: Vec<String>,
+}
+
+impl Derived {
+    /// The user-facing relation: visible columns only, presentation order.
+    pub fn visible_relation(&self) -> Relation {
+        let cols: Vec<&str> = self.visible.iter().map(|s| s.as_str()).collect();
+        ops::project(&self.data, &cols).expect("visible columns exist in data")
+    }
+
+    /// Number of (surviving) tuples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Equality modulo column arrangement.
+    ///
+    /// Two computed columns created in either order yield the same
+    /// spreadsheet *content* but different left-to-right placement ("the
+    /// result column appears next to the rightmost column", Sec. VI-A).
+    /// Theorem 2's commutativity is about content, so this comparison
+    /// checks: same visible column set, same hidden column set, identical
+    /// per-column values in presentation order, and the same group tree.
+    pub fn equivalent(&self, other: &Derived) -> bool {
+        let set = |v: &[String]| -> BTreeSet<String> { v.iter().cloned().collect() };
+        if set(&self.visible) != set(&other.visible) {
+            return false;
+        }
+        let my_cols: BTreeSet<String> =
+            self.data.schema().names().iter().map(|s| s.to_string()).collect();
+        let their_cols: BTreeSet<String> =
+            other.data.schema().names().iter().map(|s| s.to_string()).collect();
+        if my_cols != their_cols || self.data.len() != other.data.len() {
+            return false;
+        }
+        for col in &my_cols {
+            let a = self.data.column_values(col).expect("column listed");
+            let b = other.data.column_values(col).expect("column listed");
+            if a != b {
+                return false;
+            }
+        }
+        self.tree == other.tree
+    }
+}
+
+/// Evaluate `state` over `base`.
+pub fn evaluate(base: &Relation, state: &QueryState) -> Result<Derived> {
+    evaluate_full(base, state).map(|(derived, _)| derived)
+}
+
+/// Evaluate, also returning the *canonical* (pre-presentation-sort) data.
+/// The sheet's reorganize fast path re-sorts from this canonical order so
+/// tie-breaking matches a from-scratch evaluation exactly (stable sort
+/// over base insertion order).
+pub(crate) fn evaluate_full(
+    base: &Relation,
+    state: &QueryState,
+) -> Result<(Derived, Relation)> {
+    let base_cols: BTreeSet<String> =
+        base.schema().names().iter().map(|s| s.to_string()).collect();
+
+    // Validate references before touching data.
+    for col in state.referenced_columns() {
+        if !base_cols.contains(&col) && !state.is_computed(&col) {
+            return Err(SheetError::UnknownColumn { name: col });
+        }
+    }
+    let ranks = compute_ranks(&base_cols, &state.computed).ok_or_else(|| {
+        SheetError::Relation(ssa_relation::RelationError::TypeMismatch {
+            context: "cyclic computed-column definitions".into(),
+        })
+    })?;
+
+    // Step 1–2: base data, dedup on R-tuples.
+    let mut data = base.clone();
+    if state.dedup {
+        data = ops::distinct(&data)?;
+    }
+
+    // Selection ranks.
+    let sel_ranks: Vec<usize> = state
+        .selections
+        .iter()
+        .map(|s| {
+            s.predicate
+                .columns()
+                .iter()
+                .map(|c| {
+                    column_rank(c, &base_cols, &state.computed, &ranks)
+                        .ok_or_else(|| SheetError::UnknownColumn { name: c.clone() })
+                })
+                .try_fold(0usize, |acc, r| r.map(|r| acc.max(r)))
+        })
+        .collect::<Result<_>>()?;
+
+    let max_rank = ranks
+        .iter()
+        .chain(sel_ranks.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    // Step 3: layered materialization and filtering.
+    for rank in 0..=max_rank {
+        for (col, &r) in state.computed.iter().zip(&ranks) {
+            if r == rank {
+                materialize(&mut data, col, state)?;
+            }
+        }
+        for (sel, &r) in state.selections.iter().zip(&sel_ranks) {
+            if r == rank {
+                data = ops::select(&data, &sel.predicate)?;
+            }
+        }
+    }
+
+    // Step 4: automatic update — recompute every computed column over the
+    // final multiset, in rank order.
+    let mut order: Vec<usize> = (0..state.computed.len()).collect();
+    order.sort_by_key(|&i| ranks[i]);
+    for &i in &order {
+        data.drop_column(&state.computed[i].name)?;
+    }
+    for &i in &order {
+        materialize(&mut data, &state.computed[i], state)?;
+    }
+
+    // Step 5: presentation order + tree.
+    let canonical = data.clone();
+    data = sort_presentation(&data, &state.spec)?;
+    let level_bases: Vec<Vec<String>> =
+        state.spec.levels.iter().map(|l| l.basis.clone()).collect();
+    let tree = build_tree(&data, &level_bases);
+
+    let visible = visible_columns(base, state);
+    Ok((Derived { data, tree, visible }, canonical))
+}
+
+/// Display order: base columns in base order minus projected-out, then
+/// computed columns in creation order minus projected-out ("result column
+/// appears next to rightmost column", Sec. VI-A).
+pub fn visible_columns(base: &Relation, state: &QueryState) -> Vec<String> {
+    let mut out: Vec<String> = base
+        .schema()
+        .names()
+        .iter()
+        .filter(|n| !state.projected_out.contains(**n))
+        .map(|n| n.to_string())
+        .collect();
+    for c in &state.computed {
+        if !state.projected_out.contains(&c.name) {
+            out.push(c.name.clone());
+        }
+    }
+    out
+}
+
+/// Materialize one computed column over the current data.
+fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) -> Result<()> {
+    match &col.def {
+        ComputedDef::Formula { expr } => {
+            let mut ty = ValueType::Null;
+            let mut values = Vec::with_capacity(data.len());
+            for t in data.rows() {
+                let v = expr.eval(data.schema(), t)?;
+                ty = ty.unify(v.value_type());
+                values.push(v);
+            }
+            let mut it = values.into_iter();
+            data.add_column(Column::new(col.name.clone(), ty), |_, _| {
+                it.next().expect("stable row count")
+            })?;
+        }
+        ComputedDef::Aggregate { func, column, basis, level } => {
+            // Group by the aggregate's basis. An aggregate at level 1 has
+            // an empty basis: one group spanning the whole sheet.
+            debug_assert!(*level >= 1);
+            let basis_idx: Vec<usize> = basis
+                .iter()
+                .map(|a| data.schema().index_of(a))
+                .collect::<ssa_relation::Result<_>>()?;
+            let col_idx = data.schema().index_of(column)?;
+            let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+            for (ri, t) in data.rows().iter().enumerate() {
+                let key: Vec<Value> = basis_idx.iter().map(|&i| t.get(i).clone()).collect();
+                groups.entry(key).or_default().push(ri);
+            }
+            let mut per_row: Vec<Value> = vec![Value::Null; data.len()];
+            let mut ty = ValueType::Null;
+            for members in groups.values() {
+                let inputs: Vec<Value> = members
+                    .iter()
+                    .map(|&ri| data.rows()[ri].get(col_idx).clone())
+                    .collect();
+                let v = func.apply(&inputs)?;
+                ty = ty.unify(v.value_type());
+                for &ri in members {
+                    per_row[ri] = v.clone();
+                }
+            }
+            let mut it = per_row.into_iter();
+            data.add_column(Column::new(col.name.clone(), ty), |_, _| {
+                it.next().expect("stable row count")
+            })?;
+        }
+    }
+    // `state` is only used for debug assertions today, but threading it
+    // through keeps the signature stable for future level-validation.
+    let _ = state;
+    Ok(())
+}
+
+/// Sort rows into presentation order: group keys of each level (with that
+/// level's direction over the whole key tuple), then the finest-level
+/// ordering keys. Stable, so earlier arrangements break remaining ties.
+///
+/// Public within the crate: the sheet's fast-reorganization path re-sorts
+/// an already-evaluated relation when only `G`/`O` changed.
+pub(crate) fn sort_presentation(data: &Relation, spec: &Spec) -> Result<Relation> {
+    struct Key {
+        indices: Vec<usize>,
+        desc: bool,
+    }
+    let mut keys: Vec<Key> = Vec::new();
+    for level in &spec.levels {
+        let indices: Vec<usize> = level
+            .basis
+            .iter()
+            .map(|a| data.schema().index_of(a))
+            .collect::<ssa_relation::Result<_>>()?;
+        keys.push(Key { indices, desc: matches!(level.direction, crate::spec::Direction::Desc) });
+    }
+    for k in &spec.finest_order {
+        let idx = data.schema().index_of(&k.attribute)?;
+        keys.push(Key {
+            indices: vec![idx],
+            desc: matches!(k.direction, crate::spec::Direction::Desc),
+        });
+    }
+    let mut rows = data.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for k in &keys {
+            for &i in &k.indices {
+                let ord = a.get(i).cmp(b.get(i));
+                let ord = if k.desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::with_rows(data.name(), data.schema().clone(), rows)
+        .expect("re-sorting preserves widths"))
+}
+
+/// Convenience used by tests and the Theorem-1 translator: evaluate and
+/// keep only the visible relation.
+pub fn evaluate_visible(base: &Relation, state: &QueryState) -> Result<Relation> {
+    Ok(evaluate(base, state)?.visible_relation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Direction, GroupLevel, OrderKey};
+    use ssa_relation::schema::Schema;
+    use ssa_relation::{tuple, AggFunc, Expr};
+    use ssa_relation::ValueType::{Int, Str};
+
+    /// The paper's Table I data.
+    pub fn table1() -> Relation {
+        Relation::with_rows(
+            "cars",
+            Schema::of(&[
+                ("ID", Int),
+                ("Model", Str),
+                ("Price", Int),
+                ("Year", Int),
+                ("Mileage", Int),
+                ("Condition", Str),
+            ]),
+            vec![
+                tuple![304, "Jetta", 14500, 2005, 76000, "Good"],
+                tuple![872, "Jetta", 15000, 2005, 50000, "Excellent"],
+                tuple![901, "Jetta", 16000, 2005, 40000, "Excellent"],
+                tuple![423, "Jetta", 17000, 2006, 42000, "Good"],
+                tuple![723, "Jetta", 17500, 2006, 39000, "Excellent"],
+                tuple![725, "Jetta", 18000, 2006, 30000, "Excellent"],
+                tuple![132, "Civic", 13500, 2005, 86000, "Good"],
+                tuple![879, "Civic", 15000, 2006, 68000, "Good"],
+                tuple![322, "Civic", 16000, 2006, 73000, "Good"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn paper_state() -> QueryState {
+        // Grouped by Model DESC then Year ASC, ordered by Price ASC.
+        let mut st = QueryState::new();
+        st.spec.levels.push(GroupLevel::new(["Model"], Direction::Desc));
+        st.spec.levels.push(GroupLevel::new(["Year"], Direction::Asc));
+        st.spec.finest_order.push(OrderKey::asc("Price"));
+        st
+    }
+
+    fn ids(d: &Derived) -> Vec<i64> {
+        d.data
+            .rows()
+            .iter()
+            .map(|t| match t.get(0) {
+                Value::Int(i) => *i,
+                other => panic!("ID should be int, got {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_state_is_identity_modulo_order() {
+        let base = table1();
+        let d = evaluate(&base, &QueryState::new()).unwrap();
+        assert_eq!(d.len(), 9);
+        assert!(d.visible_relation().multiset_eq(&base));
+        assert_eq!(d.tree.depth(), 1);
+    }
+
+    #[test]
+    fn paper_table_i_presentation_order() {
+        // Table I is exactly: grouped Model DESC, Year ASC, Price ASC.
+        let d = evaluate(&table1(), &paper_state()).unwrap();
+        assert_eq!(
+            ids(&d),
+            vec![304, 872, 901, 423, 723, 725, 132, 879, 322]
+        );
+        assert_eq!(d.tree.depth(), 3);
+        assert_eq!(d.tree.groups_at_level(2).len(), 2);
+        assert_eq!(d.tree.groups_at_level(3).len(), 4);
+    }
+
+    #[test]
+    fn selection_filters_and_retains_grouping() {
+        let mut st = paper_state();
+        st.add_selection(Expr::col("Condition").eq(Expr::lit("Excellent")));
+        let d = evaluate(&table1(), &st).unwrap();
+        assert_eq!(ids(&d), vec![872, 901, 723, 725]);
+        assert_eq!(d.tree.depth(), 3);
+    }
+
+    #[test]
+    fn aggregate_repeats_value_per_group_like_table_iii() {
+        let mut st = QueryState::new();
+        st.spec.levels.push(GroupLevel::new(["Model"], Direction::Desc));
+        st.spec.levels.push(GroupLevel::new(["Year"], Direction::Asc));
+        st.spec.finest_order.push(OrderKey::asc("Price"));
+        st.computed.push(ComputedColumn::aggregate(
+            "Avg_Price",
+            AggFunc::Avg,
+            "Price",
+            3,
+            vec!["Model".into(), "Year".into()],
+        ));
+        let d = evaluate(&table1(), &st).unwrap();
+        let col = d.data.column_values("Avg_Price").unwrap();
+        // Jetta 2005 avg = 15166.67 on first three rows
+        let Value::Float(v) = &col[0] else { panic!() };
+        assert!((v - 15166.6667).abs() < 0.01);
+        assert_eq!(col[0], col[1]);
+        assert_eq!(col[0], col[2]);
+        // Jetta 2006 avg = 17500
+        assert_eq!(col[3], Value::Float(17500.0));
+        // Civic 2005 avg = 13500 (single row, position 6)
+        assert_eq!(col[6], Value::Float(13500.0));
+        // Civic 2006 avg = 15500
+        assert_eq!(col[7], Value::Float(15500.0));
+    }
+
+    #[test]
+    fn aggregate_level_one_spans_whole_sheet() {
+        let mut st = QueryState::new();
+        st.computed.push(ComputedColumn::aggregate(
+            "MaxP",
+            AggFunc::Max,
+            "Price",
+            1,
+            vec![],
+        ));
+        let d = evaluate(&table1(), &st).unwrap();
+        let col = d.data.column_values("MaxP").unwrap();
+        assert!(col.iter().all(|v| v == &Value::Int(18000)));
+    }
+
+    #[test]
+    fn aggregates_auto_update_after_selection() {
+        // Theorem 2's key case: selection and aggregation commute because
+        // aggregates recompute over surviving tuples.
+        let mut st = QueryState::new();
+        st.computed.push(ComputedColumn::aggregate(
+            "Avg_Price",
+            AggFunc::Avg,
+            "Price",
+            1,
+            vec![],
+        ));
+        st.add_selection(Expr::col("Model").eq(Expr::lit("Civic")));
+        let d = evaluate(&table1(), &st).unwrap();
+        let col = d.data.column_values("Avg_Price").unwrap();
+        // avg over the three Civics only: (13500+15000+16000)/3 = 14833.33
+        let Value::Float(v) = &col[0] else { panic!() };
+        assert!((v - 14833.3333).abs() < 0.01);
+    }
+
+    #[test]
+    fn selection_on_aggregate_uses_pre_filter_average() {
+        // Fig. 2 scenario: filter Price < Avg_Price(Model, Year).
+        let mut st = QueryState::new();
+        st.computed.push(ComputedColumn::aggregate(
+            "Avg_Price",
+            AggFunc::Avg,
+            "Price",
+            1,
+            vec![],
+        ));
+        st.add_selection(Expr::col("Price").lt(Expr::col("Avg_Price")));
+        let d = evaluate(&table1(), &st).unwrap();
+        // global avg = (14500+15000+16000+17000+17500+18000+13500+15000+16000)/9
+        // = 142500/9 = 15833.33; cars below: 14500,15000,13500,15000 → 4 rows
+        assert_eq!(d.len(), 4);
+        // displayed Avg_Price is recomputed over the survivors
+        let col = d.data.column_values("Avg_Price").unwrap();
+        let Value::Float(v) = &col[0] else { panic!() };
+        assert!((v - 14500.0).abs() < 0.01); // (14500+15000+13500+15000)/4
+    }
+
+    #[test]
+    fn formula_column_row_wise() {
+        let mut st = QueryState::new();
+        st.computed.push(ComputedColumn::formula(
+            "PriceK",
+            Expr::col("Price").div(Expr::lit(1000)),
+        ));
+        let d = evaluate(&table1(), &st).unwrap();
+        assert_eq!(
+            d.data.value_at(0, "PriceK").unwrap(),
+            &Value::Float(14.5)
+        );
+    }
+
+    #[test]
+    fn dedup_on_r_tuples_ignores_projection() {
+        let base = Relation::with_rows(
+            "r",
+            Schema::of(&[("x", Int), ("y", Int)]),
+            vec![tuple![1, 10], tuple![1, 20], tuple![1, 10]],
+        )
+        .unwrap();
+        let mut st = QueryState::new();
+        st.projected_out.insert("y".into());
+        st.dedup = true;
+        let d = evaluate(&base, &st).unwrap();
+        // dedup on full R-tuples: (1,10) duplicated once → 2 rows remain,
+        // even though the visible column x makes them look identical.
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.visible, vec!["x".to_string()]);
+        assert_eq!(d.visible_relation().schema().names(), vec!["x"]);
+    }
+
+    #[test]
+    fn hidden_column_still_filters() {
+        let mut st = QueryState::new();
+        st.projected_out.insert("Condition".into());
+        st.add_selection(Expr::col("Condition").eq(Expr::lit("Good")));
+        let d = evaluate(&table1(), &st).unwrap();
+        assert_eq!(d.len(), 5);
+        assert!(!d.visible.contains(&"Condition".to_string()));
+    }
+
+    #[test]
+    fn unknown_selection_column_is_error() {
+        let mut st = QueryState::new();
+        st.add_selection(Expr::col("Ghost").eq(Expr::lit(1)));
+        assert_eq!(
+            evaluate(&table1(), &st),
+            Err(SheetError::UnknownColumn { name: "Ghost".into() })
+        );
+    }
+
+    #[test]
+    fn multi_attribute_level_groups_on_key_tuple() {
+        let mut st = QueryState::new();
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Model", "Year"], Direction::Asc));
+        let d = evaluate(&table1(), &st).unwrap();
+        assert_eq!(d.tree.groups_at_level(2).len(), 4);
+        // ASC on (Model, Year): Civic 2005, Civic 2006, Jetta 2005, Jetta 2006
+        let keys: Vec<String> = d
+            .tree
+            .groups_at_level(2)
+            .iter()
+            .map(|g| format!("{} {}", g.key[0].1, g.key[1].1))
+            .collect();
+        assert_eq!(keys, vec!["Civic 2005", "Civic 2006", "Jetta 2005", "Jetta 2006"]);
+    }
+
+    #[test]
+    fn equivalent_ignores_computed_column_order() {
+        let mut a = QueryState::new();
+        a.computed.push(ComputedColumn::formula("F1", Expr::col("Price").add(Expr::lit(1))));
+        a.computed.push(ComputedColumn::formula("F2", Expr::col("Year").add(Expr::lit(1))));
+        let mut b = QueryState::new();
+        b.computed.push(ComputedColumn::formula("F2", Expr::col("Year").add(Expr::lit(1))));
+        b.computed.push(ComputedColumn::formula("F1", Expr::col("Price").add(Expr::lit(1))));
+        let da = evaluate(&table1(), &a).unwrap();
+        let db = evaluate(&table1(), &b).unwrap();
+        assert_ne!(da, db, "column order differs");
+        assert!(da.equivalent(&db), "content is the same");
+        // and a genuinely different sheet is not equivalent
+        let mut c = b.clone();
+        c.add_selection(Expr::col("Year").eq(Expr::lit(2005)));
+        let dc = evaluate(&table1(), &c).unwrap();
+        assert!(!da.equivalent(&dc));
+    }
+
+    #[test]
+    fn visible_columns_order_base_then_computed() {
+        let mut st = QueryState::new();
+        st.computed.push(ComputedColumn::formula(
+            "F1",
+            Expr::col("Price").add(Expr::lit(1)),
+        ));
+        st.projected_out.insert("Mileage".into());
+        let cols = visible_columns(&table1(), &st);
+        assert_eq!(
+            cols,
+            vec!["ID", "Model", "Price", "Year", "Condition", "F1"]
+        );
+    }
+}

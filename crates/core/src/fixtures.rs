@@ -1,0 +1,70 @@
+//! Shared test/example data: the paper's used-car database (Table I).
+//!
+//! Exposed publicly so integration tests, examples and benches can all
+//! reproduce the paper's running example from the same rows.
+
+use ssa_relation::schema::Schema;
+use ssa_relation::tuple;
+use ssa_relation::Relation;
+use ssa_relation::ValueType::{Int, Str};
+
+/// The nine rows of Table I.
+pub fn used_cars() -> Relation {
+    Relation::with_rows(
+        "cars",
+        Schema::of(&[
+            ("ID", Int),
+            ("Model", Str),
+            ("Price", Int),
+            ("Year", Int),
+            ("Mileage", Int),
+            ("Condition", Str),
+        ]),
+        vec![
+            tuple![304, "Jetta", 14500, 2005, 76000, "Good"],
+            tuple![872, "Jetta", 15000, 2005, 50000, "Excellent"],
+            tuple![901, "Jetta", 16000, 2005, 40000, "Excellent"],
+            tuple![423, "Jetta", 17000, 2006, 42000, "Good"],
+            tuple![723, "Jetta", 17500, 2006, 39000, "Excellent"],
+            tuple![725, "Jetta", 18000, 2006, 30000, "Excellent"],
+            tuple![132, "Civic", 13500, 2005, 86000, "Good"],
+            tuple![879, "Civic", 15000, 2006, 68000, "Good"],
+            tuple![322, "Civic", 16000, 2006, 73000, "Good"],
+        ],
+    )
+    .expect("fixture rows match fixture schema")
+}
+
+/// A small dealers relation used by join/product examples and tests.
+pub fn dealers() -> Relation {
+    Relation::with_rows(
+        "dealers",
+        Schema::of(&[("Dealer", Str), ("Model", Str), ("City", Str)]),
+        vec![
+            tuple!["A2 Motors", "Jetta", "Ann Arbor"],
+            tuple!["A2 Motors", "Civic", "Ann Arbor"],
+            tuple!["Motor City", "Civic", "Detroit"],
+        ],
+    )
+    .expect("fixture rows match fixture schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_shape() {
+        let r = used_cars();
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.schema().len(), 6);
+        assert_eq!(r.name(), "cars");
+    }
+
+    #[test]
+    fn dealers_shape() {
+        let d = dealers();
+        assert_eq!(d.len(), 3);
+        assert!(d.schema().contains("Model"));
+    }
+}

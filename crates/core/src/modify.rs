@@ -1,0 +1,285 @@
+//! Cascaded query modification (Sec. V-B).
+//!
+//! "We can remove an aggregate column, provided that no operator depends
+//! on it. If a column that serves dependencies needs to be removed, all
+//! dependent columns must be removed first." The one-shot operators on
+//! [`Spreadsheet`] refuse with [`SheetError::ColumnInUse`]; this module
+//! computes the *plan* — everything that depends on a column,
+//! transitively, in a removal order — and can execute it, which is what
+//! an interface offers as "remove X and everything that uses it".
+
+use crate::error::{Result, SheetError};
+use crate::sheet::Spreadsheet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Everything that must go, in execution order, to remove one computed
+/// column.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RemovalPlan {
+    /// Selection ids to remove (they reference doomed columns).
+    pub selections: Vec<u64>,
+    /// Finest-level ordering keys to drop (attribute names).
+    pub order_keys: Vec<String>,
+    /// Computed columns to remove, dependents before dependencies — the
+    /// target column is last.
+    pub computed: Vec<String>,
+}
+
+impl RemovalPlan {
+    pub fn is_single(&self) -> bool {
+        self.selections.is_empty() && self.order_keys.is_empty() && self.computed.len() == 1
+    }
+
+    /// Total number of individual removals.
+    pub fn len(&self) -> usize {
+        self.selections.len() + self.order_keys.len() + self.computed.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for RemovalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        for id in &self.selections {
+            parts.push(format!("selection #{id}"));
+        }
+        for k in &self.order_keys {
+            parts.push(format!("ordering by {k}"));
+        }
+        for c in &self.computed {
+            parts.push(format!("column {c}"));
+        }
+        write!(f, "remove {}", parts.join(", then "))
+    }
+}
+
+impl Spreadsheet {
+    /// Compute the cascade required to remove computed column `column`.
+    ///
+    /// Fails with [`SheetError::ColumnInUse`] if the column (or one of
+    /// its transitive dependents) appears in a grouping basis — grouping
+    /// changes are a separate, heavier interaction (the interface asks
+    /// the user to regroup explicitly).
+    pub fn removal_plan(&self, column: &str) -> Result<RemovalPlan> {
+        if !self.state().is_computed(column) {
+            return Err(SheetError::UnknownColumn { name: column.to_string() });
+        }
+        // Transitive closure of computed columns that (directly or not)
+        // read any doomed column.
+        let mut doomed: BTreeSet<String> = BTreeSet::new();
+        doomed.insert(column.to_string());
+        loop {
+            let mut grew = false;
+            for c in &self.state().computed {
+                if doomed.contains(&c.name) {
+                    continue;
+                }
+                if c.def.dependencies().intersection(&doomed).next().is_some() {
+                    doomed.insert(c.name.clone());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        // Grouping over a doomed column cannot be cascaded away here.
+        let grouped = self.state().spec.all_grouping_attributes();
+        if let Some(g) = grouped.intersection(&doomed).next() {
+            return Err(SheetError::ColumnInUse {
+                name: g.clone(),
+                dependents: vec!["grouping".to_string()],
+            });
+        }
+
+        let selections = self
+            .state()
+            .selections
+            .iter()
+            .filter(|s| s.predicate.columns().intersection(&doomed).next().is_some())
+            .map(|s| s.id)
+            .collect();
+        let order_keys = self
+            .state()
+            .spec
+            .finest_order
+            .iter()
+            .filter(|k| doomed.contains(&k.attribute))
+            .map(|k| k.attribute.clone())
+            .collect();
+
+        // Order computed removals dependents-first: repeatedly take a
+        // doomed column that no other doomed column depends on.
+        let mut remaining: Vec<String> = self
+            .state()
+            .computed
+            .iter()
+            .filter(|c| doomed.contains(&c.name))
+            .map(|c| c.name.clone())
+            .collect();
+        let mut computed = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let idx = remaining
+                .iter()
+                .position(|candidate| {
+                    !remaining.iter().any(|other| {
+                        other != candidate
+                            && self
+                                .state()
+                                .computed_column(other)
+                                .map(|c| c.def.dependencies().contains(candidate))
+                                .unwrap_or(false)
+                    })
+                })
+                .expect("acyclic definitions always have a leaf");
+            computed.push(remaining.remove(idx));
+        }
+        // Keep the target last for a readable plan (it is a dependency of
+        // everything else doomed, so the loop already places it last).
+        Ok(RemovalPlan { selections, order_keys, computed })
+    }
+
+    /// Execute a removal plan: drop the dependent selections and ordering
+    /// keys, then the computed columns, dependents first.
+    pub fn remove_with_cascade(&mut self, column: &str) -> Result<RemovalPlan> {
+        let plan = self.removal_plan(column)?;
+        for id in &plan.selections {
+            self.remove_selection(*id)?;
+        }
+        for key in &plan.order_keys {
+            self.remove_order_key(key)?;
+        }
+        for c in &plan.computed {
+            self.remove_computed(c)?;
+        }
+        Ok(plan)
+    }
+
+    /// Drop one finest-level ordering key (part of "those that depend on
+    /// the ordering should be removed first", Sec. V-B).
+    pub fn remove_order_key(&mut self, attribute: &str) -> Result<()> {
+        let spec = &mut self.state_mut_for_modify().spec;
+        let before = spec.finest_order.len();
+        spec.finest_order.retain(|k| k.attribute != attribute);
+        if spec.finest_order.len() == before {
+            return Err(SheetError::UnknownColumn { name: attribute.to_string() });
+        }
+        Ok(())
+    }
+
+    /// The state objects that still depend on the grouping below `level`
+    /// (used by interfaces before offering a grouping change). Formulas
+    /// depend on grouping only through the aggregates they read, so the
+    /// aggregates are the complete answer.
+    pub fn grouping_dependents(&self, level: usize) -> Vec<String> {
+        self.state().aggregates_below_level(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::used_cars;
+    use crate::spec::Direction;
+    use ssa_relation::{AggFunc, Expr};
+
+    fn rich_sheet() -> (Spreadsheet, u64) {
+        // Avg_Price ← Delta (formula over it) ← selection on Delta,
+        // plus an ordering key on Avg_Price.
+        let mut s = Spreadsheet::over(used_cars());
+        s.group(&["Model"], Direction::Asc).unwrap();
+        let avg = s.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+        s.formula(Some("Delta"), Expr::col("Price").sub(Expr::col(&avg)))
+            .unwrap();
+        let sel = s.select(Expr::col("Delta").lt(Expr::lit(0))).unwrap();
+        s.order(&avg, Direction::Desc, 2).unwrap();
+        (s, sel)
+    }
+
+    #[test]
+    fn plan_collects_transitive_dependents_in_order() {
+        let (s, sel) = rich_sheet();
+        let plan = s.removal_plan("Avg_Price").unwrap();
+        assert_eq!(plan.selections, vec![sel]);
+        assert_eq!(plan.order_keys, vec!["Avg_Price".to_string()]);
+        // Delta (dependent) before Avg_Price (dependency)
+        assert_eq!(plan.computed, vec!["Delta".to_string(), "Avg_Price".into()]);
+        assert!(!plan.is_single());
+        assert_eq!(plan.len(), 4);
+        let text = plan.to_string();
+        assert!(text.contains("selection"));
+        assert!(text.contains("then"));
+    }
+
+    #[test]
+    fn execute_cascade_leaves_consistent_sheet() {
+        let (mut s, _) = rich_sheet();
+        let before_rows = 9;
+        let plan = s.remove_with_cascade("Avg_Price").unwrap();
+        assert_eq!(plan.len(), 4);
+        let view = s.view().unwrap();
+        assert_eq!(view.len(), before_rows);
+        assert!(!view.data.schema().contains("Avg_Price"));
+        assert!(!view.data.schema().contains("Delta"));
+        assert!(s.state().selections.is_empty());
+        assert!(s.state().spec.finest_order.is_empty());
+        // grouping untouched
+        assert_eq!(s.state().spec.level_count(), 2);
+    }
+
+    #[test]
+    fn plan_for_leaf_column_is_single() {
+        let mut s = Spreadsheet::over(used_cars());
+        s.aggregate(AggFunc::Max, "Price", 1).unwrap();
+        let plan = s.removal_plan("Max_Price").unwrap();
+        assert!(plan.is_single());
+        assert!(!plan.is_empty());
+        s.remove_with_cascade("Max_Price").unwrap();
+        assert!(s.state().computed.is_empty());
+    }
+
+    #[test]
+    fn plan_rejects_grouping_dependency() {
+        let mut s = Spreadsheet::over(used_cars());
+        let f = s
+            .formula(Some("PriceBand"), Expr::col("Price").div(Expr::lit(1000)))
+            .unwrap();
+        s.group(&[&f], Direction::Asc).unwrap();
+        assert!(matches!(
+            s.removal_plan(&f),
+            Err(SheetError::ColumnInUse { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_unknown_or_base_column_errors() {
+        let s = Spreadsheet::over(used_cars());
+        assert!(s.removal_plan("Ghost").is_err());
+        // base columns are hidden via projection, not removed
+        assert!(s.removal_plan("Price").is_err());
+    }
+
+    #[test]
+    fn remove_order_key_directly() {
+        let mut s = Spreadsheet::over(used_cars());
+        s.order("Price", Direction::Asc, 1).unwrap();
+        s.remove_order_key("Price").unwrap();
+        assert!(s.state().spec.finest_order.is_empty());
+        assert!(s.remove_order_key("Price").is_err());
+    }
+
+    #[test]
+    fn cascade_matches_replaying_without_the_ops() {
+        // Theorem-3 flavour: cascading removal == never having done them.
+        let (mut a, _) = rich_sheet();
+        a.remove_with_cascade("Avg_Price").unwrap();
+
+        let mut b = Spreadsheet::over(used_cars());
+        b.group(&["Model"], Direction::Asc).unwrap();
+        assert_eq!(a.evaluate_now().unwrap(), b.evaluate_now().unwrap());
+    }
+}

@@ -1,0 +1,204 @@
+//! Text rendering of evaluated spreadsheets — the continuously-presented
+//! data view of a direct-manipulation interface, in plain text.
+//!
+//! The plain renderer reproduces the look of the paper's tables (I–V);
+//! the tree renderer makes the recursive grouping explicit with
+//! indentation, and the markdown renderer serves documentation and the
+//! `repro` harness.
+
+use crate::eval::Derived;
+use crate::tree::GroupNode;
+use ssa_relation::Value;
+
+/// Column-aligned plain-text table of the visible spreadsheet, with a
+/// blank separator line between level-2 groups (when grouping exists).
+pub fn render_table(view: &Derived) -> String {
+    let cols = &view.visible;
+    let idx: Vec<usize> = cols
+        .iter()
+        .map(|c| view.data.schema().index_of(c).expect("visible column exists"))
+        .collect();
+
+    let mut widths: Vec<usize> = cols.iter().map(|c| c.len()).collect();
+    let cell = |r: usize, k: usize| -> String { format_value(view.data.rows()[r].get(idx[k])) };
+    for r in 0..view.data.len() {
+        for (k, w) in widths.iter_mut().enumerate() {
+            *w = (*w).max(cell(r, k).len());
+        }
+    }
+
+    let mut out = String::new();
+    let mut line = String::new();
+    for (k, c) in cols.iter().enumerate() {
+        line.push_str(&format!("| {:width$} ", c, width = widths[k]));
+    }
+    line.push('|');
+    out.push_str(&line);
+    out.push('\n');
+    let mut rule = String::new();
+    for w in &widths {
+        rule.push_str(&format!("|{}", "-".repeat(w + 2)));
+    }
+    rule.push('|');
+    out.push_str(&rule);
+    out.push('\n');
+
+    // Row blocks follow the level-2 groups when present.
+    let blocks: Vec<Vec<usize>> = if view.tree.root.children.is_empty() {
+        vec![view.tree.root.rows.clone()]
+    } else {
+        view.tree.root.children.iter().map(|g| g.rows.clone()).collect()
+    };
+    for (bi, block) in blocks.iter().enumerate() {
+        if bi > 0 {
+            out.push_str(&rule);
+            out.push('\n');
+        }
+        for &r in block {
+            let mut line = String::new();
+            for (k, width) in widths.iter().enumerate() {
+                line.push_str(&format!("| {:width$} ", cell(r, k), width = width));
+            }
+            line.push('|');
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// GitHub-flavoured markdown table (no group separators).
+pub fn render_markdown(view: &Derived) -> String {
+    let cols = &view.visible;
+    let idx: Vec<usize> = cols
+        .iter()
+        .map(|c| view.data.schema().index_of(c).expect("visible column exists"))
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", cols.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        cols.iter().map(|_| "---|").collect::<String>()
+    ));
+    for r in 0..view.data.len() {
+        let fields: Vec<String> = idx
+            .iter()
+            .map(|&i| format_value(view.data.rows()[r].get(i)))
+            .collect();
+        out.push_str(&format!("| {} |\n", fields.join(" | ")));
+    }
+    out
+}
+
+/// Indented group-tree rendering: each group header shows its key, each
+/// leaf row its visible values.
+pub fn render_tree(view: &Derived) -> String {
+    fn rec(view: &Derived, node: &GroupNode, out: &mut String) {
+        let indent = "  ".repeat(node.level.saturating_sub(1));
+        if !node.key.is_empty() {
+            let key = node
+                .key
+                .iter()
+                .map(|(a, v)| format!("{a}={}", format_value(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("{indent}[{key}] ({} rows)\n", node.rows.len()));
+        }
+        if node.children.is_empty() {
+            let idx: Vec<usize> = view
+                .visible
+                .iter()
+                .map(|c| view.data.schema().index_of(c).expect("visible column exists"))
+                .collect();
+            for &r in &node.rows {
+                let fields: Vec<String> = idx
+                    .iter()
+                    .map(|&i| format_value(view.data.rows()[r].get(i)))
+                    .collect();
+                out.push_str(&format!("{indent}  {}\n", fields.join(", ")));
+            }
+        } else {
+            for c in &node.children {
+                rec(view, c, out);
+            }
+        }
+    }
+    let mut out = String::new();
+    rec(view, &view.tree.root, &mut out);
+    out
+}
+
+/// Render a value the way the paper's tables do: NULL as empty, floats
+/// trimmed.
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Float(f) if f.fract().abs() > 1e-9 => format!("{f:.2}"),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::used_cars;
+    use crate::sheet::Spreadsheet;
+    use crate::spec::Direction;
+    use ssa_relation::AggFunc;
+
+    fn grouped_view() -> Derived {
+        let mut s = Spreadsheet::over(used_cars());
+        s.group(&["Model"], Direction::Desc).unwrap();
+        s.group(&["Model", "Year"], Direction::Asc).unwrap();
+        s.order("Price", Direction::Asc, 3).unwrap();
+        s.evaluate_now().unwrap()
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_headers() {
+        let t = render_table(&grouped_view());
+        assert!(t.contains("| ID "));
+        assert!(t.contains("Jetta"));
+        assert_eq!(t.lines().filter(|l| l.contains("Jetta")).count(), 6);
+        // one separator between the two Model groups + header rule
+        assert!(t.lines().filter(|l| l.starts_with("|--") || l.starts_with("|-")).count() >= 2);
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let m = render_markdown(&grouped_view());
+        assert!(m.starts_with("| ID | Model |"));
+        assert_eq!(m.lines().count(), 2 + 9);
+    }
+
+    #[test]
+    fn tree_rendering_shows_group_keys() {
+        let t = render_tree(&grouped_view());
+        assert!(t.contains("[Model=Jetta] (6 rows)"));
+        assert!(t.contains("[Model=Jetta, Year=2005] (3 rows)"));
+    }
+
+    #[test]
+    fn ungrouped_sheet_renders_single_block() {
+        let s = Spreadsheet::over(used_cars());
+        let v = s.evaluate_now().unwrap();
+        let t = render_table(&v);
+        assert_eq!(t.lines().count(), 2 + 9);
+    }
+
+    #[test]
+    fn aggregate_column_renders_rounded() {
+        let mut s = Spreadsheet::over(used_cars());
+        s.aggregate(AggFunc::Avg, "Price", 1).unwrap();
+        let v = s.evaluate_now().unwrap();
+        let t = render_table(&v);
+        assert!(t.contains("15833.33"), "got:\n{t}");
+    }
+
+    #[test]
+    fn format_value_cases() {
+        assert_eq!(format_value(&Value::Null), "");
+        assert_eq!(format_value(&Value::Int(5)), "5");
+        assert_eq!(format_value(&Value::Float(1.5)), "1.50");
+        assert_eq!(format_value(&Value::Float(2.0)), "2.0");
+    }
+}

@@ -1,0 +1,1172 @@
+//! The [`Spreadsheet`] — `S = (R, C, G, O)` — and every algebra operator
+//! of Sec. III as a method.
+//!
+//! A `Spreadsheet` holds the base data `R` as of the most recent *point of
+//! non-commutativity* (initially the base relation, Def. 2) plus the
+//! modifiable [`QueryState`] accumulated since. Unary operators edit the
+//! state; binary operators evaluate the current sheet, combine it with a
+//! stored sheet, and start a fresh state epoch (selections and DE are
+//! consumed; computed columns, projections, grouping and ordering carry
+//! over and keep auto-updating).
+
+use crate::computed::ComputedColumn;
+use crate::error::{Result, SheetError};
+use crate::eval::{evaluate, evaluate_full, sort_presentation, visible_columns, Derived};
+use crate::spec::{Direction, GroupLevel, OrderKey, Spec};
+use crate::state::{QueryState, SelectionEntry};
+use crate::tree::build_tree;
+use serde::{Deserialize, Serialize};
+use ssa_relation::{ops, AggFunc, Expr, Relation, ValueType};
+use std::collections::BTreeSet;
+
+/// A snapshot of a spreadsheet produced by the **Save** operator
+/// (Sec. III-C). Binary operators take a stored sheet as their right
+/// operand; **Open** turns one back into a live [`Spreadsheet`].
+///
+/// The snapshot freezes the sheet's *data*: selections and duplicate
+/// elimination are applied, computed columns are dropped from the data
+/// (they "do not participate", Sec. III-B) but their definitions are kept
+/// so re-opening restores them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredSheet {
+    pub name: String,
+    /// Evaluated `R` — all base columns (hidden ones included), filtered
+    /// and deduplicated as of the save.
+    pub relation: Relation,
+    /// The surviving state: computed definitions, projections, grouping
+    /// and ordering. Selections/DE are cleared (already applied).
+    pub state: QueryState,
+}
+
+impl StoredSheet {
+    /// Serialize to JSON (the reproduction's stand-in for the prototype's
+    /// saved sheets).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| SheetError::Persist { message: e.to_string() })
+    }
+
+    pub fn from_json(text: &str) -> Result<StoredSheet> {
+        serde_json::from_str(text).map_err(|e| SheetError::Persist { message: e.to_string() })
+    }
+}
+
+/// Fingerprint of the state components that determine the *content* of
+/// the evaluated multiset. Grouping, ordering and projection are pure
+/// data-*organization* ("they do not change the actual content",
+/// Sec. III-A) — when only those change, a cached evaluation can be
+/// reorganized instead of recomputed.
+#[derive(Debug, Clone, PartialEq)]
+struct ContentKey {
+    selections: Vec<SelectionEntry>,
+    computed: Vec<ComputedColumn>,
+    dedup: bool,
+}
+
+impl ContentKey {
+    fn of(state: &QueryState) -> ContentKey {
+        ContentKey {
+            selections: state.selections.clone(),
+            computed: state.computed.clone(),
+            dedup: state.dedup,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    derived: Derived,
+    /// The evaluated multiset in canonical (base-insertion) order — what
+    /// the reorganize fast path re-sorts, so tie-breaking is identical to
+    /// a from-scratch evaluation.
+    canonical: Relation,
+    content: ContentKey,
+    spec: Spec,
+}
+
+/// A live spreadsheet.
+#[derive(Debug, Clone)]
+pub struct Spreadsheet {
+    name: String,
+    base: Relation,
+    state: QueryState,
+    /// Cached evaluation; reorganized in place when only `G`/`O`/`C`
+    /// changed, recomputed when the content-determining state changed,
+    /// dropped when the base data changed.
+    cache: Option<CacheEntry>,
+    /// Whether the reorganize fast path is enabled (on by default; the
+    /// `reorganize` bench ablates it).
+    fast_reorganize: bool,
+    /// How many points of non-commutativity this sheet has passed.
+    epoch: u64,
+    next_formula_id: u64,
+}
+
+impl Spreadsheet {
+    /// The base spreadsheet `S^0(R, C^0, ∅, ∅)` over a relation (Def. 2).
+    pub fn over(relation: Relation) -> Spreadsheet {
+        Spreadsheet {
+            name: relation.name().to_string(),
+            base: relation,
+            state: QueryState::new(),
+            cache: None,
+            fast_reorganize: true,
+            epoch: 0,
+            next_formula_id: 1,
+        }
+    }
+
+    /// Enable/disable the fast reorganize path (for ablation benches; the
+    /// result is identical either way, which `view` tests pin).
+    pub fn set_fast_reorganize(&mut self, on: bool) {
+        self.fast_reorganize = on;
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The current query state (read-only; operators mutate it).
+    pub fn state(&self) -> &QueryState {
+        &self.state
+    }
+
+    /// The base data of the current epoch.
+    pub fn base(&self) -> &Relation {
+        &self.base
+    }
+
+    /// Number of binary-operator applications (points of
+    /// non-commutativity) in this sheet's history.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Evaluate and return the derived view.
+    ///
+    /// Three paths, cheapest first:
+    /// 1. the cache is current → return it;
+    /// 2. only organization changed (grouping/ordering/projection) and
+    ///    the fast path is on → re-sort the cached data, rebuild the
+    ///    group tree and the visible list;
+    /// 3. otherwise run the full canonical evaluation.
+    pub fn view(&mut self) -> Result<&Derived> {
+        let content = ContentKey::of(&self.state);
+        let visible = visible_columns(&self.base, &self.state);
+        let reusable = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.content == content);
+        if reusable {
+            let entry = self.cache.as_mut().expect("checked above");
+            if entry.spec != self.state.spec || entry.derived.visible != visible {
+                if !self.fast_reorganize {
+                    let (derived, canonical) = evaluate_full(&self.base, &self.state)?;
+                    self.cache = Some(CacheEntry {
+                        derived,
+                        canonical,
+                        content,
+                        spec: self.state.spec.clone(),
+                    });
+                } else {
+                    // Fast path: content is unchanged; re-sort from the
+                    // canonical order and rebuild tree + visible list.
+                    let data = sort_presentation(&entry.canonical, &self.state.spec)?;
+                    let level_bases: Vec<Vec<String>> = self
+                        .state
+                        .spec
+                        .levels
+                        .iter()
+                        .map(|l| l.basis.clone())
+                        .collect();
+                    let tree = build_tree(&data, &level_bases);
+                    entry.derived = Derived { data, tree, visible };
+                    entry.spec = self.state.spec.clone();
+                }
+            }
+        } else {
+            let (derived, canonical) = evaluate_full(&self.base, &self.state)?;
+            self.cache = Some(CacheEntry {
+                derived,
+                canonical,
+                content,
+                spec: self.state.spec.clone(),
+            });
+        }
+        Ok(&self.cache.as_ref().expect("cache just filled").derived)
+    }
+
+    /// Evaluate without caching (for read-only contexts).
+    pub fn evaluate_now(&self) -> Result<Derived> {
+        evaluate(&self.base, &self.state)
+    }
+
+    /// Visible column names in display order (cheap; no evaluation).
+    pub fn visible(&self) -> Vec<String> {
+        visible_columns(&self.base, &self.state)
+    }
+
+    /// Every column name that exists (base + computed), hidden or not.
+    pub fn all_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .base
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        out.extend(self.state.computed.iter().map(|c| c.name.clone()));
+        out
+    }
+
+    /// Called by every state-editing operator. The cache is kept: `view`
+    /// compares content keys and either reuses, reorganizes or fully
+    /// re-evaluates. Base-data changes call [`Self::invalidate_base`].
+    fn invalidate(&mut self) {}
+
+    /// Hard invalidation for operations that change the base data
+    /// (binary operators, rename, restore).
+    fn invalidate_base(&mut self) {
+        self.cache = None;
+    }
+
+    fn assert_column_exists(&self, name: &str) -> Result<()> {
+        if self.base.schema().contains(name) || self.state.is_computed(name) {
+            Ok(())
+        } else {
+            Err(SheetError::UnknownColumn { name: name.to_string() })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data organization operators (Sec. III-A)
+    // ------------------------------------------------------------------
+
+    /// τ — grouping (Def. 3). `grouping_basis` is the *absolute* basis of
+    /// the new finest level and must strictly extend the current finest
+    /// basis ("a new level of grouping is created when and only when
+    /// grouping-basis contains a superset of attributes of any existing
+    /// grouping basis"). The newly grouped attributes leave the finest
+    /// ordering list (`o_L = L − grouping-basis`).
+    pub fn group(&mut self, grouping_basis: &[&str], order: Direction) -> Result<()> {
+        for a in grouping_basis {
+            self.assert_column_exists(a)?;
+        }
+        let current: BTreeSet<String> =
+            self.state.spec.all_grouping_attributes();
+        let requested: BTreeSet<String> =
+            grouping_basis.iter().map(|s| s.to_string()).collect();
+        if !requested.is_superset(&current) || requested == current {
+            return Err(SheetError::NotASuperset {
+                basis: grouping_basis.iter().map(|s| s.to_string()).collect(),
+            });
+        }
+        let relative: Vec<String> = requested.difference(&current).cloned().collect();
+        self.state
+            .spec
+            .levels
+            .push(GroupLevel::new(relative.clone(), order));
+        self.state.spec.subtract_from_finest_order(&relative);
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Convenience: add `attributes` as a new innermost grouping level
+    /// (the interface's "add to the existing grouping" choice,
+    /// Sec. VI-A).
+    pub fn group_add(&mut self, attributes: &[&str], order: Direction) -> Result<()> {
+        let mut absolute: Vec<String> = self
+            .state
+            .spec
+            .all_grouping_attributes()
+            .into_iter()
+            .collect();
+        absolute.extend(attributes.iter().map(|s| s.to_string()));
+        let refs: Vec<&str> = absolute.iter().map(|s| s.as_str()).collect();
+        self.group(&refs, order)
+    }
+
+    /// The interface's other choice: "destroy the current grouping and use
+    /// this new one instead" — refused while aggregates depend on the
+    /// current grouping.
+    pub fn regroup(&mut self, attributes: &[&str], order: Direction) -> Result<()> {
+        let aggs = self.state.aggregates_below_level(1);
+        if !aggs.is_empty() {
+            return Err(SheetError::GroupingInUse { level: 1, aggregates: aggs });
+        }
+        for a in attributes {
+            self.assert_column_exists(a)?;
+        }
+        self.state.spec.levels.clear();
+        self.state
+            .spec
+            .levels
+            .push(GroupLevel::new(attributes.iter().copied(), order));
+        let grouped: Vec<String> = attributes.iter().map(|s| s.to_string()).collect();
+        self.state.spec.subtract_from_finest_order(&grouped);
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Remove all grouping (refused while aggregates depend on it).
+    pub fn ungroup(&mut self) -> Result<()> {
+        let aggs = self.state.aggregates_below_level(1);
+        if !aggs.is_empty() {
+            return Err(SheetError::GroupingInUse { level: 1, aggregates: aggs });
+        }
+        self.state.spec.levels.clear();
+        self.invalidate();
+        Ok(())
+    }
+
+    /// λ — ordering (Def. 4). Orders the contents of level-`l` groups by
+    /// `attribute` (1-based levels; `l = level_count()` is the finest).
+    ///
+    /// * Case 2 — `attribute` is the relative basis of level `l+1`: only
+    ///   the direction of those groups changes.
+    /// * Case 1 — any other attribute at an outer level: levels deeper
+    ///   than `l` are destroyed and `attribute` becomes the new finest
+    ///   ordering. Refused (as in the prototype) while aggregates depend
+    ///   on the doomed levels.
+    /// * Case 3 — finest level: ordering by a grouping attribute is a
+    ///   no-op; otherwise the attribute's direction is updated in place or
+    ///   appended to the finest ordering list.
+    pub fn order(&mut self, attribute: &str, direction: Direction, level: usize) -> Result<()> {
+        self.assert_column_exists(attribute)?;
+        let n = self.state.spec.level_count();
+        if level == 0 || level > n {
+            return Err(SheetError::NoSuchLevel { level, levels: n });
+        }
+        if level < n {
+            if self.state.spec.in_relative_basis(attribute, level + 1) {
+                // Case 2: flip direction of the level-(l+1) groups.
+                self.state.spec.levels[level - 1].direction = direction;
+            } else {
+                if self.state.spec.all_grouping_attributes().contains(attribute)
+                {
+                    // Ordering an outer level by some *other* level's
+                    // grouping attribute is meaningless.
+                    return Err(SheetError::BadOrderingAttribute {
+                        attribute: attribute.to_string(),
+                        level,
+                    });
+                }
+                // Case 1: destroy deeper levels.
+                let aggs = self.state.aggregates_below_level(level);
+                if !aggs.is_empty() {
+                    return Err(SheetError::GroupingInUse { level, aggregates: aggs });
+                }
+                self.state.spec.truncate_levels(level);
+                self.state.spec.finest_order =
+                    vec![OrderKey::new(attribute, direction)];
+            }
+        } else {
+            // Case 3: the finest level.
+            if self.state.spec.all_grouping_attributes().contains(attribute) {
+                // No-op: all tuples in a finest group share this value.
+                return Ok(());
+            }
+            match self
+                .state
+                .spec
+                .finest_order
+                .iter_mut()
+                .find(|k| k.attribute == attribute)
+            {
+                Some(k) => k.direction = direction,
+                None => self
+                    .state
+                    .spec
+                    .finest_order
+                    .push(OrderKey::new(attribute, direction)),
+            }
+        }
+        self.invalidate();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data manipulation operators (Sec. III-B)
+    // ------------------------------------------------------------------
+
+    /// σ — selection (Def. 5). Returns the id of the retained predicate,
+    /// which query modification can later replace or delete (Sec. V-B).
+    pub fn select(&mut self, predicate: Expr) -> Result<u64> {
+        for col in predicate.columns() {
+            self.assert_column_exists(&col)?;
+        }
+        let id = self.state.add_selection(predicate);
+        self.invalidate();
+        Ok(id)
+    }
+
+    /// π — projection (Def. 6): remove one column from `C`.
+    ///
+    /// * A **base** column is merely hidden (`R` is untouched) and can be
+    ///   reinstated (Sec. V-B's inverse projection).
+    /// * A **computed** column's definition is removed outright — this is
+    ///   how the paper frees a grouping from its aggregates ("the
+    ///   aggregates have to be projected out", Sec. III-A) — refused while
+    ///   other state depends on it.
+    pub fn project_out(&mut self, column: &str) -> Result<()> {
+        self.assert_column_exists(column)?;
+        if self.state.is_computed(column) {
+            let dependents = self.state.dependents_of(column);
+            if !dependents.is_empty() {
+                return Err(SheetError::ColumnInUse {
+                    name: column.to_string(),
+                    dependents,
+                });
+            }
+            self.state.computed.retain(|c| c.name != column);
+            self.state.projected_out.remove(column);
+        } else {
+            if self.state.projected_out.contains(column) {
+                return Err(SheetError::ColumnHidden { name: column.to_string() });
+            }
+            self.state.projected_out.insert(column.to_string());
+        }
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Inverse projection Π̄ (Sec. V-B): reinstate a hidden base column as
+    /// if the projection never took place.
+    pub fn reinstate(&mut self, column: &str) -> Result<()> {
+        if !self.state.projected_out.remove(column) {
+            return Err(SheetError::UnknownColumn { name: column.to_string() });
+        }
+        self.invalidate();
+        Ok(())
+    }
+
+    /// η — aggregation (Def. 11): creates a computed column holding
+    /// `func(column)` per level-`level` group, value repeated on every row
+    /// of the group. Returns the generated column name (`Avg_Price`
+    /// style, Table III).
+    pub fn aggregate(&mut self, func: AggFunc, column: &str, level: usize) -> Result<String> {
+        self.assert_column_exists(column)?;
+        let n = self.state.spec.level_count();
+        if level == 0 || level > n {
+            return Err(SheetError::NoSuchLevel { level, levels: n });
+        }
+        if func.requires_numeric() {
+            // Base columns expose a static type; computed columns are
+            // checked against their current materialization.
+            let numeric = if let Ok(c) = self.base.schema().column(column) {
+                c.ty.is_numeric() || c.ty == ValueType::Null
+            } else {
+                let d = self.evaluate_now()?;
+                d.data
+                    .schema()
+                    .column(column)
+                    .map(|c| c.ty.is_numeric() || c.ty == ValueType::Null)
+                    .unwrap_or(false)
+            };
+            if !numeric {
+                return Err(SheetError::NonNumericAggregate {
+                    func: func.short_name().to_string(),
+                    column: column.to_string(),
+                });
+            }
+        }
+        let name = self.fresh_column_name(&format!("{}_{}", func.short_name(), column));
+        let basis: Vec<String> = self.state.spec.absolute_basis(level).into_iter().collect();
+        self.state
+            .computed
+            .push(ComputedColumn::aggregate(name.clone(), func, column, level, basis));
+        self.invalidate();
+        Ok(name)
+    }
+
+    /// θ — formula computation (Def. 12): a row-wise computed column. With
+    /// no name given the system generates one and "reminds the user of the
+    /// new column" (Sec. VI-A). Returns the column name.
+    pub fn formula(&mut self, name: Option<&str>, expr: Expr) -> Result<String> {
+        for col in expr.columns() {
+            self.assert_column_exists(&col)?;
+        }
+        let name = match name {
+            Some(n) => {
+                if self.base.schema().contains(n) || self.state.is_computed(n) {
+                    return Err(SheetError::DuplicateColumn { name: n.to_string() });
+                }
+                n.to_string()
+            }
+            None => {
+                let n = self.fresh_column_name(&format!("F{}", self.next_formula_id));
+                self.next_formula_id += 1;
+                n
+            }
+        };
+        self.state.computed.push(ComputedColumn::formula(name.clone(), expr));
+        self.invalidate();
+        Ok(name)
+    }
+
+    /// DE — duplicate elimination (Def. 13): removes duplicate `R`-tuples.
+    /// Idempotent; computed columns recompute automatically.
+    pub fn dedup(&mut self) -> Result<()> {
+        self.state.dedup = true;
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Housekeeping **Rename** (Sec. III-C): renames a column everywhere —
+    /// data, computed definitions, predicates, grouping and ordering.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        self.assert_column_exists(from)?;
+        if from == to {
+            return Ok(());
+        }
+        if self.base.schema().contains(to) || self.state.is_computed(to) {
+            return Err(SheetError::DuplicateColumn { name: to.to_string() });
+        }
+        if self.base.schema().contains(from) {
+            self.base.schema_mut().rename(from, to)?;
+        }
+        self.state.rename_column(from, to);
+        self.invalidate_base();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Binary operators (points of non-commutativity)
+    // ------------------------------------------------------------------
+
+    /// **Save** (Sec. III-C): snapshot this sheet for later binary
+    /// operations or re-opening. The current sheet is unaffected.
+    pub fn save(&self, name: impl Into<String>) -> Result<StoredSheet> {
+        let derived = self.evaluate_now()?;
+        // Keep only R's columns (computed ones do not participate in
+        // binary operators).
+        let mut relation = derived.data;
+        for c in &self.state.computed {
+            relation.drop_column(&c.name)?;
+        }
+        relation.set_name(self.name.clone());
+        let mut state = self.state.clone();
+        state.consume_at_non_commutativity_point();
+        Ok(StoredSheet { name: name.into(), relation, state })
+    }
+
+    /// **Open** (Sec. III-C): resurrect a stored sheet as the current one.
+    pub fn open(stored: &StoredSheet) -> Spreadsheet {
+        Spreadsheet {
+            name: stored.relation.name().to_string(),
+            base: stored.relation.clone(),
+            state: stored.state.clone(),
+            cache: None,
+            fast_reorganize: true,
+            epoch: 0,
+            next_formula_id: 1,
+        }
+    }
+
+    /// The current evaluated `R` (selections and DE applied, computed
+    /// columns dropped) — the left operand every binary operator consumes.
+    fn evaluated_r(&self) -> Result<Relation> {
+        let derived = self.evaluate_now()?;
+        let mut r = derived.data;
+        for c in &self.state.computed {
+            r.drop_column(&c.name)?;
+        }
+        r.set_name(self.name.clone());
+        Ok(r)
+    }
+
+    fn enter_new_epoch(&mut self, new_base: Relation) -> Result<()> {
+        self.base = new_base;
+        self.state.consume_at_non_commutativity_point();
+        // State referencing columns that vanished (set ops keep schema;
+        // product/join only add) would fail evaluation — validate eagerly.
+        let cols: BTreeSet<String> = self
+            .base
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for c in self.state.referenced_columns() {
+            if !cols.contains(&c) && !self.state.is_computed(&c) {
+                return Err(SheetError::UnknownColumn { name: c });
+            }
+        }
+        self.epoch += 1;
+        self.invalidate_base();
+        Ok(())
+    }
+
+    /// × — Cartesian product with a stored sheet (Def. 7). Grouping,
+    /// ordering, computed definitions and projections of the *current*
+    /// sheet are retained and recompute over the product.
+    pub fn product(&mut self, stored: &StoredSheet) -> Result<()> {
+        let left = self.evaluated_r()?;
+        let combined = ops::product(&left, &stored.relation)?;
+        self.enter_new_epoch(combined)
+    }
+
+    /// ⋈ — join with a stored sheet on `condition` (Def. 10). The
+    /// condition may reference columns of both operands; clashing right
+    /// names are prefixed with the stored relation's name.
+    pub fn join(&mut self, stored: &StoredSheet, condition: Expr) -> Result<()> {
+        let left = self.evaluated_r()?;
+        // Validate the condition against the combined schema before
+        // running the join, so the user gets an immediate report
+        // (Sec. VI-A "any invalid condition is reported immediately").
+        let combined_schema = left.schema().product(stored.relation.schema(), stored.relation.name());
+        for c in condition.columns() {
+            if !combined_schema.contains(&c) {
+                return Err(SheetError::UnknownColumn { name: c });
+            }
+        }
+        let joined = ops::join(&left, &stored.relation, &condition)?;
+        self.enter_new_epoch(joined)
+    }
+
+    /// ∪ — multiset union with a stored sheet (Def. 8).
+    pub fn union(&mut self, stored: &StoredSheet) -> Result<()> {
+        let left = self.evaluated_r()?;
+        let unioned = ops::union_all(&left, &stored.relation).map_err(|e| match e {
+            ssa_relation::RelationError::NotUnionCompatible { left, right } => {
+                SheetError::NotCompatible { detail: format!("{left} vs {right}") }
+            }
+            other => other.into(),
+        })?;
+        self.enter_new_epoch(unioned)
+    }
+
+    /// − — multiset difference with a stored sheet (Def. 9):
+    /// `{t, t} − {t} = {t}`.
+    pub fn difference(&mut self, stored: &StoredSheet) -> Result<()> {
+        let left = self.evaluated_r()?;
+        let diffed = ops::difference(&left, &stored.relation).map_err(|e| match e {
+            ssa_relation::RelationError::NotUnionCompatible { left, right } => {
+                SheetError::NotCompatible { detail: format!("{left} vs {right}") }
+            }
+            other => other.into(),
+        })?;
+        self.enter_new_epoch(diffed)
+    }
+
+    // ------------------------------------------------------------------
+    // Query modification (Sec. V) — state-level edits
+    // ------------------------------------------------------------------
+
+    /// Replace the predicate of a retained selection ("change previous
+    /// condition of Year = 2005 to Year = 2006", Tables IV–V).
+    pub fn replace_selection(&mut self, id: u64, predicate: Expr) -> Result<()> {
+        for col in predicate.columns() {
+            self.assert_column_exists(&col)?;
+        }
+        if !self.state.replace_selection(id, predicate) {
+            return Err(SheetError::UnknownSelection { id });
+        }
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Delete a retained selection outright.
+    pub fn remove_selection(&mut self, id: u64) -> Result<()> {
+        self.state
+            .remove_selection(id)
+            .ok_or(SheetError::UnknownSelection { id })?;
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Remove an aggregate/FC column through query state (same dependency
+    /// rule as projection of a computed column).
+    pub fn remove_computed(&mut self, name: &str) -> Result<()> {
+        if !self.state.is_computed(name) {
+            return Err(SheetError::UnknownColumn { name: name.to_string() });
+        }
+        let dependents = self.state.dependents_of(name);
+        if !dependents.is_empty() {
+            return Err(SheetError::ColumnInUse { name: name.to_string(), dependents });
+        }
+        self.state.computed.retain(|c| c.name != name);
+        self.state.projected_out.remove(name);
+        self.invalidate();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+
+    fn fresh_column_name(&self, base: &str) -> String {
+        let exists = |n: &str| self.base.schema().contains(n) || self.state.is_computed(n);
+        if !exists(base) {
+            return base.to_string();
+        }
+        let mut i = 2;
+        loop {
+            let candidate = format!("{base}_{i}");
+            if !exists(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Restore from a raw snapshot (used by the history/undo machinery).
+    pub(crate) fn restore(&mut self, base: Relation, state: QueryState, epoch: u64) {
+        self.base = base;
+        self.state = state;
+        self.epoch = epoch;
+        self.invalidate_base();
+    }
+
+    /// Raw snapshot of the sheet's defining data (for undo).
+    pub(crate) fn snapshot(&self) -> (Relation, QueryState, u64) {
+        (self.base.clone(), self.state.clone(), self.epoch)
+    }
+
+    /// Crate-private mutable state access for the cascaded-modification
+    /// module; `view` re-validates against the content key afterwards.
+    pub(crate) fn state_mut_for_modify(&mut self) -> &mut QueryState {
+        &mut self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{dealers, used_cars};
+    use ssa_relation::Value;
+
+    fn sheet() -> Spreadsheet {
+        Spreadsheet::over(used_cars())
+    }
+
+    fn ids(s: &mut Spreadsheet) -> Vec<i64> {
+        s.view()
+            .unwrap()
+            .data
+            .column_values("ID")
+            .unwrap()
+            .into_iter()
+            .map(|v| match v {
+                Value::Int(i) => i,
+                other => panic!("unexpected {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn base_spreadsheet_shows_everything() {
+        let mut s = sheet();
+        assert_eq!(s.view().unwrap().len(), 9);
+        assert_eq!(s.visible().len(), 6);
+        assert_eq!(s.epoch(), 0);
+    }
+
+    #[test]
+    fn grouping_requires_strict_superset() {
+        let mut s = sheet();
+        s.group(&["Model"], Direction::Desc).unwrap();
+        // same set again: not a strict extension
+        assert!(matches!(
+            s.group(&["Model"], Direction::Asc),
+            Err(SheetError::NotASuperset { .. })
+        ));
+        // non-superset
+        assert!(matches!(
+            s.group(&["Year"], Direction::Asc),
+            Err(SheetError::NotASuperset { .. })
+        ));
+        // proper extension works
+        s.group(&["Model", "Year"], Direction::Asc).unwrap();
+        assert_eq!(s.state().spec.level_count(), 3);
+    }
+
+    #[test]
+    fn group_add_extends_innermost() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Desc).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        assert_eq!(s.state().spec.level_count(), 3);
+        assert!(s.state().spec.in_relative_basis("Year", 3));
+    }
+
+    #[test]
+    fn grouping_removes_attribute_from_finest_order() {
+        let mut s = sheet();
+        s.order("Condition", Direction::Asc, 1).unwrap();
+        s.order("Price", Direction::Asc, 1).unwrap();
+        assert_eq!(s.state().spec.finest_order.len(), 2);
+        s.group_add(&["Condition"], Direction::Asc).unwrap();
+        // Condition moved into grouping; Price stays an order key.
+        assert_eq!(s.state().spec.finest_order.len(), 1);
+        assert_eq!(s.state().spec.finest_order[0].attribute, "Price");
+    }
+
+    #[test]
+    fn table_ii_grouping_by_condition() {
+        // Example 1: from Table I's arrangement, group additionally by
+        // Condition ASC → Table II.
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Desc).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        s.order("Price", Direction::Asc, 3).unwrap();
+        s.group(&["Year", "Model", "Condition"], Direction::Asc).unwrap();
+        assert_eq!(
+            ids(&mut s),
+            vec![872, 901, 304, 723, 725, 423, 132, 879, 322]
+        );
+    }
+
+    #[test]
+    fn ordering_case2_flips_group_direction() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Desc).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        // Year is the relative basis of level 3; ordering level 2 by Year
+        // flips those groups.
+        s.order("Year", Direction::Desc, 2).unwrap();
+        assert_eq!(s.state().spec.levels[1].direction, Direction::Desc);
+        assert_eq!(s.state().spec.level_count(), 3);
+        let first_ids = ids(&mut s);
+        // Jetta 2006 cars come before Jetta 2005 now.
+        assert_eq!(first_ids[0], 423);
+    }
+
+    #[test]
+    fn ordering_case1_destroys_deeper_levels() {
+        // Example 2: ordering level-2 groups by Mileage destroys level 3.
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Desc).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        s.order("Mileage", Direction::Asc, 2).unwrap();
+        assert_eq!(s.state().spec.level_count(), 2);
+        assert_eq!(s.state().spec.finest_order[0].attribute, "Mileage");
+    }
+
+    #[test]
+    fn ordering_case1_refused_with_dependent_aggregates() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Desc).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        s.aggregate(AggFunc::Avg, "Price", 3).unwrap();
+        let err = s.order("Mileage", Direction::Asc, 2).unwrap_err();
+        assert!(matches!(err, SheetError::GroupingInUse { level: 2, .. }));
+        // project the aggregate out, then it works
+        s.project_out("Avg_Price").unwrap();
+        s.order("Mileage", Direction::Asc, 2).unwrap();
+    }
+
+    #[test]
+    fn ordering_case3_append_update_noop() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Asc).unwrap();
+        s.order("Price", Direction::Asc, 2).unwrap();
+        s.order("Mileage", Direction::Desc, 2).unwrap();
+        assert_eq!(s.state().spec.finest_order.len(), 2);
+        // update in place
+        s.order("Price", Direction::Desc, 2).unwrap();
+        assert_eq!(s.state().spec.finest_order[0].direction, Direction::Desc);
+        assert_eq!(s.state().spec.finest_order.len(), 2);
+        // ordering by a grouping attribute at the finest level: no-op
+        s.order("Model", Direction::Desc, 2).unwrap();
+        assert_eq!(s.state().spec.finest_order.len(), 2);
+    }
+
+    #[test]
+    fn ordering_level_bounds_checked() {
+        let mut s = sheet();
+        assert!(matches!(
+            s.order("Price", Direction::Asc, 2),
+            Err(SheetError::NoSuchLevel { .. })
+        ));
+        assert!(matches!(
+            s.order("Price", Direction::Asc, 0),
+            Err(SheetError::NoSuchLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn selection_and_modification_tables_iv_v() {
+        // Sam: Year = 2005, Model = Jetta, Mileage < 80000; grouped by
+        // Condition, ordered by Price ASC → Table IV. Then modify the Year
+        // predicate to 2006 → Table V.
+        let mut s = sheet();
+        let year_id = s.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+        s.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+        s.select(Expr::col("Mileage").lt(Expr::lit(80000))).unwrap();
+        s.group_add(&["Condition"], Direction::Asc).unwrap();
+        s.order("Price", Direction::Asc, 2).unwrap();
+        assert_eq!(ids(&mut s), vec![872, 901, 304]);
+        s.replace_selection(year_id, Expr::col("Year").eq(Expr::lit(2006)))
+            .unwrap();
+        assert_eq!(ids(&mut s), vec![723, 725, 423]);
+    }
+
+    #[test]
+    fn selections_listed_per_column() {
+        let mut s = sheet();
+        s.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+        s.select(Expr::col("Price").lt(Expr::lit(16000))).unwrap();
+        assert_eq!(s.state().selections_on("Year").len(), 1);
+        assert_eq!(s.state().selections_on("Price").len(), 1);
+        assert_eq!(s.state().selections_on("Model").len(), 0);
+    }
+
+    #[test]
+    fn remove_selection_restores_rows() {
+        let mut s = sheet();
+        let id = s.select(Expr::col("Model").eq(Expr::lit("Civic"))).unwrap();
+        assert_eq!(s.view().unwrap().len(), 3);
+        s.remove_selection(id).unwrap();
+        assert_eq!(s.view().unwrap().len(), 9);
+        assert!(matches!(
+            s.remove_selection(id),
+            Err(SheetError::UnknownSelection { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_hides_and_reinstates_base_columns() {
+        let mut s = sheet();
+        s.project_out("Mileage").unwrap();
+        assert!(!s.visible().contains(&"Mileage".to_string()));
+        // double projection is an error surfaced to the UI
+        assert!(matches!(
+            s.project_out("Mileage"),
+            Err(SheetError::ColumnHidden { .. })
+        ));
+        s.reinstate("Mileage").unwrap();
+        assert!(s.visible().contains(&"Mileage".to_string()));
+        assert!(s.reinstate("Mileage").is_err());
+    }
+
+    #[test]
+    fn projection_of_computed_column_removes_definition() {
+        let mut s = sheet();
+        let name = s.aggregate(AggFunc::Avg, "Price", 1).unwrap();
+        assert_eq!(name, "Avg_Price");
+        s.project_out(&name).unwrap();
+        assert!(!s.state().is_computed(&name));
+        // name can be reused afterwards
+        let name2 = s.aggregate(AggFunc::Avg, "Price", 1).unwrap();
+        assert_eq!(name2, "Avg_Price");
+    }
+
+    #[test]
+    fn computed_column_with_dependents_cannot_be_removed() {
+        let mut s = sheet();
+        let avg = s.aggregate(AggFunc::Avg, "Price", 1).unwrap();
+        s.select(Expr::col("Price").lt(Expr::col(&avg))).unwrap();
+        assert!(matches!(
+            s.project_out(&avg),
+            Err(SheetError::ColumnInUse { .. })
+        ));
+        assert!(matches!(
+            s.remove_computed(&avg),
+            Err(SheetError::ColumnInUse { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_names_uniquified() {
+        let mut s = sheet();
+        assert_eq!(s.aggregate(AggFunc::Avg, "Price", 1).unwrap(), "Avg_Price");
+        assert_eq!(
+            s.aggregate(AggFunc::Avg, "Price", 1).unwrap(),
+            "Avg_Price_2"
+        );
+    }
+
+    #[test]
+    fn aggregate_rejects_non_numeric_and_bad_level() {
+        let mut s = sheet();
+        assert!(matches!(
+            s.aggregate(AggFunc::Avg, "Model", 1),
+            Err(SheetError::NonNumericAggregate { .. })
+        ));
+        assert!(matches!(
+            s.aggregate(AggFunc::Avg, "Price", 2),
+            Err(SheetError::NoSuchLevel { .. })
+        ));
+        // COUNT/MIN/MAX on strings are fine
+        s.aggregate(AggFunc::Max, "Model", 1).unwrap();
+    }
+
+    #[test]
+    fn formula_names_and_validation() {
+        let mut s = sheet();
+        let n1 = s
+            .formula(None, Expr::col("Price").div(Expr::lit(1000)))
+            .unwrap();
+        assert_eq!(n1, "F1");
+        let n2 = s
+            .formula(Some("PriceK"), Expr::col("Price").div(Expr::lit(1000)))
+            .unwrap();
+        assert_eq!(n2, "PriceK");
+        assert!(matches!(
+            s.formula(Some("Price"), Expr::lit(1)),
+            Err(SheetError::DuplicateColumn { .. })
+        ));
+        assert!(s.formula(None, Expr::col("Ghost")).is_err());
+    }
+
+    #[test]
+    fn dedup_is_idempotent() {
+        let mut s = sheet();
+        s.project_out("ID").unwrap();
+        s.dedup().unwrap();
+        s.dedup().unwrap();
+        // IDs are unique so R-tuples are all distinct: 9 rows remain.
+        assert_eq!(s.view().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn rename_flows_through_state_and_data() {
+        let mut s = sheet();
+        s.select(Expr::col("Price").lt(Expr::lit(16000))).unwrap();
+        s.aggregate(AggFunc::Avg, "Price", 1).unwrap();
+        s.rename("Price", "Cost").unwrap();
+        assert!(s.visible().contains(&"Cost".to_string()));
+        assert_eq!(s.view().unwrap().len(), 4);
+        // renaming to an existing name is rejected
+        assert!(s.rename("Cost", "Year").is_err());
+        assert!(s.rename("Ghost", "X").is_err());
+        // rename a computed column (its generated name predates the
+        // Price→Cost rename, so it is still Avg_Price)
+        s.rename("Avg_Price", "AvgCost").unwrap();
+        assert!(s.state().is_computed("AvgCost"));
+    }
+
+    #[test]
+    fn save_open_round_trip() {
+        let mut s = sheet();
+        s.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        s.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+        let stored = s.save("jettas").unwrap();
+        assert_eq!(stored.relation.len(), 6);
+        // computed column not materialized in stored data
+        assert!(!stored.relation.schema().contains("Avg_Price"));
+        // but its definition survives re-opening
+        let mut reopened = Spreadsheet::open(&stored);
+        let d = reopened.view().unwrap();
+        assert!(d.data.schema().contains("Avg_Price"));
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn stored_sheet_json_round_trip() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Asc).unwrap();
+        let stored = s.save("snapshot").unwrap();
+        let json = stored.to_json().unwrap();
+        let back = StoredSheet::from_json(&json).unwrap();
+        assert_eq!(stored, back);
+        assert!(StoredSheet::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn product_enters_new_epoch_and_keeps_presentation() {
+        let mut s = sheet();
+        s.select(Expr::col("Model").eq(Expr::lit("Civic"))).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        let dealers_sheet = Spreadsheet::over(dealers()).save("dealers").unwrap();
+        s.product(&dealers_sheet).unwrap();
+        assert_eq!(s.epoch(), 1);
+        // selections consumed: 3 Civics × 3 dealers = 9 rows
+        assert_eq!(s.view().unwrap().len(), 9);
+        assert!(s.state().selections.is_empty());
+        // grouping retained
+        assert_eq!(s.state().spec.level_count(), 2);
+        // clashing Model column prefixed
+        assert!(s.view().unwrap().data.schema().contains("dealers.Model"));
+    }
+
+    #[test]
+    fn join_validates_condition_eagerly() {
+        let mut s = sheet();
+        let stored = Spreadsheet::over(dealers()).save("dealers").unwrap();
+        let err = s
+            .join(&stored, Expr::col("Ghost").eq(Expr::col("Model")))
+            .unwrap_err();
+        assert!(matches!(err, SheetError::UnknownColumn { .. }));
+        assert_eq!(s.epoch(), 0, "failed join must not change the sheet");
+        s.join(&stored, Expr::col("Model").eq(Expr::col("dealers.Model")))
+            .unwrap();
+        // Jetta matches 1 dealer row, Civic matches 2: 6×1? No — Jetta rows
+        // (6) × 1 match + Civic rows (3) × 2 matches = 12.
+        assert_eq!(s.view().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn union_and_difference_multiset_semantics() {
+        let mut jettas = sheet();
+        jettas.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+        let stored_jettas = jettas.save("jettas").unwrap();
+
+        let mut all = sheet();
+        all.difference(&stored_jettas).unwrap();
+        assert_eq!(all.view().unwrap().len(), 3); // the Civics
+
+        let mut again = sheet();
+        again.union(&stored_jettas).unwrap();
+        assert_eq!(again.view().unwrap().len(), 15); // 9 + 6, duplicates kept
+
+        // incompatible sheets refuse
+        let stored_dealers = Spreadsheet::over(dealers()).save("dealers").unwrap();
+        let mut s = sheet();
+        assert!(matches!(
+            s.union(&stored_dealers),
+            Err(SheetError::NotCompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn computed_columns_recompute_over_union_result() {
+        // Def. 8: computed attributes are retained and recomputed based on
+        // the new set membership.
+        let mut civics = sheet();
+        civics.select(Expr::col("Model").eq(Expr::lit("Civic"))).unwrap();
+        let stored = civics.save("civics").unwrap();
+
+        let mut s = sheet();
+        s.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+        s.aggregate(AggFunc::Count, "ID", 1).unwrap();
+        {
+            let d = s.view().unwrap();
+            assert_eq!(d.data.value_at(0, "Count_ID").unwrap(), &Value::Int(6));
+        }
+        s.union(&stored).unwrap();
+        let d = s.view().unwrap();
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.data.value_at(0, "Count_ID").unwrap(), &Value::Int(9));
+    }
+
+    #[test]
+    fn regroup_and_ungroup_guarded_by_aggregates() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Asc).unwrap();
+        s.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+        assert!(matches!(
+            s.regroup(&["Year"], Direction::Asc),
+            Err(SheetError::GroupingInUse { .. })
+        ));
+        assert!(matches!(s.ungroup(), Err(SheetError::GroupingInUse { .. })));
+        s.project_out("Avg_Price").unwrap();
+        s.regroup(&["Year"], Direction::Asc).unwrap();
+        assert!(s.state().spec.in_relative_basis("Year", 2));
+        s.ungroup().unwrap();
+        assert_eq!(s.state().spec.level_count(), 1);
+    }
+
+    #[test]
+    fn level_one_aggregate_survives_regroup() {
+        let mut s = sheet();
+        s.aggregate(AggFunc::Max, "Price", 1).unwrap();
+        // level-1 aggregates don't depend on grouping
+        s.group_add(&["Model"], Direction::Asc).unwrap();
+        s.ungroup().unwrap();
+        assert!(s.state().is_computed("Max_Price"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Grouping and ordering specifications — the `G` and `O` of
+//! `S = (R, C, G, O)` (Def. 1).
+//!
+//! `G` is a list of grouping levels. The paper numbers levels from the
+//! outermost: level 1 is the spreadsheet itself (grouped by NULL,
+//! `g_1 = {NULL}`), and each further level's basis is a superset of the
+//! previous. We store each level's *relative* basis (the newly added
+//! attributes, `g_{i+1} − g_i`) together with the direction in which its
+//! groups are ordered inside their parent — that direction is the paper's
+//! `o_i` for `i < |O|`.
+//!
+//! `O`'s final element — the ordering of tuples inside the finest groups —
+//! is [`Spec::finest_order`], a list of (attribute, direction) pairs over
+//! attributes not in any grouping basis.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    Asc,
+    Desc,
+}
+
+impl Direction {
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        }
+    }
+
+    pub fn apply(self, ord: std::cmp::Ordering) -> std::cmp::Ordering {
+        match self {
+            Direction::Asc => ord,
+            Direction::Desc => ord.reverse(),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Asc => "ASC",
+            Direction::Desc => "DESC",
+        })
+    }
+}
+
+/// One non-root grouping level: the attributes newly added at this level
+/// (the *relative grouping basis*) and the direction its groups are
+/// ordered by inside the parent group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupLevel {
+    /// Relative basis, kept sorted for canonical comparison; grouping is
+    /// on the *set* of attributes (Def. 3's grouping-basis is a set).
+    pub basis: Vec<String>,
+    /// Order of this level's groups within their parent (`o_i`).
+    pub direction: Direction,
+}
+
+impl GroupLevel {
+    pub fn new(basis: impl IntoIterator<Item = impl Into<String>>, direction: Direction) -> GroupLevel {
+        let mut basis: Vec<String> = basis.into_iter().map(Into::into).collect();
+        basis.sort();
+        basis.dedup();
+        GroupLevel { basis, direction }
+    }
+}
+
+/// One finest-level ordering key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderKey {
+    pub attribute: String,
+    pub direction: Direction,
+}
+
+impl OrderKey {
+    pub fn new(attribute: impl Into<String>, direction: Direction) -> OrderKey {
+        OrderKey { attribute: attribute.into(), direction }
+    }
+
+    pub fn asc(attribute: impl Into<String>) -> OrderKey {
+        OrderKey::new(attribute, Direction::Asc)
+    }
+
+    pub fn desc(attribute: impl Into<String>) -> OrderKey {
+        OrderKey::new(attribute, Direction::Desc)
+    }
+}
+
+/// The complete grouping/ordering specification of a spreadsheet.
+///
+/// `levels` excludes the root (`g_1 = {NULL}`): an empty `levels` means
+/// the sheet is grouped by NULL only. Paper level numbers are therefore
+/// `levels.len() + 1` deep; [`Spec::level_count`] returns that number, and
+/// level parameters across the crate use the paper's 1-based numbering
+/// (level 1 = whole sheet).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Spec {
+    pub levels: Vec<GroupLevel>,
+    pub finest_order: Vec<OrderKey>,
+}
+
+impl Spec {
+    /// Ungrouped, unordered spec — the base spreadsheet's `G^0`, `O^0`
+    /// (Def. 2).
+    pub fn empty() -> Spec {
+        Spec::default()
+    }
+
+    /// Total number of group levels in the paper's numbering, counting the
+    /// root: an ungrouped sheet has 1 level.
+    pub fn level_count(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// The *absolute* grouping basis of a (1-based) level: the union of
+    /// relative bases of levels 2..=level. Level 1 has an empty basis
+    /// (`{NULL}`).
+    pub fn absolute_basis(&self, level: usize) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for l in self.levels.iter().take(level.saturating_sub(1)) {
+            out.extend(l.basis.iter().cloned());
+        }
+        out
+    }
+
+    /// All attributes appearing in any grouping basis.
+    pub fn all_grouping_attributes(&self) -> BTreeSet<String> {
+        self.absolute_basis(self.level_count())
+    }
+
+    /// Whether `attribute` is part of the relative basis of `level`
+    /// (1-based; level 1 never has one).
+    pub fn in_relative_basis(&self, attribute: &str, level: usize) -> bool {
+        level >= 2
+            && self
+                .levels
+                .get(level - 2)
+                .is_some_and(|l| l.basis.iter().any(|a| a == attribute))
+    }
+
+    /// Attributes ordering the groups *at* the given level inside their
+    /// parents — the relative basis of that level (levels ≥ 2).
+    pub fn group_order_attributes(&self, level: usize) -> Vec<String> {
+        if level >= 2 {
+            self.levels
+                .get(level - 2)
+                .map(|l| l.basis.clone())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Truncate grouping to `level` levels (destroying deeper levels), as
+    /// ordering does in Def. 4 case 1. Finest-order keys are cleared by the
+    /// caller as required.
+    pub fn truncate_levels(&mut self, level: usize) {
+        let keep = level.saturating_sub(1);
+        self.levels.truncate(keep);
+    }
+
+    /// Drop a newly-grouped attribute from the finest ordering list
+    /// (Def. 3: `o_L = L − grouping-basis`).
+    pub fn subtract_from_finest_order(&mut self, basis: &[String]) {
+        self.finest_order
+            .retain(|k| !basis.iter().any(|b| b == &k.attribute));
+    }
+
+    /// Every attribute the spec references (grouping bases + order keys),
+    /// used for dependency checks when columns are removed or renamed.
+    pub fn referenced_attributes(&self) -> BTreeSet<String> {
+        let mut out = self.all_grouping_attributes();
+        out.extend(self.finest_order.iter().map(|k| k.attribute.clone()));
+        out
+    }
+
+    /// Rename an attribute everywhere in the spec.
+    pub fn rename_attribute(&mut self, from: &str, to: &str) {
+        for l in &mut self.levels {
+            for a in &mut l.basis {
+                if a == from {
+                    *a = to.to_string();
+                }
+            }
+            l.basis.sort();
+        }
+        for k in &mut self.finest_order {
+            if k.attribute == from {
+                k.attribute = to.to_string();
+            }
+        }
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group by [")?;
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{{{}}} {}", l.basis.join(", "), l.direction)?;
+        }
+        write!(f, "], order by [")?;
+        for (i, k) in self.finest_order.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", k.attribute, k.direction)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_spec() -> Spec {
+        // Cars grouped by Model (DESC) then Year (ASC), ordered by Price
+        // ASC in the finest groups — the running example before Table II.
+        Spec {
+            levels: vec![
+                GroupLevel::new(["Model"], Direction::Desc),
+                GroupLevel::new(["Year"], Direction::Asc),
+            ],
+            finest_order: vec![OrderKey::asc("Price")],
+        }
+    }
+
+    #[test]
+    fn level_count_includes_root() {
+        assert_eq!(Spec::empty().level_count(), 1);
+        assert_eq!(paper_spec().level_count(), 3);
+    }
+
+    #[test]
+    fn absolute_basis_accumulates() {
+        let s = paper_spec();
+        assert!(s.absolute_basis(1).is_empty());
+        assert_eq!(
+            s.absolute_basis(2).into_iter().collect::<Vec<_>>(),
+            vec!["Model".to_string()]
+        );
+        assert_eq!(
+            s.absolute_basis(3).into_iter().collect::<Vec<_>>(),
+            vec!["Model".to_string(), "Year".into()]
+        );
+    }
+
+    #[test]
+    fn relative_basis_membership() {
+        let s = paper_spec();
+        assert!(s.in_relative_basis("Model", 2));
+        assert!(!s.in_relative_basis("Model", 3));
+        assert!(s.in_relative_basis("Year", 3));
+        assert!(!s.in_relative_basis("Price", 3));
+        assert!(!s.in_relative_basis("Model", 1));
+    }
+
+    #[test]
+    fn group_order_attributes_are_relative_basis() {
+        let s = paper_spec();
+        assert!(s.group_order_attributes(1).is_empty());
+        assert_eq!(s.group_order_attributes(2), vec!["Model".to_string()]);
+        assert_eq!(s.group_order_attributes(3), vec!["Year".to_string()]);
+    }
+
+    #[test]
+    fn truncate_destroys_deeper_levels() {
+        let mut s = paper_spec();
+        s.truncate_levels(2);
+        assert_eq!(s.level_count(), 2);
+        assert_eq!(s.levels[0].basis, vec!["Model".to_string()]);
+        s.truncate_levels(1);
+        assert_eq!(s.level_count(), 1);
+    }
+
+    #[test]
+    fn subtract_from_finest_order_is_list_subtraction() {
+        let mut s = paper_spec();
+        s.subtract_from_finest_order(&["Price".to_string(), "Condition".into()]);
+        assert!(s.finest_order.is_empty());
+        let mut s = paper_spec();
+        s.subtract_from_finest_order(&["Condition".to_string()]);
+        assert_eq!(s.finest_order.len(), 1);
+    }
+
+    #[test]
+    fn group_level_basis_is_canonical_set() {
+        let l = GroupLevel::new(["b", "a", "b"], Direction::Asc);
+        assert_eq!(l.basis, vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn rename_attribute_touches_everything() {
+        let mut s = paper_spec();
+        s.rename_attribute("Model", "Make");
+        s.rename_attribute("Price", "Cost");
+        assert!(s.in_relative_basis("Make", 2));
+        assert_eq!(s.finest_order[0].attribute, "Cost");
+    }
+
+    #[test]
+    fn referenced_attributes_union() {
+        let s = paper_spec();
+        let refs = s.referenced_attributes();
+        assert_eq!(
+            refs.into_iter().collect::<Vec<_>>(),
+            vec!["Model".to_string(), "Price".into(), "Year".into()]
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = paper_spec();
+        let text = s.to_string();
+        assert!(text.contains("{Model} DESC"));
+        assert!(text.contains("Price ASC"));
+    }
+
+    #[test]
+    fn direction_flip_and_apply() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Direction::Asc.flip(), Direction::Desc);
+        assert_eq!(Direction::Asc.apply(Less), Less);
+        assert_eq!(Direction::Desc.apply(Less), Greater);
+        assert_eq!(Direction::Desc.apply(Equal), Equal);
+    }
+}

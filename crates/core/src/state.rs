@@ -1,0 +1,337 @@
+//! Modifiable query state (Sec. V-A).
+//!
+//! "Notice that we did not store the query state as an ordered list of
+//! manipulations, but rather as individual operators associated with
+//! objects they affected." Selections are attached to the columns their
+//! predicates reference; projections are a set of removed columns;
+//! aggregates and formulas live with their computed columns; grouping and
+//! ordering are the retained [`Spec`]. Because the unary operators commute
+//! (Theorem 2), this unordered state determines the spreadsheet content —
+//! and editing it is equivalent to rewriting history (Theorem 3).
+
+use crate::computed::{ComputedColumn, ComputedDef};
+use crate::spec::Spec;
+use serde::{Deserialize, Serialize};
+use ssa_relation::Expr;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A retained selection predicate with a stable identity, so the interface
+/// can offer "replace or delete the predicate you applied earlier"
+/// (Sec. V-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionEntry {
+    pub id: u64,
+    pub predicate: Expr,
+}
+
+impl fmt::Display for SelectionEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}: {}", self.id, self.predicate)
+    }
+}
+
+/// The full query state of one spreadsheet since the last point of
+/// non-commutativity.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryState {
+    /// Retained selection predicates (conjunctive: a tuple must satisfy
+    /// all of them).
+    pub selections: Vec<SelectionEntry>,
+    /// Computed columns (aggregation and FC), in creation order — creation
+    /// order is also display order for the extra columns.
+    pub computed: Vec<ComputedColumn>,
+    /// Columns currently projected out (hidden). Projection never removes
+    /// data from `R` (Def. 6 changes only `C`), so these can be reinstated.
+    pub projected_out: BTreeSet<String>,
+    /// Whether duplicate elimination is in force. DE removes duplicate
+    /// `R`-tuples; computed columns are functions of `R`-tuples and so
+    /// never distinguish duplicates.
+    pub dedup: bool,
+    /// Grouping and ordering (`G`, `O`).
+    pub spec: Spec,
+    next_selection_id: u64,
+}
+
+impl QueryState {
+    pub fn new() -> QueryState {
+        QueryState::default()
+    }
+
+    /// Record a new selection, returning its id.
+    pub fn add_selection(&mut self, predicate: Expr) -> u64 {
+        let id = self.next_selection_id;
+        self.next_selection_id += 1;
+        self.selections.push(SelectionEntry { id, predicate });
+        id
+    }
+
+    pub fn selection(&self, id: u64) -> Option<&SelectionEntry> {
+        self.selections.iter().find(|s| s.id == id)
+    }
+
+    pub fn remove_selection(&mut self, id: u64) -> Option<SelectionEntry> {
+        let idx = self.selections.iter().position(|s| s.id == id)?;
+        Some(self.selections.remove(idx))
+    }
+
+    pub fn replace_selection(&mut self, id: u64, predicate: Expr) -> bool {
+        match self.selections.iter_mut().find(|s| s.id == id) {
+            Some(entry) => {
+                entry.predicate = predicate;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Selection predicates that reference `column` — what the interface
+    /// shows when the user begins to specify a selection on that column
+    /// (Sec. V-B: "the user is given a list of selection predicates
+    /// currently applied to that column").
+    pub fn selections_on(&self, column: &str) -> Vec<&SelectionEntry> {
+        self.selections
+            .iter()
+            .filter(|s| s.predicate.columns().contains(column))
+            .collect()
+    }
+
+    pub fn computed_column(&self, name: &str) -> Option<&ComputedColumn> {
+        self.computed.iter().find(|c| c.name == name)
+    }
+
+    pub fn is_computed(&self, name: &str) -> bool {
+        self.computed_column(name).is_some()
+    }
+
+    /// Names of aggregates defined at grouping levels deeper than
+    /// `level` — the aggregates that would be invalidated if levels >
+    /// `level` were destroyed.
+    pub fn aggregates_below_level(&self, level: usize) -> Vec<String> {
+        self.computed
+            .iter()
+            .filter(|c| matches!(&c.def, ComputedDef::Aggregate { level: l, .. } if *l > level))
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    /// Everything in the state that *requires* `column`: selections whose
+    /// predicates mention it, computed definitions that read it, grouping
+    /// bases and ordering keys that use it. Used to enforce "if a column
+    /// that serves dependencies needs to be removed, all dependent columns
+    /// must be removed first" (Sec. V-B).
+    pub fn dependents_of(&self, column: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.selections {
+            if s.predicate.columns().contains(column) {
+                out.push(format!("selection #{}", s.id));
+            }
+        }
+        for c in &self.computed {
+            if c.def.dependencies().contains(column) {
+                out.push(format!("computed column {}", c.name));
+            }
+        }
+        if self.spec.all_grouping_attributes().contains(column) {
+            out.push("grouping".to_string());
+        }
+        if self
+            .spec
+            .finest_order
+            .iter()
+            .any(|k| k.attribute == column)
+        {
+            out.push("ordering".to_string());
+        }
+        out
+    }
+
+    /// All columns referenced anywhere in the state (for validation after
+    /// binary operators change the schema).
+    pub fn referenced_columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for s in &self.selections {
+            out.extend(s.predicate.columns());
+        }
+        for c in &self.computed {
+            out.extend(c.def.dependencies());
+        }
+        out.extend(self.spec.referenced_attributes());
+        out
+    }
+
+    /// Rename a column across the entire state (housekeeping Rename).
+    pub fn rename_column(&mut self, from: &str, to: &str) {
+        for s in &mut self.selections {
+            s.predicate = s
+                .predicate
+                .map_columns(&|c| if c == from { to.to_string() } else { c.to_string() });
+        }
+        for c in &mut self.computed {
+            if c.name == from {
+                c.name = to.to_string();
+            }
+            c.def.rename_column(from, to);
+        }
+        if self.projected_out.remove(from) {
+            self.projected_out.insert(to.to_string());
+        }
+        self.spec.rename_attribute(from, to);
+    }
+
+    /// Clear the parts of the state that a binary operator *consumes*:
+    /// selections and duplicate elimination are baked into the new base
+    /// data and can no longer be rewritten ("we cannot go back beyond",
+    /// Sec. V-A). Computed definitions, projections, grouping and ordering
+    /// survive and keep auto-updating over the product/union result.
+    pub fn consume_at_non_commutativity_point(&mut self) {
+        self.selections.clear();
+        self.dedup = false;
+    }
+
+    /// A human-readable listing of the whole state (the "History"-menu
+    /// view of what is in force now).
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.selections {
+            out.push(format!("selection {s}"));
+        }
+        for c in &self.computed {
+            out.push(format!("computed {} = {}", c.name, c.def));
+        }
+        for p in &self.projected_out {
+            out.push(format!("projected out {p}"));
+        }
+        if self.dedup {
+            out.push("duplicate elimination".to_string());
+        }
+        if self.spec != Spec::empty() {
+            out.push(self.spec.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Direction, GroupLevel, OrderKey};
+    use ssa_relation::AggFunc;
+
+    fn sample() -> QueryState {
+        let mut st = QueryState::new();
+        st.add_selection(Expr::col("Year").eq(Expr::lit(2005)));
+        st.add_selection(Expr::col("Price").lt(Expr::col("Avg_Price")));
+        st.computed.push(ComputedColumn::aggregate(
+            "Avg_Price",
+            AggFunc::Avg,
+            "Price",
+            2,
+            vec!["Model".into()],
+        ));
+        st.projected_out.insert("Mileage".into());
+        st.spec.levels.push(GroupLevel::new(["Model"], Direction::Asc));
+        st.spec.finest_order.push(OrderKey::asc("Price"));
+        st
+    }
+
+    #[test]
+    fn selection_ids_are_stable_and_unique() {
+        let mut st = QueryState::new();
+        let a = st.add_selection(Expr::col("x").gt(Expr::lit(1)));
+        let b = st.add_selection(Expr::col("y").gt(Expr::lit(2)));
+        assert_ne!(a, b);
+        st.remove_selection(a).unwrap();
+        let c = st.add_selection(Expr::col("z").gt(Expr::lit(3)));
+        assert_ne!(b, c);
+        assert!(st.selection(a).is_none());
+        assert!(st.selection(c).is_some());
+    }
+
+    #[test]
+    fn selections_on_column() {
+        let st = sample();
+        assert_eq!(st.selections_on("Year").len(), 1);
+        assert_eq!(st.selections_on("Price").len(), 1);
+        assert_eq!(st.selections_on("Avg_Price").len(), 1);
+        assert!(st.selections_on("Model").is_empty());
+    }
+
+    #[test]
+    fn replace_selection_in_place() {
+        let mut st = sample();
+        let id = st.selections[0].id;
+        assert!(st.replace_selection(id, Expr::col("Year").eq(Expr::lit(2006))));
+        assert_eq!(
+            st.selection(id).unwrap().predicate,
+            Expr::col("Year").eq(Expr::lit(2006))
+        );
+        assert!(!st.replace_selection(999, Expr::lit(true)));
+    }
+
+    #[test]
+    fn dependents_cover_all_object_kinds() {
+        let st = sample();
+        let deps = st.dependents_of("Price");
+        assert!(deps.iter().any(|d| d.contains("selection")));
+        assert!(deps.iter().any(|d| d.contains("Avg_Price")));
+        assert!(deps.iter().any(|d| d == "ordering"));
+        let deps = st.dependents_of("Model");
+        assert!(deps.iter().any(|d| d == "grouping"));
+        let deps = st.dependents_of("Avg_Price");
+        assert_eq!(deps.len(), 1); // only the second selection
+    }
+
+    #[test]
+    fn aggregates_below_level() {
+        let st = sample();
+        assert_eq!(st.aggregates_below_level(1), vec!["Avg_Price".to_string()]);
+        assert!(st.aggregates_below_level(2).is_empty());
+    }
+
+    #[test]
+    fn rename_column_rewrites_everything() {
+        let mut st = sample();
+        st.rename_column("Price", "Cost");
+        assert!(st.selections_on("Cost").len() == 1);
+        assert!(st.computed[0].def.dependencies().contains("Cost"));
+        assert_eq!(st.spec.finest_order[0].attribute, "Cost");
+        st.rename_column("Mileage", "Miles");
+        assert!(st.projected_out.contains("Miles"));
+        st.rename_column("Avg_Price", "AvgCost");
+        assert!(st.is_computed("AvgCost"));
+        assert_eq!(st.selections_on("AvgCost").len(), 1);
+    }
+
+    #[test]
+    fn consume_keeps_computed_and_spec() {
+        let mut st = sample();
+        st.dedup = true;
+        st.consume_at_non_commutativity_point();
+        assert!(st.selections.is_empty());
+        assert!(!st.dedup);
+        assert_eq!(st.computed.len(), 1);
+        assert_eq!(st.spec.level_count(), 2);
+        assert!(st.projected_out.contains("Mileage"));
+    }
+
+    #[test]
+    fn referenced_columns_union() {
+        let st = sample();
+        let refs = st.referenced_columns();
+        for c in ["Year", "Price", "Avg_Price", "Model"] {
+            assert!(refs.contains(c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn describe_lists_state() {
+        let mut st = sample();
+        st.dedup = true;
+        let d = st.describe();
+        assert!(d.iter().any(|l| l.contains("selection")));
+        assert!(d.iter().any(|l| l.contains("Avg_Price")));
+        assert!(d.iter().any(|l| l.contains("projected out Mileage")));
+        assert!(d.iter().any(|l| l.contains("duplicate elimination")));
+    }
+}

@@ -1,0 +1,264 @@
+//! The recursively grouped multiset, materialized: a tree of groups over
+//! the rows of an evaluated spreadsheet.
+//!
+//! "A recursively grouped set of tuples is a set of tuples with grouping
+//! information... Each level of group is a relational group" (Sec. II-A).
+//! The root is the spreadsheet itself (level 1, grouped by NULL); each
+//! deeper level splits its parent on that level's relative grouping basis.
+
+use ssa_relation::{Relation, Value};
+use std::fmt;
+
+/// One group node. The root has an empty `key`; every other node's `key`
+/// holds the (attribute, value) pairs of its level's relative basis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupNode {
+    /// 1-based level in the paper's numbering (root = 1).
+    pub level: usize,
+    /// Relative-basis values identifying this group within its parent.
+    pub key: Vec<(String, Value)>,
+    /// Sub-groups (empty at the finest level).
+    pub children: Vec<GroupNode>,
+    /// Indices (into the evaluated relation's rows) of every tuple in
+    /// this group, in presentation order.
+    pub rows: Vec<usize>,
+}
+
+impl GroupNode {
+    /// Number of tuples in the group.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Depth-first traversal of this subtree (self included).
+    pub fn walk<'a>(&'a self, out: &mut Vec<&'a GroupNode>) {
+        out.push(self);
+        for c in &self.children {
+            c.walk(out);
+        }
+    }
+}
+
+/// The materialized grouping of an evaluated spreadsheet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupTree {
+    pub root: GroupNode,
+}
+
+impl GroupTree {
+    /// A flat tree over `n` rows (grouped by NULL only).
+    pub fn flat(n: usize) -> GroupTree {
+        GroupTree {
+            root: GroupNode {
+                level: 1,
+                key: Vec::new(),
+                children: Vec::new(),
+                rows: (0..n).collect(),
+            },
+        }
+    }
+
+    /// All groups at a given (1-based) level, in presentation order.
+    pub fn groups_at_level(&self, level: usize) -> Vec<&GroupNode> {
+        let mut all = Vec::new();
+        self.root.walk(&mut all);
+        all.into_iter().filter(|g| g.level == level).collect()
+    }
+
+    /// The deepest level present.
+    pub fn depth(&self) -> usize {
+        let mut all = Vec::new();
+        self.root.walk(&mut all);
+        all.into_iter().map(|g| g.level).max().unwrap_or(1)
+    }
+
+    /// The finest-level group containing a row.
+    pub fn finest_group_of(&self, row: usize) -> &GroupNode {
+        let mut node = &self.root;
+        loop {
+            match node
+                .children
+                .iter()
+                .find(|c| c.rows.contains(&row))
+            {
+                Some(c) => node = c,
+                None => return node,
+            }
+        }
+    }
+
+    /// Row indices in presentation order (the root's rows).
+    pub fn row_order(&self) -> &[usize] {
+        &self.root.rows
+    }
+}
+
+/// Build a group tree from a relation already sorted in presentation
+/// order. `level_bases` holds, per non-root level, the relative-basis
+/// attribute names (canonically sorted). Rows with equal basis values must
+/// be contiguous — the evaluator guarantees this by sorting first.
+pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
+    fn split(
+        data: &Relation,
+        rows: &[usize],
+        level_bases: &[Vec<String>],
+        depth: usize, // index into level_bases
+        level: usize,
+        key: Vec<(String, Value)>,
+    ) -> GroupNode {
+        let mut node = GroupNode { level, key, children: Vec::new(), rows: rows.to_vec() };
+        if depth >= level_bases.len() || rows.is_empty() {
+            return node;
+        }
+        let basis = &level_bases[depth];
+        let idx: Vec<usize> = basis
+            .iter()
+            .map(|a| data.schema().index_of(a).expect("basis column exists"))
+            .collect();
+        let key_of = |r: usize| -> Vec<Value> {
+            idx.iter().map(|&i| data.rows()[r].get(i).clone()).collect()
+        };
+        let mut start = 0;
+        while start < rows.len() {
+            let k = key_of(rows[start]);
+            let mut end = start + 1;
+            while end < rows.len() && key_of(rows[end]) == k {
+                end += 1;
+            }
+            // Accumulate the parent's key so a node names its group fully
+            // (e.g. L3 key = [Model=Jetta, Year=2005]).
+            let mut child_key = node.key.clone();
+            child_key.extend(basis.iter().cloned().zip(k));
+            node.children.push(split(
+                data,
+                &rows[start..end],
+                level_bases,
+                depth + 1,
+                level + 1,
+                child_key,
+            ));
+            start = end;
+        }
+        node
+    }
+
+    let all: Vec<usize> = (0..data.len()).collect();
+    GroupTree { root: split(data, &all, level_bases, 0, 1, Vec::new()) }
+}
+
+impl fmt::Display for GroupTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(node: &GroupNode, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let indent = "  ".repeat(node.level - 1);
+            let key = node
+                .key
+                .iter()
+                .map(|(a, v)| format!("{a}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(
+                f,
+                "{indent}L{} [{}] ({} rows)",
+                node.level,
+                key,
+                node.rows.len()
+            )?;
+            for c in &node.children {
+                rec(c, f)?;
+            }
+            Ok(())
+        }
+        rec(&self.root, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_relation::schema::Schema;
+    use ssa_relation::tuple;
+    use ssa_relation::ValueType::*;
+
+    fn cars_sorted() -> Relation {
+        // Sorted: Model DESC (Jetta before Civic), Year ASC inside.
+        Relation::with_rows(
+            "cars",
+            Schema::of(&[("Model", Str), ("Year", Int), ("Price", Int)]),
+            vec![
+                tuple!["Jetta", 2005, 14500],
+                tuple!["Jetta", 2005, 15000],
+                tuple!["Jetta", 2006, 17000],
+                tuple!["Civic", 2005, 13500],
+                tuple!["Civic", 2006, 15000],
+                tuple!["Civic", 2006, 16000],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn two_level_tree() -> GroupTree {
+        build_tree(
+            &cars_sorted(),
+            &[vec!["Model".to_string()], vec!["Year".to_string()]],
+        )
+    }
+
+    #[test]
+    fn flat_tree_has_all_rows_at_root() {
+        let t = GroupTree::flat(4);
+        assert_eq!(t.root.rows, vec![0, 1, 2, 3]);
+        assert_eq!(t.depth(), 1);
+        assert!(t.root.children.is_empty());
+    }
+
+    #[test]
+    fn builds_recursive_groups() {
+        let t = two_level_tree();
+        assert_eq!(t.depth(), 3);
+        let l2 = t.groups_at_level(2);
+        assert_eq!(l2.len(), 2);
+        assert_eq!(l2[0].key, vec![("Model".to_string(), "Jetta".into())]);
+        assert_eq!(l2[0].rows, vec![0, 1, 2]);
+        assert_eq!(l2[1].key, vec![("Model".to_string(), "Civic".into())]);
+        let l3 = t.groups_at_level(3);
+        assert_eq!(l3.len(), 4); // Jetta05, Jetta06, Civic05, Civic06
+        assert_eq!(l3[0].rows, vec![0, 1]);
+        assert_eq!(l3[1].rows, vec![2]);
+    }
+
+    #[test]
+    fn finest_group_of_row() {
+        let t = two_level_tree();
+        let g = t.finest_group_of(1);
+        assert_eq!(g.level, 3);
+        assert_eq!(g.rows, vec![0, 1]);
+        let g = t.finest_group_of(3);
+        assert_eq!(g.key[1], ("Year".to_string(), 2005.into()));
+    }
+
+    #[test]
+    fn empty_relation_tree() {
+        let empty = Relation::new("e", Schema::of(&[("x", Int)]));
+        let t = build_tree(&empty, &[vec!["x".to_string()]]);
+        assert!(t.root.is_empty());
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn row_order_is_root_rows() {
+        let t = two_level_tree();
+        assert_eq!(t.row_order(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.root.len(), 6);
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let text = two_level_tree().to_string();
+        assert!(text.contains("L2 [Model=Jetta] (3 rows)"));
+        assert!(text.contains("L3 [Model=Civic, Year=2006] (2 rows)"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Direct-manipulation user actions (Sec. VI-A) and their mapping onto
+//! algebra operators.
+//!
+//! * clicking a column header sorts ascending; clicking again flips to
+//!   descending (the header shows an up/down arrow);
+//! * unchecking the checkbox left of a header projects the column out;
+//!   re-checking (via the drop-down) reinstates it;
+//! * right-click on a cell → "filter by this value" applies an equality
+//!   selection with the cell's value, result shown immediately.
+
+use crate::session::Session;
+use spreadsheet_algebra::{Direction, Result, SheetError};
+use ssa_relation::{Expr, Value};
+use std::collections::BTreeMap;
+
+/// One user gesture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UserAction {
+    /// Click the column header; under grouping the interface prompts for
+    /// the level, carried here.
+    ClickHeader { column: String, level: Option<usize> },
+    /// Uncheck the projection checkbox.
+    UncheckColumn { column: String },
+    /// Re-check a projected-out column from the drop-down.
+    CheckColumn { column: String },
+    /// Right-click a cell, choose "filter by this value".
+    FilterByCellValue { column: String, row: usize },
+}
+
+/// Tracks the asc/desc toggle per column, like the header arrows.
+#[derive(Debug, Default)]
+pub struct HeaderToggles {
+    directions: BTreeMap<String, Direction>,
+}
+
+impl HeaderToggles {
+    pub fn new() -> HeaderToggles {
+        HeaderToggles::default()
+    }
+
+    /// Direction the next click on `column` applies (and records).
+    fn next(&mut self, column: &str) -> Direction {
+        let next = match self.directions.get(column) {
+            Some(Direction::Asc) => Direction::Desc,
+            Some(Direction::Desc) | None => Direction::Asc,
+        };
+        self.directions.insert(column.to_string(), next);
+        next
+    }
+
+    /// The arrow currently shown on a header, if any.
+    pub fn shown(&self, column: &str) -> Option<Direction> {
+        self.directions.get(column).copied()
+    }
+}
+
+/// Apply one gesture to the session's current sheet.
+pub fn apply_action(
+    session: &mut Session,
+    toggles: &mut HeaderToggles,
+    action: &UserAction,
+) -> Result<()> {
+    match action {
+        UserAction::ClickHeader { column, level } => {
+            let dir = toggles.next(column);
+            let engine = session.engine()?;
+            let level = level.unwrap_or_else(|| engine.sheet().state().spec.level_count());
+            engine.order(column, dir, level)
+        }
+        UserAction::UncheckColumn { column } => session.engine()?.project_out(column),
+        UserAction::CheckColumn { column } => session.engine()?.reinstate(column),
+        UserAction::FilterByCellValue { column, row } => {
+            let engine = session.engine()?;
+            let value: Value = {
+                let view = engine.view()?;
+                if *row >= view.len() {
+                    return Err(SheetError::Relation(
+                        ssa_relation::RelationError::TypeMismatch {
+                            context: format!("row {row} out of range"),
+                        },
+                    ));
+                }
+                view.data.value_at(*row, column)?.clone()
+            };
+            engine
+                .select(Expr::col(column).eq(Expr::Lit(value)))
+                .map(|_| ())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spreadsheet_algebra::fixtures::used_cars;
+    use ssa_relation::Catalog;
+
+    fn session() -> Session {
+        let mut c = Catalog::new();
+        c.register(used_cars()).unwrap();
+        let mut s = Session::new(c);
+        s.load("cars").unwrap();
+        s
+    }
+
+    #[test]
+    fn header_click_toggles_asc_then_desc() {
+        let mut s = session();
+        let mut t = HeaderToggles::new();
+        let click = UserAction::ClickHeader { column: "Price".into(), level: None };
+        apply_action(&mut s, &mut t, &click).unwrap();
+        assert_eq!(t.shown("Price"), Some(Direction::Asc));
+        {
+            let v = s.engine().unwrap().view().unwrap();
+            assert_eq!(v.data.value_at(0, "Price").unwrap(), &Value::Int(13500));
+        }
+        apply_action(&mut s, &mut t, &click).unwrap();
+        assert_eq!(t.shown("Price"), Some(Direction::Desc));
+        let v = s.engine().unwrap().view().unwrap();
+        assert_eq!(v.data.value_at(0, "Price").unwrap(), &Value::Int(18000));
+    }
+
+    #[test]
+    fn checkbox_projects_and_reinstates() {
+        let mut s = session();
+        let mut t = HeaderToggles::new();
+        apply_action(
+            &mut s,
+            &mut t,
+            &UserAction::UncheckColumn { column: "Mileage".into() },
+        )
+        .unwrap();
+        assert!(!s
+            .engine()
+            .unwrap()
+            .view()
+            .unwrap()
+            .visible
+            .contains(&"Mileage".to_string()));
+        apply_action(
+            &mut s,
+            &mut t,
+            &UserAction::CheckColumn { column: "Mileage".into() },
+        )
+        .unwrap();
+        assert!(s
+            .engine()
+            .unwrap()
+            .view()
+            .unwrap()
+            .visible
+            .contains(&"Mileage".to_string()));
+    }
+
+    #[test]
+    fn filter_by_cell_value() {
+        let mut s = session();
+        let mut t = HeaderToggles::new();
+        // Row 0 of the unsorted sheet is ID 304, a Jetta.
+        apply_action(
+            &mut s,
+            &mut t,
+            &UserAction::FilterByCellValue { column: "Model".into(), row: 0 },
+        )
+        .unwrap();
+        assert_eq!(s.engine().unwrap().view().unwrap().len(), 6);
+        // result shown immediately and recorded in history
+        assert!(s.engine().unwrap().history()[0].contains("Model = 'Jetta'"));
+    }
+
+    #[test]
+    fn filter_by_out_of_range_row_errors() {
+        let mut s = session();
+        let mut t = HeaderToggles::new();
+        let r = apply_action(
+            &mut s,
+            &mut t,
+            &UserAction::FilterByCellValue { column: "Model".into(), row: 99 },
+        );
+        assert!(r.is_err());
+    }
+}

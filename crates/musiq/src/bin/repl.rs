@@ -1,0 +1,43 @@
+//! Interactive SheetMusiq REPL over the paper's used-car example database
+//! (plus the dealers table). Type `help` for commands, `quit` to exit.
+
+use sheetmusiq::{ScriptHost, Session};
+use spreadsheet_algebra::fixtures::{dealers, used_cars};
+use ssa_relation::Catalog;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog.register(used_cars()).expect("fixture registers");
+    catalog.register(dealers()).expect("fixture registers");
+    let mut host = ScriptHost::new(Session::new(catalog));
+
+    println!("SheetMusiq — spreadsheet algebra REPL (ICDE 2009 reproduction)");
+    println!("Tables: cars, dealers. Try: load cars");
+    println!("{}", sheetmusiq::HELP);
+
+    let stdin = io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("musiq> ");
+        io::stdout().flush().expect("stdout flush");
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let cmd = line.trim();
+        if cmd.eq_ignore_ascii_case("quit") || cmd.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match host.execute(cmd) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

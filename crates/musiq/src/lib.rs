@@ -1,0 +1,23 @@
+//! # sheetmusiq — the interface layer of the reproduction
+//!
+//! The paper's third contribution is SheetMusiq, "a spreadsheet interface
+//! to an RDBMS that implements the spreadsheet algebra" (Sec. VI). This
+//! crate reproduces the interface as a *model*: sessions with one current
+//! sheet and a store of saved sheets ([`session`]), contextual menus that
+//! offer only type- and state-appropriate operations ([`menu`]), the
+//! direct-manipulation gestures — header-click sorting, projection
+//! checkboxes, filter-by-cell ([`actions`]) — and a script language that
+//! transcribes whole sessions ([`script`]), used by the REPL binary, the
+//! examples and the simulated user study.
+
+pub mod actions;
+pub mod dialogs;
+pub mod menu;
+pub mod script;
+pub mod session;
+
+pub use actions::{apply_action, HeaderToggles, UserAction};
+pub use dialogs::{AggregationDialog, CompareWith, JoinDialog, SelectionDialog};
+pub use menu::{context_menu, ClickTarget, MenuEntry};
+pub use script::{ScriptHost, HELP};
+pub use session::Session;

@@ -1,0 +1,219 @@
+//! The contextual menu model (Sec. VI).
+//!
+//! "Most query operations are accessible with a contextual menu, which
+//! pops up when the user right-clicks a cell or column-header. It is
+//! contextual because it shows only options that are available for the
+//! current cell value type under current grouping and ordering."
+//!
+//! This module computes, for a click target on the current sheet, exactly
+//! which menu entries the prototype would show. The simulated user study
+//! drives this model, and the REPL prints it (`menu <col>`), so the
+//! interface behaviour of the paper is testable without a GUI toolkit.
+
+use spreadsheet_algebra::{Result, Spreadsheet};
+use ssa_relation::{AggFunc, ValueType};
+
+/// Where the user right-clicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClickTarget {
+    /// A data cell in the named column.
+    Cell { column: String },
+    /// A column header.
+    Header { column: String },
+    /// The sheet background (no column context).
+    Background,
+}
+
+/// A menu entry the interface would offer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MenuEntry {
+    /// "Filter rows equal to this cell's value" — one extra click
+    /// (Sec. VI-A Selection).
+    FilterByThisValue,
+    /// Open the selection dialog for this column; lists the predicates
+    /// already applied to it (query modification, Sec. V-B).
+    SelectionDialog { existing_predicates: usize },
+    /// Sort by this column (header click). `will_prompt_for_level` when
+    /// grouping exists and the user must pick the level.
+    Sort { will_prompt_for_level: bool },
+    /// Add this column to the grouping (or regroup).
+    GroupBy { adds_level: usize },
+    /// Aggregate this column; only functions valid for its type are
+    /// listed, and the level choice appears only under grouping.
+    Aggregate { functions: Vec<AggFunc>, level_choices: usize },
+    /// Formula-computation dialog.
+    Formula,
+    /// Remove all duplicates.
+    DuplicateElimination,
+    /// Project this column out (the checkbox).
+    ProjectOut,
+    /// Reinstate previously projected columns (drop-down).
+    Reinstate { hidden_columns: Vec<String> },
+    /// Binary operators — only offered when stored sheets exist.
+    BinaryOps { stored_sheets: usize },
+    /// Save the current sheet.
+    Save,
+    /// Rename this column.
+    Rename,
+}
+
+/// Compute the contextual menu for a click.
+pub fn context_menu(
+    sheet: &Spreadsheet,
+    target: &ClickTarget,
+    stored_sheets: usize,
+) -> Result<Vec<MenuEntry>> {
+    let mut entries = Vec::new();
+    let levels = sheet.state().spec.level_count();
+    let hidden: Vec<String> = sheet
+        .state()
+        .projected_out
+        .iter()
+        .cloned()
+        .collect();
+
+    match target {
+        ClickTarget::Cell { column } | ClickTarget::Header { column } => {
+            // Column-specific entries need the column's type.
+            let derived = sheet.evaluate_now()?;
+            let ty = derived.data.schema().column(column)?.ty;
+
+            if matches!(target, ClickTarget::Cell { .. }) {
+                entries.push(MenuEntry::FilterByThisValue);
+            }
+            entries.push(MenuEntry::SelectionDialog {
+                existing_predicates: sheet.state().selections_on(column).len(),
+            });
+            entries.push(MenuEntry::Sort { will_prompt_for_level: levels > 1 });
+            // Grouping by a column already in the basis is not offered.
+            if !sheet
+                .state()
+                .spec
+                .all_grouping_attributes()
+                .contains(column)
+            {
+                entries.push(MenuEntry::GroupBy { adds_level: levels + 1 });
+            }
+            // Aggregation functions depend on the value type (contextual!).
+            let functions: Vec<AggFunc> = AggFunc::ALL
+                .into_iter()
+                .filter(|f| !f.requires_numeric() || ty.is_numeric() || ty == ValueType::Null)
+                .collect();
+            entries.push(MenuEntry::Aggregate { functions, level_choices: levels });
+            entries.push(MenuEntry::ProjectOut);
+            entries.push(MenuEntry::Rename);
+        }
+        ClickTarget::Background => {}
+    }
+
+    entries.push(MenuEntry::Formula);
+    entries.push(MenuEntry::DuplicateElimination);
+    if !hidden.is_empty() {
+        entries.push(MenuEntry::Reinstate { hidden_columns: hidden });
+    }
+    if stored_sheets > 0 {
+        entries.push(MenuEntry::BinaryOps { stored_sheets });
+    }
+    entries.push(MenuEntry::Save);
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spreadsheet_algebra::fixtures::used_cars;
+    use spreadsheet_algebra::Direction;
+    use ssa_relation::Expr;
+
+    fn sheet() -> Spreadsheet {
+        Spreadsheet::over(used_cars())
+    }
+
+    fn has_filter(entries: &[MenuEntry]) -> bool {
+        entries.iter().any(|e| matches!(e, MenuEntry::FilterByThisValue))
+    }
+
+    #[test]
+    fn cell_click_offers_filter_header_does_not() {
+        let s = sheet();
+        let cell = context_menu(&s, &ClickTarget::Cell { column: "Model".into() }, 0).unwrap();
+        let header =
+            context_menu(&s, &ClickTarget::Header { column: "Model".into() }, 0).unwrap();
+        assert!(has_filter(&cell));
+        assert!(!has_filter(&header));
+    }
+
+    #[test]
+    fn numeric_column_offers_all_aggregates_string_only_safe_ones() {
+        let s = sheet();
+        let price = context_menu(&s, &ClickTarget::Cell { column: "Price".into() }, 0).unwrap();
+        let model = context_menu(&s, &ClickTarget::Cell { column: "Model".into() }, 0).unwrap();
+        let funcs = |entries: &[MenuEntry]| -> Vec<AggFunc> {
+            entries
+                .iter()
+                .find_map(|e| match e {
+                    MenuEntry::Aggregate { functions, .. } => Some(functions.clone()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(funcs(&price).contains(&AggFunc::Avg));
+        assert!(!funcs(&model).contains(&AggFunc::Avg));
+        assert!(funcs(&model).contains(&AggFunc::Count));
+        assert!(funcs(&model).contains(&AggFunc::Max));
+    }
+
+    #[test]
+    fn grouping_state_changes_menu() {
+        let mut s = sheet();
+        s.group(&["Model"], Direction::Asc).unwrap();
+        let menu = context_menu(&s, &ClickTarget::Header { column: "Model".into() }, 0).unwrap();
+        // Model is already a grouping attribute: no GroupBy entry.
+        assert!(!menu.iter().any(|e| matches!(e, MenuEntry::GroupBy { .. })));
+        // Sorting now prompts for the level.
+        assert!(menu
+            .iter()
+            .any(|e| matches!(e, MenuEntry::Sort { will_prompt_for_level: true })));
+        // Aggregation offers both levels.
+        assert!(menu
+            .iter()
+            .any(|e| matches!(e, MenuEntry::Aggregate { level_choices: 2, .. })));
+        // Year can still be grouped, adding level 3.
+        let menu = context_menu(&s, &ClickTarget::Header { column: "Year".into() }, 0).unwrap();
+        assert!(menu
+            .iter()
+            .any(|e| matches!(e, MenuEntry::GroupBy { adds_level: 3 })));
+    }
+
+    #[test]
+    fn selection_dialog_lists_existing_predicates() {
+        let mut s = sheet();
+        s.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+        let menu = context_menu(&s, &ClickTarget::Cell { column: "Year".into() }, 0).unwrap();
+        assert!(menu
+            .iter()
+            .any(|e| matches!(e, MenuEntry::SelectionDialog { existing_predicates: 1 })));
+    }
+
+    #[test]
+    fn reinstate_and_binary_entries_are_conditional() {
+        let mut s = sheet();
+        let bg = context_menu(&s, &ClickTarget::Background, 0).unwrap();
+        assert!(!bg.iter().any(|e| matches!(e, MenuEntry::Reinstate { .. })));
+        assert!(!bg.iter().any(|e| matches!(e, MenuEntry::BinaryOps { .. })));
+        s.project_out("Mileage").unwrap();
+        let bg = context_menu(&s, &ClickTarget::Background, 2).unwrap();
+        assert!(bg.iter().any(
+            |e| matches!(e, MenuEntry::Reinstate { hidden_columns } if hidden_columns == &vec!["Mileage".to_string()])
+        ));
+        assert!(bg
+            .iter()
+            .any(|e| matches!(e, MenuEntry::BinaryOps { stored_sheets: 2 })));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = sheet();
+        assert!(context_menu(&s, &ClickTarget::Cell { column: "Ghost".into() }, 0).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Aggregate functions (Def. 11's `f` parameter).
+//!
+//! Aggregates apply to individual tuples, never to sub-groups: "the result
+//! of COUNT is the number of tuples in the group being counted, and not the
+//! number of sub-groups" (Sec. III-B). NULLs are ignored by every function
+//! except COUNT(*); empty (or all-NULL) inputs yield NULL, except COUNT
+//! which yields 0 — SQL semantics, which the PostgreSQL-backed prototype
+//! inherited.
+
+use crate::error::{RelationError, Result};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Number of tuples (NULLs included — COUNT(*) semantics).
+    Count,
+    /// Number of non-NULL values (COUNT(col)).
+    CountNonNull,
+    /// Number of distinct non-NULL values.
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Population standard deviation (used by the evaluation harness for
+    /// Fig. 4-style reporting over data columns).
+    StdDev,
+}
+
+impl AggFunc {
+    /// All functions, for UI menus and property-test generators.
+    pub const ALL: [AggFunc; 8] = [
+        AggFunc::Count,
+        AggFunc::CountNonNull,
+        AggFunc::CountDistinct,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::StdDev,
+    ];
+
+    /// The short name used in generated column names (`Avg_Price`),
+    /// matching the paper's Table III.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "Count",
+            AggFunc::CountNonNull => "CountNN",
+            AggFunc::CountDistinct => "CountD",
+            AggFunc::Sum => "Sum",
+            AggFunc::Avg => "Avg",
+            AggFunc::Min => "Min",
+            AggFunc::Max => "Max",
+            AggFunc::StdDev => "StdDev",
+        }
+    }
+
+    /// Whether this function needs numeric input.
+    pub fn requires_numeric(self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Avg | AggFunc::StdDev)
+    }
+
+    /// Apply the aggregate to the values of one group.
+    pub fn apply(self, values: &[Value]) -> Result<Value> {
+        match self {
+            AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+            AggFunc::CountNonNull => {
+                Ok(Value::Int(values.iter().filter(|v| !v.is_null()).count() as i64))
+            }
+            AggFunc::CountDistinct => {
+                let mut seen: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+                seen.sort();
+                seen.dedup();
+                Ok(Value::Int(seen.len() as i64))
+            }
+            AggFunc::Sum => {
+                let nums = numeric(values, "SUM")?;
+                if nums.is_empty() {
+                    return Ok(Value::Null);
+                }
+                // Preserve integer typing when every input was an integer.
+                if values
+                    .iter()
+                    .filter(|v| !v.is_null())
+                    .all(|v| matches!(v, Value::Int(_)))
+                {
+                    let mut acc: i64 = 0;
+                    for v in values.iter().filter(|v| !v.is_null()) {
+                        if let Value::Int(i) = v {
+                            acc = acc.checked_add(*i).ok_or(RelationError::BadAggregate {
+                                context: "integer overflow in SUM".into(),
+                            })?;
+                        }
+                    }
+                    Ok(Value::Int(acc))
+                } else {
+                    Ok(Value::Float(nums.iter().sum()))
+                }
+            }
+            AggFunc::Avg => {
+                let nums = numeric(values, "AVG")?;
+                if nums.is_empty() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(nums.iter().sum::<f64>() / nums.len() as f64))
+                }
+            }
+            AggFunc::Min => Ok(values
+                .iter()
+                .filter(|v| !v.is_null())
+                .min()
+                .cloned()
+                .unwrap_or(Value::Null)),
+            AggFunc::Max => Ok(values
+                .iter()
+                .filter(|v| !v.is_null())
+                .max()
+                .cloned()
+                .unwrap_or(Value::Null)),
+            AggFunc::StdDev => {
+                let nums = numeric(values, "STDDEV")?;
+                if nums.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+                let var =
+                    nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
+                Ok(Value::Float(var.sqrt()))
+            }
+        }
+    }
+}
+
+fn numeric(values: &[Value], func: &str) -> Result<Vec<f64>> {
+    values
+        .iter()
+        .filter(|v| !v.is_null())
+        .map(|v| {
+            v.as_f64().ok_or_else(|| RelationError::BadAggregate {
+                context: format!("{func} on non-numeric value `{v}`"),
+            })
+        })
+        .collect()
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Parse an aggregate function name, accepting SQL spellings
+/// (`COUNT`, `SUM`, `AVG`, `MIN`, `MAX`, `STDDEV`, `COUNT_DISTINCT`).
+pub fn parse_agg_func(name: &str) -> Result<AggFunc> {
+    let up = name.to_ascii_uppercase();
+    Ok(match up.as_str() {
+        "COUNT" => AggFunc::Count,
+        "COUNT_NON_NULL" | "COUNTNN" => AggFunc::CountNonNull,
+        "COUNT_DISTINCT" | "COUNTD" => AggFunc::CountDistinct,
+        "SUM" => AggFunc::Sum,
+        "AVG" | "AVERAGE" => AggFunc::Avg,
+        "MIN" => AggFunc::Min,
+        "MAX" => AggFunc::Max,
+        "STDDEV" | "STDEV" => AggFunc::StdDev,
+        _ => {
+            return Err(RelationError::BadAggregate {
+                context: format!("unknown aggregate function `{name}`"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn count_variants() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(1), Value::Int(2)];
+        assert_eq!(AggFunc::Count.apply(&vals).unwrap(), Value::Int(4));
+        assert_eq!(AggFunc::CountNonNull.apply(&vals).unwrap(), Value::Int(3));
+        assert_eq!(AggFunc::CountDistinct.apply(&vals).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_preserves_int_typing() {
+        assert_eq!(AggFunc::Sum.apply(&ints(&[1, 2, 3])).unwrap(), Value::Int(6));
+        let mixed = vec![Value::Int(1), Value::Float(0.5)];
+        assert_eq!(AggFunc::Sum.apply(&mixed).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn avg_matches_paper_table_iii() {
+        // Jetta 2005: 14500, 15000, 16000 → 15166.67 (paper rounds to 15,167)
+        let avg = AggFunc::Avg
+            .apply(&ints(&[14500, 15000, 16000]))
+            .unwrap();
+        let Value::Float(f) = avg else { panic!("avg must be float") };
+        assert!((f - 15166.666666).abs() < 1e-3);
+        assert_eq!(f.round() as i64, 15167);
+    }
+
+    #[test]
+    fn min_max_work_on_strings() {
+        let vals = vec![Value::str("Jetta"), Value::str("Civic")];
+        assert_eq!(AggFunc::Min.apply(&vals).unwrap(), Value::str("Civic"));
+        assert_eq!(AggFunc::Max.apply(&vals).unwrap(), Value::str("Jetta"));
+    }
+
+    #[test]
+    fn empty_and_all_null_inputs() {
+        assert_eq!(AggFunc::Count.apply(&[]).unwrap(), Value::Int(0));
+        assert_eq!(AggFunc::Sum.apply(&[]).unwrap(), Value::Null);
+        assert_eq!(AggFunc::Avg.apply(&[Value::Null]).unwrap(), Value::Null);
+        assert_eq!(AggFunc::Min.apply(&[]).unwrap(), Value::Null);
+        assert_eq!(AggFunc::StdDev.apply(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn nulls_ignored_by_sum_avg() {
+        let vals = vec![Value::Int(2), Value::Null, Value::Int(4)];
+        assert_eq!(AggFunc::Sum.apply(&vals).unwrap(), Value::Int(6));
+        assert_eq!(AggFunc::Avg.apply(&vals).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn stddev_population() {
+        let v = AggFunc::StdDev.apply(&ints(&[2, 4, 4, 4, 5, 5, 7, 9])).unwrap();
+        let Value::Float(f) = v else { panic!() };
+        assert!((f - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_aggregates_reject_strings() {
+        let vals = vec![Value::str("a")];
+        assert!(AggFunc::Sum.apply(&vals).is_err());
+        assert!(AggFunc::Avg.apply(&vals).is_err());
+        assert!(AggFunc::StdDev.apply(&vals).is_err());
+        // but MIN/MAX/COUNT are fine
+        assert!(AggFunc::Min.apply(&vals).is_ok());
+        assert!(AggFunc::Count.apply(&vals).is_ok());
+    }
+
+    #[test]
+    fn sum_overflow_is_error() {
+        assert!(AggFunc::Sum.apply(&ints(&[i64::MAX, 1])).is_err());
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(parse_agg_func("avg").unwrap(), AggFunc::Avg);
+        assert_eq!(parse_agg_func("COUNT").unwrap(), AggFunc::Count);
+        assert_eq!(parse_agg_func("count_distinct").unwrap(), AggFunc::CountDistinct);
+        assert!(parse_agg_func("median").is_err());
+    }
+
+    #[test]
+    fn short_names_match_paper_style() {
+        assert_eq!(AggFunc::Avg.short_name(), "Avg");
+        // Table III's generated column is "Avg_Price"
+        assert_eq!(format!("{}_{}", AggFunc::Avg, "Price"), "Avg_Price");
+    }
+}

@@ -1,0 +1,153 @@
+//! A catalog of named base relations — the "database" a spreadsheet
+//! session attaches to. Stored spreadsheets (Sec. III-C Save/Open) live in
+//! a separate store owned by the interface layer; this catalog only holds
+//! base relations, whose *columns* must stay fixed for the lifetime of any
+//! spreadsheet over them (Sec. II-B), though their tuples may change.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+
+/// Named collection of base relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a relation under its own name. Fails on duplicates.
+    pub fn register(&mut self, relation: Relation) -> Result<()> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(RelationError::DuplicateRelation { name });
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Replace or insert a relation (used by data refresh: "tuples in R can
+    /// be changed anytime, and the spreadsheet always retrieves the latest
+    /// data", Sec. II-B). The columns must match any existing registration.
+    pub fn update(&mut self, relation: Relation) -> Result<()> {
+        if let Some(existing) = self.relations.get(relation.name()) {
+            if existing.schema() != relation.schema() {
+                return Err(RelationError::TypeMismatch {
+                    context: format!(
+                        "columns of base relation `{}` must not change",
+                        relation.name()
+                    ),
+                });
+            }
+        }
+        self.relations.insert(relation.name().to_string(), relation);
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    pub fn remove(&mut self, name: &str) -> Result<Relation> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })
+    }
+
+    /// Append tuples to an existing relation (simulates live updates).
+    pub fn append_rows(&mut self, name: &str, rows: Vec<Tuple>) -> Result<()> {
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })?;
+        for t in rows {
+            rel.insert(t)?;
+        }
+        Ok(())
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::ValueType::*;
+
+    fn rel(name: &str) -> Relation {
+        Relation::with_rows(
+            name,
+            Schema::of(&[("x", Int)]),
+            vec![tuple![1], tuple![2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_get_remove() {
+        let mut c = Catalog::new();
+        c.register(rel("a")).unwrap();
+        assert!(c.contains("a"));
+        assert_eq!(c.get("a").unwrap().len(), 2);
+        assert!(c.register(rel("a")).is_err());
+        assert!(c.get("b").is_err());
+        c.remove("a").unwrap();
+        assert!(c.is_empty());
+        assert!(c.remove("a").is_err());
+    }
+
+    #[test]
+    fn update_allows_new_rows_but_not_new_columns() {
+        let mut c = Catalog::new();
+        c.register(rel("a")).unwrap();
+        // same schema, different rows: ok
+        let mut newer = rel("a");
+        newer.insert(tuple![3]).unwrap();
+        c.update(newer).unwrap();
+        assert_eq!(c.get("a").unwrap().len(), 3);
+        // changed schema: rejected per Sec. II-B
+        let other = Relation::new("a", Schema::of(&[("x", Int), ("y", Int)]));
+        assert!(c.update(other).is_err());
+    }
+
+    #[test]
+    fn append_rows_mutates_in_place() {
+        let mut c = Catalog::new();
+        c.register(rel("a")).unwrap();
+        c.append_rows("a", vec![tuple![9]]).unwrap();
+        assert_eq!(c.get("a").unwrap().len(), 3);
+        assert!(c.append_rows("ghost", vec![]).is_err());
+        assert!(c.append_rows("a", vec![tuple![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.register(rel("b")).unwrap();
+        c.register(rel("a")).unwrap();
+        assert_eq!(c.names(), vec!["a", "b"]);
+        assert_eq!(c.len(), 2);
+    }
+}

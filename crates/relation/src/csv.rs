@@ -1,0 +1,228 @@
+//! Minimal CSV reader/writer for loading datasets into relations.
+//!
+//! Supports quoted fields (RFC-4180 style double quotes with `""` escapes),
+//! type inference per column (the most specific type that fits every
+//! non-empty field), and round-tripping. Good enough for the used-car
+//! sample data and generated TPC-H tables; deliberately not a general CSV
+//! library.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::{Column, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+
+/// Split one CSV line into raw fields, honouring quotes.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(RelationError::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Parse CSV text (first row = header) into a relation with inferred
+/// column types.
+pub fn parse_csv(name: &str, text: &str) -> Result<Relation> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (hno, header) = lines.next().ok_or(RelationError::Csv {
+        line: 0,
+        message: "empty input".into(),
+    })?;
+    let names = split_line(header, hno + 1)?;
+    let mut raw_rows: Vec<Vec<Value>> = Vec::new();
+    for (lno, line) in lines {
+        let fields = split_line(line, lno + 1)?;
+        if fields.len() != names.len() {
+            return Err(RelationError::Csv {
+                line: lno + 1,
+                message: format!(
+                    "expected {} fields, found {}",
+                    names.len(),
+                    fields.len()
+                ),
+            });
+        }
+        raw_rows.push(fields.iter().map(|f| Value::infer_parse(f)).collect());
+    }
+    // Per-column type inference; a column with mixed numeric/string values
+    // is re-parsed as strings to stay uniform.
+    let mut types = vec![ValueType::Null; names.len()];
+    for row in &raw_rows {
+        for (i, v) in row.iter().enumerate() {
+            types[i] = types[i].unify(v.value_type());
+        }
+    }
+    for row in &mut raw_rows {
+        for (i, v) in row.iter_mut().enumerate() {
+            if types[i] == ValueType::Str && !matches!(v, Value::Str(_) | Value::Null) {
+                *v = Value::Str(v.to_string());
+            } else if types[i] == ValueType::Float {
+                if let Value::Int(n) = v {
+                    *v = Value::Float(*n as f64);
+                }
+            }
+        }
+    }
+    let schema = Schema::new(
+        names
+            .iter()
+            .zip(&types)
+            .map(|(n, t)| Column::new(n.clone(), *t))
+            .collect(),
+    )?;
+    Relation::with_rows(name, schema, raw_rows.into_iter().map(Tuple::new).collect())
+}
+
+/// Serialize a relation to CSV text (header + rows).
+pub fn to_csv(rel: &Relation) -> String {
+    fn escape(field: &str) -> String {
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+    let mut out = String::new();
+    let names: Vec<String> = rel
+        .schema()
+        .names()
+        .iter()
+        .map(|n| escape(n))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for t in rel.rows() {
+        let fields: Vec<String> = t.values().iter().map(|v| escape(&v.to_string())).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CARS: &str = "\
+ID,Model,Price,Year
+304,Jetta,14500,2005
+872,Jetta,15000,2005
+132,Civic,13500,2005
+";
+
+    #[test]
+    fn parses_typed_columns() {
+        let r = parse_csv("cars", CARS).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.schema().column("ID").unwrap().ty, ValueType::Int);
+        assert_eq!(r.schema().column("Model").unwrap().ty, ValueType::Str);
+        assert_eq!(r.value_at(0, "Price").unwrap(), &Value::Int(14500));
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n";
+        let r = parse_csv("t", text).unwrap();
+        assert_eq!(r.value_at(0, "name").unwrap(), &Value::str("Smith, John"));
+        assert_eq!(r.value_at(0, "notes").unwrap(), &Value::str("said \"hi\""));
+    }
+
+    #[test]
+    fn mixed_column_degrades_to_string() {
+        let text = "x\n1\nabc\n";
+        let r = parse_csv("t", text).unwrap();
+        assert_eq!(r.schema().column("x").unwrap().ty, ValueType::Str);
+        assert_eq!(r.value_at(0, "x").unwrap(), &Value::str("1"));
+    }
+
+    #[test]
+    fn int_and_float_widen_to_float() {
+        let text = "x\n1\n2.5\n";
+        let r = parse_csv("t", text).unwrap();
+        assert_eq!(r.schema().column("x").unwrap().ty, ValueType::Float);
+        assert_eq!(r.value_at(0, "x").unwrap(), &Value::Float(1.0));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let text = "x,y\n1,\n,2\n";
+        let r = parse_csv("t", text).unwrap();
+        assert_eq!(r.value_at(0, "y").unwrap(), &Value::Null);
+        assert_eq!(r.value_at(1, "x").unwrap(), &Value::Null);
+        // column types come from the non-null values
+        assert_eq!(r.schema().column("x").unwrap().ty, ValueType::Int);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let text = "x,y\n1\n";
+        assert!(matches!(
+            parse_csv("t", text),
+            Err(RelationError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_csv("t", "x\n\"abc\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_csv("t", "").is_err());
+        assert!(parse_csv("t", "\n\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = parse_csv("cars", CARS).unwrap();
+        let text = to_csv(&r);
+        let r2 = parse_csv("cars", &text).unwrap();
+        assert!(r.multiset_eq(&r2));
+    }
+
+    #[test]
+    fn round_trip_with_commas_in_values() {
+        let text = "name\n\"a,b\"\n";
+        let r = parse_csv("t", text).unwrap();
+        let r2 = parse_csv("t", &to_csv(&r)).unwrap();
+        assert!(r.multiset_eq(&r2));
+    }
+}

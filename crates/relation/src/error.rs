@@ -1,0 +1,84 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by relational operations and expression evaluation.
+///
+/// Every error carries enough context to be surfaced verbatim in a user
+/// interface (the paper's prototype reports invalid conditions "to the user
+/// immediately", Sec. VI-A "Join").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn { name: String },
+    /// A column with this name already exists.
+    DuplicateColumn { name: String },
+    /// Two relations were expected to be union-compatible but are not.
+    NotUnionCompatible { left: String, right: String },
+    /// An expression applied operands of incompatible types.
+    TypeMismatch { context: String },
+    /// Division (or modulo) by zero during expression evaluation.
+    DivisionByZero,
+    /// An aggregate was asked for on a column that does not support it.
+    BadAggregate { context: String },
+    /// A value could not be parsed from text.
+    ParseValue { text: String, wanted: &'static str },
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// The named relation is not present in the catalog.
+    UnknownRelation { name: String },
+    /// A relation with this name already exists in the catalog.
+    DuplicateRelation { name: String },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            RelationError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
+            RelationError::NotUnionCompatible { left, right } => {
+                write!(f, "relations are not union-compatible: `{left}` vs `{right}`")
+            }
+            RelationError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            RelationError::DivisionByZero => write!(f, "division by zero"),
+            RelationError::BadAggregate { context } => write!(f, "bad aggregate: {context}"),
+            RelationError::ParseValue { text, wanted } => {
+                write!(f, "cannot parse `{text}` as {wanted}")
+            }
+            RelationError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            RelationError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            RelationError::DuplicateRelation { name } => {
+                write!(f, "relation `{name}` already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+/// Convenient result alias used across the substrate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::UnknownColumn { name: "Price".into() };
+        assert_eq!(e.to_string(), "unknown column `Price`");
+        let e = RelationError::Csv { line: 3, message: "ragged row".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = RelationError::ParseValue { text: "abc".into(), wanted: "integer" };
+        assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RelationError::DivisionByZero, RelationError::DivisionByZero);
+        assert_ne!(
+            RelationError::UnknownColumn { name: "a".into() },
+            RelationError::UnknownColumn { name: "b".into() }
+        );
+    }
+}

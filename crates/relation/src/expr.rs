@@ -1,0 +1,606 @@
+//! Scalar expressions: the condition/formula language of the algebra.
+//!
+//! Selection conditions (Def. 5) are built from atomic predicates
+//! `A OP B` — where `A`, `B` are column names or constants with optional
+//! arithmetic or string operators — connected with AND/OR/NOT. Formula
+//! computation (Def. 12) uses the same arithmetic core. One AST serves
+//! both, so query state can uniformly attach predicates to the columns
+//! they reference (Sec. V-A).
+
+use crate::error::{RelationError, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ArithOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The test applied to an [`Ordering`].
+    pub fn test(self) -> fn(Ordering) -> bool {
+        match self {
+            CmpOp::Eq => Ordering::is_eq,
+            CmpOp::Ne => Ordering::is_ne,
+            CmpOp::Lt => Ordering::is_lt,
+            CmpOp::Le => Ordering::is_le,
+            CmpOp::Gt => Ordering::is_gt,
+            CmpOp::Ge => Ordering::is_ge,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// A scalar expression over one row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A column reference by name.
+    Col(String),
+    /// A constant.
+    Lit(Value),
+    /// Arithmetic between two sub-expressions (`+` also concatenates
+    /// strings).
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Unary numeric negation.
+    Neg(Box<Expr>),
+    /// Comparison producing Bool (or Null when a side is NULL).
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical conjunction (three-valued).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction (three-valued).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation (NULL stays NULL).
+    Not(Box<Expr>),
+    /// `IS NULL` test (never NULL itself).
+    IsNull(Box<Expr>),
+    /// SQL LIKE with `%` and `_` wildcards.
+    Like(Box<Expr>, String),
+    /// Conditional: `CASE WHEN cond THEN a ELSE b END` (extension — the
+    /// paper's prototype did not support CASE; see DESIGN.md §7).
+    /// A NULL condition selects the ELSE branch.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/div build AST nodes
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Lit(value.into())
+    }
+
+    /// `self OP other` comparison.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), op, Box::new(other))
+    }
+
+    pub fn eq(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, other)
+    }
+
+    pub fn lt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, other)
+    }
+
+    pub fn le(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Le, other)
+    }
+
+    pub fn gt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, other)
+    }
+
+    pub fn ge(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, other)
+    }
+
+    pub fn ne(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Ne, other)
+    }
+
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    // The `add`/`sub`/`mul`/`div` builder methods intentionally mirror the
+    // std::ops trait names — they build AST nodes rather than compute, and
+    // the fluent style (`Expr::col("a").add(Expr::lit(1))`) is the point.
+    /// `CASE WHEN cond THEN self ELSE otherwise END`.
+    pub fn if_else(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then), Box::new(otherwise))
+    }
+
+    pub fn arith(self, op: ArithOp, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), op, Box::new(other))
+    }
+
+    pub fn add(self, other: Expr) -> Expr {
+        self.arith(ArithOp::Add, other)
+    }
+
+    pub fn sub(self, other: Expr) -> Expr {
+        self.arith(ArithOp::Sub, other)
+    }
+
+    pub fn mul(self, other: Expr) -> Expr {
+        self.arith(ArithOp::Mul, other)
+    }
+
+    pub fn div(self, other: Expr) -> Expr {
+        self.arith(ArithOp::Div, other)
+    }
+
+    /// Evaluate the expression against one row.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Col(name) => {
+                let idx = schema.index_of(name)?;
+                Ok(tuple.get(idx).clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Arith(a, op, b) => {
+                let (x, y) = (a.eval(schema, tuple)?, b.eval(schema, tuple)?);
+                match op {
+                    ArithOp::Add => x.add(&y),
+                    ArithOp::Sub => x.sub(&y),
+                    ArithOp::Mul => x.mul(&y),
+                    ArithOp::Div => x.div(&y),
+                    ArithOp::Mod => x.rem(&y),
+                }
+            }
+            Expr::Neg(a) => a.eval(schema, tuple)?.neg(),
+            Expr::Cmp(a, op, b) => {
+                let (x, y) = (a.eval(schema, tuple)?, b.eval(schema, tuple)?);
+                Ok(x.sql_cmp(&y, op.test()))
+            }
+            Expr::And(a, b) => {
+                // Three-valued AND: false dominates, NULL otherwise infects.
+                let x = a.eval(schema, tuple)?;
+                if let Value::Bool(false) = x {
+                    return Ok(Value::Bool(false));
+                }
+                let y = b.eval(schema, tuple)?;
+                match (x, y) {
+                    (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+                    (Value::Bool(true), Value::Bool(true)) => Ok(Value::Bool(true)),
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (x, y) => Err(RelationError::TypeMismatch {
+                        context: format!("AND on non-boolean operands `{x}`, `{y}`"),
+                    }),
+                }
+            }
+            Expr::Or(a, b) => {
+                let x = a.eval(schema, tuple)?;
+                if let Value::Bool(true) = x {
+                    return Ok(Value::Bool(true));
+                }
+                let y = b.eval(schema, tuple)?;
+                match (x, y) {
+                    (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+                    (Value::Bool(false), Value::Bool(false)) => Ok(Value::Bool(false)),
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (x, y) => Err(RelationError::TypeMismatch {
+                        context: format!("OR on non-boolean operands `{x}`, `{y}`"),
+                    }),
+                }
+            }
+            Expr::Not(a) => match a.eval(schema, tuple)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                v => Err(RelationError::TypeMismatch {
+                    context: format!("NOT on non-boolean operand `{v}`"),
+                }),
+            },
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(schema, tuple)?.is_null())),
+            Expr::Like(a, pattern) => match a.eval(schema, tuple)? {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(pattern, &s))),
+                v => Err(RelationError::TypeMismatch {
+                    context: format!("LIKE on non-string operand `{v}`"),
+                }),
+            },
+            Expr::If(cond, then, otherwise) => {
+                if cond.eval(schema, tuple)?.is_true() {
+                    then.eval(schema, tuple)
+                } else {
+                    otherwise.eval(schema, tuple)
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: true iff the result is Bool(true).
+    pub fn matches(&self, schema: &Schema, tuple: &Tuple) -> Result<bool> {
+        Ok(self.eval(schema, tuple)?.is_true())
+    }
+
+    /// The set of column names this expression references. Query state
+    /// attaches each selection/FC predicate to exactly these columns
+    /// (Sec. V-A), and the precedence relation of Sec. IV-B is computed
+    /// from them.
+    pub fn columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Col(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Lit(_) => {}
+            Expr::Arith(a, _, b) | Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Neg(a) | Expr::Not(a) | Expr::IsNull(a) | Expr::Like(a, _) => {
+                a.collect_columns(out)
+            }
+            Expr::If(c, t, e) => {
+                c.collect_columns(out);
+                t.collect_columns(out);
+                e.collect_columns(out);
+            }
+        }
+    }
+
+    /// Rewrite every column reference via `f` (used when columns are
+    /// renamed, and by the Theorem-1 translator to qualify names).
+    pub fn map_columns(&self, f: &impl Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Col(name) => Expr::Col(f(name)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Arith(a, op, b) => {
+                Expr::Arith(Box::new(a.map_columns(f)), *op, Box::new(b.map_columns(f)))
+            }
+            Expr::Neg(a) => Expr::Neg(Box::new(a.map_columns(f))),
+            Expr::Cmp(a, op, b) => {
+                Expr::Cmp(Box::new(a.map_columns(f)), *op, Box::new(b.map_columns(f)))
+            }
+            Expr::And(a, b) => Expr::And(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
+            Expr::Not(a) => Expr::Not(Box::new(a.map_columns(f))),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.map_columns(f))),
+            Expr::Like(a, p) => Expr::Like(Box::new(a.map_columns(f)), p.clone()),
+            Expr::If(c, t, e) => Expr::If(
+                Box::new(c.map_columns(f)),
+                Box::new(t.map_columns(f)),
+                Box::new(e.map_columns(f)),
+            ),
+        }
+    }
+
+    /// Split a conjunctive condition into its AND-ed factors
+    /// (used to separate join conditions from residual selections in the
+    /// Theorem-1 construction, Step 2).
+    pub fn conjuncts(&self) -> Vec<Expr> {
+        match self {
+            Expr::And(a, b) => {
+                let mut out = a.conjuncts();
+                out.extend(b.conjuncts());
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Re-join conjuncts into a single condition; `None` when empty.
+    pub fn conjoin(mut factors: Vec<Expr>) -> Option<Expr> {
+        let first = if factors.is_empty() {
+            return None;
+        } else {
+            factors.remove(0)
+        };
+        Some(factors.into_iter().fold(first, |acc, e| acc.and(e)))
+    }
+
+    /// OR-join a list of alternatives (used by the `IN (…)` desugaring);
+    /// `None` when empty.
+    pub fn conjoin_or(mut alternatives: Vec<Expr>) -> Option<Expr> {
+        let first = if alternatives.is_empty() {
+            return None;
+        } else {
+            alternatives.remove(0)
+        };
+        Some(alternatives.into_iter().fold(first, |acc, e| acc.or(e)))
+    }
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (any single char).
+fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Dynamic programming over pattern × text.
+    let (np, nt) = (p.len(), t.len());
+    let mut dp = vec![vec![false; nt + 1]; np + 1];
+    dp[0][0] = true;
+    for i in 1..=np {
+        if p[i - 1] == '%' {
+            dp[i][0] = dp[i - 1][0];
+        }
+    }
+    for i in 1..=np {
+        for j in 1..=nt {
+            dp[i][j] = match p[i - 1] {
+                '%' => dp[i - 1][j] || dp[i][j - 1],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && c == t[j - 1],
+            };
+        }
+    }
+    dp[np][nt]
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(name) => f.write_str(name),
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Lit(Value::Null) => f.write_str("NULL"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Arith(a, op, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+            Expr::Cmp(a, op, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "NOT ({a})"),
+            Expr::IsNull(a) => write!(f, "{a} IS NULL"),
+            Expr::Like(a, p) => write!(f, "{a} LIKE '{p}'"),
+            Expr::If(c, t, e) => write!(f, "CASE WHEN {c} THEN {t} ELSE {e} END"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::ValueType::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[("Model", Str), ("Price", Int), ("Year", Int), ("Note", Str)])
+    }
+
+    fn row() -> Tuple {
+        tuple!["Jetta", 14500, 2005, "good value"]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let s = schema();
+        let t = row();
+        assert_eq!(Expr::col("Model").eval(&s, &t).unwrap(), Value::str("Jetta"));
+        assert_eq!(Expr::lit(5).eval(&s, &t).unwrap(), Value::Int(5));
+        assert!(Expr::col("Ghost").eval(&s, &t).is_err());
+    }
+
+    #[test]
+    fn arithmetic_expression() {
+        let s = schema();
+        let t = row();
+        // 2 * Price + 100
+        let e = Expr::lit(2).mul(Expr::col("Price")).add(Expr::lit(100));
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::Int(29100));
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        let s = schema();
+        let t = row();
+        let late = Expr::col("Year").ge(Expr::lit(2005));
+        let cheap = Expr::col("Price").lt(Expr::lit(15000));
+        assert!(late.clone().and(cheap.clone()).matches(&s, &t).unwrap());
+        assert!(!late.clone().and(cheap.clone().not()).matches(&s, &t).unwrap());
+        assert!(late.or(cheap).matches(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn three_valued_logic_with_null() {
+        let s = Schema::of(&[("x", Int)]);
+        let t = Tuple::new(vec![Value::Null]);
+        let p = Expr::col("x").gt(Expr::lit(0));
+        assert_eq!(p.eval(&s, &t).unwrap(), Value::Null);
+        assert!(!p.clone().matches(&s, &t).unwrap());
+        // NULL OR true = true; NULL AND false = false
+        assert_eq!(
+            p.clone().or(Expr::lit(true)).eval(&s, &t).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            p.clone().and(Expr::lit(false)).eval(&s, &t).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(p.clone().not().eval(&s, &t).unwrap(), Value::Null);
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::col("x"))).eval(&s, &t).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn and_or_reject_non_boolean() {
+        let s = Schema::of(&[("x", Int)]);
+        let t = tuple![1];
+        assert!(Expr::col("x").and(Expr::lit(true)).eval(&s, &t).is_err());
+        assert!(Expr::col("x").or(Expr::lit(false)).eval(&s, &t).is_err());
+        assert!(Expr::col("x").not().eval(&s, &t).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("%etta", "Jetta"));
+        assert!(like_match("J%", "Jetta"));
+        assert!(like_match("J_tta", "Jetta"));
+        assert!(!like_match("J_ta", "Jetta"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+        assert!(like_match("a%b%c", "aXXbYYc"));
+    }
+
+    #[test]
+    fn like_expr_null_and_type() {
+        let s = Schema::of(&[("m", Str), ("n", Int)]);
+        let t = tuple!["Jetta", 1];
+        let e = Expr::Like(Box::new(Expr::col("m")), "J%".into());
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::Bool(true));
+        let bad = Expr::Like(Box::new(Expr::col("n")), "J%".into());
+        assert!(bad.eval(&s, &t).is_err());
+    }
+
+    #[test]
+    fn columns_collects_all_references() {
+        let e = Expr::col("Price")
+            .lt(Expr::col("Avg_Price"))
+            .and(Expr::col("Year").eq(Expr::lit(2005)));
+        let cols = e.columns();
+        assert_eq!(
+            cols.into_iter().collect::<Vec<_>>(),
+            vec!["Avg_Price".to_string(), "Price".into(), "Year".into()]
+        );
+    }
+
+    #[test]
+    fn map_columns_rewrites() {
+        let e = Expr::col("a").add(Expr::col("b"));
+        let m = e.map_columns(&|c| format!("t.{c}"));
+        assert_eq!(m.columns().into_iter().collect::<Vec<_>>(), vec!["t.a".to_string(), "t.b".into()]);
+    }
+
+    #[test]
+    fn conjuncts_split_and_rejoin() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(1))
+            .and(Expr::col("b").lt(Expr::lit(2)))
+            .and(Expr::col("c").eq(Expr::lit(3)));
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        let rejoined = Expr::conjoin(parts).unwrap();
+        assert_eq!(rejoined, e);
+        assert_eq!(Expr::conjoin(vec![]), None);
+    }
+
+    #[test]
+    fn display_is_sql_like() {
+        let e = Expr::col("Price").lt(Expr::lit(15000)).and(
+            Expr::col("Model").eq(Expr::lit("Jetta")),
+        );
+        assert_eq!(e.to_string(), "(Price < 15000 AND Model = 'Jetta')");
+    }
+
+    #[test]
+    fn if_else_selects_branch() {
+        let s = Schema::of(&[("x", Int)]);
+        let t = tuple![5];
+        let e = Expr::if_else(
+            Expr::col("x").gt(Expr::lit(3)),
+            Expr::lit("big"),
+            Expr::lit("small"),
+        );
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::str("big"));
+        let t = tuple![1];
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::str("small"));
+    }
+
+    #[test]
+    fn if_else_null_condition_takes_else() {
+        let s = Schema::of(&[("x", Int)]);
+        let t = Tuple::new(vec![Value::Null]);
+        let e = Expr::if_else(
+            Expr::col("x").gt(Expr::lit(3)),
+            Expr::lit(1),
+            Expr::lit(0),
+        );
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn if_else_columns_and_display() {
+        let e = Expr::if_else(
+            Expr::col("a").gt(Expr::lit(0)),
+            Expr::col("b"),
+            Expr::col("c"),
+        );
+        assert_eq!(e.columns().len(), 3);
+        assert_eq!(e.to_string(), "CASE WHEN a > 0 THEN b ELSE c END");
+        let m = e.map_columns(&|c| format!("t.{c}"));
+        assert!(m.columns().contains("t.b"));
+    }
+
+    #[test]
+    fn short_circuit_does_not_mask_errors_on_false_side() {
+        // AND short-circuits on false left operand without evaluating right
+        let s = Schema::of(&[("x", Int)]);
+        let t = tuple![0];
+        let e = Expr::lit(false).and(Expr::col("ghost").gt(Expr::lit(1)));
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::Bool(false));
+        let e = Expr::lit(true).or(Expr::col("ghost").gt(Expr::lit(1)));
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,665 @@
+//! A small recursive-descent parser for the expression language.
+//!
+//! Grammar (priority low → high):
+//!
+//! ```text
+//! expr      := or
+//! or        := and ( OR and )*
+//! and       := unary ( AND unary )*
+//! unary     := NOT unary | predicate
+//! predicate := additive ( cmp-op additive
+//!                        | IS [NOT] NULL
+//!                        | [NOT] LIKE string )?
+//! additive  := multip ( (+|-) multip )*
+//! multip    := atom ( (*|/|%) atom )*
+//! atom      := number | string | TRUE | FALSE | NULL | identifier
+//!            | '(' expr ')' | '-' atom
+//! ```
+//!
+//! Identifiers may be bare (`Price`), quoted with double quotes
+//! (`"Avg Price"`), or dotted (`lineitem.l_price`). This parser backs the
+//! SheetMusiq script language and the SQL front end.
+
+use crate::error::{RelationError, Result};
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::value::Value;
+
+/// Tokens produced by the lexer. Public so the SQL parser in `ssa-sql`
+/// can reuse the same lexer for its clause keywords.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(String),
+}
+
+impl Token {
+    /// Case-insensitive keyword test for identifiers.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self, Token::Symbol(s) if s == sym)
+    }
+}
+
+/// Tokenize an input string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit()
+            || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || chars[i] == '.'
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
+                    || ((chars[i] == '+' || chars[i] == '-')
+                        && i > start
+                        && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+            {
+                if chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                let f = text.parse::<f64>().map_err(|_| RelationError::ParseValue {
+                    text: text.clone(),
+                    wanted: "float",
+                })?;
+                tokens.push(Token::Float(f));
+            } else {
+                let n = text.parse::<i64>().map_err(|_| RelationError::ParseValue {
+                    text: text.clone(),
+                    wanted: "integer",
+                })?;
+                tokens.push(Token::Int(n));
+            }
+        } else if c == '\'' {
+            // single-quoted string literal, '' escapes a quote
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= chars.len() {
+                    return Err(RelationError::ParseValue {
+                        text: input.to_string(),
+                        wanted: "closing single quote",
+                    });
+                }
+                if chars[i] == '\'' {
+                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+            }
+            tokens.push(Token::Str(s));
+        } else if c == '"' {
+            // double-quoted identifier
+            i += 1;
+            let mut s = String::new();
+            while i < chars.len() && chars[i] != '"' {
+                s.push(chars[i]);
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(RelationError::ParseValue {
+                    text: input.to_string(),
+                    wanted: "closing double quote",
+                });
+            }
+            i += 1;
+            tokens.push(Token::Ident(s));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else {
+            // multi-char symbols first
+            let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            if ["<=", ">=", "<>", "!=", "||"].contains(&two.as_str()) {
+                tokens.push(Token::Symbol(two));
+                i += 2;
+            } else if "+-*/%<>=(),".contains(c) {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            } else {
+                return Err(RelationError::ParseValue {
+                    text: c.to_string(),
+                    wanted: "operator or punctuation",
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parse a complete expression from text.
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = ExprParser::new(&tokens);
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(RelationError::ParseValue {
+            text: format!("{:?}", p.peek()),
+            wanted: "end of expression",
+        });
+    }
+    Ok(e)
+}
+
+/// Cursor-based parser over a token slice. `ssa-sql` builds on this for
+/// full single-block statements.
+pub struct ExprParser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    pub fn new(tokens: &'a [Token]) -> ExprParser<'a> {
+        ExprParser { tokens, pos: 0 }
+    }
+
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Move the cursor to a previously saved position (for backtracking
+    /// parsers layered on top, e.g. aggregate-call lookahead in `ssa-sql`).
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.tokens.len());
+    }
+
+    pub fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (case-insensitive) if present.
+    pub fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(t) if t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a symbol if present.
+    pub fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(t) if t.is_symbol(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require a symbol or fail.
+    pub fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(RelationError::ParseValue {
+                text: format!("{:?}", self.peek()),
+                wanted: "symbol",
+            })
+        }
+    }
+
+    /// Require an identifier (not a keyword check — any identifier).
+    pub fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            other => Err(RelationError::ParseValue {
+                text: format!("{other:?}"),
+                wanted: "identifier",
+            }),
+        }
+    }
+
+    pub fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.unary_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.unary_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(self.unary_expr()?.not())
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            if !self.eat_kw("NULL") {
+                return Err(RelationError::ParseValue {
+                    text: format!("{:?}", self.peek()),
+                    wanted: "NULL after IS",
+                });
+            }
+            let e = Expr::IsNull(Box::new(left));
+            return Ok(if negated { e.not() } else { e });
+        }
+        // [NOT] LIKE 'pattern'
+        let not_like = {
+            let save = self.pos;
+            if self.eat_kw("NOT") {
+                if matches!(self.peek(), Some(t) if t.is_kw("LIKE")) {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("LIKE") {
+            match self.bump() {
+                Some(Token::Str(p)) => {
+                    let e = Expr::Like(Box::new(left), p.clone());
+                    return Ok(if not_like { e.not() } else { e });
+                }
+                other => {
+                    return Err(RelationError::ParseValue {
+                        text: format!("{other:?}"),
+                        wanted: "string pattern after LIKE",
+                    })
+                }
+            }
+        }
+        // [NOT] BETWEEN a AND b — desugars to `left >= a AND left <= b`.
+        let not_between = {
+            let save = self.pos;
+            if self.eat_kw("NOT") {
+                if matches!(self.peek(), Some(t) if t.is_kw("BETWEEN")) {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            if !self.eat_kw("AND") {
+                return Err(RelationError::ParseValue {
+                    text: format!("{:?}", self.peek()),
+                    wanted: "AND in BETWEEN",
+                });
+            }
+            let hi = self.additive()?;
+            let e = left.clone().ge(lo).and(left.le(hi));
+            return Ok(if not_between { e.not() } else { e });
+        }
+        // [NOT] IN (v1, v2, …) — desugars to a disjunction of equalities.
+        let not_in = {
+            let save = self.pos;
+            if self.eat_kw("NOT") {
+                if matches!(self.peek(), Some(t) if t.is_kw("IN")) {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("IN") {
+            self.expect_symbol("(")?;
+            let mut alternatives = Vec::new();
+            loop {
+                let v = self.additive()?;
+                alternatives.push(left.clone().eq(v));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            let e = Expr::conjoin_or(alternatives).expect("IN list is non-empty");
+            return Ok(if not_in { e.not() } else { e });
+        }
+        // comparison
+        let op = match self.peek() {
+            Some(t) if t.is_symbol("=") => Some(CmpOp::Eq),
+            Some(t) if t.is_symbol("<>") || t.is_symbol("!=") => Some(CmpOp::Ne),
+            Some(t) if t.is_symbol("<") => Some(CmpOp::Lt),
+            Some(t) if t.is_symbol("<=") => Some(CmpOp::Le),
+            Some(t) if t.is_symbol(">") => Some(CmpOp::Gt),
+            Some(t) if t.is_symbol(">=") => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(left.cmp(op, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            if self.eat_symbol("+") || self.eat_symbol("||") {
+                // `||` is treated as string concat, which `add` performs
+                let right = self.multiplicative()?;
+                left = left.arith(ArithOp::Add, right);
+            } else if self.eat_symbol("-") {
+                let right = self.multiplicative()?;
+                left = left.arith(ArithOp::Sub, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.atom()?;
+        loop {
+            if self.eat_symbol("*") {
+                left = left.arith(ArithOp::Mul, self.atom()?);
+            } else if self.eat_symbol("/") {
+                left = left.arith(ArithOp::Div, self.atom()?);
+            } else if self.eat_symbol("%") {
+                left = left.arith(ArithOp::Mod, self.atom()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        if self.eat_symbol("(") {
+            let e = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        if self.eat_symbol("-") {
+            // Fold negation of numeric literals so `-1` parses as the
+            // literal −1 (round-trips with Display).
+            return Ok(match self.atom()? {
+                Expr::Lit(Value::Int(n)) => Expr::Lit(Value::Int(-n)),
+                Expr::Lit(Value::Float(f)) => Expr::Lit(Value::Float(-f)),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        // CASE WHEN cond THEN a ELSE b END (extension; see Expr::If).
+        if self.eat_kw("CASE") {
+            if !self.eat_kw("WHEN") {
+                return Err(RelationError::ParseValue {
+                    text: format!("{:?}", self.peek()),
+                    wanted: "WHEN after CASE",
+                });
+            }
+            let cond = self.expr()?;
+            if !self.eat_kw("THEN") {
+                return Err(RelationError::ParseValue {
+                    text: format!("{:?}", self.peek()),
+                    wanted: "THEN in CASE",
+                });
+            }
+            let then = self.expr()?;
+            if !self.eat_kw("ELSE") {
+                return Err(RelationError::ParseValue {
+                    text: format!("{:?}", self.peek()),
+                    wanted: "ELSE in CASE",
+                });
+            }
+            let otherwise = self.expr()?;
+            if !self.eat_kw("END") {
+                return Err(RelationError::ParseValue {
+                    text: format!("{:?}", self.peek()),
+                    wanted: "END closing CASE",
+                });
+            }
+            return Ok(Expr::if_else(cond, then, otherwise));
+        }
+        // Function-style IF(cond, a, b).
+        {
+            let save = self.pos();
+            if self.eat_kw("IF") && self.eat_symbol("(") {
+                let cond = self.expr()?;
+                self.expect_symbol(",")?;
+                let then = self.expr()?;
+                self.expect_symbol(",")?;
+                let otherwise = self.expr()?;
+                self.expect_symbol(")")?;
+                return Ok(Expr::if_else(cond, then, otherwise));
+            }
+            self.seek(save);
+        }
+        match self.bump() {
+            Some(Token::Int(n)) => Ok(Expr::Lit(Value::Int(*n))),
+            Some(Token::Float(f)) => Ok(Expr::Lit(Value::Float(*f))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::Str(s.clone()))),
+            Some(Token::Ident(s)) => {
+                if s.eq_ignore_ascii_case("TRUE") {
+                    Ok(Expr::Lit(Value::Bool(true)))
+                } else if s.eq_ignore_ascii_case("FALSE") {
+                    Ok(Expr::Lit(Value::Bool(false)))
+                } else if s.eq_ignore_ascii_case("NULL") {
+                    Ok(Expr::Lit(Value::Null))
+                } else {
+                    Ok(Expr::Col(s.clone()))
+                }
+            }
+            other => Err(RelationError::ParseValue {
+                text: format!("{other:?}"),
+                wanted: "expression atom",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::ValueType::*;
+
+    fn eval(input: &str) -> Value {
+        let schema = Schema::of(&[("Price", Int), ("Model", Str), ("Year", Int)]);
+        let t = tuple![14500, "Jetta", 2005];
+        parse_expr(input).unwrap().eval(&schema, &t).unwrap()
+    }
+
+    #[test]
+    fn parses_numbers_and_arithmetic() {
+        assert_eq!(eval("1 + 2 * 3"), Value::Int(7));
+        assert_eq!(eval("(1 + 2) * 3"), Value::Int(9));
+        assert_eq!(eval("7 / 2"), Value::Float(3.5));
+        assert_eq!(eval("7 % 2"), Value::Int(1));
+        assert_eq!(eval("-3 + 5"), Value::Int(2));
+        assert_eq!(eval("1.5e2"), Value::Float(150.0));
+    }
+
+    #[test]
+    fn parses_comparisons_and_logic() {
+        assert_eq!(eval("Price < 15000"), Value::Bool(true));
+        assert_eq!(eval("Price >= 15000"), Value::Bool(false));
+        assert_eq!(
+            eval("Price < 15000 AND Model = 'Jetta'"),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval("Price > 15000 OR Year = 2005"),
+            Value::Bool(true)
+        );
+        assert_eq!(eval("NOT Price > 15000"), Value::Bool(true));
+        assert_eq!(eval("Price <> 14500"), Value::Bool(false));
+        assert_eq!(eval("Price != 14500"), Value::Bool(false));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // true OR false AND false => true
+        assert_eq!(eval("TRUE OR FALSE AND FALSE"), Value::Bool(true));
+    }
+
+    #[test]
+    fn parses_is_null_and_like() {
+        assert_eq!(eval("Model IS NULL"), Value::Bool(false));
+        assert_eq!(eval("Model IS NOT NULL"), Value::Bool(true));
+        assert_eq!(eval("Model LIKE 'J%'"), Value::Bool(true));
+        assert_eq!(eval("Model NOT LIKE 'C%'"), Value::Bool(true));
+    }
+
+    #[test]
+    fn parses_strings_with_escapes() {
+        assert_eq!(eval("'it''s'"), Value::str("it's"));
+        assert_eq!(eval("'a' + 'b'"), Value::str("ab"));
+        assert_eq!(eval("'a' || 'b'"), Value::str("ab"));
+    }
+
+    #[test]
+    fn parses_quoted_and_dotted_identifiers() {
+        let e = parse_expr("\"Avg Price\" > 10").unwrap();
+        assert!(e.columns().contains("Avg Price"));
+        let e = parse_expr("lineitem.l_qty * part.p_price").unwrap();
+        assert!(e.columns().contains("lineitem.l_qty"));
+    }
+
+    #[test]
+    fn arithmetic_on_columns() {
+        assert_eq!(eval("2 * Price"), Value::Int(29000));
+        assert_eq!(eval("Price - Year"), Value::Int(12495));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("(1 + 2").is_err());
+        assert!(parse_expr("'unterminated").is_err());
+        assert!(parse_expr("1 2").is_err());
+        assert!(parse_expr("Model LIKE 5").is_err());
+        assert!(parse_expr("x IS 5").is_err());
+        assert!(parse_expr("@").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(eval("Price < 15000 and not Model like 'C%'"), Value::Bool(true));
+        assert_eq!(eval("null IS NULL"), Value::Bool(true));
+        assert_eq!(eval("true OR false"), Value::Bool(true));
+    }
+
+    #[test]
+    fn parses_between_and_in() {
+        assert_eq!(eval("Price BETWEEN 14000 AND 15000"), Value::Bool(true));
+        assert_eq!(eval("Price BETWEEN 15000 AND 16000"), Value::Bool(false));
+        assert_eq!(eval("Price NOT BETWEEN 15000 AND 16000"), Value::Bool(true));
+        assert_eq!(eval("Model IN ('Jetta', 'Civic')"), Value::Bool(true));
+        assert_eq!(eval("Model IN ('Civic')"), Value::Bool(false));
+        assert_eq!(eval("Model NOT IN ('Civic', 'Accord')"), Value::Bool(true));
+        assert_eq!(eval("Year IN (2004, 2005, 2006)"), Value::Bool(true));
+        // BETWEEN binds its AND; the outer AND still works
+        assert_eq!(
+            eval("Price BETWEEN 14000 AND 15000 AND Year = 2005"),
+            Value::Bool(true)
+        );
+        assert!(parse_expr("x BETWEEN 1 OR 2").is_err());
+        assert!(parse_expr("x IN ()").is_err());
+        assert!(parse_expr("x IN (1, )").is_err());
+    }
+
+    #[test]
+    fn parses_case_when_and_if_function() {
+        assert_eq!(
+            eval("CASE WHEN Price < 15000 THEN 'cheap' ELSE 'pricey' END"),
+            Value::str("cheap")
+        );
+        assert_eq!(eval("IF(Year = 2005, 1, 0)"), Value::Int(1));
+        assert_eq!(eval("IF(Year = 2006, 1, 0)"), Value::Int(0));
+        // nested
+        assert_eq!(
+            eval("CASE WHEN Price > 20000 THEN 'lux' ELSE IF(Price > 14000, 'mid', 'low') END"),
+            Value::str("mid")
+        );
+        // `if` not followed by `(` is a plain column name
+        let e = parse_expr("if + 1").unwrap();
+        assert!(e.columns().contains("if"));
+    }
+
+    #[test]
+    fn case_requires_all_keywords() {
+        assert!(parse_expr("CASE Price THEN 1 ELSE 0 END").is_err());
+        assert!(parse_expr("CASE WHEN Price > 1 THEN 1 END").is_err());
+        assert!(parse_expr("CASE WHEN Price > 1 THEN 1 ELSE 0").is_err());
+        assert!(parse_expr("IF(Price > 1, 2)").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let inputs = [
+            "Price < 15000 AND Model = 'Jetta'",
+            "(Price + 100) * 2 > Year",
+            "Model LIKE 'J%' OR Model IS NULL",
+            "NOT (Price > 1 AND Year < 2)",
+        ];
+        for input in inputs {
+            let e1 = parse_expr(input).unwrap();
+            let e2 = parse_expr(&e1.to_string()).unwrap();
+            assert_eq!(e1, e2, "round trip failed for `{input}`");
+        }
+    }
+}

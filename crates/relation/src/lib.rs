@@ -1,0 +1,41 @@
+//! # ssa-relation — relational substrate for the spreadsheet algebra
+//!
+//! The ICDE 2009 paper's prototype (SheetMusiq) ran against PostgreSQL.
+//! This crate is the reproduction's stand-in backend: an in-memory
+//! relational engine with
+//!
+//! * a scalar [`value::Value`] system with a total order and SQL-style
+//!   NULL propagation,
+//! * [`schema::Schema`] / [`tuple::Tuple`] / [`relation::Relation`]
+//!   (multiset semantics),
+//! * a scalar expression language ([`expr::Expr`]) with a parser
+//!   ([`expr_parse`]) shared by the SheetMusiq script language and the SQL
+//!   front end,
+//! * aggregate functions ([`agg`]),
+//! * the classical relational operators ([`ops`]) used both as reference
+//!   semantics and as the machinery underneath the spreadsheet algebra,
+//! * CSV I/O ([`csv`]) and a base-relation [`catalog::Catalog`].
+//!
+//! Everything downstream (`spreadsheet-algebra`, `ssa-sql`, `ssa-tpch`,
+//! `sheetmusiq`, `ssa-study`) builds on these types.
+
+pub mod agg;
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod expr_parse;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use agg::AggFunc;
+pub use catalog::Catalog;
+pub use error::{RelationError, Result};
+pub use expr::{ArithOp, CmpOp, Expr};
+pub use relation::Relation;
+pub use schema::{Column, Schema};
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};

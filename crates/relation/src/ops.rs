@@ -1,0 +1,509 @@
+//! Relational algebra over [`Relation`]s with multiset semantics.
+//!
+//! These are the classical operators (the *complete set* of Sec. III-B —
+//! selection, projection, product, union, difference — plus join, distinct,
+//! sort and relational group-by/aggregate). The spreadsheet algebra in
+//! `spreadsheet-algebra` composes them with grouping/ordering retention;
+//! the SQL reference evaluator in `ssa-sql` uses them directly.
+
+use crate::agg::AggFunc;
+use crate::error::{RelationError, Result};
+use crate::expr::Expr;
+use crate::relation::Relation;
+use crate::schema::{Column, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+use std::collections::BTreeMap;
+
+/// σ — keep tuples satisfying `condition`.
+pub fn select(rel: &Relation, condition: &Expr) -> Result<Relation> {
+    let mut out = Relation::new(rel.name(), rel.schema().clone());
+    for t in rel.rows() {
+        if condition.matches(rel.schema(), t)? {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// π (keep-list form) — project onto `columns`, in the order given.
+/// No duplicate elimination (multiset semantics).
+pub fn project(rel: &Relation, columns: &[&str]) -> Result<Relation> {
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| rel.schema().index_of(c))
+        .collect::<Result<_>>()?;
+    let schema = Schema::new(
+        indices
+            .iter()
+            .map(|&i| rel.schema().columns()[i].clone())
+            .collect(),
+    )?;
+    let mut out = Relation::new(rel.name(), schema);
+    for t in rel.rows() {
+        out.insert(t.project(&indices))?;
+    }
+    Ok(out)
+}
+
+/// π (drop-one form) — remove a single column; this is the spreadsheet π
+/// of Def. 6.
+pub fn project_out(rel: &Relation, column: &str) -> Result<Relation> {
+    let keep: Vec<&str> = rel
+        .schema()
+        .names()
+        .into_iter()
+        .filter(|n| *n != column)
+        .collect();
+    if keep.len() == rel.schema().len() {
+        return Err(RelationError::UnknownColumn { name: column.to_string() });
+    }
+    project(rel, &keep)
+}
+
+/// × — Cartesian product. Clashing right-hand names are prefixed with the
+/// right relation's name (Def. 7's `C^j ∪ C^k_s`).
+pub fn product(left: &Relation, right: &Relation) -> Result<Relation> {
+    let schema = left.schema().product(right.schema(), right.name());
+    let mut out = Relation::new(
+        format!("{}_x_{}", left.name(), right.name()),
+        schema,
+    );
+    for l in left.rows() {
+        for r in right.rows() {
+            out.insert(l.concat(r))?;
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈ — join on an arbitrary condition evaluated over the concatenated row
+/// (Def. 10: relational join with condition F). Equivalent to
+/// `select(product(l, r), F)` but avoids materializing non-matches.
+pub fn join(left: &Relation, right: &Relation, condition: &Expr) -> Result<Relation> {
+    let schema = left.schema().product(right.schema(), right.name());
+    let mut out = Relation::new(
+        format!("{}_join_{}", left.name(), right.name()),
+        schema,
+    );
+    for l in left.rows() {
+        for r in right.rows() {
+            let combined = l.concat(r);
+            if condition.matches(out.schema(), &combined)? {
+                out.insert(combined)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ∪ — multiset union (UNION ALL): "the union of a tuple and its duplicate
+/// are two identical tuples" (Sec. III-B). Columns of `right` are aligned
+/// to `left`'s column order by name.
+pub fn union_all(left: &Relation, right: &Relation) -> Result<Relation> {
+    let mapping = alignment(left, right)?;
+    let mut out = Relation::new(left.name(), left.schema().clone());
+    for t in left.rows() {
+        out.insert(t.clone())?;
+    }
+    for t in right.rows() {
+        out.insert(t.project(&mapping))?;
+    }
+    Ok(out)
+}
+
+/// − — multiset difference: `{t, t} − {t} = {t}` (Sec. III-B). Each tuple
+/// of `right` cancels at most one equal tuple of `left`.
+pub fn difference(left: &Relation, right: &Relation) -> Result<Relation> {
+    let mapping = alignment(left, right)?;
+    let mut budget: BTreeMap<Tuple, usize> = BTreeMap::new();
+    for t in right.rows() {
+        *budget.entry(t.project(&mapping)).or_insert(0) += 1;
+    }
+    let mut out = Relation::new(left.name(), left.schema().clone());
+    for t in left.rows() {
+        match budget.get_mut(t) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.insert(t.clone())?,
+        }
+    }
+    Ok(out)
+}
+
+/// δ — duplicate elimination (DISTINCT), preserving first-occurrence order.
+pub fn distinct(rel: &Relation) -> Result<Relation> {
+    let mut seen: BTreeMap<Tuple, ()> = BTreeMap::new();
+    let mut out = Relation::new(rel.name(), rel.schema().clone());
+    for t in rel.rows() {
+        if seen.insert(t.clone(), ()).is_none() {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// A sort key: column plus direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: String,
+    pub ascending: bool,
+}
+
+impl SortKey {
+    pub fn asc(column: impl Into<String>) -> SortKey {
+        SortKey { column: column.into(), ascending: true }
+    }
+
+    pub fn desc(column: impl Into<String>) -> SortKey {
+        SortKey { column: column.into(), ascending: false }
+    }
+}
+
+/// Sort by a list of keys (stable, so previous order is the final
+/// tiebreak — exactly what an interactive spreadsheet user expects when
+/// clicking one column header after another).
+pub fn sort(rel: &Relation, keys: &[SortKey]) -> Result<Relation> {
+    let indices: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| rel.schema().index_of(&k.column).map(|i| (i, k.ascending)))
+        .collect::<Result<_>>()?;
+    let mut rows = rel.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for &(idx, asc) in &indices {
+            let ord = a.get(idx).cmp(b.get(idx));
+            let ord = if asc { ord } else { ord.reverse() };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Relation::with_rows(rel.name(), rel.schema().clone(), rows)
+}
+
+/// One aggregate output: function, input column (`None` = COUNT(*)), and
+/// the output column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub column: Option<String>,
+    pub output: String,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, column: Option<&str>, output: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func,
+            column: column.map(|c| c.to_string()),
+            output: output.into(),
+        }
+    }
+}
+
+/// Relational GROUP BY + aggregation: one output tuple per group, with the
+/// grouping columns followed by the aggregate columns. This is the
+/// *relational* semantics used as the SQL reference; the spreadsheet
+/// algebra instead materializes aggregates as repeated computed columns
+/// (Def. 11) — the contrast is the heart of the paper's aggregation
+/// challenge.
+pub fn group_aggregate(
+    rel: &Relation,
+    group_by: &[&str],
+    aggs: &[AggSpec],
+) -> Result<Relation> {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| rel.schema().index_of(c))
+        .collect::<Result<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => rel.schema().index_of(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<_>>()?;
+
+    // Output schema: group columns, then aggregate result columns.
+    let mut cols: Vec<Column> = group_idx
+        .iter()
+        .map(|&i| rel.schema().columns()[i].clone())
+        .collect();
+    for (spec, idx) in aggs.iter().zip(&agg_idx) {
+        let ty = match spec.func {
+            AggFunc::Count | AggFunc::CountNonNull | AggFunc::CountDistinct => ValueType::Int,
+            AggFunc::Avg | AggFunc::StdDev => ValueType::Float,
+            AggFunc::Sum => idx
+                .map(|i| rel.schema().columns()[i].ty)
+                .unwrap_or(ValueType::Int),
+            AggFunc::Min | AggFunc::Max => idx
+                .map(|i| rel.schema().columns()[i].ty)
+                .unwrap_or(ValueType::Null),
+        };
+        cols.push(Column::new(spec.output.clone(), ty));
+    }
+    let schema = Schema::new(cols)?;
+
+    // Group rows by key, preserving first-appearance order of groups.
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut groups: BTreeMap<Tuple, Vec<usize>> = BTreeMap::new();
+    for (ri, t) in rel.rows().iter().enumerate() {
+        let key = t.project(&group_idx);
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(ri);
+    }
+
+    let mut out = Relation::new(format!("{}_grouped", rel.name()), schema);
+    for key in order {
+        let members = &groups[&key];
+        let mut values = key.clone().into_values();
+        for (spec, idx) in aggs.iter().zip(&agg_idx) {
+            let inputs: Vec<Value> = match idx {
+                Some(i) => members.iter().map(|&ri| rel.rows()[ri].get(*i).clone()).collect(),
+                // COUNT(*): one unit value per tuple
+                None => members.iter().map(|_| Value::Int(1)).collect(),
+            };
+            values.push(spec.func.apply(&inputs)?);
+        }
+        out.insert(Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+/// θ helper — extend a relation with one computed column defined by an
+/// expression over each row (Def. 12 core).
+pub fn extend(rel: &Relation, name: &str, expr: &Expr) -> Result<Relation> {
+    let mut out = rel.clone();
+    // Determine the output type from the first non-null result.
+    let mut ty = ValueType::Null;
+    let mut values = Vec::with_capacity(rel.len());
+    for t in rel.rows() {
+        let v = expr.eval(rel.schema(), t)?;
+        ty = ty.unify(v.value_type());
+        values.push(v);
+    }
+    let mut iter = values.into_iter();
+    out.add_column(Column::new(name, ty), |_, _| {
+        iter.next().expect("row count is stable during extend")
+    })?;
+    Ok(out)
+}
+
+/// Column alignment mapping from `left`'s order into `right`'s indices,
+/// failing unless the relations are union-compatible.
+fn alignment(left: &Relation, right: &Relation) -> Result<Vec<usize>> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::NotUnionCompatible {
+            left: left.schema().to_string(),
+            right: right.schema().to_string(),
+        });
+    }
+    left.schema()
+        .columns()
+        .iter()
+        .map(|c| right.schema().index_of(&c.name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::ValueType::*;
+
+    fn cars() -> Relation {
+        let schema = Schema::of(&[
+            ("ID", Int),
+            ("Model", Str),
+            ("Price", Int),
+            ("Year", Int),
+        ]);
+        Relation::with_rows(
+            "cars",
+            schema,
+            vec![
+                tuple![304, "Jetta", 14500, 2005],
+                tuple![872, "Jetta", 15000, 2005],
+                tuple![423, "Jetta", 17000, 2006],
+                tuple![132, "Civic", 13500, 2005],
+                tuple![879, "Civic", 15000, 2006],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = select(&cars(), &Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.rows().iter().all(|t| t.get(3) == &Value::Int(2005)));
+    }
+
+    #[test]
+    fn select_propagates_eval_errors() {
+        assert!(select(&cars(), &Expr::col("Ghost").eq(Expr::lit(1))).is_err());
+    }
+
+    #[test]
+    fn project_keeps_order_and_duplicates() {
+        let r = project(&cars(), &["Model", "Year"]).unwrap();
+        assert_eq!(r.schema().names(), vec!["Model", "Year"]);
+        assert_eq!(r.len(), 5); // no duplicate elimination
+        let r2 = project_out(&r, "Year").unwrap();
+        assert_eq!(r2.schema().names(), vec!["Model"]);
+        assert_eq!(r2.len(), 5);
+        // Jetta appears 3 times
+        assert_eq!(r2.histogram()[&tuple!["Jetta"]], 3);
+    }
+
+    #[test]
+    fn project_out_unknown_column_errors() {
+        assert!(project_out(&cars(), "Ghost").is_err());
+    }
+
+    #[test]
+    fn product_sizes_and_names() {
+        let dealers = Relation::with_rows(
+            "dealers",
+            Schema::of(&[("ID", Int), ("City", Str)]),
+            vec![tuple![1, "Ann Arbor"], tuple![2, "Detroit"]],
+        )
+        .unwrap();
+        let p = product(&cars(), &dealers).unwrap();
+        assert_eq!(p.len(), 10);
+        assert!(p.schema().contains("dealers.ID"));
+        assert!(p.schema().contains("City"));
+    }
+
+    #[test]
+    fn join_matches_product_plus_select() {
+        let models = Relation::with_rows(
+            "models",
+            Schema::of(&[("Name", Str), ("Maker", Str)]),
+            vec![tuple!["Jetta", "VW"], tuple!["Civic", "Honda"]],
+        )
+        .unwrap();
+        let cond = Expr::col("Model").eq(Expr::col("Name"));
+        let j = join(&cars(), &models, &cond).unwrap();
+        let p = select(&product(&cars(), &models).unwrap(), &cond).unwrap();
+        assert_eq!(j.len(), 5);
+        assert!(j.multiset_eq(&p));
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates_and_aligns_columns() {
+        let a = Relation::with_rows(
+            "a",
+            Schema::of(&[("x", Int), ("y", Str)]),
+            vec![tuple![1, "p"]],
+        )
+        .unwrap();
+        let b = Relation::with_rows(
+            "b",
+            Schema::of(&[("y", Str), ("x", Int)]),
+            vec![tuple!["p", 1], tuple!["q", 2]],
+        )
+        .unwrap();
+        let u = union_all(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.histogram()[&tuple![1, "p"]], 2);
+    }
+
+    #[test]
+    fn union_requires_compatibility() {
+        let a = Relation::new("a", Schema::of(&[("x", Int)]));
+        let b = Relation::new("b", Schema::of(&[("z", Int)]));
+        assert!(matches!(
+            union_all(&a, &b),
+            Err(RelationError::NotUnionCompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn difference_is_multiset() {
+        let schema = Schema::of(&[("x", Int)]);
+        let a = Relation::with_rows("a", schema.clone(), vec![tuple![1], tuple![1], tuple![2]])
+            .unwrap();
+        let b = Relation::with_rows("b", schema, vec![tuple![1]]).unwrap();
+        let d = difference(&a, &b).unwrap();
+        // {1,1,2} − {1} = {1,2}
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.histogram()[&tuple![1]], 1);
+        assert_eq!(d.histogram()[&tuple![2]], 1);
+    }
+
+    #[test]
+    fn distinct_preserves_first_occurrence_order() {
+        let schema = Schema::of(&[("x", Int)]);
+        let r = Relation::with_rows(
+            "r",
+            schema,
+            vec![tuple![2], tuple![1], tuple![2], tuple![3], tuple![1]],
+        )
+        .unwrap();
+        let d = distinct(&r).unwrap();
+        let xs: Vec<&Value> = d.rows().iter().map(|t| t.get(0)).collect();
+        assert_eq!(xs, vec![&Value::Int(2), &Value::Int(1), &Value::Int(3)]);
+    }
+
+    #[test]
+    fn sort_is_stable_multi_key() {
+        let r = sort(
+            &cars(),
+            &[SortKey::asc("Model"), SortKey::desc("Price")],
+        )
+        .unwrap();
+        let ids: Vec<&Value> = r.rows().iter().map(|t| t.get(0)).collect();
+        assert_eq!(
+            ids,
+            vec![
+                &Value::Int(879), // Civic 15000
+                &Value::Int(132), // Civic 13500
+                &Value::Int(423), // Jetta 17000
+                &Value::Int(872), // Jetta 15000
+                &Value::Int(304), // Jetta 14500
+            ]
+        );
+    }
+
+    #[test]
+    fn group_aggregate_relational_semantics() {
+        let r = group_aggregate(
+            &cars(),
+            &["Model"],
+            &[
+                AggSpec::new(AggFunc::Avg, Some("Price"), "Avg_Price"),
+                AggSpec::new(AggFunc::Count, None, "N"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().names(), vec!["Model", "Avg_Price", "N"]);
+        // groups appear in first-appearance order: Jetta then Civic
+        assert_eq!(r.rows()[0].get(0), &Value::str("Jetta"));
+        assert_eq!(r.rows()[0].get(1), &Value::Float(15500.0));
+        assert_eq!(r.rows()[0].get(2), &Value::Int(3));
+        assert_eq!(r.rows()[1].get(1), &Value::Float(14250.0));
+    }
+
+    #[test]
+    fn group_aggregate_empty_group_by_is_global() {
+        let r = group_aggregate(
+            &cars(),
+            &[],
+            &[AggSpec::new(AggFunc::Max, Some("Price"), "MaxP")],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0].get(0), &Value::Int(17000));
+    }
+
+    #[test]
+    fn extend_adds_computed_column() {
+        let e = Expr::col("Price").div(Expr::lit(1000));
+        let r = extend(&cars(), "PriceK", &e).unwrap();
+        assert_eq!(r.value_at(0, "PriceK").unwrap(), &Value::Float(14.5));
+        assert!(extend(&r, "PriceK", &e).is_err(), "duplicate name rejected");
+    }
+}

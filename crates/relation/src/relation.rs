@@ -1,0 +1,285 @@
+//! Relations: schemas plus multisets of tuples.
+//!
+//! A [`Relation`] keeps its tuples in insertion order — callers that need a
+//! particular presentation order sort explicitly. Multiset semantics follow
+//! the paper (Sec. III-B): duplicates are kept by projection and set
+//! operators, and `{t, t} − {t} = {t}`.
+
+use crate::error::{RelationError, Result};
+use crate::schema::{Column, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named multiset of tuples with a fixed schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Relation {
+        Relation { name: name.into(), schema, rows: Vec::new() }
+    }
+
+    /// Create a relation from rows, validating widths.
+    pub fn with_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Tuple>,
+    ) -> Result<Relation> {
+        let mut r = Relation::new(name, schema);
+        for t in rows {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn rows_mut(&mut self) -> &mut Vec<Tuple> {
+        &mut self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert one tuple, validating its width against the schema.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.len() != self.schema.len() {
+            return Err(RelationError::TypeMismatch {
+                context: format!(
+                    "tuple width {} does not match schema width {} of `{}`",
+                    tuple.len(),
+                    self.schema.len(),
+                    self.name
+                ),
+            });
+        }
+        self.rows.push(tuple);
+        Ok(())
+    }
+
+    /// Value at (row, column-name).
+    pub fn value_at(&self, row: usize, column: &str) -> Result<&Value> {
+        let idx = self.schema.index_of(column)?;
+        Ok(self.rows[row].get(idx))
+    }
+
+    /// All values in a column, in row order.
+    pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(column)?;
+        Ok(self.rows.iter().map(|t| t.get(idx).clone()).collect())
+    }
+
+    /// Add a column filled by `fill(row_index, tuple)`.
+    pub fn add_column<F>(&mut self, column: Column, mut fill: F) -> Result<()>
+    where
+        F: FnMut(usize, &Tuple) -> Value,
+    {
+        if self.schema.contains(&column.name) {
+            return Err(RelationError::DuplicateColumn { name: column.name });
+        }
+        // Compute all values before mutating the schema so `fill` sees
+        // consistent widths.
+        let values: Vec<Value> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, t)| fill(i, t))
+            .collect();
+        self.schema.push(column)?;
+        for (t, v) in self.rows.iter_mut().zip(values) {
+            t.push(v);
+        }
+        Ok(())
+    }
+
+    /// Remove a column and its values from every row.
+    pub fn drop_column(&mut self, name: &str) -> Result<()> {
+        let idx = self.schema.remove(name)?;
+        for t in &mut self.rows {
+            t.remove(idx);
+        }
+        Ok(())
+    }
+
+    /// Multiset equality: same schema (same column order) and the same
+    /// tuples irrespective of row order.
+    pub fn multiset_eq(&self, other: &Relation) -> bool {
+        if self.schema != other.schema || self.len() != other.len() {
+            return false;
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Multiset equality after aligning `other`'s columns to `self`'s
+    /// column order (columns must have the same names).
+    pub fn multiset_eq_unordered_columns(&self, other: &Relation) -> bool {
+        if self.schema.len() != other.schema.len() || self.len() != other.len() {
+            return false;
+        }
+        let mapping: Option<Vec<usize>> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| other.schema.index_of(&c.name).ok())
+            .collect();
+        let Some(mapping) = mapping else { return false };
+        let mut a = self.rows.clone();
+        let mut b: Vec<Tuple> = other.rows.iter().map(|t| t.project(&mapping)).collect();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Count of each distinct tuple (useful in multiset-semantics tests).
+    pub fn histogram(&self) -> BTreeMap<Tuple, usize> {
+        let mut h = BTreeMap::new();
+        for t in &self.rows {
+            *h.entry(t.clone()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::ValueType::*;
+
+    fn cars() -> Relation {
+        let schema = Schema::of(&[("ID", Int), ("Model", Str), ("Price", Int)]);
+        Relation::with_rows(
+            "cars",
+            schema,
+            vec![
+                tuple![304, "Jetta", 14500],
+                tuple![872, "Jetta", 15000],
+                tuple![132, "Civic", 13500],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_validates_width() {
+        let mut r = cars();
+        assert!(r.insert(tuple![1, "x"]).is_err());
+        assert!(r.insert(tuple![1, "x", 2]).is_ok());
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn value_and_column_access() {
+        let r = cars();
+        assert_eq!(r.value_at(0, "Model").unwrap(), &Value::str("Jetta"));
+        assert_eq!(
+            r.column_values("Price").unwrap(),
+            vec![Value::Int(14500), Value::Int(15000), Value::Int(13500)]
+        );
+        assert!(r.value_at(0, "Nope").is_err());
+    }
+
+    #[test]
+    fn add_and_drop_column() {
+        let mut r = cars();
+        r.add_column(Column::new("Discounted", Int), |_, t| {
+            t.get(2).sub(&Value::Int(500)).unwrap()
+        })
+        .unwrap();
+        assert_eq!(r.value_at(0, "Discounted").unwrap(), &Value::Int(14000));
+        assert!(r
+            .add_column(Column::new("Discounted", Int), |_, _| Value::Null)
+            .is_err());
+        r.drop_column("Discounted").unwrap();
+        assert!(!r.schema().contains("Discounted"));
+        assert_eq!(r.rows()[0].len(), 3);
+    }
+
+    #[test]
+    fn multiset_eq_ignores_row_order() {
+        let a = cars();
+        let mut b = cars();
+        b.rows_mut().reverse();
+        assert!(a.multiset_eq(&b));
+        b.rows_mut().pop();
+        assert!(!a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn multiset_eq_respects_duplicates() {
+        let schema = Schema::of(&[("x", Int)]);
+        let a = Relation::with_rows("a", schema.clone(), vec![tuple![1], tuple![1]]).unwrap();
+        let b = Relation::with_rows("b", schema.clone(), vec![tuple![1]]).unwrap();
+        assert!(!a.multiset_eq(&b));
+        let c = Relation::with_rows("c", schema, vec![tuple![1], tuple![1]]).unwrap();
+        // names differ but schema & rows match; names are not part of equality
+        assert!(a.multiset_eq(&c));
+    }
+
+    #[test]
+    fn multiset_eq_unordered_columns_aligns() {
+        let a = Relation::with_rows(
+            "a",
+            Schema::of(&[("x", Int), ("y", Str)]),
+            vec![tuple![1, "p"], tuple![2, "q"]],
+        )
+        .unwrap();
+        let b = Relation::with_rows(
+            "b",
+            Schema::of(&[("y", Str), ("x", Int)]),
+            vec![tuple!["q", 2], tuple!["p", 1]],
+        )
+        .unwrap();
+        assert!(a.multiset_eq_unordered_columns(&b));
+    }
+
+    #[test]
+    fn histogram_counts_duplicates() {
+        let schema = Schema::of(&[("x", Int)]);
+        let r = Relation::with_rows("r", schema, vec![tuple![1], tuple![2], tuple![1]]).unwrap();
+        let h = r.histogram();
+        assert_eq!(h[&tuple![1]], 2);
+        assert_eq!(h[&tuple![2]], 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Schemas: ordered lists of named, typed columns.
+
+use crate::error::{RelationError, Result};
+use crate::value::ValueType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single column: a name and a declared type.
+///
+/// Column names are case-sensitive, matching the paper's examples
+/// (`Avg_Price` vs `Price`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ty: ValueType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Column {
+        Column { name: name.into(), ty }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// An ordered set of columns. Column order matters for display (it is the
+/// left-to-right order of the spreadsheet) but not for union compatibility.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(RelationError::DuplicateColumn { name: c.name.clone() });
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Empty schema (zero columns).
+    pub fn empty() -> Schema {
+        Schema { columns: Vec::new() }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on
+    /// duplicates, for use in tests and static schema definitions.
+    pub fn of(cols: &[(&str, ValueType)]) -> Schema {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+            .expect("static schema must not contain duplicates")
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| RelationError::UnknownColumn { name: name.to_string() })
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self.index_of(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// All column names in display order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Append a column, rejecting duplicates.
+    pub fn push(&mut self, column: Column) -> Result<()> {
+        if self.contains(&column.name) {
+            return Err(RelationError::DuplicateColumn { name: column.name });
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Remove a column by name, returning its former position.
+    pub fn remove(&mut self, name: &str) -> Result<usize> {
+        let idx = self.index_of(name)?;
+        self.columns.remove(idx);
+        Ok(idx)
+    }
+
+    /// Rename a column, rejecting clashes with existing names.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        if from != to && self.contains(to) {
+            return Err(RelationError::DuplicateColumn { name: to.to_string() });
+        }
+        let idx = self.index_of(from)?;
+        self.columns[idx].name = to.to_string();
+        Ok(())
+    }
+
+    /// Union compatibility: same multiset of (name, type) pairs. The paper
+    /// requires "the same set of columns, excluding computed attributes"
+    /// (Sec. III-B, set operators); callers exclude computed columns first.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.columns.iter().all(|c| {
+            other.columns.iter().any(|d| {
+                // Same name, and types that unify without degrading to Str
+                // (or are identical, covering Str/Str itself).
+                d.name == c.name && (d.ty == c.ty || d.ty.unify(c.ty) != ValueType::Str)
+            })
+        })
+    }
+
+    /// Concatenate two schemas for a product/join, disambiguating clashing
+    /// names from the right side with a prefix (`right.Name`), mirroring
+    /// how the prototype displays joined sheets.
+    pub fn product(&self, other: &Schema, right_prefix: &str) -> Schema {
+        let mut cols = self.columns.clone();
+        for c in &other.columns {
+            let name = if self.contains(&c.name) {
+                format!("{right_prefix}.{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            // A prefixed name could still clash; keep appending primes.
+            let mut unique = name;
+            while cols.iter().any(|d| d.name == unique) {
+                unique.push('\'');
+            }
+            cols.push(Column::new(unique, c.ty));
+        }
+        Schema { columns: cols }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ValueType::*;
+
+    fn cars() -> Schema {
+        Schema::of(&[
+            ("ID", Int),
+            ("Model", Str),
+            ("Price", Int),
+            ("Year", Int),
+        ])
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = Schema::new(vec![Column::new("a", Int), Column::new("a", Str)]);
+        assert_eq!(r, Err(RelationError::DuplicateColumn { name: "a".into() }));
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = cars();
+        assert_eq!(s.index_of("Price").unwrap(), 2);
+        assert!(s.index_of("Nope").is_err());
+        assert!(s.contains("Model"));
+        assert_eq!(s.column("Year").unwrap().ty, Int);
+    }
+
+    #[test]
+    fn push_remove_rename() {
+        let mut s = cars();
+        s.push(Column::new("Mileage", Int)).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(s.push(Column::new("Mileage", Int)).is_err());
+        let pos = s.remove("Model").unwrap();
+        assert_eq!(pos, 1);
+        assert!(!s.contains("Model"));
+        s.rename("Price", "Cost").unwrap();
+        assert!(s.contains("Cost"));
+        assert!(s.rename("Cost", "Year").is_err());
+        assert!(s.rename("Ghost", "X").is_err());
+    }
+
+    #[test]
+    fn union_compatibility_ignores_order() {
+        let a = Schema::of(&[("x", Int), ("y", Str)]);
+        let b = Schema::of(&[("y", Str), ("x", Int)]);
+        let c = Schema::of(&[("x", Int), ("z", Str)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+        assert!(!a.union_compatible(&Schema::of(&[("x", Int)])));
+    }
+
+    #[test]
+    fn product_disambiguates_clashes() {
+        let a = Schema::of(&[("id", Int), ("name", Str)]);
+        let b = Schema::of(&[("id", Int), ("city", Str)]);
+        let p = a.product(&b, "right");
+        assert_eq!(p.names(), vec!["id", "name", "right.id", "city"]);
+    }
+
+    #[test]
+    fn product_handles_repeated_clash() {
+        let a = Schema::of(&[("id", Int), ("r.id", Int)]);
+        let b = Schema::of(&[("id", Int)]);
+        let p = a.product(&b, "r");
+        assert_eq!(p.len(), 3);
+        // all names unique
+        let names = p.names();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::of(&[("a", Int), ("b", Str)]);
+        assert_eq!(s.to_string(), "(a: int, b: str)");
+    }
+}

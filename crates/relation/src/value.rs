@@ -1,0 +1,516 @@
+//! Scalar values stored in spreadsheet cells and relation fields.
+//!
+//! The paper's prototype sat on PostgreSQL; this module supplies the value
+//! system the substrate needs: NULL, booleans, 64-bit integers, floats and
+//! strings, with a *total* order (so any column can participate in grouping
+//! and ordering, Def. 1) and SQL-style arithmetic where NULL propagates.
+
+use crate::error::{RelationError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The dynamic type of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// The type of `Value::Null` when no better type is known.
+    Null,
+    Bool,
+    Int,
+    Float,
+    Str,
+}
+
+impl ValueType {
+    /// Whether a value of this type supports arithmetic aggregation
+    /// (SUM/AVG). COUNT/MIN/MAX work on every type.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueType::Int | ValueType::Float)
+    }
+
+    /// The common supertype of two types, used for column type inference.
+    /// Int and Float widen to Float; anything joined with Null keeps the
+    /// non-null type; otherwise mixed types degrade to Str.
+    pub fn unify(self, other: ValueType) -> ValueType {
+        use ValueType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Null, b) => b,
+            (a, Null) => a,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Str,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Null => "null",
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// `Value` implements [`Ord`] with a *total* order so spreadsheets can be
+/// grouped and sorted on any column: NULL sorts first, then booleans
+/// (false < true), then numbers (integers and floats compared numerically,
+/// with ties broken in favour of the integer so ordering is antisymmetric),
+/// then strings (lexicographic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The dynamic type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Null,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for predicate evaluation. NULL is not true (SQL
+    /// three-valued logic collapses to "not selected" at the filter).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Parse a textual field into the most specific value type:
+    /// empty → NULL, `true`/`false` → Bool, integer, float, else string.
+    /// Currency/thousands decorations (`$`, `,`) are tolerated for numbers,
+    /// matching the paper's used-car examples ("\$14,500", "76,000").
+    pub fn infer_parse(text: &str) -> Value {
+        let t = text.trim();
+        if t.is_empty() {
+            return Value::Null;
+        }
+        match t {
+            "true" | "TRUE" | "True" => return Value::Bool(true),
+            "false" | "FALSE" | "False" => return Value::Bool(false),
+            _ => {}
+        }
+        let cleaned: String = t.chars().filter(|&c| c != '$' && c != ',').collect();
+        let candidate = cleaned.trim();
+        if !candidate.is_empty() {
+            if let Ok(i) = candidate.parse::<i64>() {
+                // Only treat as numeric if the decorations were plausible
+                // (i.e. the original was not arbitrary text with a comma).
+                if t.chars().all(|c| c.is_ascii_digit() || "+-$,. ".contains(c)) {
+                    return Value::Int(i);
+                }
+            }
+            if let Ok(f) = candidate.parse::<f64>() {
+                if t.chars()
+                    .all(|c| c.is_ascii_digit() || "+-$,.eE ".contains(c))
+                {
+                    return Value::Float(f);
+                }
+            }
+        }
+        Value::Str(t.to_string())
+    }
+
+    /// SQL-style addition with NULL propagation; strings concatenate.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        binary_numeric(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b)
+            .or_else(|e| match (self, other) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+                _ => Err(e),
+            })
+    }
+
+    /// SQL-style subtraction with NULL propagation.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        binary_numeric(self, other, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// SQL-style multiplication with NULL propagation.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        binary_numeric(self, other, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Division. Integer/integer division produces a float (spreadsheet
+    /// semantics — users expect `7 / 2 = 3.5` in a formula cell).
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let (a, b) = (
+            self.as_f64().ok_or_else(|| type_mismatch("/", self, other))?,
+            other.as_f64().ok_or_else(|| type_mismatch("/", self, other))?,
+        );
+        if b == 0.0 {
+            return Err(RelationError::DivisionByZero);
+        }
+        Ok(Value::Float(a / b))
+    }
+
+    /// Modulo on integers (floats are truncated), NULL propagating.
+    pub fn rem(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(RelationError::DivisionByZero)
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => Err(type_mismatch("%", self, other)),
+        }
+    }
+
+    /// Unary negation, NULL propagating.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            _ => Err(RelationError::TypeMismatch {
+                context: format!("cannot negate {self}"),
+            }),
+        }
+    }
+
+    /// Comparison for predicates: returns NULL if either side is NULL
+    /// (SQL semantics), otherwise Bool of the comparison on the total order.
+    pub fn sql_cmp(&self, other: &Value, test: fn(Ordering) -> bool) -> Value {
+        if self.is_null() || other.is_null() {
+            return Value::Null;
+        }
+        Value::Bool(test(self.cmp(other)))
+    }
+}
+
+fn type_mismatch(op: &str, a: &Value, b: &Value) -> RelationError {
+    RelationError::TypeMismatch {
+        context: format!("`{a}` {op} `{b}`"),
+    }
+}
+
+fn binary_numeric(
+    a: &Value,
+    b: &Value,
+    op: &str,
+    int_op: fn(i64, i64) -> Option<i64>,
+    float_op: fn(f64, f64) -> f64,
+) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => int_op(*x, *y)
+            .map(Value::Int)
+            .ok_or_else(|| RelationError::TypeMismatch {
+                context: format!("integer overflow in `{x}` {op} `{y}`"),
+            }),
+        _ => {
+            let (x, y) = (
+                a.as_f64().ok_or_else(|| type_mismatch(op, a, b))?,
+                b.as_f64().ok_or_else(|| type_mismatch(op, a, b))?,
+            );
+            Ok(Value::Float(float_op(x, y)))
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float that compare equal must hash equally; hash the
+            // f64 bits of the numeric value for both.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn total_order_ranks_types() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Int(3),
+            Value::Float(3.5),
+            Value::str("abc"),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+        // equal numerics: int sorts before float but neither equals the
+        // other is NOT the rule — equality is numeric; ordering breaks the
+        // tie deterministically.
+        assert!(Value::Int(2) < Value::Float(2.0));
+        assert!(Value::Float(2.0) > Value::Int(2));
+    }
+
+    #[test]
+    fn ordering_is_antisymmetric_for_mixed_numerics() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a.cmp(&b), Ordering::Less);
+        assert_eq!(b.cmp(&a), Ordering::Greater);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_same_variant() {
+        assert_eq!(h(&Value::Int(7)), h(&Value::Int(7)));
+        assert_eq!(h(&Value::str("x")), h(&Value::str("x")));
+        assert_ne!(h(&Value::Int(7)), h(&Value::Int(8)));
+    }
+
+    #[test]
+    fn arithmetic_null_propagates() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).mul(&Value::Null).unwrap(), Value::Null);
+        assert_eq!(Value::Null.div(&Value::Null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_mixed_numeric() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(Value::Int(7).rem(&Value::Int(4)).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn string_concat_via_add() {
+        assert_eq!(
+            Value::str("foo").add(&Value::str("bar")).unwrap(),
+            Value::str("foobar")
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(RelationError::DivisionByZero)
+        );
+        assert_eq!(
+            Value::Int(1).rem(&Value::Int(0)),
+            Err(RelationError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_panic() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MIN).sub(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        assert!(Value::str("a").sub(&Value::Int(1)).is_err());
+        assert!(Value::Bool(true).neg().is_err());
+    }
+
+    #[test]
+    fn sql_cmp_null_yields_null() {
+        assert_eq!(
+            Value::Null.sql_cmp(&Value::Int(1), Ordering::is_eq),
+            Value::Null
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(1), Ordering::is_eq),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(2), Ordering::is_lt),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn infer_parse_currency_and_thousands() {
+        assert_eq!(Value::infer_parse("$14,500"), Value::Int(14500));
+        assert_eq!(Value::infer_parse("76,000"), Value::Int(76000));
+        assert_eq!(Value::infer_parse("3.25"), Value::Float(3.25));
+        assert_eq!(Value::infer_parse("Jetta"), Value::str("Jetta"));
+        assert_eq!(Value::infer_parse(""), Value::Null);
+        assert_eq!(Value::infer_parse("true"), Value::Bool(true));
+        // a comma inside text must not be mistaken for a number
+        assert_eq!(Value::infer_parse("a,b"), Value::str("a,b"));
+    }
+
+    #[test]
+    fn display_round_trips_ints() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn unify_types() {
+        use ValueType::*;
+        assert_eq!(Int.unify(Float), Float);
+        assert_eq!(Null.unify(Str), Str);
+        assert_eq!(Int.unify(Str), Str);
+        assert_eq!(Bool.unify(Bool), Bool);
+    }
+
+    #[test]
+    fn is_true_only_for_bool_true() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Bool(false).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(!Value::Int(1).is_true());
+    }
+}

@@ -1,0 +1,245 @@
+//! Property tests for the relational substrate: value ordering laws,
+//! multiset-operator algebra, sort stability, CSV round-trips, and
+//! expression-parser round-trips.
+
+use proptest::prelude::*;
+use ssa_relation::expr_parse::parse_expr;
+use ssa_relation::ops::{self, SortKey};
+use ssa_relation::schema::Schema;
+use ssa_relation::{Expr, Relation, Tuple, Value};
+use ssa_relation::ValueType::{Int, Str};
+use std::cmp::Ordering;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        "[a-z]{0,6}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, String)>> {
+    proptest::collection::vec((0..20i64, "[a-c]{1,2}"), 0..30)
+}
+
+fn rel_of(name: &str, rows: &[(i64, String)]) -> Relation {
+    Relation::with_rows(
+        name,
+        Schema::of(&[("x", Int), ("s", Str)]),
+        rows.iter()
+            .map(|(x, s)| Tuple::new(vec![Value::Int(*x), Value::Str(s.clone())]))
+            .collect(),
+    )
+    .expect("widths match")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Value's Ord is a total order: antisymmetric and transitive.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        // antisymmetry
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // transitivity
+        if a <= b && b <= c {
+            prop_assert!(a <= c, "{a:?} <= {b:?} <= {c:?} but not {a:?} <= {c:?}");
+        }
+        // consistency of eq with cmp
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+
+    /// Hash agrees with equality.
+    #[test]
+    fn value_hash_consistent_with_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// |A ∪ B| = |A| + |B| and per-tuple counts add.
+    #[test]
+    fn union_adds_histograms(xs in arb_rows(), ys in arb_rows()) {
+        let a = rel_of("a", &xs);
+        let b = rel_of("b", &ys);
+        let u = ops::union_all(&a, &b).unwrap();
+        prop_assert_eq!(u.len(), a.len() + b.len());
+        let (ha, hb, hu) = (a.histogram(), b.histogram(), u.histogram());
+        for (t, n) in &hu {
+            let expect = ha.get(t).copied().unwrap_or(0) + hb.get(t).copied().unwrap_or(0);
+            prop_assert_eq!(*n, expect);
+        }
+    }
+
+    /// Multiset difference: count(A − B, t) = max(0, count(A,t) − count(B,t)).
+    #[test]
+    fn difference_saturating_counts(xs in arb_rows(), ys in arb_rows()) {
+        let a = rel_of("a", &xs);
+        let b = rel_of("b", &ys);
+        let d = ops::difference(&a, &b).unwrap();
+        let (ha, hb, hd) = (a.histogram(), b.histogram(), d.histogram());
+        for (t, n) in &ha {
+            let expect = n.saturating_sub(hb.get(t).copied().unwrap_or(0));
+            prop_assert_eq!(hd.get(t).copied().unwrap_or(0), expect);
+        }
+        // nothing new appears
+        for t in hd.keys() {
+            prop_assert!(ha.contains_key(t));
+        }
+    }
+
+    /// (A ∪ B) − B == A.
+    #[test]
+    fn union_difference_inverse(xs in arb_rows(), ys in arb_rows()) {
+        let a = rel_of("a", &xs);
+        let b = rel_of("b", &ys);
+        let u = ops::union_all(&a, &b).unwrap();
+        let back = ops::difference(&u, &b).unwrap();
+        prop_assert!(back.multiset_eq(&a));
+    }
+
+    /// distinct is idempotent and dominated by the original.
+    #[test]
+    fn distinct_idempotent(xs in arb_rows()) {
+        let a = rel_of("a", &xs);
+        let d1 = ops::distinct(&a).unwrap();
+        let d2 = ops::distinct(&d1).unwrap();
+        prop_assert!(d1.multiset_eq(&d2));
+        for (t, n) in d1.histogram() {
+            prop_assert_eq!(n, 1);
+            prop_assert!(a.histogram().contains_key(&t));
+        }
+    }
+
+    /// Selection distributes over union: σ(A ∪ B) == σ(A) ∪ σ(B).
+    #[test]
+    fn selection_distributes_over_union(xs in arb_rows(), ys in arb_rows(), k in 0..20i64) {
+        let a = rel_of("a", &xs);
+        let b = rel_of("b", &ys);
+        let pred = Expr::col("x").lt(Expr::lit(k));
+        let lhs = ops::select(&ops::union_all(&a, &b).unwrap(), &pred).unwrap();
+        let rhs = ops::union_all(
+            &ops::select(&a, &pred).unwrap(),
+            &ops::select(&b, &pred).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(lhs.multiset_eq(&rhs));
+    }
+
+    /// Sorting is a permutation, ordered by the key, and stable.
+    #[test]
+    fn sort_is_stable_permutation(xs in arb_rows()) {
+        let a = rel_of("a", &xs);
+        let sorted = ops::sort(&a, &[SortKey::asc("x")]).unwrap();
+        prop_assert!(sorted.multiset_eq(&a));
+        let col = sorted.column_values("x").unwrap();
+        prop_assert!(col.windows(2).all(|w| w[0] <= w[1]));
+        // stability: rows with equal x keep their original relative order
+        let orig: Vec<&Tuple> = a.rows().iter().collect();
+        for w in sorted.rows().windows(2) {
+            if w[0].get(0) == w[1].get(0) {
+                let i = orig.iter().position(|t| *t == &w[0]).unwrap();
+                let j = orig.iter().rposition(|t| *t == &w[1]).unwrap();
+                prop_assert!(i <= j);
+            }
+        }
+    }
+
+    /// Product cardinality and join-as-product-plus-selection.
+    #[test]
+    fn join_equals_filtered_product(xs in arb_rows(), ys in arb_rows()) {
+        let a = rel_of("a", &xs);
+        let mut b = rel_of("b", &ys);
+        b.schema_mut().rename("x", "y").unwrap();
+        b.schema_mut().rename("s", "t").unwrap();
+        let p = ops::product(&a, &b).unwrap();
+        prop_assert_eq!(p.len(), a.len() * b.len());
+        let cond = Expr::col("x").eq(Expr::col("y"));
+        let j = ops::join(&a, &b, &cond).unwrap();
+        let filtered = ops::select(&p, &cond).unwrap();
+        prop_assert!(j.multiset_eq(&filtered));
+    }
+
+    /// CSV round-trip: parse(to_csv(R)) == R for string/int relations.
+    #[test]
+    fn csv_round_trip(xs in proptest::collection::vec((0..1000i64, "[a-zA-Z ,\"]{0,8}"), 0..20)) {
+        let schema = Schema::of(&[("n", Int), ("text", Str)]);
+        let rel = Relation::with_rows(
+            "r",
+            schema,
+            xs.iter()
+                .map(|(n, s)| {
+                    // avoid strings that parse back as numbers, empties,
+                    // or values with leading/trailing whitespace (the CSV
+                    // reader trims unquoted fields)
+                    let s = format!("s{s}e");
+                    Tuple::new(vec![Value::Int(*n), Value::Str(s)])
+                })
+                .collect(),
+        )
+        .unwrap();
+        prop_assume!(!rel.is_empty());
+        let text = ssa_relation::csv::to_csv(&rel);
+        let back = ssa_relation::csv::parse_csv("r", &text).unwrap();
+        prop_assert!(rel.multiset_eq(&back));
+    }
+
+    /// Expression Display output re-parses to the same AST.
+    #[test]
+    fn expr_display_round_trips(k in -100..100i64, m in -100..100i64) {
+        let exprs = [
+            Expr::col("x").lt(Expr::lit(k)).and(Expr::col("s").eq(Expr::lit("ab"))),
+            Expr::col("x").add(Expr::lit(m)).mul(Expr::lit(k)).ge(Expr::lit(0)),
+            Expr::if_else(
+                Expr::col("x").gt(Expr::lit(k)),
+                Expr::lit("hi"),
+                Expr::lit("lo"),
+            ),
+            Expr::col("s").cmp(ssa_relation::CmpOp::Ne, Expr::lit("q")).or(
+                Expr::IsNull(Box::new(Expr::col("x"))),
+            ),
+        ];
+        for e in exprs {
+            let text = e.to_string();
+            let back = parse_expr(&text).unwrap();
+            prop_assert_eq!(back, e, "round trip failed for `{}`", text);
+        }
+    }
+
+    /// Aggregates of a concatenation: COUNT adds, SUM adds, MIN/MAX are
+    /// the min/max of parts.
+    #[test]
+    fn aggregate_concat_laws(xs in proptest::collection::vec(-100..100i64, 1..20),
+                             ys in proptest::collection::vec(-100..100i64, 1..20)) {
+        use ssa_relation::AggFunc;
+        let vx: Vec<Value> = xs.iter().map(|&v| Value::Int(v)).collect();
+        let vy: Vec<Value> = ys.iter().map(|&v| Value::Int(v)).collect();
+        let both: Vec<Value> = vx.iter().chain(vy.iter()).cloned().collect();
+        let count = |v: &[Value]| AggFunc::Count.apply(v).unwrap();
+        let sum = |v: &[Value]| AggFunc::Sum.apply(v).unwrap();
+        prop_assert_eq!(
+            count(&both),
+            count(&vx).add(&count(&vy)).unwrap()
+        );
+        prop_assert_eq!(sum(&both), sum(&vx).add(&sum(&vy)).unwrap());
+        let min_both = AggFunc::Min.apply(&both).unwrap();
+        let min_parts = std::cmp::min(
+            AggFunc::Min.apply(&vx).unwrap(),
+            AggFunc::Min.apply(&vy).unwrap(),
+        );
+        prop_assert_eq!(min_both, min_parts);
+    }
+}

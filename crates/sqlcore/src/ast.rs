@@ -1,0 +1,282 @@
+//! AST for *core single-block SQL* (Sec. IV-A):
+//!
+//! ```text
+//! SELECT <projection-list> <aggregation-list>
+//! FROM <relation-list>
+//! WHERE <selection-predicate>
+//! GROUP BY <grouping-list>
+//! HAVING <group-selection-predicate>
+//! ORDER BY <ordering-list>
+//! ```
+//!
+//! with the projection-list a subset of the grouping-list and the
+//! ordering-list a subset of projection ∪ aggregation.
+
+use spreadsheet_algebra::Direction;
+use ssa_relation::{AggFunc, Expr, RelationError, Result};
+use std::fmt;
+
+/// An aggregate invocation. `column = None` is `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggCall {
+    pub func: AggFunc,
+    pub column: Option<String>,
+    /// Canonical output name — matches the name the spreadsheet algebra
+    /// generates for the same aggregate (`Avg_Price` style), so the
+    /// Theorem-1 translation lines up column-for-column.
+    pub output: String,
+}
+
+impl AggCall {
+    pub fn new(func: AggFunc, column: Option<&str>) -> AggCall {
+        let output = match column {
+            Some(c) => format!("{}_{}", func.short_name(), c),
+            None => func.short_name().to_string(),
+        };
+        AggCall { func, column: column.map(|c| c.to_string()), output }
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.column {
+            Some(c) => write!(f, "{}({c})", self.func.short_name().to_uppercase()),
+            None => write!(f, "{}(*)", self.func.short_name().to_uppercase()),
+        }
+    }
+}
+
+/// One item of the SELECT clause, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputItem {
+    Column(String),
+    Agg(AggCall),
+}
+
+impl OutputItem {
+    /// The column name this item contributes to the result schema.
+    pub fn output_name(&self) -> &str {
+        match self {
+            OutputItem::Column(c) => c,
+            OutputItem::Agg(a) => &a.output,
+        }
+    }
+}
+
+/// A core single-block SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT DISTINCT (extension beyond the paper's core form; maps to
+    /// the algebra's duplicate-elimination operator).
+    pub distinct: bool,
+    /// SELECT items in order (columns and aggregates interleaved).
+    pub items: Vec<OutputItem>,
+    /// FROM relation names, in order.
+    pub from: Vec<String>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<String>,
+    /// HAVING predicate with aggregate calls rewritten to their canonical
+    /// output columns (`Avg_Price > 100`).
+    pub having: Option<Expr>,
+    /// Every aggregate the statement mentions (SELECT ∪ HAVING ∪ ORDER
+    /// BY), deduplicated, in first-mention order.
+    pub aggregates: Vec<AggCall>,
+    /// ORDER BY over output names (plain columns or canonical aggregate
+    /// names).
+    pub order_by: Vec<(String, Direction)>,
+}
+
+impl SelectStmt {
+    /// Plain (non-aggregate) columns of the SELECT clause, in order.
+    pub fn projection_columns(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                OutputItem::Column(c) => Some(c.as_str()),
+                OutputItem::Agg(_) => None,
+            })
+            .collect()
+    }
+
+    /// Result-schema column names in SELECT order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.items.iter().map(|i| i.output_name()).collect()
+    }
+
+    /// Whether the statement groups/aggregates (and therefore produces one
+    /// row per group under SQL semantics).
+    pub fn is_grouped(&self) -> bool {
+        !self.group_by.is_empty() || !self.aggregates.is_empty()
+    }
+
+    /// Enforce the core-SQL constraints of Sec. IV-A.
+    pub fn validate(&self) -> Result<()> {
+        if self.from.is_empty() {
+            return Err(RelationError::ParseValue {
+                text: "FROM".into(),
+                wanted: "at least one relation",
+            });
+        }
+        if self.items.is_empty() {
+            return Err(RelationError::ParseValue {
+                text: "SELECT".into(),
+                wanted: "at least one item",
+            });
+        }
+        if self.is_grouped() {
+            // projection-list ⊆ grouping-list
+            for c in self.projection_columns() {
+                if !self.group_by.iter().any(|g| g == c) {
+                    return Err(RelationError::ParseValue {
+                        text: c.to_string(),
+                        wanted: "projected column to appear in GROUP BY",
+                    });
+                }
+            }
+        }
+        // ordering-list ⊆ projection ∪ aggregation outputs
+        let outputs = self.output_names();
+        for (o, _) in &self.order_by {
+            if !outputs.iter().any(|n| n == o) {
+                return Err(RelationError::ParseValue {
+                    text: o.clone(),
+                    wanted: "ORDER BY target to appear in SELECT",
+                });
+            }
+        }
+        // HAVING only with grouping
+        if self.having.is_some() && !self.is_grouped() {
+            return Err(RelationError::ParseValue {
+                text: "HAVING".into(),
+                wanted: "a GROUP BY (or aggregation) to qualify",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                OutputItem::Column(c) => write!(f, "{c}")?,
+                OutputItem::Agg(a) => write!(f, "{a}")?,
+            }
+        }
+        write!(f, " FROM {}", self.from.join(", "))?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, (c, d)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c} {d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped_stmt() -> SelectStmt {
+        SelectStmt {
+            distinct: false,
+            items: vec![
+                OutputItem::Column("model".into()),
+                OutputItem::Agg(AggCall::new(AggFunc::Avg, Some("price"))),
+            ],
+            from: vec!["cars".into()],
+            where_clause: Some(Expr::col("year").ge(Expr::lit(2005))),
+            group_by: vec!["model".into()],
+            having: Some(Expr::col("Avg_price").gt(Expr::lit(14000))),
+            aggregates: vec![AggCall::new(AggFunc::Avg, Some("price"))],
+            order_by: vec![("Avg_price".into(), Direction::Desc)],
+        }
+    }
+
+    #[test]
+    fn agg_call_canonical_names() {
+        assert_eq!(AggCall::new(AggFunc::Avg, Some("price")).output, "Avg_price");
+        assert_eq!(AggCall::new(AggFunc::Count, None).output, "Count");
+    }
+
+    #[test]
+    fn output_names_in_select_order() {
+        let s = grouped_stmt();
+        assert_eq!(s.output_names(), vec!["model", "Avg_price"]);
+        assert_eq!(s.projection_columns(), vec!["model"]);
+        assert!(s.is_grouped());
+    }
+
+    #[test]
+    fn validate_accepts_core_form() {
+        grouped_stmt().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_projection_outside_grouping() {
+        let mut s = grouped_stmt();
+        s.items.push(OutputItem::Column("year".into()));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_order_by_outside_select() {
+        let mut s = grouped_stmt();
+        s.order_by.push(("price".into(), Direction::Asc));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_having_without_grouping() {
+        let s = SelectStmt {
+            distinct: false,
+            items: vec![OutputItem::Column("x".into())],
+            from: vec!["t".into()],
+            where_clause: None,
+            group_by: vec![],
+            having: Some(Expr::col("x").gt(Expr::lit(1))),
+            aggregates: vec![],
+            order_by: vec![],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_from_and_select() {
+        let mut s = grouped_stmt();
+        s.from.clear();
+        assert!(s.validate().is_err());
+        let mut s = grouped_stmt();
+        s.items.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn display_reads_like_sql() {
+        let text = grouped_stmt().to_string();
+        assert!(text.starts_with("SELECT model, AVG(price) FROM cars"));
+        assert!(text.contains("GROUP BY model"));
+        assert!(text.contains("HAVING"));
+        assert!(text.contains("ORDER BY Avg_price DESC"));
+    }
+}

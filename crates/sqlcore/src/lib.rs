@@ -1,0 +1,24 @@
+//! # ssa-sql — core single-block SQL over the spreadsheet algebra
+//!
+//! Three pieces, all in service of the paper's Theorem 1 ("for every core
+//! SQL single-block query expression there exists an equivalent expression
+//! in the spreadsheet algebra"):
+//!
+//! * [`ast`] / [`parser`] — the core single-block statement form of
+//!   Sec. IV-A, with its constraints (projection ⊆ grouping, ordering ⊆
+//!   projection ∪ aggregation) enforced;
+//! * [`eval`] — a reference evaluator with classical SQL semantics (one
+//!   row per group), used as ground truth;
+//! * [`translate`](mod@translate) — the paper's seven-step construction,
+//!   driving a [`spreadsheet_algebra::Spreadsheet`] and checking
+//!   equivalence.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{AggCall, OutputItem, SelectStmt};
+pub use eval::eval_select;
+pub use parser::parse_select;
+pub use translate::{equivalent, translate, Translated};

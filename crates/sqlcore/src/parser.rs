@@ -1,0 +1,303 @@
+//! Parser for core single-block SQL, built on the shared expression
+//! lexer/parser of `ssa-relation`.
+//!
+//! Aggregate calls (`AVG(price)`, `COUNT(*)`) may appear in the SELECT
+//! list, the HAVING clause and the ORDER BY list; inside expressions they
+//! are rewritten to their canonical output column (`Avg_price`) and
+//! collected on the statement, which is exactly how the spreadsheet
+//! algebra treats aggregation — as a computed column that predicates and
+//! orderings then reference.
+
+use crate::ast::{AggCall, OutputItem, SelectStmt};
+use spreadsheet_algebra::Direction;
+use ssa_relation::agg::parse_agg_func;
+use ssa_relation::expr_parse::{tokenize, ExprParser, Token};
+use ssa_relation::{Expr, RelationError, Result};
+
+/// Parse one core single-block SQL statement (and validate it).
+pub fn parse_select(input: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(input)?;
+    let mut p = ExprParser::new(&tokens);
+    if !p.eat_kw("SELECT") {
+        return Err(err_expected("SELECT"));
+    }
+    let distinct = p.eat_kw("DISTINCT");
+    let mut items = Vec::new();
+    let mut aggregates: Vec<AggCall> = Vec::new();
+    loop {
+        if let Some(agg) = try_parse_agg(&mut p)? {
+            record_agg(&mut aggregates, &agg);
+            items.push(OutputItem::Agg(agg));
+        } else {
+            let col = p.expect_ident()?;
+            items.push(OutputItem::Column(col));
+        }
+        if !p.eat_symbol(",") {
+            break;
+        }
+    }
+    if !p.eat_kw("FROM") {
+        return Err(err_expected("FROM"));
+    }
+    let mut from = vec![p.expect_ident()?];
+    while p.eat_symbol(",") {
+        from.push(p.expect_ident()?);
+    }
+    let where_clause = if p.eat_kw("WHERE") {
+        Some(p.expr()?)
+    } else {
+        None
+    };
+    let mut group_by = Vec::new();
+    if p.eat_kw("GROUP") {
+        if !p.eat_kw("BY") {
+            return Err(err_expected("BY after GROUP"));
+        }
+        group_by.push(p.expect_ident()?);
+        while p.eat_symbol(",") {
+            group_by.push(p.expect_ident()?);
+        }
+    }
+    let having = if p.eat_kw("HAVING") {
+        Some(parse_agg_expr(&mut p, &mut aggregates)?)
+    } else {
+        None
+    };
+    let mut order_by = Vec::new();
+    if p.eat_kw("ORDER") {
+        if !p.eat_kw("BY") {
+            return Err(err_expected("BY after ORDER"));
+        }
+        loop {
+            let target = if let Some(agg) = try_parse_agg(&mut p)? {
+                let name = agg.output.clone();
+                record_agg(&mut aggregates, &agg);
+                name
+            } else {
+                p.expect_ident()?
+            };
+            let dir = if p.eat_kw("DESC") {
+                Direction::Desc
+            } else {
+                // ASC is the default and may be written explicitly.
+                p.eat_kw("ASC");
+                Direction::Asc
+            };
+            order_by.push((target, dir));
+            if !p.eat_symbol(",") {
+                break;
+            }
+        }
+    }
+    if !p.at_end() {
+        return Err(RelationError::ParseValue {
+            text: format!("{:?}", p.peek()),
+            wanted: "end of statement",
+        });
+    }
+    let stmt =
+        SelectStmt { distinct, items, from, where_clause, group_by, having, aggregates, order_by };
+    stmt.validate()?;
+    Ok(stmt)
+}
+
+fn err_expected(what: &'static str) -> RelationError {
+    RelationError::ParseValue { text: String::new(), wanted: what }
+}
+
+fn record_agg(aggregates: &mut Vec<AggCall>, agg: &AggCall) {
+    if !aggregates.iter().any(|a| a == agg) {
+        aggregates.push(agg.clone());
+    }
+}
+
+/// Try to parse `FUNC ( column | * )` at the cursor; rolls back if the
+/// next tokens are not an aggregate call.
+fn try_parse_agg(p: &mut ExprParser<'_>) -> Result<Option<AggCall>> {
+    let save = p.pos();
+    let func = match p.peek() {
+        Some(Token::Ident(name)) => match parse_agg_func(name) {
+            Ok(f) => f,
+            Err(_) => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    p.bump();
+    if !p.eat_symbol("(") {
+        // `avg` used as a plain column name.
+        p.seek(save);
+        return Ok(None);
+    }
+    let column = if p.eat_symbol("*") {
+        None
+    } else {
+        Some(p.expect_ident()?)
+    };
+    p.expect_symbol(")")?;
+    Ok(Some(AggCall::new(func, column.as_deref())))
+}
+
+/// Parse an expression that may contain aggregate calls (the HAVING
+/// clause): aggregates are parsed greedily wherever an atom may start and
+/// replaced with their canonical column reference.
+fn parse_agg_expr(p: &mut ExprParser<'_>, aggregates: &mut Vec<AggCall>) -> Result<Expr> {
+    // Strategy: textually rewrite the remaining tokens is intrusive; since
+    // HAVING predicates in core SQL compare aggregate results with
+    // constants or other aggregates, we parse with a small shim: try an
+    // aggregate at each atom position by scanning the token stream.
+    //
+    // The shared ExprParser cannot call back into us, so we rewrite the
+    // remaining tokens: every `FUNC ( col )` triple becomes the canonical
+    // identifier, then we parse normally.
+    let mut rewritten: Vec<Token> = Vec::new();
+    while let Some(tok) = p.peek().cloned() {
+        // Stop at clause keywords that can follow HAVING.
+        if tok.is_kw("ORDER") {
+            break;
+        }
+        if let Some(agg) = try_parse_agg(p)? {
+            rewritten.push(Token::Ident(agg.output.clone()));
+            record_agg(aggregates, &agg);
+        } else {
+            rewritten.push(tok);
+            p.bump();
+        }
+    }
+    let mut inner = ExprParser::new(&rewritten);
+    let e = inner.expr()?;
+    if !inner.at_end() {
+        return Err(RelationError::ParseValue {
+            text: format!("{:?}", inner.peek()),
+            wanted: "end of HAVING predicate",
+        });
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_relation::AggFunc;
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse_select("SELECT model, price FROM cars WHERE year >= 2005").unwrap();
+        assert_eq!(s.output_names(), vec!["model", "price"]);
+        assert_eq!(s.from, vec!["cars"]);
+        assert!(s.where_clause.is_some());
+        assert!(!s.is_grouped());
+    }
+
+    #[test]
+    fn parses_grouped_aggregate_query() {
+        let s = parse_select(
+            "SELECT model, AVG(price) FROM cars WHERE year >= 2005 \
+             GROUP BY model HAVING AVG(price) > 14000 ORDER BY AVG(price) DESC",
+        )
+        .unwrap();
+        assert_eq!(s.group_by, vec!["model"]);
+        assert_eq!(s.aggregates.len(), 1);
+        assert_eq!(s.aggregates[0].func, AggFunc::Avg);
+        assert_eq!(s.having.as_ref().unwrap().to_string(), "Avg_price > 14000");
+        assert_eq!(s.order_by, vec![("Avg_price".into(), Direction::Desc)]);
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let s = parse_select("SELECT model, COUNT(*) FROM cars GROUP BY model").unwrap();
+        assert_eq!(s.aggregates[0].column, None);
+        assert_eq!(s.output_names(), vec!["model", "Count"]);
+    }
+
+    #[test]
+    fn multiple_relations_and_order_defaults() {
+        let s = parse_select(
+            "SELECT model FROM cars, dealers WHERE year = 2005 GROUP BY model ORDER BY model",
+        )
+        .unwrap();
+        assert_eq!(s.from, vec!["cars", "dealers"]);
+        assert_eq!(s.order_by[0].1, Direction::Asc);
+    }
+
+    #[test]
+    fn explicit_asc_and_multiple_order_keys() {
+        let s = parse_select(
+            "SELECT a, b FROM t GROUP BY a, b ORDER BY a ASC, b DESC",
+        )
+        .unwrap();
+        assert_eq!(
+            s.order_by,
+            vec![("a".into(), Direction::Asc), ("b".into(), Direction::Desc)]
+        );
+    }
+
+    #[test]
+    fn having_with_mixed_predicate() {
+        let s = parse_select(
+            "SELECT model FROM cars GROUP BY model \
+             HAVING COUNT(*) > 2 AND model <> 'Jetta'",
+        )
+        .unwrap();
+        let h = s.having.unwrap().to_string();
+        assert!(h.contains("Count > 2"));
+        assert!(h.contains("model <> 'Jetta'"));
+    }
+
+    #[test]
+    fn same_aggregate_mentioned_twice_recorded_once() {
+        let s = parse_select(
+            "SELECT model, AVG(price) FROM cars GROUP BY model HAVING AVG(price) > 1",
+        )
+        .unwrap();
+        assert_eq!(s.aggregates.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse_select("SELEC x FROM t").is_err());
+        assert!(parse_select("SELECT x t").is_err());
+        assert!(parse_select("SELECT x FROM t GROUP x").is_err());
+        assert!(parse_select("SELECT x FROM t ORDER x").is_err());
+        assert!(parse_select("SELECT x FROM t WHERE").is_err());
+        assert!(parse_select("SELECT AVG( FROM t").is_err());
+        assert!(parse_select("SELECT x FROM t extra").is_err());
+    }
+
+    #[test]
+    fn rejects_core_sql_violations() {
+        // projection not in grouping list
+        assert!(parse_select("SELECT model, year FROM cars GROUP BY model").is_err());
+        // order target not in select
+        assert!(parse_select("SELECT model FROM cars GROUP BY model ORDER BY year").is_err());
+    }
+
+    #[test]
+    fn agg_name_as_plain_column_is_allowed() {
+        // `avg` not followed by `(` parses as a column name.
+        let s = parse_select("SELECT avg FROM t").unwrap();
+        assert_eq!(s.output_names(), vec!["avg"]);
+    }
+
+    #[test]
+    fn parses_distinct_between_in() {
+        let s = parse_select(
+            "SELECT DISTINCT model FROM cars WHERE price BETWEEN 14000 AND 16000              AND model IN ('Jetta', 'Civic')",
+        )
+        .unwrap();
+        assert!(s.distinct);
+        let w = s.where_clause.unwrap().to_string();
+        assert!(w.contains("price >= 14000"));
+        assert!(w.contains("model = 'Jetta'"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "SELECT model, AVG(price) FROM cars WHERE year >= 2005 \
+                    GROUP BY model HAVING Avg_price > 14000 ORDER BY Avg_price DESC";
+        let s1 = parse_select(text).unwrap();
+        let s2 = parse_select(&s1.to_string()).unwrap();
+        assert_eq!(s1.items, s2.items);
+        assert_eq!(s1.group_by, s2.group_by);
+        assert_eq!(s1.order_by, s2.order_by);
+    }
+}

@@ -1,0 +1,130 @@
+//! Descriptive statistics for the evaluation reports (means for Fig. 3,
+//! standard deviations for Fig. 4).
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation (divides by n) — what a spreadsheet's
+/// STDEVP reports and what Fig. 4 plots per query.
+pub fn stddev_population(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some((xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// Sample standard deviation (divides by n − 1); `None` for fewer than
+/// two observations.
+pub fn stddev_sample(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some((xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Median (average of middle two for even n).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Midranks of the pooled sample (ties share the average rank) — the rank
+/// transform behind the Mann-Whitney test.
+pub fn midranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j are tied; average rank (1-based)
+        let avg = ((i + 1 + j + 1) as f64) / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (|error| < 1.5e-7 — ample for reporting p-value thresholds).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn stddevs() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev_population(&xs).unwrap() - 2.0).abs() < 1e-12);
+        assert!((stddev_sample(&xs).unwrap() - 2.138089935).abs() < 1e-6);
+        assert_eq!(stddev_sample(&[1.0]), None);
+        assert_eq!(stddev_population(&[]), None);
+        assert_eq!(stddev_population(&[5.0]), Some(0.0));
+    }
+
+    #[test]
+    fn midranks_without_ties() {
+        assert_eq!(midranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn midranks_with_ties_average() {
+        // 10, 20, 20, 30 → ranks 1, 2.5, 2.5, 4
+        assert_eq!(midranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        // all equal
+        assert_eq!(midranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.959964) - 0.025).abs() < 1e-4);
+        assert!(normal_cdf(6.0) > 0.999999);
+        assert!(normal_cdf(-6.0) < 1e-6);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fisher's exact test on a 2×2 contingency table — the paper's
+//! correctness claim: "Using Fisher's exact test we conclude that
+//! SheetMusiq is statistically better than Navicat (in leading to more
+//! correctly answered queries), with p value < 0.004" over totals 95/100
+//! vs 81/100 (Sec. VII-A.3).
+
+/// A 2×2 table:
+///
+/// ```text
+///            success   failure
+/// group 1       a         b
+/// group 2       c         d
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2x2 {
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+    pub d: u64,
+}
+
+impl Table2x2 {
+    pub fn new(a: u64, b: u64, c: u64, d: u64) -> Table2x2 {
+        Table2x2 { a, b, c, d }
+    }
+
+    /// From success counts out of fixed group sizes.
+    pub fn from_successes(s1: u64, n1: u64, s2: u64, n2: u64) -> Table2x2 {
+        assert!(s1 <= n1 && s2 <= n2, "successes cannot exceed group size");
+        Table2x2 { a: s1, b: n1 - s1, c: s2, d: n2 - s2 }
+    }
+}
+
+/// ln(n!) via Stirling-free accumulation for the modest totals of study
+/// tables (n ≤ a few thousand).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|k| (k as f64).ln()).sum()
+}
+
+/// Hypergeometric probability of the exact table (fixed margins).
+fn table_probability(t: &Table2x2) -> f64 {
+    let (a, b, c, d) = (t.a, t.b, t.c, t.d);
+    let n = a + b + c + d;
+    (ln_factorial(a + b) + ln_factorial(c + d) + ln_factorial(a + c) + ln_factorial(b + d)
+        - ln_factorial(n)
+        - ln_factorial(a)
+        - ln_factorial(b)
+        - ln_factorial(c)
+        - ln_factorial(d))
+    .exp()
+}
+
+/// Two-sided Fisher's exact p-value: sum of probabilities of all tables
+/// with the same margins whose probability does not exceed the observed
+/// table's (the standard "sum of small p" definition).
+pub fn fisher_exact_two_sided(t: &Table2x2) -> f64 {
+    let row1 = t.a + t.b;
+    let col1 = t.a + t.c;
+    let n = t.a + t.b + t.c + t.d;
+    let p_obs = table_probability(t);
+    let a_min = col1.saturating_sub(n - row1);
+    let a_max = row1.min(col1);
+    let mut p = 0.0;
+    for a in a_min..=a_max {
+        let cand = Table2x2 { a, b: row1 - a, c: col1 - a, d: n + a - row1 - col1 };
+        let pa = table_probability(&cand);
+        if pa <= p_obs * (1.0 + 1e-9) {
+            p += pa;
+        }
+    }
+    p.min(1.0)
+}
+
+/// One-sided p-value that group 1's success rate exceeds group 2's
+/// (sum over tables at least as extreme in that direction).
+pub fn fisher_exact_greater(t: &Table2x2) -> f64 {
+    let row1 = t.a + t.b;
+    let col1 = t.a + t.c;
+    let n = t.a + t.b + t.c + t.d;
+    let a_max = row1.min(col1);
+    let mut p = 0.0;
+    for a in t.a..=a_max {
+        let cand = Table2x2 { a, b: row1 - a, c: col1 - a, d: n + a - row1 - col1 };
+        p += table_probability(&cand);
+    }
+    p.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one_over_margin() {
+        let t = Table2x2::new(3, 7, 5, 5);
+        let row1 = t.a + t.b;
+        let col1 = t.a + t.c;
+        let n = t.a + t.b + t.c + t.d;
+        let a_min = col1.saturating_sub(n - row1);
+        let a_max = row1.min(col1);
+        let total: f64 = (a_min..=a_max)
+            .map(|a| {
+                table_probability(&Table2x2 {
+                    a,
+                    b: row1 - a,
+                    c: col1 - a,
+                    d: n + a - row1 - col1,
+                })
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_correctness_table_is_significant() {
+        // 95/100 correct (SheetMusiq) vs 81/100 (Navicat): p < 0.004.
+        let t = Table2x2::from_successes(95, 100, 81, 100);
+        let p = fisher_exact_two_sided(&t);
+        assert!(p < 0.004, "p = {p}");
+        assert!(p > 0.0001, "p = {p} suspiciously small");
+        let p1 = fisher_exact_greater(&t);
+        assert!(p1 < p, "one-sided must be smaller: {p1} vs {p}");
+    }
+
+    #[test]
+    fn balanced_table_not_significant() {
+        let t = Table2x2::from_successes(8, 10, 8, 10);
+        assert!(fisher_exact_two_sided(&t) > 0.99);
+    }
+
+    #[test]
+    fn textbook_tea_tasting() {
+        // Fisher's lady tasting tea: 3/4 vs 1/4 → one-sided p = 0.2429.
+        let t = Table2x2::new(3, 1, 1, 3);
+        let p = fisher_exact_greater(&t);
+        assert!((p - (16.0 + 1.0) / 70.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn extreme_table() {
+        let t = Table2x2::from_successes(10, 10, 0, 10);
+        let p = fisher_exact_two_sided(&t);
+        // both extremes: 2 / C(20,10)
+        assert!((p - 2.0 / 184_756.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_margins() {
+        // No failures at all: only one possible table, p = 1.
+        let t = Table2x2::from_successes(10, 10, 10, 10);
+        assert!((fisher_exact_two_sided(&t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes cannot exceed")]
+    fn invalid_successes_panic() {
+        Table2x2::from_successes(11, 10, 0, 10);
+    }
+}

@@ -1,0 +1,23 @@
+//! # ssa-stats — the statistics behind the paper's evaluation claims
+//!
+//! * [`descriptive`] — means (Fig. 3), standard deviations (Fig. 4),
+//!   midranks, normal CDF;
+//! * [`mann_whitney`](mod@mann_whitney) — exact + approximate
+//!   Mann-Whitney U (the speed significance test, "p < 0.002");
+//! * [`fisher`] — Fisher's exact test on 2×2 tables (the correctness
+//!   significance test, "p < 0.004");
+//! * [`wilcoxon`] — Wilcoxon signed-rank, the paired-design robustness
+//!   check the reproduction runs alongside the paper's analysis.
+//!
+//! Pure-algorithm crate with no dependencies; exactness over speed, since
+//! study sample sizes are tiny (10 subjects, 100 task runs).
+
+pub mod descriptive;
+pub mod fisher;
+pub mod mann_whitney;
+pub mod wilcoxon;
+
+pub use descriptive::{mean, median, midranks, normal_cdf, stddev_population, stddev_sample};
+pub use fisher::{fisher_exact_greater, fisher_exact_two_sided, Table2x2};
+pub use mann_whitney::{mann_whitney, u_statistics, MannWhitney};
+pub use wilcoxon::{wilcoxon_signed_rank, Wilcoxon};

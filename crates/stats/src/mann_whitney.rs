@@ -1,0 +1,218 @@
+//! Mann-Whitney U test (Wilcoxon rank-sum) — the test behind the paper's
+//! speed claim: "Using the Mann-Whitney test we found the speed result is
+//! statistically significant (with p-value < 0.002) for all queries except
+//! query 5, 7, and 10" (Sec. VII-A.2).
+//!
+//! For the study's sample sizes (10 vs 10) we compute the *exact*
+//! two-sided p-value by enumerating all C(n1+n2, n1) group assignments of
+//! the pooled observations (ties handled exactly); the normal
+//! approximation with tie correction is also provided for larger samples.
+
+use crate::descriptive::{midranks, normal_cdf};
+
+/// Result of a Mann-Whitney test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// U statistic of the first sample.
+    pub u1: f64,
+    /// U statistic of the second sample (`u1 + u2 = n1·n2`).
+    pub u2: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Whether the p-value is exact (enumeration) or approximate (normal).
+    pub exact: bool,
+}
+
+/// Compute both U statistics from midranks.
+pub fn u_statistics(x: &[f64], y: &[f64]) -> (f64, f64) {
+    let n1 = x.len() as f64;
+    let n2 = y.len() as f64;
+    let pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+    let ranks = midranks(&pooled);
+    let r1: f64 = ranks[..x.len()].iter().sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let u2 = n1 * n2 - u1;
+    (u1, u2)
+}
+
+/// Exact enumeration threshold: C(20,10) ≈ 1.8e5 is instant; beyond ~24
+/// pooled observations we switch to the normal approximation.
+const EXACT_LIMIT: usize = 24;
+
+/// Run the test. Chooses exact enumeration for small pooled sizes.
+pub fn mann_whitney(x: &[f64], y: &[f64]) -> MannWhitney {
+    assert!(!x.is_empty() && !y.is_empty(), "samples must be non-empty");
+    let (u1, u2) = u_statistics(x, y);
+    if x.len() + y.len() <= EXACT_LIMIT {
+        let p = exact_p(x, y, u1.min(u2));
+        MannWhitney { u1, u2, p_two_sided: p, exact: true }
+    } else {
+        let p = normal_p(x, y, u1);
+        MannWhitney { u1, u2, p_two_sided: p, exact: false }
+    }
+}
+
+/// Exact two-sided p-value: probability, over all equally likely
+/// assignments of the pooled values to the two groups, of a min-U at most
+/// as large as observed.
+fn exact_p(x: &[f64], y: &[f64], observed_min_u: f64) -> f64 {
+    let n1 = x.len();
+    let n = n1 + y.len();
+    let pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+    let ranks = midranks(&pooled);
+    let n1f = n1 as f64;
+    let n2f = y.len() as f64;
+
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    // Iterate over all n1-subsets of indices via combinations.
+    let mut comb: Vec<usize> = (0..n1).collect();
+    loop {
+        let r1: f64 = comb.iter().map(|&i| ranks[i]).sum();
+        let u1 = r1 - n1f * (n1f + 1.0) / 2.0;
+        let u2 = n1f * n2f - u1;
+        if u1.min(u2) <= observed_min_u + 1e-9 {
+            hits += 1;
+        }
+        total += 1;
+        // next combination
+        let mut i = n1;
+        loop {
+            if i == 0 {
+                return hits as f64 / total as f64;
+            }
+            i -= 1;
+            if comb[i] != i + n - n1 {
+                break;
+            }
+        }
+        comb[i] += 1;
+        for j in i + 1..n1 {
+            comb[j] = comb[j - 1] + 1;
+        }
+    }
+}
+
+/// Normal approximation with tie correction and continuity correction.
+fn normal_p(x: &[f64], y: &[f64], u1: f64) -> f64 {
+    let n1 = x.len() as f64;
+    let n2 = y.len() as f64;
+    let n = n1 + n2;
+    let mu = n1 * n2 / 2.0;
+    // tie correction: sum over tie groups of (t^3 - t)
+    let mut pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+    pooled.sort_by(|a, b| a.total_cmp(b));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1] == pooled[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let sigma2 = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if sigma2 <= 0.0 {
+        return 1.0; // all observations identical
+    }
+    let z = (u1 - mu).abs() - 0.5;
+    let z = z.max(0.0) / sigma2.sqrt();
+    2.0 * (1.0 - normal_cdf(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_statistics_sum_to_n1n2() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0, 7.0];
+        let (u1, u2) = u_statistics(&x, &y);
+        assert_eq!(u1 + u2, 12.0);
+        assert_eq!(u1, 0.0); // x completely below y
+        assert_eq!(u2, 12.0);
+    }
+
+    #[test]
+    fn complete_separation_small_sample() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 11.0, 12.0, 13.0];
+        let r = mann_whitney(&x, &y);
+        assert!(r.exact);
+        // exact two-sided p for complete separation with 4 vs 4:
+        // 2 / C(8,4) = 2/70
+        assert!((r.p_two_sided - 2.0 / 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let x = [5.0, 6.0, 7.0, 8.0];
+        let y = [5.0, 6.0, 7.0, 8.0];
+        let r = mann_whitney(&x, &y);
+        assert!(r.p_two_sided > 0.9);
+    }
+
+    #[test]
+    fn ten_vs_ten_complete_separation_beats_paper_threshold() {
+        // The paper's setting: 10 subjects per tool. Complete separation
+        // gives p = 2/C(20,10) ≈ 1.08e-5 < 0.002.
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = (101..=110).map(|i| i as f64).collect();
+        let r = mann_whitney(&x, &y);
+        assert!(r.exact);
+        assert!(r.p_two_sided < 0.002, "p = {}", r.p_two_sided);
+        assert!((r.p_two_sided - 2.0 / 184_756.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_samples_not_significant() {
+        let x = [3.0, 9.0, 4.0, 8.0, 5.0];
+        let y = [4.0, 7.0, 6.0, 5.0, 10.0];
+        let r = mann_whitney(&x, &y);
+        assert!(r.p_two_sided > 0.2);
+    }
+
+    #[test]
+    fn exact_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 5.0, 6.0];
+        let r = mann_whitney(&x, &y);
+        assert!(r.exact);
+        assert!(r.p_two_sided > 0.0 && r.p_two_sided <= 1.0);
+    }
+
+    #[test]
+    fn normal_approximation_for_large_samples() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64 + 20.0).collect();
+        let r = mann_whitney(&x, &y);
+        assert!(!r.exact);
+        assert!(r.p_two_sided < 0.001);
+    }
+
+    #[test]
+    fn normal_approx_with_all_identical_values() {
+        let x = vec![1.0; 20];
+        let y = vec![1.0; 20];
+        let r = mann_whitney(&x, &y);
+        assert_eq!(r.p_two_sided, 1.0);
+    }
+
+    #[test]
+    fn exact_agrees_with_normal_roughly() {
+        let x = [12.0, 15.0, 18.0, 21.0, 24.0, 27.0, 30.0, 33.0, 36.0, 39.0];
+        let y = [14.0, 17.0, 20.0, 23.0, 26.0, 29.0, 32.0, 35.0, 38.0, 41.0];
+        let exact = mann_whitney(&x, &y).p_two_sided;
+        let approx = normal_p(&x, &y, u_statistics(&x, &y).0);
+        assert!((exact - approx).abs() < 0.1, "exact {exact} vs approx {approx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        mann_whitney(&[], &[1.0]);
+    }
+}

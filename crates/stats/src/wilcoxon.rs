@@ -1,0 +1,157 @@
+//! Wilcoxon signed-rank test — a *paired* alternative to the paper's
+//! Mann-Whitney analysis.
+//!
+//! The study design is actually paired (the same ten subjects used both
+//! tools on each query), which Mann-Whitney ignores. The paper reports
+//! Mann-Whitney; we reproduce that, and additionally run the
+//! signed-rank test as a robustness check (`repro significance` prints
+//! both). For n = 10 pairs the exact null distribution is enumerable
+//! (2¹⁰ sign assignments).
+
+use crate::descriptive::{midranks, normal_cdf};
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wilcoxon {
+    /// Sum of ranks of positive differences (`W+`).
+    pub w_plus: f64,
+    /// Number of non-zero pairs actually ranked.
+    pub n_used: usize,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Exact enumeration (small n) or normal approximation.
+    pub exact: bool,
+}
+
+/// Exact enumeration limit: 2^20 sign patterns is still instant.
+const EXACT_LIMIT: usize = 20;
+
+/// Run the test on paired samples (zero differences are dropped, ties
+/// among |differences| get midranks).
+///
+/// # Panics
+/// Panics if the samples have different lengths or are empty.
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Wilcoxon {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    assert!(!x.is_empty(), "samples must be non-empty");
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        // All pairs tied: no evidence either way.
+        return Wilcoxon { w_plus: 0.0, n_used: 0, p_two_sided: 1.0, exact: true };
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = midranks(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+
+    if n <= EXACT_LIMIT {
+        // Exact: enumerate all sign assignments over the observed ranks.
+        let total = w_plus.min(ranks.iter().sum::<f64>() - w_plus);
+        let mut hits = 0u64;
+        let combos = 1u64 << n;
+        for mask in 0..combos {
+            let w: f64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| ranks[i])
+                .sum();
+            let w_min = w.min(ranks.iter().sum::<f64>() - w);
+            if w_min <= total + 1e-9 {
+                hits += 1;
+            }
+        }
+        Wilcoxon {
+            w_plus,
+            n_used: n,
+            p_two_sided: (hits as f64 / combos as f64).min(1.0),
+            exact: true,
+        }
+    } else {
+        let nf = n as f64;
+        let mu = nf * (nf + 1.0) / 4.0;
+        let sigma = (nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0).sqrt();
+        let z = ((w_plus - mu).abs() - 0.5).max(0.0) / sigma;
+        Wilcoxon {
+            w_plus,
+            n_used: n,
+            p_two_sided: 2.0 * (1.0 - normal_cdf(z)),
+            exact: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_dominance_ten_pairs() {
+        // every x below its pair: W+ = 0, exact p = 2/2^10
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = (1..=10).map(|i| i as f64 + 100.0).collect();
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert!(r.exact);
+        assert_eq!(r.w_plus, 0.0);
+        assert!((r.p_two_sided - 2.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_differences_not_significant() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert!(r.p_two_sided > 0.9);
+    }
+
+    #[test]
+    fn zero_differences_dropped() {
+        let x = [1.0, 2.0, 3.0, 10.0];
+        let y = [1.0, 2.0, 3.0, 0.0];
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(r.n_used, 1);
+        assert_eq!(r.w_plus, 1.0);
+        assert_eq!(r.p_two_sided, 1.0); // single pair can't reach 0.05
+    }
+
+    #[test]
+    fn all_tied_pairs() {
+        let x = [5.0, 5.0];
+        let r = wilcoxon_signed_rank(&x, &x);
+        assert_eq!(r.n_used, 0);
+        assert_eq!(r.p_two_sided, 1.0);
+    }
+
+    #[test]
+    fn normal_approximation_for_large_n() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64 + 5.0).collect();
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert!(!r.exact);
+        assert!(r.p_two_sided < 0.001);
+    }
+
+    #[test]
+    fn agrees_with_mann_whitney_on_strong_effects() {
+        let x = [10.0, 12.0, 9.0, 11.0, 10.5, 9.5, 12.5, 11.5, 10.2, 9.8];
+        let y = [30.0, 33.0, 28.0, 31.0, 29.0, 32.0, 27.0, 34.0, 30.5, 31.5];
+        let w = wilcoxon_signed_rank(&x, &y);
+        let mw = crate::mann_whitney::mann_whitney(&x, &y);
+        assert!(w.p_two_sided < 0.01);
+        assert!(mw.p_two_sided < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_lengths_panic() {
+        wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

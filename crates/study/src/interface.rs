@@ -1,0 +1,329 @@
+//! Cost/error models of the two interfaces under study.
+//!
+//! Mechanisms (not conclusions) are encoded from the paper:
+//!
+//! * **SheetMusiq** (Sec. VI): every operator is a context-menu gesture
+//!   with at most one small dialog; each step's effect is immediately
+//!   visible, so mechanical slips are caught at once. No syntax exists,
+//!   so no syntax errors.
+//! * **Visual builder** ("Navicat", Sec. VII-A.4): "only queries with
+//!   simple selection, sorting, and joins can be built graphically, while
+//!   the vast majority of the queries need to be completed by adding to
+//!   the SQL query". Grouping/aggregation/HAVING therefore require
+//!   composing SQL text — long conceptual pauses for non-technical users,
+//!   a syntax-error retry loop, and a sub-query for selection over an
+//!   aggregate. "Users never stuck on syntactical errors in SheetMusiq,
+//!   which often happen in Navicat."
+//!
+//! Times come from the KLM gesture costs in [`crate::klm`]; per-subject
+//! pace/aptitude and learning curves from [`crate::subject`].
+
+use crate::klm;
+use crate::subject::{learning_factor, Subject};
+use rand::rngs::StdRng;
+use rand::Rng;
+use ssa_tpch::{Complexity, QueryTask, TaskProfile};
+
+/// Which interface a run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    SheetMusiq,
+    VisualBuilder,
+}
+
+impl Tool {
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::SheetMusiq => "SheetMusiq",
+            Tool::VisualBuilder => "Navicat",
+        }
+    }
+}
+
+/// Outcome of one subject attempting one task with one tool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attempt {
+    pub seconds: f64,
+    pub correct: bool,
+}
+
+/// The 900-second cap: "if a user did not finish the query in 900
+/// seconds, the task was considered finished with wrong results, and the
+/// time was counted as 900 seconds" (Sec. VII-A.1).
+pub const TIME_CAP: f64 = 900.0;
+
+/// Context of one attempt within the protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptContext {
+    /// Tasks already completed with this tool (drives learning).
+    pub prior_tasks_with_tool: usize,
+    /// Whether the subject already solved this task with the other tool.
+    pub second_encounter: bool,
+}
+
+/// Simulate one attempt.
+pub fn attempt(
+    tool: Tool,
+    task: &QueryTask,
+    profile: &TaskProfile,
+    subject: &Subject,
+    ctx: &AttemptContext,
+    rng: &mut StdRng,
+) -> Attempt {
+    let base = match tool {
+        Tool::SheetMusiq => sheetmusiq_time(profile, subject, rng),
+        Tool::VisualBuilder => builder_time(profile, subject, rng),
+    };
+    // The builder's slow pickup is about its SQL fallback ("users have no
+    // choice but to understand the concept and syntax of grouping…");
+    // its graphical grid is learned as quickly as SheetMusiq.
+    let fast_pickup =
+        matches!(tool, Tool::SheetMusiq) || !profile.needs_sql_fallback();
+    let learning = learning_factor(fast_pickup, ctx.prior_tasks_with_tool);
+    // Measuring starts after the subject understood the query, so a
+    // second encounter only saves a little strategy time.
+    let encounter = if ctx.second_encounter { 0.95 } else { 1.0 };
+    let noise = (rng.gen_range(-0.10..0.10f64)).exp();
+    let mut seconds = base * subject.pace * learning * encounter * noise;
+
+    // Conceptual-error model: a misunderstanding either ships a wrong
+    // answer or costs a detect-and-repair episode.
+    let mut correct = true;
+    let p_err = conceptual_error_probability(tool, task.complexity, subject);
+    if rng.gen_range(0.0..1.0) < p_err {
+        let ships_wrong = match tool {
+            // Immediate visible intermediate results catch half of the
+            // misunderstandings before the end.
+            Tool::SheetMusiq => rng.gen_range(0.0..1.0) < 0.5,
+            Tool::VisualBuilder => rng.gen_range(0.0..1.0) < 0.75,
+        };
+        if ships_wrong {
+            correct = false;
+        } else {
+            seconds += match tool {
+                Tool::SheetMusiq => rng.gen_range(30.0..70.0),
+                Tool::VisualBuilder => rng.gen_range(60.0..150.0),
+            };
+        }
+    }
+
+    if seconds >= TIME_CAP {
+        Attempt { seconds: TIME_CAP, correct: false }
+    } else {
+        Attempt { seconds, correct }
+    }
+}
+
+/// Flawless-path SheetMusiq time for a task, plus mechanical slips.
+pub fn sheetmusiq_time(profile: &TaskProfile, subject: &Subject, rng: &mut StdRng) -> f64 {
+    // Orientation: decide the first step.
+    let mut t = 2.0 * klm::M;
+    // Selections: context menu on the column, one predicate field, OK.
+    t += profile.selections as f64
+        * (klm::menu_choose() + klm::dialog_field(14) + klm::confirm() + klm::GLANCE);
+    // Grouping: context menu + the add-to-grouping choice.
+    t += profile.groupings as f64 * (klm::menu_choose() + klm::confirm() + klm::GLANCE);
+    // Aggregation: context menu + function choice + level choice.
+    t += profile.aggregates as f64
+        * (klm::menu_choose() + 2.0 * klm::point_click() + klm::GLANCE);
+    // Group qualification = a selection over the aggregate column.
+    t += profile.having_predicates as f64
+        * (klm::menu_choose() + klm::dialog_field(14) + klm::confirm() + klm::GLANCE);
+    // Ordering: header click (+ level prompt under grouping).
+    let level_prompt = if profile.groupings > 0 { klm::point_click() } else { 0.0 };
+    t += profile.orderings as f64 * (klm::M + klm::point_click() + level_prompt + klm::GLANCE);
+    // Projections: one checkbox each.
+    if profile.projections > 0 {
+        t += klm::M + profile.projections as f64 * klm::point_click();
+    }
+    // Mechanical slips: caught immediately (visible effect), fixed by undo.
+    let steps = profile.total_steps().max(1);
+    for _ in 0..steps {
+        if rng.gen_range(0.0..1.0) < subject.slip_rate {
+            t += klm::M + 2.0 * klm::point_click(); // notice + undo + redo
+        }
+    }
+    t
+}
+
+/// Flawless-path visual-builder time, including the SQL-text fallback.
+///
+/// The graphical part (simple selection, sorting, projection) is roughly
+/// as fast as SheetMusiq — "the three query tasks are relatively simple,
+/// and subjects can finish both in a short time" (Sec. VII-A.2). The
+/// cost explosion comes from the SQL-text fallback for grouping,
+/// aggregation and group qualification.
+pub fn builder_time(profile: &TaskProfile, subject: &Subject, rng: &mut StdRng) -> f64 {
+    // Orientation across the two windows (diagram + SQL text).
+    let mut t = 2.0 * klm::M + klm::point_click() + klm::CLICK;
+    // Graphical part: the criteria grid handles plain predicates well.
+    t += profile.selections as f64
+        * (klm::menu_choose() + klm::dialog_field(12) + klm::confirm());
+    t += profile.orderings as f64 * (klm::M + klm::point_click() + klm::B);
+    if profile.projections > 0 {
+        t += klm::M + profile.projections as f64 * (klm::point_click() - klm::B);
+    }
+
+    if profile.needs_sql_fallback() {
+        let inaptitude = 1.0 - subject.sql_aptitude;
+        // Conceptual pauses per concept the task requires: grouping,
+        // aggregation, group qualification. Non-technical subjects must
+        // "understand the concept and syntax of grouping, as well as many
+        // related restrictions" with no visual feedback to lean on.
+        let mut concepts = 0.0;
+        if profile.groupings > 0 {
+            concepts += 1.0;
+        }
+        if profile.aggregates > 0 {
+            concepts += 1.0;
+        }
+        if profile.having_predicates > 0 {
+            // HAVING (or filtering on an aggregate) needs a sub-query in
+            // the builder: "a very difficult concept for non-expert
+            // users" — two extra concepts' worth of pondering.
+            concepts += 2.0;
+        }
+        t += concepts * (25.0 + 80.0 * inaptitude);
+        // Per-item syntax recall and composition on top of the concepts.
+        t += profile.aggregates as f64 * (12.0 + 25.0 * inaptitude);
+        t += profile.groupings as f64 * (10.0 + 28.0 * inaptitude);
+        // Typing the clause text.
+        let chars = profile.groupings * 18 + profile.aggregates * 16 + profile.having_predicates * 26;
+        t += klm::M * concepts + klm::type_chars(chars);
+        // Syntax-error retry loop: success probability grows with
+        // aptitude; each failure costs reading the error, editing, rerun.
+        let p_ok = 0.5 + 0.45 * subject.sql_aptitude;
+        let mut attempts = 0;
+        while rng.gen_range(0.0..1.0) > p_ok && attempts < 8 {
+            attempts += 1;
+            t += 2.0 * klm::M + klm::type_chars(15) + klm::point_click() + 4.0;
+        }
+        // Run the query and inspect.
+        t += klm::point_click() + klm::GLANCE;
+    }
+    t
+}
+
+/// Probability of a conceptual misunderstanding for a task.
+pub fn conceptual_error_probability(tool: Tool, complexity: Complexity, subject: &Subject) -> f64 {
+    match tool {
+        Tool::SheetMusiq => match complexity {
+            Complexity::Simple => 0.01,
+            Complexity::Moderate => 0.05,
+            Complexity::Complex => 0.14,
+        },
+        Tool::VisualBuilder => {
+            let inaptitude = 1.0 - subject.sql_aptitude;
+            match complexity {
+                Complexity::Simple => 0.03,
+                Complexity::Moderate => 0.12 + 0.15 * inaptitude,
+                Complexity::Complex => 0.25 + 0.35 * inaptitude,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ssa_tpch::study_setup;
+
+    fn profiles() -> Vec<(QueryTask, TaskProfile)> {
+        let (catalog, tasks) = study_setup(0.02, 1);
+        tasks
+            .into_iter()
+            .map(|t| {
+                let p = t.profile(&catalog);
+                (t, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sheetmusiq_beats_builder_on_complex_tasks_for_every_subject() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (task, profile) in profiles() {
+            if !matches!(task.complexity, Complexity::Complex) {
+                continue;
+            }
+            for s in crate::subject::Subject::panel(1) {
+                let mu = sheetmusiq_time(&profile, &s, &mut rng);
+                let nv = builder_time(&profile, &s, &mut rng);
+                assert!(
+                    nv > 1.5 * mu,
+                    "task {}: builder {nv:.0}s vs musiq {mu:.0}s for subject {}",
+                    task.id,
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simple_tasks_are_comparable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (task, profile) in profiles() {
+            if !matches!(task.complexity, Complexity::Simple) {
+                continue;
+            }
+            let s = crate::subject::Subject::sample(0, 1);
+            let mu = sheetmusiq_time(&profile, &s, &mut rng);
+            let nv = builder_time(&profile, &s, &mut rng);
+            assert!(
+                nv < 2.0 * mu,
+                "task {} should be comparable: {nv:.0} vs {mu:.0}",
+                task.id
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_respect_time_cap() {
+        let (catalog, tasks) = study_setup(0.02, 1);
+        let profile = tasks[0].profile(&catalog);
+        let slow = Subject {
+            id: 99,
+            pace: 1.9,
+            sql_aptitude: 0.1,
+            slip_rate: 0.08,
+            prefers_progressive: true,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = attempt(
+                Tool::VisualBuilder,
+                &tasks[0],
+                &profile,
+                &slow,
+                &AttemptContext { prior_tasks_with_tool: 0, second_encounter: false },
+                &mut rng,
+            );
+            assert!(a.seconds <= TIME_CAP);
+            if a.seconds == TIME_CAP {
+                assert!(!a.correct);
+            }
+        }
+    }
+
+    #[test]
+    fn error_probabilities_ordered_by_tool_and_complexity() {
+        let s = Subject::sample(0, 1);
+        for c in [Complexity::Simple, Complexity::Moderate, Complexity::Complex] {
+            assert!(
+                conceptual_error_probability(Tool::SheetMusiq, c, &s)
+                    < conceptual_error_probability(Tool::VisualBuilder, c, &s)
+            );
+        }
+        assert!(
+            conceptual_error_probability(Tool::SheetMusiq, Complexity::Simple, &s)
+                < conceptual_error_probability(Tool::SheetMusiq, Complexity::Complex, &s)
+        );
+    }
+
+    #[test]
+    fn tool_names() {
+        assert_eq!(Tool::SheetMusiq.name(), "SheetMusiq");
+        assert_eq!(Tool::VisualBuilder.name(), "Navicat");
+    }
+}

@@ -1,0 +1,75 @@
+//! Keystroke-Level Model (KLM) operator times.
+//!
+//! The substitution for human subjects (see DESIGN.md): task times in both
+//! interfaces are decomposed into the classic KLM operators of Card,
+//! Moran & Newell — keystrokes, pointing, button presses, homing and
+//! mental preparation. The *structure* of each interface (which steps are
+//! point-and-click, which require composing SQL text, which loop on
+//! syntax errors) comes from the paper's Secs. VI and VII-A.4; KLM
+//! supplies the per-gesture timing.
+
+/// One keystroke (average skilled typist), seconds.
+pub const K: f64 = 0.28;
+/// Point with the mouse to a target.
+pub const P: f64 = 1.1;
+/// Mouse button press or release (a click is 2·B).
+pub const B: f64 = 0.1;
+/// Home hands between keyboard and mouse.
+pub const H: f64 = 0.4;
+/// Mental preparation for a unit action.
+pub const M: f64 = 1.35;
+
+/// A full mouse click.
+pub const CLICK: f64 = 2.0 * B;
+
+/// Point somewhere and click it.
+pub fn point_click() -> f64 {
+    P + CLICK
+}
+
+/// Open a context menu and choose an entry: point, right-click, point at
+/// the entry, click.
+pub fn menu_choose() -> f64 {
+    M + point_click() + point_click()
+}
+
+/// Type `n` characters (with homing onto the keyboard first).
+pub fn type_chars(n: usize) -> f64 {
+    H + n as f64 * K
+}
+
+/// Fill one field of a dialog: point at it, click, type.
+pub fn dialog_field(chars: usize) -> f64 {
+    point_click() + type_chars(chars)
+}
+
+/// Confirm a dialog (point at OK, click).
+pub fn confirm() -> f64 {
+    point_click()
+}
+
+/// Glance at the updated data view to check the effect of a step —
+/// the "rapid incremental reversible operations whose impact ... is
+/// immediately visible" loop of direct manipulation.
+pub const GLANCE: f64 = 0.8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_gestures_sum_components() {
+        assert!((point_click() - 1.3).abs() < 1e-9);
+        assert!((menu_choose() - (1.35 + 1.3 + 1.3)).abs() < 1e-9);
+        assert!((type_chars(10) - (0.4 + 2.8)).abs() < 1e-9);
+        assert!((dialog_field(5) - (1.3 + 0.4 + 1.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitudes_are_plausible() {
+        // A simple selection via context menu + one dialog field + confirm
+        // should land in the 5–15 s range for an expert.
+        let t = menu_choose() + dialog_field(12) + confirm() + GLANCE;
+        assert!((5.0..15.0).contains(&t), "t = {t}");
+    }
+}

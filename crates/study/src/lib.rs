@@ -1,0 +1,33 @@
+//! # ssa-study — the simulated user study (Sec. VII)
+//!
+//! The paper's evaluation is a human-subjects study; this crate is the
+//! documented substitution (see DESIGN.md): ten simulated non-technical
+//! participants complete the ten TPC-H-derived tasks with both SheetMusiq
+//! and a Navicat-style visual query builder.
+//!
+//! * [`klm`] — Keystroke-Level Model gesture times;
+//! * [`subject`] — participant attributes and learning curves;
+//! * [`interface`] — per-tool cost/error models encoding the *mechanisms*
+//!   Sec. VII-A.4 describes (direct manipulation vs SQL-text fallback);
+//! * [`protocol`] — the alternating-order protocol with the 900 s cap,
+//!   plus verification that every task's answer is actually computed by
+//!   the spreadsheet algebra and matches the SQL reference;
+//! * [`report`] — Figs. 3–5, the Mann-Whitney/Fisher significance tests,
+//!   and Table VI.
+
+pub mod interface;
+pub mod klm;
+pub mod protocol;
+pub mod report;
+pub mod sensitivity;
+pub mod subject;
+
+pub use interface::{attempt, Attempt, AttemptContext, Tool, TIME_CAP};
+pub use protocol::{run_study, StudyConfig, StudyResult, TaskRun};
+pub use report::{
+    complexity_breakdown, correctness_significance, fig3_speed, fig4_stddev, fig5_correctness,
+    render_report, speed_significance, speed_significance_paired, table6_subjective,
+    ComplexityRow, CorrectnessStat, QueryStat, Subjective,
+};
+pub use sensitivity::{render_sweep, sweep, SensitivityRow};
+pub use subject::{learning_factor, Subject};

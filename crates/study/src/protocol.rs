@@ -1,0 +1,230 @@
+//! The study protocol (Sec. VII-A.1), simulated.
+//!
+//! Ten subjects each complete all ten TPC-H-derived tasks with both
+//! tools. "Since the software that is used first has a potential
+//! disadvantage, we alternate the order of which software was used first
+//! for the queries. In the end, each package was used first half the
+//! time." Timing starts once the subject understands the task; 900 s
+//! unfinished counts as wrong at 900 s.
+//!
+//! Before simulating humans, the protocol (optionally) *verifies the
+//! system*: every task is executed through the real spreadsheet algebra
+//! (the Theorem-1 translation) and checked against the SQL reference
+//! evaluator — the simulated subjects' "correct answers" are answers the
+//! reproduction actually computes.
+
+use crate::interface::{attempt, Attempt, AttemptContext, Tool};
+use crate::subject::Subject;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssa_sql::{eval_select, translate};
+use ssa_tpch::{study_setup, QueryTask, TaskProfile};
+
+/// One (subject, task, tool) outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRun {
+    pub subject: usize,
+    /// 1-based task id.
+    pub task: usize,
+    pub tool: Tool,
+    pub seconds: f64,
+    pub correct: bool,
+}
+
+/// The full study outcome.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    pub runs: Vec<TaskRun>,
+    pub subjects: Vec<Subject>,
+    pub tasks: Vec<QueryTask>,
+}
+
+impl StudyResult {
+    /// Times for one task under one tool, across subjects.
+    pub fn times(&self, task: usize, tool: Tool) -> Vec<f64> {
+        self.runs
+            .iter()
+            .filter(|r| r.task == task && r.tool == tool)
+            .map(|r| r.seconds)
+            .collect()
+    }
+
+    /// Number of correct completions for one task under one tool.
+    pub fn correct_count(&self, task: usize, tool: Tool) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.task == task && r.tool == tool && r.correct)
+            .count()
+    }
+
+    /// Total correct out of 100 for a tool.
+    pub fn total_correct(&self, tool: Tool) -> usize {
+        self.runs.iter().filter(|r| r.tool == tool && r.correct).count()
+    }
+
+    /// A subject's total time with a tool.
+    pub fn subject_total_time(&self, subject: usize, tool: Tool) -> f64 {
+        self.runs
+            .iter()
+            .filter(|r| r.subject == subject && r.tool == tool)
+            .map(|r| r.seconds)
+            .sum()
+    }
+
+    /// A subject's wrong-answer count with a tool.
+    pub fn subject_errors(&self, subject: usize, tool: Tool) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.subject == subject && r.tool == tool && !r.correct)
+            .count()
+    }
+}
+
+/// Study parameters.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Master seed: subjects, attempt noise and error events all derive
+    /// from it.
+    pub seed: u64,
+    /// TPC-H scale factor for the verification data.
+    pub scale: f64,
+    /// Execute every task through the spreadsheet algebra and check it
+    /// against the SQL reference before simulating subjects.
+    pub verify_system: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig { seed: 2009, scale: 0.05, verify_system: true }
+    }
+}
+
+/// Run the simulated study.
+///
+/// # Panics
+/// Panics if `verify_system` is set and the spreadsheet algebra disagrees
+/// with the SQL reference on any task — that would mean the reproduction
+/// itself is broken, not the simulated humans.
+pub fn run_study(config: &StudyConfig) -> StudyResult {
+    let (catalog, tasks) = study_setup(config.scale, config.seed);
+
+    if config.verify_system {
+        for task in &tasks {
+            let stmt = task.stmt();
+            let reference = eval_select(&stmt, &catalog)
+                .unwrap_or_else(|e| panic!("task {} reference failed: {e}", task.id));
+            let translated = translate(&stmt, &catalog)
+                .unwrap_or_else(|e| panic!("task {} translation failed: {e}", task.id));
+            let sheet_result = translated
+                .result()
+                .unwrap_or_else(|e| panic!("task {} sheet evaluation failed: {e}", task.id));
+            assert!(
+                ssa_sql::equivalent(&stmt, &reference, &sheet_result),
+                "task {}: spreadsheet algebra disagrees with SQL reference",
+                task.id
+            );
+        }
+    }
+
+    let profiles: Vec<TaskProfile> = tasks.iter().map(|t| t.profile(&catalog)).collect();
+    let subjects = Subject::panel(config.seed);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA11CE));
+    let mut runs = Vec::with_capacity(subjects.len() * tasks.len() * 2);
+
+    for subject in &subjects {
+        let mut done_with: [usize; 2] = [0, 0]; // [musiq, builder]
+        for (ti, task) in tasks.iter().enumerate() {
+            // Alternate which tool goes first; across the 10×10 grid each
+            // tool is first exactly half the time.
+            let first = if (ti + subject.id) % 2 == 0 {
+                Tool::SheetMusiq
+            } else {
+                Tool::VisualBuilder
+            };
+            let order = [first, other(first)];
+            for (k, &tool) in order.iter().enumerate() {
+                let idx = match tool {
+                    Tool::SheetMusiq => 0,
+                    Tool::VisualBuilder => 1,
+                };
+                let ctx = AttemptContext {
+                    prior_tasks_with_tool: done_with[idx],
+                    second_encounter: k == 1,
+                };
+                let Attempt { seconds, correct } =
+                    attempt(tool, task, &profiles[ti], subject, &ctx, &mut rng);
+                runs.push(TaskRun { subject: subject.id, task: task.id, tool, seconds, correct });
+                done_with[idx] += 1;
+            }
+        }
+    }
+
+    StudyResult { runs, subjects, tasks }
+}
+
+fn other(tool: Tool) -> Tool {
+    match tool {
+        Tool::SheetMusiq => Tool::VisualBuilder,
+        Tool::VisualBuilder => Tool::SheetMusiq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> StudyResult {
+        run_study(&StudyConfig { seed: 2009, scale: 0.02, verify_system: false })
+    }
+
+    #[test]
+    fn produces_two_hundred_runs() {
+        let r = quick();
+        assert_eq!(r.runs.len(), 200);
+        assert_eq!(r.subjects.len(), 10);
+        assert_eq!(r.tasks.len(), 10);
+        for task in 1..=10 {
+            assert_eq!(r.times(task, Tool::SheetMusiq).len(), 10);
+            assert_eq!(r.times(task, Tool::VisualBuilder).len(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = quick();
+        let b = quick();
+        assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn verification_pass_runs_the_real_system() {
+        // small scale so the test stays fast; panics on any disagreement
+        let r = run_study(&StudyConfig { seed: 1, scale: 0.02, verify_system: true });
+        assert_eq!(r.runs.len(), 200);
+    }
+
+    #[test]
+    fn times_bounded_by_cap() {
+        let r = quick();
+        assert!(r.runs.iter().all(|x| x.seconds > 0.0 && x.seconds <= 900.0));
+    }
+
+    #[test]
+    fn accessors_consistent() {
+        let r = quick();
+        let total: usize = (1..=10)
+            .map(|t| r.correct_count(t, Tool::SheetMusiq))
+            .sum();
+        assert_eq!(total, r.total_correct(Tool::SheetMusiq));
+        let per_subject: f64 = (0..10)
+            .map(|s| r.subject_total_time(s, Tool::VisualBuilder))
+            .sum();
+        let all: f64 = r
+            .runs
+            .iter()
+            .filter(|x| x.tool == Tool::VisualBuilder)
+            .map(|x| x.seconds)
+            .sum();
+        assert!((per_subject - all).abs() < 1e-9);
+    }
+}

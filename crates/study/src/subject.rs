@@ -1,0 +1,115 @@
+//! Simulated study participants.
+//!
+//! The paper recruited "ten volunteers with no background in database
+//! query languages", ages 24–30, all with at least a bachelor's degree.
+//! A [`Subject`] models the attributes that drive task time and
+//! correctness: overall pace, aptitude for picking up SQL syntax when a
+//! tool forces it, slip rate on individual gestures, and the Table-VI
+//! preference trait for progressive refinement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One participant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subject {
+    pub id: usize,
+    /// Multiplier on every action time (1.0 = KLM expert; novices are
+    /// slower).
+    pub pace: f64,
+    /// 0..1 — how quickly the subject copes with SQL text when the visual
+    /// builder falls back to it. Low aptitude means long conceptual
+    /// pauses, more syntax-error retries, more conceptual mistakes.
+    pub sql_aptitude: f64,
+    /// Probability of a mechanical slip per interface step (caught
+    /// immediately thanks to visible feedback; costs an undo/redo).
+    pub slip_rate: f64,
+    /// Table VI question 3: prefers progressive refinement over
+    /// all-at-once specification.
+    pub prefers_progressive: bool,
+}
+
+impl Subject {
+    /// Deterministically sample subject `id` for a study seeded with
+    /// `study_seed`.
+    pub fn sample(id: usize, study_seed: u64) -> Subject {
+        let mut rng = StdRng::seed_from_u64(study_seed.wrapping_mul(0x9E37_79B9).wrapping_add(id as u64));
+        Subject {
+            id,
+            // Non-technical users run 1.3×–1.7× slower than the KLM expert.
+            pace: rng.gen_range(1.3..1.7),
+            sql_aptitude: rng.gen_range(0.05..0.7),
+            slip_rate: rng.gen_range(0.02..0.08),
+            prefers_progressive: rng.gen_range(0.0..1.0) < 0.8,
+        }
+    }
+
+    /// The study's ten participants.
+    pub fn panel(study_seed: u64) -> Vec<Subject> {
+        (0..10).map(|id| Subject::sample(id, study_seed)).collect()
+    }
+}
+
+/// Per-tool learning: overhead multiplier after `prior_tasks` tasks with
+/// the tool. "Most users picked up SheetMusiq much faster than Navicat
+/// (also shown by results of the first two queries)" (Sec. VII-A.4) —
+/// SheetMusiq's overhead decays quickly, the visual builder's slowly.
+pub fn learning_factor(fast_pickup: bool, prior_tasks: usize) -> f64 {
+    let (amplitude, tau) = if fast_pickup { (0.5, 1.2) } else { (0.9, 3.5) };
+    1.0 + amplitude * (-(prior_tasks as f64) / tau).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = Subject::sample(3, 42);
+        let b = Subject::sample(3, 42);
+        assert_eq!(a, b);
+        let c = Subject::sample(3, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn panel_has_ten_distinct_subjects() {
+        let p = Subject::panel(7);
+        assert_eq!(p.len(), 10);
+        for (i, s) in p.iter().enumerate() {
+            assert_eq!(s.id, i);
+            assert!((1.3..1.7).contains(&s.pace));
+            assert!((0.05..0.7).contains(&s.sql_aptitude));
+        }
+        // traits vary across the panel
+        assert!(p.windows(2).any(|w| w[0].pace != w[1].pace));
+    }
+
+    #[test]
+    fn roughly_eight_of_ten_prefer_progressive() {
+        // Across many panels the trait frequency approaches 0.8.
+        let mut yes = 0;
+        let mut total = 0;
+        for seed in 0..200 {
+            for s in Subject::panel(seed) {
+                total += 1;
+                yes += s.prefers_progressive as usize;
+            }
+        }
+        let rate = yes as f64 / total as f64;
+        assert!((0.72..0.88).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn learning_decays_and_fast_pickup_is_faster() {
+        assert!(learning_factor(true, 0) > 1.0);
+        assert!(learning_factor(true, 0) < learning_factor(false, 0));
+        assert!(learning_factor(false, 9) < learning_factor(false, 0));
+        // after many tasks both approach 1
+        assert!(learning_factor(false, 50) < 1.01);
+        // SheetMusiq is essentially learned after two tasks
+        assert!(learning_factor(true, 2) < 1.11);
+        // the builder still carries overhead then
+        assert!(learning_factor(false, 2) > 1.4);
+    }
+}

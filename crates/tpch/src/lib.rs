@@ -1,0 +1,22 @@
+//! # ssa-tpch — the user study's database and tasks
+//!
+//! The paper evaluated SheetMusiq on the TPC-H demonstration dataset with
+//! 10 of the 22 benchmark queries (those expressible without nesting,
+//! `EXISTS` or `CASE`) and predefined views so subjects always queried a
+//! single table. This crate reproduces that setup synthetically:
+//!
+//! * [`schema`] — the eight TPC-H tables (columns the tasks need);
+//! * [`gen`] — a seeded deterministic generator;
+//! * [`views`] — the predefined single-table views (with revenue
+//!   pre-computed);
+//! * [`queries`] — the ten study tasks with English statements, core SQL,
+//!   and structural profiles that drive the simulated study.
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+pub mod views;
+
+pub use gen::{generate, GenConfig, TpchData};
+pub use queries::{study_setup, study_tasks, Complexity, QueryTask, TaskProfile};
+pub use views::study_catalog;

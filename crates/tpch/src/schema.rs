@@ -1,0 +1,189 @@
+//! TPC-H-style schemas (the study's database).
+//!
+//! The paper ran its user study on the TPC-H demonstration dataset
+//! (31 MB). We reproduce the eight-table schema with the columns the ten
+//! study tasks need. Dates are stored as `YYYYMMDD` integers so range
+//! predicates work with plain comparisons (documented substitution —
+//! the expression language has no date type).
+
+use ssa_relation::Schema;
+use ssa_relation::ValueType::{Float, Int, Str};
+
+pub fn region() -> Schema {
+    Schema::of(&[("r_regionkey", Int), ("r_name", Str)])
+}
+
+pub fn nation() -> Schema {
+    Schema::of(&[("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)])
+}
+
+pub fn supplier() -> Schema {
+    Schema::of(&[
+        ("s_suppkey", Int),
+        ("s_name", Str),
+        ("s_nationkey", Int),
+        ("s_acctbal", Float),
+    ])
+}
+
+pub fn customer() -> Schema {
+    Schema::of(&[
+        ("c_custkey", Int),
+        ("c_name", Str),
+        ("c_nationkey", Int),
+        ("c_mktsegment", Str),
+        ("c_acctbal", Float),
+    ])
+}
+
+pub fn part() -> Schema {
+    Schema::of(&[
+        ("p_partkey", Int),
+        ("p_name", Str),
+        ("p_brand", Str),
+        ("p_type", Str),
+        ("p_size", Int),
+        ("p_retailprice", Float),
+    ])
+}
+
+pub fn partsupp() -> Schema {
+    Schema::of(&[
+        ("ps_partkey", Int),
+        ("ps_suppkey", Int),
+        ("ps_availqty", Int),
+        ("ps_supplycost", Float),
+    ])
+}
+
+pub fn orders() -> Schema {
+    Schema::of(&[
+        ("o_orderkey", Int),
+        ("o_custkey", Int),
+        ("o_orderstatus", Str),
+        ("o_totalprice", Float),
+        ("o_orderdate", Int),
+        ("o_orderpriority", Str),
+    ])
+}
+
+pub fn lineitem() -> Schema {
+    Schema::of(&[
+        ("l_orderkey", Int),
+        ("l_partkey", Int),
+        ("l_suppkey", Int),
+        ("l_linenumber", Int),
+        ("l_quantity", Int),
+        ("l_extendedprice", Float),
+        ("l_discount", Float),
+        ("l_tax", Float),
+        ("l_returnflag", Str),
+        ("l_linestatus", Str),
+        ("l_shipdate", Int),
+        ("l_shipmode", Str),
+    ])
+}
+
+/// The five TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const MKT_SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+pub const SHIP_MODES: [&str; 7] =
+    ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+
+pub const PART_TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED STEEL",
+    "LARGE BRUSHED BRASS",
+    "MEDIUM POLISHED COPPER",
+    "PROMO BURNISHED NICKEL",
+    "SMALL PLATED TIN",
+    "STANDARD POLISHED BRASS",
+];
+
+pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+pub const LINE_STATUSES: [&str; 2] = ["O", "F"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemas_build() {
+        for (s, cols) in [
+            (region(), 2),
+            (nation(), 3),
+            (supplier(), 4),
+            (customer(), 5),
+            (part(), 6),
+            (partsupp(), 4),
+            (orders(), 6),
+            (lineitem(), 12),
+        ] {
+            assert_eq!(s.len(), cols);
+        }
+    }
+
+    #[test]
+    fn column_names_globally_unique_across_tables() {
+        // Joins must not produce prefixed clashes for the study views.
+        let mut all: Vec<String> = Vec::new();
+        for s in [
+            region(),
+            nation(),
+            supplier(),
+            customer(),
+            part(),
+            partsupp(),
+            orders(),
+            lineitem(),
+        ] {
+            all.extend(s.names().iter().map(|n| n.to_string()));
+        }
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        for (_, r) in NATIONS {
+            assert!(r < REGIONS.len());
+        }
+        assert_eq!(NATIONS.len(), 25);
+    }
+}

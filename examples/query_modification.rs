@@ -1,0 +1,82 @@
+//! Query modification end-to-end (Sec. V): the retained query state, the
+//! per-column predicate list, replace/delete/reinstate, cascaded removal
+//! of dependent columns, and the point of non-commutativity.
+//!
+//! ```sh
+//! cargo run --example query_modification
+//! ```
+
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::used_cars;
+use spreadsheet_algebra::render::render_table;
+
+fn show(engine: &mut Engine, title: &str) {
+    println!("— {title} —");
+    println!("{}", render_table(engine.view().expect("sheet evaluates")));
+}
+
+fn main() {
+    let mut engine = Engine::over(used_cars());
+
+    // Build up Sam's query one step at a time.
+    let year = engine
+        .select(Expr::col("Year").eq(Expr::lit(2005)))
+        .expect("Year exists");
+    engine
+        .select(Expr::col("Model").eq(Expr::lit("Jetta")))
+        .expect("Model exists");
+    engine
+        .select(Expr::col("Mileage").lt(Expr::lit(80_000)))
+        .expect("Mileage exists");
+    engine.group(&["Condition"], Direction::Asc).expect("group");
+    engine.order("Price", Direction::Asc, 2).expect("order");
+    show(&mut engine, "Table IV: Year = 2005, Jetta, mileage < 80k");
+
+    // The query state, as the History menu would describe it:
+    println!("query state:");
+    for line in engine.sheet().state().describe() {
+        println!("  · {line}");
+    }
+
+    // Sam's budget grows: modify the retained Year predicate. Everything
+    // else — model filter, grouping, ordering — stays in force.
+    engine
+        .replace_selection(year, Expr::col("Year").eq(Expr::lit(2006)))
+        .expect("the predicate is still modifiable");
+    show(&mut engine, "Table V: the same query with Year = 2006");
+
+    // The modification is itself an undoable history entry.
+    println!("history:");
+    for line in engine.history() {
+        println!("  {line}");
+    }
+    engine.undo().expect("undo the modification");
+    println!(
+        "after undo, back to {} rows\n",
+        engine.view().expect("evaluates").len()
+    );
+    engine.redo().expect("redo it");
+
+    // Cascaded removal: an aggregate with dependents cannot be dropped
+    // one-shot; the plan lists what must go first.
+    let avg = engine.aggregate(AggFunc::Avg, "Price", 2).expect("aggregate");
+    engine
+        .select(Expr::col("Price").le(Expr::col(&avg)))
+        .expect("select on aggregate");
+    let err = engine.remove_computed(&avg).expect_err("dependents block removal");
+    println!("one-shot removal refused: {err}");
+    let plan = engine
+        .sheet_mut()
+        .remove_with_cascade(&avg)
+        .expect("cascade succeeds");
+    println!("cascade executed: {plan}\n");
+    show(&mut engine, "after cascade (aggregate and dependents gone)");
+
+    // A binary operator ends the rewritable region.
+    let snapshot = engine.save("before-union").expect("save");
+    engine.union(&snapshot).expect("union");
+    println!(
+        "after union, earlier selections are consumed: {} remain modifiable",
+        engine.sheet().state().selections.len()
+    );
+}

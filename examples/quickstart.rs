@@ -1,0 +1,39 @@
+//! Quickstart: the spreadsheet algebra in twenty lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::used_cars;
+use spreadsheet_algebra::render::render_table;
+
+fn main() {
+    // A spreadsheet over a base relation (the paper's Table I data).
+    let mut sheet = Spreadsheet::over(used_cars());
+
+    // Direct manipulation, one small step at a time — every intermediate
+    // result is a complete, presentable spreadsheet.
+    sheet.group(&["Model"], Direction::Desc).expect("group by Model");
+    sheet.group(&["Model", "Year"], Direction::Asc).expect("then by Year");
+    sheet.order("Price", Direction::Asc, 3).expect("order finest groups by Price");
+
+    // Aggregation is a *computed column*: the per-group average appears on
+    // every row and auto-updates when the data changes.
+    let avg = sheet.aggregate(AggFunc::Avg, "Price", 3).expect("average per (Model, Year)");
+
+    // Select against the aggregate — no subquery needed.
+    let bargain = sheet
+        .select(Expr::col("Price").le(Expr::col(&avg)))
+        .expect("filter at-or-below average");
+
+    println!("Cars at or below their (Model, Year) average price:\n");
+    println!("{}", render_table(sheet.view().expect("evaluates")));
+
+    // Changed your mind? Edit the retained predicate — no redoing steps.
+    sheet
+        .replace_selection(bargain, Expr::col("Price").lt(Expr::col(&avg)))
+        .expect("modify the retained predicate");
+    println!("Strictly below average (after query modification):\n");
+    println!("{}", render_table(sheet.view().expect("evaluates")));
+}

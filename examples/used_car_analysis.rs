@@ -1,0 +1,70 @@
+//! Sam's full used-car session — the paper's running example (Secs. I-B,
+//! V, VI-A) driven through the SheetMusiq interface layer: session,
+//! script language, contextual menus, history, undo and query
+//! modification.
+//!
+//! ```sh
+//! cargo run --example used_car_analysis
+//! ```
+
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::{dealers, used_cars};
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog.register(used_cars()).expect("register cars");
+    catalog.register(dealers()).expect("register dealers");
+    let mut host = ScriptHost::new(Session::new(catalog));
+
+    let mut run = |line: &str| {
+        let out = host.execute(line).unwrap_or_else(|e| panic!("`{line}` failed: {e}"));
+        println!("musiq> {line}");
+        if !out.is_empty() {
+            println!("{out}");
+        }
+        println!();
+    };
+
+    println!("— Sam explores the used-car database —\n");
+
+    // Sam cares about Model and Price the most: group by Model and Year.
+    run("load cars");
+    run("group Model desc");
+    run("group Year");
+
+    // Late-model cars in good or excellent condition.
+    run("select Year >= 2005");
+    run("select Condition = 'Good' OR Condition = 'Excellent'");
+
+    // What's the average price per (Model, Year)? (Fig. 1's dialog.)
+    run("agg avg Price 3");
+    run("show");
+
+    // Filter out cars more expensive than the average (Fig. 2).
+    run("select Price <= Avg_Price");
+    run("show");
+
+    // The history menu: every manipulation, numbered and named.
+    run("history");
+
+    // Sam's budget grows: change Year >= 2005 to Year >= 2006 *through
+    // query state* — the grouping, ordering and other selections stay.
+    run("filters Year");
+    run("modify 0 Year >= 2006");
+    run("show");
+
+    // All actions are reversible.
+    run("undo");
+    run("redo");
+
+    // Save the sheet, look at dealers, and join back.
+    run("save bargains");
+    run("load dealers");
+    run("save dealer_list");
+    run("open bargains");
+    run("join dealer_list on Model = \"dealers.Model\"");
+    run("show");
+
+    // What the contextual menu offers on the Price column now:
+    run("menu Price");
+}

@@ -1,0 +1,35 @@
+//! # sheetmusiq-repro — facade crate
+//!
+//! Reproduction of *"A Spreadsheet Algebra for a Direct Data Manipulation
+//! Query Interface"* (Liu & Jagadish, ICDE 2009). This crate re-exports
+//! the workspace's public surface and hosts the cross-crate integration
+//! tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! Crate map (see DESIGN.md for the full inventory):
+//!
+//! * [`algebra`] — the spreadsheet algebra itself (the paper's
+//!   contribution): recursively grouped multisets, all operators, query
+//!   state, query modification, history;
+//! * [`relation`] — the in-memory relational substrate;
+//! * [`sql`] — core single-block SQL with the Theorem-1 translator;
+//! * [`tpch`] — the study's data generator, views and ten tasks;
+//! * [`musiq`] — the SheetMusiq interface model (sessions, contextual
+//!   menus, gestures, script language, REPL binary);
+//! * [`stats`] — Mann-Whitney / Fisher / descriptive statistics;
+//! * [`study`] — the simulated user study and its figure reports.
+
+pub use spreadsheet_algebra as algebra;
+pub use ssa_relation as relation;
+pub use ssa_sql as sql;
+pub use ssa_stats as stats;
+pub use ssa_study as study;
+pub use ssa_tpch as tpch;
+
+pub use sheetmusiq as musiq;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use sheetmusiq::{ScriptHost, Session};
+    pub use spreadsheet_algebra::prelude::*;
+    pub use ssa_relation::{Catalog, Schema, Tuple, ValueType};
+}

@@ -1,0 +1,179 @@
+//! Binary operators (Defs. 7–10) and points of non-commutativity:
+//! asymmetry, multiset semantics, computed-column survival, and the
+//! freezing of earlier state.
+
+use proptest::prelude::*;
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::{dealers, used_cars};
+use ssa_relation::schema::Schema;
+use ssa_relation::{Relation, Tuple};
+use ssa_relation::ValueType::Int;
+
+fn store(mut sheet: Spreadsheet, name: &str) -> StoredSheet {
+    let _ = &mut sheet;
+    sheet.save(name).expect("save succeeds")
+}
+
+#[test]
+fn product_is_asymmetric_in_presentation() {
+    // "product is not symmetric … since the grouping and ordering would
+    // be different" (Def. 7 discussion).
+    let mut left = Spreadsheet::over(used_cars());
+    left.group(&["Model"], Direction::Desc).unwrap();
+    let left_stored = store(left.clone(), "cars_grouped");
+
+    let mut right = Spreadsheet::over(dealers());
+    right.group(&["City"], Direction::Asc).unwrap();
+    let right_stored = store(right.clone(), "dealers_grouped");
+
+    left.product(&right_stored).unwrap();
+    right.product(&left_stored).unwrap();
+
+    // same multiset of combined tuples (modulo column naming/order) …
+    assert_eq!(left.view().unwrap().len(), right.view().unwrap().len());
+    // … but different grouping: left groups by Model, right by City.
+    assert!(left.state().spec.in_relative_basis("Model", 2));
+    assert!(right.state().spec.in_relative_basis("City", 2));
+}
+
+#[test]
+fn union_uses_current_sheets_presentation() {
+    let mut jettas = Spreadsheet::over(used_cars());
+    jettas.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+    let jettas_stored = store(jettas, "jettas");
+
+    let mut current = Spreadsheet::over(used_cars());
+    current.select(Expr::col("Model").eq(Expr::lit("Civic"))).unwrap();
+    current.group(&["Year"], Direction::Desc).unwrap();
+    current.union(&jettas_stored).unwrap();
+
+    // grouping of the *current* sheet survives the union
+    assert!(current.state().spec.in_relative_basis("Year", 2));
+    let view = current.view().unwrap();
+    assert_eq!(view.len(), 9);
+    // 2006 group first (DESC): 423, 723, 725 (Jetta) + 879, 322 (Civic)
+    let years = view.data.column_values("Year").unwrap();
+    assert_eq!(years[0], Value::Int(2006));
+    assert_eq!(years[8], Value::Int(2005));
+}
+
+#[test]
+fn difference_cancels_one_duplicate_per_tuple() {
+    // {t, t} − {t} = {t} (Sec. III-B).
+    let schema = Schema::of(&[("x", Int)]);
+    let doubled = Relation::with_rows(
+        "doubled",
+        schema.clone(),
+        vec![ssa_relation::tuple![1], ssa_relation::tuple![1], ssa_relation::tuple![2]],
+    )
+    .unwrap();
+    let single =
+        Relation::with_rows("single", schema, vec![ssa_relation::tuple![1]]).unwrap();
+
+    let mut sheet = Spreadsheet::over(doubled);
+    let stored = store(Spreadsheet::over(single), "single");
+    sheet.difference(&stored).unwrap();
+    let view = sheet.view().unwrap();
+    assert_eq!(view.len(), 2);
+    let xs = view.data.column_values("x").unwrap();
+    assert!(xs.contains(&Value::Int(1)) && xs.contains(&Value::Int(2)));
+}
+
+#[test]
+fn join_condition_can_mix_both_sides_arithmetic() {
+    let mut sheet = Spreadsheet::over(used_cars());
+    let stored = store(Spreadsheet::over(dealers()), "dealers");
+    // join on Model equality AND a price floor — arbitrary SQL-supported F
+    sheet
+        .join(
+            &stored,
+            Expr::col("Model")
+                .eq(Expr::col("dealers.Model"))
+                .and(Expr::col("Price").gt(Expr::lit(15000))),
+        )
+        .unwrap();
+    let view = sheet.view().unwrap();
+    // cars > 15000: 901, 423, 723, 725 (Jetta ×1 dealer), 322 (Civic ×2)
+    assert_eq!(view.len(), 4 + 2);
+}
+
+#[test]
+fn epoch_counts_points_of_non_commutativity() {
+    let mut sheet = Spreadsheet::over(used_cars());
+    let stored = store(Spreadsheet::over(used_cars()), "all");
+    assert_eq!(sheet.epoch(), 0);
+    sheet.union(&stored).unwrap();
+    assert_eq!(sheet.epoch(), 1);
+    sheet.difference(&stored).unwrap();
+    assert_eq!(sheet.epoch(), 2);
+}
+
+#[test]
+fn selections_before_binary_are_baked_into_data() {
+    let mut sheet = Spreadsheet::over(used_cars());
+    sheet.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+    let stored = store(Spreadsheet::over(used_cars()), "all");
+    sheet.union(&stored).unwrap();
+    // the 2005 filter was applied to the left operand before the union:
+    // 4 + 9 = 13 rows, and the filter is no longer in the state.
+    assert_eq!(sheet.view().unwrap().len(), 13);
+    assert!(sheet.state().selections.is_empty());
+    // removing rows now requires a *new* selection, which applies to the
+    // whole union result.
+    sheet.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+    assert_eq!(sheet.view().unwrap().len(), 8); // 4 + 4
+}
+
+#[test]
+fn projections_survive_binary_operators() {
+    let mut sheet = Spreadsheet::over(used_cars());
+    sheet.project_out("Mileage").unwrap();
+    let stored = store(Spreadsheet::over(used_cars()), "all");
+    sheet.union(&stored).unwrap();
+    assert!(!sheet.view().unwrap().visible.contains(&"Mileage".to_string()));
+    // and the hidden column still exists in R for later reinstatement
+    sheet.reinstate("Mileage").unwrap();
+    assert!(sheet.view().unwrap().visible.contains(&"Mileage".to_string()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Multiset identity: (A ∪ B) − B == A, for random small relations.
+    #[test]
+    fn union_then_difference_is_identity(
+        xs in proptest::collection::vec(0..5i64, 0..12),
+        ys in proptest::collection::vec(0..5i64, 0..12),
+    ) {
+        let schema = Schema::of(&[("x", Int)]);
+        let a = Relation::with_rows(
+            "a",
+            schema.clone(),
+            xs.iter().map(|&x| Tuple::new(vec![Value::Int(x)])).collect(),
+        ).unwrap();
+        let b = Relation::with_rows(
+            "b",
+            schema,
+            ys.iter().map(|&y| Tuple::new(vec![Value::Int(y)])).collect(),
+        ).unwrap();
+
+        let mut sheet = Spreadsheet::over(a.clone());
+        let stored_b = Spreadsheet::over(b).save("b").unwrap();
+        sheet.union(&stored_b).unwrap();
+        sheet.difference(&stored_b).unwrap();
+        let result = sheet.evaluate_now().unwrap().visible_relation();
+        prop_assert!(result.multiset_eq(&a));
+    }
+
+    /// Product cardinality: |A × B| = |A|·|B| with retained selections
+    /// applied first.
+    #[test]
+    fn product_cardinality(threshold in 13_000..19_000i64) {
+        let mut sheet = Spreadsheet::over(used_cars());
+        sheet.select(Expr::col("Price").lt(Expr::lit(threshold))).unwrap();
+        let kept = sheet.evaluate_now().unwrap().len();
+        let stored = Spreadsheet::over(dealers()).save("d").unwrap();
+        sheet.product(&stored).unwrap();
+        prop_assert_eq!(sheet.evaluate_now().unwrap().len(), kept * 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate end-to-end flows: CSV → catalog → session → script →
+//! algebra → render, stored-sheet persistence, and the study smoke path.
+
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::used_cars;
+use spreadsheet_algebra::StoredSheet;
+use ssa_relation::csv::{parse_csv, to_csv};
+
+const INVENTORY_CSV: &str = "\
+SKU,Category,Price,Stock
+A1,widget,19.5,100
+A2,widget,25.0,40
+B1,gadget,99.9,7
+B2,gadget,45.0,0
+C1,gizmo,5.25,500
+";
+
+#[test]
+fn csv_to_spreadsheet_to_render() {
+    let rel = parse_csv("inventory", INVENTORY_CSV).expect("CSV parses");
+    let mut sheet = Spreadsheet::over(rel);
+    sheet.group(&["Category"], Direction::Asc).unwrap();
+    let avg = sheet.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+    sheet.select(Expr::col("Stock").gt(Expr::lit(0))).unwrap();
+    let view = sheet.view().unwrap();
+    assert_eq!(view.len(), 4);
+    let text = spreadsheet_algebra::render::render_table(view);
+    assert!(text.contains(&avg));
+    assert!(text.contains("gadget"));
+    // export the visible view back to CSV and re-import
+    let exported = to_csv(&view.visible_relation());
+    let back = parse_csv("roundtrip", &exported).unwrap();
+    assert_eq!(back.len(), 4);
+    assert!(back.schema().contains("Avg_Price"));
+}
+
+#[test]
+fn script_session_full_cycle_with_csv_data() {
+    let mut catalog = Catalog::new();
+    catalog
+        .register(parse_csv("inventory", INVENTORY_CSV).unwrap())
+        .unwrap();
+    let mut host = ScriptHost::new(Session::new(catalog));
+    let outputs = host
+        .run_script(
+            "load inventory\n\
+             group Category\n\
+             agg sum Stock 2\n\
+             select Sum_Stock > 5\n\
+             formula Value = Price * Stock\n\
+             order Value desc 2\n\
+             show",
+        )
+        .unwrap();
+    let table = outputs.last().unwrap();
+    assert!(table.contains("Value"));
+    // gadgets: stock 7 total → kept; widgets 140 → kept; gizmo 500 → kept
+    assert!(table.contains("gizmo"));
+}
+
+#[test]
+fn stored_sheet_survives_json_round_trip_across_sessions() {
+    // Session 1: build and save a sheet with state.
+    let mut catalog = Catalog::new();
+    catalog.register(used_cars()).unwrap();
+    let mut session = Session::new(catalog);
+    session.load("cars").unwrap();
+    {
+        let e = session.engine().unwrap();
+        e.select(Expr::col("Condition").eq(Expr::lit("Excellent"))).unwrap();
+        e.group_add(&["Model"], Direction::Asc).unwrap();
+        e.aggregate(AggFunc::Max, "Price", 2).unwrap();
+    }
+    let stored = session.engine().unwrap().save("excellent").unwrap();
+    let json = stored.to_json().unwrap();
+
+    // "Session 2": deserialize and reopen.
+    let revived = StoredSheet::from_json(&json).unwrap();
+    let mut sheet = Spreadsheet::open(&revived);
+    let view = sheet.view().unwrap();
+    assert_eq!(view.len(), 4); // four Excellent cars (all Jettas)
+    assert!(view.data.schema().contains("Max_Price"));
+    // grouping survived
+    assert_eq!(view.tree.groups_at_level(2).len(), 1); // all Jetta
+}
+
+#[test]
+fn two_sheets_diff_then_union_is_identity_as_multiset() {
+    let mut catalog = Catalog::new();
+    catalog.register(used_cars()).unwrap();
+    let mut session = Session::new(catalog);
+    session.load("cars").unwrap();
+    session
+        .engine()
+        .unwrap()
+        .select(Expr::col("Year").eq(Expr::lit(2005)))
+        .unwrap();
+    session.save("y2005").unwrap();
+
+    session.load("cars").unwrap();
+    session.difference("y2005").unwrap();
+    session.save("rest").unwrap();
+
+    // (cars − y2005) ∪ y2005 == cars as a multiset
+    session.open("rest").unwrap();
+    session.union("y2005").unwrap();
+    let view = session.engine().unwrap().view().unwrap();
+    assert_eq!(view.len(), 9);
+    assert!(view.visible_relation().multiset_eq(&used_cars()));
+}
+
+#[test]
+fn study_smoke_end_to_end() {
+    use sheetmusiq_repro::study::{run_study, StudyConfig, Tool};
+    let result = run_study(&StudyConfig { seed: 7, scale: 0.02, verify_system: true });
+    assert_eq!(result.runs.len(), 200);
+    // direction of the headline results holds for an arbitrary seed
+    assert!(result.total_correct(Tool::SheetMusiq) > result.total_correct(Tool::VisualBuilder));
+}
+
+#[test]
+fn base_relation_update_reflects_in_existing_sheet() {
+    // Sec. II-B: tuples in R can change anytime; the spreadsheet always
+    // retrieves the latest data (here: rebuild the sheet over the updated
+    // catalog entry, keeping the state).
+    let mut catalog = Catalog::new();
+    catalog.register(used_cars()).unwrap();
+    let mut sheet = Spreadsheet::over(catalog.get("cars").unwrap().clone());
+    sheet.aggregate(AggFunc::Count, "ID", 1).unwrap();
+    assert_eq!(
+        sheet.view().unwrap().data.value_at(0, "Count_ID").unwrap(),
+        &Value::Int(9)
+    );
+    // a new car arrives
+    catalog
+        .append_rows("cars", vec![ssa_relation::tuple![999, "Jetta", 14000, 2007, 10_000, "Good"]])
+        .unwrap();
+    // computed columns auto-update over the refreshed base
+    let mut refreshed = Spreadsheet::over(catalog.get("cars").unwrap().clone());
+    refreshed.aggregate(AggFunc::Count, "ID", 1).unwrap();
+    assert_eq!(
+        refreshed.view().unwrap().data.value_at(0, "Count_ID").unwrap(),
+        &Value::Int(10)
+    );
+}
+
+#[test]
+fn contextual_menu_through_session() {
+    use sheetmusiq_repro::musiq::{context_menu, ClickTarget, MenuEntry};
+    let mut catalog = Catalog::new();
+    catalog.register(used_cars()).unwrap();
+    let mut session = Session::new(catalog);
+    session.load("cars").unwrap();
+    session.save("snapshot").unwrap();
+    let stored_count = session.stored_names().len();
+    let entries = context_menu(
+        session.engine().unwrap().sheet(),
+        &ClickTarget::Header { column: "Price".into() },
+        stored_count,
+    )
+    .unwrap();
+    assert!(entries
+        .iter()
+        .any(|e| matches!(e, MenuEntry::BinaryOps { stored_sheets: 1 })));
+}

@@ -1,0 +1,129 @@
+//! History/undo properties of the [`Engine`] — "rapid incremental
+//! reversible operations" (direct-manipulation desideratum iii).
+//!
+//! * undoing everything returns exactly to the base spreadsheet;
+//! * undo then redo is an identity;
+//! * the history listing always matches the operations that succeeded.
+
+use proptest::prelude::*;
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::used_cars;
+use spreadsheet_algebra::AlgebraOp;
+
+fn arb_op() -> impl Strategy<Value = AlgebraOp> {
+    prop_oneof![
+        (13_000..19_000i64)
+            .prop_map(|v| AlgebraOp::Select { predicate: Expr::col("Price").lt(Expr::lit(v)) }),
+        proptest::sample::select(vec!["Jetta", "Civic"]).prop_map(|m| AlgebraOp::Select {
+            predicate: Expr::col("Model").eq(Expr::lit(m)),
+        }),
+        proptest::sample::select(vec!["Model", "Condition", "Year"]).prop_map(|c| {
+            AlgebraOp::Group { basis: vec![c.to_string()], order: Direction::Asc }
+        }),
+        (
+            proptest::sample::select(vec![AggFunc::Avg, AggFunc::Count]),
+            1usize..=2
+        )
+            .prop_map(|(func, level)| AlgebraOp::Aggregate {
+                func,
+                column: "Price".into(),
+                level,
+            }),
+        proptest::sample::select(vec!["Mileage", "Condition", "ID"])
+            .prop_map(|c| AlgebraOp::Project { column: c.to_string() }),
+        Just(AlgebraOp::Dedup),
+        (proptest::sample::select(vec!["Price", "Mileage"]), 1usize..=2).prop_map(
+            |(c, level)| AlgebraOp::Order {
+                attribute: c.to_string(),
+                order: Direction::Desc,
+                level,
+            }
+        ),
+    ]
+}
+
+/// Apply an op through the engine, counting only successes.
+fn apply(engine: &mut Engine, op: &AlgebraOp) -> bool {
+    match op {
+        AlgebraOp::Select { predicate } => engine.select(predicate.clone()).is_ok(),
+        AlgebraOp::Group { basis, order } => {
+            let refs: Vec<&str> = basis.iter().map(|s| s.as_str()).collect();
+            engine.group(&refs, *order).is_ok()
+        }
+        AlgebraOp::Aggregate { func, column, level } => {
+            engine.aggregate(*func, column, *level).is_ok()
+        }
+        AlgebraOp::Project { column } => engine.project_out(column).is_ok(),
+        AlgebraOp::Dedup => engine.dedup().is_ok(),
+        AlgebraOp::Order { attribute, order, level } => {
+            engine.order(attribute, *order, *level).is_ok()
+        }
+        AlgebraOp::Formula { name, expr } => {
+            engine.formula(name.as_deref(), expr.clone()).is_ok()
+        }
+        AlgebraOp::Reinstate { column } => engine.reinstate(column).is_ok(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn undo_everything_restores_base(ops in proptest::collection::vec(arb_op(), 0..10)) {
+        let mut engine = Engine::over(used_cars());
+        let baseline = engine.sheet().evaluate_now().unwrap();
+        let succeeded = ops.iter().filter(|op| apply(&mut engine, op)).count();
+        prop_assert_eq!(engine.history().len(), succeeded);
+        engine.undo_steps(succeeded).unwrap();
+        prop_assert_eq!(engine.sheet().evaluate_now().unwrap(), baseline);
+        prop_assert!(engine.history().is_empty());
+    }
+
+    #[test]
+    fn undo_redo_round_trip(ops in proptest::collection::vec(arb_op(), 1..10), k in 1usize..5) {
+        let mut engine = Engine::over(used_cars());
+        let succeeded = ops.iter().filter(|op| apply(&mut engine, op)).count();
+        prop_assume!(succeeded > 0);
+        let before = engine.sheet().evaluate_now().unwrap();
+        let k = k.min(succeeded);
+        engine.undo_steps(k).unwrap();
+        engine.redo_steps(k).unwrap();
+        prop_assert_eq!(engine.sheet().evaluate_now().unwrap(), before);
+        // redo stack is exhausted again
+        prop_assert!(engine.redo().is_err());
+    }
+
+    #[test]
+    fn history_entries_are_numbered_and_named(ops in proptest::collection::vec(arb_op(), 0..8)) {
+        let mut engine = Engine::over(used_cars());
+        for op in &ops {
+            apply(&mut engine, op);
+        }
+        for (i, line) in engine.history().iter().enumerate() {
+            prop_assert!(line.starts_with(&format!("{}. ", i + 1)), "bad numbering: {line}");
+            prop_assert!(line.len() > 4, "entry has a name: {line}");
+        }
+    }
+
+    #[test]
+    fn failed_ops_never_change_the_sheet(ops in proptest::collection::vec(arb_op(), 0..8)) {
+        let mut engine = Engine::over(used_cars());
+        for op in &ops {
+            let before = engine.sheet().evaluate_now();
+            if !apply(&mut engine, op) {
+                prop_assert_eq!(engine.sheet().evaluate_now(), before);
+            }
+        }
+    }
+}
+
+#[test]
+fn undo_across_save_does_not_affect_stored_snapshot() {
+    let mut engine = Engine::over(used_cars());
+    engine.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+    let stored = engine.save("jettas").unwrap();
+    engine.undo().unwrap();
+    // the live sheet is back to 9 rows, the snapshot still has 6
+    assert_eq!(engine.view().unwrap().len(), 9);
+    assert_eq!(stored.relation.len(), 6);
+}

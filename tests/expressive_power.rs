@@ -1,0 +1,172 @@
+//! Theorem 1, property-tested: every core single-block SQL query has an
+//! equivalent spreadsheet-algebra program.
+//!
+//! We generate random relations and random core single-block statements
+//! (respecting the Sec. IV-A constraints: projection ⊆ grouping, ordering
+//! ⊆ projection ∪ aggregation), run both the SQL reference evaluator and
+//! the seven-step translation, and check equivalence.
+
+use proptest::prelude::*;
+use sheetmusiq_repro::prelude::*;
+use ssa_relation::schema::Schema;
+use ssa_relation::{Relation, Tuple};
+use ssa_relation::ValueType::{Int, Str};
+use ssa_sql::{equivalent, eval_select, translate, parse_select};
+
+/// Random relation over a fixed 4-column schema (two groupable string
+/// columns, two numeric ones).
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    let row = (0..4i64, 0..3i64, 0..100i64, 0..50i64);
+    proptest::collection::vec(row, 0..40).prop_map(|rows| {
+        let schema = Schema::of(&[("g", Str), ("h", Str), ("x", Int), ("y", Int)]);
+        let mut rel = Relation::new("t", schema);
+        for (g, h, x, y) in rows {
+            rel.insert(Tuple::new(vec![
+                Value::Str(format!("g{g}")),
+                Value::Str(format!("h{h}")),
+                Value::Int(x),
+                Value::Int(y),
+            ]))
+            .expect("widths match");
+        }
+        rel
+    })
+}
+
+/// Random WHERE conjunct over the schema.
+fn arb_conjunct() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0..4i64).prop_map(|g| format!("g <> 'g{g}'")),
+        (0..100i64).prop_map(|x| format!("x < {x}")),
+        (0..100i64).prop_map(|x| format!("x >= {x}")),
+        (0..50i64).prop_map(|y| format!("y <= {y}")),
+        Just("x + y > 60".to_string()),
+    ]
+}
+
+/// A random core single-block statement as SQL text.
+fn arb_statement() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(arb_conjunct(), 0..3),
+        proptest::sample::select(vec![
+            Vec::<&str>::new(),
+            vec!["g"],
+            vec!["g", "h"],
+        ]),
+        proptest::sample::subsequence(vec!["SUM(x)", "AVG(y)", "COUNT(*)", "MIN(x)", "MAX(y)"], 0..3),
+        any::<bool>(), // having?
+        any::<bool>(), // order by?
+        any::<bool>(), // order direction
+    )
+        .prop_map(|(conjuncts, group_by, aggs, want_having, want_order, desc)| {
+            let grouped = !group_by.is_empty();
+            // SELECT list: grouping columns (so projection ⊆ grouping) +
+            // aggregates; ungrouped queries with no aggregates select raw
+            // columns.
+            let mut items: Vec<String> = if grouped {
+                group_by.iter().map(|s| s.to_string()).collect()
+            } else if aggs.is_empty() {
+                vec!["g".into(), "x".into(), "y".into()]
+            } else {
+                vec![]
+            };
+            let mut aggs = aggs;
+            if grouped && aggs.is_empty() && want_having {
+                aggs.push("COUNT(*)");
+            }
+            items.extend(aggs.iter().map(|s| s.to_string()));
+            if items.is_empty() {
+                items.push("COUNT(*)".into());
+                aggs.push("COUNT(*)");
+            }
+
+            let mut sql = format!("SELECT {} FROM t", items.join(", "));
+            if !conjuncts.is_empty() {
+                sql.push_str(&format!(" WHERE {}", conjuncts.join(" AND ")));
+            }
+            if grouped {
+                sql.push_str(&format!(" GROUP BY {}", group_by.join(", ")));
+            }
+            if want_having && grouped && !aggs.is_empty() {
+                sql.push_str(&format!(" HAVING {} >= 0", canonical(aggs[0])));
+            }
+            if want_order {
+                // ordering-list ⊆ projection ∪ aggregation
+                let target = items[0].clone();
+                sql.push_str(&format!(
+                    " ORDER BY {target}{}",
+                    if desc { " DESC" } else { "" }
+                ));
+            }
+            sql
+        })
+}
+
+/// The canonical aggregate-output name used by both sides.
+fn canonical(agg: &str) -> &'static str {
+    match agg {
+        "SUM(x)" => "Sum_x",
+        "AVG(y)" => "Avg_y",
+        "COUNT(*)" => "Count",
+        "MIN(x)" => "Min_x",
+        "MAX(y)" => "Max_y",
+        other => panic!("unknown aggregate {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn theorem1_translation_is_equivalent(rel in arb_relation(), sql in arb_statement()) {
+        let stmt = parse_select(&sql).expect("generated SQL is core single-block");
+        let mut catalog = Catalog::new();
+        catalog.register(rel).expect("fresh catalog");
+
+        let reference = eval_select(&stmt, &catalog).expect("reference evaluates");
+        let translated = translate(&stmt, &catalog).expect("translation succeeds");
+        let sheet_result = translated.result().expect("sheet evaluates");
+
+        prop_assert!(
+            equivalent(&stmt, &reference, &sheet_result),
+            "not equivalent for `{sql}`:\nSQL rows: {}\nsheet rows: {}",
+            reference.len(),
+            sheet_result.len()
+        );
+    }
+
+    #[test]
+    fn sql_evaluator_is_deterministic(rel in arb_relation(), sql in arb_statement()) {
+        let stmt = parse_select(&sql).expect("generated SQL parses");
+        let mut catalog = Catalog::new();
+        catalog.register(rel).expect("fresh catalog");
+        let a = eval_select(&stmt, &catalog).expect("evaluates");
+        let b = eval_select(&stmt, &catalog).expect("evaluates");
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn theorem1_two_relation_product() {
+    // Multi-relation FROM exercises step 1 (product) + join predicates in
+    // WHERE (step 2); kept deterministic because products over random
+    // relations explode.
+    let mut catalog = Catalog::new();
+    let mut left = Relation::new("l", Schema::of(&[("k", Int), ("v", Str)]));
+    let mut right = Relation::new("r", Schema::of(&[("k2", Int), ("w", Str)]));
+    for i in 0..6 {
+        left.insert(Tuple::new(vec![Value::Int(i % 3), Value::Str(format!("v{i}"))]))
+            .unwrap();
+        right
+            .insert(Tuple::new(vec![Value::Int(i % 3), Value::Str(format!("w{i}"))]))
+            .unwrap();
+    }
+    catalog.register(left).unwrap();
+    catalog.register(right).unwrap();
+    let stmt = parse_select("SELECT v, w FROM l, r WHERE k = k2").unwrap();
+    let reference = eval_select(&stmt, &catalog).unwrap();
+    let translated = translate(&stmt, &catalog).unwrap();
+    let sheet_result = translated.result().unwrap();
+    assert_eq!(reference.len(), 12); // 3 key groups of 2×2
+    assert!(equivalent(&stmt, &reference, &sheet_result));
+}

@@ -1,0 +1,162 @@
+//! The reorganize fast path: when only grouping/ordering/projection
+//! changed, `view()` re-sorts the cached evaluation instead of rerunning
+//! the canonical pipeline. These tests pin that the fast path is
+//! *observationally identical* to full evaluation.
+
+use proptest::prelude::*;
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::used_cars;
+use spreadsheet_algebra::AlgebraOp;
+
+fn arb_op() -> impl Strategy<Value = AlgebraOp> {
+    prop_oneof![
+        // content-changing
+        (13_000..19_000i64)
+            .prop_map(|v| AlgebraOp::Select { predicate: Expr::col("Price").lt(Expr::lit(v)) }),
+        (
+            proptest::sample::select(vec![AggFunc::Avg, AggFunc::Count, AggFunc::Max]),
+            1usize..=3
+        )
+            .prop_map(|(func, level)| AlgebraOp::Aggregate {
+                func,
+                column: "Price".into(),
+                level,
+            }),
+        Just(AlgebraOp::Dedup),
+        // organization-only (the fast-path triggers)
+        proptest::sample::select(vec!["Model", "Condition", "Year"]).prop_map(|c| {
+            AlgebraOp::Group { basis: vec![c.to_string()], order: Direction::Desc }
+        }),
+        (
+            proptest::sample::select(vec!["Price", "Mileage", "ID", "Year"]),
+            1usize..=3
+        )
+            .prop_map(|(c, level)| AlgebraOp::Order {
+                attribute: c.to_string(),
+                order: Direction::Asc,
+                level,
+            }),
+        proptest::sample::select(vec!["Mileage", "Condition"])
+            .prop_map(|c| AlgebraOp::Project { column: c.to_string() }),
+        proptest::sample::select(vec!["Mileage", "Condition"])
+            .prop_map(|c| AlgebraOp::Reinstate { column: c.to_string() }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After every step of a random session, the cached/fast-path `view`
+    /// equals a from-scratch evaluation — with the fast path both on and
+    /// off.
+    #[test]
+    fn view_always_equals_full_evaluation(
+        ops in proptest::collection::vec(arb_op(), 0..10),
+        fast in any::<bool>(),
+    ) {
+        let mut sheet = Spreadsheet::over(used_cars());
+        sheet.set_fast_reorganize(fast);
+        // prime the cache so later ops hit the reorganize/reuse branches
+        let _ = sheet.view();
+        for op in &ops {
+            if op.apply(&mut sheet).is_ok() {
+                let fresh = sheet.evaluate_now().expect("state is valid");
+                let viewed = sheet.view().expect("view succeeds").clone();
+                prop_assert_eq!(viewed, fresh);
+            }
+        }
+    }
+
+    /// Interleaving reads must not change results either (cache reuse).
+    #[test]
+    fn repeated_views_are_stable(ops in proptest::collection::vec(arb_op(), 0..8)) {
+        let mut sheet = Spreadsheet::over(used_cars());
+        for op in &ops {
+            let _ = op.apply(&mut sheet);
+            let a = sheet.view().expect("view").clone();
+            let b = sheet.view().expect("view").clone();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn reorganize_path_handles_grouping_then_ordering_then_projection() {
+    let mut sheet = Spreadsheet::over(used_cars());
+    sheet.select(Expr::col("Year").ge(Expr::lit(2005))).unwrap();
+    sheet.aggregate(AggFunc::Avg, "Price", 1).unwrap();
+    let full = sheet.view().unwrap().clone(); // primes the cache
+
+    // Organization-only edits from here on: all fast-path.
+    sheet.group(&["Model"], Direction::Asc).unwrap();
+    let grouped = sheet.view().unwrap().clone();
+    assert_eq!(grouped, sheet.evaluate_now().unwrap());
+    assert_eq!(grouped.len(), full.len());
+
+    sheet.order("Price", Direction::Desc, 2).unwrap();
+    {
+        let fresh = sheet.evaluate_now().unwrap();
+        assert_eq!(*sheet.view().unwrap(), fresh);
+    }
+
+    sheet.project_out("Mileage").unwrap();
+    {
+        let fresh = sheet.evaluate_now().unwrap();
+        assert_eq!(*sheet.view().unwrap(), fresh);
+    }
+    sheet.reinstate("Mileage").unwrap();
+    {
+        let fresh = sheet.evaluate_now().unwrap();
+        assert_eq!(*sheet.view().unwrap(), fresh);
+    }
+
+    // A content change falls back to the full pipeline.
+    sheet.select(Expr::col("Condition").eq(Expr::lit("Good"))).unwrap();
+    {
+        let fresh = sheet.evaluate_now().unwrap();
+        assert_eq!(*sheet.view().unwrap(), fresh);
+    }
+}
+
+#[test]
+fn binary_operator_discards_cache() {
+    let mut sheet = Spreadsheet::over(used_cars());
+    sheet.view().unwrap();
+    let stored = Spreadsheet::over(used_cars()).save("all").unwrap();
+    sheet.union(&stored).unwrap();
+    assert_eq!(sheet.view().unwrap().len(), 18);
+    {
+        let fresh = sheet.evaluate_now().unwrap();
+        assert_eq!(*sheet.view().unwrap(), fresh);
+    }
+}
+
+#[test]
+fn rename_discards_cache() {
+    let mut sheet = Spreadsheet::over(used_cars());
+    sheet.group(&["Model"], Direction::Asc).unwrap();
+    sheet.view().unwrap();
+    sheet.rename("Model", "Make").unwrap();
+    let fresh = sheet.evaluate_now().unwrap();
+    let v = sheet.view().unwrap();
+    assert!(v.visible.contains(&"Make".to_string()));
+    assert_eq!(*v, fresh);
+}
+
+#[test]
+fn fast_path_tiebreak_matches_full_evaluation() {
+    // Regression: a grouping+ordering arrangement followed by a
+    // level-destroying ordering (Def. 4 case 1) leaves ties in the new
+    // key; the fast path must break them by base order (like a full
+    // evaluation), not by the previous presentation order.
+    let mut sheet = Spreadsheet::over(used_cars());
+    sheet.view().unwrap(); // prime cache
+    sheet.group(&["Condition"], Direction::Asc).unwrap();
+    sheet.order("Price", Direction::Desc, 2).unwrap();
+    sheet.view().unwrap(); // presentation now Condition/Price-ordered
+    // destroys the Condition grouping; new finest order = Year only,
+    // which has many ties
+    sheet.order("Year", Direction::Asc, 1).unwrap();
+    let fresh = sheet.evaluate_now().unwrap();
+    assert_eq!(*sheet.view().unwrap(), fresh);
+}

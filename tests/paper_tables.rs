@@ -1,0 +1,139 @@
+//! Deterministic reproduction of the paper's illustrative tables (I–V):
+//! exact row orders and exact computed values.
+
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::used_cars;
+
+fn ids(sheet: &Spreadsheet) -> Vec<i64> {
+    sheet
+        .evaluate_now()
+        .unwrap()
+        .data
+        .column_values("ID")
+        .unwrap()
+        .into_iter()
+        .map(|v| match v {
+            Value::Int(i) => i,
+            other => panic!("ID must be int, got {other}"),
+        })
+        .collect()
+}
+
+/// Table I's arrangement: grouped by Model DESC then Year ASC, ordered by
+/// Price ASC within the finest groups.
+fn table1() -> Spreadsheet {
+    let mut s = Spreadsheet::over(used_cars());
+    s.group(&["Model"], Direction::Desc).unwrap();
+    s.group(&["Model", "Year"], Direction::Asc).unwrap();
+    s.order("Price", Direction::Asc, 3).unwrap();
+    s
+}
+
+#[test]
+fn table_i_exact_row_order() {
+    let s = table1();
+    assert_eq!(ids(&s), vec![304, 872, 901, 423, 723, 725, 132, 879, 322]);
+}
+
+#[test]
+fn table_ii_grouping_by_condition() {
+    // Example 1: τ_{Year,Model,Condition},ASC creates a fourth level with
+    // relative basis Condition.
+    let mut s = table1();
+    s.group(&["Year", "Model", "Condition"], Direction::Asc).unwrap();
+    assert_eq!(ids(&s), vec![872, 901, 304, 723, 725, 423, 132, 879, 322]);
+    assert_eq!(s.state().spec.level_count(), 4);
+    assert!(s.state().spec.in_relative_basis("Condition", 4));
+    // Price left the finest ordering? No — Price was not grouped, it stays.
+    assert_eq!(s.state().spec.finest_order.len(), 1);
+}
+
+#[test]
+fn table_iii_avg_price_values() {
+    let mut s = table1();
+    let name = s.aggregate(AggFunc::Avg, "Price", 3).unwrap();
+    assert_eq!(name, "Avg_Price");
+    let d = s.evaluate_now().unwrap();
+    let col = d.data.column_values("Avg_Price").unwrap();
+    let expected = [
+        15166.666666666666, // Jetta 2005 ×3
+        15166.666666666666,
+        15166.666666666666,
+        17500.0, // Jetta 2006 ×3
+        17500.0,
+        17500.0,
+        13500.0, // Civic 2005
+        15500.0, // Civic 2006 ×2
+        15500.0,
+    ];
+    for (v, e) in col.iter().zip(expected) {
+        let Value::Float(f) = v else { panic!("aggregate must be float") };
+        assert!((f - e).abs() < 1e-9, "{f} vs {e}");
+    }
+    // The paper's rendering rounds Jetta-2005 to $15,167.
+    let Value::Float(f) = &col[0] else { unreachable!() };
+    assert_eq!(f.round() as i64, 15167);
+}
+
+#[test]
+fn tables_iv_v_query_modification() {
+    let mut s = Spreadsheet::over(used_cars());
+    let year = s.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+    s.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+    s.select(Expr::col("Mileage").lt(Expr::lit(80000))).unwrap();
+    s.group(&["Condition"], Direction::Asc).unwrap();
+    s.order("Price", Direction::Asc, 2).unwrap();
+    // Table IV: Excellent group first (872, 901), then Good (304).
+    assert_eq!(ids(&s), vec![872, 901, 304]);
+
+    s.replace_selection(year, Expr::col("Year").eq(Expr::lit(2006)))
+        .unwrap();
+    // Table V: "the specification of model, grouping and ordering remains
+    // effective".
+    assert_eq!(ids(&s), vec![723, 725, 423]);
+    assert_eq!(s.state().spec.level_count(), 2);
+}
+
+#[test]
+fn table_rendering_matches_paper_shape() {
+    use spreadsheet_algebra::render::render_table;
+    let mut s = table1();
+    s.aggregate(AggFunc::Avg, "Price", 3).unwrap();
+    let text = render_table(&s.evaluate_now().unwrap());
+    assert!(text.contains("Avg_Price"));
+    assert!(text.contains("15166.67"));
+    // Jetta block renders before Civic (Model DESC)
+    let jetta = text.find("Jetta").unwrap();
+    let civic = text.find("Civic").unwrap();
+    assert!(jetta < civic);
+}
+
+#[test]
+fn example_2_ordering_cases() {
+    // λ_{Mileage,ASC,3}: further order the finest groups by Mileage.
+    let mut s = table1();
+    s.order("Mileage", Direction::Asc, 3).unwrap();
+    assert_eq!(s.state().spec.level_count(), 3);
+    assert_eq!(s.state().spec.finest_order.len(), 2);
+
+    // λ_{Mileage,ASC,2}: destroys the level-3 grouping (relative basis
+    // Year).
+    let mut s = table1();
+    s.order("Mileage", Direction::Asc, 2).unwrap();
+    assert_eq!(s.state().spec.level_count(), 2);
+    assert!(!s.state().spec.in_relative_basis("Year", 3));
+    assert_eq!(s.state().spec.finest_order[0].attribute, "Mileage");
+}
+
+#[test]
+fn fig2_filter_against_average() {
+    // "he can filter out all cars more expensive than the average" —
+    // compare Price with Avg_Price (Fig. 2).
+    let mut s = table1();
+    let avg = s.aggregate(AggFunc::Avg, "Price", 3).unwrap();
+    s.select(Expr::col("Price").le(Expr::col(&avg))).unwrap();
+    // Cars at or below their (Model, Year) average:
+    // Jetta05: 14500, 15000; Jetta06: 17000, 17500; Civic05: 13500;
+    // Civic06: 15000.
+    assert_eq!(ids(&s), vec![304, 872, 423, 723, 132, 879]);
+}

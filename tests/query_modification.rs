@@ -1,0 +1,161 @@
+//! Theorem 3, property-tested: "modifying an operation in a sequence of
+//! operations without point of non-commutativity through query state
+//! change is the same as rewriting query history."
+//!
+//! We generate random operator histories over the used-car data, pick a
+//! selection in the middle, and compare
+//!
+//! * path A — apply the whole history, then edit the retained predicate
+//!   through query state ([`Spreadsheet::replace_selection`] /
+//!   [`Spreadsheet::remove_selection`]);
+//! * path B — replay the history from scratch with the edit applied at
+//!   the original position.
+
+use proptest::prelude::*;
+use sheetmusiq_repro::prelude::*;
+use spreadsheet_algebra::fixtures::used_cars;
+use spreadsheet_algebra::AlgebraOp;
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (13_000..19_000i64).prop_map(|v| Expr::col("Price").lt(Expr::lit(v))),
+        (2004..2008i64).prop_map(|v| Expr::col("Year").eq(Expr::lit(v))),
+        (20_000..100_000i64).prop_map(|v| Expr::col("Mileage").lt(Expr::lit(v))),
+        proptest::sample::select(vec!["Jetta", "Civic"])
+            .prop_map(|m| Expr::col("Model").eq(Expr::lit(m))),
+    ]
+}
+
+/// History steps. Aggregates use base numeric columns only so that their
+/// applicability never depends on the data (only on the grouping depth,
+/// which selections cannot change) — a failed step then fails identically
+/// on both paths.
+fn arb_step() -> impl Strategy<Value = AlgebraOp> {
+    prop_oneof![
+        4 => arb_predicate().prop_map(|predicate| AlgebraOp::Select { predicate }),
+        1 => proptest::sample::select(vec!["Model", "Condition", "Year"]).prop_map(|c| {
+            AlgebraOp::Group { basis: vec![c.to_string()], order: Direction::Asc }
+        }),
+        1 => (
+            proptest::sample::select(vec![AggFunc::Avg, AggFunc::Count, AggFunc::Max]),
+            proptest::sample::select(vec!["Price", "Mileage"]),
+            1usize..=2
+        )
+            .prop_map(|(func, column, level)| AlgebraOp::Aggregate {
+                func,
+                column: column.to_string(),
+                level,
+            }),
+        1 => proptest::sample::select(vec!["Price", "Mileage", "ID"]).prop_map(|c| {
+            AlgebraOp::Order { attribute: c.to_string(), order: Direction::Desc, level: 1 }
+        }),
+        1 => proptest::sample::select(vec!["Mileage", "Condition"])
+            .prop_map(|c| AlgebraOp::Project { column: c.to_string() }),
+        1 => Just(AlgebraOp::Dedup),
+    ]
+}
+
+/// Apply a history; selections return their ids in order.
+fn apply_history(sheet: &mut Spreadsheet, steps: &[AlgebraOp]) -> Vec<Option<u64>> {
+    steps
+        .iter()
+        .map(|op| match op {
+            AlgebraOp::Select { predicate } => sheet.select(predicate.clone()).ok(),
+            other => {
+                let _ = other.apply(sheet);
+                None
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn theorem3_replace_equals_replay(
+        steps in proptest::collection::vec(arb_step(), 1..8),
+        pick in any::<prop::sample::Index>(),
+        new_pred in arb_predicate(),
+    ) {
+        // Path A: full history, then state edit.
+        let mut a = Spreadsheet::over(used_cars());
+        let ids = apply_history(&mut a, &steps);
+        let selections: Vec<(usize, u64)> = ids
+            .iter()
+            .enumerate()
+            .filter_map(|(i, id)| id.map(|id| (i, id)))
+            .collect();
+        prop_assume!(!selections.is_empty());
+        let (step_idx, sel_id) = selections[pick.index(selections.len())];
+        a.replace_selection(sel_id, new_pred.clone()).expect("id is live");
+
+        // Path B: replay with the edit at the original position.
+        let mut b = Spreadsheet::over(used_cars());
+        let mut edited = steps.clone();
+        edited[step_idx] = AlgebraOp::Select { predicate: new_pred };
+        apply_history(&mut b, &edited);
+
+        prop_assert_eq!(a.evaluate_now(), b.evaluate_now());
+    }
+
+    #[test]
+    fn theorem3_remove_equals_replay_without(
+        steps in proptest::collection::vec(arb_step(), 1..8),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut a = Spreadsheet::over(used_cars());
+        let ids = apply_history(&mut a, &steps);
+        let selections: Vec<(usize, u64)> = ids
+            .iter()
+            .enumerate()
+            .filter_map(|(i, id)| id.map(|id| (i, id)))
+            .collect();
+        prop_assume!(!selections.is_empty());
+        let (step_idx, sel_id) = selections[pick.index(selections.len())];
+        a.remove_selection(sel_id).expect("id is live");
+
+        let mut b = Spreadsheet::over(used_cars());
+        let mut edited = steps.clone();
+        edited.remove(step_idx);
+        apply_history(&mut b, &edited);
+
+        prop_assert_eq!(a.evaluate_now(), b.evaluate_now());
+    }
+
+    #[test]
+    fn reinstate_makes_projection_never_happen(
+        steps in proptest::collection::vec(arb_step(), 0..6),
+    ) {
+        // Sec. V-B: "the semantics of the reinstatement are to rewrite
+        // history, and make it as if the projection never took place."
+        let mut a = Spreadsheet::over(used_cars());
+        apply_history(&mut a, &steps);
+        let hidden_before = a.state().projected_out.clone();
+        if a.project_out("Price").is_ok() {
+            a.reinstate("Price").expect("just hidden");
+        }
+        let mut b = Spreadsheet::over(used_cars());
+        apply_history(&mut b, &steps);
+        prop_assert_eq!(a.evaluate_now(), b.evaluate_now());
+        prop_assert_eq!(&a.state().projected_out, &hidden_before);
+    }
+}
+
+#[test]
+fn modification_blocked_behind_binary_operator() {
+    // Selections made before a union are consumed at the point of
+    // non-commutativity: they are no longer in the modifiable state.
+    let mut s = Spreadsheet::over(used_cars());
+    let id = s.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+    let stored = Spreadsheet::over(used_cars()).save("all").unwrap();
+    s.union(&stored).unwrap();
+    assert!(matches!(
+        s.replace_selection(id, Expr::col("Model").eq(Expr::lit("Civic"))),
+        Err(spreadsheet_algebra::SheetError::UnknownSelection { .. })
+    ));
+    // New selections after the point are modifiable as usual.
+    let id2 = s.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
+    s.replace_selection(id2, Expr::col("Year").eq(Expr::lit(2006)))
+        .unwrap();
+}
