@@ -2,25 +2,42 @@
 //! (pure metadata work, independent of data size) versus actually
 //! applying operator pairs in both orders and comparing results.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spreadsheet_algebra::{may_commute, AlgebraOp, Direction, Spreadsheet};
+use ssa_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssa_bench::synthetic_cars;
 use ssa_relation::{AggFunc, Expr};
 use std::hint::black_box;
 
 fn ops() -> Vec<AlgebraOp> {
     vec![
-        AlgebraOp::Select { predicate: Expr::col("Price").lt(Expr::lit(20_000)) },
-        AlgebraOp::Select { predicate: Expr::col("Year").ge(Expr::lit(2004)) },
-        AlgebraOp::Project { column: "Mileage".into() },
-        AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 1 },
+        AlgebraOp::Select {
+            predicate: Expr::col("Price").lt(Expr::lit(20_000)),
+        },
+        AlgebraOp::Select {
+            predicate: Expr::col("Year").ge(Expr::lit(2004)),
+        },
+        AlgebraOp::Project {
+            column: "Mileage".into(),
+        },
+        AlgebraOp::Aggregate {
+            func: AggFunc::Avg,
+            column: "Price".into(),
+            level: 1,
+        },
         AlgebraOp::Formula {
             name: Some("PriceK".into()),
             expr: Expr::col("Price").div(Expr::lit(1000)),
         },
         AlgebraOp::Dedup,
-        AlgebraOp::Group { basis: vec!["Model".into()], order: Direction::Asc },
-        AlgebraOp::Order { attribute: "Price".into(), order: Direction::Asc, level: 1 },
+        AlgebraOp::Group {
+            basis: vec!["Model".into()],
+            order: Direction::Asc,
+        },
+        AlgebraOp::Order {
+            attribute: "Price".into(),
+            order: Direction::Asc,
+            level: 1,
+        },
     ]
 }
 

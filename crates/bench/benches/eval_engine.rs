@@ -1,0 +1,145 @@
+//! Index-vector engine vs the naive row-cloning pipeline on the
+//! standard workload (selection + formula + aggregate + grouping +
+//! presentation sort) at 1k / 10k / 100k rows.
+//!
+//! Besides the usual console report, this bench writes `BENCH_eval.json`
+//! at the repository root: per size, the median evaluation time of the
+//! naive oracle, the index-vector engine (default parallel threshold),
+//! and the index-vector engine forced sequential — plus the resulting
+//! speedups. Run with `SSA_BENCH_FAST=1` for a smoke test (the JSON is
+//! then marked `"fast": true`).
+
+use spreadsheet_algebra::eval::{evaluate_with, EvalOptions};
+use spreadsheet_algebra::{ComputedColumn, Direction, GroupLevel, OrderKey, QueryState};
+use ssa_bench::harness::measure;
+use ssa_bench::synthetic_cars;
+use ssa_relation::{AggFunc, Expr};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The measured workload: every pipeline stage at once. Selections land
+/// at two different ranks (one references the aggregate), so step 3 runs
+/// two filter passes and step 4 recomputes both computed columns.
+fn workload_state() -> QueryState {
+    let mut st = QueryState::new();
+    st.spec
+        .levels
+        .push(GroupLevel::new(["Model"], Direction::Desc));
+    st.spec
+        .levels
+        .push(GroupLevel::new(["Year"], Direction::Asc));
+    st.spec.finest_order.push(OrderKey::asc("Price"));
+    st.computed.push(ComputedColumn::formula(
+        "PriceK",
+        Expr::col("Price").div(Expr::lit(1000)),
+    ));
+    st.computed.push(ComputedColumn::aggregate(
+        "Avg_Price",
+        AggFunc::Avg,
+        "Price",
+        2,
+        vec!["Model".into()],
+    ));
+    st.add_selection(Expr::col("Price").le(Expr::col("Avg_Price")));
+    st.add_selection(Expr::col("Year").ge(Expr::lit(2002)));
+    st
+}
+
+struct Row {
+    rows: usize,
+    naive_ms: f64,
+    indexed_ms: f64,
+    indexed_seq_ms: f64,
+}
+
+fn main() {
+    let fast = std::env::var_os("SSA_BENCH_FAST").is_some();
+    let sizes: &[usize] = if fast {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let st = workload_state();
+
+    let naive = EvalOptions {
+        naive: true,
+        ..EvalOptions::default()
+    };
+    let indexed = EvalOptions::default();
+    let sequential = EvalOptions {
+        parallel_threshold: usize::MAX,
+        ..EvalOptions::default()
+    };
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        let base = synthetic_cars(n);
+
+        // The engines must agree before their timings mean anything.
+        let a = evaluate_with(&base, &st, naive).expect("naive evaluation");
+        let b = evaluate_with(&base, &st, indexed).expect("indexed evaluation");
+        assert_eq!(a, b, "engines disagree at {n} rows — bench aborted");
+
+        let (target, samples) = if fast {
+            (Duration::from_millis(5), 3)
+        } else {
+            (Duration::from_millis(60), 10)
+        };
+        let s_naive = measure(
+            || black_box(evaluate_with(&base, &st, naive)),
+            target,
+            samples,
+        );
+        let s_indexed = measure(
+            || black_box(evaluate_with(&base, &st, indexed)),
+            target,
+            samples,
+        );
+        let s_seq = measure(
+            || black_box(evaluate_with(&base, &st, sequential)),
+            target,
+            samples,
+        );
+
+        let row = Row {
+            rows: n,
+            naive_ms: s_naive.median_ns / 1e6,
+            indexed_ms: s_indexed.median_ns / 1e6,
+            indexed_seq_ms: s_seq.median_ns / 1e6,
+        };
+        println!(
+            "eval_engine/{:>6} rows  naive {:8.3} ms  indexed {:8.3} ms  (seq {:8.3} ms)  speedup {:4.2}x",
+            row.rows,
+            row.naive_ms,
+            row.indexed_ms,
+            row.indexed_seq_ms,
+            row.naive_ms / row.indexed_ms,
+        );
+        results.push(row);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"eval_engine\",\n");
+    json.push_str(
+        "  \"workload\": \"2 selections + formula + level-2 aggregate + 2-level grouping + sort\",\n",
+    );
+    json.push_str(&format!("  \"fast\": {fast},\n"));
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"naive_ms\": {:.3}, \"indexed_ms\": {:.3}, \"indexed_seq_ms\": {:.3}, \"speedup\": {:.2}, \"speedup_sequential\": {:.2}}}{}\n",
+            r.rows,
+            r.naive_ms,
+            r.indexed_ms,
+            r.indexed_seq_ms,
+            r.naive_ms / r.indexed_ms,
+            r.naive_ms / r.indexed_seq_ms,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_eval.json at repo root");
+    println!("wrote {path}");
+}

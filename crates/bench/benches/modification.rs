@@ -9,8 +9,8 @@
 //! re-evaluation per replayed step, since a direct-manipulation
 //! interface shows every intermediate result).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spreadsheet_algebra::{Direction, Spreadsheet};
+use ssa_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssa_bench::synthetic_cars;
 use ssa_relation::{AggFunc, Expr};
 use std::hint::black_box;
@@ -23,7 +23,8 @@ fn build(k: usize) -> (Spreadsheet, u64) {
     let first = s.select(Expr::col("Price").lt(Expr::lit(30_000))).unwrap();
     for i in 0..k {
         // distinct, all-satisfiable predicates
-        s.select(Expr::col("Mileage").lt(Expr::lit(1_000_000 + i as i64))).unwrap();
+        s.select(Expr::col("Mileage").lt(Expr::lit(1_000_000 + i as i64)))
+            .unwrap();
     }
     s.group(&["Model"], Direction::Asc).unwrap();
     s.aggregate(AggFunc::Avg, "Price", 2).unwrap();

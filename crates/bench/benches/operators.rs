@@ -4,8 +4,8 @@
 //! a direct-manipulation interface, so per-operator latency is the
 //! interactivity budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spreadsheet_algebra::{Direction, Spreadsheet};
+use ssa_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssa_bench::{arranged_sheet, synthetic_cars};
 use ssa_relation::{AggFunc, Expr};
 use std::hint::black_box;

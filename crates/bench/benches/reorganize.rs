@@ -5,8 +5,8 @@
 //! ordering change on a sheet with selections + an aggregate, with the
 //! fast path on vs off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spreadsheet_algebra::{Direction, Spreadsheet};
+use ssa_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssa_bench::synthetic_cars;
 use ssa_relation::{AggFunc, Expr};
 use std::hint::black_box;
@@ -32,7 +32,11 @@ fn bench_reorder(c: &mut Criterion, name: &str, fast: bool) {
                 // flip the ordering each iteration so the spec always
                 // changes and the reorganize path actually runs
                 desc = !desc;
-                let dir = if desc { Direction::Desc } else { Direction::Asc };
+                let dir = if desc {
+                    Direction::Desc
+                } else {
+                    Direction::Asc
+                };
                 s.order("Mileage", dir, 2).unwrap();
                 black_box(s.view().unwrap().len())
             })

@@ -2,7 +2,7 @@
 //! the SQL reference evaluator and the Theorem-1 spreadsheet-algebra
 //! translation. Also benches the data generator itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssa_sql::{eval_select, translate};
 use ssa_tpch::{generate, study_catalog, study_tasks, GenConfig};
 use std::hint::black_box;

@@ -2,14 +2,18 @@
 //! subjects × 10 tasks × 2 tools, with and without the system-verification
 //! pass that runs every task through the real algebra first.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssa_bench::harness::{criterion_group, criterion_main, Criterion};
 use ssa_study::{run_study, StudyConfig};
 use std::hint::black_box;
 
 fn bench_simulation_only(c: &mut Criterion) {
     c.bench_function("study_simulation_only", |b| {
         b.iter(|| {
-            let r = run_study(&StudyConfig { seed: 2009, scale: 0.02, verify_system: false });
+            let r = run_study(&StudyConfig {
+                seed: 2009,
+                scale: 0.02,
+                verify_system: false,
+            });
             black_box(r.runs.len())
         })
     });
@@ -20,7 +24,11 @@ fn bench_with_verification(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("scale_0.02", |b| {
         b.iter(|| {
-            let r = run_study(&StudyConfig { seed: 2009, scale: 0.02, verify_system: true });
+            let r = run_study(&StudyConfig {
+                seed: 2009,
+                scale: 0.02,
+                verify_system: true,
+            });
             black_box(r.runs.len())
         })
     });

@@ -42,7 +42,9 @@ fn main() {
     if want("table3") {
         section("Table III — Avg_Price per (Model, Year) as a computed column");
         let mut sheet = table1_sheet();
-        sheet.aggregate(AggFunc::Avg, "Price", 3).expect("level 3 exists");
+        sheet
+            .aggregate(AggFunc::Avg, "Price", 3)
+            .expect("level 3 exists");
         sheet.project_out("Condition").expect("Condition exists");
         print!("{}", render(sheet));
     }
@@ -58,8 +60,12 @@ fn main() {
         sheet
             .select(Expr::col("Mileage").lt(Expr::lit(80000)))
             .expect("Mileage exists");
-        sheet.group(&["Condition"], Direction::Asc).expect("Condition exists");
-        sheet.order("Price", Direction::Asc, 2).expect("finest level");
+        sheet
+            .group(&["Condition"], Direction::Asc)
+            .expect("Condition exists");
+        sheet
+            .order("Price", Direction::Asc, 2)
+            .expect("finest level");
         println!("Before modification (Table IV):");
         print!("{}", render(sheet.clone()));
         sheet
@@ -69,13 +75,14 @@ fn main() {
         print!("{}", render(sheet));
     }
 
-    let study = if want("fig3") || want("fig4") || want("fig5") || want("table6") || want("significance") {
-        println!("\nRunning the simulated user study (10 subjects × 10 TPC-H tasks × 2 tools,");
-        println!("system answers verified against the SQL reference first)…");
-        Some(run_study(&StudyConfig::default()))
-    } else {
-        None
-    };
+    let study =
+        if want("fig3") || want("fig4") || want("fig5") || want("table6") || want("significance") {
+            println!("\nRunning the simulated user study (10 subjects × 10 TPC-H tasks × 2 tools,");
+            println!("system answers verified against the SQL reference first)…");
+            Some(run_study(&StudyConfig::default()))
+        } else {
+            None
+        };
 
     if let Some(result) = &study {
         if want("fig3") {
@@ -120,10 +127,22 @@ fn main() {
         if want("table6") {
             section("Table VI — subjective results");
             let t6 = table6_subjective(result);
-            println!("Which package do you prefer to use?             SheetMusiq {} / Navicat {}", t6.prefer.0, t6.prefer.1);
-            println!("Seeing data helps formulate queries             yes {} / no {}", t6.seeing_data_helps.0, t6.seeing_data_helps.1);
-            println!("Progressive refinement better than all-at-once  yes {} / no {}", t6.progressive_better.0, t6.progressive_better.1);
-            println!("Database concepts easier in SheetMusiq          yes {} / no {}", t6.concepts_easier.0, t6.concepts_easier.1);
+            println!(
+                "Which package do you prefer to use?             SheetMusiq {} / Navicat {}",
+                t6.prefer.0, t6.prefer.1
+            );
+            println!(
+                "Seeing data helps formulate queries             yes {} / no {}",
+                t6.seeing_data_helps.0, t6.seeing_data_helps.1
+            );
+            println!(
+                "Progressive refinement better than all-at-once  yes {} / no {}",
+                t6.progressive_better.0, t6.progressive_better.1
+            );
+            println!(
+                "Database concepts easier in SheetMusiq          yes {} / no {}",
+                t6.concepts_easier.0, t6.concepts_easier.1
+            );
         }
     }
 
@@ -150,9 +169,15 @@ fn section(title: &str) {
 /// Table I's arrangement: grouped Model DESC then Year ASC, Price ASC.
 fn table1_sheet() -> Spreadsheet {
     let mut sheet = Spreadsheet::over(used_cars());
-    sheet.group(&["Model"], Direction::Desc).expect("Model exists");
-    sheet.group(&["Model", "Year"], Direction::Asc).expect("superset basis");
-    sheet.order("Price", Direction::Asc, 3).expect("finest level");
+    sheet
+        .group(&["Model"], Direction::Desc)
+        .expect("Model exists");
+    sheet
+        .group(&["Model", "Year"], Direction::Asc)
+        .expect("superset basis");
+    sheet
+        .order("Price", Direction::Asc, 3)
+        .expect("finest level");
     sheet
 }
 
@@ -180,12 +205,20 @@ fn theorem2_check() {
     let sheet = Spreadsheet::over(used_cars());
     let pairs = [
         (
-            AlgebraOp::Select { predicate: Expr::col("Year").eq(Expr::lit(2005)) },
-            AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 1 },
+            AlgebraOp::Select {
+                predicate: Expr::col("Year").eq(Expr::lit(2005)),
+            },
+            AlgebraOp::Aggregate {
+                func: AggFunc::Avg,
+                column: "Price".into(),
+                level: 1,
+            },
         ),
         (
             AlgebraOp::Dedup,
-            AlgebraOp::Project { column: "Mileage".into() },
+            AlgebraOp::Project {
+                column: "Mileage".into(),
+            },
         ),
     ];
     for (a, b) in pairs {
@@ -208,17 +241,29 @@ fn theorem2_check() {
 fn theorem3_check() {
     // State-change modification equals replaying an edited history.
     let mut modified = Spreadsheet::over(used_cars());
-    let id = modified.select(Expr::col("Year").eq(Expr::lit(2005))).expect("select");
-    modified.group(&["Condition"], Direction::Asc).expect("group");
-    modified.aggregate(AggFunc::Avg, "Price", 2).expect("aggregate");
+    let id = modified
+        .select(Expr::col("Year").eq(Expr::lit(2005)))
+        .expect("select");
+    modified
+        .group(&["Condition"], Direction::Asc)
+        .expect("group");
+    modified
+        .aggregate(AggFunc::Avg, "Price", 2)
+        .expect("aggregate");
     modified
         .replace_selection(id, Expr::col("Year").eq(Expr::lit(2006)))
         .expect("modification");
 
     let mut replayed = Spreadsheet::over(used_cars());
-    replayed.select(Expr::col("Year").eq(Expr::lit(2006))).expect("select");
-    replayed.group(&["Condition"], Direction::Asc).expect("group");
-    replayed.aggregate(AggFunc::Avg, "Price", 2).expect("aggregate");
+    replayed
+        .select(Expr::col("Year").eq(Expr::lit(2006)))
+        .expect("select");
+    replayed
+        .group(&["Condition"], Direction::Asc)
+        .expect("group");
+    replayed
+        .aggregate(AggFunc::Avg, "Price", 2)
+        .expect("aggregate");
 
     assert_eq!(
         modified.evaluate_now().expect("evaluates"),

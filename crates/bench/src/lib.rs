@@ -9,10 +9,12 @@
 //! Shared workload builders live here so benches and the binary agree on
 //! the data they measure.
 
+pub mod harness;
+
 use spreadsheet_algebra::Spreadsheet;
 use ssa_relation::schema::Schema;
-use ssa_relation::{Relation, Tuple, Value};
 use ssa_relation::ValueType::{Int, Str};
+use ssa_relation::{Relation, Tuple, Value};
 
 /// A synthetic car-like relation of `n` rows for scaling benches.
 pub fn synthetic_cars(n: usize) -> Relation {
@@ -45,7 +47,8 @@ pub fn arranged_sheet(n: usize) -> Spreadsheet {
     use spreadsheet_algebra::Direction;
     let mut s = Spreadsheet::over(synthetic_cars(n));
     s.group(&["Model"], Direction::Asc).expect("Model exists");
-    s.group(&["Model", "Year"], Direction::Asc).expect("superset");
+    s.group(&["Model", "Year"], Direction::Asc)
+        .expect("superset");
     s.order("Price", Direction::Asc, 3).expect("finest level");
     s
 }

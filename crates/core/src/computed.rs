@@ -9,13 +9,12 @@
 //! in the spreadsheet algebra when they do not in relational algebra
 //! (Theorem 2's proof sketch).
 
-use serde::{Deserialize, Serialize};
 use ssa_relation::{AggFunc, Expr};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// The definition of a computed column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ComputedDef {
     /// η — `func(column)` evaluated per group at grouping `level`
     /// (1-based; level 1 = the whole sheet), with the one result value
@@ -65,7 +64,13 @@ impl ComputedDef {
                 }
             }
             ComputedDef::Formula { expr } => {
-                *expr = expr.map_columns(&|c| if c == from { to.to_string() } else { c.to_string() });
+                *expr = expr.map_columns(&|c| {
+                    if c == from {
+                        to.to_string()
+                    } else {
+                        c.to_string()
+                    }
+                });
             }
         }
     }
@@ -74,7 +79,12 @@ impl ComputedDef {
 impl fmt::Display for ComputedDef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ComputedDef::Aggregate { func, column, level, .. } => {
+            ComputedDef::Aggregate {
+                func,
+                column,
+                level,
+                ..
+            } => {
                 write!(f, "{func}({column}) at level {level}")
             }
             ComputedDef::Formula { expr } => write!(f, "{expr}"),
@@ -83,7 +93,7 @@ impl fmt::Display for ComputedDef {
 }
 
 /// A named computed column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputedColumn {
     pub name: String,
     pub def: ComputedDef,
@@ -99,12 +109,20 @@ impl ComputedColumn {
     ) -> ComputedColumn {
         ComputedColumn {
             name: name.into(),
-            def: ComputedDef::Aggregate { func, column: column.into(), level, basis },
+            def: ComputedDef::Aggregate {
+                func,
+                column: column.into(),
+                level,
+                basis,
+            },
         }
     }
 
     pub fn formula(name: impl Into<String>, expr: Expr) -> ComputedColumn {
-        ComputedColumn { name: name.into(), def: ComputedDef::Formula { expr } }
+        ComputedColumn {
+            name: name.into(),
+            def: ComputedDef::Formula { expr },
+        }
     }
 }
 
@@ -221,10 +239,7 @@ mod tests {
         let computed = vec![
             ComputedColumn::aggregate("Avg_Price", AggFunc::Avg, "Price", 2, vec!["Model".into()]),
             // formula over the aggregate: rank 2
-            ComputedColumn::formula(
-                "Delta",
-                Expr::col("Price").sub(Expr::col("Avg_Price")),
-            ),
+            ComputedColumn::formula("Delta", Expr::col("Price").sub(Expr::col("Avg_Price"))),
             // aggregate of the formula: rank 3
             ComputedColumn::aggregate("Max_Delta", AggFunc::Max, "Delta", 1, vec![]),
         ];
@@ -271,13 +286,8 @@ mod tests {
 
     #[test]
     fn rename_rewrites_definitions() {
-        let mut c = ComputedColumn::aggregate(
-            "Avg_Price",
-            AggFunc::Avg,
-            "Price",
-            2,
-            vec!["Model".into()],
-        );
+        let mut c =
+            ComputedColumn::aggregate("Avg_Price", AggFunc::Avg, "Price", 2, vec!["Model".into()]);
         c.def.rename_column("Price", "Cost");
         c.def.rename_column("Model", "Make");
         let deps = c.def.dependencies();

@@ -19,11 +19,17 @@ pub enum SheetError {
     DuplicateColumn { name: String },
     /// The column is referenced by other operators and cannot be removed
     /// or modified; `dependents` lists what must be removed first.
-    ColumnInUse { name: String, dependents: Vec<String> },
+    ColumnInUse {
+        name: String,
+        dependents: Vec<String>,
+    },
     /// The operation would destroy grouping levels that carry aggregates.
     /// The paper's prototype refuses and asks the user to project the
     /// aggregates out first.
-    GroupingInUse { level: usize, aggregates: Vec<String> },
+    GroupingInUse {
+        level: usize,
+        aggregates: Vec<String>,
+    },
     /// τ was called with a basis that is not a strict superset of the
     /// current finest grouping basis.
     NotASuperset { basis: Vec<String> },
@@ -136,7 +142,10 @@ mod tests {
 
     #[test]
     fn messages_mention_the_remedy() {
-        let e = SheetError::GroupingInUse { level: 2, aggregates: vec!["Avg_Price".into()] };
+        let e = SheetError::GroupingInUse {
+            level: 2,
+            aggregates: vec!["Avg_Price".into()],
+        };
         assert!(e.to_string().contains("project them out"));
         let e = SheetError::ColumnInUse {
             name: "Avg_Price".into(),

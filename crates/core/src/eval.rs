@@ -21,17 +21,37 @@
 //!    *automatic update* property of computed columns (Sec. III-B);
 //! 5. sort into presentation order (group keys level by level, then the
 //!    finest-level ordering) and build the group tree.
+//!
+//! # Two engines
+//!
+//! The pipeline has two implementations with identical semantics:
+//!
+//! * the **index-vector engine** (default): evaluation carries a
+//!   `Vec<u32>` of surviving row ids over the immutable base snapshot
+//!   plus one columnar `Vec<Value>` buffer per computed column.
+//!   Selections and formulas run over [`CompiledExpr`]s that read
+//!   borrowed `&Value`s straight from the base tuples and buffers; a
+//!   [`Relation`] is materialized exactly once, at the end. Above
+//!   [`EvalOptions::parallel_threshold`] live rows, selection, formula
+//!   and aggregation work is chunked across `std::thread::scope`
+//!   workers.
+//! * the **naive engine** ([`EvalOptions::naive`]): the original
+//!   row-cloning implementation — each step clones and rewrites whole
+//!   relations. It is kept as the differential-testing oracle and the
+//!   benchmark baseline, not for production use.
 
 use crate::computed::{column_rank, compute_ranks, ComputedColumn, ComputedDef};
 use crate::error::{Result, SheetError};
 use crate::spec::Spec;
 use crate::state::QueryState;
 use crate::tree::{build_tree, GroupTree};
-use ssa_relation::relation::Relation;
-use ssa_relation::schema::Column;
-use ssa_relation::value::{Value, ValueType};
+use ssa_relation::compiled::{CompiledExpr, RowAccess};
 use ssa_relation::ops;
-use std::collections::{BTreeMap, BTreeSet};
+use ssa_relation::relation::Relation;
+use ssa_relation::schema::{Column, Schema};
+use ssa_relation::tuple::Tuple;
+use ssa_relation::value::{Value, ValueType};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// An evaluated spreadsheet: data in presentation order, the group tree
 /// over it, and the visible columns in display order.
@@ -47,9 +67,13 @@ pub struct Derived {
 
 impl Derived {
     /// The user-facing relation: visible columns only, presentation order.
-    pub fn visible_relation(&self) -> Relation {
+    ///
+    /// Errors (rather than panicking) if a visible column is missing from
+    /// the data — an internal inconsistency surfaced as a typed error so
+    /// callers embedding the engine can recover.
+    pub fn visible_relation(&self) -> Result<Relation> {
         let cols: Vec<&str> = self.visible.iter().map(|s| s.as_str()).collect();
-        ops::project(&self.data, &cols).expect("visible columns exist in data")
+        Ok(ops::project(&self.data, &cols)?)
     }
 
     /// Number of (surviving) tuples.
@@ -69,22 +93,40 @@ impl Derived {
     /// Theorem 2's commutativity is about content, so this comparison
     /// checks: same visible column set, same hidden column set, identical
     /// per-column values in presentation order, and the same group tree.
+    ///
+    /// Comparison is allocation-light: column names are compared as
+    /// sorted `&str` slices and values are read in place — no per-call
+    /// copies of column vectors.
     pub fn equivalent(&self, other: &Derived) -> bool {
-        let set = |v: &[String]| -> BTreeSet<String> { v.iter().cloned().collect() };
-        if set(&self.visible) != set(&other.visible) {
+        fn sorted<'a>(names: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+            let mut v: Vec<&str> = names.collect();
+            v.sort_unstable();
+            v
+        }
+        let mine = sorted(self.visible.iter().map(String::as_str));
+        let theirs = sorted(other.visible.iter().map(String::as_str));
+        if mine != theirs {
             return false;
         }
-        let my_cols: BTreeSet<String> =
-            self.data.schema().names().iter().map(|s| s.to_string()).collect();
-        let their_cols: BTreeSet<String> =
-            other.data.schema().names().iter().map(|s| s.to_string()).collect();
+        let my_cols = sorted(self.data.schema().names().into_iter());
+        let their_cols = sorted(other.data.schema().names().into_iter());
         if my_cols != their_cols || self.data.len() != other.data.len() {
             return false;
         }
-        for col in &my_cols {
-            let a = self.data.column_values(col).expect("column listed");
-            let b = other.data.column_values(col).expect("column listed");
-            if a != b {
+        for name in my_cols {
+            let (Ok(i), Ok(j)) = (
+                self.data.schema().index_of(name),
+                other.data.schema().index_of(name),
+            ) else {
+                return false;
+            };
+            let same = self
+                .data
+                .rows()
+                .iter()
+                .zip(other.data.rows())
+                .all(|(a, b)| a.get(i) == b.get(j));
+            if !same {
                 return false;
             }
         }
@@ -92,71 +134,756 @@ impl Derived {
     }
 }
 
-/// Evaluate `state` over `base`.
+/// Default live-row count above which the index-vector engine chunks
+/// selection/formula/aggregation work across `std::thread::scope`
+/// workers. Below it the per-thread setup costs more than it saves.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 8192;
+
+/// Evaluation engine knobs. [`Default`] is the index-vector engine with
+/// the standard parallel threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Use the original row-cloning pipeline (differential-test oracle,
+    /// bench baseline).
+    pub naive: bool,
+    /// Live-row count at which the index-vector engine goes parallel.
+    /// `usize::MAX` forces sequential evaluation.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            naive: false,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+/// Evaluate `state` over `base` with the default engine.
 pub fn evaluate(base: &Relation, state: &QueryState) -> Result<Derived> {
-    evaluate_full(base, state).map(|(derived, _)| derived)
+    evaluate_with(base, state, EvalOptions::default())
+}
+
+/// Evaluate with explicit engine options.
+pub fn evaluate_with(base: &Relation, state: &QueryState, opts: EvalOptions) -> Result<Derived> {
+    let plan = Plan::prepare(base, state)?;
+    if opts.naive {
+        evaluate_full_naive(base, state, &plan).map(|(derived, _)| derived)
+    } else {
+        // No caller for the canonical relation → skip its row gather
+        // entirely (the presentation-ordered data is built directly).
+        evaluate_indexed(base, state, &plan, opts.parallel_threshold, false)
+            .map(|(derived, _)| derived)
+    }
 }
 
 /// Evaluate, also returning the *canonical* (pre-presentation-sort) data.
 /// The sheet's reorganize fast path re-sorts from this canonical order so
 /// tie-breaking matches a from-scratch evaluation exactly (stable sort
 /// over base insertion order).
-pub(crate) fn evaluate_full(
+pub(crate) fn evaluate_full_with(
     base: &Relation,
     state: &QueryState,
+    opts: EvalOptions,
 ) -> Result<(Derived, Relation)> {
-    let base_cols: BTreeSet<String> =
-        base.schema().names().iter().map(|s| s.to_string()).collect();
+    let plan = Plan::prepare(base, state)?;
+    if opts.naive {
+        evaluate_full_naive(base, state, &plan)
+    } else {
+        let (derived, canonical) =
+            evaluate_indexed(base, state, &plan, opts.parallel_threshold, true)?;
+        Ok((derived, canonical.expect("canonical requested")))
+    }
+}
 
-    // Validate references before touching data.
-    for col in state.referenced_columns() {
-        if !base_cols.contains(&col) && !state.is_computed(&col) {
-            return Err(SheetError::UnknownColumn { name: col });
+/// Shared front half of both engines: reference validation and rank
+/// assignment for computed columns and selections.
+struct Plan {
+    /// Rank of each computed column, parallel to `state.computed`.
+    ranks: Vec<usize>,
+    /// Rank of each selection, parallel to `state.selections`.
+    sel_ranks: Vec<usize>,
+    max_rank: usize,
+}
+
+impl Plan {
+    fn prepare(base: &Relation, state: &QueryState) -> Result<Plan> {
+        let base_cols: BTreeSet<String> = base
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+
+        // Validate references before touching data.
+        for col in state.referenced_columns() {
+            if !base_cols.contains(&col) && !state.is_computed(&col) {
+                return Err(SheetError::UnknownColumn { name: col });
+            }
+        }
+        let ranks = compute_ranks(&base_cols, &state.computed).ok_or_else(|| {
+            SheetError::Relation(ssa_relation::RelationError::TypeMismatch {
+                context: "cyclic computed-column definitions".into(),
+            })
+        })?;
+
+        let sel_ranks: Vec<usize> = state
+            .selections
+            .iter()
+            .map(|s| {
+                s.predicate
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        column_rank(c, &base_cols, &state.computed, &ranks)
+                            .ok_or_else(|| SheetError::UnknownColumn { name: c.clone() })
+                    })
+                    .try_fold(0usize, |acc, r| r.map(|r| acc.max(r)))
+            })
+            .collect::<Result<_>>()?;
+
+        let max_rank = ranks
+            .iter()
+            .chain(sel_ranks.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+        Ok(Plan {
+            ranks,
+            sel_ranks,
+            max_rank,
+        })
+    }
+
+    /// Computed-column indices, stably sorted by rank — the order in
+    /// which both engines materialize (and the canonical relation lays
+    /// out) the computed columns.
+    fn rank_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.ranks.len()).collect();
+        order.sort_by_key(|&i| self.ranks[i]);
+        order
+    }
+}
+
+// ---------------------------------------------------------------------
+// Index-vector engine
+// ---------------------------------------------------------------------
+
+/// Read the value of `slot` for base row `row`: base columns come from
+/// the immutable base tuple, computed columns from their buffers.
+fn slot_value<'a>(
+    base_rows: &'a [Tuple],
+    bufs: &'a [Option<Vec<Value>>],
+    width: usize,
+    row: u32,
+    slot: usize,
+) -> &'a Value {
+    if slot < width {
+        base_rows[row as usize].get(slot)
+    } else {
+        let buf = bufs[slot - width]
+            .as_ref()
+            .expect("rank order materializes dependencies first");
+        &buf[row as usize]
+    }
+}
+
+/// One live row of the index-vector engine, viewed through slots.
+#[derive(Clone, Copy)]
+struct EngineRow<'a> {
+    base_rows: &'a [Tuple],
+    bufs: &'a [Option<Vec<Value>>],
+    width: usize,
+    row: u32,
+}
+
+impl RowAccess for EngineRow<'_> {
+    fn slot(&self, idx: usize) -> &Value {
+        slot_value(self.base_rows, self.bufs, self.width, self.row, idx)
+    }
+}
+
+/// Run `f` over `items`, chunked across scoped threads when `parallel`
+/// (and the machine has them); chunk results come back in order.
+fn chunk_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    let workers = workers.min(items.len().max(1));
+    if workers <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    })
+}
+
+fn evaluate_indexed(
+    base: &Relation,
+    state: &QueryState,
+    plan: &Plan,
+    threshold: usize,
+    want_canonical: bool,
+) -> Result<(Derived, Option<Relation>)> {
+    let width = base.schema().len();
+    let base_rows = base.rows();
+
+    // Slot table: base columns first, computed columns after, so a slot
+    // id addresses the virtual (base ++ computed) row uniformly.
+    let mut slots: HashMap<&str, usize> = HashMap::with_capacity(width + state.computed.len());
+    for (i, name) in base.schema().names().into_iter().enumerate() {
+        slots.insert(name, i);
+    }
+    for (i, col) in state.computed.iter().enumerate() {
+        slots.insert(&col.name, width + i);
+    }
+
+    // One columnar buffer per computed column, filled rank by rank.
+    // Buffers span the *base* row space so a row id indexes any of them.
+    let mut bufs: Vec<Option<Vec<Value>>> = vec![None; state.computed.len()];
+
+    // Steps 1–2: the index vector of surviving rows; dedup keeps the
+    // first occurrence of each distinct base tuple (matching
+    // `ops::distinct`).
+    let mut live: Vec<u32> = if state.dedup {
+        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(base_rows.len());
+        (0..base_rows.len() as u32)
+            .filter(|&i| seen.insert(&base_rows[i as usize]))
+            .collect()
+    } else {
+        (0..base_rows.len() as u32).collect()
+    };
+
+    let compiled_sels: Vec<CompiledExpr> = state
+        .selections
+        .iter()
+        .map(|s| CompiledExpr::compile(&s.predicate, &mut |n| slots.get(n).copied()))
+        .collect::<ssa_relation::Result<_>>()?;
+
+    // Only columns a selection (transitively) reads have to exist while
+    // step 3 filters; everything else is deferred to step 4, where it is
+    // computed once over the final (smaller) index vector. Deferral is
+    // invisible except for evaluation errors confined to rows the
+    // selections remove — those are simply never raised, as in any lazy
+    // query engine.
+    let mut needed = vec![false; state.computed.len()];
+    let mut pending: Vec<usize> = state
+        .selections
+        .iter()
+        .flat_map(|s| s.predicate.columns())
+        .filter_map(|n| slots.get(n.as_str()).copied())
+        .filter(|&s| s >= width)
+        .map(|s| s - width)
+        .collect();
+    while let Some(i) = pending.pop() {
+        if !needed[i] {
+            needed[i] = true;
+            pending.extend(
+                state.computed[i]
+                    .def
+                    .dependencies()
+                    .iter()
+                    .filter_map(|n| slots.get(n.as_str()).copied())
+                    .filter(|&s| s >= width)
+                    .map(|s| s - width),
+            );
         }
     }
-    let ranks = compute_ranks(&base_cols, &state.computed).ok_or_else(|| {
-        SheetError::Relation(ssa_relation::RelationError::TypeMismatch {
-            context: "cyclic computed-column definitions".into(),
-        })
-    })?;
 
+    // Step 3: layered materialization and filtering over row ids.
+    for rank in 0..=plan.max_rank {
+        for (i, col) in state.computed.iter().enumerate() {
+            if plan.ranks[i] == rank && needed[i] {
+                bufs[i] = Some(materialize_buffer(
+                    base, &bufs, &slots, &live, col, threshold,
+                )?);
+            }
+        }
+        for (si, compiled) in compiled_sels.iter().enumerate() {
+            if plan.sel_ranks[si] == rank {
+                live = filter_rows(base, &bufs, compiled, &live, threshold)?;
+            }
+        }
+    }
+
+    // Step 4: automatic update — recompute computed columns over the
+    // final index vector, in rank order. A step-3 buffer survives when
+    // recomputation could not change it: its dependencies are themselves
+    // valid, and it is row-local (a formula) or no later selection shrank
+    // the sheet after it was aggregated.
+    let order = plan.rank_order();
+    let mut valid = vec![false; state.computed.len()];
+    for &i in &order {
+        let col = &state.computed[i];
+        let deps_valid = col.def.dependencies().iter().all(|n| {
+            slots
+                .get(n.as_str())
+                .is_none_or(|&s| s < width || valid[s - width])
+        });
+        let unshrunk = plan.sel_ranks.iter().all(|&r| r < plan.ranks[i]);
+        valid[i] = bufs[i].is_some() && deps_valid && (!col.def.is_aggregate() || unshrunk);
+    }
+    for &i in &order {
+        if !valid[i] {
+            bufs[i] = None;
+        }
+    }
+    for &i in &order {
+        if !valid[i] {
+            bufs[i] = Some(materialize_buffer(
+                base,
+                &bufs,
+                &slots,
+                &live,
+                &state.computed[i],
+                threshold,
+            )?);
+        }
+    }
+
+    // Step 5 runs *on the index vector*: stable-sort the live row ids by
+    // the presentation keys (reading values in place), then gather rows
+    // exactly once, already in presentation order.
+    let parallel = live.len() >= threshold;
+    let sorted = presentation_order_ids(base, state, &slots, &bufs, &live, parallel)?;
+    let schema = result_schema(base, state, &order, &bufs, &live);
+    let data = gather_rows(base, &order, &bufs, &sorted, &schema, parallel)?;
+    let canonical = want_canonical
+        .then(|| gather_rows(base, &order, &bufs, &live, &schema, parallel))
+        .transpose()?;
+    let level_bases: Vec<Vec<String>> = state.spec.levels.iter().map(|l| l.basis.clone()).collect();
+    let tree = build_tree(&data, &level_bases);
+
+    let visible = visible_columns(base, state);
+    Ok((
+        Derived {
+            data,
+            tree,
+            visible,
+        },
+        canonical,
+    ))
+}
+
+/// The schema of the evaluated relation: base columns followed by the
+/// computed columns in rank order, each typed by unifying its surviving
+/// values (matching the naive engine exactly).
+fn result_schema(
+    base: &Relation,
+    state: &QueryState,
+    order: &[usize],
+    bufs: &[Option<Vec<Value>>],
+    live: &[u32],
+) -> Schema {
+    let mut columns: Vec<Column> = base.schema().columns().to_vec();
+    for &i in order {
+        let buf = bufs[i].as_ref().expect("all buffers filled in step 4");
+        let mut ty = ValueType::Null;
+        for &row in live {
+            ty = ty.unify(buf[row as usize].value_type());
+        }
+        columns.push(Column::new(state.computed[i].name.clone(), ty));
+    }
+    Schema::new(columns).expect("computed names validated to be distinct")
+}
+
+/// Gather the listed base rows (plus computed buffer values, in rank
+/// order) into a relation — the index-vector engine's one-and-only
+/// row-cloning pass, chunked across workers for large sheets.
+fn gather_rows(
+    base: &Relation,
+    order: &[usize],
+    bufs: &[Option<Vec<Value>>],
+    ids: &[u32],
+    schema: &Schema,
+    parallel: bool,
+) -> Result<Relation> {
+    let base_rows = base.rows();
+    let width = base.schema().len();
+    let chunks = chunk_map(ids, parallel, |chunk| {
+        chunk
+            .iter()
+            .map(|&row| {
+                let mut vals = Vec::with_capacity(width + order.len());
+                vals.extend_from_slice(base_rows[row as usize].values());
+                for &i in order {
+                    let buf = bufs[i].as_ref().expect("all buffers filled in step 4");
+                    vals.push(buf[row as usize].clone());
+                }
+                Tuple::new(vals)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut rows = Vec::with_capacity(ids.len());
+    for c in chunks {
+        rows.extend(c);
+    }
+    Ok(Relation::with_rows(base.name(), schema.clone(), rows)?)
+}
+
+/// Stable-sort the live row ids into presentation order, comparing
+/// values in place through the slot table. Ties keep canonical (live)
+/// order, so the result matches [`sort_presentation`] over the
+/// materialized relation exactly.
+fn presentation_order_ids(
+    base: &Relation,
+    state: &QueryState,
+    slots: &HashMap<&str, usize>,
+    bufs: &[Option<Vec<Value>>],
+    live: &[u32],
+    parallel: bool,
+) -> Result<Vec<u32>> {
+    let mut keys: Vec<(usize, bool)> = Vec::new();
+    let resolve = |name: &str| {
+        slots.get(name).copied().ok_or_else(|| {
+            // Same error a schema lookup in the naive engine produces.
+            SheetError::Relation(ssa_relation::RelationError::UnknownColumn {
+                name: name.to_string(),
+            })
+        })
+    };
+    for level in &state.spec.levels {
+        let desc = matches!(level.direction, crate::spec::Direction::Desc);
+        for a in &level.basis {
+            keys.push((resolve(a)?, desc));
+        }
+    }
+    for k in &state.spec.finest_order {
+        keys.push((
+            resolve(&k.attribute)?,
+            matches!(k.direction, crate::spec::Direction::Desc),
+        ));
+    }
+    if keys.is_empty() {
+        return Ok(live.to_vec());
+    }
+    let width = base.schema().len();
+    let base_rows = base.rows();
+
+    // Sorting compares `Value`s many times per row (strings included), so
+    // first reduce each key column to integer sort keys: an all-`Int`
+    // column keeps its raw values (`Value::cmp` between Ints is integer
+    // order); any other column gets *dense ranks* from one ordered pass
+    // over its distinct values. Either way the sort then compares plain
+    // `i64`s. Key columns rank independently, hence in parallel.
+    let rank_column = |&(slot, desc): &(usize, bool)| -> (Vec<i64>, bool) {
+        let mut raw: Vec<i64> = Vec::with_capacity(live.len());
+        for &row in live {
+            match slot_value(base_rows, bufs, width, row, slot) {
+                Value::Int(i) => raw.push(*i),
+                _ => break,
+            }
+        }
+        if raw.len() == live.len() {
+            return (raw, desc);
+        }
+        let mut distinct: BTreeMap<&Value, i64> = BTreeMap::new();
+        for &row in live {
+            distinct.insert(slot_value(base_rows, bufs, width, row, slot), 0);
+        }
+        for (i, rank) in distinct.values_mut().enumerate() {
+            *rank = i as i64;
+        }
+        let ranks = live
+            .iter()
+            .map(|&row| distinct[slot_value(base_rows, bufs, width, row, slot)])
+            .collect();
+        (ranks, desc)
+    };
+    let rank_cols: Vec<(Vec<i64>, bool)> = if parallel && keys.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = keys.iter().map(|k| s.spawn(|| rank_column(k))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank worker panicked"))
+                .collect()
+        })
+    } else {
+        keys.iter().map(rank_column).collect()
+    };
+
+    // Stable sort of *positions* into `live` by the rank tuples; ties
+    // keep canonical order.
+    let mut pos: Vec<u32> = (0..live.len() as u32).collect();
+    let cmp = |a: u32, b: u32| {
+        for (ranks, desc) in &rank_cols {
+            let ord = ranks[a as usize].cmp(&ranks[b as usize]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    stable_sort_ids(&mut pos, parallel, cmp);
+    Ok(pos.into_iter().map(|p| live[p as usize]).collect())
+}
+
+/// Stable sort of row ids: a plain `sort_by` sequentially, or a chunked
+/// parallel merge sort (sorted runs merged pairwise, left run winning
+/// ties, which preserves stability).
+fn stable_sort_ids(
+    ids: &mut Vec<u32>,
+    parallel: bool,
+    cmp: impl Fn(u32, u32) -> std::cmp::Ordering + Sync,
+) {
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    if workers <= 1 || ids.len() < 2 * workers {
+        ids.sort_by(|&a, &b| cmp(a, b));
+        return;
+    }
+    let chunk = ids.len().div_ceil(workers);
+    let cmp = &cmp;
+    let mut runs: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut run = c.to_vec();
+                    run.sort_by(|&a, &b| cmp(a, b));
+                    run
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sort worker panicked"))
+            .collect()
+    });
+    while runs.len() > 1 {
+        runs = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => handles.push(s.spawn(move || merge_runs(a, b, cmp))),
+                    None => handles.push(s.spawn(move || a)),
+                }
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge worker panicked"))
+                .collect()
+        });
+    }
+    *ids = runs.pop().expect("at least one run");
+}
+
+fn merge_runs(
+    a: Vec<u32>,
+    b: Vec<u32>,
+    cmp: &(impl Fn(u32, u32) -> std::cmp::Ordering + Sync),
+) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        // `a`'s elements precede `b`'s in canonical order, so the left
+        // run wins ties.
+        if cmp(b[j], a[i]) == std::cmp::Ordering::Less {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Materialize one computed column into a columnar buffer over the base
+/// row space, computing only the `live` entries (the rest stay NULL and
+/// are never read).
+fn materialize_buffer(
+    base: &Relation,
+    bufs: &[Option<Vec<Value>>],
+    slots: &HashMap<&str, usize>,
+    live: &[u32],
+    col: &ComputedColumn,
+    threshold: usize,
+) -> Result<Vec<Value>> {
+    let width = base.schema().len();
+    let base_rows = base.rows();
+    let parallel = live.len() >= threshold;
+    let mut buf = vec![Value::Null; base_rows.len()];
+    match &col.def {
+        ComputedDef::Formula { expr } => {
+            let compiled = CompiledExpr::compile(expr, &mut |n| slots.get(n).copied())?;
+            let chunks = chunk_map(live, parallel, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&row| {
+                        compiled.eval_owned(&EngineRow {
+                            base_rows,
+                            bufs,
+                            width,
+                            row,
+                        })
+                    })
+                    .collect::<ssa_relation::Result<Vec<Value>>>()
+            });
+            let mut idx = 0;
+            for chunk in chunks {
+                for v in chunk? {
+                    buf[live[idx] as usize] = v;
+                    idx += 1;
+                }
+            }
+        }
+        ComputedDef::Aggregate {
+            func,
+            column,
+            basis,
+            level,
+        } => {
+            debug_assert!(*level >= 1);
+            let resolve = |name: &str| {
+                slots
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| SheetError::UnknownColumn {
+                        name: name.to_string(),
+                    })
+            };
+            let basis_slots: Vec<usize> =
+                basis.iter().map(|a| resolve(a)).collect::<Result<_>>()?;
+            let col_slot = resolve(column)?;
+
+            // Group membership over row ids. The empty basis (level 1)
+            // is one whole-sheet group; a single-attribute basis groups
+            // on borrowed values directly; only multi-attribute bases
+            // pay for a composite key allocation per row.
+            let groups: Vec<Vec<u32>> = match basis_slots.as_slice() {
+                [] => vec![live.to_vec()],
+                [s] => {
+                    let mut m: BTreeMap<&Value, Vec<u32>> = BTreeMap::new();
+                    for &row in live {
+                        m.entry(slot_value(base_rows, bufs, width, row, *s))
+                            .or_default()
+                            .push(row);
+                    }
+                    m.into_values().collect()
+                }
+                _ => {
+                    let mut m: BTreeMap<Vec<&Value>, Vec<u32>> = BTreeMap::new();
+                    for &row in live {
+                        let key: Vec<&Value> = basis_slots
+                            .iter()
+                            .map(|&s| slot_value(base_rows, bufs, width, row, s))
+                            .collect();
+                        m.entry(key).or_default().push(row);
+                    }
+                    m.into_values().collect()
+                }
+            };
+
+            // Aggregate each group out of the column buffers; groups are
+            // distributed across workers when the sheet is large.
+            let members: Vec<Vec<u32>> = groups;
+            let value_chunks = chunk_map(&members, parallel && members.len() > 1, |chunk| {
+                chunk
+                    .iter()
+                    .map(|rows| {
+                        let inputs: Vec<&Value> = rows
+                            .iter()
+                            .map(|&row| slot_value(base_rows, bufs, width, row, col_slot))
+                            .collect();
+                        func.apply_refs(&inputs)
+                    })
+                    .collect::<ssa_relation::Result<Vec<Value>>>()
+            });
+            let mut gi = 0;
+            for chunk in value_chunks {
+                for v in chunk? {
+                    for &row in &members[gi] {
+                        buf[row as usize] = v.clone();
+                    }
+                    gi += 1;
+                }
+            }
+        }
+    }
+    Ok(buf)
+}
+
+/// Filter the index vector through one compiled selection predicate.
+fn filter_rows(
+    base: &Relation,
+    bufs: &[Option<Vec<Value>>],
+    compiled: &CompiledExpr,
+    live: &[u32],
+    threshold: usize,
+) -> Result<Vec<u32>> {
+    let width = base.schema().len();
+    let base_rows = base.rows();
+    let parallel = live.len() >= threshold;
+    let chunks = chunk_map(live, parallel, |chunk| {
+        let mut keep = Vec::with_capacity(chunk.len());
+        for &row in chunk {
+            if compiled.matches(&EngineRow {
+                base_rows,
+                bufs,
+                width,
+                row,
+            })? {
+                keep.push(row);
+            }
+        }
+        Ok::<_, ssa_relation::RelationError>(keep)
+    });
+    let mut out = Vec::with_capacity(live.len());
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Naive engine (differential-testing oracle, bench baseline)
+// ---------------------------------------------------------------------
+
+fn evaluate_full_naive(
+    base: &Relation,
+    state: &QueryState,
+    plan: &Plan,
+) -> Result<(Derived, Relation)> {
     // Step 1–2: base data, dedup on R-tuples.
     let mut data = base.clone();
     if state.dedup {
         data = ops::distinct(&data)?;
     }
 
-    // Selection ranks.
-    let sel_ranks: Vec<usize> = state
-        .selections
-        .iter()
-        .map(|s| {
-            s.predicate
-                .columns()
-                .iter()
-                .map(|c| {
-                    column_rank(c, &base_cols, &state.computed, &ranks)
-                        .ok_or_else(|| SheetError::UnknownColumn { name: c.clone() })
-                })
-                .try_fold(0usize, |acc, r| r.map(|r| acc.max(r)))
-        })
-        .collect::<Result<_>>()?;
-
-    let max_rank = ranks
-        .iter()
-        .chain(sel_ranks.iter())
-        .copied()
-        .max()
-        .unwrap_or(0);
-
     // Step 3: layered materialization and filtering.
-    for rank in 0..=max_rank {
-        for (col, &r) in state.computed.iter().zip(&ranks) {
+    for rank in 0..=plan.max_rank {
+        for (col, &r) in state.computed.iter().zip(&plan.ranks) {
             if r == rank {
                 materialize(&mut data, col, state)?;
             }
         }
-        for (sel, &r) in state.selections.iter().zip(&sel_ranks) {
+        for (sel, &r) in state.selections.iter().zip(&plan.sel_ranks) {
             if r == rank {
                 data = ops::select(&data, &sel.predicate)?;
             }
@@ -165,8 +892,7 @@ pub(crate) fn evaluate_full(
 
     // Step 4: automatic update — recompute every computed column over the
     // final multiset, in rank order.
-    let mut order: Vec<usize> = (0..state.computed.len()).collect();
-    order.sort_by_key(|&i| ranks[i]);
+    let order = plan.rank_order();
     for &i in &order {
         data.drop_column(&state.computed[i].name)?;
     }
@@ -177,12 +903,18 @@ pub(crate) fn evaluate_full(
     // Step 5: presentation order + tree.
     let canonical = data.clone();
     data = sort_presentation(&data, &state.spec)?;
-    let level_bases: Vec<Vec<String>> =
-        state.spec.levels.iter().map(|l| l.basis.clone()).collect();
+    let level_bases: Vec<Vec<String>> = state.spec.levels.iter().map(|l| l.basis.clone()).collect();
     let tree = build_tree(&data, &level_bases);
 
     let visible = visible_columns(base, state);
-    Ok((Derived { data, tree, visible }, canonical))
+    Ok((
+        Derived {
+            data,
+            tree,
+            visible,
+        },
+        canonical,
+    ))
 }
 
 /// Display order: base columns in base order minus projected-out, then
@@ -204,7 +936,7 @@ pub fn visible_columns(base: &Relation, state: &QueryState) -> Vec<String> {
     out
 }
 
-/// Materialize one computed column over the current data.
+/// Materialize one computed column over the current data (naive engine).
 fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) -> Result<()> {
     match &col.def {
         ComputedDef::Formula { expr } => {
@@ -220,7 +952,12 @@ fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) ->
                 it.next().expect("stable row count")
             })?;
         }
-        ComputedDef::Aggregate { func, column, basis, level } => {
+        ComputedDef::Aggregate {
+            func,
+            column,
+            basis,
+            level,
+        } => {
             // Group by the aggregate's basis. An aggregate at level 1 has
             // an empty basis: one group spanning the whole sheet.
             debug_assert!(*level >= 1);
@@ -259,13 +996,15 @@ fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) ->
     Ok(())
 }
 
-/// Sort rows into presentation order: group keys of each level (with that
-/// level's direction over the whole key tuple), then the finest-level
-/// ordering keys. Stable, so earlier arrangements break remaining ties.
-///
-/// Public within the crate: the sheet's fast-reorganization path re-sorts
-/// an already-evaluated relation when only `G`/`O` changed.
-pub(crate) fn sort_presentation(data: &Relation, spec: &Spec) -> Result<Relation> {
+// ---------------------------------------------------------------------
+// Presentation order (shared)
+// ---------------------------------------------------------------------
+
+/// The permutation that puts `data`'s rows into presentation order:
+/// group keys of each level (with that level's direction over the whole
+/// key tuple), then the finest-level ordering keys. The sort is stable,
+/// so ties keep `data`'s (canonical) order.
+pub(crate) fn presentation_permutation(data: &Relation, spec: &Spec) -> Result<Vec<u32>> {
     struct Key {
         indices: Vec<usize>,
         desc: bool,
@@ -277,7 +1016,10 @@ pub(crate) fn sort_presentation(data: &Relation, spec: &Spec) -> Result<Relation
             .iter()
             .map(|a| data.schema().index_of(a))
             .collect::<ssa_relation::Result<_>>()?;
-        keys.push(Key { indices, desc: matches!(level.direction, crate::spec::Direction::Desc) });
+        keys.push(Key {
+            indices,
+            desc: matches!(level.direction, crate::spec::Direction::Desc),
+        });
     }
     for k in &spec.finest_order {
         let idx = data.schema().index_of(&k.attribute)?;
@@ -286,11 +1028,13 @@ pub(crate) fn sort_presentation(data: &Relation, spec: &Spec) -> Result<Relation
             desc: matches!(k.direction, crate::spec::Direction::Desc),
         });
     }
-    let mut rows = data.rows().to_vec();
-    rows.sort_by(|a, b| {
+    let rows = data.rows();
+    let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
+    perm.sort_by(|&a, &b| {
+        let (ra, rb) = (&rows[a as usize], &rows[b as usize]);
         for k in &keys {
             for &i in &k.indices {
-                let ord = a.get(i).cmp(b.get(i));
+                let ord = ra.get(i).cmp(rb.get(i));
                 let ord = if k.desc { ord.reverse() } else { ord };
                 if !ord.is_eq() {
                     return ord;
@@ -299,14 +1043,22 @@ pub(crate) fn sort_presentation(data: &Relation, spec: &Spec) -> Result<Relation
         }
         std::cmp::Ordering::Equal
     });
-    Ok(Relation::with_rows(data.name(), data.schema().clone(), rows)
-        .expect("re-sorting preserves widths"))
+    Ok(perm)
+}
+
+/// Sort rows into presentation order (see
+/// [`presentation_permutation`]).
+///
+/// Public within the crate: the sheet's fast-reorganization path re-sorts
+/// an already-evaluated relation when only `G`/`O` changed.
+pub(crate) fn sort_presentation(data: &Relation, spec: &Spec) -> Result<Relation> {
+    Ok(data.take_rows(&presentation_permutation(data, spec)?))
 }
 
 /// Convenience used by tests and the Theorem-1 translator: evaluate and
 /// keep only the visible relation.
 pub fn evaluate_visible(base: &Relation, state: &QueryState) -> Result<Relation> {
-    Ok(evaluate(base, state)?.visible_relation())
+    evaluate(base, state)?.visible_relation()
 }
 
 #[cfg(test)]
@@ -314,8 +1066,8 @@ mod tests {
     use super::*;
     use crate::spec::{Direction, GroupLevel, OrderKey};
     use ssa_relation::schema::Schema;
-    use ssa_relation::{tuple, AggFunc, Expr};
     use ssa_relation::ValueType::{Int, Str};
+    use ssa_relation::{tuple, AggFunc, Expr};
 
     /// The paper's Table I data.
     pub fn table1() -> Relation {
@@ -347,8 +1099,12 @@ mod tests {
     fn paper_state() -> QueryState {
         // Grouped by Model DESC then Year ASC, ordered by Price ASC.
         let mut st = QueryState::new();
-        st.spec.levels.push(GroupLevel::new(["Model"], Direction::Desc));
-        st.spec.levels.push(GroupLevel::new(["Year"], Direction::Asc));
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Model"], Direction::Desc));
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Year"], Direction::Asc));
         st.spec.finest_order.push(OrderKey::asc("Price"));
         st
     }
@@ -369,7 +1125,7 @@ mod tests {
         let base = table1();
         let d = evaluate(&base, &QueryState::new()).unwrap();
         assert_eq!(d.len(), 9);
-        assert!(d.visible_relation().multiset_eq(&base));
+        assert!(d.visible_relation().unwrap().multiset_eq(&base));
         assert_eq!(d.tree.depth(), 1);
     }
 
@@ -377,10 +1133,7 @@ mod tests {
     fn paper_table_i_presentation_order() {
         // Table I is exactly: grouped Model DESC, Year ASC, Price ASC.
         let d = evaluate(&table1(), &paper_state()).unwrap();
-        assert_eq!(
-            ids(&d),
-            vec![304, 872, 901, 423, 723, 725, 132, 879, 322]
-        );
+        assert_eq!(ids(&d), vec![304, 872, 901, 423, 723, 725, 132, 879, 322]);
         assert_eq!(d.tree.depth(), 3);
         assert_eq!(d.tree.groups_at_level(2).len(), 2);
         assert_eq!(d.tree.groups_at_level(3).len(), 4);
@@ -398,8 +1151,12 @@ mod tests {
     #[test]
     fn aggregate_repeats_value_per_group_like_table_iii() {
         let mut st = QueryState::new();
-        st.spec.levels.push(GroupLevel::new(["Model"], Direction::Desc));
-        st.spec.levels.push(GroupLevel::new(["Year"], Direction::Asc));
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Model"], Direction::Desc));
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Year"], Direction::Asc));
         st.spec.finest_order.push(OrderKey::asc("Price"));
         st.computed.push(ComputedColumn::aggregate(
             "Avg_Price",
@@ -488,10 +1245,7 @@ mod tests {
             Expr::col("Price").div(Expr::lit(1000)),
         ));
         let d = evaluate(&table1(), &st).unwrap();
-        assert_eq!(
-            d.data.value_at(0, "PriceK").unwrap(),
-            &Value::Float(14.5)
-        );
+        assert_eq!(d.data.value_at(0, "PriceK").unwrap(), &Value::Float(14.5));
     }
 
     #[test]
@@ -510,7 +1264,7 @@ mod tests {
         // even though the visible column x makes them look identical.
         assert_eq!(d.len(), 2);
         assert_eq!(d.visible, vec!["x".to_string()]);
-        assert_eq!(d.visible_relation().schema().names(), vec!["x"]);
+        assert_eq!(d.visible_relation().unwrap().schema().names(), vec!["x"]);
     }
 
     #[test]
@@ -529,7 +1283,9 @@ mod tests {
         st.add_selection(Expr::col("Ghost").eq(Expr::lit(1)));
         assert_eq!(
             evaluate(&table1(), &st),
-            Err(SheetError::UnknownColumn { name: "Ghost".into() })
+            Err(SheetError::UnknownColumn {
+                name: "Ghost".into()
+            })
         );
     }
 
@@ -548,17 +1304,32 @@ mod tests {
             .iter()
             .map(|g| format!("{} {}", g.key[0].1, g.key[1].1))
             .collect();
-        assert_eq!(keys, vec!["Civic 2005", "Civic 2006", "Jetta 2005", "Jetta 2006"]);
+        assert_eq!(
+            keys,
+            vec!["Civic 2005", "Civic 2006", "Jetta 2005", "Jetta 2006"]
+        );
     }
 
     #[test]
     fn equivalent_ignores_computed_column_order() {
         let mut a = QueryState::new();
-        a.computed.push(ComputedColumn::formula("F1", Expr::col("Price").add(Expr::lit(1))));
-        a.computed.push(ComputedColumn::formula("F2", Expr::col("Year").add(Expr::lit(1))));
+        a.computed.push(ComputedColumn::formula(
+            "F1",
+            Expr::col("Price").add(Expr::lit(1)),
+        ));
+        a.computed.push(ComputedColumn::formula(
+            "F2",
+            Expr::col("Year").add(Expr::lit(1)),
+        ));
         let mut b = QueryState::new();
-        b.computed.push(ComputedColumn::formula("F2", Expr::col("Year").add(Expr::lit(1))));
-        b.computed.push(ComputedColumn::formula("F1", Expr::col("Price").add(Expr::lit(1))));
+        b.computed.push(ComputedColumn::formula(
+            "F2",
+            Expr::col("Year").add(Expr::lit(1)),
+        ));
+        b.computed.push(ComputedColumn::formula(
+            "F1",
+            Expr::col("Price").add(Expr::lit(1)),
+        ));
         let da = evaluate(&table1(), &a).unwrap();
         let db = evaluate(&table1(), &b).unwrap();
         assert_ne!(da, db, "column order differs");
@@ -583,5 +1354,89 @@ mod tests {
             cols,
             vec!["ID", "Model", "Price", "Year", "Condition", "F1"]
         );
+    }
+
+    /// A state exercising every pipeline stage: dedup, formula, two
+    /// aggregates (one referenced by a selection), two selections at
+    /// different ranks, projection, two grouping levels, ordering.
+    fn full_pipeline_state() -> QueryState {
+        let mut st = QueryState::new();
+        st.dedup = true;
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Model"], Direction::Desc));
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Year"], Direction::Asc));
+        st.spec.finest_order.push(OrderKey::asc("Mileage"));
+        st.computed.push(ComputedColumn::formula(
+            "PriceK",
+            Expr::col("Price").div(Expr::lit(1000)),
+        ));
+        st.computed.push(ComputedColumn::aggregate(
+            "Avg_Price",
+            AggFunc::Avg,
+            "Price",
+            2,
+            vec!["Model".into()],
+        ));
+        st.add_selection(Expr::col("Price").le(Expr::col("Avg_Price")));
+        st.add_selection(Expr::col("Year").ge(Expr::lit(2005)));
+        st.projected_out.insert("Condition".into());
+        st
+    }
+
+    #[test]
+    fn engines_agree_on_full_pipeline() {
+        let base = table1();
+        let st = full_pipeline_state();
+        let naive = evaluate_with(
+            &base,
+            &st,
+            EvalOptions {
+                naive: true,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let indexed = evaluate_with(&base, &st, EvalOptions::default()).unwrap();
+        assert_eq!(naive, indexed);
+        // canonical relations agree too (fast-reorganize path input)
+        let (_, cn) = evaluate_full_with(
+            &base,
+            &st,
+            EvalOptions {
+                naive: true,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let (_, ci) = evaluate_full_with(&base, &st, EvalOptions::default()).unwrap();
+        assert_eq!(cn, ci);
+    }
+
+    #[test]
+    fn parallel_threshold_does_not_change_results() {
+        let base = table1();
+        let st = full_pipeline_state();
+        let sequential = evaluate_with(
+            &base,
+            &st,
+            EvalOptions {
+                naive: false,
+                parallel_threshold: usize::MAX,
+            },
+        )
+        .unwrap();
+        let parallel = evaluate_with(
+            &base,
+            &st,
+            EvalOptions {
+                naive: false,
+                parallel_threshold: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential, parallel);
     }
 }

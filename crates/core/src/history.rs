@@ -19,24 +19,68 @@ use std::fmt;
 /// A completed operation, named the way the History menu shows it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OpRecord {
-    Group { basis: Vec<String>, order: Direction },
-    Regroup { basis: Vec<String>, order: Direction },
+    Group {
+        basis: Vec<String>,
+        order: Direction,
+    },
+    Regroup {
+        basis: Vec<String>,
+        order: Direction,
+    },
     Ungroup,
-    Order { attribute: String, order: Direction, level: usize },
-    Select { id: u64, predicate: String },
-    Project { column: String },
-    Reinstate { column: String },
-    Aggregate { column: String, func: AggFunc, input: String, level: usize },
-    Formula { column: String, expr: String },
+    Order {
+        attribute: String,
+        order: Direction,
+        level: usize,
+    },
+    Select {
+        id: u64,
+        predicate: String,
+    },
+    Project {
+        column: String,
+    },
+    Reinstate {
+        column: String,
+    },
+    Aggregate {
+        column: String,
+        func: AggFunc,
+        input: String,
+        level: usize,
+    },
+    Formula {
+        column: String,
+        expr: String,
+    },
     Dedup,
-    Rename { from: String, to: String },
-    Product { with: String },
-    Join { with: String, condition: String },
-    Union { with: String },
-    Difference { with: String },
-    ModifySelection { id: u64, predicate: String },
-    RemoveSelection { id: u64 },
-    RemoveComputed { column: String },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Product {
+        with: String,
+    },
+    Join {
+        with: String,
+        condition: String,
+    },
+    Union {
+        with: String,
+    },
+    Difference {
+        with: String,
+    },
+    ModifySelection {
+        id: u64,
+        predicate: String,
+    },
+    RemoveSelection {
+        id: u64,
+    },
+    RemoveComputed {
+        column: String,
+    },
 }
 
 impl OpRecord {
@@ -63,13 +107,22 @@ impl fmt::Display for OpRecord {
                 write!(f, "Regroup by {{{}}} {order}", basis.join(", "))
             }
             OpRecord::Ungroup => write!(f, "Remove grouping"),
-            OpRecord::Order { attribute, order, level } => {
+            OpRecord::Order {
+                attribute,
+                order,
+                level,
+            } => {
                 write!(f, "Order level {level} by {attribute} {order}")
             }
             OpRecord::Select { id, predicate } => write!(f, "Select [{predicate}] (#{id})"),
             OpRecord::Project { column } => write!(f, "Project out {column}"),
             OpRecord::Reinstate { column } => write!(f, "Reinstate {column}"),
-            OpRecord::Aggregate { column, func, input, level } => {
+            OpRecord::Aggregate {
+                column,
+                func,
+                input,
+                level,
+            } => {
                 write!(f, "Aggregate {column} = {func}({input}) at level {level}")
             }
             OpRecord::Formula { column, expr } => write!(f, "Formula {column} = {expr}"),
@@ -109,7 +162,11 @@ impl Engine {
     }
 
     pub fn from_sheet(sheet: Spreadsheet) -> Engine {
-        Engine { sheet, undo_stack: Vec::new(), redo_stack: Vec::new() }
+        Engine {
+            sheet,
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+        }
     }
 
     pub fn sheet(&self) -> &Spreadsheet {
@@ -228,7 +285,11 @@ impl Engine {
     }
 
     pub fn order(&mut self, attribute: &str, order: Direction, level: usize) -> Result<()> {
-        let record = OpRecord::Order { attribute: attribute.to_string(), order, level };
+        let record = OpRecord::Order {
+            attribute: attribute.to_string(),
+            order,
+            level,
+        };
         self.apply(record, |s| s.order(attribute, order, level))
     }
 
@@ -238,8 +299,13 @@ impl Engine {
         let snapshot = self.sheet.snapshot();
         match self.sheet.select(predicate) {
             Ok(id) => {
-                self.undo_stack
-                    .push((OpRecord::Select { id, predicate: text }, snapshot));
+                self.undo_stack.push((
+                    OpRecord::Select {
+                        id,
+                        predicate: text,
+                    },
+                    snapshot,
+                ));
                 self.redo_stack.clear();
                 Ok(id)
             }
@@ -248,12 +314,16 @@ impl Engine {
     }
 
     pub fn project_out(&mut self, column: &str) -> Result<()> {
-        let record = OpRecord::Project { column: column.to_string() };
+        let record = OpRecord::Project {
+            column: column.to_string(),
+        };
         self.apply(record, |s| s.project_out(column))
     }
 
     pub fn reinstate(&mut self, column: &str) -> Result<()> {
-        let record = OpRecord::Reinstate { column: column.to_string() };
+        let record = OpRecord::Reinstate {
+            column: column.to_string(),
+        };
         self.apply(record, |s| s.reinstate(column))
     }
 
@@ -282,8 +352,13 @@ impl Engine {
         let snapshot = self.sheet.snapshot();
         match self.sheet.formula(name, expr) {
             Ok(col) => {
-                self.undo_stack
-                    .push((OpRecord::Formula { column: col.clone(), expr: text }, snapshot));
+                self.undo_stack.push((
+                    OpRecord::Formula {
+                        column: col.clone(),
+                        expr: text,
+                    },
+                    snapshot,
+                ));
                 self.redo_stack.clear();
                 Ok(col)
             }
@@ -296,12 +371,17 @@ impl Engine {
     }
 
     pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
-        let record = OpRecord::Rename { from: from.to_string(), to: to.to_string() };
+        let record = OpRecord::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        };
         self.apply(record, |s| s.rename(from, to))
     }
 
     pub fn product(&mut self, stored: &StoredSheet) -> Result<()> {
-        let record = OpRecord::Product { with: stored.name.clone() };
+        let record = OpRecord::Product {
+            with: stored.name.clone(),
+        };
         self.apply(record, |s| s.product(stored))
     }
 
@@ -314,12 +394,16 @@ impl Engine {
     }
 
     pub fn union(&mut self, stored: &StoredSheet) -> Result<()> {
-        let record = OpRecord::Union { with: stored.name.clone() };
+        let record = OpRecord::Union {
+            with: stored.name.clone(),
+        };
         self.apply(record, |s| s.union(stored))
     }
 
     pub fn difference(&mut self, stored: &StoredSheet) -> Result<()> {
-        let record = OpRecord::Difference { with: stored.name.clone() };
+        let record = OpRecord::Difference {
+            with: stored.name.clone(),
+        };
         self.apply(record, |s| s.difference(stored))
     }
 
@@ -354,7 +438,10 @@ impl Engine {
     }
 
     pub fn replace_selection(&mut self, id: u64, predicate: Expr) -> Result<()> {
-        let record = OpRecord::ModifySelection { id, predicate: predicate.to_string() };
+        let record = OpRecord::ModifySelection {
+            id,
+            predicate: predicate.to_string(),
+        };
         self.apply(record, |s| s.replace_selection(id, predicate))
             .map_err(|e| self.diagnose_missing_selection(id, e))
     }
@@ -365,7 +452,9 @@ impl Engine {
     }
 
     pub fn remove_computed(&mut self, column: &str) -> Result<()> {
-        let record = OpRecord::RemoveComputed { column: column.to_string() };
+        let record = OpRecord::RemoveComputed {
+            column: column.to_string(),
+        };
         self.apply(record, |s| s.remove_computed(column))
     }
 }
@@ -493,7 +582,10 @@ mod tests {
         );
         assert!(err.to_string().contains("point of non-commutativity"));
         let err = e.remove_selection(id).unwrap_err();
-        assert!(matches!(err, SheetError::BehindNonCommutativityPoint { .. }));
+        assert!(matches!(
+            err,
+            SheetError::BehindNonCommutativityPoint { .. }
+        ));
         // a genuinely unknown id stays UnknownSelection
         let err = e.remove_selection(999).unwrap_err();
         assert!(matches!(err, SheetError::UnknownSelection { .. }));

@@ -49,6 +49,7 @@ pub mod eval;
 pub mod fixtures;
 pub mod history;
 pub mod modify;
+mod persist;
 pub mod precedence;
 pub mod render;
 pub mod sheet;
@@ -58,7 +59,7 @@ pub mod tree;
 
 pub use computed::{ComputedColumn, ComputedDef};
 pub use error::{Result, SheetError};
-pub use eval::{evaluate, Derived};
+pub use eval::{evaluate, evaluate_with, Derived, EvalOptions, DEFAULT_PARALLEL_THRESHOLD};
 pub use history::{Engine, OpRecord};
 pub use modify::RemovalPlan;
 pub use precedence::{may_commute, precedes, AlgebraOp, OpSignature};

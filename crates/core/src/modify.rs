@@ -66,7 +66,9 @@ impl Spreadsheet {
     /// the user to regroup explicitly).
     pub fn removal_plan(&self, column: &str) -> Result<RemovalPlan> {
         if !self.state().is_computed(column) {
-            return Err(SheetError::UnknownColumn { name: column.to_string() });
+            return Err(SheetError::UnknownColumn {
+                name: column.to_string(),
+            });
         }
         // Transitive closure of computed columns that (directly or not)
         // read any doomed column.
@@ -140,7 +142,11 @@ impl Spreadsheet {
         }
         // Keep the target last for a readable plan (it is a dependency of
         // everything else doomed, so the loop already places it last).
-        Ok(RemovalPlan { selections, order_keys, computed })
+        Ok(RemovalPlan {
+            selections,
+            order_keys,
+            computed,
+        })
     }
 
     /// Execute a removal plan: drop the dependent selections and ordering
@@ -166,7 +172,9 @@ impl Spreadsheet {
         let before = spec.finest_order.len();
         spec.finest_order.retain(|k| k.attribute != attribute);
         if spec.finest_order.len() == before {
-            return Err(SheetError::UnknownColumn { name: attribute.to_string() });
+            return Err(SheetError::UnknownColumn {
+                name: attribute.to_string(),
+            });
         }
         Ok(())
     }

@@ -19,23 +19,42 @@
 use crate::error::Result;
 use crate::sheet::Spreadsheet;
 use crate::spec::Direction;
-use serde::{Deserialize, Serialize};
 use ssa_relation::{AggFunc, Expr};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// One unary operator invocation, as data. (Binary operators are points
 /// of non-commutativity by definition and have no entry here.)
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AlgebraOp {
-    Select { predicate: Expr },
-    Project { column: String },
-    Reinstate { column: String },
-    Aggregate { func: AggFunc, column: String, level: usize },
-    Formula { name: Option<String>, expr: Expr },
+    Select {
+        predicate: Expr,
+    },
+    Project {
+        column: String,
+    },
+    Reinstate {
+        column: String,
+    },
+    Aggregate {
+        func: AggFunc,
+        column: String,
+        level: usize,
+    },
+    Formula {
+        name: Option<String>,
+        expr: Expr,
+    },
     Dedup,
-    Group { basis: Vec<String>, order: Direction },
-    Order { attribute: String, order: Direction, level: usize },
+    Group {
+        basis: Vec<String>,
+        order: Direction,
+    },
+    Order {
+        attribute: String,
+        order: Direction,
+        level: usize,
+    },
 }
 
 impl AlgebraOp {
@@ -47,7 +66,11 @@ impl AlgebraOp {
             }
             AlgebraOp::Project { column } => sheet.project_out(column)?,
             AlgebraOp::Reinstate { column } => sheet.reinstate(column)?,
-            AlgebraOp::Aggregate { func, column, level } => {
+            AlgebraOp::Aggregate {
+                func,
+                column,
+                level,
+            } => {
                 sheet.aggregate(*func, column, *level)?;
             }
             AlgebraOp::Formula { name, expr } => {
@@ -58,7 +81,11 @@ impl AlgebraOp {
                 let refs: Vec<&str> = basis.iter().map(|s| s.as_str()).collect();
                 sheet.group(&refs, *order)?;
             }
-            AlgebraOp::Order { attribute, order, level } => {
+            AlgebraOp::Order {
+                attribute,
+                order,
+                level,
+            } => {
                 sheet.order(attribute, *order, *level)?;
             }
         }
@@ -82,12 +109,18 @@ impl AlgebraOp {
             AlgebraOp::Reinstate { column } => {
                 sig.creates.insert(column.clone());
             }
-            AlgebraOp::Aggregate { func, column, level } => {
+            AlgebraOp::Aggregate {
+                func,
+                column,
+                level,
+            } => {
                 sig.requires.insert(column.clone());
                 sig.requires
                     .extend(sheet.state().spec.absolute_basis(*level));
-                sig.creates
-                    .insert(predicted_name(sheet, &format!("{}_{}", func.short_name(), column)));
+                sig.creates.insert(predicted_name(
+                    sheet,
+                    &format!("{}_{}", func.short_name(), column),
+                ));
                 sig.needs_level = Some(*level);
             }
             AlgebraOp::Formula { name, expr } => {
@@ -105,7 +138,11 @@ impl AlgebraOp {
                 // Adding a level never disturbs existing levels' bases.
                 sig.creates_level = Some(sheet.state().spec.level_count() + 1);
             }
-            AlgebraOp::Order { attribute, order: _, level } => {
+            AlgebraOp::Order {
+                attribute,
+                order: _,
+                level,
+            } => {
                 sig.requires.insert(attribute.clone());
                 sig.structural = true;
                 let spec = &sheet.state().spec;
@@ -121,8 +158,7 @@ impl AlgebraOp {
 }
 
 fn predicted_name(sheet: &Spreadsheet, base: &str) -> String {
-    let exists =
-        |n: &str| sheet.base().schema().contains(n) || sheet.state().is_computed(n);
+    let exists = |n: &str| sheet.base().schema().contains(n) || sheet.state().is_computed(n);
     if !exists(base) {
         return base.to_string();
     }
@@ -142,7 +178,11 @@ impl fmt::Display for AlgebraOp {
             AlgebraOp::Select { predicate } => write!(f, "σ[{predicate}]"),
             AlgebraOp::Project { column } => write!(f, "π[{column}]"),
             AlgebraOp::Reinstate { column } => write!(f, "π̄[{column}]"),
-            AlgebraOp::Aggregate { func, column, level } => {
+            AlgebraOp::Aggregate {
+                func,
+                column,
+                level,
+            } => {
                 write!(f, "η[{func}({column}) @L{level}]")
             }
             AlgebraOp::Formula { name, expr } => {
@@ -150,7 +190,11 @@ impl fmt::Display for AlgebraOp {
             }
             AlgebraOp::Dedup => write!(f, "δ[DE]"),
             AlgebraOp::Group { basis, order } => write!(f, "τ[{{{}}} {order}]", basis.join(",")),
-            AlgebraOp::Order { attribute, order, level } => {
+            AlgebraOp::Order {
+                attribute,
+                order,
+                level,
+            } => {
                 write!(f, "λ[{attribute} {order} @L{level}]")
             }
         }
@@ -250,7 +294,9 @@ mod tests {
     }
 
     fn sel(col: &str, v: i64) -> AlgebraOp {
-        AlgebraOp::Select { predicate: Expr::col(col).lt(Expr::lit(v)) }
+        AlgebraOp::Select {
+            predicate: Expr::col(col).lt(Expr::lit(v)),
+        }
     }
 
     #[test]
@@ -262,7 +308,11 @@ mod tests {
     #[test]
     fn aggregation_then_dependent_selection_is_precedence() {
         let s = sheet();
-        let agg = AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 1 };
+        let agg = AlgebraOp::Aggregate {
+            func: AggFunc::Avg,
+            column: "Price".into(),
+            level: 1,
+        };
         let dep = AlgebraOp::Select {
             predicate: Expr::col("Price").lt(Expr::col("Avg_Price")),
         };
@@ -277,41 +327,67 @@ mod tests {
     fn aggregation_and_independent_selection_commute() {
         // The surprising pair from Theorem 2's proof sketch.
         let s = sheet();
-        let agg = AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 1 };
+        let agg = AlgebraOp::Aggregate {
+            func: AggFunc::Avg,
+            column: "Price".into(),
+            level: 1,
+        };
         assert!(may_commute(&agg, &sel("Year", 2006), &s));
     }
 
     #[test]
     fn projection_conflicts_with_selection_on_same_column() {
         let s = sheet();
-        let p = AlgebraOp::Project { column: "Price".into() };
+        let p = AlgebraOp::Project {
+            column: "Price".into(),
+        };
         assert!(!may_commute(&p, &sel("Price", 16000), &s));
         // but projection of an unrelated column commutes
-        let p2 = AlgebraOp::Project { column: "Mileage".into() };
+        let p2 = AlgebraOp::Project {
+            column: "Mileage".into(),
+        };
         assert!(may_commute(&p2, &sel("Price", 16000), &s));
     }
 
     #[test]
     fn two_aggregates_with_same_generated_name_conflict() {
         let s = sheet();
-        let a = AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 1 };
+        let a = AlgebraOp::Aggregate {
+            func: AggFunc::Avg,
+            column: "Price".into(),
+            level: 1,
+        };
         assert!(!may_commute(&a, &a.clone(), &s));
-        let b = AlgebraOp::Aggregate { func: AggFunc::Max, column: "Price".into(), level: 1 };
+        let b = AlgebraOp::Aggregate {
+            func: AggFunc::Max,
+            column: "Price".into(),
+            level: 1,
+        };
         assert!(may_commute(&a, &b, &s));
     }
 
     #[test]
     fn grouping_and_ordering_do_not_commute() {
         let s = sheet();
-        let g = AlgebraOp::Group { basis: vec!["Model".into()], order: Direction::Asc };
-        let o = AlgebraOp::Order { attribute: "Price".into(), order: Direction::Asc, level: 1 };
+        let g = AlgebraOp::Group {
+            basis: vec!["Model".into()],
+            order: Direction::Asc,
+        };
+        let o = AlgebraOp::Order {
+            attribute: "Price".into(),
+            order: Direction::Asc,
+            level: 1,
+        };
         assert!(!may_commute(&g, &o, &s));
     }
 
     #[test]
     fn grouping_commutes_with_dedup_and_selection() {
         let s = sheet();
-        let g = AlgebraOp::Group { basis: vec!["Model".into()], order: Direction::Asc };
+        let g = AlgebraOp::Group {
+            basis: vec!["Model".into()],
+            order: Direction::Asc,
+        };
         assert!(may_commute(&g, &AlgebraOp::Dedup, &s));
         assert!(may_commute(&g, &sel("Price", 16000), &s));
     }
@@ -319,8 +395,15 @@ mod tests {
     #[test]
     fn aggregate_needing_new_level_is_preceded_by_group() {
         let s = sheet();
-        let g = AlgebraOp::Group { basis: vec!["Model".into()], order: Direction::Asc };
-        let a = AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 2 };
+        let g = AlgebraOp::Group {
+            basis: vec!["Model".into()],
+            order: Direction::Asc,
+        };
+        let a = AlgebraOp::Aggregate {
+            func: AggFunc::Avg,
+            column: "Price".into(),
+            level: 2,
+        };
         assert!(!may_commute(&g, &a, &s));
         let sg = g.signature(&s);
         let sa = a.signature(&s);
@@ -337,12 +420,18 @@ mod tests {
             order: Direction::Asc,
             level: 2,
         };
-        let deep_agg =
-            AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 3 };
+        let deep_agg = AlgebraOp::Aggregate {
+            func: AggFunc::Avg,
+            column: "Price".into(),
+            level: 3,
+        };
         assert!(!may_commute(&destroyer, &deep_agg, &s));
         // a level-1 aggregate is untouched by the destruction
-        let shallow =
-            AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 1 };
+        let shallow = AlgebraOp::Aggregate {
+            func: AggFunc::Avg,
+            column: "Price".into(),
+            level: 1,
+        };
         assert!(may_commute(&destroyer, &shallow, &s));
     }
 
@@ -350,19 +439,35 @@ mod tests {
     fn apply_executes_each_variant() {
         let mut s = sheet();
         for op in [
-            AlgebraOp::Group { basis: vec!["Model".into()], order: Direction::Asc },
-            AlgebraOp::Order { attribute: "Price".into(), order: Direction::Asc, level: 2 },
+            AlgebraOp::Group {
+                basis: vec!["Model".into()],
+                order: Direction::Asc,
+            },
+            AlgebraOp::Order {
+                attribute: "Price".into(),
+                order: Direction::Asc,
+                level: 2,
+            },
             sel("Price", 20000),
-            AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 2 },
+            AlgebraOp::Aggregate {
+                func: AggFunc::Avg,
+                column: "Price".into(),
+                level: 2,
+            },
             AlgebraOp::Formula {
                 name: Some("Delta".into()),
                 expr: Expr::col("Price").sub(Expr::col("Avg_Price")),
             },
             AlgebraOp::Dedup,
-            AlgebraOp::Project { column: "Mileage".into() },
-            AlgebraOp::Reinstate { column: "Mileage".into() },
+            AlgebraOp::Project {
+                column: "Mileage".into(),
+            },
+            AlgebraOp::Reinstate {
+                column: "Mileage".into(),
+            },
         ] {
-            op.apply(&mut s).unwrap_or_else(|e| panic!("{op} failed: {e}"));
+            op.apply(&mut s)
+                .unwrap_or_else(|e| panic!("{op} failed: {e}"));
         }
         assert_eq!(s.evaluate_now().unwrap().len(), 9);
     }

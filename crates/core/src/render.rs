@@ -16,7 +16,12 @@ pub fn render_table(view: &Derived) -> String {
     let cols = &view.visible;
     let idx: Vec<usize> = cols
         .iter()
-        .map(|c| view.data.schema().index_of(c).expect("visible column exists"))
+        .map(|c| {
+            view.data
+                .schema()
+                .index_of(c)
+                .expect("visible column exists")
+        })
         .collect();
 
     let mut widths: Vec<usize> = cols.iter().map(|c| c.len()).collect();
@@ -47,7 +52,12 @@ pub fn render_table(view: &Derived) -> String {
     let blocks: Vec<Vec<usize>> = if view.tree.root.children.is_empty() {
         vec![view.tree.root.rows.clone()]
     } else {
-        view.tree.root.children.iter().map(|g| g.rows.clone()).collect()
+        view.tree
+            .root
+            .children
+            .iter()
+            .map(|g| g.rows.clone())
+            .collect()
     };
     for (bi, block) in blocks.iter().enumerate() {
         if bi > 0 {
@@ -72,7 +82,12 @@ pub fn render_markdown(view: &Derived) -> String {
     let cols = &view.visible;
     let idx: Vec<usize> = cols
         .iter()
-        .map(|c| view.data.schema().index_of(c).expect("visible column exists"))
+        .map(|c| {
+            view.data
+                .schema()
+                .index_of(c)
+                .expect("visible column exists")
+        })
         .collect();
     let mut out = String::new();
     out.push_str(&format!("| {} |\n", cols.join(" | ")));
@@ -108,7 +123,12 @@ pub fn render_tree(view: &Derived) -> String {
             let idx: Vec<usize> = view
                 .visible
                 .iter()
-                .map(|c| view.data.schema().index_of(c).expect("visible column exists"))
+                .map(|c| {
+                    view.data
+                        .schema()
+                        .index_of(c)
+                        .expect("visible column exists")
+                })
                 .collect();
             for &r in &node.rows {
                 let fields: Vec<String> = idx
@@ -160,7 +180,12 @@ mod tests {
         assert!(t.contains("Jetta"));
         assert_eq!(t.lines().filter(|l| l.contains("Jetta")).count(), 6);
         // one separator between the two Model groups + header rule
-        assert!(t.lines().filter(|l| l.starts_with("|--") || l.starts_with("|-")).count() >= 2);
+        assert!(
+            t.lines()
+                .filter(|l| l.starts_with("|--") || l.starts_with("|-"))
+                .count()
+                >= 2
+        );
     }
 
     #[test]

@@ -11,13 +11,12 @@
 
 use crate::computed::ComputedColumn;
 use crate::error::{Result, SheetError};
-use crate::eval::{evaluate, evaluate_full, sort_presentation, visible_columns, Derived};
+use crate::eval::{evaluate_full_with, evaluate_with, visible_columns, Derived, EvalOptions};
 use crate::spec::{Direction, GroupLevel, OrderKey, Spec};
 use crate::state::{QueryState, SelectionEntry};
 use crate::tree::build_tree;
-use serde::{Deserialize, Serialize};
 use ssa_relation::{ops, AggFunc, Expr, Relation, ValueType};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A snapshot of a spreadsheet produced by the **Save** operator
 /// (Sec. III-C). Binary operators take a stored sheet as their right
@@ -27,7 +26,7 @@ use std::collections::BTreeSet;
 /// elimination are applied, computed columns are dropped from the data
 /// (they "do not participate", Sec. III-B) but their definitions are kept
 /// so re-opening restores them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredSheet {
     pub name: String,
     /// Evaluated `R` — all base columns (hidden ones included), filtered
@@ -42,11 +41,11 @@ impl StoredSheet {
     /// Serialize to JSON (the reproduction's stand-in for the prototype's
     /// saved sheets).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| SheetError::Persist { message: e.to_string() })
+        Ok(crate::persist::stored_sheet_to_json(self))
     }
 
     pub fn from_json(text: &str) -> Result<StoredSheet> {
-        serde_json::from_str(text).map_err(|e| SheetError::Persist { message: e.to_string() })
+        crate::persist::stored_sheet_from_json(text)
     }
 }
 
@@ -81,6 +80,90 @@ struct CacheEntry {
     canonical: Relation,
     content: ContentKey,
     spec: Spec,
+    /// Per-column dense ranks of `canonical`'s rows (rank preserves
+    /// `Value` order, ties share a rank). Computed lazily the first time
+    /// a column participates in a reorganize, then reused: repeated
+    /// regrouping/reordering over the same content sorts `u32` keys
+    /// instead of re-comparing `Value`s.
+    sort_keys: BTreeMap<String, Vec<u32>>,
+}
+
+impl CacheEntry {
+    fn new(derived: Derived, canonical: Relation, content: ContentKey, spec: Spec) -> CacheEntry {
+        CacheEntry {
+            derived,
+            canonical,
+            content,
+            spec,
+            sort_keys: BTreeMap::new(),
+        }
+    }
+
+    /// Dense ranks of `column` over the canonical rows, cached.
+    fn ranks_for(&mut self, column: &str) -> Result<&Vec<u32>> {
+        if !self.sort_keys.contains_key(column) {
+            let idx = self.canonical.schema().index_of(column)?;
+            let rows = self.canonical.rows();
+            let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+            order.sort_by(|&a, &b| rows[a as usize].get(idx).cmp(rows[b as usize].get(idx)));
+            let mut ranks = vec![0u32; rows.len()];
+            let mut rank = 0u32;
+            for (i, &row) in order.iter().enumerate() {
+                if i > 0 && rows[row as usize].get(idx) != rows[order[i - 1] as usize].get(idx) {
+                    rank += 1;
+                }
+                ranks[row as usize] = rank;
+            }
+            self.sort_keys.insert(column.to_string(), ranks);
+        }
+        Ok(&self.sort_keys[column])
+    }
+
+    /// Reorganize the cached canonical data under `spec` using the
+    /// rank cache: a stable index sort over `u32` rank keys, then one
+    /// row gather. Produces exactly what a full evaluation's
+    /// presentation sort would (dense ranks preserve `Value` order and
+    /// stability preserves canonical tie-breaking).
+    fn reorganize(&mut self, spec: &Spec, visible: Vec<String>) -> Result<()> {
+        let mut columns: Vec<(String, bool)> = Vec::new();
+        for level in &spec.levels {
+            let desc = matches!(level.direction, Direction::Desc);
+            for a in &level.basis {
+                columns.push((a.clone(), desc));
+            }
+        }
+        for k in &spec.finest_order {
+            columns.push((k.attribute.clone(), matches!(k.direction, Direction::Desc)));
+        }
+        for (name, _) in &columns {
+            self.ranks_for(name)?;
+        }
+        let keys: Vec<(&Vec<u32>, bool)> = columns
+            .iter()
+            .map(|(name, desc)| (&self.sort_keys[name], *desc))
+            .collect();
+        let mut perm: Vec<u32> = (0..self.canonical.len() as u32).collect();
+        perm.sort_by(|&a, &b| {
+            for (ranks, desc) in &keys {
+                let ord = ranks[a as usize].cmp(&ranks[b as usize]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let data = self.canonical.take_rows(&perm);
+        let level_bases: Vec<Vec<String>> = spec.levels.iter().map(|l| l.basis.clone()).collect();
+        let tree = build_tree(&data, &level_bases);
+        self.derived = Derived {
+            data,
+            tree,
+            visible,
+        };
+        self.spec = spec.clone();
+        Ok(())
+    }
 }
 
 /// A live spreadsheet.
@@ -96,6 +179,9 @@ pub struct Spreadsheet {
     /// Whether the reorganize fast path is enabled (on by default; the
     /// `reorganize` bench ablates it).
     fast_reorganize: bool,
+    /// Engine selection and parallelism knobs passed to every
+    /// evaluation.
+    eval_opts: EvalOptions,
     /// How many points of non-commutativity this sheet has passed.
     epoch: u64,
     next_formula_id: u64,
@@ -110,6 +196,7 @@ impl Spreadsheet {
             state: QueryState::new(),
             cache: None,
             fast_reorganize: true,
+            eval_opts: EvalOptions::default(),
             epoch: 0,
             next_formula_id: 1,
         }
@@ -119,6 +206,27 @@ impl Spreadsheet {
     /// result is identical either way, which `view` tests pin).
     pub fn set_fast_reorganize(&mut self, on: bool) {
         self.fast_reorganize = on;
+    }
+
+    /// Switch between the index-vector engine (default) and the naive
+    /// row-cloning engine. The cache is dropped so the next `view`
+    /// evaluates with the selected engine.
+    pub fn set_naive_eval(&mut self, naive: bool) {
+        if self.eval_opts.naive != naive {
+            self.eval_opts.naive = naive;
+            self.cache = None;
+        }
+    }
+
+    /// Set the live-row count at which the index-vector engine
+    /// parallelizes (`usize::MAX` forces sequential evaluation).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.eval_opts.parallel_threshold = threshold;
+    }
+
+    /// The engine options currently in force.
+    pub fn eval_options(&self) -> EvalOptions {
+        self.eval_opts
     }
 
     pub fn name(&self) -> &str {
@@ -156,52 +264,41 @@ impl Spreadsheet {
     pub fn view(&mut self) -> Result<&Derived> {
         let content = ContentKey::of(&self.state);
         let visible = visible_columns(&self.base, &self.state);
-        let reusable = self
-            .cache
-            .as_ref()
-            .is_some_and(|c| c.content == content);
+        let reusable = self.cache.as_ref().is_some_and(|c| c.content == content);
         if reusable {
             let entry = self.cache.as_mut().expect("checked above");
             if entry.spec != self.state.spec || entry.derived.visible != visible {
                 if !self.fast_reorganize {
-                    let (derived, canonical) = evaluate_full(&self.base, &self.state)?;
-                    self.cache = Some(CacheEntry {
+                    let (derived, canonical) =
+                        evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
+                    self.cache = Some(CacheEntry::new(
                         derived,
                         canonical,
                         content,
-                        spec: self.state.spec.clone(),
-                    });
+                        self.state.spec.clone(),
+                    ));
                 } else {
                     // Fast path: content is unchanged; re-sort from the
-                    // canonical order and rebuild tree + visible list.
-                    let data = sort_presentation(&entry.canonical, &self.state.spec)?;
-                    let level_bases: Vec<Vec<String>> = self
-                        .state
-                        .spec
-                        .levels
-                        .iter()
-                        .map(|l| l.basis.clone())
-                        .collect();
-                    let tree = build_tree(&data, &level_bases);
-                    entry.derived = Derived { data, tree, visible };
-                    entry.spec = self.state.spec.clone();
+                    // canonical order via the cached per-column ranks
+                    // and rebuild tree + visible list.
+                    entry.reorganize(&self.state.spec, visible)?;
                 }
             }
         } else {
-            let (derived, canonical) = evaluate_full(&self.base, &self.state)?;
-            self.cache = Some(CacheEntry {
+            let (derived, canonical) = evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
+            self.cache = Some(CacheEntry::new(
                 derived,
                 canonical,
                 content,
-                spec: self.state.spec.clone(),
-            });
+                self.state.spec.clone(),
+            ));
         }
         Ok(&self.cache.as_ref().expect("cache just filled").derived)
     }
 
     /// Evaluate without caching (for read-only contexts).
     pub fn evaluate_now(&self) -> Result<Derived> {
-        evaluate(&self.base, &self.state)
+        evaluate_with(&self.base, &self.state, self.eval_opts)
     }
 
     /// Visible column names in display order (cheap; no evaluation).
@@ -237,7 +334,9 @@ impl Spreadsheet {
         if self.base.schema().contains(name) || self.state.is_computed(name) {
             Ok(())
         } else {
-            Err(SheetError::UnknownColumn { name: name.to_string() })
+            Err(SheetError::UnknownColumn {
+                name: name.to_string(),
+            })
         }
     }
 
@@ -255,10 +354,8 @@ impl Spreadsheet {
         for a in grouping_basis {
             self.assert_column_exists(a)?;
         }
-        let current: BTreeSet<String> =
-            self.state.spec.all_grouping_attributes();
-        let requested: BTreeSet<String> =
-            grouping_basis.iter().map(|s| s.to_string()).collect();
+        let current: BTreeSet<String> = self.state.spec.all_grouping_attributes();
+        let requested: BTreeSet<String> = grouping_basis.iter().map(|s| s.to_string()).collect();
         if !requested.is_superset(&current) || requested == current {
             return Err(SheetError::NotASuperset {
                 basis: grouping_basis.iter().map(|s| s.to_string()).collect(),
@@ -295,7 +392,10 @@ impl Spreadsheet {
     pub fn regroup(&mut self, attributes: &[&str], order: Direction) -> Result<()> {
         let aggs = self.state.aggregates_below_level(1);
         if !aggs.is_empty() {
-            return Err(SheetError::GroupingInUse { level: 1, aggregates: aggs });
+            return Err(SheetError::GroupingInUse {
+                level: 1,
+                aggregates: aggs,
+            });
         }
         for a in attributes {
             self.assert_column_exists(a)?;
@@ -315,7 +415,10 @@ impl Spreadsheet {
     pub fn ungroup(&mut self) -> Result<()> {
         let aggs = self.state.aggregates_below_level(1);
         if !aggs.is_empty() {
-            return Err(SheetError::GroupingInUse { level: 1, aggregates: aggs });
+            return Err(SheetError::GroupingInUse {
+                level: 1,
+                aggregates: aggs,
+            });
         }
         self.state.spec.levels.clear();
         self.invalidate();
@@ -345,7 +448,11 @@ impl Spreadsheet {
                 // Case 2: flip direction of the level-(l+1) groups.
                 self.state.spec.levels[level - 1].direction = direction;
             } else {
-                if self.state.spec.all_grouping_attributes().contains(attribute)
+                if self
+                    .state
+                    .spec
+                    .all_grouping_attributes()
+                    .contains(attribute)
                 {
                     // Ordering an outer level by some *other* level's
                     // grouping attribute is meaningless.
@@ -357,15 +464,22 @@ impl Spreadsheet {
                 // Case 1: destroy deeper levels.
                 let aggs = self.state.aggregates_below_level(level);
                 if !aggs.is_empty() {
-                    return Err(SheetError::GroupingInUse { level, aggregates: aggs });
+                    return Err(SheetError::GroupingInUse {
+                        level,
+                        aggregates: aggs,
+                    });
                 }
                 self.state.spec.truncate_levels(level);
-                self.state.spec.finest_order =
-                    vec![OrderKey::new(attribute, direction)];
+                self.state.spec.finest_order = vec![OrderKey::new(attribute, direction)];
             }
         } else {
             // Case 3: the finest level.
-            if self.state.spec.all_grouping_attributes().contains(attribute) {
+            if self
+                .state
+                .spec
+                .all_grouping_attributes()
+                .contains(attribute)
+            {
                 // No-op: all tuples in a finest group share this value.
                 return Ok(());
             }
@@ -425,7 +539,9 @@ impl Spreadsheet {
             self.state.projected_out.remove(column);
         } else {
             if self.state.projected_out.contains(column) {
-                return Err(SheetError::ColumnHidden { name: column.to_string() });
+                return Err(SheetError::ColumnHidden {
+                    name: column.to_string(),
+                });
             }
             self.state.projected_out.insert(column.to_string());
         }
@@ -437,7 +553,9 @@ impl Spreadsheet {
     /// if the projection never took place.
     pub fn reinstate(&mut self, column: &str) -> Result<()> {
         if !self.state.projected_out.remove(column) {
-            return Err(SheetError::UnknownColumn { name: column.to_string() });
+            return Err(SheetError::UnknownColumn {
+                name: column.to_string(),
+            });
         }
         self.invalidate();
         Ok(())
@@ -475,9 +593,13 @@ impl Spreadsheet {
         }
         let name = self.fresh_column_name(&format!("{}_{}", func.short_name(), column));
         let basis: Vec<String> = self.state.spec.absolute_basis(level).into_iter().collect();
-        self.state
-            .computed
-            .push(ComputedColumn::aggregate(name.clone(), func, column, level, basis));
+        self.state.computed.push(ComputedColumn::aggregate(
+            name.clone(),
+            func,
+            column,
+            level,
+            basis,
+        ));
         self.invalidate();
         Ok(name)
     }
@@ -492,7 +614,9 @@ impl Spreadsheet {
         let name = match name {
             Some(n) => {
                 if self.base.schema().contains(n) || self.state.is_computed(n) {
-                    return Err(SheetError::DuplicateColumn { name: n.to_string() });
+                    return Err(SheetError::DuplicateColumn {
+                        name: n.to_string(),
+                    });
                 }
                 n.to_string()
             }
@@ -502,7 +626,9 @@ impl Spreadsheet {
                 n
             }
         };
-        self.state.computed.push(ComputedColumn::formula(name.clone(), expr));
+        self.state
+            .computed
+            .push(ComputedColumn::formula(name.clone(), expr));
         self.invalidate();
         Ok(name)
     }
@@ -523,7 +649,9 @@ impl Spreadsheet {
             return Ok(());
         }
         if self.base.schema().contains(to) || self.state.is_computed(to) {
-            return Err(SheetError::DuplicateColumn { name: to.to_string() });
+            return Err(SheetError::DuplicateColumn {
+                name: to.to_string(),
+            });
         }
         if self.base.schema().contains(from) {
             self.base.schema_mut().rename(from, to)?;
@@ -550,7 +678,11 @@ impl Spreadsheet {
         relation.set_name(self.name.clone());
         let mut state = self.state.clone();
         state.consume_at_non_commutativity_point();
-        Ok(StoredSheet { name: name.into(), relation, state })
+        Ok(StoredSheet {
+            name: name.into(),
+            relation,
+            state,
+        })
     }
 
     /// **Open** (Sec. III-C): resurrect a stored sheet as the current one.
@@ -561,6 +693,7 @@ impl Spreadsheet {
             state: stored.state.clone(),
             cache: None,
             fast_reorganize: true,
+            eval_opts: EvalOptions::default(),
             epoch: 0,
             next_formula_id: 1,
         }
@@ -617,7 +750,9 @@ impl Spreadsheet {
         // Validate the condition against the combined schema before
         // running the join, so the user gets an immediate report
         // (Sec. VI-A "any invalid condition is reported immediately").
-        let combined_schema = left.schema().product(stored.relation.schema(), stored.relation.name());
+        let combined_schema = left
+            .schema()
+            .product(stored.relation.schema(), stored.relation.name());
         for c in condition.columns() {
             if !combined_schema.contains(&c) {
                 return Err(SheetError::UnknownColumn { name: c });
@@ -632,7 +767,9 @@ impl Spreadsheet {
         let left = self.evaluated_r()?;
         let unioned = ops::union_all(&left, &stored.relation).map_err(|e| match e {
             ssa_relation::RelationError::NotUnionCompatible { left, right } => {
-                SheetError::NotCompatible { detail: format!("{left} vs {right}") }
+                SheetError::NotCompatible {
+                    detail: format!("{left} vs {right}"),
+                }
             }
             other => other.into(),
         })?;
@@ -645,7 +782,9 @@ impl Spreadsheet {
         let left = self.evaluated_r()?;
         let diffed = ops::difference(&left, &stored.relation).map_err(|e| match e {
             ssa_relation::RelationError::NotUnionCompatible { left, right } => {
-                SheetError::NotCompatible { detail: format!("{left} vs {right}") }
+                SheetError::NotCompatible {
+                    detail: format!("{left} vs {right}"),
+                }
             }
             other => other.into(),
         })?;
@@ -682,11 +821,16 @@ impl Spreadsheet {
     /// rule as projection of a computed column).
     pub fn remove_computed(&mut self, name: &str) -> Result<()> {
         if !self.state.is_computed(name) {
-            return Err(SheetError::UnknownColumn { name: name.to_string() });
+            return Err(SheetError::UnknownColumn {
+                name: name.to_string(),
+            });
         }
         let dependents = self.state.dependents_of(name);
         if !dependents.is_empty() {
-            return Err(SheetError::ColumnInUse { name: name.to_string(), dependents });
+            return Err(SheetError::ColumnInUse {
+                name: name.to_string(),
+                dependents,
+            });
         }
         self.state.computed.retain(|c| c.name != name);
         self.state.projected_out.remove(name);
@@ -811,7 +955,8 @@ mod tests {
         s.group_add(&["Model"], Direction::Desc).unwrap();
         s.group_add(&["Year"], Direction::Asc).unwrap();
         s.order("Price", Direction::Asc, 3).unwrap();
-        s.group(&["Year", "Model", "Condition"], Direction::Asc).unwrap();
+        s.group(&["Year", "Model", "Condition"], Direction::Asc)
+            .unwrap();
         assert_eq!(
             ids(&mut s),
             vec![872, 901, 304, 723, 725, 423, 132, 879, 322]
@@ -1102,7 +1247,9 @@ mod tests {
     #[test]
     fn union_and_difference_multiset_semantics() {
         let mut jettas = sheet();
-        jettas.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+        jettas
+            .select(Expr::col("Model").eq(Expr::lit("Jetta")))
+            .unwrap();
         let stored_jettas = jettas.save("jettas").unwrap();
 
         let mut all = sheet();
@@ -1127,7 +1274,9 @@ mod tests {
         // Def. 8: computed attributes are retained and recomputed based on
         // the new set membership.
         let mut civics = sheet();
-        civics.select(Expr::col("Model").eq(Expr::lit("Civic"))).unwrap();
+        civics
+            .select(Expr::col("Model").eq(Expr::lit("Civic")))
+            .unwrap();
         let stored = civics.save("civics").unwrap();
 
         let mut s = sheet();

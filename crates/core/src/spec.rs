@@ -13,12 +13,11 @@
 //! is [`Spec::finest_order`], a list of (attribute, direction) pairs over
 //! attributes not in any grouping basis.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Sort direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     Asc,
     Desc,
@@ -52,7 +51,7 @@ impl fmt::Display for Direction {
 /// One non-root grouping level: the attributes newly added at this level
 /// (the *relative grouping basis*) and the direction its groups are
 /// ordered by inside the parent group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupLevel {
     /// Relative basis, kept sorted for canonical comparison; grouping is
     /// on the *set* of attributes (Def. 3's grouping-basis is a set).
@@ -62,7 +61,10 @@ pub struct GroupLevel {
 }
 
 impl GroupLevel {
-    pub fn new(basis: impl IntoIterator<Item = impl Into<String>>, direction: Direction) -> GroupLevel {
+    pub fn new(
+        basis: impl IntoIterator<Item = impl Into<String>>,
+        direction: Direction,
+    ) -> GroupLevel {
         let mut basis: Vec<String> = basis.into_iter().map(Into::into).collect();
         basis.sort();
         basis.dedup();
@@ -71,7 +73,7 @@ impl GroupLevel {
 }
 
 /// One finest-level ordering key.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrderKey {
     pub attribute: String,
     pub direction: Direction,
@@ -79,7 +81,10 @@ pub struct OrderKey {
 
 impl OrderKey {
     pub fn new(attribute: impl Into<String>, direction: Direction) -> OrderKey {
-        OrderKey { attribute: attribute.into(), direction }
+        OrderKey {
+            attribute: attribute.into(),
+            direction,
+        }
     }
 
     pub fn asc(attribute: impl Into<String>) -> OrderKey {
@@ -98,7 +103,7 @@ impl OrderKey {
 /// `levels.len() + 1` deep; [`Spec::level_count`] returns that number, and
 /// level parameters across the crate use the paper's 1-based numbering
 /// (level 1 = whole sheet).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Spec {
     pub levels: Vec<GroupLevel>,
     pub finest_order: Vec<OrderKey>,

@@ -11,7 +11,6 @@
 
 use crate::computed::{ComputedColumn, ComputedDef};
 use crate::spec::Spec;
-use serde::{Deserialize, Serialize};
 use ssa_relation::Expr;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -19,7 +18,7 @@ use std::fmt;
 /// A retained selection predicate with a stable identity, so the interface
 /// can offer "replace or delete the predicate you applied earlier"
 /// (Sec. V-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectionEntry {
     pub id: u64,
     pub predicate: Expr,
@@ -33,7 +32,7 @@ impl fmt::Display for SelectionEntry {
 
 /// The full query state of one spreadsheet since the last point of
 /// non-commutativity.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryState {
     /// Retained selection predicates (conjunctive: a tuple must satisfy
     /// all of them).
@@ -56,6 +55,16 @@ pub struct QueryState {
 impl QueryState {
     pub fn new() -> QueryState {
         QueryState::default()
+    }
+
+    /// The next selection id to hand out — persisted so a re-opened sheet
+    /// never reuses an id that a prior session already assigned.
+    pub(crate) fn next_selection_id_raw(&self) -> u64 {
+        self.next_selection_id
+    }
+
+    pub(crate) fn set_next_selection_id_raw(&mut self, id: u64) {
+        self.next_selection_id = id;
     }
 
     /// Record a new selection, returning its id.
@@ -135,12 +144,7 @@ impl QueryState {
         if self.spec.all_grouping_attributes().contains(column) {
             out.push("grouping".to_string());
         }
-        if self
-            .spec
-            .finest_order
-            .iter()
-            .any(|k| k.attribute == column)
-        {
+        if self.spec.finest_order.iter().any(|k| k.attribute == column) {
             out.push("ordering".to_string());
         }
         out
@@ -163,9 +167,13 @@ impl QueryState {
     /// Rename a column across the entire state (housekeeping Rename).
     pub fn rename_column(&mut self, from: &str, to: &str) {
         for s in &mut self.selections {
-            s.predicate = s
-                .predicate
-                .map_columns(&|c| if c == from { to.to_string() } else { c.to_string() });
+            s.predicate = s.predicate.map_columns(&|c| {
+                if c == from {
+                    to.to_string()
+                } else {
+                    c.to_string()
+                }
+            });
         }
         for c in &mut self.computed {
             if c.name == from {
@@ -230,7 +238,9 @@ mod tests {
             vec!["Model".into()],
         ));
         st.projected_out.insert("Mileage".into());
-        st.spec.levels.push(GroupLevel::new(["Model"], Direction::Asc));
+        st.spec
+            .levels
+            .push(GroupLevel::new(["Model"], Direction::Asc));
         st.spec.finest_order.push(OrderKey::asc("Price"));
         st
     }

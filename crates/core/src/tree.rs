@@ -80,11 +80,7 @@ impl GroupTree {
     pub fn finest_group_of(&self, row: usize) -> &GroupNode {
         let mut node = &self.root;
         loop {
-            match node
-                .children
-                .iter()
-                .find(|c| c.rows.contains(&row))
-            {
+            match node.children.iter().find(|c| c.rows.contains(&row)) {
                 Some(c) => node = c,
                 None => return node,
             }
@@ -110,7 +106,12 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
         level: usize,
         key: Vec<(String, Value)>,
     ) -> GroupNode {
-        let mut node = GroupNode { level, key, children: Vec::new(), rows: rows.to_vec() };
+        let mut node = GroupNode {
+            level,
+            key,
+            children: Vec::new(),
+            rows: rows.to_vec(),
+        };
         if depth >= level_bases.len() || rows.is_empty() {
             return node;
         }
@@ -119,20 +120,27 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
             .iter()
             .map(|a| data.schema().index_of(a).expect("basis column exists"))
             .collect();
-        let key_of = |r: usize| -> Vec<Value> {
-            idx.iter().map(|&i| data.rows()[r].get(i).clone()).collect()
+        // Boundary detection compares values in place; keys are cloned
+        // only once per group, not once per row.
+        let same_key = |a: usize, b: usize| {
+            idx.iter()
+                .all(|&i| data.rows()[a].get(i) == data.rows()[b].get(i))
         };
         let mut start = 0;
         while start < rows.len() {
-            let k = key_of(rows[start]);
             let mut end = start + 1;
-            while end < rows.len() && key_of(rows[end]) == k {
+            while end < rows.len() && same_key(rows[start], rows[end]) {
                 end += 1;
             }
             // Accumulate the parent's key so a node names its group fully
             // (e.g. L3 key = [Model=Jetta, Year=2005]).
             let mut child_key = node.key.clone();
-            child_key.extend(basis.iter().cloned().zip(k));
+            child_key.extend(
+                basis
+                    .iter()
+                    .cloned()
+                    .zip(idx.iter().map(|&i| data.rows()[rows[start]].get(i).clone())),
+            );
             node.children.push(split(
                 data,
                 &rows[start..end],
@@ -147,7 +155,9 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
     }
 
     let all: Vec<usize> = (0..data.len()).collect();
-    GroupTree { root: split(data, &all, level_bases, 0, 1, Vec::new()) }
+    GroupTree {
+        root: split(data, &all, level_bases, 0, 1, Vec::new()),
+    }
 }
 
 impl fmt::Display for GroupTree {

@@ -18,7 +18,10 @@ use std::collections::BTreeMap;
 pub enum UserAction {
     /// Click the column header; under grouping the interface prompts for
     /// the level, carried here.
-    ClickHeader { column: String, level: Option<usize> },
+    ClickHeader {
+        column: String,
+        level: Option<usize>,
+    },
     /// Uncheck the projection checkbox.
     UncheckColumn { column: String },
     /// Re-check a projected-out column from the drop-down.
@@ -107,7 +110,10 @@ mod tests {
     fn header_click_toggles_asc_then_desc() {
         let mut s = session();
         let mut t = HeaderToggles::new();
-        let click = UserAction::ClickHeader { column: "Price".into(), level: None };
+        let click = UserAction::ClickHeader {
+            column: "Price".into(),
+            level: None,
+        };
         apply_action(&mut s, &mut t, &click).unwrap();
         assert_eq!(t.shown("Price"), Some(Direction::Asc));
         {
@@ -127,7 +133,9 @@ mod tests {
         apply_action(
             &mut s,
             &mut t,
-            &UserAction::UncheckColumn { column: "Mileage".into() },
+            &UserAction::UncheckColumn {
+                column: "Mileage".into(),
+            },
         )
         .unwrap();
         assert!(!s
@@ -140,7 +148,9 @@ mod tests {
         apply_action(
             &mut s,
             &mut t,
-            &UserAction::CheckColumn { column: "Mileage".into() },
+            &UserAction::CheckColumn {
+                column: "Mileage".into(),
+            },
         )
         .unwrap();
         assert!(s
@@ -160,7 +170,10 @@ mod tests {
         apply_action(
             &mut s,
             &mut t,
-            &UserAction::FilterByCellValue { column: "Model".into(), row: 0 },
+            &UserAction::FilterByCellValue {
+                column: "Model".into(),
+                row: 0,
+            },
         )
         .unwrap();
         assert_eq!(s.engine().unwrap().view().unwrap().len(), 6);
@@ -175,7 +188,10 @@ mod tests {
         let r = apply_action(
             &mut s,
             &mut t,
-            &UserAction::FilterByCellValue { column: "Model".into(), row: 99 },
+            &UserAction::FilterByCellValue {
+                column: "Model".into(),
+                row: 99,
+            },
         );
         assert!(r.is_err());
     }

@@ -48,7 +48,11 @@ impl AggregationDialog {
             let basis: Vec<String> = spec.absolute_basis(level).into_iter().collect();
             level_choices.push((level, format!("per {{{}}}", basis.join(", "))));
         }
-        Ok(AggregationDialog { column: column.to_string(), functions, level_choices })
+        Ok(AggregationDialog {
+            column: column.to_string(),
+            functions,
+            level_choices,
+        })
     }
 
     /// Apply the user's choice. Returns the new column's name.
@@ -117,7 +121,14 @@ impl SelectionDialog {
             .collect();
         Ok(SelectionDialog {
             column: column.to_string(),
-            comparisons: vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge],
+            comparisons: vec![
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ],
             comparable_columns,
             existing,
         })
@@ -190,14 +201,23 @@ impl JoinDialog {
                 };
                 // propose only plausible pairs: same (suffix) name
                 let plausible = lc.name == rc.name
-                    || lc.name.to_ascii_lowercase().contains(&rc.name.to_ascii_lowercase())
-                    || rc.name.to_ascii_lowercase().contains(&lc.name.to_ascii_lowercase());
+                    || lc
+                        .name
+                        .to_ascii_lowercase()
+                        .contains(&rc.name.to_ascii_lowercase())
+                    || rc
+                        .name
+                        .to_ascii_lowercase()
+                        .contains(&lc.name.to_ascii_lowercase());
                 if plausible {
                     proposed_pairs.push((lc.name.clone(), rname));
                 }
             }
         }
-        Ok(JoinDialog { stored_name: stored.name.clone(), proposed_pairs })
+        Ok(JoinDialog {
+            stored_name: stored.name.clone(),
+            proposed_pairs,
+        })
     }
 
     /// Run the join on one of the proposed pairs (or any custom pair —
@@ -269,15 +289,18 @@ mod tests {
     #[test]
     fn selection_dialog_lists_and_replaces_existing() {
         let mut e = engine();
-        let id = e
-            .select(Expr::col("Year").eq(Expr::lit(2005)))
-            .unwrap();
+        let id = e.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
         let d = SelectionDialog::open(&e, "Year").unwrap();
         assert_eq!(d.existing.len(), 1);
         assert_eq!(d.existing[0].0, id);
         assert!(d.existing[0].1.contains("Year = 2005"));
-        d.submit_replace(&mut e, id, CmpOp::Eq, CompareWith::Constant(Value::Int(2006)))
-            .unwrap();
+        d.submit_replace(
+            &mut e,
+            id,
+            CmpOp::Eq,
+            CompareWith::Constant(Value::Int(2006)),
+        )
+        .unwrap();
         assert_eq!(e.view().unwrap().len(), 5);
         // deleting through the dialog restores everything
         let d = SelectionDialog::open(&e, "Year").unwrap();

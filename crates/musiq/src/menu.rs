@@ -40,7 +40,10 @@ pub enum MenuEntry {
     GroupBy { adds_level: usize },
     /// Aggregate this column; only functions valid for its type are
     /// listed, and the level choice appears only under grouping.
-    Aggregate { functions: Vec<AggFunc>, level_choices: usize },
+    Aggregate {
+        functions: Vec<AggFunc>,
+        level_choices: usize,
+    },
     /// Formula-computation dialog.
     Formula,
     /// Remove all duplicates.
@@ -65,12 +68,7 @@ pub fn context_menu(
 ) -> Result<Vec<MenuEntry>> {
     let mut entries = Vec::new();
     let levels = sheet.state().spec.level_count();
-    let hidden: Vec<String> = sheet
-        .state()
-        .projected_out
-        .iter()
-        .cloned()
-        .collect();
+    let hidden: Vec<String> = sheet.state().projected_out.iter().cloned().collect();
 
     match target {
         ClickTarget::Cell { column } | ClickTarget::Header { column } => {
@@ -84,7 +82,9 @@ pub fn context_menu(
             entries.push(MenuEntry::SelectionDialog {
                 existing_predicates: sheet.state().selections_on(column).len(),
             });
-            entries.push(MenuEntry::Sort { will_prompt_for_level: levels > 1 });
+            entries.push(MenuEntry::Sort {
+                will_prompt_for_level: levels > 1,
+            });
             // Grouping by a column already in the basis is not offered.
             if !sheet
                 .state()
@@ -92,14 +92,19 @@ pub fn context_menu(
                 .all_grouping_attributes()
                 .contains(column)
             {
-                entries.push(MenuEntry::GroupBy { adds_level: levels + 1 });
+                entries.push(MenuEntry::GroupBy {
+                    adds_level: levels + 1,
+                });
             }
             // Aggregation functions depend on the value type (contextual!).
             let functions: Vec<AggFunc> = AggFunc::ALL
                 .into_iter()
                 .filter(|f| !f.requires_numeric() || ty.is_numeric() || ty == ValueType::Null)
                 .collect();
-            entries.push(MenuEntry::Aggregate { functions, level_choices: levels });
+            entries.push(MenuEntry::Aggregate {
+                functions,
+                level_choices: levels,
+            });
             entries.push(MenuEntry::ProjectOut);
             entries.push(MenuEntry::Rename);
         }
@@ -109,7 +114,9 @@ pub fn context_menu(
     entries.push(MenuEntry::Formula);
     entries.push(MenuEntry::DuplicateElimination);
     if !hidden.is_empty() {
-        entries.push(MenuEntry::Reinstate { hidden_columns: hidden });
+        entries.push(MenuEntry::Reinstate {
+            hidden_columns: hidden,
+        });
     }
     if stored_sheets > 0 {
         entries.push(MenuEntry::BinaryOps { stored_sheets });
@@ -130,15 +137,30 @@ mod tests {
     }
 
     fn has_filter(entries: &[MenuEntry]) -> bool {
-        entries.iter().any(|e| matches!(e, MenuEntry::FilterByThisValue))
+        entries
+            .iter()
+            .any(|e| matches!(e, MenuEntry::FilterByThisValue))
     }
 
     #[test]
     fn cell_click_offers_filter_header_does_not() {
         let s = sheet();
-        let cell = context_menu(&s, &ClickTarget::Cell { column: "Model".into() }, 0).unwrap();
-        let header =
-            context_menu(&s, &ClickTarget::Header { column: "Model".into() }, 0).unwrap();
+        let cell = context_menu(
+            &s,
+            &ClickTarget::Cell {
+                column: "Model".into(),
+            },
+            0,
+        )
+        .unwrap();
+        let header = context_menu(
+            &s,
+            &ClickTarget::Header {
+                column: "Model".into(),
+            },
+            0,
+        )
+        .unwrap();
         assert!(has_filter(&cell));
         assert!(!has_filter(&header));
     }
@@ -146,8 +168,22 @@ mod tests {
     #[test]
     fn numeric_column_offers_all_aggregates_string_only_safe_ones() {
         let s = sheet();
-        let price = context_menu(&s, &ClickTarget::Cell { column: "Price".into() }, 0).unwrap();
-        let model = context_menu(&s, &ClickTarget::Cell { column: "Model".into() }, 0).unwrap();
+        let price = context_menu(
+            &s,
+            &ClickTarget::Cell {
+                column: "Price".into(),
+            },
+            0,
+        )
+        .unwrap();
+        let model = context_menu(
+            &s,
+            &ClickTarget::Cell {
+                column: "Model".into(),
+            },
+            0,
+        )
+        .unwrap();
         let funcs = |entries: &[MenuEntry]| -> Vec<AggFunc> {
             entries
                 .iter()
@@ -167,19 +203,40 @@ mod tests {
     fn grouping_state_changes_menu() {
         let mut s = sheet();
         s.group(&["Model"], Direction::Asc).unwrap();
-        let menu = context_menu(&s, &ClickTarget::Header { column: "Model".into() }, 0).unwrap();
+        let menu = context_menu(
+            &s,
+            &ClickTarget::Header {
+                column: "Model".into(),
+            },
+            0,
+        )
+        .unwrap();
         // Model is already a grouping attribute: no GroupBy entry.
         assert!(!menu.iter().any(|e| matches!(e, MenuEntry::GroupBy { .. })));
         // Sorting now prompts for the level.
-        assert!(menu
-            .iter()
-            .any(|e| matches!(e, MenuEntry::Sort { will_prompt_for_level: true })));
+        assert!(menu.iter().any(|e| matches!(
+            e,
+            MenuEntry::Sort {
+                will_prompt_for_level: true
+            }
+        )));
         // Aggregation offers both levels.
-        assert!(menu
-            .iter()
-            .any(|e| matches!(e, MenuEntry::Aggregate { level_choices: 2, .. })));
+        assert!(menu.iter().any(|e| matches!(
+            e,
+            MenuEntry::Aggregate {
+                level_choices: 2,
+                ..
+            }
+        )));
         // Year can still be grouped, adding level 3.
-        let menu = context_menu(&s, &ClickTarget::Header { column: "Year".into() }, 0).unwrap();
+        let menu = context_menu(
+            &s,
+            &ClickTarget::Header {
+                column: "Year".into(),
+            },
+            0,
+        )
+        .unwrap();
         assert!(menu
             .iter()
             .any(|e| matches!(e, MenuEntry::GroupBy { adds_level: 3 })));
@@ -189,10 +246,20 @@ mod tests {
     fn selection_dialog_lists_existing_predicates() {
         let mut s = sheet();
         s.select(Expr::col("Year").eq(Expr::lit(2005))).unwrap();
-        let menu = context_menu(&s, &ClickTarget::Cell { column: "Year".into() }, 0).unwrap();
-        assert!(menu
-            .iter()
-            .any(|e| matches!(e, MenuEntry::SelectionDialog { existing_predicates: 1 })));
+        let menu = context_menu(
+            &s,
+            &ClickTarget::Cell {
+                column: "Year".into(),
+            },
+            0,
+        )
+        .unwrap();
+        assert!(menu.iter().any(|e| matches!(
+            e,
+            MenuEntry::SelectionDialog {
+                existing_predicates: 1
+            }
+        )));
     }
 
     #[test]
@@ -214,6 +281,13 @@ mod tests {
     #[test]
     fn unknown_column_errors() {
         let s = sheet();
-        assert!(context_menu(&s, &ClickTarget::Cell { column: "Ghost".into() }, 0).is_err());
+        assert!(context_menu(
+            &s,
+            &ClickTarget::Cell {
+                column: "Ghost".into()
+            },
+            0
+        )
+        .is_err());
     }
 }

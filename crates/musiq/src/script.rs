@@ -21,7 +21,10 @@ pub struct ScriptHost {
 
 impl ScriptHost {
     pub fn new(session: Session) -> ScriptHost {
-        ScriptHost { session, toggles: HeaderToggles::new() }
+        ScriptHost {
+            session,
+            toggles: HeaderToggles::new(),
+        }
     }
 
     /// Execute one command line; returns the text to print.
@@ -99,7 +102,10 @@ impl ScriptHost {
                 apply_action(
                     &mut self.session,
                     &mut self.toggles,
-                    &UserAction::ClickHeader { column: rest.to_string(), level: None },
+                    &UserAction::ClickHeader {
+                        column: rest.to_string(),
+                        level: None,
+                    },
                 )?;
                 self.after_change("sorted")
             }
@@ -188,21 +194,15 @@ impl ScriptHost {
                 self.after_change("difference applied")
             }
             "join" => {
-                let (name, cond) = rest.split_once(" on ").ok_or_else(|| {
-                    bad_args("join <stored> on <condition>")
-                })?;
+                let (name, cond) = rest
+                    .split_once(" on ")
+                    .ok_or_else(|| bad_args("join <stored> on <condition>"))?;
                 let cond = parse_expr(cond.trim())?;
                 self.session.join(name.trim(), cond)?;
                 self.after_change("join applied")
             }
             "history" => Ok(self.session.engine()?.history().join("\n")),
-            "state" => Ok(self
-                .session
-                .engine()?
-                .sheet()
-                .state()
-                .describe()
-                .join("\n")),
+            "state" => Ok(self.session.engine()?.sheet().state().describe().join("\n")),
             "undo" => {
                 let steps = rest.parse().unwrap_or(1);
                 let ops = self.session.engine()?.undo_steps(steps)?;
@@ -222,9 +222,9 @@ impl ScriptHost {
                     .join("\n"))
             }
             "modify" => {
-                let (id, expr_text) = rest.split_once(char::is_whitespace).ok_or_else(|| {
-                    bad_args("modify <selection-id> <new predicate>")
-                })?;
+                let (id, expr_text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| bad_args("modify <selection-id> <new predicate>"))?;
                 let id: u64 = id.parse().map_err(|_| bad_args("numeric selection id"))?;
                 let pred = parse_expr(expr_text)?;
                 self.session.engine()?.replace_selection(id, pred)?;
@@ -250,7 +250,9 @@ impl ScriptHost {
                 let engine = self.session.engine_ref()?;
                 let entries = context_menu(
                     engine.sheet(),
-                    &ClickTarget::Cell { column: rest.to_string() },
+                    &ClickTarget::Cell {
+                        column: rest.to_string(),
+                    },
                     stored,
                 )?;
                 Ok(entries
@@ -289,7 +291,9 @@ fn column_and_direction(rest: &str) -> Result<(String, Direction)> {
 }
 
 fn bad_args(usage: &str) -> SheetError {
-    SheetError::Persist { message: format!("usage: {usage}") }
+    SheetError::Persist {
+        message: format!("usage: {usage}"),
+    }
 }
 
 /// Help text for the REPL.
@@ -375,16 +379,15 @@ mod tests {
     fn join_command() {
         let mut h = host();
         h.run_script("load dealers\nsave d\nload cars").unwrap();
-        let out = h
-            .execute("join d on Model = \"dealers.Model\"")
-            .unwrap();
+        let out = h.execute("join d on Model = \"dealers.Model\"").unwrap();
         assert!(out.contains("12 rows"));
     }
 
     #[test]
     fn undo_redo_and_history() {
         let mut h = host();
-        h.run_script("load cars\nselect Year = 2005\ndedup").unwrap();
+        h.run_script("load cars\nselect Year = 2005\ndedup")
+            .unwrap();
         let hist = h.execute("history").unwrap();
         assert!(hist.contains("1. Select"));
         assert!(hist.contains("2. Remove duplicates"));
@@ -443,10 +446,8 @@ mod tests {
     #[test]
     fn dropcol_cascades_through_script() {
         let mut h = host();
-        h.run_script(
-            "load cars\ngroup Model\nagg avg Price 2\nselect Price < Avg_Price",
-        )
-        .unwrap();
+        h.run_script("load cars\ngroup Model\nagg avg Price 2\nselect Price < Avg_Price")
+            .unwrap();
         let plan = h.execute("plan Avg_Price").unwrap();
         assert!(plan.contains("selection"));
         assert!(plan.contains("column Avg_Price"));
@@ -465,7 +466,7 @@ mod tests {
             .execute("sql SELECT Model, AVG(Price) FROM cars GROUP BY Model ORDER BY Model")
             .unwrap();
         assert!(out.contains("9 rows")); // all tuples, aggregates repeated
-        // the translation left real, modifiable query state behind:
+                                         // the translation left real, modifiable query state behind:
         let state = h.execute("state").unwrap();
         assert!(state.contains("Avg_Price"), "{state}");
         // the grouping arrived too, so further direct manipulation works

@@ -20,7 +20,11 @@ pub struct Session {
 
 impl Session {
     pub fn new(catalog: Catalog) -> Session {
-        Session { catalog, current: None, stored: BTreeMap::new() }
+        Session {
+            catalog,
+            current: None,
+            stored: BTreeMap::new(),
+        }
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -46,12 +50,16 @@ impl Session {
 
     /// The current engine, or an error the UI shows as "no sheet open".
     pub fn engine(&mut self) -> Result<&mut Engine> {
-        self.current.as_mut().ok_or(SheetError::UnknownSheet { name: "<current>".into() })
+        self.current.as_mut().ok_or(SheetError::UnknownSheet {
+            name: "<current>".into(),
+        })
     }
 
     /// Read-only view of the current engine.
     pub fn engine_ref(&self) -> Result<&Engine> {
-        self.current.as_ref().ok_or(SheetError::UnknownSheet { name: "<current>".into() })
+        self.current.as_ref().ok_or(SheetError::UnknownSheet {
+            name: "<current>".into(),
+        })
     }
 
     pub fn has_current(&self) -> bool {
@@ -70,7 +78,9 @@ impl Session {
         let stored = self
             .stored
             .get(name)
-            .ok_or_else(|| SheetError::UnknownSheet { name: name.to_string() })?;
+            .ok_or_else(|| SheetError::UnknownSheet {
+                name: name.to_string(),
+            })?;
         self.current = Some(Engine::from_sheet(Spreadsheet::open(stored)));
         Ok(())
     }
@@ -95,7 +105,9 @@ impl Session {
     pub fn stored(&self, name: &str) -> Result<&StoredSheet> {
         self.stored
             .get(name)
-            .ok_or_else(|| SheetError::UnknownSheet { name: name.to_string() })
+            .ok_or_else(|| SheetError::UnknownSheet {
+                name: name.to_string(),
+            })
     }
 
     /// Remove a stored sheet.
@@ -103,7 +115,9 @@ impl Session {
         self.stored
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| SheetError::UnknownSheet { name: name.to_string() })
+            .ok_or_else(|| SheetError::UnknownSheet {
+                name: name.to_string(),
+            })
     }
 
     // Binary operators take the stored sheet by name.

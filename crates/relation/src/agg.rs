@@ -9,11 +9,10 @@
 
 use crate::error::{RelationError, Result};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The supported aggregate functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     /// Number of tuples (NULLs included — COUNT(*) semantics).
     Count,
@@ -65,13 +64,22 @@ impl AggFunc {
 
     /// Apply the aggregate to the values of one group.
     pub fn apply(self, values: &[Value]) -> Result<Value> {
+        let refs: Vec<&Value> = values.iter().collect();
+        self.apply_refs(&refs)
+    }
+
+    /// Like [`Self::apply`], over borrowed values — the index-vector
+    /// engine aggregates straight out of column buffers without cloning
+    /// the group's inputs.
+    pub fn apply_refs(self, values: &[&Value]) -> Result<Value> {
         match self {
             AggFunc::Count => Ok(Value::Int(values.len() as i64)),
-            AggFunc::CountNonNull => {
-                Ok(Value::Int(values.iter().filter(|v| !v.is_null()).count() as i64))
-            }
+            AggFunc::CountNonNull => Ok(Value::Int(
+                values.iter().filter(|v| !v.is_null()).count() as i64
+            )),
             AggFunc::CountDistinct => {
-                let mut seen: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+                let mut seen: Vec<&Value> =
+                    values.iter().copied().filter(|v| !v.is_null()).collect();
                 seen.sort();
                 seen.dedup();
                 Ok(Value::Int(seen.len() as i64))
@@ -85,11 +93,11 @@ impl AggFunc {
                 if values
                     .iter()
                     .filter(|v| !v.is_null())
-                    .all(|v| matches!(v, Value::Int(_)))
+                    .all(|v| matches!(**v, Value::Int(_)))
                 {
                     let mut acc: i64 = 0;
                     for v in values.iter().filter(|v| !v.is_null()) {
-                        if let Value::Int(i) = v {
+                        if let Value::Int(i) = *v {
                             acc = acc.checked_add(*i).ok_or(RelationError::BadAggregate {
                                 context: "integer overflow in SUM".into(),
                             })?;
@@ -110,12 +118,14 @@ impl AggFunc {
             }
             AggFunc::Min => Ok(values
                 .iter()
+                .copied()
                 .filter(|v| !v.is_null())
                 .min()
                 .cloned()
                 .unwrap_or(Value::Null)),
             AggFunc::Max => Ok(values
                 .iter()
+                .copied()
                 .filter(|v| !v.is_null())
                 .max()
                 .cloned()
@@ -134,9 +144,10 @@ impl AggFunc {
     }
 }
 
-fn numeric(values: &[Value], func: &str) -> Result<Vec<f64>> {
+fn numeric(values: &[&Value], func: &str) -> Result<Vec<f64>> {
     values
         .iter()
+        .copied()
         .filter(|v| !v.is_null())
         .map(|v| {
             v.as_f64().ok_or_else(|| RelationError::BadAggregate {
@@ -191,7 +202,10 @@ mod tests {
 
     #[test]
     fn sum_preserves_int_typing() {
-        assert_eq!(AggFunc::Sum.apply(&ints(&[1, 2, 3])).unwrap(), Value::Int(6));
+        assert_eq!(
+            AggFunc::Sum.apply(&ints(&[1, 2, 3])).unwrap(),
+            Value::Int(6)
+        );
         let mixed = vec![Value::Int(1), Value::Float(0.5)];
         assert_eq!(AggFunc::Sum.apply(&mixed).unwrap(), Value::Float(1.5));
     }
@@ -199,10 +213,10 @@ mod tests {
     #[test]
     fn avg_matches_paper_table_iii() {
         // Jetta 2005: 14500, 15000, 16000 → 15166.67 (paper rounds to 15,167)
-        let avg = AggFunc::Avg
-            .apply(&ints(&[14500, 15000, 16000]))
-            .unwrap();
-        let Value::Float(f) = avg else { panic!("avg must be float") };
+        let avg = AggFunc::Avg.apply(&ints(&[14500, 15000, 16000])).unwrap();
+        let Value::Float(f) = avg else {
+            panic!("avg must be float")
+        };
         assert!((f - 15166.666666).abs() < 1e-3);
         assert_eq!(f.round() as i64, 15167);
     }
@@ -232,7 +246,9 @@ mod tests {
 
     #[test]
     fn stddev_population() {
-        let v = AggFunc::StdDev.apply(&ints(&[2, 4, 4, 4, 5, 5, 7, 9])).unwrap();
+        let v = AggFunc::StdDev
+            .apply(&ints(&[2, 4, 4, 4, 5, 5, 7, 9]))
+            .unwrap();
         let Value::Float(f) = v else { panic!() };
         assert!((f - 2.0).abs() < 1e-12);
     }
@@ -257,7 +273,10 @@ mod tests {
     fn parse_names() {
         assert_eq!(parse_agg_func("avg").unwrap(), AggFunc::Avg);
         assert_eq!(parse_agg_func("COUNT").unwrap(), AggFunc::Count);
-        assert_eq!(parse_agg_func("count_distinct").unwrap(), AggFunc::CountDistinct);
+        assert_eq!(
+            parse_agg_func("count_distinct").unwrap(),
+            AggFunc::CountDistinct
+        );
         assert!(parse_agg_func("median").is_err());
     }
 

@@ -51,7 +51,9 @@ impl Catalog {
     pub fn get(&self, name: &str) -> Result<&Relation> {
         self.relations
             .get(name)
-            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })
+            .ok_or_else(|| RelationError::UnknownRelation {
+                name: name.to_string(),
+            })
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -61,7 +63,9 @@ impl Catalog {
     pub fn remove(&mut self, name: &str) -> Result<Relation> {
         self.relations
             .remove(name)
-            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })
+            .ok_or_else(|| RelationError::UnknownRelation {
+                name: name.to_string(),
+            })
     }
 
     /// Append tuples to an existing relation (simulates live updates).
@@ -69,7 +73,9 @@ impl Catalog {
         let rel = self
             .relations
             .get_mut(name)
-            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })?;
+            .ok_or_else(|| RelationError::UnknownRelation {
+                name: name.to_string(),
+            })?;
         for t in rows {
             rel.insert(t)?;
         }
@@ -97,12 +103,7 @@ mod tests {
     use crate::value::ValueType::*;
 
     fn rel(name: &str) -> Relation {
-        Relation::with_rows(
-            name,
-            Schema::of(&[("x", Int)]),
-            vec![tuple![1], tuple![2]],
-        )
-        .unwrap()
+        Relation::with_rows(name, Schema::of(&[("x", Int)]), vec![tuple![1], tuple![2]]).unwrap()
     }
 
     #[test]

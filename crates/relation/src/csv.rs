@@ -60,7 +60,10 @@ fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
 /// Parse CSV text (first row = header) into a relation with inferred
 /// column types.
 pub fn parse_csv(name: &str, text: &str) -> Result<Relation> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (hno, header) = lines.next().ok_or(RelationError::Csv {
         line: 0,
         message: "empty input".into(),
@@ -72,11 +75,7 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Relation> {
         if fields.len() != names.len() {
             return Err(RelationError::Csv {
                 line: lno + 1,
-                message: format!(
-                    "expected {} fields, found {}",
-                    names.len(),
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", names.len(), fields.len()),
             });
         }
         raw_rows.push(fields.iter().map(|f| Value::infer_parse(f)).collect());
@@ -120,12 +119,7 @@ pub fn to_csv(rel: &Relation) -> String {
         }
     }
     let mut out = String::new();
-    let names: Vec<String> = rel
-        .schema()
-        .names()
-        .iter()
-        .map(|n| escape(n))
-        .collect();
+    let names: Vec<String> = rel.schema().names().iter().map(|n| escape(n)).collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for t in rel.rows() {

@@ -37,7 +37,10 @@ impl fmt::Display for RelationError {
             RelationError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
             RelationError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
             RelationError::NotUnionCompatible { left, right } => {
-                write!(f, "relations are not union-compatible: `{left}` vs `{right}`")
+                write!(
+                    f,
+                    "relations are not union-compatible: `{left}` vs `{right}`"
+                )
             }
             RelationError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
             RelationError::DivisionByZero => write!(f, "division by zero"),
@@ -45,7 +48,9 @@ impl fmt::Display for RelationError {
             RelationError::ParseValue { text, wanted } => {
                 write!(f, "cannot parse `{text}` as {wanted}")
             }
-            RelationError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            RelationError::Csv { line, message } => {
+                write!(f, "CSV error at line {line}: {message}")
+            }
             RelationError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
             RelationError::DuplicateRelation { name } => {
                 write!(f, "relation `{name}` already exists")
@@ -65,11 +70,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = RelationError::UnknownColumn { name: "Price".into() };
+        let e = RelationError::UnknownColumn {
+            name: "Price".into(),
+        };
         assert_eq!(e.to_string(), "unknown column `Price`");
-        let e = RelationError::Csv { line: 3, message: "ragged row".into() };
+        let e = RelationError::Csv {
+            line: 3,
+            message: "ragged row".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = RelationError::ParseValue { text: "abc".into(), wanted: "integer" };
+        let e = RelationError::ParseValue {
+            text: "abc".into(),
+            wanted: "integer",
+        };
         assert!(e.to_string().contains("abc"));
     }
 

@@ -11,13 +11,12 @@ use crate::error::{RelationError, Result};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Binary arithmetic operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArithOp {
     Add,
     Sub,
@@ -39,7 +38,7 @@ impl ArithOp {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -87,7 +86,7 @@ impl CmpOp {
 }
 
 /// A scalar expression over one row.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// A column reference by name.
     Col(String),
@@ -374,7 +373,8 @@ impl Expr {
 }
 
 /// SQL LIKE matching with `%` (any run) and `_` (any single char).
-fn like_match(pattern: &str, text: &str) -> bool {
+/// Crate-visible so the compiled evaluation path shares one definition.
+pub(crate) fn like_match(pattern: &str, text: &str) -> bool {
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
     // Dynamic programming over pattern × text.
@@ -436,7 +436,10 @@ mod tests {
     fn column_and_literal() {
         let s = schema();
         let t = row();
-        assert_eq!(Expr::col("Model").eval(&s, &t).unwrap(), Value::str("Jetta"));
+        assert_eq!(
+            Expr::col("Model").eval(&s, &t).unwrap(),
+            Value::str("Jetta")
+        );
         assert_eq!(Expr::lit(5).eval(&s, &t).unwrap(), Value::Int(5));
         assert!(Expr::col("Ghost").eval(&s, &t).is_err());
     }
@@ -457,7 +460,11 @@ mod tests {
         let late = Expr::col("Year").ge(Expr::lit(2005));
         let cheap = Expr::col("Price").lt(Expr::lit(15000));
         assert!(late.clone().and(cheap.clone()).matches(&s, &t).unwrap());
-        assert!(!late.clone().and(cheap.clone().not()).matches(&s, &t).unwrap());
+        assert!(!late
+            .clone()
+            .and(cheap.clone().not())
+            .matches(&s, &t)
+            .unwrap());
         assert!(late.or(cheap).matches(&s, &t).unwrap());
     }
 
@@ -530,7 +537,10 @@ mod tests {
     fn map_columns_rewrites() {
         let e = Expr::col("a").add(Expr::col("b"));
         let m = e.map_columns(&|c| format!("t.{c}"));
-        assert_eq!(m.columns().into_iter().collect::<Vec<_>>(), vec!["t.a".to_string(), "t.b".into()]);
+        assert_eq!(
+            m.columns().into_iter().collect::<Vec<_>>(),
+            vec!["t.a".to_string(), "t.b".into()]
+        );
     }
 
     #[test]
@@ -548,9 +558,9 @@ mod tests {
 
     #[test]
     fn display_is_sql_like() {
-        let e = Expr::col("Price").lt(Expr::lit(15000)).and(
-            Expr::col("Model").eq(Expr::lit("Jetta")),
-        );
+        let e = Expr::col("Price")
+            .lt(Expr::lit(15000))
+            .and(Expr::col("Model").eq(Expr::lit("Jetta")));
         assert_eq!(e.to_string(), "(Price < 15000 AND Model = 'Jetta')");
     }
 
@@ -572,11 +582,7 @@ mod tests {
     fn if_else_null_condition_takes_else() {
         let s = Schema::of(&[("x", Int)]);
         let t = Tuple::new(vec![Value::Null]);
-        let e = Expr::if_else(
-            Expr::col("x").gt(Expr::lit(3)),
-            Expr::lit(1),
-            Expr::lit(0),
-        );
+        let e = Expr::if_else(Expr::col("x").gt(Expr::lit(3)), Expr::lit(1), Expr::lit(0));
         assert_eq!(e.eval(&s, &t).unwrap(), Value::Int(0));
     }
 

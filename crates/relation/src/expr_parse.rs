@@ -537,14 +537,8 @@ mod tests {
     fn parses_comparisons_and_logic() {
         assert_eq!(eval("Price < 15000"), Value::Bool(true));
         assert_eq!(eval("Price >= 15000"), Value::Bool(false));
-        assert_eq!(
-            eval("Price < 15000 AND Model = 'Jetta'"),
-            Value::Bool(true)
-        );
-        assert_eq!(
-            eval("Price > 15000 OR Year = 2005"),
-            Value::Bool(true)
-        );
+        assert_eq!(eval("Price < 15000 AND Model = 'Jetta'"), Value::Bool(true));
+        assert_eq!(eval("Price > 15000 OR Year = 2005"), Value::Bool(true));
         assert_eq!(eval("NOT Price > 15000"), Value::Bool(true));
         assert_eq!(eval("Price <> 14500"), Value::Bool(false));
         assert_eq!(eval("Price != 14500"), Value::Bool(false));
@@ -598,7 +592,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(eval("Price < 15000 and not Model like 'C%'"), Value::Bool(true));
+        assert_eq!(
+            eval("Price < 15000 and not Model like 'C%'"),
+            Value::Bool(true)
+        );
         assert_eq!(eval("null IS NULL"), Value::Bool(true));
         assert_eq!(eval("true OR false"), Value::Bool(true));
     }

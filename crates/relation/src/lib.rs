@@ -21,21 +21,24 @@
 
 pub mod agg;
 pub mod catalog;
+pub mod compiled;
 pub mod csv;
 pub mod error;
 pub mod expr;
 pub mod expr_parse;
 pub mod ops;
 pub mod relation;
+pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use agg::AggFunc;
 pub use catalog::Catalog;
+pub use compiled::{CompiledExpr, RowAccess};
 pub use error::{RelationError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
-pub use relation::Relation;
+pub use relation::{ColumnSlice, Relation};
 pub use schema::{Column, Schema};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};

@@ -56,7 +56,9 @@ pub fn project_out(rel: &Relation, column: &str) -> Result<Relation> {
         .filter(|n| *n != column)
         .collect();
     if keep.len() == rel.schema().len() {
-        return Err(RelationError::UnknownColumn { name: column.to_string() });
+        return Err(RelationError::UnknownColumn {
+            name: column.to_string(),
+        });
     }
     project(rel, &keep)
 }
@@ -65,10 +67,7 @@ pub fn project_out(rel: &Relation, column: &str) -> Result<Relation> {
 /// right relation's name (Def. 7's `C^j ∪ C^k_s`).
 pub fn product(left: &Relation, right: &Relation) -> Result<Relation> {
     let schema = left.schema().product(right.schema(), right.name());
-    let mut out = Relation::new(
-        format!("{}_x_{}", left.name(), right.name()),
-        schema,
-    );
+    let mut out = Relation::new(format!("{}_x_{}", left.name(), right.name()), schema);
     for l in left.rows() {
         for r in right.rows() {
             out.insert(l.concat(r))?;
@@ -82,10 +81,7 @@ pub fn product(left: &Relation, right: &Relation) -> Result<Relation> {
 /// `select(product(l, r), F)` but avoids materializing non-matches.
 pub fn join(left: &Relation, right: &Relation, condition: &Expr) -> Result<Relation> {
     let schema = left.schema().product(right.schema(), right.name());
-    let mut out = Relation::new(
-        format!("{}_join_{}", left.name(), right.name()),
-        schema,
-    );
+    let mut out = Relation::new(format!("{}_join_{}", left.name(), right.name()), schema);
     for l in left.rows() {
         for r in right.rows() {
             let combined = l.concat(r);
@@ -151,11 +147,17 @@ pub struct SortKey {
 
 impl SortKey {
     pub fn asc(column: impl Into<String>) -> SortKey {
-        SortKey { column: column.into(), ascending: true }
+        SortKey {
+            column: column.into(),
+            ascending: true,
+        }
     }
 
     pub fn desc(column: impl Into<String>) -> SortKey {
-        SortKey { column: column.into(), ascending: false }
+        SortKey {
+            column: column.into(),
+            ascending: false,
+        }
     }
 }
 
@@ -206,11 +208,7 @@ impl AggSpec {
 /// algebra instead materializes aggregates as repeated computed columns
 /// (Def. 11) — the contrast is the heart of the paper's aggregation
 /// challenge.
-pub fn group_aggregate(
-    rel: &Relation,
-    group_by: &[&str],
-    aggs: &[AggSpec],
-) -> Result<Relation> {
+pub fn group_aggregate(rel: &Relation, group_by: &[&str], aggs: &[AggSpec]) -> Result<Relation> {
     let group_idx: Vec<usize> = group_by
         .iter()
         .map(|c| rel.schema().index_of(c))
@@ -260,7 +258,10 @@ pub fn group_aggregate(
         let mut values = key.clone().into_values();
         for (spec, idx) in aggs.iter().zip(&agg_idx) {
             let inputs: Vec<Value> = match idx {
-                Some(i) => members.iter().map(|&ri| rel.rows()[ri].get(*i).clone()).collect(),
+                Some(i) => members
+                    .iter()
+                    .map(|&ri| rel.rows()[ri].get(*i).clone())
+                    .collect(),
                 // COUNT(*): one unit value per tuple
                 None => members.iter().map(|_| Value::Int(1)).collect(),
             };
@@ -313,12 +314,7 @@ mod tests {
     use crate::value::ValueType::*;
 
     fn cars() -> Relation {
-        let schema = Schema::of(&[
-            ("ID", Int),
-            ("Model", Str),
-            ("Price", Int),
-            ("Year", Int),
-        ]);
+        let schema = Schema::of(&[("ID", Int), ("Model", Str), ("Price", Int), ("Year", Int)]);
         Relation::with_rows(
             "cars",
             schema,
@@ -449,11 +445,7 @@ mod tests {
 
     #[test]
     fn sort_is_stable_multi_key() {
-        let r = sort(
-            &cars(),
-            &[SortKey::asc("Model"), SortKey::desc("Price")],
-        )
-        .unwrap();
+        let r = sort(&cars(), &[SortKey::asc("Model"), SortKey::desc("Price")]).unwrap();
         let ids: Vec<&Value> = r.rows().iter().map(|t| t.get(0)).collect();
         assert_eq!(
             ids,

@@ -9,12 +9,11 @@ use crate::error::{RelationError, Result};
 use crate::schema::{Column, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A named multiset of tuples with a fixed schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     name: String,
     schema: Schema,
@@ -24,7 +23,11 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation.
     pub fn new(name: impl Into<String>, schema: Schema) -> Relation {
-        Relation { name: name.into(), schema, rows: Vec::new() }
+        Relation {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Create a relation from rows, validating widths.
@@ -98,6 +101,32 @@ impl Relation {
     pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
         let idx = self.schema.index_of(column)?;
         Ok(self.rows.iter().map(|t| t.get(idx).clone()).collect())
+    }
+
+    /// Borrowed columnar view of one column: `O(1)` access to `&Value`s
+    /// without cloning. The index-vector evaluation engine reads base data
+    /// through these instead of materializing intermediate relations.
+    pub fn column_slice(&self, column: &str) -> Result<ColumnSlice<'_>> {
+        let idx = self.schema.index_of(column)?;
+        Ok(ColumnSlice {
+            rows: &self.rows,
+            idx,
+        })
+    }
+
+    /// Gather the rows at `indices` (in that order) into a new relation
+    /// with the same name and schema. This is the single materialization
+    /// point of the index-vector engine: evaluation carries `Vec<u32>` row
+    /// ids and only clones tuples here, once, at the end.
+    pub fn take_rows(&self, indices: &[u32]) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: indices
+                .iter()
+                .map(|&i| self.rows[i as usize].clone())
+                .collect(),
+        }
     }
 
     /// Add a column filled by `fill(row_index, tuple)`.
@@ -175,6 +204,33 @@ impl Relation {
     }
 }
 
+/// A borrowed view of one column of a row-store relation. Cheap to copy;
+/// lives as long as the relation it was taken from.
+#[derive(Clone, Copy)]
+pub struct ColumnSlice<'a> {
+    rows: &'a [Tuple],
+    idx: usize,
+}
+
+impl<'a> ColumnSlice<'a> {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at `row` — borrowed, never cloned.
+    pub fn get(&self, row: usize) -> &'a Value {
+        self.rows[row].get(self.idx)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &'a Value> + '_ {
+        self.rows.iter().map(move |t| t.get(self.idx))
+    }
+}
+
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.len())
@@ -234,6 +290,28 @@ mod tests {
         r.drop_column("Discounted").unwrap();
         assert!(!r.schema().contains("Discounted"));
         assert_eq!(r.rows()[0].len(), 3);
+    }
+
+    #[test]
+    fn take_rows_gathers_in_index_order() {
+        let r = cars();
+        let picked = r.take_rows(&[2, 0]);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked.value_at(0, "ID").unwrap(), &Value::Int(132));
+        assert_eq!(picked.value_at(1, "ID").unwrap(), &Value::Int(304));
+        assert_eq!(picked.schema(), r.schema());
+        assert!(r.take_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn column_slice_borrows_values() {
+        let r = cars();
+        let prices = r.column_slice("Price").unwrap();
+        assert_eq!(prices.len(), 3);
+        assert_eq!(prices.get(1), &Value::Int(15000));
+        let all: Vec<&Value> = prices.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert!(r.column_slice("Ghost").is_err());
     }
 
     #[test]

@@ -2,14 +2,13 @@
 
 use crate::error::{RelationError, Result};
 use crate::value::ValueType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single column: a name and a declared type.
 ///
 /// Column names are case-sensitive, matching the paper's examples
 /// (`Avg_Price` vs `Price`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     pub name: String,
     pub ty: ValueType,
@@ -17,7 +16,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: ValueType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -29,7 +31,7 @@ impl fmt::Display for Column {
 
 /// An ordered set of columns. Column order matters for display (it is the
 /// left-to-right order of the spreadsheet) but not for union compatibility.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -39,7 +41,9 @@ impl Schema {
     pub fn new(columns: Vec<Column>) -> Result<Schema> {
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|d| d.name == c.name) {
-                return Err(RelationError::DuplicateColumn { name: c.name.clone() });
+                return Err(RelationError::DuplicateColumn {
+                    name: c.name.clone(),
+                });
             }
         }
         Ok(Schema { columns })
@@ -47,7 +51,9 @@ impl Schema {
 
     /// Empty schema (zero columns).
     pub fn empty() -> Schema {
-        Schema { columns: Vec::new() }
+        Schema {
+            columns: Vec::new(),
+        }
     }
 
     /// Convenience constructor from `(name, type)` pairs; panics on
@@ -74,7 +80,9 @@ impl Schema {
         self.columns
             .iter()
             .position(|c| c.name == name)
-            .ok_or_else(|| RelationError::UnknownColumn { name: name.to_string() })
+            .ok_or_else(|| RelationError::UnknownColumn {
+                name: name.to_string(),
+            })
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -110,7 +118,9 @@ impl Schema {
     /// Rename a column, rejecting clashes with existing names.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
         if from != to && self.contains(to) {
-            return Err(RelationError::DuplicateColumn { name: to.to_string() });
+            return Err(RelationError::DuplicateColumn {
+                name: to.to_string(),
+            });
         }
         let idx = self.index_of(from)?;
         self.columns[idx].name = to.to_string();
@@ -174,12 +184,7 @@ mod tests {
     use ValueType::*;
 
     fn cars() -> Schema {
-        Schema::of(&[
-            ("ID", Int),
-            ("Model", Str),
-            ("Price", Int),
-            ("Year", Int),
-        ])
+        Schema::of(&[("ID", Int), ("Model", Str), ("Price", Int), ("Year", Int)])
     }
 
     #[test]

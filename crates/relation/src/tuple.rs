@@ -1,12 +1,11 @@
 //! Tuples: fixed-width rows of [`Value`]s.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A row of values. The width must always equal the owning relation's
 /// schema width; [`crate::relation::Relation`] enforces this on insert.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple {
     values: Vec<Value>,
 }

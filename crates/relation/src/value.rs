@@ -6,12 +6,11 @@
 //! and ordering, Def. 1) and SQL-style arithmetic where NULL propagates.
 
 use crate::error::{RelationError, Result};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The dynamic type of a [`Value`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// The type of `Value::Null` when no better type is known.
     Null,
@@ -63,7 +62,7 @@ impl fmt::Display for ValueType {
 /// (false < true), then numbers (integers and floats compared numerically,
 /// with ties broken in favour of the integer so ordering is antisymmetric),
 /// then strings (lexicographic).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
@@ -128,7 +127,9 @@ impl Value {
             if let Ok(i) = candidate.parse::<i64>() {
                 // Only treat as numeric if the decorations were plausible
                 // (i.e. the original was not arbitrary text with a comma).
-                if t.chars().all(|c| c.is_ascii_digit() || "+-$,. ".contains(c)) {
+                if t.chars()
+                    .all(|c| c.is_ascii_digit() || "+-$,. ".contains(c))
+                {
                     return Value::Int(i);
                 }
             }
@@ -145,11 +146,12 @@ impl Value {
 
     /// SQL-style addition with NULL propagation; strings concatenate.
     pub fn add(&self, other: &Value) -> Result<Value> {
-        binary_numeric(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b)
-            .or_else(|e| match (self, other) {
-                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
-                _ => Err(e),
-            })
+        binary_numeric(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b).or_else(|e| match (
+            self, other,
+        ) {
+            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+            _ => Err(e),
+        })
     }
 
     /// SQL-style subtraction with NULL propagation.
@@ -169,8 +171,11 @@ impl Value {
             return Ok(Value::Null);
         }
         let (a, b) = (
-            self.as_f64().ok_or_else(|| type_mismatch("/", self, other))?,
-            other.as_f64().ok_or_else(|| type_mismatch("/", self, other))?,
+            self.as_f64()
+                .ok_or_else(|| type_mismatch("/", self, other))?,
+            other
+                .as_f64()
+                .ok_or_else(|| type_mismatch("/", self, other))?,
         );
         if b == 0.0 {
             return Err(RelationError::DivisionByZero);
@@ -234,11 +239,13 @@ fn binary_numeric(
         return Ok(Value::Null);
     }
     match (a, b) {
-        (Value::Int(x), Value::Int(y)) => int_op(*x, *y)
-            .map(Value::Int)
-            .ok_or_else(|| RelationError::TypeMismatch {
-                context: format!("integer overflow in `{x}` {op} `{y}`"),
-            }),
+        (Value::Int(x), Value::Int(y)) => {
+            int_op(*x, *y)
+                .map(Value::Int)
+                .ok_or_else(|| RelationError::TypeMismatch {
+                    context: format!("integer overflow in `{x}` {op} `{y}`"),
+                })
+        }
         _ => {
             let (x, y) = (
                 a.as_f64().ok_or_else(|| type_mismatch(op, a, b))?,
@@ -425,7 +432,10 @@ mod tests {
             Value::Int(2).add(&Value::Float(0.5)).unwrap(),
             Value::Float(2.5)
         );
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
         assert_eq!(Value::Int(7).rem(&Value::Int(4)).unwrap(), Value::Int(3));
     }
 

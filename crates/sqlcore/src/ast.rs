@@ -33,7 +33,11 @@ impl AggCall {
             Some(c) => format!("{}_{}", func.short_name(), c),
             None => func.short_name().to_string(),
         };
-        AggCall { func, column: column.map(|c| c.to_string()), output }
+        AggCall {
+            func,
+            column: column.map(|c| c.to_string()),
+            output,
+        }
     }
 }
 
@@ -215,7 +219,10 @@ mod tests {
 
     #[test]
     fn agg_call_canonical_names() {
-        assert_eq!(AggCall::new(AggFunc::Avg, Some("price")).output, "Avg_price");
+        assert_eq!(
+            AggCall::new(AggFunc::Avg, Some("price")).output,
+            "Avg_price"
+        );
         assert_eq!(AggCall::new(AggFunc::Count, None).output, "Count");
     }
 

@@ -76,7 +76,7 @@ mod tests {
     use super::*;
     use crate::parser::parse_select;
     use spreadsheet_algebra::fixtures::{dealers, used_cars};
-    use ssa_relation::{Value};
+    use ssa_relation::Value;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -110,9 +110,7 @@ mod tests {
 
     #[test]
     fn having_filters_groups() {
-        let r = run(
-            "SELECT Model, COUNT(*) FROM cars GROUP BY Model HAVING COUNT(*) > 3",
-        );
+        let r = run("SELECT Model, COUNT(*) FROM cars GROUP BY Model HAVING COUNT(*) > 3");
         assert_eq!(r.len(), 1);
         assert_eq!(r.rows()[0].get(0), &Value::str("Jetta"));
         assert_eq!(r.rows()[0].get(1), &Value::Int(6));
@@ -120,18 +118,15 @@ mod tests {
 
     #[test]
     fn order_by_descending_aggregate() {
-        let r = run(
-            "SELECT Model, MAX(Price) FROM cars GROUP BY Model ORDER BY MAX(Price) DESC",
-        );
+        let r = run("SELECT Model, MAX(Price) FROM cars GROUP BY Model ORDER BY MAX(Price) DESC");
         assert_eq!(r.rows()[0].get(0), &Value::str("Jetta"));
         assert_eq!(r.rows()[1].get(0), &Value::str("Civic"));
     }
 
     #[test]
     fn multi_relation_product_with_join_predicate_in_where() {
-        let r = run(
-            "SELECT City FROM cars, dealers WHERE Model = \"dealers.Model\" AND Year = 2006",
-        );
+        let r =
+            run("SELECT City FROM cars, dealers WHERE Model = \"dealers.Model\" AND Year = 2006");
         // 2006 cars: 3 Jettas (1 dealer) + 2 Civics (2 dealers) = 7
         assert_eq!(r.len(), 7);
     }
@@ -158,10 +153,6 @@ mod tests {
 
     #[test]
     fn unknown_relation_errors() {
-        assert!(eval_select(
-            &parse_select("SELECT x FROM ghost").unwrap(),
-            &catalog()
-        )
-        .is_err());
+        assert!(eval_select(&parse_select("SELECT x FROM ghost").unwrap(), &catalog()).is_err());
     }
 }

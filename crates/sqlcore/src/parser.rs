@@ -95,14 +95,25 @@ pub fn parse_select(input: &str) -> Result<SelectStmt> {
             wanted: "end of statement",
         });
     }
-    let stmt =
-        SelectStmt { distinct, items, from, where_clause, group_by, having, aggregates, order_by };
+    let stmt = SelectStmt {
+        distinct,
+        items,
+        from,
+        where_clause,
+        group_by,
+        having,
+        aggregates,
+        order_by,
+    };
     stmt.validate()?;
     Ok(stmt)
 }
 
 fn err_expected(what: &'static str) -> RelationError {
-    RelationError::ParseValue { text: String::new(), wanted: what }
+    RelationError::ParseValue {
+        text: String::new(),
+        wanted: what,
+    }
 }
 
 fn record_agg(aggregates: &mut Vec<AggCall>, agg: &AggCall) {
@@ -221,10 +232,7 @@ mod tests {
 
     #[test]
     fn explicit_asc_and_multiple_order_keys() {
-        let s = parse_select(
-            "SELECT a, b FROM t GROUP BY a, b ORDER BY a ASC, b DESC",
-        )
-        .unwrap();
+        let s = parse_select("SELECT a, b FROM t GROUP BY a, b ORDER BY a ASC, b DESC").unwrap();
         assert_eq!(
             s.order_by,
             vec![("a".into(), Direction::Asc), ("b".into(), Direction::Desc)]
@@ -245,10 +253,9 @@ mod tests {
 
     #[test]
     fn same_aggregate_mentioned_twice_recorded_once() {
-        let s = parse_select(
-            "SELECT model, AVG(price) FROM cars GROUP BY model HAVING AVG(price) > 1",
-        )
-        .unwrap();
+        let s =
+            parse_select("SELECT model, AVG(price) FROM cars GROUP BY model HAVING AVG(price) > 1")
+                .unwrap();
         assert_eq!(s.aggregates.len(), 1);
     }
 

@@ -248,9 +248,7 @@ mod tests {
 
     #[test]
     fn theorem1_multi_relation_join_in_where() {
-        check(
-            "SELECT City FROM cars, dealers WHERE Model = \"dealers.Model\" AND Year = 2006",
-        );
+        check("SELECT City FROM cars, dealers WHERE Model = \"dealers.Model\" AND Year = 2006");
     }
 
     #[test]
@@ -261,10 +259,9 @@ mod tests {
     #[test]
     fn translated_presentation_respects_grouping_direction() {
         // ORDER BY Model DESC flips the Model grouping level.
-        let stmt = parse_select(
-            "SELECT Model, AVG(Price) FROM cars GROUP BY Model ORDER BY Model DESC",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT Model, AVG(Price) FROM cars GROUP BY Model ORDER BY Model DESC")
+                .unwrap();
         let t = translate(&stmt, &catalog()).unwrap();
         let r = t.result().unwrap();
         assert_eq!(r.rows()[0].get(0), &Value::str("Jetta"));
@@ -276,15 +273,12 @@ mod tests {
         // MIN(Price) is used only in HAVING; the sheet cannot drop the
         // computed column (the selection depends on it) but the projected
         // result still matches SQL.
-        check(
-            "SELECT Model FROM cars GROUP BY Model HAVING MIN(Price) < 14000",
-        );
+        check("SELECT Model FROM cars GROUP BY Model HAVING MIN(Price) < 14000");
     }
 
     #[test]
     fn outputs_mapping_aligns_names() {
-        let stmt =
-            parse_select("SELECT Model, COUNT(*) FROM cars GROUP BY Model").unwrap();
+        let stmt = parse_select("SELECT Model, COUNT(*) FROM cars GROUP BY Model").unwrap();
         let t = translate(&stmt, &catalog()).unwrap();
         assert_eq!(t.outputs[0], ("Model".to_string(), "Model".into()));
         assert_eq!(t.outputs[1].0, "Count");

@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn midranks_with_ties_average() {
         // 10, 20, 20, 30 → ranks 1, 2.5, 2.5, 4
-        assert_eq!(midranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            midranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
         // all equal
         assert_eq!(midranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
     }

@@ -27,7 +27,12 @@ impl Table2x2 {
     /// From success counts out of fixed group sizes.
     pub fn from_successes(s1: u64, n1: u64, s2: u64, n2: u64) -> Table2x2 {
         assert!(s1 <= n1 && s2 <= n2, "successes cannot exceed group size");
-        Table2x2 { a: s1, b: n1 - s1, c: s2, d: n2 - s2 }
+        Table2x2 {
+            a: s1,
+            b: n1 - s1,
+            c: s2,
+            d: n2 - s2,
+        }
     }
 }
 
@@ -62,7 +67,12 @@ pub fn fisher_exact_two_sided(t: &Table2x2) -> f64 {
     let a_max = row1.min(col1);
     let mut p = 0.0;
     for a in a_min..=a_max {
-        let cand = Table2x2 { a, b: row1 - a, c: col1 - a, d: n + a - row1 - col1 };
+        let cand = Table2x2 {
+            a,
+            b: row1 - a,
+            c: col1 - a,
+            d: n + a - row1 - col1,
+        };
         let pa = table_probability(&cand);
         if pa <= p_obs * (1.0 + 1e-9) {
             p += pa;
@@ -80,7 +90,12 @@ pub fn fisher_exact_greater(t: &Table2x2) -> f64 {
     let a_max = row1.min(col1);
     let mut p = 0.0;
     for a in t.a..=a_max {
-        let cand = Table2x2 { a, b: row1 - a, c: col1 - a, d: n + a - row1 - col1 };
+        let cand = Table2x2 {
+            a,
+            b: row1 - a,
+            c: col1 - a,
+            d: n + a - row1 - col1,
+        };
         p += table_probability(&cand);
     }
     p.min(1.0)

@@ -45,10 +45,20 @@ pub fn mann_whitney(x: &[f64], y: &[f64]) -> MannWhitney {
     let (u1, u2) = u_statistics(x, y);
     if x.len() + y.len() <= EXACT_LIMIT {
         let p = exact_p(x, y, u1.min(u2));
-        MannWhitney { u1, u2, p_two_sided: p, exact: true }
+        MannWhitney {
+            u1,
+            u2,
+            p_two_sided: p,
+            exact: true,
+        }
     } else {
         let p = normal_p(x, y, u1);
-        MannWhitney { u1, u2, p_two_sided: p, exact: false }
+        MannWhitney {
+            u1,
+            u2,
+            p_two_sided: p,
+            exact: false,
+        }
     }
 }
 
@@ -207,7 +217,10 @@ mod tests {
         let y = [14.0, 17.0, 20.0, 23.0, 26.0, 29.0, 32.0, 35.0, 38.0, 41.0];
         let exact = mann_whitney(&x, &y).p_two_sided;
         let approx = normal_p(&x, &y, u_statistics(&x, &y).0);
-        assert!((exact - approx).abs() < 0.1, "exact {exact} vs approx {approx}");
+        assert!(
+            (exact - approx).abs() < 0.1,
+            "exact {exact} vs approx {approx}"
+        );
     }
 
     #[test]

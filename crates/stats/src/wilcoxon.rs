@@ -43,7 +43,12 @@ pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Wilcoxon {
     let n = diffs.len();
     if n == 0 {
         // All pairs tied: no evidence either way.
-        return Wilcoxon { w_plus: 0.0, n_used: 0, p_two_sided: 1.0, exact: true };
+        return Wilcoxon {
+            w_plus: 0.0,
+            n_used: 0,
+            p_two_sided: 1.0,
+            exact: true,
+        };
     }
     let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
     let ranks = midranks(&abs);

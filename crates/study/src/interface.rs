@@ -20,8 +20,7 @@
 
 use crate::klm;
 use crate::subject::{learning_factor, Subject};
-use rand::rngs::StdRng;
-use rand::Rng;
+use ssa_relation::rng::Rng;
 use ssa_tpch::{Complexity, QueryTask, TaskProfile};
 
 /// Which interface a run used.
@@ -68,7 +67,7 @@ pub fn attempt(
     profile: &TaskProfile,
     subject: &Subject,
     ctx: &AttemptContext,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Attempt {
     let base = match tool {
         Tool::SheetMusiq => sheetmusiq_time(profile, subject, rng),
@@ -77,8 +76,7 @@ pub fn attempt(
     // The builder's slow pickup is about its SQL fallback ("users have no
     // choice but to understand the concept and syntax of grouping…");
     // its graphical grid is learned as quickly as SheetMusiq.
-    let fast_pickup =
-        matches!(tool, Tool::SheetMusiq) || !profile.needs_sql_fallback();
+    let fast_pickup = matches!(tool, Tool::SheetMusiq) || !profile.needs_sql_fallback();
     let learning = learning_factor(fast_pickup, ctx.prior_tasks_with_tool);
     // Measuring starts after the subject understood the query, so a
     // second encounter only saves a little strategy time.
@@ -108,14 +106,17 @@ pub fn attempt(
     }
 
     if seconds >= TIME_CAP {
-        Attempt { seconds: TIME_CAP, correct: false }
+        Attempt {
+            seconds: TIME_CAP,
+            correct: false,
+        }
     } else {
         Attempt { seconds, correct }
     }
 }
 
 /// Flawless-path SheetMusiq time for a task, plus mechanical slips.
-pub fn sheetmusiq_time(profile: &TaskProfile, subject: &Subject, rng: &mut StdRng) -> f64 {
+pub fn sheetmusiq_time(profile: &TaskProfile, subject: &Subject, rng: &mut Rng) -> f64 {
     // Orientation: decide the first step.
     let mut t = 2.0 * klm::M;
     // Selections: context menu on the column, one predicate field, OK.
@@ -124,13 +125,16 @@ pub fn sheetmusiq_time(profile: &TaskProfile, subject: &Subject, rng: &mut StdRn
     // Grouping: context menu + the add-to-grouping choice.
     t += profile.groupings as f64 * (klm::menu_choose() + klm::confirm() + klm::GLANCE);
     // Aggregation: context menu + function choice + level choice.
-    t += profile.aggregates as f64
-        * (klm::menu_choose() + 2.0 * klm::point_click() + klm::GLANCE);
+    t += profile.aggregates as f64 * (klm::menu_choose() + 2.0 * klm::point_click() + klm::GLANCE);
     // Group qualification = a selection over the aggregate column.
     t += profile.having_predicates as f64
         * (klm::menu_choose() + klm::dialog_field(14) + klm::confirm() + klm::GLANCE);
     // Ordering: header click (+ level prompt under grouping).
-    let level_prompt = if profile.groupings > 0 { klm::point_click() } else { 0.0 };
+    let level_prompt = if profile.groupings > 0 {
+        klm::point_click()
+    } else {
+        0.0
+    };
     t += profile.orderings as f64 * (klm::M + klm::point_click() + level_prompt + klm::GLANCE);
     // Projections: one checkbox each.
     if profile.projections > 0 {
@@ -153,12 +157,11 @@ pub fn sheetmusiq_time(profile: &TaskProfile, subject: &Subject, rng: &mut StdRn
 /// and subjects can finish both in a short time" (Sec. VII-A.2). The
 /// cost explosion comes from the SQL-text fallback for grouping,
 /// aggregation and group qualification.
-pub fn builder_time(profile: &TaskProfile, subject: &Subject, rng: &mut StdRng) -> f64 {
+pub fn builder_time(profile: &TaskProfile, subject: &Subject, rng: &mut Rng) -> f64 {
     // Orientation across the two windows (diagram + SQL text).
     let mut t = 2.0 * klm::M + klm::point_click() + klm::CLICK;
     // Graphical part: the criteria grid handles plain predicates well.
-    t += profile.selections as f64
-        * (klm::menu_choose() + klm::dialog_field(12) + klm::confirm());
+    t += profile.selections as f64 * (klm::menu_choose() + klm::dialog_field(12) + klm::confirm());
     t += profile.orderings as f64 * (klm::M + klm::point_click() + klm::B);
     if profile.projections > 0 {
         t += klm::M + profile.projections as f64 * (klm::point_click() - klm::B);
@@ -188,7 +191,8 @@ pub fn builder_time(profile: &TaskProfile, subject: &Subject, rng: &mut StdRng) 
         t += profile.aggregates as f64 * (12.0 + 25.0 * inaptitude);
         t += profile.groupings as f64 * (10.0 + 28.0 * inaptitude);
         // Typing the clause text.
-        let chars = profile.groupings * 18 + profile.aggregates * 16 + profile.having_predicates * 26;
+        let chars =
+            profile.groupings * 18 + profile.aggregates * 16 + profile.having_predicates * 26;
         t += klm::M * concepts + klm::type_chars(chars);
         // Syntax-error retry loop: success probability grows with
         // aptitude; each failure costs reading the error, editing, rerun.
@@ -226,7 +230,6 @@ pub fn conceptual_error_probability(tool: Tool, complexity: Complexity, subject:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use ssa_tpch::study_setup;
 
     fn profiles() -> Vec<(QueryTask, TaskProfile)> {
@@ -242,7 +245,7 @@ mod tests {
 
     #[test]
     fn sheetmusiq_beats_builder_on_complex_tasks_for_every_subject() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for (task, profile) in profiles() {
             if !matches!(task.complexity, Complexity::Complex) {
                 continue;
@@ -262,7 +265,7 @@ mod tests {
 
     #[test]
     fn simple_tasks_are_comparable() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for (task, profile) in profiles() {
             if !matches!(task.complexity, Complexity::Simple) {
                 continue;
@@ -289,14 +292,17 @@ mod tests {
             slip_rate: 0.08,
             prefers_progressive: true,
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..200 {
             let a = attempt(
                 Tool::VisualBuilder,
                 &tasks[0],
                 &profile,
                 &slow,
-                &AttemptContext { prior_tasks_with_tool: 0, second_encounter: false },
+                &AttemptContext {
+                    prior_tasks_with_tool: 0,
+                    second_encounter: false,
+                },
                 &mut rng,
             );
             assert!(a.seconds <= TIME_CAP);
@@ -309,7 +315,11 @@ mod tests {
     #[test]
     fn error_probabilities_ordered_by_tool_and_complexity() {
         let s = Subject::sample(0, 1);
-        for c in [Complexity::Simple, Complexity::Moderate, Complexity::Complex] {
+        for c in [
+            Complexity::Simple,
+            Complexity::Moderate,
+            Complexity::Complex,
+        ] {
             assert!(
                 conceptual_error_probability(Tool::SheetMusiq, c, &s)
                     < conceptual_error_probability(Tool::VisualBuilder, c, &s)

@@ -26,8 +26,8 @@ pub use interface::{attempt, Attempt, AttemptContext, Tool, TIME_CAP};
 pub use protocol::{run_study, StudyConfig, StudyResult, TaskRun};
 pub use report::{
     complexity_breakdown, correctness_significance, fig3_speed, fig4_stddev, fig5_correctness,
-    render_report, speed_significance, speed_significance_paired, table6_subjective,
-    ComplexityRow, CorrectnessStat, QueryStat, Subjective,
+    render_report, speed_significance, speed_significance_paired, table6_subjective, ComplexityRow,
+    CorrectnessStat, QueryStat, Subjective,
 };
 pub use sensitivity::{render_sweep, sweep, SensitivityRow};
 pub use subject::{learning_factor, Subject};

@@ -15,8 +15,7 @@
 
 use crate::interface::{attempt, Attempt, AttemptContext, Tool};
 use crate::subject::Subject;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ssa_relation::rng::Rng;
 use ssa_sql::{eval_select, translate};
 use ssa_tpch::{study_setup, QueryTask, TaskProfile};
 
@@ -59,7 +58,10 @@ impl StudyResult {
 
     /// Total correct out of 100 for a tool.
     pub fn total_correct(&self, tool: Tool) -> usize {
-        self.runs.iter().filter(|r| r.tool == tool && r.correct).count()
+        self.runs
+            .iter()
+            .filter(|r| r.tool == tool && r.correct)
+            .count()
     }
 
     /// A subject's total time with a tool.
@@ -95,7 +97,11 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { seed: 2009, scale: 0.05, verify_system: true }
+        StudyConfig {
+            seed: 2009,
+            scale: 0.05,
+            verify_system: true,
+        }
     }
 }
 
@@ -128,7 +134,7 @@ pub fn run_study(config: &StudyConfig) -> StudyResult {
 
     let profiles: Vec<TaskProfile> = tasks.iter().map(|t| t.profile(&catalog)).collect();
     let subjects = Subject::panel(config.seed);
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA11CE));
+    let mut rng = Rng::seed_from_u64(config.seed.wrapping_add(0xA11CE));
     let mut runs = Vec::with_capacity(subjects.len() * tasks.len() * 2);
 
     for subject in &subjects {
@@ -153,13 +159,23 @@ pub fn run_study(config: &StudyConfig) -> StudyResult {
                 };
                 let Attempt { seconds, correct } =
                     attempt(tool, task, &profiles[ti], subject, &ctx, &mut rng);
-                runs.push(TaskRun { subject: subject.id, task: task.id, tool, seconds, correct });
+                runs.push(TaskRun {
+                    subject: subject.id,
+                    task: task.id,
+                    tool,
+                    seconds,
+                    correct,
+                });
                 done_with[idx] += 1;
             }
         }
     }
 
-    StudyResult { runs, subjects, tasks }
+    StudyResult {
+        runs,
+        subjects,
+        tasks,
+    }
 }
 
 fn other(tool: Tool) -> Tool {
@@ -174,7 +190,11 @@ mod tests {
     use super::*;
 
     fn quick() -> StudyResult {
-        run_study(&StudyConfig { seed: 2009, scale: 0.02, verify_system: false })
+        run_study(&StudyConfig {
+            seed: 2009,
+            scale: 0.02,
+            verify_system: false,
+        })
     }
 
     #[test]
@@ -199,7 +219,11 @@ mod tests {
     #[test]
     fn verification_pass_runs_the_real_system() {
         // small scale so the test stays fast; panics on any disagreement
-        let r = run_study(&StudyConfig { seed: 1, scale: 0.02, verify_system: true });
+        let r = run_study(&StudyConfig {
+            seed: 1,
+            scale: 0.02,
+            verify_system: true,
+        });
         assert_eq!(r.runs.len(), 200);
     }
 
@@ -212,9 +236,7 @@ mod tests {
     #[test]
     fn accessors_consistent() {
         let r = quick();
-        let total: usize = (1..=10)
-            .map(|t| r.correct_count(t, Tool::SheetMusiq))
-            .sum();
+        let total: usize = (1..=10).map(|t| r.correct_count(t, Tool::SheetMusiq)).sum();
         assert_eq!(total, r.total_correct(Tool::SheetMusiq));
         let per_subject: f64 = (0..10)
             .map(|s| r.subject_total_time(s, Tool::VisualBuilder))

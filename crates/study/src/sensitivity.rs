@@ -50,7 +50,11 @@ pub fn sweep(seeds: &[u64], scale: f64) -> Vec<SensitivityRow> {
     seeds
         .iter()
         .map(|&seed| {
-            let result = run_study(&StudyConfig { seed, scale, verify_system: false });
+            let result = run_study(&StudyConfig {
+                seed,
+                scale,
+                verify_system: false,
+            });
             let (musiq_correct, navicat_correct, fisher_p) = correctness_significance(&result);
             let mut significant_complex = 0;
             let mut significant_simple = 0;
@@ -91,7 +95,15 @@ pub fn render_sweep(rows: &[SensitivityRow]) -> String {
     writeln!(
         out,
         "{:>6} {:>9} {:>9} {:>10} {:>8} {:>8} {:>10} {:>10} {:>6}",
-        "seed", "musiq-ok", "nvcat-ok", "fisher-p", "sig 7/7", "sig 0/3", "musiq-tot", "nvcat-tot", "shape"
+        "seed",
+        "musiq-ok",
+        "nvcat-ok",
+        "fisher-p",
+        "sig 7/7",
+        "sig 0/3",
+        "musiq-tot",
+        "nvcat-tot",
+        "shape"
     )
     .unwrap();
     for r in rows {
@@ -106,12 +118,21 @@ pub fn render_sweep(rows: &[SensitivityRow]) -> String {
             format!("{}/3", r.significant_simple),
             r.musiq_mean_total,
             r.navicat_mean_total,
-            if r.reproduces_paper_shape() { "yes" } else { "NO" }
+            if r.reproduces_paper_shape() {
+                "yes"
+            } else {
+                "NO"
+            }
         )
         .unwrap();
     }
     let ok = rows.iter().filter(|r| r.reproduces_paper_shape()).count();
-    writeln!(out, "\n{ok}/{} seeds reproduce the paper's qualitative shape", rows.len()).unwrap();
+    writeln!(
+        out,
+        "\n{ok}/{} seeds reproduce the paper's qualitative shape",
+        rows.len()
+    )
+    .unwrap();
     out
 }
 

@@ -7,8 +7,7 @@
 //! tool forces it, slip rate on individual gestures, and the Table-VI
 //! preference trait for progressive refinement.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssa_relation::rng::Rng;
 
 /// One participant.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +32,8 @@ impl Subject {
     /// Deterministically sample subject `id` for a study seeded with
     /// `study_seed`.
     pub fn sample(id: usize, study_seed: u64) -> Subject {
-        let mut rng = StdRng::seed_from_u64(study_seed.wrapping_mul(0x9E37_79B9).wrapping_add(id as u64));
+        let mut rng =
+            Rng::seed_from_u64(study_seed.wrapping_mul(0x9E37_79B9).wrapping_add(id as u64));
         Subject {
             id,
             // Non-technical users run 1.3×–1.7× slower than the KLM expert.

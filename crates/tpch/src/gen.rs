@@ -6,8 +6,7 @@
 //! byte-identically.
 
 use crate::schema;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssa_relation::rng::Rng;
 use ssa_relation::{Catalog, Relation, Tuple, Value};
 
 /// Table sizes. `scale(1.0)` approximates a 1-MB-class instance —
@@ -46,7 +45,13 @@ impl GenConfig {
 
     /// A tiny instance for unit tests.
     pub fn tiny() -> GenConfig {
-        GenConfig { customers: 10, orders: 30, lines_per_order: 3, parts: 15, suppliers: 3 }
+        GenConfig {
+            customers: 10,
+            orders: 30,
+            lines_per_order: 3,
+            parts: 15,
+            suppliers: 3,
+        }
     }
 }
 
@@ -94,7 +99,7 @@ impl TpchData {
     }
 }
 
-fn date(rng: &mut StdRng) -> i64 {
+fn date(rng: &mut Rng) -> i64 {
     // Uniform over 1992-01-01 .. 1998-12-31, encoded YYYYMMDD.
     let year = rng.gen_range(1992..=1998);
     let month = rng.gen_range(1..=12);
@@ -102,13 +107,13 @@ fn date(rng: &mut StdRng) -> i64 {
     (year * 10000 + month * 100 + day) as i64
 }
 
-fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+fn money(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
     (rng.gen_range(lo..hi) * 100.0).round() / 100.0
 }
 
 /// Generate a full database.
 pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     let mut region = Relation::new("region", schema::region());
     for (i, name) in schema::REGIONS.iter().enumerate() {
@@ -147,7 +152,7 @@ pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
                 Value::Int(i as i64),
                 Value::Str(format!("Customer#{i:06}")),
                 Value::Int(rng.gen_range(0..25)),
-                Value::str(schema::MKT_SEGMENTS[rng.gen_range(0..5)]),
+                Value::str(schema::MKT_SEGMENTS[rng.gen_range(0..5usize)]),
                 Value::Float(money(&mut rng, -999.0, 9999.0)),
             ]))
             .expect("customer row");
@@ -198,7 +203,7 @@ pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
             let discount = (rng.gen_range(0..=10) as f64) / 100.0;
             let tax = (rng.gen_range(0..=8) as f64) / 100.0;
             // Ship 1..=121 days after order; approximate in date encoding.
-            let shipdate = orderdate + rng.gen_range(1..=121);
+            let shipdate = orderdate + rng.gen_range(1..=121i64);
             total += extended * (1.0 - discount);
             lineitem
                 .insert(Tuple::new(vec![
@@ -210,10 +215,10 @@ pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
                     Value::Float(extended),
                     Value::Float(discount),
                     Value::Float(tax),
-                    Value::str(schema::RETURN_FLAGS[rng.gen_range(0..3)]),
-                    Value::str(schema::LINE_STATUSES[rng.gen_range(0..2)]),
+                    Value::str(schema::RETURN_FLAGS[rng.gen_range(0..3usize)]),
+                    Value::str(schema::LINE_STATUSES[rng.gen_range(0..2usize)]),
                     Value::Int(shipdate),
-                    Value::str(schema::SHIP_MODES[rng.gen_range(0..7)]),
+                    Value::str(schema::SHIP_MODES[rng.gen_range(0..7usize)]),
                 ]))
                 .expect("lineitem row");
         }
@@ -221,15 +226,24 @@ pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
             .insert(Tuple::new(vec![
                 Value::Int(o as i64),
                 Value::Int(rng.gen_range(0..config.customers) as i64),
-                Value::str(["O", "F", "P"][rng.gen_range(0..3)]),
+                Value::str(["O", "F", "P"][rng.gen_range(0..3usize)]),
                 Value::Float((total * 100.0).round() / 100.0),
                 Value::Int(orderdate),
-                Value::str(schema::ORDER_PRIORITIES[rng.gen_range(0..5)]),
+                Value::str(schema::ORDER_PRIORITIES[rng.gen_range(0..5usize)]),
             ]))
             .expect("orders row");
     }
 
-    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+    TpchData {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+    }
 }
 
 #[cfg(test)]
@@ -304,7 +318,9 @@ mod tests {
     fn discounts_bounded() {
         let d = generate(&GenConfig::tiny(), 3);
         for t in d.lineitem.rows() {
-            let Value::Float(disc) = t.get(6) else { panic!() };
+            let Value::Float(disc) = t.get(6) else {
+                panic!()
+            };
             assert!((0.0..=0.10).contains(disc));
         }
     }

@@ -249,7 +249,8 @@ mod tests {
     fn all_tasks_parse_and_validate() {
         for t in study_tasks() {
             let stmt = t.stmt();
-            stmt.validate().unwrap_or_else(|e| panic!("task {}: {e}", t.id));
+            stmt.validate()
+                .unwrap_or_else(|e| panic!("task {}: {e}", t.id));
         }
     }
 

@@ -116,14 +116,18 @@ pub const NATIONS: [(&str, usize); 25] = [
     ("UNITED STATES", 1),
 ];
 
-pub const MKT_SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const MKT_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 pub const ORDER_PRIORITIES: [&str; 5] =
     ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
-pub const SHIP_MODES: [&str; 7] =
-    ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+pub const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 
 pub const PART_TYPES: [&str; 6] = [
     "ECONOMY ANODIZED STEEL",

@@ -11,8 +11,7 @@ use ssa_relation::{Catalog, Expr, Relation, Result};
 
 /// `lineitem` extended with `l_revenue`.
 pub fn v_lineitem(data: &TpchData) -> Result<Relation> {
-    let revenue = Expr::col("l_extendedprice")
-        .mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
+    let revenue = Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
     let mut r = ops::extend(&data.lineitem, "l_revenue", &revenue)?;
     r.set_name("v_lineitem");
     Ok(r)
@@ -31,8 +30,7 @@ pub fn v_custsales(data: &TpchData) -> Result<Relation> {
         &data.customer,
         &Expr::col("o_custkey").eq(Expr::col("c_custkey")),
     )?;
-    let revenue = Expr::col("l_extendedprice")
-        .mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
+    let revenue = Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
     let mut r = ops::extend(&loc, "l_revenue", &revenue)?;
     r.set_name("v_custsales");
     Ok(r)
@@ -56,8 +54,7 @@ pub fn v_sales(data: &TpchData) -> Result<Relation> {
         &data.region,
         &Expr::col("n_regionkey").eq(Expr::col("r_regionkey")),
     )?;
-    let revenue = Expr::col("l_extendedprice")
-        .mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
+    let revenue = Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
     let mut r = ops::extend(&lsnr, "l_revenue", &revenue)?;
     r.set_name("v_sales");
     Ok(r)
@@ -100,7 +97,10 @@ mod tests {
         assert_eq!(v.len(), d.lineitem.len());
         for t in v.rows().iter().take(20) {
             let sch = v.schema();
-            let ext = t.get(sch.index_of("l_extendedprice").unwrap()).as_f64().unwrap();
+            let ext = t
+                .get(sch.index_of("l_extendedprice").unwrap())
+                .as_f64()
+                .unwrap();
             let disc = t.get(sch.index_of("l_discount").unwrap()).as_f64().unwrap();
             let rev = t.get(sch.index_of("l_revenue").unwrap()).as_f64().unwrap();
             assert!((rev - ext * (1.0 - disc)).abs() < 1e-9);
@@ -139,8 +139,14 @@ mod tests {
         assert_eq!(v.len(), d.partsupp.len());
         let sch = v.schema();
         for t in v.rows().iter().take(10) {
-            let cost = t.get(sch.index_of("ps_supplycost").unwrap()).as_f64().unwrap();
-            let qty = t.get(sch.index_of("ps_availqty").unwrap()).as_f64().unwrap();
+            let cost = t
+                .get(sch.index_of("ps_supplycost").unwrap())
+                .as_f64()
+                .unwrap();
+            let qty = t
+                .get(sch.index_of("ps_availqty").unwrap())
+                .as_f64()
+                .unwrap();
             let val = t.get(sch.index_of("ps_value").unwrap()).as_f64().unwrap();
             assert!((val - cost * qty).abs() < 1e-6);
         }
@@ -150,7 +156,13 @@ mod tests {
     fn study_catalog_has_tables_and_views() {
         let c = study_catalog(&data()).unwrap();
         assert_eq!(c.len(), 12);
-        for name in ["lineitem", "v_lineitem", "v_custsales", "v_sales", "v_partsupp"] {
+        for name in [
+            "lineitem",
+            "v_lineitem",
+            "v_custsales",
+            "v_sales",
+            "v_partsupp",
+        ] {
             assert!(c.contains(name), "missing {name}");
         }
     }

@@ -59,11 +59,15 @@ fn main() {
 
     // Cascaded removal: an aggregate with dependents cannot be dropped
     // one-shot; the plan lists what must go first.
-    let avg = engine.aggregate(AggFunc::Avg, "Price", 2).expect("aggregate");
+    let avg = engine
+        .aggregate(AggFunc::Avg, "Price", 2)
+        .expect("aggregate");
     engine
         .select(Expr::col("Price").le(Expr::col(&avg)))
         .expect("select on aggregate");
-    let err = engine.remove_computed(&avg).expect_err("dependents block removal");
+    let err = engine
+        .remove_computed(&avg)
+        .expect_err("dependents block removal");
     println!("one-shot removal refused: {err}");
     let plan = engine
         .sheet_mut()

@@ -14,13 +14,21 @@ fn main() {
 
     // Direct manipulation, one small step at a time — every intermediate
     // result is a complete, presentable spreadsheet.
-    sheet.group(&["Model"], Direction::Desc).expect("group by Model");
-    sheet.group(&["Model", "Year"], Direction::Asc).expect("then by Year");
-    sheet.order("Price", Direction::Asc, 3).expect("order finest groups by Price");
+    sheet
+        .group(&["Model"], Direction::Desc)
+        .expect("group by Model");
+    sheet
+        .group(&["Model", "Year"], Direction::Asc)
+        .expect("then by Year");
+    sheet
+        .order("Price", Direction::Asc, 3)
+        .expect("order finest groups by Price");
 
     // Aggregation is a *computed column*: the per-group average appears on
     // every row and auto-updates when the data changes.
-    let avg = sheet.aggregate(AggFunc::Avg, "Price", 3).expect("average per (Model, Year)");
+    let avg = sheet
+        .aggregate(AggFunc::Avg, "Price", 3)
+        .expect("average per (Model, Year)");
 
     // Select against the aggregate — no subquery needed.
     let bargain = sheet

@@ -60,5 +60,8 @@ fn main() {
 
     // Show one task's English statement and SQL, for flavour.
     let t9 = &tasks[8];
-    println!("\nExample task {} ({}):\n  {}\n  SQL: {}", t9.id, t9.name, t9.description, t9.sql);
+    println!(
+        "\nExample task {} ({}):\n  {}\n  SQL: {}",
+        t9.id, t9.name, t9.description, t9.sql
+    );
 }

@@ -17,7 +17,9 @@ fn main() {
     let mut host = ScriptHost::new(Session::new(catalog));
 
     let mut run = |line: &str| {
-        let out = host.execute(line).unwrap_or_else(|e| panic!("`{line}` failed: {e}"));
+        let out = host
+            .execute(line)
+            .unwrap_or_else(|e| panic!("`{line}` failed: {e}"));
         println!("musiq> {line}");
         if !out.is_empty() {
             println!("{out}");

@@ -20,6 +20,10 @@ fn main() {
     println!("System check first: every task is executed through the spreadsheet");
     println!("algebra and compared against the SQL reference evaluator.\n");
 
-    let result = run_study(&StudyConfig { seed, scale: 0.05, verify_system: true });
+    let result = run_study(&StudyConfig {
+        seed,
+        scale: 0.05,
+        verify_system: true,
+    });
     println!("{}", render_report(&result));
 }

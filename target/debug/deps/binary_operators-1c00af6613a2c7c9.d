@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binary_operators-1c00af6613a2c7c9.d: tests/binary_operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinary_operators-1c00af6613a2c7c9.rmeta: tests/binary_operators.rs Cargo.toml
+
+tests/binary_operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binary_operators-9d2ababdb9d7104e.d: tests/binary_operators.rs
+
+/root/repo/target/debug/deps/binary_operators-9d2ababdb9d7104e: tests/binary_operators.rs
+
+tests/binary_operators.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/commutativity-8676e875cebe52f2.d: tests/commutativity.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommutativity-8676e875cebe52f2.rmeta: tests/commutativity.rs tests/common/mod.rs Cargo.toml
+
+tests/commutativity.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

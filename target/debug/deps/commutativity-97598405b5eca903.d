@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/commutativity-97598405b5eca903.d: tests/commutativity.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/commutativity-97598405b5eca903: tests/commutativity.rs tests/common/mod.rs
+
+tests/commutativity.rs:
+tests/common/mod.rs:

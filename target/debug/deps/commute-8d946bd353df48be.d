@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commute-8d946bd353df48be.d: crates/bench/benches/commute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommute-8d946bd353df48be.rmeta: crates/bench/benches/commute.rs Cargo.toml
+
+crates/bench/benches/commute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8e0a9965f0fe692f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8e0a9965f0fe692f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_history-0ccb9c310c9580c8.d: tests/engine_history.rs
+
+/root/repo/target/debug/deps/engine_history-0ccb9c310c9580c8: tests/engine_history.rs
+
+tests/engine_history.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_history-9cd25a3540eaf95a.d: tests/engine_history.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_history-9cd25a3540eaf95a.rmeta: tests/engine_history.rs Cargo.toml
+
+tests/engine_history.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

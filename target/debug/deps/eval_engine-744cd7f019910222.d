@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/eval_engine-744cd7f019910222.d: tests/eval_engine.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/eval_engine-744cd7f019910222: tests/eval_engine.rs tests/common/mod.rs
+
+tests/eval_engine.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eval_engine-e8f6b06406e8af86.d: tests/eval_engine.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_engine-e8f6b06406e8af86.rmeta: tests/eval_engine.rs tests/common/mod.rs Cargo.toml
+
+tests/eval_engine.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eval_engine-ebdcf7485971e509.d: crates/bench/benches/eval_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_engine-ebdcf7485971e509.rmeta: crates/bench/benches/eval_engine.rs Cargo.toml
+
+crates/bench/benches/eval_engine.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

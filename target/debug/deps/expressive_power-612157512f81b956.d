@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expressive_power-612157512f81b956.d: tests/expressive_power.rs
+
+/root/repo/target/debug/deps/expressive_power-612157512f81b956: tests/expressive_power.rs
+
+tests/expressive_power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expressive_power-d8d0723ad265afe0.d: tests/expressive_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpressive_power-d8d0723ad265afe0.rmeta: tests/expressive_power.rs Cargo.toml
+
+tests/expressive_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fast_reorganize-1f0c5bbc932a19a0.d: tests/fast_reorganize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfast_reorganize-1f0c5bbc932a19a0.rmeta: tests/fast_reorganize.rs Cargo.toml
+
+tests/fast_reorganize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

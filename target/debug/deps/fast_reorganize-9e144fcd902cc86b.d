@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fast_reorganize-9e144fcd902cc86b.d: tests/fast_reorganize.rs
+
+/root/repo/target/debug/deps/fast_reorganize-9e144fcd902cc86b: tests/fast_reorganize.rs
+
+tests/fast_reorganize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modification-205b559d8a999073.d: crates/bench/benches/modification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodification-205b559d8a999073.rmeta: crates/bench/benches/modification.rs Cargo.toml
+
+crates/bench/benches/modification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operators-25e8df699f417222.d: crates/bench/benches/operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperators-25e8df699f417222.rmeta: crates/bench/benches/operators.rs Cargo.toml
+
+crates/bench/benches/operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

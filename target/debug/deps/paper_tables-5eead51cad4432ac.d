@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-5eead51cad4432ac.d: tests/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-5eead51cad4432ac: tests/paper_tables.rs
+
+tests/paper_tables.rs:

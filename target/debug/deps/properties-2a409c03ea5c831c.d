@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2a409c03ea5c831c.d: crates/relation/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2a409c03ea5c831c.rmeta: crates/relation/tests/properties.rs Cargo.toml
+
+crates/relation/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

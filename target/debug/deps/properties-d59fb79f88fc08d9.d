@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d59fb79f88fc08d9.d: crates/relation/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d59fb79f88fc08d9: crates/relation/tests/properties.rs
+
+crates/relation/tests/properties.rs:

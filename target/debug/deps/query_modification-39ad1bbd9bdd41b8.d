@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_modification-39ad1bbd9bdd41b8.d: tests/query_modification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_modification-39ad1bbd9bdd41b8.rmeta: tests/query_modification.rs Cargo.toml
+
+tests/query_modification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

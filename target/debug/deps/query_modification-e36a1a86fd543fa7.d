@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_modification-e36a1a86fd543fa7.d: tests/query_modification.rs
+
+/root/repo/target/debug/deps/query_modification-e36a1a86fd543fa7: tests/query_modification.rs
+
+tests/query_modification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reorganize-6e49218b15fe77d2.d: crates/bench/benches/reorganize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreorganize-6e49218b15fe77d2.rmeta: crates/bench/benches/reorganize.rs Cargo.toml
+
+crates/bench/benches/reorganize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1c4ce39b679fc80e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-1c4ce39b679fc80e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sheetmusiq-7b53b406c49fa1cc.d: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsheetmusiq-7b53b406c49fa1cc.rmeta: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs Cargo.toml
+
+crates/musiq/src/lib.rs:
+crates/musiq/src/actions.rs:
+crates/musiq/src/dialogs.rs:
+crates/musiq/src/menu.rs:
+crates/musiq/src/script.rs:
+crates/musiq/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sheetmusiq-be6f36f702a0baad.d: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+/root/repo/target/debug/deps/sheetmusiq-be6f36f702a0baad: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+crates/musiq/src/lib.rs:
+crates/musiq/src/actions.rs:
+crates/musiq/src/dialogs.rs:
+crates/musiq/src/menu.rs:
+crates/musiq/src/script.rs:
+crates/musiq/src/session.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sheetmusiq-dc9219157a205dd7.d: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+/root/repo/target/debug/deps/libsheetmusiq-dc9219157a205dd7.rlib: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+/root/repo/target/debug/deps/libsheetmusiq-dc9219157a205dd7.rmeta: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+crates/musiq/src/lib.rs:
+crates/musiq/src/actions.rs:
+crates/musiq/src/dialogs.rs:
+crates/musiq/src/menu.rs:
+crates/musiq/src/script.rs:
+crates/musiq/src/session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sheetmusiq_repl-2043e63d6d97eb69.d: crates/musiq/src/bin/repl.rs
+
+/root/repo/target/debug/deps/sheetmusiq_repl-2043e63d6d97eb69: crates/musiq/src/bin/repl.rs
+
+crates/musiq/src/bin/repl.rs:

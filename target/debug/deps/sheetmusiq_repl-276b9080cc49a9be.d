@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sheetmusiq_repl-276b9080cc49a9be.d: crates/musiq/src/bin/repl.rs
+
+/root/repo/target/debug/deps/sheetmusiq_repl-276b9080cc49a9be: crates/musiq/src/bin/repl.rs
+
+crates/musiq/src/bin/repl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sheetmusiq_repl-b458cb21e6943709.d: crates/musiq/src/bin/repl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsheetmusiq_repl-b458cb21e6943709.rmeta: crates/musiq/src/bin/repl.rs Cargo.toml
+
+crates/musiq/src/bin/repl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

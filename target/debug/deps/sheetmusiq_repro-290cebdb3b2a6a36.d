@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sheetmusiq_repro-290cebdb3b2a6a36.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsheetmusiq_repro-290cebdb3b2a6a36.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsheetmusiq_repro-290cebdb3b2a6a36.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sheetmusiq_repro-adb0e6e2ff715614.d: src/lib.rs
+
+/root/repo/target/debug/deps/sheetmusiq_repro-adb0e6e2ff715614: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/spreadsheet_algebra-7618e8159fe219cc.d: crates/core/src/lib.rs crates/core/src/computed.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/fixtures.rs crates/core/src/history.rs crates/core/src/modify.rs crates/core/src/persist.rs crates/core/src/precedence.rs crates/core/src/render.rs crates/core/src/sheet.rs crates/core/src/spec.rs crates/core/src/state.rs crates/core/src/tree.rs
+
+/root/repo/target/debug/deps/spreadsheet_algebra-7618e8159fe219cc: crates/core/src/lib.rs crates/core/src/computed.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/fixtures.rs crates/core/src/history.rs crates/core/src/modify.rs crates/core/src/persist.rs crates/core/src/precedence.rs crates/core/src/render.rs crates/core/src/sheet.rs crates/core/src/spec.rs crates/core/src/state.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/computed.rs:
+crates/core/src/error.rs:
+crates/core/src/eval.rs:
+crates/core/src/fixtures.rs:
+crates/core/src/history.rs:
+crates/core/src/modify.rs:
+crates/core/src/persist.rs:
+crates/core/src/precedence.rs:
+crates/core/src/render.rs:
+crates/core/src/sheet.rs:
+crates/core/src/spec.rs:
+crates/core/src/state.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/spreadsheet_algebra-e3d39c85cb1f16df.d: crates/core/src/lib.rs crates/core/src/computed.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/fixtures.rs crates/core/src/history.rs crates/core/src/modify.rs crates/core/src/persist.rs crates/core/src/precedence.rs crates/core/src/render.rs crates/core/src/sheet.rs crates/core/src/spec.rs crates/core/src/state.rs crates/core/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspreadsheet_algebra-e3d39c85cb1f16df.rmeta: crates/core/src/lib.rs crates/core/src/computed.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/fixtures.rs crates/core/src/history.rs crates/core/src/modify.rs crates/core/src/persist.rs crates/core/src/precedence.rs crates/core/src/render.rs crates/core/src/sheet.rs crates/core/src/spec.rs crates/core/src/state.rs crates/core/src/tree.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/computed.rs:
+crates/core/src/error.rs:
+crates/core/src/eval.rs:
+crates/core/src/fixtures.rs:
+crates/core/src/history.rs:
+crates/core/src/modify.rs:
+crates/core/src/persist.rs:
+crates/core/src/precedence.rs:
+crates/core/src/render.rs:
+crates/core/src/sheet.rs:
+crates/core/src/spec.rs:
+crates/core/src/state.rs:
+crates/core/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

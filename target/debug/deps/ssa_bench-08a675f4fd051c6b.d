@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ssa_bench-08a675f4fd051c6b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssa_bench-08a675f4fd051c6b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssa_bench-16352a5c36be4b51.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/ssa_bench-16352a5c36be4b51: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ssa_bench-a970629d43b839bd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libssa_bench-a970629d43b839bd.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libssa_bench-a970629d43b839bd.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ssa_relation-35fc60cdd828b5d3.d: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/debug/deps/libssa_relation-35fc60cdd828b5d3.rlib: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/debug/deps/libssa_relation-35fc60cdd828b5d3.rmeta: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/agg.rs:
+crates/relation/src/catalog.rs:
+crates/relation/src/compiled.rs:
+crates/relation/src/csv.rs:
+crates/relation/src/error.rs:
+crates/relation/src/expr.rs:
+crates/relation/src/expr_parse.rs:
+crates/relation/src/ops.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/rng.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

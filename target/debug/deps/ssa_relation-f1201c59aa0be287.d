@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ssa_relation-f1201c59aa0be287.d: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssa_relation-f1201c59aa0be287.rmeta: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+crates/relation/src/lib.rs:
+crates/relation/src/agg.rs:
+crates/relation/src/catalog.rs:
+crates/relation/src/compiled.rs:
+crates/relation/src/csv.rs:
+crates/relation/src/error.rs:
+crates/relation/src/expr.rs:
+crates/relation/src/expr_parse.rs:
+crates/relation/src/ops.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/rng.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ssa_sql-72e0003f9e5da5c0.d: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssa_sql-72e0003f9e5da5c0.rmeta: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs Cargo.toml
+
+crates/sqlcore/src/lib.rs:
+crates/sqlcore/src/ast.rs:
+crates/sqlcore/src/eval.rs:
+crates/sqlcore/src/parser.rs:
+crates/sqlcore/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssa_sql-7304a71c5fdcb932.d: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+/root/repo/target/debug/deps/ssa_sql-7304a71c5fdcb932: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+crates/sqlcore/src/lib.rs:
+crates/sqlcore/src/ast.rs:
+crates/sqlcore/src/eval.rs:
+crates/sqlcore/src/parser.rs:
+crates/sqlcore/src/translate.rs:

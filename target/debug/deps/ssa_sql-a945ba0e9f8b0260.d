@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssa_sql-a945ba0e9f8b0260.d: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+/root/repo/target/debug/deps/libssa_sql-a945ba0e9f8b0260.rlib: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+/root/repo/target/debug/deps/libssa_sql-a945ba0e9f8b0260.rmeta: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+crates/sqlcore/src/lib.rs:
+crates/sqlcore/src/ast.rs:
+crates/sqlcore/src/eval.rs:
+crates/sqlcore/src/parser.rs:
+crates/sqlcore/src/translate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssa_stats-1c0aa47ba3d30343.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/ssa_stats-1c0aa47ba3d30343: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/fisher.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/wilcoxon.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ssa_stats-979c2e156c9e5377.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssa_stats-979c2e156c9e5377.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/fisher.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/wilcoxon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

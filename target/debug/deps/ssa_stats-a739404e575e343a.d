@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssa_stats-a739404e575e343a.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/libssa_stats-a739404e575e343a.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/libssa_stats-a739404e575e343a.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/fisher.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/wilcoxon.rs:

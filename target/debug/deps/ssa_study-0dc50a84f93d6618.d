@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ssa_study-0dc50a84f93d6618.d: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+/root/repo/target/debug/deps/libssa_study-0dc50a84f93d6618.rlib: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+/root/repo/target/debug/deps/libssa_study-0dc50a84f93d6618.rmeta: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+crates/study/src/lib.rs:
+crates/study/src/interface.rs:
+crates/study/src/klm.rs:
+crates/study/src/protocol.rs:
+crates/study/src/report.rs:
+crates/study/src/sensitivity.rs:
+crates/study/src/subject.rs:

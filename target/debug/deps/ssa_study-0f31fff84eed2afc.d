@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssa_study-0f31fff84eed2afc.d: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+/root/repo/target/debug/deps/ssa_study-0f31fff84eed2afc: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+crates/study/src/lib.rs:
+crates/study/src/interface.rs:
+crates/study/src/klm.rs:
+crates/study/src/protocol.rs:
+crates/study/src/report.rs:
+crates/study/src/sensitivity.rs:
+crates/study/src/subject.rs:

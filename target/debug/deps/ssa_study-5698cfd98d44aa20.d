@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ssa_study-5698cfd98d44aa20.d: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssa_study-5698cfd98d44aa20.rmeta: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs Cargo.toml
+
+crates/study/src/lib.rs:
+crates/study/src/interface.rs:
+crates/study/src/klm.rs:
+crates/study/src/protocol.rs:
+crates/study/src/report.rs:
+crates/study/src/sensitivity.rs:
+crates/study/src/subject.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ssa_tpch-06beb36ebc2645c1.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssa_tpch-06beb36ebc2645c1.rmeta: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs Cargo.toml
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

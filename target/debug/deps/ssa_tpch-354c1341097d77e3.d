@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssa_tpch-354c1341097d77e3.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+/root/repo/target/debug/deps/ssa_tpch-354c1341097d77e3: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/views.rs:

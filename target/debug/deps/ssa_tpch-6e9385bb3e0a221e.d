@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssa_tpch-6e9385bb3e0a221e.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+/root/repo/target/debug/deps/libssa_tpch-6e9385bb3e0a221e.rlib: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+/root/repo/target/debug/deps/libssa_tpch-6e9385bb3e0a221e.rmeta: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/views.rs:

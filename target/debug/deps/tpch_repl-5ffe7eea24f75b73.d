@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpch_repl-5ffe7eea24f75b73.d: crates/bench/src/bin/tpch_repl.rs
+
+/root/repo/target/debug/deps/tpch_repl-5ffe7eea24f75b73: crates/bench/src/bin/tpch_repl.rs
+
+crates/bench/src/bin/tpch_repl.rs:

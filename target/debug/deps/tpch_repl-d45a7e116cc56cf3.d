@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpch_repl-d45a7e116cc56cf3.d: crates/bench/src/bin/tpch_repl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpch_repl-d45a7e116cc56cf3.rmeta: crates/bench/src/bin/tpch_repl.rs Cargo.toml
+
+crates/bench/src/bin/tpch_repl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

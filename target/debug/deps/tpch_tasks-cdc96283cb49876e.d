@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpch_tasks-cdc96283cb49876e.d: crates/bench/benches/tpch_tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpch_tasks-cdc96283cb49876e.rmeta: crates/bench/benches/tpch_tasks.rs Cargo.toml
+
+crates/bench/benches/tpch_tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

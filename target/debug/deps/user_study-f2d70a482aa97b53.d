@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/user_study-f2d70a482aa97b53.d: crates/bench/benches/user_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuser_study-f2d70a482aa97b53.rmeta: crates/bench/benches/user_study.rs Cargo.toml
+
+crates/bench/benches/user_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_modification-758f5b1633e3b626.d: examples/query_modification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_modification-758f5b1633e3b626.rmeta: examples/query_modification.rs Cargo.toml
+
+examples/query_modification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_modification-d5dfc041602488d5.d: examples/query_modification.rs
+
+/root/repo/target/debug/examples/query_modification-d5dfc041602488d5: examples/query_modification.rs
+
+examples/query_modification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6f0070e0a5ac0912.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6f0070e0a5ac0912: examples/quickstart.rs
+
+examples/quickstart.rs:

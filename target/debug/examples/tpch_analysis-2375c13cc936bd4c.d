@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpch_analysis-2375c13cc936bd4c.d: examples/tpch_analysis.rs
+
+/root/repo/target/debug/examples/tpch_analysis-2375c13cc936bd4c: examples/tpch_analysis.rs
+
+examples/tpch_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpch_analysis-b3ee4b44bb71432a.d: examples/tpch_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpch_analysis-b3ee4b44bb71432a.rmeta: examples/tpch_analysis.rs Cargo.toml
+
+examples/tpch_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

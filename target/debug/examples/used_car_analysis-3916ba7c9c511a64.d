@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/used_car_analysis-3916ba7c9c511a64.d: examples/used_car_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libused_car_analysis-3916ba7c9c511a64.rmeta: examples/used_car_analysis.rs Cargo.toml
+
+examples/used_car_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

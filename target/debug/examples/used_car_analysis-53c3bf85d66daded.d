@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/used_car_analysis-53c3bf85d66daded.d: examples/used_car_analysis.rs
+
+/root/repo/target/debug/examples/used_car_analysis-53c3bf85d66daded: examples/used_car_analysis.rs
+
+examples/used_car_analysis.rs:

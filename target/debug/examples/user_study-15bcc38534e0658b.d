@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/user_study-15bcc38534e0658b.d: examples/user_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libuser_study-15bcc38534e0658b.rmeta: examples/user_study.rs Cargo.toml
+
+examples/user_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/user_study-32af915970d1045b.d: examples/user_study.rs
+
+/root/repo/target/debug/examples/user_study-32af915970d1045b: examples/user_study.rs
+
+examples/user_study.rs:

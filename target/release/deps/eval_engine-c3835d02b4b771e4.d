@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eval_engine-c3835d02b4b771e4.d: crates/bench/benches/eval_engine.rs
+
+/root/repo/target/release/deps/eval_engine-c3835d02b4b771e4: crates/bench/benches/eval_engine.rs
+
+crates/bench/benches/eval_engine.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

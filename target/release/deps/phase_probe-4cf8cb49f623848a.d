@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phase_probe-4cf8cb49f623848a.d: crates/bench/benches/phase_probe.rs
+
+/root/repo/target/release/deps/phase_probe-4cf8cb49f623848a: crates/bench/benches/phase_probe.rs
+
+crates/bench/benches/phase_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-be665cb3a96c784b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-be665cb3a96c784b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sheetmusiq-9c896352956872a9.d: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+/root/repo/target/release/deps/libsheetmusiq-9c896352956872a9.rlib: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+/root/repo/target/release/deps/libsheetmusiq-9c896352956872a9.rmeta: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+crates/musiq/src/lib.rs:
+crates/musiq/src/actions.rs:
+crates/musiq/src/dialogs.rs:
+crates/musiq/src/menu.rs:
+crates/musiq/src/script.rs:
+crates/musiq/src/session.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sheetmusiq-adca84035a322a0f.d: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+/root/repo/target/release/deps/libsheetmusiq-adca84035a322a0f.rlib: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+/root/repo/target/release/deps/libsheetmusiq-adca84035a322a0f.rmeta: crates/musiq/src/lib.rs crates/musiq/src/actions.rs crates/musiq/src/dialogs.rs crates/musiq/src/menu.rs crates/musiq/src/script.rs crates/musiq/src/session.rs
+
+crates/musiq/src/lib.rs:
+crates/musiq/src/actions.rs:
+crates/musiq/src/dialogs.rs:
+crates/musiq/src/menu.rs:
+crates/musiq/src/script.rs:
+crates/musiq/src/session.rs:

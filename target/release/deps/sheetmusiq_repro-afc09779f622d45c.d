@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sheetmusiq_repro-afc09779f622d45c.d: src/lib.rs
+
+/root/repo/target/release/deps/libsheetmusiq_repro-afc09779f622d45c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsheetmusiq_repro-afc09779f622d45c.rmeta: src/lib.rs
+
+src/lib.rs:

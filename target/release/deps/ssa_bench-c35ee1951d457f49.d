@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ssa_bench-c35ee1951d457f49.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libssa_bench-c35ee1951d457f49.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libssa_bench-c35ee1951d457f49.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

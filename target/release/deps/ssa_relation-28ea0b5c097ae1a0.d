@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/ssa_relation-28ea0b5c097ae1a0.d: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/release/deps/libssa_relation-28ea0b5c097ae1a0.rlib: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/release/deps/libssa_relation-28ea0b5c097ae1a0.rmeta: crates/relation/src/lib.rs crates/relation/src/agg.rs crates/relation/src/catalog.rs crates/relation/src/compiled.rs crates/relation/src/csv.rs crates/relation/src/error.rs crates/relation/src/expr.rs crates/relation/src/expr_parse.rs crates/relation/src/ops.rs crates/relation/src/relation.rs crates/relation/src/rng.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/agg.rs:
+crates/relation/src/catalog.rs:
+crates/relation/src/compiled.rs:
+crates/relation/src/csv.rs:
+crates/relation/src/error.rs:
+crates/relation/src/expr.rs:
+crates/relation/src/expr_parse.rs:
+crates/relation/src/ops.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/rng.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

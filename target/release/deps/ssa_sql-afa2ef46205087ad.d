@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ssa_sql-afa2ef46205087ad.d: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+/root/repo/target/release/deps/libssa_sql-afa2ef46205087ad.rlib: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+/root/repo/target/release/deps/libssa_sql-afa2ef46205087ad.rmeta: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+crates/sqlcore/src/lib.rs:
+crates/sqlcore/src/ast.rs:
+crates/sqlcore/src/eval.rs:
+crates/sqlcore/src/parser.rs:
+crates/sqlcore/src/translate.rs:

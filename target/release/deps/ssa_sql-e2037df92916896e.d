@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ssa_sql-e2037df92916896e.d: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+/root/repo/target/release/deps/libssa_sql-e2037df92916896e.rlib: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+/root/repo/target/release/deps/libssa_sql-e2037df92916896e.rmeta: crates/sqlcore/src/lib.rs crates/sqlcore/src/ast.rs crates/sqlcore/src/eval.rs crates/sqlcore/src/parser.rs crates/sqlcore/src/translate.rs
+
+crates/sqlcore/src/lib.rs:
+crates/sqlcore/src/ast.rs:
+crates/sqlcore/src/eval.rs:
+crates/sqlcore/src/parser.rs:
+crates/sqlcore/src/translate.rs:

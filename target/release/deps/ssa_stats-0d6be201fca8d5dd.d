@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ssa_stats-0d6be201fca8d5dd.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libssa_stats-0d6be201fca8d5dd.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libssa_stats-0d6be201fca8d5dd.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/fisher.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/wilcoxon.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ssa_stats-db9a19bfa8e41c38.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libssa_stats-db9a19bfa8e41c38.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libssa_stats-db9a19bfa8e41c38.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/fisher.rs crates/stats/src/mann_whitney.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/fisher.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/wilcoxon.rs:

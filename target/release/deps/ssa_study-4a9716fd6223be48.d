@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ssa_study-4a9716fd6223be48.d: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+/root/repo/target/release/deps/libssa_study-4a9716fd6223be48.rlib: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+/root/repo/target/release/deps/libssa_study-4a9716fd6223be48.rmeta: crates/study/src/lib.rs crates/study/src/interface.rs crates/study/src/klm.rs crates/study/src/protocol.rs crates/study/src/report.rs crates/study/src/sensitivity.rs crates/study/src/subject.rs
+
+crates/study/src/lib.rs:
+crates/study/src/interface.rs:
+crates/study/src/klm.rs:
+crates/study/src/protocol.rs:
+crates/study/src/report.rs:
+crates/study/src/sensitivity.rs:
+crates/study/src/subject.rs:

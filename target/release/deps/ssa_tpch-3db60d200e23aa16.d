@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ssa_tpch-3db60d200e23aa16.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+/root/repo/target/release/deps/libssa_tpch-3db60d200e23aa16.rlib: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+/root/repo/target/release/deps/libssa_tpch-3db60d200e23aa16.rmeta: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/views.rs:

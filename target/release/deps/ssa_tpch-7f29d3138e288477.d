@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ssa_tpch-7f29d3138e288477.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+/root/repo/target/release/deps/libssa_tpch-7f29d3138e288477.rlib: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+/root/repo/target/release/deps/libssa_tpch-7f29d3138e288477.rmeta: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs crates/tpch/src/views.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/views.rs:

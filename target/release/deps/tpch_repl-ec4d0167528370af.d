@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tpch_repl-ec4d0167528370af.d: crates/bench/src/bin/tpch_repl.rs
+
+/root/repo/target/release/deps/tpch_repl-ec4d0167528370af: crates/bench/src/bin/tpch_repl.rs
+
+crates/bench/src/bin/tpch_repl.rs:

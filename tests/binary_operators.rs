@@ -2,12 +2,11 @@
 //! asymmetry, multiset semantics, computed-column survival, and the
 //! freezing of earlier state.
 
-use proptest::prelude::*;
 use sheetmusiq_repro::prelude::*;
 use spreadsheet_algebra::fixtures::{dealers, used_cars};
 use ssa_relation::schema::Schema;
-use ssa_relation::{Relation, Tuple};
 use ssa_relation::ValueType::Int;
+use ssa_relation::{Relation, Tuple};
 
 fn store(mut sheet: Spreadsheet, name: &str) -> StoredSheet {
     let _ = &mut sheet;
@@ -39,11 +38,15 @@ fn product_is_asymmetric_in_presentation() {
 #[test]
 fn union_uses_current_sheets_presentation() {
     let mut jettas = Spreadsheet::over(used_cars());
-    jettas.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+    jettas
+        .select(Expr::col("Model").eq(Expr::lit("Jetta")))
+        .unwrap();
     let jettas_stored = store(jettas, "jettas");
 
     let mut current = Spreadsheet::over(used_cars());
-    current.select(Expr::col("Model").eq(Expr::lit("Civic"))).unwrap();
+    current
+        .select(Expr::col("Model").eq(Expr::lit("Civic")))
+        .unwrap();
     current.group(&["Year"], Direction::Desc).unwrap();
     current.union(&jettas_stored).unwrap();
 
@@ -64,11 +67,14 @@ fn difference_cancels_one_duplicate_per_tuple() {
     let doubled = Relation::with_rows(
         "doubled",
         schema.clone(),
-        vec![ssa_relation::tuple![1], ssa_relation::tuple![1], ssa_relation::tuple![2]],
+        vec![
+            ssa_relation::tuple![1],
+            ssa_relation::tuple![1],
+            ssa_relation::tuple![2],
+        ],
     )
     .unwrap();
-    let single =
-        Relation::with_rows("single", schema, vec![ssa_relation::tuple![1]]).unwrap();
+    let single = Relation::with_rows("single", schema, vec![ssa_relation::tuple![1]]).unwrap();
 
     let mut sheet = Spreadsheet::over(doubled);
     let stored = store(Spreadsheet::over(single), "single");
@@ -130,50 +136,74 @@ fn projections_survive_binary_operators() {
     sheet.project_out("Mileage").unwrap();
     let stored = store(Spreadsheet::over(used_cars()), "all");
     sheet.union(&stored).unwrap();
-    assert!(!sheet.view().unwrap().visible.contains(&"Mileage".to_string()));
+    assert!(!sheet
+        .view()
+        .unwrap()
+        .visible
+        .contains(&"Mileage".to_string()));
     // and the hidden column still exists in R for later reinstatement
     sheet.reinstate("Mileage").unwrap();
-    assert!(sheet.view().unwrap().visible.contains(&"Mileage".to_string()));
+    assert!(sheet
+        .view()
+        .unwrap()
+        .visible
+        .contains(&"Mileage".to_string()));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Multiset identity: (A ∪ B) − B == A, for random small relations.
-    #[test]
-    fn union_then_difference_is_identity(
-        xs in proptest::collection::vec(0..5i64, 0..12),
-        ys in proptest::collection::vec(0..5i64, 0..12),
-    ) {
+/// Multiset identity: (A ∪ B) − B == A, for random small relations.
+#[test]
+fn union_then_difference_is_identity() {
+    use ssa_relation::rng::Rng;
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xB1AA ^ case);
+        let xs: Vec<i64> = (0..rng.gen_range(0..12usize))
+            .map(|_| rng.gen_range(0..5i64))
+            .collect();
+        let ys: Vec<i64> = (0..rng.gen_range(0..12usize))
+            .map(|_| rng.gen_range(0..5i64))
+            .collect();
         let schema = Schema::of(&[("x", Int)]);
         let a = Relation::with_rows(
             "a",
             schema.clone(),
-            xs.iter().map(|&x| Tuple::new(vec![Value::Int(x)])).collect(),
-        ).unwrap();
+            xs.iter()
+                .map(|&x| Tuple::new(vec![Value::Int(x)]))
+                .collect(),
+        )
+        .unwrap();
         let b = Relation::with_rows(
             "b",
             schema,
-            ys.iter().map(|&y| Tuple::new(vec![Value::Int(y)])).collect(),
-        ).unwrap();
+            ys.iter()
+                .map(|&y| Tuple::new(vec![Value::Int(y)]))
+                .collect(),
+        )
+        .unwrap();
 
         let mut sheet = Spreadsheet::over(a.clone());
         let stored_b = Spreadsheet::over(b).save("b").unwrap();
         sheet.union(&stored_b).unwrap();
         sheet.difference(&stored_b).unwrap();
-        let result = sheet.evaluate_now().unwrap().visible_relation();
-        prop_assert!(result.multiset_eq(&a));
+        let result = sheet.evaluate_now().unwrap().visible_relation().unwrap();
+        assert!(result.multiset_eq(&a), "case {case}");
     }
+}
 
-    /// Product cardinality: |A × B| = |A|·|B| with retained selections
-    /// applied first.
-    #[test]
-    fn product_cardinality(threshold in 13_000..19_000i64) {
+/// Product cardinality: |A × B| = |A|·|B| with retained selections
+/// applied first.
+#[test]
+fn product_cardinality() {
+    use ssa_relation::rng::Rng;
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xCA4D ^ case);
+        let threshold = rng.gen_range(13_000..19_000i64);
         let mut sheet = Spreadsheet::over(used_cars());
-        sheet.select(Expr::col("Price").lt(Expr::lit(threshold))).unwrap();
+        sheet
+            .select(Expr::col("Price").lt(Expr::lit(threshold)))
+            .unwrap();
         let kept = sheet.evaluate_now().unwrap().len();
         let stored = Spreadsheet::over(dealers()).save("d").unwrap();
         sheet.product(&stored).unwrap();
-        prop_assert_eq!(sheet.evaluate_now().unwrap().len(), kept * 3);
+        assert_eq!(sheet.evaluate_now().unwrap().len(), kept * 3, "case {case}");
     }
 }

@@ -7,83 +7,13 @@
 //! selection, projection, aggregation, formula computation, duplicate
 //! elimination, grouping and ordering — over the paper's used-car data.
 
-use proptest::prelude::*;
+mod common;
+
+use common::{arb_op, arb_sheet};
 use sheetmusiq_repro::prelude::*;
 use spreadsheet_algebra::fixtures::used_cars;
 use spreadsheet_algebra::{may_commute, AlgebraOp, SheetError};
-
-fn arb_column() -> impl Strategy<Value = &'static str> {
-    proptest::sample::select(vec!["ID", "Model", "Price", "Year", "Mileage", "Condition"])
-}
-
-fn arb_numeric_column() -> impl Strategy<Value = &'static str> {
-    proptest::sample::select(vec!["ID", "Price", "Year", "Mileage"])
-}
-
-fn arb_direction() -> impl Strategy<Value = Direction> {
-    prop_oneof![Just(Direction::Asc), Just(Direction::Desc)]
-}
-
-fn arb_predicate() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (arb_numeric_column(), 13_000..19_000i64)
-            .prop_map(|(c, v)| Expr::col(c).lt(Expr::lit(v))),
-        (arb_numeric_column(), 2004..2008i64)
-            .prop_map(|(c, v)| Expr::col(c).ge(Expr::lit(v))),
-        proptest::sample::select(vec!["Jetta", "Civic", "Accord"])
-            .prop_map(|m| Expr::col("Model").eq(Expr::lit(m))),
-        proptest::sample::select(vec!["Good", "Excellent"])
-            .prop_map(|c| Expr::col("Condition").eq(Expr::lit(c))),
-    ]
-}
-
-fn arb_op() -> impl Strategy<Value = AlgebraOp> {
-    prop_oneof![
-        arb_predicate().prop_map(|predicate| AlgebraOp::Select { predicate }),
-        arb_column().prop_map(|c| AlgebraOp::Project { column: c.to_string() }),
-        (
-            proptest::sample::select(vec![
-                AggFunc::Avg,
-                AggFunc::Sum,
-                AggFunc::Min,
-                AggFunc::Max,
-                AggFunc::Count
-            ]),
-            arb_numeric_column(),
-            1usize..=3
-        )
-            .prop_map(|(func, column, level)| AlgebraOp::Aggregate {
-                func,
-                column: column.to_string(),
-                level,
-            }),
-        (proptest::sample::select(vec!["Fa", "Fb", "Fc"]), arb_numeric_column()).prop_map(
-            |(name, col)| AlgebraOp::Formula {
-                name: Some(name.to_string()),
-                expr: Expr::col(col).add(Expr::lit(1)),
-            }
-        ),
-        Just(AlgebraOp::Dedup),
-        (arb_column(), arb_direction())
-            .prop_map(|(c, order)| AlgebraOp::Group { basis: vec![c.to_string()], order }),
-        (arb_column(), arb_direction(), 1usize..=3).prop_map(|(c, order, level)| {
-            AlgebraOp::Order { attribute: c.to_string(), order, level }
-        }),
-    ]
-}
-
-/// A starting sheet with 0–2 preparatory operators applied (so pairs are
-/// tested against grouped/filtered states too).
-fn arb_sheet() -> impl Strategy<Value = Spreadsheet> {
-    proptest::collection::vec(arb_op(), 0..3).prop_map(|prep| {
-        let mut s = Spreadsheet::over(used_cars());
-        for op in prep {
-            // Invalid preparatory steps are simply skipped.
-            let _ = op.apply(&mut s);
-        }
-        s
-    })
-}
+use ssa_relation::rng::Rng;
 
 type Outcome = Result<spreadsheet_algebra::Derived, SheetError>;
 
@@ -94,42 +24,54 @@ fn run(sheet: &Spreadsheet, first: &AlgebraOp, second: &AlgebraOp) -> Outcome {
     s.evaluate_now()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn theorem2_commuting_pairs_agree(sheet in arb_sheet(), a in arb_op(), b in arb_op()) {
+#[test]
+fn theorem2_commuting_pairs_agree() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x7E02 ^ case);
+        let sheet = arb_sheet(&mut rng);
+        let a = arb_op(&mut rng);
+        let b = arb_op(&mut rng);
         if may_commute(&a, &b, &sheet) {
             let ab = run(&sheet, &a, &b);
             let ba = run(&sheet, &b, &a);
             match (ab, ba) {
-                (Ok(x), Ok(y)) => prop_assert!(
+                (Ok(x), Ok(y)) => assert!(
                     x.equivalent(&y),
-                    "approved pair produced different sheets: {} / {}", a, b
+                    "case {case}: approved pair produced different sheets: {a} / {b}"
                 ),
                 // An approved pair must at least fail identically in both
                 // orders (e.g. an aggregate level that does not exist).
                 (Err(_), Err(_)) => {}
-                (x, y) => prop_assert!(
-                    false,
-                    "approved pair {} / {} succeeded in one order only: {:?} vs {:?}",
-                    a, b, x.is_ok(), y.is_ok()
+                (x, y) => panic!(
+                    "case {case}: approved pair {a} / {b} succeeded in one order only: \
+                     {:?} vs {:?}",
+                    x.is_ok(),
+                    y.is_ok()
                 ),
             }
         }
     }
+}
 
-    #[test]
-    fn evaluation_is_pure(sheet in arb_sheet()) {
-        // Same state evaluated twice gives the same result — the engine
-        // fact underlying both theorems.
+#[test]
+fn evaluation_is_pure() {
+    // Same state evaluated twice gives the same result — the engine
+    // fact underlying both theorems.
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x9E01 ^ case);
+        let sheet = arb_sheet(&mut rng);
         let a = sheet.evaluate_now();
         let b = sheet.evaluate_now();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn operators_never_panic(sheet in arb_sheet(), op in arb_op()) {
+#[test]
+fn operators_never_panic() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xA703 ^ case);
+        let sheet = arb_sheet(&mut rng);
+        let op = arb_op(&mut rng);
         let mut s = sheet.clone();
         // Result may be Ok or a typed error, but never a panic.
         let _ = op.apply(&mut s);
@@ -142,7 +84,11 @@ fn known_noncommuting_pair_is_rejected() {
     // Regression guard: aggregation then dependent selection must never be
     // approved (precedence).
     let sheet = Spreadsheet::over(used_cars());
-    let agg = AlgebraOp::Aggregate { func: AggFunc::Avg, column: "Price".into(), level: 1 };
+    let agg = AlgebraOp::Aggregate {
+        func: AggFunc::Avg,
+        column: "Price".into(),
+        level: 1,
+    };
     let dep = AlgebraOp::Select {
         predicate: Expr::col("Price").lt(Expr::col("Avg_Price")),
     };

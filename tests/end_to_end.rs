@@ -28,7 +28,7 @@ fn csv_to_spreadsheet_to_render() {
     assert!(text.contains(&avg));
     assert!(text.contains("gadget"));
     // export the visible view back to CSV and re-import
-    let exported = to_csv(&view.visible_relation());
+    let exported = to_csv(&view.visible_relation().unwrap());
     let back = parse_csv("roundtrip", &exported).unwrap();
     assert_eq!(back.len(), 4);
     assert!(back.schema().contains("Avg_Price"));
@@ -67,7 +67,8 @@ fn stored_sheet_survives_json_round_trip_across_sessions() {
     session.load("cars").unwrap();
     {
         let e = session.engine().unwrap();
-        e.select(Expr::col("Condition").eq(Expr::lit("Excellent"))).unwrap();
+        e.select(Expr::col("Condition").eq(Expr::lit("Excellent")))
+            .unwrap();
         e.group_add(&["Model"], Direction::Asc).unwrap();
         e.aggregate(AggFunc::Max, "Price", 2).unwrap();
     }
@@ -106,13 +107,17 @@ fn two_sheets_diff_then_union_is_identity_as_multiset() {
     session.union("y2005").unwrap();
     let view = session.engine().unwrap().view().unwrap();
     assert_eq!(view.len(), 9);
-    assert!(view.visible_relation().multiset_eq(&used_cars()));
+    assert!(view.visible_relation().unwrap().multiset_eq(&used_cars()));
 }
 
 #[test]
 fn study_smoke_end_to_end() {
     use sheetmusiq_repro::study::{run_study, StudyConfig, Tool};
-    let result = run_study(&StudyConfig { seed: 7, scale: 0.02, verify_system: true });
+    let result = run_study(&StudyConfig {
+        seed: 7,
+        scale: 0.02,
+        verify_system: true,
+    });
     assert_eq!(result.runs.len(), 200);
     // direction of the headline results holds for an arbitrary seed
     assert!(result.total_correct(Tool::SheetMusiq) > result.total_correct(Tool::VisualBuilder));
@@ -133,13 +138,23 @@ fn base_relation_update_reflects_in_existing_sheet() {
     );
     // a new car arrives
     catalog
-        .append_rows("cars", vec![ssa_relation::tuple![999, "Jetta", 14000, 2007, 10_000, "Good"]])
+        .append_rows(
+            "cars",
+            vec![ssa_relation::tuple![
+                999, "Jetta", 14000, 2007, 10_000, "Good"
+            ]],
+        )
         .unwrap();
     // computed columns auto-update over the refreshed base
     let mut refreshed = Spreadsheet::over(catalog.get("cars").unwrap().clone());
     refreshed.aggregate(AggFunc::Count, "ID", 1).unwrap();
     assert_eq!(
-        refreshed.view().unwrap().data.value_at(0, "Count_ID").unwrap(),
+        refreshed
+            .view()
+            .unwrap()
+            .data
+            .value_at(0, "Count_ID")
+            .unwrap(),
         &Value::Int(10)
     );
 }
@@ -155,7 +170,9 @@ fn contextual_menu_through_session() {
     let stored_count = session.stored_names().len();
     let entries = context_menu(
         session.engine().unwrap().sheet(),
-        &ClickTarget::Header { column: "Price".into() },
+        &ClickTarget::Header {
+            column: "Price".into(),
+        },
         stored_count,
     )
     .unwrap();

@@ -5,41 +5,42 @@
 //! * undo then redo is an identity;
 //! * the history listing always matches the operations that succeeded.
 
-use proptest::prelude::*;
 use sheetmusiq_repro::prelude::*;
 use spreadsheet_algebra::fixtures::used_cars;
 use spreadsheet_algebra::AlgebraOp;
+use ssa_relation::rng::Rng;
 
-fn arb_op() -> impl Strategy<Value = AlgebraOp> {
-    prop_oneof![
-        (13_000..19_000i64)
-            .prop_map(|v| AlgebraOp::Select { predicate: Expr::col("Price").lt(Expr::lit(v)) }),
-        proptest::sample::select(vec!["Jetta", "Civic"]).prop_map(|m| AlgebraOp::Select {
-            predicate: Expr::col("Model").eq(Expr::lit(m)),
-        }),
-        proptest::sample::select(vec!["Model", "Condition", "Year"]).prop_map(|c| {
-            AlgebraOp::Group { basis: vec![c.to_string()], order: Direction::Asc }
-        }),
-        (
-            proptest::sample::select(vec![AggFunc::Avg, AggFunc::Count]),
-            1usize..=2
-        )
-            .prop_map(|(func, level)| AlgebraOp::Aggregate {
-                func,
-                column: "Price".into(),
-                level,
-            }),
-        proptest::sample::select(vec!["Mileage", "Condition", "ID"])
-            .prop_map(|c| AlgebraOp::Project { column: c.to_string() }),
-        Just(AlgebraOp::Dedup),
-        (proptest::sample::select(vec!["Price", "Mileage"]), 1usize..=2).prop_map(
-            |(c, level)| AlgebraOp::Order {
-                attribute: c.to_string(),
-                order: Direction::Desc,
-                level,
-            }
-        ),
-    ]
+fn arb_op(rng: &mut Rng) -> AlgebraOp {
+    match rng.gen_range(0..7usize) {
+        0 => AlgebraOp::Select {
+            predicate: Expr::col("Price").lt(Expr::lit(rng.gen_range(13_000..19_000i64))),
+        },
+        1 => AlgebraOp::Select {
+            predicate: Expr::col("Model").eq(Expr::lit(*rng.pick(&["Jetta", "Civic"]))),
+        },
+        2 => AlgebraOp::Group {
+            basis: vec![rng.pick(&["Model", "Condition", "Year"]).to_string()],
+            order: Direction::Asc,
+        },
+        3 => AlgebraOp::Aggregate {
+            func: *rng.pick(&[AggFunc::Avg, AggFunc::Count]),
+            column: "Price".into(),
+            level: rng.gen_range(1..=2usize),
+        },
+        4 => AlgebraOp::Project {
+            column: rng.pick(&["Mileage", "Condition", "ID"]).to_string(),
+        },
+        5 => AlgebraOp::Dedup,
+        _ => AlgebraOp::Order {
+            attribute: rng.pick(&["Price", "Mileage"]).to_string(),
+            order: Direction::Desc,
+            level: rng.gen_range(1..=2usize),
+        },
+    }
+}
+
+fn arb_ops(rng: &mut Rng, lo: usize, hi: usize) -> Vec<AlgebraOp> {
+    (0..rng.gen_range(lo..hi)).map(|_| arb_op(rng)).collect()
 }
 
 /// Apply an op through the engine, counting only successes.
@@ -50,68 +51,96 @@ fn apply(engine: &mut Engine, op: &AlgebraOp) -> bool {
             let refs: Vec<&str> = basis.iter().map(|s| s.as_str()).collect();
             engine.group(&refs, *order).is_ok()
         }
-        AlgebraOp::Aggregate { func, column, level } => {
-            engine.aggregate(*func, column, *level).is_ok()
-        }
+        AlgebraOp::Aggregate {
+            func,
+            column,
+            level,
+        } => engine.aggregate(*func, column, *level).is_ok(),
         AlgebraOp::Project { column } => engine.project_out(column).is_ok(),
         AlgebraOp::Dedup => engine.dedup().is_ok(),
-        AlgebraOp::Order { attribute, order, level } => {
-            engine.order(attribute, *order, *level).is_ok()
-        }
-        AlgebraOp::Formula { name, expr } => {
-            engine.formula(name.as_deref(), expr.clone()).is_ok()
-        }
+        AlgebraOp::Order {
+            attribute,
+            order,
+            level,
+        } => engine.order(attribute, *order, *level).is_ok(),
+        AlgebraOp::Formula { name, expr } => engine.formula(name.as_deref(), expr.clone()).is_ok(),
         AlgebraOp::Reinstate { column } => engine.reinstate(column).is_ok(),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn undo_everything_restores_base(ops in proptest::collection::vec(arb_op(), 0..10)) {
+#[test]
+fn undo_everything_restores_base() {
+    for case in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0x0A11 ^ case);
+        let ops = arb_ops(&mut rng, 0, 10);
         let mut engine = Engine::over(used_cars());
         let baseline = engine.sheet().evaluate_now().unwrap();
         let succeeded = ops.iter().filter(|op| apply(&mut engine, op)).count();
-        prop_assert_eq!(engine.history().len(), succeeded);
+        assert_eq!(engine.history().len(), succeeded, "case {case}");
         engine.undo_steps(succeeded).unwrap();
-        prop_assert_eq!(engine.sheet().evaluate_now().unwrap(), baseline);
-        prop_assert!(engine.history().is_empty());
+        assert_eq!(
+            engine.sheet().evaluate_now().unwrap(),
+            baseline,
+            "case {case}"
+        );
+        assert!(engine.history().is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn undo_redo_round_trip(ops in proptest::collection::vec(arb_op(), 1..10), k in 1usize..5) {
+#[test]
+fn undo_redo_round_trip() {
+    for case in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0x0B22 ^ case);
+        let ops = arb_ops(&mut rng, 1, 10);
+        let k = rng.gen_range(1..5usize);
         let mut engine = Engine::over(used_cars());
         let succeeded = ops.iter().filter(|op| apply(&mut engine, op)).count();
-        prop_assume!(succeeded > 0);
+        if succeeded == 0 {
+            continue;
+        }
         let before = engine.sheet().evaluate_now().unwrap();
         let k = k.min(succeeded);
         engine.undo_steps(k).unwrap();
         engine.redo_steps(k).unwrap();
-        prop_assert_eq!(engine.sheet().evaluate_now().unwrap(), before);
+        assert_eq!(
+            engine.sheet().evaluate_now().unwrap(),
+            before,
+            "case {case}"
+        );
         // redo stack is exhausted again
-        prop_assert!(engine.redo().is_err());
+        assert!(engine.redo().is_err(), "case {case}");
     }
+}
 
-    #[test]
-    fn history_entries_are_numbered_and_named(ops in proptest::collection::vec(arb_op(), 0..8)) {
+#[test]
+fn history_entries_are_numbered_and_named() {
+    for case in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0x0C33 ^ case);
+        let ops = arb_ops(&mut rng, 0, 8);
         let mut engine = Engine::over(used_cars());
         for op in &ops {
             apply(&mut engine, op);
         }
         for (i, line) in engine.history().iter().enumerate() {
-            prop_assert!(line.starts_with(&format!("{}. ", i + 1)), "bad numbering: {line}");
-            prop_assert!(line.len() > 4, "entry has a name: {line}");
+            assert!(
+                line.starts_with(&format!("{}. ", i + 1)),
+                "bad numbering: {line}"
+            );
+            assert!(line.len() > 4, "entry has a name: {line}");
         }
     }
+}
 
-    #[test]
-    fn failed_ops_never_change_the_sheet(ops in proptest::collection::vec(arb_op(), 0..8)) {
+#[test]
+fn failed_ops_never_change_the_sheet() {
+    for case in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0x0D44 ^ case);
+        let ops = arb_ops(&mut rng, 0, 8);
         let mut engine = Engine::over(used_cars());
         for op in &ops {
             let before = engine.sheet().evaluate_now();
             if !apply(&mut engine, op) {
-                prop_assert_eq!(engine.sheet().evaluate_now(), before);
+                assert_eq!(engine.sheet().evaluate_now(), before, "case {case}");
             }
         }
     }
@@ -120,7 +149,9 @@ proptest! {
 #[test]
 fn undo_across_save_does_not_affect_stored_snapshot() {
     let mut engine = Engine::over(used_cars());
-    engine.select(Expr::col("Model").eq(Expr::lit("Jetta"))).unwrap();
+    engine
+        .select(Expr::col("Model").eq(Expr::lit("Jetta")))
+        .unwrap();
     let stored = engine.save("jettas").unwrap();
     engine.undo().unwrap();
     // the live sheet is back to 9 rows, the snapshot still has 6

@@ -1,0 +1,206 @@
+//! Differential tests for the two evaluation engines.
+//!
+//! The index-vector engine (default) and the naive row-cloning engine
+//! must be observationally identical: same `Derived` (data, tree,
+//! visible list) for every state, same errors for every invalid state,
+//! and the same results whatever the parallelism threshold. The naive
+//! engine is the oracle — it is a direct transcription of the paper's
+//! canonical pipeline over whole relations.
+
+mod common;
+
+use common::{arb_op, arb_sheet};
+use spreadsheet_algebra::eval::{evaluate_with, EvalOptions};
+use spreadsheet_algebra::prelude::*;
+use spreadsheet_algebra::{ComputedColumn, QueryState};
+use ssa_relation::rng::Rng;
+use ssa_relation::schema::Schema;
+use ssa_relation::tuple;
+use ssa_relation::ValueType::{Int, Str};
+
+const SEED: u64 = 0xE7A1_5EED;
+
+fn naive() -> EvalOptions {
+    EvalOptions {
+        naive: true,
+        ..EvalOptions::default()
+    }
+}
+
+fn indexed(parallel_threshold: usize) -> EvalOptions {
+    EvalOptions {
+        naive: false,
+        parallel_threshold,
+    }
+}
+
+/// The oracle check: evaluate one (base, state) pair on both engines and
+/// demand identical output (or identical failure).
+fn assert_engines_agree(base: &ssa_relation::Relation, state: &QueryState, case: u64) {
+    let reference = evaluate_with(base, state, naive());
+    for threshold in [usize::MAX, 1] {
+        let candidate = evaluate_with(base, state, indexed(threshold));
+        match (&reference, &candidate) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "case {case}, threshold {threshold}");
+                assert!(a.equivalent(b), "case {case}: equal but not equivalent?");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("case {case}: naive {a:?} vs indexed {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_random_operator_sequences() {
+    for case in 0..80u64 {
+        let mut rng = Rng::seed_from_u64(SEED ^ (case << 8));
+        let mut sheet = arb_sheet(&mut rng);
+        for _ in 0..rng.gen_range(0..5usize) {
+            // Invalid operator draws (bad level, non-superset basis…) are
+            // skipped, mirroring a user retrying in the UI.
+            let _ = arb_op(&mut rng).apply(&mut sheet);
+        }
+        assert_engines_agree(sheet.base(), sheet.state(), case);
+    }
+}
+
+/// Random rows over a used-cars-shaped schema, sized to exercise the
+/// chunked parallel paths with more than one row per worker.
+fn synthetic_cars(rng: &mut Rng, n: usize) -> ssa_relation::Relation {
+    let models = ["Jetta", "Civic", "Accord", "Focus"];
+    let conditions = ["Good", "Fair", "Excellent"];
+    let rows = (0..n)
+        .map(|i| {
+            tuple![
+                i as i64,
+                *rng.pick(&models),
+                rng.gen_range(8_000..25_000i64),
+                rng.gen_range(2000..2009i64),
+                rng.gen_range(10_000..120_000i64),
+                *rng.pick(&conditions)
+            ]
+        })
+        .collect();
+    ssa_relation::Relation::with_rows(
+        "cars",
+        Schema::of(&[
+            ("ID", Int),
+            ("Model", Str),
+            ("Price", Int),
+            ("Year", Int),
+            ("Mileage", Int),
+            ("Condition", Str),
+        ]),
+        rows,
+    )
+    .unwrap()
+}
+
+/// A state exercising every stage at once: dedup, formula, aggregate
+/// feeding a selection, plain selection, projection, grouping, ordering.
+fn full_state() -> QueryState {
+    let mut st = QueryState::new();
+    st.dedup = true;
+    st.spec.levels.push(spreadsheet_algebra::GroupLevel::new(
+        ["Model"],
+        Direction::Desc,
+    ));
+    st.spec.levels.push(spreadsheet_algebra::GroupLevel::new(
+        ["Year"],
+        Direction::Asc,
+    ));
+    st.spec.finest_order.push(OrderKey::asc("Price"));
+    st.computed.push(ComputedColumn::formula(
+        "PriceK",
+        Expr::col("Price").div(Expr::lit(1000)),
+    ));
+    st.computed.push(ComputedColumn::aggregate(
+        "Avg_Price",
+        AggFunc::Avg,
+        "Price",
+        2,
+        vec!["Model".into()],
+    ));
+    st.add_selection(Expr::col("Price").le(Expr::col("Avg_Price")));
+    st.add_selection(Expr::col("Year").ge(Expr::lit(2002)));
+    st.projected_out.insert("Condition".into());
+    st
+}
+
+#[test]
+fn engines_agree_on_bulk_synthetic_data() {
+    let mut rng = Rng::seed_from_u64(SEED ^ 0xB01D);
+    let base = synthetic_cars(&mut rng, 4096);
+    assert_engines_agree(&base, &full_state(), 0xB01D);
+}
+
+#[test]
+fn parallel_threshold_is_invisible() {
+    // Sequential vs fully-chunked index-vector evaluation: bit-identical.
+    let mut rng = Rng::seed_from_u64(SEED ^ 0xC0DE);
+    let base = synthetic_cars(&mut rng, 2048);
+    let st = full_state();
+    let sequential = evaluate_with(&base, &st, indexed(usize::MAX)).unwrap();
+    let parallel = evaluate_with(&base, &st, indexed(1)).unwrap();
+    assert_eq!(sequential, parallel);
+
+    // And on small random sheets drawn from the operator generators.
+    for case in 0..30u64 {
+        let mut rng = Rng::seed_from_u64(SEED ^ 0xD00D ^ (case << 8));
+        let sheet = arb_sheet(&mut rng);
+        let a = evaluate_with(sheet.base(), sheet.state(), indexed(usize::MAX));
+        let b = evaluate_with(sheet.base(), sheet.state(), indexed(1));
+        assert_eq!(a, b, "case {case}");
+    }
+}
+
+#[test]
+fn engines_agree_on_invalid_states() {
+    let base = spreadsheet_algebra::fixtures::used_cars();
+
+    // Unknown column in a selection.
+    let mut st = QueryState::new();
+    st.add_selection(Expr::col("Ghost").gt(Expr::lit(0)));
+    assert_eq!(
+        evaluate_with(&base, &st, naive()).unwrap_err(),
+        evaluate_with(&base, &st, indexed(usize::MAX)).unwrap_err(),
+    );
+
+    // Cyclic computed column.
+    let mut st = QueryState::new();
+    st.computed.push(ComputedColumn::formula(
+        "Loop",
+        Expr::col("Loop").add(Expr::lit(1)),
+    ));
+    assert_eq!(
+        evaluate_with(&base, &st, naive()).unwrap_err(),
+        evaluate_with(&base, &st, indexed(usize::MAX)).unwrap_err(),
+    );
+
+    // Numeric aggregate over a string column fails in both engines.
+    let mut st = QueryState::new();
+    st.computed.push(ComputedColumn::aggregate(
+        "Bad",
+        AggFunc::Sum,
+        "Model",
+        1,
+        vec![],
+    ));
+    assert!(evaluate_with(&base, &st, naive()).is_err());
+    assert!(evaluate_with(&base, &st, indexed(usize::MAX)).is_err());
+}
+
+#[test]
+fn sheet_engine_toggle_produces_identical_views() {
+    for case in 0..20u64 {
+        let mut rng = Rng::seed_from_u64(SEED ^ 0xFACE ^ (case << 8));
+        let mut sheet = arb_sheet(&mut rng);
+        let indexed_view = sheet.view().unwrap().clone();
+        sheet.set_naive_eval(true);
+        let naive_view = sheet.view().unwrap().clone();
+        assert_eq!(indexed_view, naive_view, "case {case}");
+        sheet.set_naive_eval(false);
+        assert_eq!(sheet.view().unwrap(), &indexed_view, "case {case}");
+    }
+}

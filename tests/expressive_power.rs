@@ -6,100 +6,112 @@
 //! ⊆ projection ∪ aggregation), run both the SQL reference evaluator and
 //! the seven-step translation, and check equivalence.
 
-use proptest::prelude::*;
 use sheetmusiq_repro::prelude::*;
+use ssa_relation::rng::Rng;
 use ssa_relation::schema::Schema;
-use ssa_relation::{Relation, Tuple};
 use ssa_relation::ValueType::{Int, Str};
-use ssa_sql::{equivalent, eval_select, translate, parse_select};
+use ssa_relation::{Relation, Tuple};
+use ssa_sql::{equivalent, eval_select, parse_select, translate};
 
 /// Random relation over a fixed 4-column schema (two groupable string
 /// columns, two numeric ones).
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    let row = (0..4i64, 0..3i64, 0..100i64, 0..50i64);
-    proptest::collection::vec(row, 0..40).prop_map(|rows| {
-        let schema = Schema::of(&[("g", Str), ("h", Str), ("x", Int), ("y", Int)]);
-        let mut rel = Relation::new("t", schema);
-        for (g, h, x, y) in rows {
-            rel.insert(Tuple::new(vec![
-                Value::Str(format!("g{g}")),
-                Value::Str(format!("h{h}")),
-                Value::Int(x),
-                Value::Int(y),
-            ]))
-            .expect("widths match");
-        }
-        rel
-    })
+fn arb_relation(rng: &mut Rng) -> Relation {
+    let schema = Schema::of(&[("g", Str), ("h", Str), ("x", Int), ("y", Int)]);
+    let mut rel = Relation::new("t", schema);
+    for _ in 0..rng.gen_range(0..40usize) {
+        rel.insert(Tuple::new(vec![
+            Value::Str(format!("g{}", rng.gen_range(0..4i64))),
+            Value::Str(format!("h{}", rng.gen_range(0..3i64))),
+            Value::Int(rng.gen_range(0..100i64)),
+            Value::Int(rng.gen_range(0..50i64)),
+        ]))
+        .expect("widths match");
+    }
+    rel
 }
 
 /// Random WHERE conjunct over the schema.
-fn arb_conjunct() -> impl Strategy<Value = String> {
-    prop_oneof![
-        (0..4i64).prop_map(|g| format!("g <> 'g{g}'")),
-        (0..100i64).prop_map(|x| format!("x < {x}")),
-        (0..100i64).prop_map(|x| format!("x >= {x}")),
-        (0..50i64).prop_map(|y| format!("y <= {y}")),
-        Just("x + y > 60".to_string()),
-    ]
+fn arb_conjunct(rng: &mut Rng) -> String {
+    match rng.gen_range(0..5usize) {
+        0 => format!("g <> 'g{}'", rng.gen_range(0..4i64)),
+        1 => format!("x < {}", rng.gen_range(0..100i64)),
+        2 => format!("x >= {}", rng.gen_range(0..100i64)),
+        3 => format!("y <= {}", rng.gen_range(0..50i64)),
+        _ => "x + y > 60".to_string(),
+    }
+}
+
+/// Order-preserving random subsequence of up to `max` elements.
+fn arb_subsequence<'a>(rng: &mut Rng, pool: &[&'a str], max: usize) -> Vec<&'a str> {
+    let want = rng.gen_range(0..max);
+    let mut picked = Vec::new();
+    for item in pool {
+        if picked.len() < want && rng.gen_bool(want as f64 / pool.len() as f64) {
+            picked.push(*item);
+        }
+    }
+    picked
 }
 
 /// A random core single-block statement as SQL text.
-fn arb_statement() -> impl Strategy<Value = String> {
-    (
-        proptest::collection::vec(arb_conjunct(), 0..3),
-        proptest::sample::select(vec![
-            Vec::<&str>::new(),
-            vec!["g"],
-            vec!["g", "h"],
-        ]),
-        proptest::sample::subsequence(vec!["SUM(x)", "AVG(y)", "COUNT(*)", "MIN(x)", "MAX(y)"], 0..3),
-        any::<bool>(), // having?
-        any::<bool>(), // order by?
-        any::<bool>(), // order direction
-    )
-        .prop_map(|(conjuncts, group_by, aggs, want_having, want_order, desc)| {
-            let grouped = !group_by.is_empty();
-            // SELECT list: grouping columns (so projection ⊆ grouping) +
-            // aggregates; ungrouped queries with no aggregates select raw
-            // columns.
-            let mut items: Vec<String> = if grouped {
-                group_by.iter().map(|s| s.to_string()).collect()
-            } else if aggs.is_empty() {
-                vec!["g".into(), "x".into(), "y".into()]
-            } else {
-                vec![]
-            };
-            let mut aggs = aggs;
-            if grouped && aggs.is_empty() && want_having {
-                aggs.push("COUNT(*)");
-            }
-            items.extend(aggs.iter().map(|s| s.to_string()));
-            if items.is_empty() {
-                items.push("COUNT(*)".into());
-                aggs.push("COUNT(*)");
-            }
+fn arb_statement(rng: &mut Rng) -> String {
+    let conjuncts: Vec<String> = (0..rng.gen_range(0..3usize))
+        .map(|_| arb_conjunct(rng))
+        .collect();
+    let group_by: Vec<&str> = match rng.gen_range(0..3usize) {
+        0 => Vec::new(),
+        1 => vec!["g"],
+        _ => vec!["g", "h"],
+    };
+    let aggs = arb_subsequence(
+        rng,
+        &["SUM(x)", "AVG(y)", "COUNT(*)", "MIN(x)", "MAX(y)"],
+        3,
+    );
+    let want_having = rng.gen_bool(0.5);
+    let want_order = rng.gen_bool(0.5);
+    let desc = rng.gen_bool(0.5);
 
-            let mut sql = format!("SELECT {} FROM t", items.join(", "));
-            if !conjuncts.is_empty() {
-                sql.push_str(&format!(" WHERE {}", conjuncts.join(" AND ")));
-            }
-            if grouped {
-                sql.push_str(&format!(" GROUP BY {}", group_by.join(", ")));
-            }
-            if want_having && grouped && !aggs.is_empty() {
-                sql.push_str(&format!(" HAVING {} >= 0", canonical(aggs[0])));
-            }
-            if want_order {
-                // ordering-list ⊆ projection ∪ aggregation
-                let target = items[0].clone();
-                sql.push_str(&format!(
-                    " ORDER BY {target}{}",
-                    if desc { " DESC" } else { "" }
-                ));
-            }
-            sql
-        })
+    let grouped = !group_by.is_empty();
+    // SELECT list: grouping columns (so projection ⊆ grouping) +
+    // aggregates; ungrouped queries with no aggregates select raw
+    // columns.
+    let mut items: Vec<String> = if grouped {
+        group_by.iter().map(|s| s.to_string()).collect()
+    } else if aggs.is_empty() {
+        vec!["g".into(), "x".into(), "y".into()]
+    } else {
+        vec![]
+    };
+    let mut aggs = aggs;
+    if grouped && aggs.is_empty() && want_having {
+        aggs.push("COUNT(*)");
+    }
+    items.extend(aggs.iter().map(|s| s.to_string()));
+    if items.is_empty() {
+        items.push("COUNT(*)".into());
+        aggs.push("COUNT(*)");
+    }
+
+    let mut sql = format!("SELECT {} FROM t", items.join(", "));
+    if !conjuncts.is_empty() {
+        sql.push_str(&format!(" WHERE {}", conjuncts.join(" AND ")));
+    }
+    if grouped {
+        sql.push_str(&format!(" GROUP BY {}", group_by.join(", ")));
+    }
+    if want_having && grouped && !aggs.is_empty() {
+        sql.push_str(&format!(" HAVING {} >= 0", canonical(aggs[0])));
+    }
+    if want_order {
+        // ordering-list ⊆ projection ∪ aggregation
+        let target = items[0].clone();
+        sql.push_str(&format!(
+            " ORDER BY {target}{}",
+            if desc { " DESC" } else { "" }
+        ));
+    }
+    sql
 }
 
 /// The canonical aggregate-output name used by both sides.
@@ -114,11 +126,12 @@ fn canonical(agg: &str) -> &'static str {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn theorem1_translation_is_equivalent(rel in arb_relation(), sql in arb_statement()) {
+#[test]
+fn theorem1_translation_is_equivalent() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0xE991 ^ case);
+        let rel = arb_relation(&mut rng);
+        let sql = arb_statement(&mut rng);
         let stmt = parse_select(&sql).expect("generated SQL is core single-block");
         let mut catalog = Catalog::new();
         catalog.register(rel).expect("fresh catalog");
@@ -127,22 +140,27 @@ proptest! {
         let translated = translate(&stmt, &catalog).expect("translation succeeds");
         let sheet_result = translated.result().expect("sheet evaluates");
 
-        prop_assert!(
+        assert!(
             equivalent(&stmt, &reference, &sheet_result),
-            "not equivalent for `{sql}`:\nSQL rows: {}\nsheet rows: {}",
+            "case {case}: not equivalent for `{sql}`:\nSQL rows: {}\nsheet rows: {}",
             reference.len(),
             sheet_result.len()
         );
     }
+}
 
-    #[test]
-    fn sql_evaluator_is_deterministic(rel in arb_relation(), sql in arb_statement()) {
+#[test]
+fn sql_evaluator_is_deterministic() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0xD881 ^ case);
+        let rel = arb_relation(&mut rng);
+        let sql = arb_statement(&mut rng);
         let stmt = parse_select(&sql).expect("generated SQL parses");
         let mut catalog = Catalog::new();
         catalog.register(rel).expect("fresh catalog");
         let a = eval_select(&stmt, &catalog).expect("evaluates");
         let b = eval_select(&stmt, &catalog).expect("evaluates");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }
 
@@ -155,10 +173,16 @@ fn theorem1_two_relation_product() {
     let mut left = Relation::new("l", Schema::of(&[("k", Int), ("v", Str)]));
     let mut right = Relation::new("r", Schema::of(&[("k2", Int), ("w", Str)]));
     for i in 0..6 {
-        left.insert(Tuple::new(vec![Value::Int(i % 3), Value::Str(format!("v{i}"))]))
-            .unwrap();
+        left.insert(Tuple::new(vec![
+            Value::Int(i % 3),
+            Value::Str(format!("v{i}")),
+        ]))
+        .unwrap();
         right
-            .insert(Tuple::new(vec![Value::Int(i % 3), Value::Str(format!("w{i}"))]))
+            .insert(Tuple::new(vec![
+                Value::Int(i % 3),
+                Value::Str(format!("w{i}")),
+            ]))
             .unwrap();
     }
     catalog.register(left).unwrap();

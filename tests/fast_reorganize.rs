@@ -3,57 +3,53 @@
 //! the canonical pipeline. These tests pin that the fast path is
 //! *observationally identical* to full evaluation.
 
-use proptest::prelude::*;
 use sheetmusiq_repro::prelude::*;
 use spreadsheet_algebra::fixtures::used_cars;
 use spreadsheet_algebra::AlgebraOp;
+use ssa_relation::rng::Rng;
 
-fn arb_op() -> impl Strategy<Value = AlgebraOp> {
-    prop_oneof![
+fn arb_op(rng: &mut Rng) -> AlgebraOp {
+    match rng.gen_range(0..7usize) {
         // content-changing
-        (13_000..19_000i64)
-            .prop_map(|v| AlgebraOp::Select { predicate: Expr::col("Price").lt(Expr::lit(v)) }),
-        (
-            proptest::sample::select(vec![AggFunc::Avg, AggFunc::Count, AggFunc::Max]),
-            1usize..=3
-        )
-            .prop_map(|(func, level)| AlgebraOp::Aggregate {
-                func,
-                column: "Price".into(),
-                level,
-            }),
-        Just(AlgebraOp::Dedup),
+        0 => AlgebraOp::Select {
+            predicate: Expr::col("Price").lt(Expr::lit(rng.gen_range(13_000..19_000i64))),
+        },
+        1 => AlgebraOp::Aggregate {
+            func: *rng.pick(&[AggFunc::Avg, AggFunc::Count, AggFunc::Max]),
+            column: "Price".into(),
+            level: rng.gen_range(1..=3usize),
+        },
+        2 => AlgebraOp::Dedup,
         // organization-only (the fast-path triggers)
-        proptest::sample::select(vec!["Model", "Condition", "Year"]).prop_map(|c| {
-            AlgebraOp::Group { basis: vec![c.to_string()], order: Direction::Desc }
-        }),
-        (
-            proptest::sample::select(vec!["Price", "Mileage", "ID", "Year"]),
-            1usize..=3
-        )
-            .prop_map(|(c, level)| AlgebraOp::Order {
-                attribute: c.to_string(),
-                order: Direction::Asc,
-                level,
-            }),
-        proptest::sample::select(vec!["Mileage", "Condition"])
-            .prop_map(|c| AlgebraOp::Project { column: c.to_string() }),
-        proptest::sample::select(vec!["Mileage", "Condition"])
-            .prop_map(|c| AlgebraOp::Reinstate { column: c.to_string() }),
-    ]
+        3 => AlgebraOp::Group {
+            basis: vec![rng.pick(&["Model", "Condition", "Year"]).to_string()],
+            order: Direction::Desc,
+        },
+        4 => AlgebraOp::Order {
+            attribute: rng.pick(&["Price", "Mileage", "ID", "Year"]).to_string(),
+            order: Direction::Asc,
+            level: rng.gen_range(1..=3usize),
+        },
+        5 => AlgebraOp::Project {
+            column: rng.pick(&["Mileage", "Condition"]).to_string(),
+        },
+        _ => AlgebraOp::Reinstate {
+            column: rng.pick(&["Mileage", "Condition"]).to_string(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After every step of a random session, the cached/fast-path `view`
-    /// equals a from-scratch evaluation — with the fast path both on and
-    /// off.
-    #[test]
-    fn view_always_equals_full_evaluation(
-        ops in proptest::collection::vec(arb_op(), 0..10),
-        fast in any::<bool>(),
-    ) {
+/// After every step of a random session, the cached/fast-path `view`
+/// equals a from-scratch evaluation — with the fast path both on and
+/// off.
+#[test]
+fn view_always_equals_full_evaluation() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0xFA57 ^ case);
+        let ops: Vec<AlgebraOp> = (0..rng.gen_range(0..10usize))
+            .map(|_| arb_op(&mut rng))
+            .collect();
+        let fast = rng.gen_bool(0.5);
         let mut sheet = Spreadsheet::over(used_cars());
         sheet.set_fast_reorganize(fast);
         // prime the cache so later ops hit the reorganize/reuse branches
@@ -62,20 +58,26 @@ proptest! {
             if op.apply(&mut sheet).is_ok() {
                 let fresh = sheet.evaluate_now().expect("state is valid");
                 let viewed = sheet.view().expect("view succeeds").clone();
-                prop_assert_eq!(viewed, fresh);
+                assert_eq!(viewed, fresh, "case {case}");
             }
         }
     }
+}
 
-    /// Interleaving reads must not change results either (cache reuse).
-    #[test]
-    fn repeated_views_are_stable(ops in proptest::collection::vec(arb_op(), 0..8)) {
+/// Interleaving reads must not change results either (cache reuse).
+#[test]
+fn repeated_views_are_stable() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x57AB ^ case);
+        let ops: Vec<AlgebraOp> = (0..rng.gen_range(0..8usize))
+            .map(|_| arb_op(&mut rng))
+            .collect();
         let mut sheet = Spreadsheet::over(used_cars());
         for op in &ops {
             let _ = op.apply(&mut sheet);
             let a = sheet.view().expect("view").clone();
             let b = sheet.view().expect("view").clone();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
     }
 }
@@ -111,7 +113,9 @@ fn reorganize_path_handles_grouping_then_ordering_then_projection() {
     }
 
     // A content change falls back to the full pipeline.
-    sheet.select(Expr::col("Condition").eq(Expr::lit("Good"))).unwrap();
+    sheet
+        .select(Expr::col("Condition").eq(Expr::lit("Good")))
+        .unwrap();
     {
         let fresh = sheet.evaluate_now().unwrap();
         assert_eq!(*sheet.view().unwrap(), fresh);
@@ -154,8 +158,8 @@ fn fast_path_tiebreak_matches_full_evaluation() {
     sheet.group(&["Condition"], Direction::Asc).unwrap();
     sheet.order("Price", Direction::Desc, 2).unwrap();
     sheet.view().unwrap(); // presentation now Condition/Price-ordered
-    // destroys the Condition grouping; new finest order = Year only,
-    // which has many ties
+                           // destroys the Condition grouping; new finest order = Year only,
+                           // which has many ties
     sheet.order("Year", Direction::Asc, 1).unwrap();
     let fresh = sheet.evaluate_now().unwrap();
     assert_eq!(*sheet.view().unwrap(), fresh);

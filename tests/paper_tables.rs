@@ -40,7 +40,8 @@ fn table_ii_grouping_by_condition() {
     // Example 1: τ_{Year,Model,Condition},ASC creates a fourth level with
     // relative basis Condition.
     let mut s = table1();
-    s.group(&["Year", "Model", "Condition"], Direction::Asc).unwrap();
+    s.group(&["Year", "Model", "Condition"], Direction::Asc)
+        .unwrap();
     assert_eq!(ids(&s), vec![872, 901, 304, 723, 725, 423, 132, 879, 322]);
     assert_eq!(s.state().spec.level_count(), 4);
     assert!(s.state().spec.in_relative_basis("Condition", 4));
@@ -67,11 +68,15 @@ fn table_iii_avg_price_values() {
         15500.0,
     ];
     for (v, e) in col.iter().zip(expected) {
-        let Value::Float(f) = v else { panic!("aggregate must be float") };
+        let Value::Float(f) = v else {
+            panic!("aggregate must be float")
+        };
         assert!((f - e).abs() < 1e-9, "{f} vs {e}");
     }
     // The paper's rendering rounds Jetta-2005 to $15,167.
-    let Value::Float(f) = &col[0] else { unreachable!() };
+    let Value::Float(f) = &col[0] else {
+        unreachable!()
+    };
     assert_eq!(f.round() as i64, 15167);
 }
 

@@ -11,48 +11,52 @@
 //! * path B — replay the history from scratch with the edit applied at
 //!   the original position.
 
-use proptest::prelude::*;
 use sheetmusiq_repro::prelude::*;
 use spreadsheet_algebra::fixtures::used_cars;
 use spreadsheet_algebra::AlgebraOp;
+use ssa_relation::rng::Rng;
 
-fn arb_predicate() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (13_000..19_000i64).prop_map(|v| Expr::col("Price").lt(Expr::lit(v))),
-        (2004..2008i64).prop_map(|v| Expr::col("Year").eq(Expr::lit(v))),
-        (20_000..100_000i64).prop_map(|v| Expr::col("Mileage").lt(Expr::lit(v))),
-        proptest::sample::select(vec!["Jetta", "Civic"])
-            .prop_map(|m| Expr::col("Model").eq(Expr::lit(m))),
-    ]
+fn arb_predicate(rng: &mut Rng) -> Expr {
+    match rng.gen_range(0..4usize) {
+        0 => Expr::col("Price").lt(Expr::lit(rng.gen_range(13_000..19_000i64))),
+        1 => Expr::col("Year").eq(Expr::lit(rng.gen_range(2004..2008i64))),
+        2 => Expr::col("Mileage").lt(Expr::lit(rng.gen_range(20_000..100_000i64))),
+        _ => Expr::col("Model").eq(Expr::lit(*rng.pick(&["Jetta", "Civic"]))),
+    }
 }
 
-/// History steps. Aggregates use base numeric columns only so that their
-/// applicability never depends on the data (only on the grouping depth,
-/// which selections cannot change) — a failed step then fails identically
-/// on both paths.
-fn arb_step() -> impl Strategy<Value = AlgebraOp> {
-    prop_oneof![
-        4 => arb_predicate().prop_map(|predicate| AlgebraOp::Select { predicate }),
-        1 => proptest::sample::select(vec!["Model", "Condition", "Year"]).prop_map(|c| {
-            AlgebraOp::Group { basis: vec![c.to_string()], order: Direction::Asc }
-        }),
-        1 => (
-            proptest::sample::select(vec![AggFunc::Avg, AggFunc::Count, AggFunc::Max]),
-            proptest::sample::select(vec!["Price", "Mileage"]),
-            1usize..=2
-        )
-            .prop_map(|(func, column, level)| AlgebraOp::Aggregate {
-                func,
-                column: column.to_string(),
-                level,
-            }),
-        1 => proptest::sample::select(vec!["Price", "Mileage", "ID"]).prop_map(|c| {
-            AlgebraOp::Order { attribute: c.to_string(), order: Direction::Desc, level: 1 }
-        }),
-        1 => proptest::sample::select(vec!["Mileage", "Condition"])
-            .prop_map(|c| AlgebraOp::Project { column: c.to_string() }),
-        1 => Just(AlgebraOp::Dedup),
-    ]
+/// History steps, selection-weighted 4:5 like the original generator.
+/// Aggregates use base numeric columns only so that their applicability
+/// never depends on the data (only on the grouping depth, which selections
+/// cannot change) — a failed step then fails identically on both paths.
+fn arb_step(rng: &mut Rng) -> AlgebraOp {
+    match rng.gen_range(0..9usize) {
+        0..=3 => AlgebraOp::Select {
+            predicate: arb_predicate(rng),
+        },
+        4 => AlgebraOp::Group {
+            basis: vec![rng.pick(&["Model", "Condition", "Year"]).to_string()],
+            order: Direction::Asc,
+        },
+        5 => AlgebraOp::Aggregate {
+            func: *rng.pick(&[AggFunc::Avg, AggFunc::Count, AggFunc::Max]),
+            column: rng.pick(&["Price", "Mileage"]).to_string(),
+            level: rng.gen_range(1..=2usize),
+        },
+        6 => AlgebraOp::Order {
+            attribute: rng.pick(&["Price", "Mileage", "ID"]).to_string(),
+            order: Direction::Desc,
+            level: 1,
+        },
+        7 => AlgebraOp::Project {
+            column: rng.pick(&["Mileage", "Condition"]).to_string(),
+        },
+        _ => AlgebraOp::Dedup,
+    }
+}
+
+fn arb_steps(rng: &mut Rng, lo: usize, hi: usize) -> Vec<AlgebraOp> {
+    (0..rng.gen_range(lo..hi)).map(|_| arb_step(rng)).collect()
 }
 
 /// Apply a history; selections return their ids in order.
@@ -69,15 +73,12 @@ fn apply_history(sheet: &mut Spreadsheet, steps: &[AlgebraOp]) -> Vec<Option<u64
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn theorem3_replace_equals_replay(
-        steps in proptest::collection::vec(arb_step(), 1..8),
-        pick in any::<prop::sample::Index>(),
-        new_pred in arb_predicate(),
-    ) {
+#[test]
+fn theorem3_replace_equals_replay() {
+    for case in 0..192u64 {
+        let mut rng = Rng::seed_from_u64(0x3A01 ^ case);
+        let steps = arb_steps(&mut rng, 1, 8);
+        let new_pred = arb_predicate(&mut rng);
         // Path A: full history, then state edit.
         let mut a = Spreadsheet::over(used_cars());
         let ids = apply_history(&mut a, &steps);
@@ -86,24 +87,30 @@ proptest! {
             .enumerate()
             .filter_map(|(i, id)| id.map(|id| (i, id)))
             .collect();
-        prop_assume!(!selections.is_empty());
-        let (step_idx, sel_id) = selections[pick.index(selections.len())];
-        a.replace_selection(sel_id, new_pred.clone()).expect("id is live");
+        if selections.is_empty() {
+            continue;
+        }
+        let (step_idx, sel_id) = selections[rng.gen_range(0..selections.len())];
+        a.replace_selection(sel_id, new_pred.clone())
+            .expect("id is live");
 
         // Path B: replay with the edit at the original position.
         let mut b = Spreadsheet::over(used_cars());
         let mut edited = steps.clone();
-        edited[step_idx] = AlgebraOp::Select { predicate: new_pred };
+        edited[step_idx] = AlgebraOp::Select {
+            predicate: new_pred,
+        };
         apply_history(&mut b, &edited);
 
-        prop_assert_eq!(a.evaluate_now(), b.evaluate_now());
+        assert_eq!(a.evaluate_now(), b.evaluate_now(), "case {case}");
     }
+}
 
-    #[test]
-    fn theorem3_remove_equals_replay_without(
-        steps in proptest::collection::vec(arb_step(), 1..8),
-        pick in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn theorem3_remove_equals_replay_without() {
+    for case in 0..192u64 {
+        let mut rng = Rng::seed_from_u64(0x3B02 ^ case);
+        let steps = arb_steps(&mut rng, 1, 8);
         let mut a = Spreadsheet::over(used_cars());
         let ids = apply_history(&mut a, &steps);
         let selections: Vec<(usize, u64)> = ids
@@ -111,8 +118,10 @@ proptest! {
             .enumerate()
             .filter_map(|(i, id)| id.map(|id| (i, id)))
             .collect();
-        prop_assume!(!selections.is_empty());
-        let (step_idx, sel_id) = selections[pick.index(selections.len())];
+        if selections.is_empty() {
+            continue;
+        }
+        let (step_idx, sel_id) = selections[rng.gen_range(0..selections.len())];
         a.remove_selection(sel_id).expect("id is live");
 
         let mut b = Spreadsheet::over(used_cars());
@@ -120,15 +129,17 @@ proptest! {
         edited.remove(step_idx);
         apply_history(&mut b, &edited);
 
-        prop_assert_eq!(a.evaluate_now(), b.evaluate_now());
+        assert_eq!(a.evaluate_now(), b.evaluate_now(), "case {case}");
     }
+}
 
-    #[test]
-    fn reinstate_makes_projection_never_happen(
-        steps in proptest::collection::vec(arb_step(), 0..6),
-    ) {
-        // Sec. V-B: "the semantics of the reinstatement are to rewrite
-        // history, and make it as if the projection never took place."
+#[test]
+fn reinstate_makes_projection_never_happen() {
+    // Sec. V-B: "the semantics of the reinstatement are to rewrite
+    // history, and make it as if the projection never took place."
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x3C03 ^ case);
+        let steps = arb_steps(&mut rng, 0, 6);
         let mut a = Spreadsheet::over(used_cars());
         apply_history(&mut a, &steps);
         let hidden_before = a.state().projected_out.clone();
@@ -137,8 +148,8 @@ proptest! {
         }
         let mut b = Spreadsheet::over(used_cars());
         apply_history(&mut b, &steps);
-        prop_assert_eq!(a.evaluate_now(), b.evaluate_now());
-        prop_assert_eq!(&a.state().projected_out, &hidden_before);
+        assert_eq!(a.evaluate_now(), b.evaluate_now(), "case {case}");
+        assert_eq!(&a.state().projected_out, &hidden_before, "case {case}");
     }
 }
 
