@@ -42,6 +42,68 @@ pub fn synthetic_cars(n: usize) -> Relation {
     rel
 }
 
+/// A string-heavy synthetic relation of `n` rows: used-car listings where
+/// most columns are inferred strings (model, dealer, city, comment), in
+/// the spirit of the TPC-H-derived study workloads (names, nations,
+/// comments). Exercises string hashing (dedup), string grouping, string
+/// sorting, and the string-dominated row gather.
+pub fn synthetic_listings(n: usize) -> Relation {
+    let schema = Schema::of(&[
+        ("ID", Int),
+        ("Model", Str),
+        ("Dealer", Str),
+        ("City", Str),
+        ("Comment", Str),
+        ("Price", Int),
+    ]);
+    let models = [
+        "Jetta", "Civic", "Accord", "Focus", "Corolla", "Passat", "Camry", "Golf", "Fit", "Mazda3",
+    ];
+    let cities = [
+        "Ann Arbor",
+        "Ypsilanti",
+        "Detroit",
+        "Lansing",
+        "Flint",
+        "Saginaw",
+        "Kalamazoo",
+        "Grand Rapids",
+        "Traverse City",
+        "Marquette",
+    ];
+    let adjectives = ["excellent", "good", "fair", "rough", "pristine", "average"];
+    let mut rel = Relation::new("listings", schema);
+    for i in 0..n {
+        // Deterministic pseudo-random-ish mix without an RNG dependency.
+        let model = models[(i * 7 + i / 11) % models.len()];
+        let dealer = format!(
+            "Dealer #{:03} of {}",
+            (i * 131) % 200,
+            cities[(i * 3) % cities.len()]
+        );
+        let city = cities[(i * 17 + i / 13) % cities.len()];
+        // Comments are mostly distinct: string hashing and cloning cannot
+        // be amortized over a handful of repeated values.
+        let comment = format!(
+            "{} condition {} — odo check {} (listing {})",
+            adjectives[(i * 5) % adjectives.len()],
+            model,
+            10_000 + ((i * 977) % 150_000),
+            i
+        );
+        rel.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::str(model),
+            Value::from(dealer),
+            Value::str(city),
+            Value::from(comment),
+            Value::Int(10_000 + ((i * 131) % 15_000) as i64),
+        ]))
+        .expect("widths match");
+    }
+    rel
+}
+
 /// A sheet over [`synthetic_cars`] with the paper's standard arrangement.
 pub fn arranged_sheet(n: usize) -> Spreadsheet {
     use spreadsheet_algebra::Direction;

@@ -524,7 +524,7 @@ fn gather_rows(
                 vals.extend_from_slice(base_rows[row as usize].values());
                 for &i in order {
                     let buf = bufs[i].as_ref().expect("all buffers filled in step 4");
-                    vals.push(buf[row as usize].clone());
+                    vals.push(buf[row as usize]);
                 }
                 Tuple::new(vals)
             })
@@ -579,14 +579,28 @@ fn presentation_order_ids(
     // Sorting compares `Value`s many times per row (strings included), so
     // first reduce each key column to integer sort keys: an all-`Int`
     // column keeps its raw values (`Value::cmp` between Ints is integer
-    // order); any other column gets *dense ranks* from one ordered pass
-    // over its distinct values. Either way the sort then compares plain
-    // `i64`s. Key columns rank independently, hence in parallel.
+    // order); an all-`Str` column maps symbols to the interner's
+    // lexicographic ranks (one snapshot fetch, then O(1) per row — no
+    // string bytes touched); any other column gets *dense ranks* from one
+    // ordered pass over its distinct values. Either way the sort then
+    // compares plain `i64`s. Key columns rank independently, hence in
+    // parallel.
     let rank_column = |&(slot, desc): &(usize, bool)| -> (Vec<i64>, bool) {
         let mut raw: Vec<i64> = Vec::with_capacity(live.len());
         for &row in live {
             match slot_value(base_rows, bufs, width, row, slot) {
                 Value::Int(i) => raw.push(*i),
+                _ => break,
+            }
+        }
+        if raw.len() == live.len() {
+            return (raw, desc);
+        }
+        raw.clear();
+        let str_ranks = ssa_relation::intern::rank_snapshot();
+        for &row in live {
+            match slot_value(base_rows, bufs, width, row, slot) {
+                Value::Str(s) => raw.push(str_ranks[s.id() as usize] as i64),
                 _ => break,
             }
         }
@@ -819,7 +833,7 @@ fn materialize_buffer(
             for chunk in value_chunks {
                 for v in chunk? {
                     for &row in &members[gi] {
-                        buf[row as usize] = v.clone();
+                        buf[row as usize] = v;
                     }
                     gi += 1;
                 }
@@ -968,7 +982,7 @@ fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) ->
             let col_idx = data.schema().index_of(column)?;
             let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
             for (ri, t) in data.rows().iter().enumerate() {
-                let key: Vec<Value> = basis_idx.iter().map(|&i| t.get(i).clone()).collect();
+                let key: Vec<Value> = basis_idx.iter().map(|&i| *t.get(i)).collect();
                 groups.entry(key).or_default().push(ri);
             }
             let mut per_row: Vec<Value> = vec![Value::Null; data.len()];
@@ -976,12 +990,12 @@ fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) ->
             for members in groups.values() {
                 let inputs: Vec<Value> = members
                     .iter()
-                    .map(|&ri| data.rows()[ri].get(col_idx).clone())
+                    .map(|&ri| *data.rows()[ri].get(col_idx))
                     .collect();
                 let v = func.apply(&inputs)?;
                 ty = ty.unify(v.value_type());
                 for &ri in members {
-                    per_row[ri] = v.clone();
+                    per_row[ri] = v;
                 }
             }
             let mut it = per_row.into_iter();

@@ -334,7 +334,8 @@ fn value_to_json(v: &Value) -> Json {
         Value::Bool(b) => Json::Bool(*b),
         Value::Int(i) => Json::obj(vec![("i", Json::Str(i.to_string()))]),
         Value::Float(f) => Json::obj(vec![("f", Json::Str(f.to_string()))]),
-        Value::Str(s) => Json::obj(vec![("s", Json::Str(s.clone()))]),
+        // Always the resolved text — interner ids must never reach disk.
+        Value::Str(s) => Json::obj(vec![("s", Json::Str(s.as_str().to_string()))]),
     }
 }
 
@@ -354,7 +355,7 @@ fn value_from_json(j: &Json) -> Result<Value> {
                     persist_err(format!("bad float literal `{raw}`"))
                 })?))
             } else if let Some(s) = j.get("s") {
-                Ok(Value::Str(s.str_value()?.to_string()))
+                Ok(Value::from(s.str_value()?.to_string()))
             } else {
                 Err(persist_err("value object needs an `i`, `f`, or `s` field"))
             }
@@ -817,6 +818,48 @@ mod tests {
                 _ => assert_eq!(v, back),
             }
         }
+    }
+
+    /// Regression guard for the interned-string representation: the
+    /// on-disk format carries resolved text, never interner ids (ids are
+    /// first-seen order and meaningless across processes).
+    #[test]
+    fn interned_strings_persist_as_text_never_ids() {
+        use crate::state::QueryState;
+        let v = Value::from("persist-intern-sentinel".to_string());
+        assert_eq!(
+            value_to_json(&v).render(),
+            r#"{"s":"persist-intern-sentinel"}"#
+        );
+
+        // A sheet full of interned strings round-trips by value even
+        // though loading re-interns under fresh (different) ids.
+        let relation = Relation::with_rows(
+            "dealers",
+            Schema::of(&[("Dealer", ValueType::Str), ("City", ValueType::Str)]),
+            (0..64u32)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::from(format!("persist-dealer-{}", (i * 37) % 64)),
+                        Value::from(format!("persist-city-{}", i % 7)),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let sheet = StoredSheet {
+            name: "dealers".into(),
+            relation: relation.clone(),
+            state: QueryState::new(),
+        };
+        let text = stored_sheet_to_json(&sheet);
+        assert!(
+            text.contains("persist-dealer-63"),
+            "text cells must be literal"
+        );
+        let back = stored_sheet_from_json(&text).unwrap();
+        assert_eq!(back.relation, relation);
+        assert!(back.relation.multiset_eq(&relation));
     }
 
     #[test]

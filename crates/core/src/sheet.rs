@@ -15,7 +15,7 @@ use crate::eval::{evaluate_full_with, evaluate_with, visible_columns, Derived, E
 use crate::spec::{Direction, GroupLevel, OrderKey, Spec};
 use crate::state::{QueryState, SelectionEntry};
 use crate::tree::build_tree;
-use ssa_relation::{ops, AggFunc, Expr, Relation, ValueType};
+use ssa_relation::{ops, AggFunc, Expr, Relation, Value, ValueType};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A snapshot of a spreadsheet produced by the **Save** operator
@@ -99,21 +99,41 @@ impl CacheEntry {
         }
     }
 
-    /// Dense ranks of `column` over the canonical rows, cached.
+    /// Order-preserving sort keys for `column` over the canonical rows
+    /// (equal values share a key), cached.
     fn ranks_for(&mut self, column: &str) -> Result<&Vec<u32>> {
         if !self.sort_keys.contains_key(column) {
             let idx = self.canonical.schema().index_of(column)?;
             let rows = self.canonical.rows();
-            let mut order: Vec<u32> = (0..rows.len() as u32).collect();
-            order.sort_by(|&a, &b| rows[a as usize].get(idx).cmp(rows[b as usize].get(idx)));
-            let mut ranks = vec![0u32; rows.len()];
-            let mut rank = 0u32;
-            for (i, &row) in order.iter().enumerate() {
-                if i > 0 && rows[row as usize].get(idx) != rows[order[i - 1] as usize].get(idx) {
-                    rank += 1;
+            // Fast path for string columns: keys come straight from the
+            // interner's lexicographic rank snapshot — one O(1) lookup
+            // per row, no row sort, no string comparisons. Same symbol ⇒
+            // same key and rank order ⇒ lexicographic order, so the keys
+            // satisfy the same contract as dense ranks.
+            let all_str =
+                !rows.is_empty() && rows.iter().all(|t| matches!(t.get(idx), Value::Str(_)));
+            let ranks = if all_str {
+                let snap = ssa_relation::intern::rank_snapshot();
+                rows.iter()
+                    .map(|t| match t.get(idx) {
+                        Value::Str(s) => snap[s.id() as usize],
+                        _ => unreachable!("checked all-string above"),
+                    })
+                    .collect()
+            } else {
+                let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+                order.sort_by(|&a, &b| rows[a as usize].get(idx).cmp(rows[b as usize].get(idx)));
+                let mut ranks = vec![0u32; rows.len()];
+                let mut rank = 0u32;
+                for (i, &row) in order.iter().enumerate() {
+                    if i > 0 && rows[row as usize].get(idx) != rows[order[i - 1] as usize].get(idx)
+                    {
+                        rank += 1;
+                    }
+                    ranks[row as usize] = rank;
                 }
-                ranks[row as usize] = rank;
-            }
+                ranks
+            };
             self.sort_keys.insert(column.to_string(), ranks);
         }
         Ok(&self.sort_keys[column])

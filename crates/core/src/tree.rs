@@ -139,7 +139,7 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
                 basis
                     .iter()
                     .cloned()
-                    .zip(idx.iter().map(|&i| data.rows()[rows[start]].get(i).clone())),
+                    .zip(idx.iter().map(|&i| *data.rows()[rows[start]].get(i))),
             );
             node.children.push(split(
                 data,

@@ -83,7 +83,7 @@ pub fn apply_action(
                         },
                     ));
                 }
-                view.data.value_at(*row, column)?.clone()
+                *view.data.value_at(*row, column)?
             };
             engine
                 .select(Expr::col(column).eq(Expr::Lit(value)))

@@ -136,7 +136,7 @@ impl SelectionDialog {
 
     fn predicate(&self, op: CmpOp, with: &CompareWith) -> Expr {
         let rhs = match with {
-            CompareWith::Constant(v) => Expr::Lit(v.clone()),
+            CompareWith::Constant(v) => Expr::Lit(*v),
             CompareWith::Column(c) => Expr::col(c.clone()),
         };
         Expr::col(&self.column).cmp(op, rhs)

@@ -71,7 +71,7 @@ impl CompiledExpr {
                     return Err(RelationError::UnknownColumn { name: name.clone() });
                 }
             },
-            Expr::Lit(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Lit(v) => CompiledExpr::Lit(*v),
             Expr::Arith(a, op, b) => CompiledExpr::Arith(Box::new(go(a)?), *op, Box::new(go(b)?)),
             Expr::Neg(a) => CompiledExpr::Neg(Box::new(go(a)?)),
             Expr::Cmp(a, op, b) => CompiledExpr::Cmp(Box::new(go(a)?), *op, Box::new(go(b)?)),
@@ -148,7 +148,7 @@ impl CompiledExpr {
             CompiledExpr::IsNull(a) => Ok(Cow::Owned(Value::Bool(a.eval(row)?.is_null()))),
             CompiledExpr::Like(a, pattern) => match &*a.eval(row)? {
                 Value::Null => Ok(Cow::Owned(Value::Null)),
-                Value::Str(s) => Ok(Cow::Owned(Value::Bool(like_match(pattern, s)))),
+                Value::Str(s) => Ok(Cow::Owned(Value::Bool(like_match(pattern, s.as_str())))),
                 v => Err(RelationError::TypeMismatch {
                     context: format!("LIKE on non-string operand `{v}`"),
                 }),

@@ -91,7 +91,7 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Relation> {
     for row in &mut raw_rows {
         for (i, v) in row.iter_mut().enumerate() {
             if types[i] == ValueType::Str && !matches!(v, Value::Str(_) | Value::Null) {
-                *v = Value::Str(v.to_string());
+                *v = Value::from(v.to_string());
             } else if types[i] == ValueType::Float {
                 if let Value::Int(n) = v {
                     *v = Value::Float(*n as f64);

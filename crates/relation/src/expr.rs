@@ -200,9 +200,9 @@ impl Expr {
         match self {
             Expr::Col(name) => {
                 let idx = schema.index_of(name)?;
-                Ok(tuple.get(idx).clone())
+                Ok(*tuple.get(idx))
             }
-            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Lit(v) => Ok(*v),
             Expr::Arith(a, op, b) => {
                 let (x, y) = (a.eval(schema, tuple)?, b.eval(schema, tuple)?);
                 match op {
@@ -259,7 +259,7 @@ impl Expr {
             Expr::IsNull(a) => Ok(Value::Bool(a.eval(schema, tuple)?.is_null())),
             Expr::Like(a, pattern) => match a.eval(schema, tuple)? {
                 Value::Null => Ok(Value::Null),
-                Value::Str(s) => Ok(Value::Bool(like_match(pattern, &s))),
+                Value::Str(s) => Ok(Value::Bool(like_match(pattern, s.as_str()))),
                 v => Err(RelationError::TypeMismatch {
                     context: format!("LIKE on non-string operand `{v}`"),
                 }),
@@ -315,7 +315,7 @@ impl Expr {
     pub fn map_columns(&self, f: &impl Fn(&str) -> String) -> Expr {
         match self {
             Expr::Col(name) => Expr::Col(f(name)),
-            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Lit(v) => Expr::Lit(*v),
             Expr::Arith(a, op, b) => {
                 Expr::Arith(Box::new(a.map_columns(f)), *op, Box::new(b.map_columns(f)))
             }

@@ -490,7 +490,7 @@ impl<'a> ExprParser<'a> {
         match self.bump() {
             Some(Token::Int(n)) => Ok(Expr::Lit(Value::Int(*n))),
             Some(Token::Float(f)) => Ok(Expr::Lit(Value::Float(*f))),
-            Some(Token::Str(s)) => Ok(Expr::Lit(Value::Str(s.clone()))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::str(s.as_str()))),
             Some(Token::Ident(s)) => {
                 if s.eq_ignore_ascii_case("TRUE") {
                     Ok(Expr::Lit(Value::Bool(true)))

@@ -1,0 +1,311 @@
+//! Global append-only string interner backing [`crate::value::Value::Str`].
+//!
+//! Every distinct string the process ever stores in a `Value` is interned
+//! exactly once and addressed by a [`Sym`] — a `Copy` 32-bit handle. The
+//! interner guarantees *one id per distinct string*, which buys the three
+//! properties the evaluation engine is built around:
+//!
+//! * **cloning** a string value is a memcpy of the handle (no heap
+//!   traffic) — the final row gather of the index-vector engine becomes
+//!   near-memcpy even for string-heavy relations;
+//! * **equality and hashing** are O(1) on the symbol id — dedup (DE),
+//!   grouping (τ) and aggregation (η) key hashing never touch string
+//!   bytes;
+//! * **ordering** stays the lexicographic order Def. 1 requires: resolved
+//!   through a per-interner *sorted-rank cache* that is invalidated by
+//!   inserts and rebuilt lazily on the first bulk comparison afterwards.
+//!   Individual comparisons whose ids the current cache does not cover
+//!   fall back to comparing the resolved strings directly, so correctness
+//!   never waits on a rebuild.
+//!
+//! Storage is append-only: interned strings are leaked into the heap
+//! (`Box::leak`) so resolution hands out `&'static str` without holding
+//! any lock across the caller's use. Memory is bounded by the number of
+//! *distinct* strings, which is the same bound an `Arc<str>`-page design
+//! would give a process-lifetime interner — with none of the refcount
+//! traffic. Persistence must always write the resolved text, never the
+//! id: ids are assigned in first-seen order and are meaningless across
+//! processes (see `spreadsheet-algebra`'s `persist` module).
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// An interned string handle. `Copy`, 4 bytes; equality is id equality
+/// (one id per distinct string), ordering is lexicographic on the
+/// resolved text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    /// id → string, append-only.
+    strings: Vec<&'static str>,
+    /// string → id, for dedup on intern.
+    map: HashMap<&'static str, u32>,
+}
+
+/// Lexicographic ranks, a snapshot: `ranks[id]` is the rank of `id` among
+/// the first `ranks.len()` interned strings. Internally consistent — two
+/// ids both below `len()` compare by rank exactly as their strings
+/// compare — even if the interner has grown since the snapshot.
+type RankSnapshot = Arc<Vec<u32>>;
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            strings: Vec::new(),
+            map: HashMap::new(),
+        })
+    })
+}
+
+fn rank_cache() -> &'static RwLock<RankSnapshot> {
+    static RANKS: OnceLock<RwLock<RankSnapshot>> = OnceLock::new();
+    RANKS.get_or_init(|| RwLock::new(Arc::new(Vec::new())))
+}
+
+impl Sym {
+    /// Intern `s`, returning its unique handle. O(1) (one hash probe)
+    /// when the string was seen before; first sights allocate once, for
+    /// the lifetime of the process.
+    pub fn intern(s: &str) -> Sym {
+        {
+            let inner = interner().read().expect("interner lock poisoned");
+            if let Some(&id) = inner.map.get(s) {
+                return Sym(id);
+            }
+        }
+        let mut inner = interner().write().expect("interner lock poisoned");
+        if let Some(&id) = inner.map.get(s) {
+            return Sym(id);
+        }
+        Sym::insert_locked(&mut inner, Box::leak(s.to_owned().into_boxed_str()))
+    }
+
+    /// Intern an owned string; new strings keep their buffer (no copy).
+    pub fn from_string(s: String) -> Sym {
+        {
+            let inner = interner().read().expect("interner lock poisoned");
+            if let Some(&id) = inner.map.get(s.as_str()) {
+                return Sym(id);
+            }
+        }
+        let mut inner = interner().write().expect("interner lock poisoned");
+        if let Some(&id) = inner.map.get(s.as_str()) {
+            return Sym(id);
+        }
+        Sym::insert_locked(&mut inner, Box::leak(s.into_boxed_str()))
+    }
+
+    fn insert_locked(inner: &mut Interner, leaked: &'static str) -> Sym {
+        let id = u32::try_from(inner.strings.len()).expect("interner overflow: > 2^32 strings");
+        inner.strings.push(leaked);
+        inner.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned text. `'static` because storage is append-only and
+    /// process-lived; no lock is held after return.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner lock poisoned").strings[self.0 as usize]
+    }
+
+    /// The raw id — exposed for columnar sort keys; never persist it.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Number of distinct strings interned so far (diagnostics/tests).
+    pub fn interned_count() -> usize {
+        interner()
+            .read()
+            .expect("interner lock poisoned")
+            .strings
+            .len()
+    }
+}
+
+/// The current lexicographic rank snapshot, rebuilt if inserts happened
+/// since the last build. `snapshot[sym.id()]` orders exactly like
+/// `sym.as_str()` for every sym whose id is below `snapshot.len()`.
+///
+/// Bulk sorts call this once and then compare plain `u32`s; the rebuild
+/// is O(n log n) over distinct strings and amortizes across every sort
+/// until the next insert.
+pub fn rank_snapshot() -> RankSnapshot {
+    {
+        let cached = rank_cache().read().expect("rank cache poisoned");
+        let inner = interner().read().expect("interner lock poisoned");
+        if cached.len() == inner.strings.len() {
+            return Arc::clone(&cached);
+        }
+    }
+    let mut cached = rank_cache().write().expect("rank cache poisoned");
+    let inner = interner().read().expect("interner lock poisoned");
+    if cached.len() == inner.strings.len() {
+        return Arc::clone(&cached);
+    }
+    let mut by_text: Vec<u32> = (0..inner.strings.len() as u32).collect();
+    by_text.sort_unstable_by_key(|&id| inner.strings[id as usize]);
+    let mut ranks = vec![0u32; inner.strings.len()];
+    for (rank, &id) in by_text.iter().enumerate() {
+        ranks[id as usize] = rank as u32;
+    }
+    *cached = Arc::new(ranks);
+    Arc::clone(&cached)
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        // Fast path: the current rank snapshot covers both ids → two
+        // array reads. (Kept internally consistent: both ids must be
+        // below the *snapshot's* length, not the interner's.)
+        {
+            let cached = rank_cache().read().expect("rank cache poisoned");
+            let n = cached.len() as u32;
+            if self.0 < n && other.0 < n {
+                return cached[self.0 as usize].cmp(&cached[other.0 as usize]);
+            }
+        }
+        // Slow path (ids newer than the last rebuilt snapshot): compare
+        // the resolved text. Correct regardless of cache state; bulk
+        // sorts trigger the rebuild via `rank_snapshot`.
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?} #{})", self.as_str(), self.0)
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::from_string(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(s: Sym) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        s.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn one_id_per_distinct_string() {
+        let a = Sym::intern("intern-test-alpha");
+        let b = Sym::intern("intern-test-alpha");
+        let c = Sym::from_string("intern-test-alpha".to_string());
+        let d = Sym::intern("intern-test-beta");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(h(a), h(b));
+    }
+
+    #[test]
+    fn resolution_round_trips() {
+        let s = "intern-test-round-trip \u{1F5C2} ünïcode";
+        assert_eq!(Sym::intern(s).as_str(), s);
+        assert_eq!(Sym::from_string(s.to_string()).as_str(), s);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut syms: Vec<Sym> = ["pear", "apple", "Banana", "apple pie", "", "zzz"]
+            .iter()
+            .map(|s| Sym::intern(s))
+            .collect();
+        syms.sort();
+        let sorted: Vec<&str> = syms.iter().map(|s| s.as_str()).collect();
+        let mut expect = vec!["pear", "apple", "Banana", "apple pie", "", "zzz"];
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn rank_snapshot_orders_like_strings() {
+        // Force strings in non-lexicographic insert order.
+        let syms: Vec<Sym> = ["mmm", "aaa", "zzz", "mm", "aab"]
+            .iter()
+            .map(|s| Sym::intern(s))
+            .collect();
+        let snap = rank_snapshot();
+        for a in &syms {
+            for b in &syms {
+                assert_eq!(
+                    snap[a.id() as usize].cmp(&snap[b.id() as usize]),
+                    a.as_str().cmp(b.as_str()),
+                    "rank order must match text order for {:?} vs {:?}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_snapshot_rebuilds_after_insert() {
+        let before = rank_snapshot();
+        // A string no other test interns, to force growth.
+        let fresh = Sym::intern("intern-test-rebuild-sentinel-93142");
+        assert!(before.len() as u32 <= fresh.id());
+        let after = rank_snapshot();
+        assert!(after.len() as u32 > fresh.id());
+        // Comparisons against a fresh id are still correct pre-rebuild.
+        let apple = Sym::intern("apple");
+        assert_eq!(fresh.cmp(&apple), fresh.as_str().cmp(apple.as_str()));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let ids: Vec<Vec<u32>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..50)
+                            .map(|i| Sym::intern(&format!("intern-test-concurrent-{i}")).id())
+                            .collect::<Vec<u32>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("interner thread panicked"))
+                .collect()
+        });
+        for w in ids.windows(2) {
+            assert_eq!(w[0], w[1], "same strings must get the same ids");
+        }
+    }
+}

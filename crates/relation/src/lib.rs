@@ -26,6 +26,7 @@ pub mod csv;
 pub mod error;
 pub mod expr;
 pub mod expr_parse;
+pub mod intern;
 pub mod ops;
 pub mod relation;
 pub mod rng;
@@ -38,6 +39,7 @@ pub use catalog::Catalog;
 pub use compiled::{CompiledExpr, RowAccess};
 pub use error::{RelationError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use intern::Sym;
 pub use relation::{ColumnSlice, Relation};
 pub use schema::{Column, Schema};
 pub use tuple::Tuple;

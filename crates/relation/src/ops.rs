@@ -258,10 +258,7 @@ pub fn group_aggregate(rel: &Relation, group_by: &[&str], aggs: &[AggSpec]) -> R
         let mut values = key.clone().into_values();
         for (spec, idx) in aggs.iter().zip(&agg_idx) {
             let inputs: Vec<Value> = match idx {
-                Some(i) => members
-                    .iter()
-                    .map(|&ri| rel.rows()[ri].get(*i).clone())
-                    .collect(),
+                Some(i) => members.iter().map(|&ri| *rel.rows()[ri].get(*i)).collect(),
                 // COUNT(*): one unit value per tuple
                 None => members.iter().map(|_| Value::Int(1)).collect(),
             };

@@ -100,7 +100,7 @@ impl Relation {
     /// All values in a column, in row order.
     pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
         let idx = self.schema.index_of(column)?;
-        Ok(self.rows.iter().map(|t| t.get(idx).clone()).collect())
+        Ok(self.rows.iter().map(|t| *t.get(idx)).collect())
     }
 
     /// Borrowed columnar view of one column: `O(1)` access to `&Value`s

@@ -56,7 +56,7 @@ impl Tuple {
     /// Project the tuple onto the given index positions (in that order).
     pub fn project(&self, indices: &[usize]) -> Tuple {
         Tuple {
-            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+            values: indices.iter().map(|&i| self.values[i]).collect(),
         }
     }
 

@@ -6,6 +6,7 @@
 //! and ordering, Def. 1) and SQL-style arithmetic where NULL propagates.
 
 use crate::error::{RelationError, Result};
+use crate::intern::Sym;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -62,19 +63,33 @@ impl fmt::Display for ValueType {
 /// (false < true), then numbers (integers and floats compared numerically,
 /// with ties broken in favour of the integer so ordering is antisymmetric),
 /// then strings (lexicographic).
-#[derive(Debug, Clone)]
+///
+/// Strings are *interned* ([`Sym`]): `Value` is `Copy` (16 bytes), so
+/// cloning a value — and gathering a row — is a memcpy, and string
+/// equality/hashing are O(1) on the symbol id. String ordering resolves
+/// through the interner (Def. 1's lexicographic order is preserved
+/// exactly; see [`crate::intern`]).
+#[derive(Debug, Clone, Copy)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(Sym),
 }
 
 impl Value {
-    /// Construct a string value.
-    pub fn str(s: impl Into<String>) -> Value {
+    /// Construct a string value, interning the text.
+    pub fn str(s: impl Into<Sym>) -> Value {
         Value::Str(s.into())
+    }
+
+    /// The interned text of a string value.
+    pub fn as_str(&self) -> Option<&'static str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
     }
 
     /// The dynamic type of this value.
@@ -141,17 +156,21 @@ impl Value {
                 }
             }
         }
-        Value::Str(t.to_string())
+        Value::str(t)
     }
 
     /// SQL-style addition with NULL propagation; strings concatenate.
+    /// The `Str + Str` path is checked first so the hot concat never
+    /// allocates a `TypeMismatch` message it would immediately discard.
     pub fn add(&self, other: &Value) -> Result<Value> {
-        binary_numeric(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b).or_else(|e| match (
-            self, other,
-        ) {
-            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
-            _ => Err(e),
-        })
+        if let (Value::Str(a), Value::Str(b)) = (self, other) {
+            let (a, b) = (a.as_str(), b.as_str());
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(a);
+            s.push_str(b);
+            return Ok(Value::from(s));
+        }
+        binary_numeric(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b)
     }
 
     /// SQL-style subtraction with NULL propagation.
@@ -258,7 +277,11 @@ fn binary_numeric(
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+        match (self, other) {
+            // One interned id per distinct string: equality is id equality.
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => self.cmp(other) == Ordering::Equal,
+        }
     }
 }
 
@@ -312,6 +335,8 @@ impl std::hash::Hash for Value {
                 2u8.hash(state);
                 f.to_bits().hash(state);
             }
+            // One id per distinct string → hashing the id is consistent
+            // with equality and never touches string bytes.
             Value::Str(s) => {
                 3u8.hash(state);
                 s.hash(state);
@@ -333,7 +358,7 @@ impl fmt::Display for Value {
                     write!(f, "{x}")
                 }
             }
-            Value::Str(s) => f.write_str(s),
+            Value::Str(s) => f.write_str(s.as_str()),
         }
     }
 }
@@ -355,12 +380,12 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Sym::intern(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(Sym::from_string(v))
     }
 }
 

@@ -19,10 +19,10 @@ fn arb_value(rng: &mut Rng) -> Value {
         3 => Value::Float(rng.gen_range(-1000..1000i64) as f64 / 4.0),
         _ => {
             let len = rng.gen_range(0..=6usize);
-            Value::Str(
+            Value::from(
                 (0..len)
                     .map(|_| *rng.pick(&['a', 'b', 'c', 'x', 'y', 'z']))
-                    .collect(),
+                    .collect::<String>(),
             )
         }
     }
@@ -43,7 +43,7 @@ fn rel_of(name: &str, rows: &[(i64, String)]) -> Relation {
         name,
         Schema::of(&[("x", Int), ("s", Str)]),
         rows.iter()
-            .map(|(x, s)| Tuple::new(vec![Value::Int(*x), Value::Str(s.clone())]))
+            .map(|(x, s)| Tuple::new(vec![Value::Int(*x), Value::str(s.as_str())]))
             .collect(),
     )
     .expect("widths match")
@@ -89,6 +89,79 @@ fn value_hash_consistent_with_eq() {
         let (a, b) = (arb_value(&mut rng), arb_value(&mut rng));
         if a == b {
             assert_eq!(h(&a), h(&b));
+        }
+    }
+}
+
+/// The interned representation is invisible: string values order,
+/// equate and hash exactly as their text does, so Def. 1's total order
+/// is byte-for-byte what it was before `Value::Str` became a `Sym`.
+#[test]
+fn interned_values_match_plain_string_semantics() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+    let alphabet = ['a', 'b', 'A', 'B', 'z', ' ', '0', 'é'];
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0x0D ^ (case << 8));
+        let arb_s = |rng: &mut Rng| -> String {
+            let len = rng.gen_range(0..=10usize);
+            (0..len).map(|_| *rng.pick(&alphabet)).collect()
+        };
+        let (a, b) = (arb_s(&mut rng), arb_s(&mut rng));
+        let (va, vb) = (Value::from(a.clone()), Value::from(b.clone()));
+        // Ord/Eq/Hash delegate to the text, not the interner ids.
+        assert_eq!(va.cmp(&vb), a.cmp(&b), "case {case}: {a:?} vs {b:?}");
+        assert_eq!(va == vb, a == b, "case {case}");
+        if va == vb {
+            assert_eq!(h(&va), h(&vb), "case {case}");
+        }
+        // NULL-first and the cross-type rank of Def. 1 are untouched:
+        // strings still sort after every non-string value.
+        assert!(Value::Null < va);
+        assert!(Value::Bool(true) < va);
+        assert!(Value::Int(i64::MAX) < va);
+        assert!(Value::Float(f64::INFINITY) < va);
+    }
+    // Numeric ties keep their Int-before-Float tie-break.
+    assert_eq!(Value::Int(2).cmp(&Value::Float(2.0)), Ordering::Less);
+    assert_eq!(Value::Float(2.0).cmp(&Value::Int(2)), Ordering::Greater);
+}
+
+/// Sorting interned string values is identical to sorting their texts,
+/// and the interner's bulk rank snapshot induces the same order as
+/// `Value`'s own comparator — the invariant the index-vector engine's
+/// string sort-key fast path relies on.
+#[test]
+fn interned_sort_matches_text_sort() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x0E ^ (case << 8));
+        let mut texts: Vec<String> = (0..rng.gen_range(0..40usize))
+            .map(|_| {
+                let len = rng.gen_range(0..=6usize);
+                (0..len)
+                    .map(|_| *rng.pick(&['m', 'a', 'z', 'M', '1', ' ']))
+                    .collect()
+            })
+            .collect();
+        let mut values: Vec<Value> = texts.iter().map(|s| Value::str(s.as_str())).collect();
+        values.sort();
+        texts.sort();
+        let resolved: Vec<&str> = values.iter().map(|v| v.as_str().unwrap()).collect();
+        assert_eq!(resolved, texts, "case {case}");
+
+        let snap = ssa_relation::intern::rank_snapshot();
+        for w in values.windows(2) {
+            if let (Value::Str(a), Value::Str(b)) = (&w[0], &w[1]) {
+                assert!(
+                    snap[a.id() as usize] <= snap[b.id() as usize],
+                    "case {case}: rank snapshot disagrees with Value order"
+                );
+            }
         }
     }
 }
@@ -239,7 +312,7 @@ fn csv_round_trip() {
                         .collect();
                     Tuple::new(vec![
                         Value::Int(rng.gen_range(0..1000i64)),
-                        Value::Str(format!("s{body}e")),
+                        Value::from(format!("s{body}e")),
                     ])
                 })
                 .collect(),

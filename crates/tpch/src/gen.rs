@@ -138,7 +138,7 @@ pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
         supplier
             .insert(Tuple::new(vec![
                 Value::Int(i as i64),
-                Value::Str(format!("Supplier#{i:05}")),
+                Value::from(format!("Supplier#{i:05}")),
                 Value::Int(rng.gen_range(0..25)),
                 Value::Float(money(&mut rng, -999.0, 9999.0)),
             ]))
@@ -150,7 +150,7 @@ pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
         customer
             .insert(Tuple::new(vec![
                 Value::Int(i as i64),
-                Value::Str(format!("Customer#{i:06}")),
+                Value::from(format!("Customer#{i:06}")),
                 Value::Int(rng.gen_range(0..25)),
                 Value::str(schema::MKT_SEGMENTS[rng.gen_range(0..5usize)]),
                 Value::Float(money(&mut rng, -999.0, 9999.0)),
@@ -162,8 +162,8 @@ pub fn generate(config: &GenConfig, seed: u64) -> TpchData {
     for i in 0..config.parts {
         part.insert(Tuple::new(vec![
             Value::Int(i as i64),
-            Value::Str(format!("Part#{i:06}")),
-            Value::Str(format!("Brand#{}", rng.gen_range(1..=5))),
+            Value::from(format!("Part#{i:06}")),
+            Value::from(format!("Brand#{}", rng.gen_range(1..=5))),
             Value::str(schema::PART_TYPES[rng.gen_range(0..schema::PART_TYPES.len())]),
             Value::Int(rng.gen_range(1..=50)),
             Value::Float(money(&mut rng, 900.0, 2000.0)),

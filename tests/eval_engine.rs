@@ -155,6 +155,132 @@ fn parallel_threshold_is_invisible() {
     }
 }
 
+/// String-heavy relation: four of six columns are strings, and comments
+/// are mostly distinct, so the interned representation gets no help from
+/// a handful of repeated values. Mirrors `ssa_bench::synthetic_listings`.
+fn synthetic_listings(rng: &mut Rng, n: usize) -> ssa_relation::Relation {
+    let models = ["Jetta", "Civic", "Accord", "Focus", "Corolla", "Passat"];
+    let cities = ["Ann Arbor", "Ypsilanti", "Detroit", "Lansing", "Marquette"];
+    let adjectives = ["excellent", "good", "fair", "rough"];
+    let rows = (0..n)
+        .map(|i| {
+            let model = *rng.pick(&models);
+            tuple![
+                i as i64,
+                model,
+                format!("Dealer #{:03}", rng.gen_range(0..200usize)),
+                *rng.pick(&cities),
+                format!(
+                    "{} condition {} — odo check {} (listing {})",
+                    rng.pick(&adjectives),
+                    model,
+                    rng.gen_range(10_000..160_000i64),
+                    i
+                ),
+                rng.gen_range(4_000..30_000i64)
+            ]
+        })
+        .collect();
+    ssa_relation::Relation::with_rows(
+        "listings",
+        Schema::of(&[
+            ("ID", Int),
+            ("Model", Str),
+            ("Dealer", Str),
+            ("City", Str),
+            ("Comment", Str),
+            ("Price", Int),
+        ]),
+        rows,
+    )
+    .unwrap()
+}
+
+/// The string-heavy counterpart of [`full_state`]: grouping, ordering,
+/// aggregation, dedup and selection all keyed on string columns.
+fn string_state() -> QueryState {
+    let mut st = QueryState::new();
+    st.dedup = true;
+    st.spec.levels.push(spreadsheet_algebra::GroupLevel::new(
+        ["Model"],
+        Direction::Desc,
+    ));
+    st.spec.levels.push(spreadsheet_algebra::GroupLevel::new(
+        ["City"],
+        Direction::Asc,
+    ));
+    st.spec.finest_order.push(OrderKey::asc("Dealer"));
+    st.spec.finest_order.push(OrderKey::asc("Comment"));
+    st.computed.push(ComputedColumn::aggregate(
+        "Best_Comment",
+        AggFunc::Max,
+        "Comment",
+        2,
+        vec!["Model".into()],
+    ));
+    st.add_selection(Expr::col("City").cmp(ssa_relation::CmpOp::Ne, Expr::lit("Marquette")));
+    st
+}
+
+#[test]
+fn engines_agree_on_string_heavy_data() {
+    let mut rng = Rng::seed_from_u64(SEED ^ 0x57F1);
+    let base = synthetic_listings(&mut rng, 3000);
+    assert_engines_agree(&base, &string_state(), 0x57F1);
+}
+
+/// Random operator sequences whose selections, groupings, orderings and
+/// aggregates all target string columns, differentially checked against
+/// the naive oracle — the interning-specific analogue of
+/// [`engines_agree_on_random_operator_sequences`].
+#[test]
+fn engines_agree_on_random_string_ops() {
+    const STR_COLS: [&str; 4] = ["Model", "Dealer", "City", "Comment"];
+    for case in 0..40u64 {
+        let mut rng = Rng::seed_from_u64(SEED ^ 0x5AFE ^ (case << 8));
+        let n = rng.gen_range(40..300usize);
+        let base = synthetic_listings(&mut rng, n);
+        let mut st = QueryState::new();
+        st.dedup = rng.gen_bool(0.4);
+        if rng.gen_bool(0.7) {
+            st.spec.levels.push(spreadsheet_algebra::GroupLevel::new(
+                [*rng.pick(&STR_COLS[..3])],
+                if rng.gen_bool(0.5) {
+                    Direction::Asc
+                } else {
+                    Direction::Desc
+                },
+            ));
+        }
+        let key = *rng.pick(&STR_COLS);
+        st.spec.finest_order.push(if rng.gen_bool(0.5) {
+            OrderKey::asc(key)
+        } else {
+            OrderKey::desc(key)
+        });
+        if rng.gen_bool(0.6) {
+            st.computed.push(ComputedColumn::aggregate(
+                "Agg",
+                *rng.pick(&[AggFunc::Min, AggFunc::Max, AggFunc::Count]),
+                *rng.pick(&STR_COLS),
+                1,
+                vec![],
+            ));
+        }
+        if rng.gen_bool(0.7) {
+            let op = if rng.gen_bool(0.5) {
+                ssa_relation::CmpOp::Eq
+            } else {
+                ssa_relation::CmpOp::Ne
+            };
+            st.add_selection(
+                Expr::col("City").cmp(op, Expr::lit(*rng.pick(&["Detroit", "Lansing", "Nowhere"]))),
+            );
+        }
+        assert_engines_agree(&base, &st, case);
+    }
+}
+
 #[test]
 fn engines_agree_on_invalid_states() {
     let base = spreadsheet_algebra::fixtures::used_cars();

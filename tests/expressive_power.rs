@@ -20,8 +20,8 @@ fn arb_relation(rng: &mut Rng) -> Relation {
     let mut rel = Relation::new("t", schema);
     for _ in 0..rng.gen_range(0..40usize) {
         rel.insert(Tuple::new(vec![
-            Value::Str(format!("g{}", rng.gen_range(0..4i64))),
-            Value::Str(format!("h{}", rng.gen_range(0..3i64))),
+            Value::from(format!("g{}", rng.gen_range(0..4i64))),
+            Value::from(format!("h{}", rng.gen_range(0..3i64))),
             Value::Int(rng.gen_range(0..100i64)),
             Value::Int(rng.gen_range(0..50i64)),
         ]))
@@ -175,13 +175,13 @@ fn theorem1_two_relation_product() {
     for i in 0..6 {
         left.insert(Tuple::new(vec![
             Value::Int(i % 3),
-            Value::Str(format!("v{i}")),
+            Value::from(format!("v{i}")),
         ]))
         .unwrap();
         right
             .insert(Tuple::new(vec![
                 Value::Int(i % 3),
-                Value::Str(format!("w{i}")),
+                Value::from(format!("w{i}")),
             ]))
             .unwrap();
     }
