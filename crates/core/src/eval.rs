@@ -51,6 +51,7 @@ use ssa_relation::relation::Relation;
 use ssa_relation::schema::{Column, Schema};
 use ssa_relation::tuple::Tuple;
 use ssa_relation::value::{Value, ValueType};
+use ssa_relation::Expr;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// An evaluated spreadsheet: data in presentation order, the group tree
@@ -181,19 +182,25 @@ pub fn evaluate_with(base: &Relation, state: &QueryState, opts: EvalOptions) -> 
 /// Evaluate, also returning the *canonical* (pre-presentation-sort) data.
 /// The sheet's reorganize fast path re-sorts from this canonical order so
 /// tie-breaking matches a from-scratch evaluation exactly (stable sort
-/// over base insertion order).
+/// over base insertion order). The index-vector engine additionally
+/// returns the presentation permutation (derived row `j` is canonical row
+/// `perm[j]`) which the delta-aware cache maintains across narrowing
+/// edits; the naive engine returns `None` (its cache never takes the
+/// incremental paths).
 pub(crate) fn evaluate_full_with(
     base: &Relation,
     state: &QueryState,
     opts: EvalOptions,
-) -> Result<(Derived, Relation)> {
+) -> Result<(Derived, Relation, Option<Vec<u32>>)> {
     let plan = Plan::prepare(base, state)?;
     if opts.naive {
-        evaluate_full_naive(base, state, &plan)
+        let (derived, canonical) = evaluate_full_naive(base, state, &plan)?;
+        Ok((derived, canonical, None))
     } else {
         let (derived, canonical) =
             evaluate_indexed(base, state, &plan, opts.parallel_threshold, true)?;
-        Ok((derived, canonical.expect("canonical requested")))
+        let (canonical, perm) = canonical.expect("canonical requested");
+        Ok((derived, canonical, Some(perm)))
     }
 }
 
@@ -334,13 +341,18 @@ where
     })
 }
 
+/// Canonical (rank-ordered) relation plus the presentation permutation
+/// mapping derived row `j` to canonical row `perm[j]` — handed to the
+/// sheet cache when it asks for the canonical form alongside the view.
+type Canonical = (Relation, Vec<u32>);
+
 fn evaluate_indexed(
     base: &Relation,
     state: &QueryState,
     plan: &Plan,
     threshold: usize,
     want_canonical: bool,
-) -> Result<(Derived, Option<Relation>)> {
+) -> Result<(Derived, Option<Canonical>)> {
     let width = base.schema().len();
     let base_rows = base.rows();
 
@@ -465,7 +477,18 @@ fn evaluate_indexed(
     let schema = result_schema(base, state, &order, &bufs, &live);
     let data = gather_rows(base, &order, &bufs, &sorted, &schema, parallel)?;
     let canonical = want_canonical
-        .then(|| gather_rows(base, &order, &bufs, &live, &schema, parallel))
+        .then(|| -> Result<(Relation, Vec<u32>)> {
+            let rel = gather_rows(base, &order, &bufs, &live, &schema, parallel)?;
+            // Presentation permutation: `sorted` is a permutation of
+            // `live` (both are base row ids), so invert `live` to map a
+            // presentation position to its canonical position.
+            let mut pos = vec![0u32; base.len()];
+            for (i, &id) in live.iter().enumerate() {
+                pos[id as usize] = i as u32;
+            }
+            let perm = sorted.iter().map(|&id| pos[id as usize]).collect();
+            Ok((rel, perm))
+        })
         .transpose()?;
     let level_bases: Vec<Vec<String>> = state.spec.levels.iter().map(|l| l.basis.clone()).collect();
     let tree = build_tree(&data, &level_bases);
@@ -549,7 +572,6 @@ fn presentation_order_ids(
     live: &[u32],
     parallel: bool,
 ) -> Result<Vec<u32>> {
-    let mut keys: Vec<(usize, bool)> = Vec::new();
     let resolve = |name: &str| {
         slots.get(name).copied().ok_or_else(|| {
             // Same error a schema lookup in the naive engine produces.
@@ -558,18 +580,12 @@ fn presentation_order_ids(
             })
         })
     };
-    for level in &state.spec.levels {
-        let desc = matches!(level.direction, crate::spec::Direction::Desc);
-        for a in &level.basis {
-            keys.push((resolve(a)?, desc));
-        }
-    }
-    for k in &state.spec.finest_order {
-        keys.push((
-            resolve(&k.attribute)?,
-            matches!(k.direction, crate::spec::Direction::Desc),
-        ));
-    }
+    let keys: Vec<(usize, bool)> = state
+        .spec
+        .sort_columns()
+        .into_iter()
+        .map(|(name, desc)| resolve(&name).map(|slot| (slot, desc)))
+        .collect::<Result<_>>()?;
     if keys.is_empty() {
         return Ok(live.to_vec());
     }
@@ -876,6 +892,109 @@ fn filter_rows(
 }
 
 // ---------------------------------------------------------------------
+// Incremental entry points (delta-aware cache, DESIGN.md §10)
+// ---------------------------------------------------------------------
+
+/// Compile `predicate` against `rel`'s schema and return the ids of the
+/// rows satisfying it, in order — the incremental cache's
+/// single-predicate index filter over an already-materialized relation.
+/// Runs the same compiled-expression machinery as step 3, with the
+/// relation's own columns as the slot table.
+pub(crate) fn filter_relation(
+    rel: &Relation,
+    predicate: &Expr,
+    threshold: usize,
+) -> Result<Vec<u32>> {
+    let schema = rel.schema();
+    // Columnar fast path: a conjunction of `column OP literal` atoms —
+    // the shape every narrowing edit takes — tests values directly with
+    // `sql_cmp` semantics (NULL never passes), skipping compilation and
+    // the per-row expression walk.
+    if let Some(atoms) = predicate.as_column_cmp_conjunction() {
+        if let Ok(resolved) = atoms
+            .into_iter()
+            .map(|(c, op, v)| schema.index_of(c).map(|i| (i, op.test(), v)))
+            .collect::<ssa_relation::Result<Vec<_>>>()
+        {
+            // `col OP NULL` is never TRUE under `sql_cmp`, so a single
+            // null literal empties the result — and its absence lets the
+            // per-row test skip the literal check entirely.
+            if resolved.iter().any(|(_, _, lit)| lit.is_null()) {
+                return Ok(Vec::new());
+            }
+            let rows = rel.rows();
+            let pass = |i: usize| {
+                let t = &rows[i];
+                resolved.iter().all(|(idx, test, lit)| {
+                    let v = t.get(*idx);
+                    !v.is_null() && test(v.cmp(lit))
+                })
+            };
+            let workers = if rows.len() >= threshold {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(rows.len().max(1))
+            } else {
+                1
+            };
+            if workers > 1 {
+                let chunk = rows.len().div_ceil(workers);
+                let pass = &pass;
+                let parts: Vec<Vec<u32>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let start = w * chunk;
+                            let end = ((w + 1) * chunk).min(rows.len());
+                            s.spawn(move || {
+                                (start..end)
+                                    .filter(|&i| pass(i))
+                                    .map(|i| i as u32)
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("filter worker panicked"))
+                        .collect()
+                });
+                return Ok(parts.concat());
+            }
+            return Ok((0..rows.len())
+                .filter(|&i| pass(i))
+                .map(|i| i as u32)
+                .collect());
+        }
+        // Unresolvable column: let the compiled path produce its error.
+    }
+    let compiled = CompiledExpr::compile(predicate, &mut |n| schema.index_of(n).ok())?;
+    let live: Vec<u32> = (0..rel.len() as u32).collect();
+    filter_rows(rel, &[], &compiled, &live, threshold)
+}
+
+/// Materialize one computed column over `rel`'s rows — the incremental
+/// cache's single-column append/refresh entry point. Returns one value
+/// per row plus the unified static type, exactly as [`result_schema`]
+/// would derive it for this column.
+pub(crate) fn compute_column_values(
+    rel: &Relation,
+    col: &ComputedColumn,
+    threshold: usize,
+) -> Result<(Vec<Value>, ValueType)> {
+    let mut slots: HashMap<&str, usize> = HashMap::with_capacity(rel.schema().len());
+    for (i, name) in rel.schema().names().into_iter().enumerate() {
+        slots.insert(name, i);
+    }
+    let live: Vec<u32> = (0..rel.len() as u32).collect();
+    let values = materialize_buffer(rel, &[], &slots, &live, col, threshold)?;
+    let ty = values
+        .iter()
+        .fold(ValueType::Null, |t, v| t.unify(v.value_type()));
+    Ok((values, ty))
+}
+
+// ---------------------------------------------------------------------
 // Naive engine (differential-testing oracle, bench baseline)
 // ---------------------------------------------------------------------
 
@@ -1019,40 +1138,20 @@ fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) ->
 /// key tuple), then the finest-level ordering keys. The sort is stable,
 /// so ties keep `data`'s (canonical) order.
 pub(crate) fn presentation_permutation(data: &Relation, spec: &Spec) -> Result<Vec<u32>> {
-    struct Key {
-        indices: Vec<usize>,
-        desc: bool,
-    }
-    let mut keys: Vec<Key> = Vec::new();
-    for level in &spec.levels {
-        let indices: Vec<usize> = level
-            .basis
-            .iter()
-            .map(|a| data.schema().index_of(a))
-            .collect::<ssa_relation::Result<_>>()?;
-        keys.push(Key {
-            indices,
-            desc: matches!(level.direction, crate::spec::Direction::Desc),
-        });
-    }
-    for k in &spec.finest_order {
-        let idx = data.schema().index_of(&k.attribute)?;
-        keys.push(Key {
-            indices: vec![idx],
-            desc: matches!(k.direction, crate::spec::Direction::Desc),
-        });
-    }
+    let keys: Vec<(usize, bool)> = spec
+        .sort_columns()
+        .into_iter()
+        .map(|(name, desc)| data.schema().index_of(&name).map(|i| (i, desc)))
+        .collect::<ssa_relation::Result<_>>()?;
     let rows = data.rows();
     let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
     perm.sort_by(|&a, &b| {
         let (ra, rb) = (&rows[a as usize], &rows[b as usize]);
-        for k in &keys {
-            for &i in &k.indices {
-                let ord = ra.get(i).cmp(rb.get(i));
-                let ord = if k.desc { ord.reverse() } else { ord };
-                if !ord.is_eq() {
-                    return ord;
-                }
+        for &(i, desc) in &keys {
+            let ord = ra.get(i).cmp(rb.get(i));
+            let ord = if desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
             }
         }
         std::cmp::Ordering::Equal
@@ -1416,7 +1515,7 @@ mod tests {
         let indexed = evaluate_with(&base, &st, EvalOptions::default()).unwrap();
         assert_eq!(naive, indexed);
         // canonical relations agree too (fast-reorganize path input)
-        let (_, cn) = evaluate_full_with(
+        let (_, cn, _) = evaluate_full_with(
             &base,
             &st,
             EvalOptions {
@@ -1425,8 +1524,14 @@ mod tests {
             },
         )
         .unwrap();
-        let (_, ci) = evaluate_full_with(&base, &st, EvalOptions::default()).unwrap();
+        let (_, ci, perm) = evaluate_full_with(&base, &st, EvalOptions::default()).unwrap();
         assert_eq!(cn, ci);
+        // The permutation really maps presentation rows to canonical rows.
+        let (di, _, _) = evaluate_full_with(&base, &st, EvalOptions::default()).unwrap();
+        let perm = perm.expect("indexed engine returns the permutation");
+        for (j, &src) in perm.iter().enumerate() {
+            assert_eq!(di.data.rows()[j], ci.rows()[src as usize]);
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod computed;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod fixtures;
@@ -58,6 +59,7 @@ pub mod state;
 pub mod tree;
 
 pub use computed::{ComputedColumn, ComputedDef};
+pub use delta::StateDelta;
 pub use error::{Result, SheetError};
 pub use eval::{evaluate, evaluate_with, Derived, EvalOptions, DEFAULT_PARALLEL_THRESHOLD};
 pub use history::{Engine, OpRecord};

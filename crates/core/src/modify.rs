@@ -176,6 +176,7 @@ impl Spreadsheet {
                 name: attribute.to_string(),
             });
         }
+        self.invalidate();
         Ok(())
     }
 

@@ -9,12 +9,17 @@
 //! consumed; computed columns, projections, grouping and ordering carry
 //! over and keep auto-updating).
 
-use crate::computed::ComputedColumn;
+use crate::computed::{ComputedColumn, ComputedDef};
+use crate::delta::{classify, ContentKey, StateDelta};
 use crate::error::{Result, SheetError};
-use crate::eval::{evaluate_full_with, evaluate_with, visible_columns, Derived, EvalOptions};
+use crate::eval::{
+    compute_column_values, evaluate_full_with, evaluate_with, filter_relation, visible_columns,
+    Derived, EvalOptions,
+};
 use crate::spec::{Direction, GroupLevel, OrderKey, Spec};
-use crate::state::{QueryState, SelectionEntry};
+use crate::state::{volatile_columns, QueryState};
 use crate::tree::build_tree;
+use ssa_relation::schema::Column;
 use ssa_relation::{ops, AggFunc, Expr, Relation, Value, ValueType};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -49,26 +54,18 @@ impl StoredSheet {
     }
 }
 
-/// Fingerprint of the state components that determine the *content* of
-/// the evaluated multiset. Grouping, ordering and projection are pure
-/// data-*organization* ("they do not change the actual content",
-/// Sec. III-A) — when only those change, a cached evaluation can be
-/// reorganized instead of recomputed.
-#[derive(Debug, Clone, PartialEq)]
-struct ContentKey {
-    selections: Vec<SelectionEntry>,
-    computed: Vec<ComputedColumn>,
-    dedup: bool,
-}
-
-impl ContentKey {
-    fn of(state: &QueryState) -> ContentKey {
-        ContentKey {
-            selections: state.selections.clone(),
-            computed: state.computed.clone(),
-            dedup: state.dedup,
-        }
-    }
+/// Cached group membership of the canonical rows under one grouping
+/// basis: `gid[i]` is the (dense, first-encounter) group id of canonical
+/// row `i`. Valid as long as the basis columns' values are unchanged —
+/// which, across the incremental paths, holds exactly when the basis
+/// contains no volatile (aggregate-dependent) column: base values never
+/// change without dropping the whole cache, and non-volatile computed
+/// values are never rewritten in place. Narrowing filters `gid` by the
+/// surviving rows (groups may become empty; ids are not re-densified).
+#[derive(Debug, Clone)]
+struct GroupCache {
+    gid: Vec<u32>,
+    groups: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -81,30 +78,189 @@ struct CacheEntry {
     content: ContentKey,
     spec: Spec,
     /// Per-column dense ranks of `canonical`'s rows (rank preserves
-    /// `Value` order, ties share a rank). Computed lazily the first time
-    /// a column participates in a reorganize, then reused: repeated
+    /// `Value` order, ties share a rank), keyed by the column's position
+    /// in the canonical schema. Computed lazily the first time a column
+    /// participates in a reorganize, then reused: repeated
     /// regrouping/reordering over the same content sorts `u32` keys
-    /// instead of re-comparing `Value`s.
-    sort_keys: BTreeMap<String, Vec<u32>>,
+    /// instead of re-comparing `Value`s. Narrowing filters the vectors in
+    /// place (a subsequence of order-preserving keys is still
+    /// order-preserving, just no longer dense — only comparisons matter).
+    sort_keys: BTreeMap<usize, Vec<u32>>,
+    /// Presentation permutation: `derived.data` row `j` is `canonical`
+    /// row `perm[j]`. Produced by the index-vector engine and maintained
+    /// by every delta path, it lets narrowing filter the derived rows in
+    /// place instead of re-sorting. `None` for naive-engine caches,
+    /// which never take the incremental paths.
+    perm: Option<Vec<u32>>,
+    /// Group-membership caches keyed by the resolved basis column
+    /// positions in the canonical schema. Built lazily the first time a
+    /// narrowing refresh re-aggregates over a basis of non-volatile
+    /// columns, then filtered across narrows like `sort_keys` — repeated
+    /// tightening re-buckets rows by cached `u32` ids instead of
+    /// re-grouping `Value` keys through a `BTreeMap`.
+    groups: BTreeMap<Vec<usize>, GroupCache>,
+    /// Dense columnar copies of canonical columns that feed grouped
+    /// re-aggregation, keyed by schema position. The row store keeps one
+    /// heap allocation per tuple, so re-reading an aggregate's input
+    /// column through the tuples costs a pointer chase per row; these
+    /// buffers turn that into a sequential scan. Cached only for
+    /// non-volatile columns (whose values the incremental paths never
+    /// rewrite) and narrowed by `keep` like the rank caches.
+    col_vals: BTreeMap<usize, Vec<Value>>,
 }
 
 impl CacheEntry {
-    fn new(derived: Derived, canonical: Relation, content: ContentKey, spec: Spec) -> CacheEntry {
+    fn new(
+        derived: Derived,
+        canonical: Relation,
+        content: ContentKey,
+        spec: Spec,
+        perm: Option<Vec<u32>>,
+    ) -> CacheEntry {
         CacheEntry {
             derived,
             canonical,
             content,
             spec,
             sort_keys: BTreeMap::new(),
+            perm,
+            groups: BTreeMap::new(),
+            col_vals: BTreeMap::new(),
         }
     }
 
-    /// Order-preserving sort keys for `column` over the canonical rows
-    /// (equal values share a key), cached.
-    fn ranks_for(&mut self, column: &str) -> Result<&Vec<u32>> {
-        if !self.sort_keys.contains_key(column) {
-            let idx = self.canonical.schema().index_of(column)?;
-            let rows = self.canonical.rows();
+    /// Re-aggregate `func(column)` over the cached canonical rows using
+    /// (and lazily building) the group-membership cache for `basis`,
+    /// writing the refreshed values straight into column `idx` of both
+    /// the canonical and the derived relation (through `perm`) and
+    /// setting both schemas' static type — one fused pass, no
+    /// intermediate column materialization.
+    ///
+    /// Only sound when no basis column is volatile — the caller gates on
+    /// that — since cached group ids assume basis values are unchanged.
+    /// Per-group input order is ascending canonical order, matching the
+    /// full evaluator's, so float aggregation is bit-identical; the
+    /// per-group type unify equals the full evaluator's per-row one
+    /// because every row carries exactly its group's value.
+    ///
+    /// `input_stable` says the input column itself is non-volatile, i.e.
+    /// its values are never rewritten while this cache entry lives —
+    /// only then may the input be read from (and cached in) the dense
+    /// columnar buffer.
+    fn refresh_aggregate_grouped(
+        &mut self,
+        idx: usize,
+        func: AggFunc,
+        column: &str,
+        basis: &[String],
+        perm: &[u32],
+        input_stable: bool,
+    ) -> Result<()> {
+        let schema = self.canonical.schema();
+        let basis_idx: Vec<usize> = basis
+            .iter()
+            .map(|b| schema.index_of(b))
+            .collect::<ssa_relation::Result<_>>()?;
+        let col_idx = schema.index_of(column)?;
+        let CacheEntry {
+            groups,
+            canonical,
+            derived,
+            col_vals,
+            ..
+        } = self;
+        let rows = canonical.rows();
+        let gc = groups.entry(basis_idx).or_insert_with_key(|basis_idx| {
+            if basis_idx.is_empty() {
+                // Level 1: the whole sheet is one group.
+                GroupCache {
+                    gid: vec![0; rows.len()],
+                    groups: 1,
+                }
+            } else {
+                let mut ids: BTreeMap<Vec<&Value>, u32> = BTreeMap::new();
+                let mut gid = Vec::with_capacity(rows.len());
+                for t in rows {
+                    let key: Vec<&Value> = basis_idx.iter().map(|&i| t.get(i)).collect();
+                    let next = ids.len() as u32;
+                    gid.push(*ids.entry(key).or_insert(next));
+                }
+                GroupCache {
+                    gid,
+                    groups: ids.len() as u32,
+                }
+            }
+        });
+        // Bucket the input values by cached group id (pre-sized, one
+        // pass), aggregate each non-empty group, and fan the group value
+        // back out per row. Groups emptied by narrowing are skipped —
+        // they have no rows to receive a value, exactly as in a fresh
+        // evaluation where they no longer exist. When the input column
+        // is stable its values are read from the dense columnar buffer
+        // (built on first use, narrowed thereafter), skipping the
+        // per-tuple pointer chase through the row store.
+        let dense: Option<&[Value]> = if input_stable {
+            Some(
+                col_vals
+                    .entry(col_idx)
+                    .or_insert_with(|| rows.iter().map(|t| *t.get(col_idx)).collect()),
+            )
+        } else {
+            None
+        };
+        let mut counts = vec![0u32; gc.groups as usize];
+        for &g in &gc.gid {
+            counts[g as usize] += 1;
+        }
+        let mut inputs: Vec<Vec<&Value>> = counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c as usize))
+            .collect();
+        match dense {
+            Some(vals) => {
+                for (&g, v) in gc.gid.iter().zip(vals) {
+                    inputs[g as usize].push(v);
+                }
+            }
+            None => {
+                for (r, &g) in gc.gid.iter().enumerate() {
+                    inputs[g as usize].push(rows[r].get(col_idx));
+                }
+            }
+        }
+        let mut per_group = vec![Value::Null; gc.groups as usize];
+        let mut ty = ValueType::Null;
+        for (g, inp) in inputs.iter().enumerate() {
+            if !inp.is_empty() {
+                let v = func.apply_refs(inp)?;
+                ty = ty.unify(v.value_type());
+                per_group[g] = v;
+            }
+        }
+        drop(inputs);
+        for (r, row) in canonical.rows_mut().iter_mut().enumerate() {
+            row.set(idx, per_group[gc.gid[r] as usize]);
+        }
+        for (j, row) in derived.data.rows_mut().iter_mut().enumerate() {
+            row.set(idx, per_group[gc.gid[perm[j] as usize] as usize]);
+        }
+        canonical.schema_mut().set_column_type(idx, ty);
+        derived.data.schema_mut().set_column_type(idx, ty);
+        Ok(())
+    }
+
+    /// Order-preserving sort keys for the canonical column at `idx`
+    /// (equal values share a key), cached. Keyed by schema position and
+    /// resolved through the entry API: a hit walks the map once and
+    /// allocates nothing.
+    fn ranks_for(&mut self, idx: usize) -> &[u32] {
+        let CacheEntry {
+            sort_keys,
+            canonical,
+            ..
+        } = self;
+        sort_keys.entry(idx).or_insert_with(|| {
+            let rows = canonical.rows();
             // Fast path for string columns: keys come straight from the
             // interner's lexicographic rank snapshot — one O(1) lookup
             // per row, no row sort, no string comparisons. Same symbol ⇒
@@ -112,7 +268,7 @@ impl CacheEntry {
             // satisfy the same contract as dense ranks.
             let all_str =
                 !rows.is_empty() && rows.iter().all(|t| matches!(t.get(idx), Value::Str(_)));
-            let ranks = if all_str {
+            if all_str {
                 let snap = ssa_relation::intern::rank_snapshot();
                 rows.iter()
                     .map(|t| match t.get(idx) {
@@ -133,10 +289,8 @@ impl CacheEntry {
                     ranks[row as usize] = rank;
                 }
                 ranks
-            };
-            self.sort_keys.insert(column.to_string(), ranks);
-        }
-        Ok(&self.sort_keys[column])
+            }
+        })
     }
 
     /// Reorganize the cached canonical data under `spec` using the
@@ -145,22 +299,22 @@ impl CacheEntry {
     /// presentation sort would (dense ranks preserve `Value` order and
     /// stability preserves canonical tie-breaking).
     fn reorganize(&mut self, spec: &Spec, visible: Vec<String>) -> Result<()> {
-        let mut columns: Vec<(String, bool)> = Vec::new();
-        for level in &spec.levels {
-            let desc = matches!(level.direction, Direction::Desc);
-            for a in &level.basis {
-                columns.push((a.clone(), desc));
-            }
-        }
-        for k in &spec.finest_order {
-            columns.push((k.attribute.clone(), matches!(k.direction, Direction::Desc)));
-        }
-        for (name, _) in &columns {
-            self.ranks_for(name)?;
+        let columns: Vec<(usize, bool)> = spec
+            .sort_columns()
+            .into_iter()
+            .map(|(name, desc)| {
+                self.canonical
+                    .schema()
+                    .index_of(&name)
+                    .map(|idx| (idx, desc))
+            })
+            .collect::<ssa_relation::Result<_>>()?;
+        for &(idx, _) in &columns {
+            self.ranks_for(idx);
         }
         let keys: Vec<(&Vec<u32>, bool)> = columns
             .iter()
-            .map(|(name, desc)| (&self.sort_keys[name], *desc))
+            .map(|(idx, desc)| (&self.sort_keys[idx], *desc))
             .collect();
         let mut perm: Vec<u32> = (0..self.canonical.len() as u32).collect();
         perm.sort_by(|&a, &b| {
@@ -182,6 +336,260 @@ impl CacheEntry {
             visible,
         };
         self.spec = spec.clone();
+        self.perm = Some(perm);
+        Ok(())
+    }
+
+    /// Narrow the cached multiset (DESIGN.md §10): keep only the rows
+    /// satisfying every delta predicate, refresh the volatile
+    /// (aggregate-dependent) computed columns over the smaller multiset,
+    /// and re-unify every computed column's static type so the schema
+    /// matches what a fresh evaluation would produce.
+    ///
+    /// Both the canonical and the derived relations are filtered *in
+    /// place* through the presentation permutation — no re-sort, no rank
+    /// recomputation, no row clones — so the derived view stays current
+    /// under an unchanged spec (the caller reorganizes only when the
+    /// spec moved too). Requires `self.perm`.
+    fn narrow(&mut self, predicates: &[Expr], state: &QueryState, threshold: usize) -> Result<()> {
+        let Some(predicate) = Expr::conjoin(predicates.to_vec()) else {
+            return Ok(());
+        };
+        let keep = filter_relation(&self.canonical, &predicate, threshold)?;
+        if keep.len() == self.canonical.len() {
+            // The tightened predicates removed nothing: rows, aggregates,
+            // order, tree and types all stand exactly as cached.
+            return Ok(());
+        }
+        // Old canonical index → new (dense) index, u32::MAX for dropped.
+        let mut remap = vec![u32::MAX; self.canonical.len()];
+        for (new_idx, &old_idx) in keep.iter().enumerate() {
+            remap[old_idx as usize] = new_idx as u32;
+        }
+        // A filtered subsequence of order-preserving keys is still
+        // order-preserving, so the rank cache survives.
+        for ranks in self.sort_keys.values_mut() {
+            *ranks = keep.iter().map(|&i| ranks[i as usize]).collect();
+        }
+        // Group membership of a surviving row is unchanged, so the group
+        // caches narrow the same way (some groups may become empty).
+        for gc in self.groups.values_mut() {
+            gc.gid = keep.iter().map(|&i| gc.gid[i as usize]).collect();
+        }
+        // A surviving row's stable-column values are unchanged too, so
+        // the columnar buffers narrow by the same index filter.
+        for vals in self.col_vals.values_mut() {
+            *vals = keep.iter().map(|&i| vals[i as usize]).collect();
+        }
+        // The derived rows are the same multiset in presentation order:
+        // drop the same rows there (in place) and renumber the
+        // permutation, preserving the presentation order of survivors.
+        // Both retains walk their whole relation and free the dropped
+        // tuples, so above the parallel threshold they run on two
+        // threads — they touch disjoint fields and share only `remap`.
+        let old_perm = self.perm.take().expect("narrow requires the permutation");
+        let mut perm = Vec::with_capacity(keep.len());
+        // Old derived (presentation) index → new, u32::MAX for dropped —
+        // this is what lets the group tree be narrowed in place below.
+        let mut dmap = vec![u32::MAX; old_perm.len()];
+        {
+            let canonical = &mut self.canonical;
+            let derived = &mut self.derived.data;
+            let remap = &remap;
+            let retain_derived =
+                |perm: &mut Vec<u32>, dmap: &mut Vec<u32>, derived: &mut Relation| {
+                    derived.retain_rows(|j| {
+                        let mapped = remap[old_perm[j] as usize];
+                        if mapped != u32::MAX {
+                            dmap[j] = perm.len() as u32;
+                            perm.push(mapped);
+                        }
+                        mapped != u32::MAX
+                    });
+                };
+            if canonical.len() >= threshold {
+                std::thread::scope(|s| {
+                    let h = s.spawn(|| canonical.retain_rows(|i| remap[i] != u32::MAX));
+                    retain_derived(&mut perm, &mut dmap, derived);
+                    h.join().expect("retain worker panicked");
+                });
+            } else {
+                canonical.retain_rows(|i| remap[i] != u32::MAX);
+                retain_derived(&mut perm, &mut dmap, derived);
+            }
+        }
+
+        // Refresh aggregates (and their transitive dependents) over the
+        // narrowed multiset — step 4's automatic update, confined to the
+        // columns it can actually change. Dependency order via fixpoint:
+        // a volatile column is refreshed once its volatile inputs are.
+        let volatile = volatile_columns(&state.computed);
+        let mut refreshed: Vec<usize> = Vec::new();
+        let mut grouped: BTreeSet<usize> = BTreeSet::new();
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        while done.len() < volatile.len() {
+            let mut progressed = false;
+            for col in &state.computed {
+                if !volatile.contains(&col.name) || done.contains(col.name.as_str()) {
+                    continue;
+                }
+                if col
+                    .def
+                    .dependencies()
+                    .iter()
+                    .any(|d| volatile.contains(d) && !done.contains(d.as_str()))
+                {
+                    continue;
+                }
+                let idx = self.canonical.schema().index_of(&col.name)?;
+                // Aggregates over a stable basis re-bucket through the
+                // group cache, writing canonical and derived (and both
+                // static types) in one fused pass; everything else
+                // (formulas, aggregates whose basis was itself just
+                // refreshed) goes through the general single-column
+                // evaluator and is mirrored/re-typed below.
+                match &col.def {
+                    ComputedDef::Aggregate {
+                        func,
+                        column,
+                        basis,
+                        ..
+                    } if basis.iter().all(|b| !volatile.contains(b)) => {
+                        let input_stable = !volatile.contains(column);
+                        self.refresh_aggregate_grouped(
+                            idx,
+                            *func,
+                            column,
+                            basis,
+                            &perm,
+                            input_stable,
+                        )?;
+                        grouped.insert(idx);
+                    }
+                    _ => {
+                        let (values, _) = compute_column_values(&self.canonical, col, threshold)?;
+                        for (row, v) in self.canonical.rows_mut().iter_mut().zip(&values) {
+                            row.set(idx, *v);
+                        }
+                        refreshed.push(idx);
+                    }
+                }
+                self.sort_keys.remove(&idx);
+                self.col_vals.remove(&idx);
+                done.insert(&col.name);
+                progressed = true;
+            }
+            if !progressed {
+                // Unreachable for validated state (no cycles); bail to
+                // the caller's full-evaluation fallback rather than spin.
+                return Err(SheetError::UnknownColumn {
+                    name: "cyclic computed dependencies".to_string(),
+                });
+            }
+        }
+        // Mirror the refreshed values into the derived rows through the
+        // permutation (derived row j is canonical row perm[j]).
+        for &idx in &refreshed {
+            let canonical_rows = self.canonical.rows();
+            for (j, row) in self.derived.data.rows_mut().iter_mut().enumerate() {
+                row.set(idx, *canonical_rows[perm[j] as usize].get(idx));
+            }
+        }
+        // `result_schema` types each computed column by unifying its
+        // surviving values; match it so `Derived` equality holds. The
+        // group-refreshed columns were already typed from their per-group
+        // values (every row holds its group's value, so that unify is the
+        // same), sparing a full column scan each.
+        for col in &state.computed {
+            let idx = self.canonical.schema().index_of(&col.name)?;
+            if grouped.contains(&idx) {
+                continue;
+            }
+            let ty = self
+                .canonical
+                .rows()
+                .iter()
+                .fold(ValueType::Null, |t, r| t.unify(r.get(idx).value_type()));
+            self.canonical.schema_mut().set_column_type(idx, ty);
+            self.derived.data.schema_mut().set_column_type(idx, ty);
+        }
+        // Rows vanished: narrow the group tree in place. Grouping-basis
+        // values are unchanged (a volatile basis or order column forces
+        // the caller to reorganize, which rebuilds the tree from
+        // scratch), so filtering each node's row list by `dmap` yields
+        // exactly what `build_tree` over the filtered relation would.
+        self.derived.tree.narrow(&dmap);
+        self.perm = Some(perm);
+        Ok(())
+    }
+
+    /// Append one computed column (classified rank-last, so plain append
+    /// reproduces the canonical rank-order layout) by materializing it
+    /// over the cached rows. With the presentation permutation at hand
+    /// the derived relation gets the same column in place — rows, order
+    /// and tree are untouched by a new column; without it the caller
+    /// must reorganize to rebuild the derived view.
+    fn append_computed(&mut self, col: &ComputedColumn, threshold: usize) -> Result<()> {
+        let (values, ty) = compute_column_values(&self.canonical, col, threshold)?;
+        if let Some(perm) = &self.perm {
+            self.derived
+                .data
+                .add_column(Column::new(col.name.clone(), ty), |j, _| {
+                    values[perm[j] as usize]
+                })?;
+        }
+        let mut it = values.into_iter();
+        self.canonical
+            .add_column(Column::new(col.name.clone(), ty), |_, _| {
+                it.next().expect("one computed value per row")
+            })?;
+        Ok(())
+    }
+
+    /// Drop one computed column from the cached canonical and derived
+    /// relations in place. Rows, presentation order and the group tree
+    /// are untouched (the operators refuse to remove a column anything
+    /// depends on), so no reorganize is needed.
+    fn remove_computed(&mut self, name: &str) -> Result<()> {
+        let idx = self.canonical.schema().index_of(name)?;
+        self.canonical.drop_column(name)?;
+        self.derived.data.drop_column(name)?;
+        let old = std::mem::take(&mut self.sort_keys);
+        self.sort_keys = old
+            .into_iter()
+            .filter_map(|(i, v)| match i.cmp(&idx) {
+                std::cmp::Ordering::Less => Some((i, v)),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some((i - 1, v)),
+            })
+            .collect();
+        // Columnar buffers are keyed by schema position too.
+        let old_vals = std::mem::take(&mut self.col_vals);
+        self.col_vals = old_vals
+            .into_iter()
+            .filter_map(|(i, v)| match i.cmp(&idx) {
+                std::cmp::Ordering::Less => Some((i, v)),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some((i - 1, v)),
+            })
+            .collect();
+        // Group caches are keyed by basis positions: drop any over the
+        // removed column (defensive — dependents block its removal) and
+        // shift positions past it.
+        let old_groups = std::mem::take(&mut self.groups);
+        self.groups = old_groups
+            .into_iter()
+            .filter_map(|(key, gc)| {
+                if key.contains(&idx) {
+                    return None;
+                }
+                let key = key
+                    .into_iter()
+                    .map(|i| if i > idx { i - 1 } else { i })
+                    .collect();
+                Some((key, gc))
+            })
+            .collect();
         Ok(())
     }
 }
@@ -199,6 +607,13 @@ pub struct Spreadsheet {
     /// Whether the reorganize fast path is enabled (on by default; the
     /// `reorganize` bench ablates it).
     fast_reorganize: bool,
+    /// Whether the delta-aware incremental paths (narrow / append /
+    /// remove / projection-toggle) are enabled (on by default; the
+    /// `incremental` bench ablates it).
+    incremental: bool,
+    /// How the state relates to the cached evaluation — recorded by
+    /// `invalidate` on every state edit, re-derived by `view`.
+    last_delta: StateDelta,
     /// Engine selection and parallelism knobs passed to every
     /// evaluation.
     eval_opts: EvalOptions,
@@ -206,6 +621,11 @@ pub struct Spreadsheet {
     epoch: u64,
     next_formula_id: u64,
 }
+
+/// The delta recorded before any cache exists or after the base changed.
+const FULL_NO_CACHE: StateDelta = StateDelta::Full {
+    reason: "no cached evaluation",
+};
 
 impl Spreadsheet {
     /// The base spreadsheet `S^0(R, C^0, ∅, ∅)` over a relation (Def. 2).
@@ -216,6 +636,8 @@ impl Spreadsheet {
             state: QueryState::new(),
             cache: None,
             fast_reorganize: true,
+            incremental: true,
+            last_delta: FULL_NO_CACHE,
             eval_opts: EvalOptions::default(),
             epoch: 0,
             next_formula_id: 1,
@@ -226,6 +648,20 @@ impl Spreadsheet {
     /// result is identical either way, which `view` tests pin).
     pub fn set_fast_reorganize(&mut self, on: bool) {
         self.fast_reorganize = on;
+    }
+
+    /// Enable/disable the delta-aware incremental cache paths (for
+    /// ablation benches and the differential tests; the result is
+    /// identical either way, which `view` tests pin).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// How the last state edit was classified against the cached
+    /// evaluation (see [`StateDelta`]); tests pin that the cheap edits
+    /// stay on the cheap paths.
+    pub fn last_delta(&self) -> &StateDelta {
+        &self.last_delta
     }
 
     /// Switch between the index-vector engine (default) and the naive
@@ -275,45 +711,154 @@ impl Spreadsheet {
 
     /// Evaluate and return the derived view.
     ///
-    /// Three paths, cheapest first:
+    /// Paths, cheapest first:
     /// 1. the cache is current → return it;
-    /// 2. only organization changed (grouping/ordering/projection) and
-    ///    the fast path is on → re-sort the cached data, rebuild the
-    ///    group tree and the visible list;
-    /// 3. otherwise run the full canonical evaluation.
+    /// 2. content unchanged, only the visible list moved (a projection
+    ///    toggled) → swap the visible list, nothing else;
+    /// 3. content unchanged, grouping/ordering moved → re-sort the cached
+    ///    data via the rank cache and rebuild the group tree;
+    /// 4. the state diff classifies as a sound delta (narrowed
+    ///    selections, one appended/removed computed column — DESIGN.md
+    ///    §10) → patch the cached canonical rows and reorganize;
+    /// 5. otherwise run the full canonical evaluation.
+    ///
+    /// `view` classifies from the content key itself rather than
+    /// trusting [`Self::last_delta`], so state edits that bypass
+    /// `invalidate` (the cascade module's raw access) stay correct.
     pub fn view(&mut self) -> Result<&Derived> {
         let content = ContentKey::of(&self.state);
         let visible = visible_columns(&self.base, &self.state);
-        let reusable = self.cache.as_ref().is_some_and(|c| c.content == content);
-        if reusable {
-            let entry = self.cache.as_mut().expect("checked above");
-            if entry.spec != self.state.spec || entry.derived.visible != visible {
-                if !self.fast_reorganize {
-                    let (derived, canonical) =
-                        evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
-                    self.cache = Some(CacheEntry::new(
-                        derived,
-                        canonical,
-                        content,
-                        self.state.spec.clone(),
-                    ));
-                } else {
-                    // Fast path: content is unchanged; re-sort from the
-                    // canonical order via the cached per-column ranks
-                    // and rebuild tree + visible list.
-                    entry.reorganize(&self.state.spec, visible)?;
-                }
+        match self.apply_cached(&content, &visible) {
+            Ok(true) => {}
+            Ok(false) => {
+                let (derived, canonical, perm) =
+                    evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
+                self.cache = Some(CacheEntry::new(
+                    derived,
+                    canonical,
+                    content,
+                    self.state.spec.clone(),
+                    perm,
+                ));
             }
-        } else {
-            let (derived, canonical) = evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
-            self.cache = Some(CacheEntry::new(
-                derived,
-                canonical,
-                content,
-                self.state.spec.clone(),
-            ));
+            Err(_) => {
+                // An incremental path failed part-way: the entry may be
+                // inconsistent. Drop it and re-evaluate from scratch —
+                // a genuine evaluation error resurfaces here.
+                self.cache = None;
+                let (derived, canonical, perm) =
+                    evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
+                self.cache = Some(CacheEntry::new(
+                    derived,
+                    canonical,
+                    content,
+                    self.state.spec.clone(),
+                    perm,
+                ));
+            }
         }
         Ok(&self.cache.as_ref().expect("cache just filled").derived)
+    }
+
+    /// Try to bring the cache up to date without a full evaluation.
+    /// `Ok(true)` means the cached entry is now current; `Ok(false)`
+    /// means no sound shortcut exists; `Err` means a shortcut failed
+    /// mid-application and the entry must be discarded.
+    fn apply_cached(&mut self, content: &ContentKey, visible: &Vec<String>) -> Result<bool> {
+        let base_cols = self.base_column_names();
+        let spec = self.state.spec.clone();
+        let threshold = self.eval_opts.parallel_threshold;
+        let fast_reorganize = self.fast_reorganize;
+        // The delta paths reuse the index-engine machinery, so a sheet
+        // pinned to the naive oracle keeps replaying the naive pipeline.
+        let incremental = self.incremental && !self.eval_opts.naive;
+        let Some(entry) = self.cache.as_mut() else {
+            return Ok(false);
+        };
+        if entry.content == *content {
+            if entry.spec == spec && entry.derived.visible == *visible {
+                return Ok(true);
+            }
+            if !fast_reorganize {
+                return Ok(false);
+            }
+            if incremental && entry.spec == spec {
+                // Only projection changed: organization-only in the
+                // narrowest sense — rows, order and tree all stand.
+                entry.derived.visible = visible.clone();
+            } else {
+                entry.reorganize(&spec, visible.clone())?;
+            }
+            return Ok(true);
+        }
+        if !incremental {
+            return Ok(false);
+        }
+        match classify(&entry.content, content, &base_cols) {
+            StateDelta::Narrow { predicates } => {
+                // The narrow path maintains the derived view through the
+                // presentation permutation; a (naive-built) cache without
+                // one takes the full evaluation instead.
+                if entry.perm.is_none() {
+                    return Ok(false);
+                }
+                entry.narrow(&predicates, &self.state, threshold)?;
+                entry.content = content.clone();
+                // Narrowing preserves the cached presentation order,
+                // which is only the order a fresh evaluation would
+                // produce while every spec sort/group column kept its
+                // values. A volatile (aggregate-dependent) spec column
+                // was just refreshed, so re-sort even under an
+                // unchanged spec (`narrow` dropped the refreshed
+                // columns' rank caches, so the reorganize ranks from
+                // the new values).
+                let volatile = volatile_columns(&self.state.computed);
+                let spec_volatile = spec
+                    .sort_columns()
+                    .iter()
+                    .any(|(c, _)| volatile.contains(c));
+                if entry.spec != spec || spec_volatile {
+                    entry.reorganize(&spec, visible.clone())?;
+                } else {
+                    entry.derived.visible = visible.clone();
+                }
+            }
+            StateDelta::AppendComputed { name } => {
+                let col = self
+                    .state
+                    .computed
+                    .iter()
+                    .find(|c| c.name == name)
+                    .expect("classified from this state");
+                entry.append_computed(col, threshold)?;
+                entry.content = content.clone();
+                if entry.spec != spec || entry.perm.is_none() {
+                    entry.reorganize(&spec, visible.clone())?;
+                } else {
+                    entry.derived.visible = visible.clone();
+                }
+            }
+            StateDelta::RemoveComputed { name } => {
+                entry.remove_computed(&name)?;
+                entry.content = content.clone();
+                if entry.spec != spec {
+                    entry.reorganize(&spec, visible.clone())?;
+                } else {
+                    entry.derived.visible = visible.clone();
+                }
+            }
+            StateDelta::Reorganize | StateDelta::Full { .. } => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn base_column_names(&self) -> BTreeSet<String> {
+        self.base
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     /// Evaluate without caching (for read-only contexts).
@@ -339,15 +884,30 @@ impl Spreadsheet {
         out
     }
 
-    /// Called by every state-editing operator. The cache is kept: `view`
-    /// compares content keys and either reuses, reorganizes or fully
-    /// re-evaluates. Base-data changes call [`Self::invalidate_base`].
-    fn invalidate(&mut self) {}
+    /// Called by every state-editing operator: diffs the cached content
+    /// key against the new state and records a typed [`StateDelta`]. The
+    /// cache itself is kept — `view` re-derives the classification (so
+    /// raw state edits that skip this call stay correct) and picks the
+    /// cheapest sound path. Base-data changes call
+    /// [`Self::invalidate_base`].
+    pub(crate) fn invalidate(&mut self) {
+        self.last_delta = match &self.cache {
+            None => FULL_NO_CACHE,
+            Some(entry) => classify(
+                &entry.content,
+                &ContentKey::of(&self.state),
+                &self.base_column_names(),
+            ),
+        };
+    }
 
     /// Hard invalidation for operations that change the base data
     /// (binary operators, rename, restore).
     fn invalidate_base(&mut self) {
         self.cache = None;
+        self.last_delta = StateDelta::Full {
+            reason: "base data changed",
+        };
     }
 
     fn assert_column_exists(&self, name: &str) -> Result<()> {
@@ -713,6 +1273,8 @@ impl Spreadsheet {
             state: stored.state.clone(),
             cache: None,
             fast_reorganize: true,
+            incremental: true,
+            last_delta: FULL_NO_CACHE,
             eval_opts: EvalOptions::default(),
             epoch: 0,
             next_formula_id: 1,

@@ -176,6 +176,25 @@ impl Spec {
             .retain(|k| !basis.iter().any(|b| b == &k.attribute));
     }
 
+    /// The presentation sort keys in order — every grouping level's basis
+    /// (outermost first) followed by the finest-order keys — with `true`
+    /// marking a descending key. The full pipeline's step-5 sort and the
+    /// cache's rank-based reorganize both derive their comparator from
+    /// this one list, which is what keeps their tie-breaking identical.
+    pub fn sort_columns(&self) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            let desc = matches!(level.direction, Direction::Desc);
+            for a in &level.basis {
+                out.push((a.clone(), desc));
+            }
+        }
+        for k in &self.finest_order {
+            out.push((k.attribute.clone(), matches!(k.direction, Direction::Desc)));
+        }
+        out
+    }
+
     /// Every attribute the spec references (grouping bases + order keys),
     /// used for dependency checks when columns are removed or renamed.
     pub fn referenced_attributes(&self) -> BTreeSet<String> {

@@ -220,6 +220,32 @@ impl QueryState {
     }
 }
 
+/// The *volatile* computed columns: aggregates and everything that
+/// (transitively) reads one. Their cached values are functions of the
+/// final multiset, so any edit that changes the surviving rows — e.g. a
+/// narrowed selection — invalidates them; row-local formulas over base
+/// columns are not affected. The incremental cache recomputes exactly
+/// this set after narrowing, and refuses to narrow at all while a
+/// selection reads one (the Sec. IV-B rank-crossing case).
+pub fn volatile_columns(computed: &[ComputedColumn]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for c in computed {
+            if out.contains(&c.name) {
+                continue;
+            }
+            if c.def.is_aggregate() || c.def.dependencies().iter().any(|d| out.contains(d)) {
+                out.insert(c.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

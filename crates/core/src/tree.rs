@@ -91,6 +91,31 @@ impl GroupTree {
     pub fn row_order(&self) -> &[usize] {
         &self.root.rows
     }
+
+    /// Narrow the tree in place after rows were filtered out of the
+    /// relation it indexes: `dmap[j]` is row `j`'s new index, or
+    /// `u32::MAX` if the row was dropped. Groups left empty disappear
+    /// (the root always stays), group keys and nesting are untouched —
+    /// exactly what [`build_tree`] over the filtered relation produces,
+    /// as long as the filtering did not change any grouping-basis value.
+    pub fn narrow(&mut self, dmap: &[u32]) {
+        fn rec(node: &mut GroupNode, dmap: &[u32]) {
+            let mut w = 0;
+            for r in 0..node.rows.len() {
+                let m = dmap[node.rows[r]];
+                if m != u32::MAX {
+                    node.rows[w] = m as usize;
+                    w += 1;
+                }
+            }
+            node.rows.truncate(w);
+            node.children.retain_mut(|c| {
+                rec(c, dmap);
+                !c.rows.is_empty()
+            });
+        }
+        rec(&mut self.root, dmap);
+    }
 }
 
 /// Build a group tree from a relation already sorted in presentation
@@ -263,6 +288,35 @@ mod tests {
         let t = two_level_tree();
         assert_eq!(t.row_order(), &[0, 1, 2, 3, 4, 5]);
         assert_eq!(t.root.len(), 6);
+    }
+
+    #[test]
+    fn narrow_matches_fresh_build() {
+        let data = cars_sorted();
+        let mut t = two_level_tree();
+        // Drop rows 1 ("Jetta" 2005) and 3 (the only "Civic" 2005): one
+        // finest group shrinks, another disappears entirely.
+        let keep = [0usize, 2, 4, 5];
+        let mut dmap = vec![u32::MAX; data.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            dmap[old] = new as u32;
+        }
+        t.narrow(&dmap);
+        let filtered = data.take_rows(&keep.iter().map(|&i| i as u32).collect::<Vec<_>>());
+        let fresh = build_tree(
+            &filtered,
+            &[vec!["Model".to_string()], vec!["Year".to_string()]],
+        );
+        assert_eq!(t, fresh);
+    }
+
+    #[test]
+    fn narrow_to_empty_keeps_root() {
+        let mut t = two_level_tree();
+        t.narrow(&[u32::MAX; 6]);
+        assert!(t.root.is_empty());
+        assert!(t.root.children.is_empty());
+        assert_eq!(t.depth(), 1);
     }
 
     #[test]

@@ -360,6 +360,86 @@ impl Expr {
         Some(factors.into_iter().fold(first, |acc, e| acc.and(e)))
     }
 
+    /// Conservative syntactic entailment: `true` means every row on
+    /// which `self` evaluates to `TRUE` also makes `other` `TRUE` (under
+    /// the three-valued semantics where only `TRUE` keeps a row), so a
+    /// selection tightened from `other` to `self` can be applied by
+    /// re-filtering an existing result. `false` means *unknown* — never
+    /// "does not imply" — so callers must treat it as "fall back".
+    ///
+    /// Decomposes conjunctions/disjunctions on both sides and decides
+    /// atomic `column OP literal` pairs on the same column by interval
+    /// reasoning over [`Value`]'s total order (which is exactly the
+    /// order [`Value::sql_cmp`] tests, so the reasoning is sound even
+    /// across mixed-type literals).
+    pub fn implies(&self, other: &Expr) -> bool {
+        if self == other {
+            return true;
+        }
+        // other = a AND b: must imply both halves.
+        if let Expr::And(a, b) = other {
+            return self.implies(a) && self.implies(b);
+        }
+        // self = a OR b: both alternatives must imply `other`.
+        if let Expr::Or(a, b) = self {
+            return a.implies(other) && b.implies(other);
+        }
+        // self = a AND b: either conjunct alone implying `other` suffices.
+        if let Expr::And(a, b) = self {
+            if a.implies(other) || b.implies(other) {
+                return true;
+            }
+        }
+        // other = a OR b: implying either alternative suffices.
+        if let Expr::Or(a, b) = other {
+            if self.implies(a) || self.implies(b) {
+                return true;
+            }
+        }
+        match (self.as_column_cmp(), other.as_column_cmp()) {
+            (Some((col, op, v)), Some((ocol, oop, ov))) if col == ocol => {
+                atom_implies(op, &v, oop, &ov)
+            }
+            _ => false,
+        }
+    }
+
+    /// Normalize an atomic comparison between a column and a literal to
+    /// `(column, op, literal)`, flipping `literal OP column` forms.
+    fn as_column_cmp(&self) -> Option<(&str, CmpOp, Value)> {
+        match self {
+            Expr::Cmp(a, op, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) => Some((c, *op, *v)),
+                (Expr::Lit(v), Expr::Col(c)) => Some((c, op.flipped(), *v)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Decompose a pure conjunction of `column OP literal` atoms (any
+    /// nesting of `And`, either operand order) into its normalized atom
+    /// list; `None` when any leaf is something else. Engines use this to
+    /// filter on direct value comparisons — `sql_cmp` semantics, no
+    /// per-row expression walk — for the overwhelmingly common predicate
+    /// shape.
+    pub fn as_column_cmp_conjunction(&self) -> Option<Vec<(&str, CmpOp, Value)>> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<(&'a str, CmpOp, Value)>) -> bool {
+            match e {
+                Expr::And(a, b) => walk(a, out) && walk(b, out),
+                _ => match e.as_column_cmp() {
+                    Some(atom) => {
+                        out.push(atom);
+                        true
+                    }
+                    None => false,
+                },
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out).then_some(out)
+    }
+
     /// OR-join a list of alternatives (used by the `IN (…)` desugaring);
     /// `None` when empty.
     pub fn conjoin_or(mut alternatives: Vec<Expr>) -> Option<Expr> {
@@ -369,6 +449,31 @@ impl Expr {
             alternatives.remove(0)
         };
         Some(alternatives.into_iter().fold(first, |acc, e| acc.or(e)))
+    }
+}
+
+/// Does `v OP1 x` entail `v OP2 y` for every non-null `v`? Set-inclusion
+/// over the intervals the two atoms carve out of [`Value`]'s total order.
+fn atom_implies(op: CmpOp, x: &Value, oop: CmpOp, y: &Value) -> bool {
+    if x.is_null() {
+        // `col OP NULL` never evaluates to TRUE: vacuously implies anything.
+        return true;
+    }
+    if y.is_null() {
+        // The consequent can never hold while the antecedent can.
+        return false;
+    }
+    let c = x.cmp(y);
+    match (op, oop) {
+        // {x} ⊆ S₂ iff x itself satisfies OP2 against y.
+        (CmpOp::Eq, _) => oop.test()(c),
+        // "everything but x" only fits inside "everything but x".
+        (CmpOp::Ne, CmpOp::Ne) => c.is_eq(),
+        (CmpOp::Lt, CmpOp::Lt | CmpOp::Le | CmpOp::Ne) | (CmpOp::Le, CmpOp::Le) => c.is_le(),
+        (CmpOp::Le, CmpOp::Lt | CmpOp::Ne) => c.is_lt(),
+        (CmpOp::Gt, CmpOp::Gt | CmpOp::Ge | CmpOp::Ne) | (CmpOp::Ge, CmpOp::Ge) => c.is_ge(),
+        (CmpOp::Ge, CmpOp::Gt | CmpOp::Ne) => c.is_gt(),
+        _ => false,
     }
 }
 
@@ -608,5 +713,54 @@ mod tests {
         assert_eq!(e.eval(&s, &t).unwrap(), Value::Bool(false));
         let e = Expr::lit(true).or(Expr::col("ghost").gt(Expr::lit(1)));
         assert_eq!(e.eval(&s, &t).unwrap(), Value::Bool(true));
+    }
+
+    fn price(op: fn(Expr, Expr) -> Expr, v: i64) -> Expr {
+        op(Expr::col("Price"), Expr::lit(v))
+    }
+
+    #[test]
+    fn implies_structural() {
+        let a = price(Expr::lt, 100);
+        let b = Expr::col("Year").ge(Expr::lit(2005));
+        assert!(a.implies(&a));
+        assert!(a.clone().and(b.clone()).implies(&a));
+        assert!(a.clone().and(b.clone()).implies(&b));
+        assert!(a.implies(&a.clone().or(b.clone())));
+        assert!(a.clone().or(b.clone()).implies(&b.clone().or(a.clone())));
+        // A conjunction is implied only when both halves are.
+        assert!(!a.implies(&a.clone().and(b.clone())));
+        // Different columns never entail each other.
+        assert!(!a.implies(&b));
+    }
+
+    #[test]
+    fn implies_intervals() {
+        assert!(price(Expr::lt, 100).implies(&price(Expr::lt, 200)));
+        assert!(price(Expr::lt, 100).implies(&price(Expr::le, 100)));
+        assert!(price(Expr::le, 99).implies(&price(Expr::lt, 100)));
+        assert!(price(Expr::gt, 200).implies(&price(Expr::ge, 200)));
+        assert!(price(Expr::ge, 201).implies(&price(Expr::gt, 200)));
+        assert!(price(Expr::eq, 5).implies(&price(Expr::le, 5)));
+        assert!(price(Expr::eq, 5).implies(&price(Expr::ne, 6)));
+        assert!(price(Expr::lt, 5).implies(&price(Expr::ne, 5)));
+        assert!(price(Expr::gt, 5).implies(&price(Expr::ne, 5)));
+        // Flipped literal-first atoms normalize: 100 > Price ⇔ Price < 100.
+        let flipped = Expr::lit(100).gt(Expr::col("Price"));
+        assert!(flipped.implies(&price(Expr::lt, 200)));
+        // Widening directions must be rejected.
+        assert!(!price(Expr::lt, 200).implies(&price(Expr::lt, 100)));
+        assert!(!price(Expr::le, 100).implies(&price(Expr::lt, 100)));
+        assert!(!price(Expr::ne, 5).implies(&price(Expr::lt, 5)));
+        assert!(!price(Expr::ge, 5).implies(&price(Expr::gt, 5)));
+    }
+
+    #[test]
+    fn implies_null_literals() {
+        // `Price < NULL` is never TRUE: it vacuously implies anything,
+        // and nothing satisfiable implies it.
+        let never = Expr::col("Price").lt(Expr::lit(Value::Null));
+        assert!(never.implies(&price(Expr::gt, 1_000_000)));
+        assert!(!price(Expr::lt, 100).implies(&never));
     }
 }

@@ -129,6 +129,18 @@ impl Relation {
         }
     }
 
+    /// Keep only the rows whose index satisfies `keep`, preserving order.
+    /// Runs in place — surviving tuples are moved, never cloned — which is
+    /// what makes narrowing a cached evaluation cheaper than re-gathering.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let mut i = 0;
+        self.rows.retain(|_| {
+            let k = keep(i);
+            i += 1;
+            k
+        });
+    }
+
     /// Add a column filled by `fill(row_index, tuple)`.
     pub fn add_column<F>(&mut self, column: Column, mut fill: F) -> Result<()>
     where

@@ -108,6 +108,13 @@ impl Schema {
         Ok(())
     }
 
+    /// Overwrite a column's static type in place (by position). Used when
+    /// an incremental update re-unifies a computed column's type over a
+    /// narrowed multiset without rebuilding the relation.
+    pub fn set_column_type(&mut self, idx: usize, ty: ValueType) {
+        self.columns[idx].ty = ty;
+    }
+
     /// Remove a column by name, returning its former position.
     pub fn remove(&mut self, name: &str) -> Result<usize> {
         let idx = self.index_of(name)?;

@@ -1,0 +1,108 @@
+#!/usr/bin/env sh
+# Bench regression gate: compare the freshly written BENCH_*.json at the
+# repository root against the committed baselines (HEAD) and fail on a
+# >25% regression of any recorded mean.
+#
+#   scripts/bench_delta.sh          # compare working-tree JSON vs HEAD
+#
+# The benches overwrite the committed JSON in place, so the baseline is
+# read back from git. Entries are matched by their identifying fields
+# (rows, scenario); entries present only on one side — e.g. a fast-mode
+# smoke run records a subset of the row counts — are skipped with a
+# note, never failed.
+#
+# By default only the speedup ratios are gated: they are means recorded
+# by the same run on the same machine, so they transfer across hosts,
+# whereas absolute *_ms means compare a CI runner against the machine
+# that produced the baseline. Set BENCH_DELTA_STRICT=1 to also gate the
+# *_ms means (useful when baseline and fresh run share a machine).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+python3 - "$@" <<'EOF'
+import glob
+import json
+import os
+import subprocess
+import sys
+
+THRESHOLD = 0.25
+# Speedup ratios saturate: past this the timed path is effectively free
+# (microseconds) and the ratio is timer noise, so both sides are clamped
+# here before comparing. A collapse from "free" to "slow" still fails.
+SPEEDUP_CAP = 20.0
+STRICT = os.environ.get("BENCH_DELTA_STRICT") == "1"
+ID_FIELDS = ("rows", "scenario")
+
+def entry_key(entry):
+    return tuple((f, entry[f]) for f in ID_FIELDS if f in entry)
+
+def sections(doc):
+    """Top-level lists of measurement dicts, e.g. "sizes" or "edits"."""
+    for name, value in doc.items():
+        if isinstance(value, list) and value and all(
+            isinstance(e, dict) for e in value
+        ):
+            yield name, {entry_key(e): e for e in value}
+
+def gated_metrics(entry):
+    """(field, higher_is_better) pairs this gate checks in an entry."""
+    for field, value in entry.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if "speedup" in field:
+            yield field, True
+        elif field.endswith("_ms") and STRICT:
+            yield field, False
+
+failures = []
+compared = 0
+for path in sorted(glob.glob("BENCH_*.json")):
+    show = subprocess.run(
+        ["git", "show", f"HEAD:{path}"], capture_output=True, text=True
+    )
+    if show.returncode != 0:
+        print(f"{path}: no committed baseline yet, skipping")
+        continue
+    baseline = json.loads(show.stdout)
+    with open(path) as f:
+        fresh = json.load(f)
+    if fresh.get("fast"):
+        print(f"{path}: fresh run is fast-mode (smoke sizes/samples)")
+    base_sections = dict(sections(baseline))
+    for name, fresh_entries in sections(fresh):
+        base_entries = base_sections.get(name, {})
+        for key, entry in fresh_entries.items():
+            base = base_entries.get(key)
+            label = f"{path}:{name}:{dict(key)}"
+            if base is None:
+                print(f"{label}: not in baseline, skipping")
+                continue
+            for field, higher_better in gated_metrics(entry):
+                if field not in base:
+                    continue
+                old, new = float(base[field]), float(entry[field])
+                if higher_better:
+                    old, new = min(old, SPEEDUP_CAP), min(new, SPEEDUP_CAP)
+                if old <= 0:
+                    continue
+                # Regression fraction: how much worse the fresh mean is.
+                delta = (old - new) / old if higher_better else (new - old) / old
+                verdict = "FAIL" if delta > THRESHOLD else "ok"
+                print(
+                    f"{verdict:4} {label} {field}: "
+                    f"{old:g} -> {new:g} ({-delta:+.1%})"
+                )
+                compared += 1
+                if delta > THRESHOLD:
+                    failures.append(f"{label} {field}")
+
+if failures:
+    print(f"\nbench_delta: {len(failures)} regression(s) beyond "
+          f"{THRESHOLD:.0%}:")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print(f"\nbench_delta: OK ({compared} means within {THRESHOLD:.0%})")
+EOF

@@ -31,4 +31,7 @@ else
     echo "==> cargo clippy not installed; skipping lints"
 fi
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "verify: OK"
