@@ -138,7 +138,9 @@ impl Derived {
 /// Default live-row count above which the index-vector engine chunks
 /// selection/formula/aggregation work across `std::thread::scope`
 /// workers. Below it the per-thread setup costs more than it saves.
-pub const DEFAULT_PARALLEL_THRESHOLD: usize = 8192;
+/// Shared with the relational operators (the hash join keys its build
+/// partitioning and probe chunking off the same option).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = ssa_relation::par::DEFAULT_PARALLEL_THRESHOLD;
 
 /// Evaluation engine knobs. [`Default`] is the index-vector engine with
 /// the standard parallel threshold.
@@ -311,35 +313,9 @@ impl RowAccess for EngineRow<'_> {
     }
 }
 
-/// Run `f` over `items`, chunked across scoped threads when `parallel`
-/// (and the machine has them); chunk results come back in order.
-fn chunk_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> R + Sync,
-{
-    let workers = if parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        1
-    };
-    let workers = workers.min(items.len().max(1));
-    if workers <= 1 {
-        return vec![f(items)];
-    }
-    let chunk = items.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
-    })
-}
+// Chunked scoped-thread execution is shared with the relational
+// operators: one implementation, one ordering guarantee.
+use ssa_relation::par::chunk_map;
 
 /// Canonical (rank-ordered) relation plus the presentation permutation
 /// mapping derived row `j` to canonical row `perm[j]` — handed to the

@@ -1320,7 +1320,8 @@ impl Spreadsheet {
     /// sheet are retained and recompute over the product.
     pub fn product(&mut self, stored: &StoredSheet) -> Result<()> {
         let left = self.evaluated_r()?;
-        let combined = ops::product(&left, &stored.relation)?;
+        let combined =
+            ops::product_opts(&left, &stored.relation, self.eval_opts.parallel_threshold)?;
         self.enter_new_epoch(combined)
     }
 
@@ -1340,7 +1341,12 @@ impl Spreadsheet {
                 return Err(SheetError::UnknownColumn { name: c });
             }
         }
-        let joined = ops::join(&left, &stored.relation, &condition)?;
+        let joined = ops::join_opts(
+            &left,
+            &stored.relation,
+            &condition,
+            self.eval_opts.parallel_threshold,
+        )?;
         self.enter_new_epoch(joined)
     }
 

@@ -15,6 +15,7 @@
 
 use crate::error::{RelationError, Result};
 use crate::expr::{like_match, ArithOp, CmpOp, Expr};
+use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::borrow::Cow;
@@ -35,6 +36,27 @@ impl RowAccess for Tuple {
 impl RowAccess for [&Value] {
     fn slot(&self, idx: usize) -> &Value {
         self[idx]
+    }
+}
+
+/// Two tuples viewed as one concatenated row — left columns first, then
+/// right. The join probe evaluates bound residual predicates on candidate
+/// pairs through this view, so non-matching pairs never materialize a
+/// concatenated [`Tuple`].
+#[derive(Clone, Copy)]
+pub struct PairRow<'a> {
+    pub left: &'a Tuple,
+    pub right: &'a Tuple,
+    pub left_width: usize,
+}
+
+impl RowAccess for PairRow<'_> {
+    fn slot(&self, idx: usize) -> &Value {
+        if idx < self.left_width {
+            self.left.get(idx)
+        } else {
+            self.right.get(idx - self.left_width)
+        }
     }
 }
 
@@ -168,9 +190,48 @@ impl CompiledExpr {
         Ok(self.eval(row)?.into_owned())
     }
 
-    /// Evaluate as a predicate: true iff the result is `Bool(true)`.
+    /// Evaluate as a predicate: `true` iff the result is `Bool(true)`,
+    /// `false` for `Bool(false)`/`Null`. Other results raise
+    /// [`RelationError::NotBoolean`], mirroring [`Expr::matches`].
     pub fn matches<R: RowAccess + ?Sized>(&self, row: &R) -> Result<bool> {
-        Ok(self.eval(row)?.is_true())
+        match &*self.eval(row)? {
+            Value::Bool(b) => Ok(*b),
+            Value::Null => Ok(false),
+            v => Err(RelationError::NotBoolean {
+                found: v.to_string(),
+            }),
+        }
+    }
+}
+
+/// An [`Expr`] bound to one fixed [`Schema`]: every column name resolved
+/// to its index exactly once, at [`Expr::bind`] time. The hot loops of
+/// the hash-join engine evaluate these against [`RowAccess`] rows and
+/// never touch `Schema::index_of` per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundExpr {
+    compiled: CompiledExpr,
+}
+
+impl Expr {
+    /// Bind this expression to `schema`, resolving every column reference
+    /// to its index. Unknown columns error here — once — instead of on
+    /// the first row evaluated.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr> {
+        let compiled = CompiledExpr::compile(self, &mut |name| schema.index_of(name).ok())?;
+        Ok(BoundExpr { compiled })
+    }
+}
+
+impl BoundExpr {
+    /// Evaluate against one row (semantics of [`Expr::eval`]).
+    pub fn eval<R: RowAccess + ?Sized>(&self, row: &R) -> Result<Value> {
+        self.compiled.eval_owned(row)
+    }
+
+    /// Evaluate as a predicate (semantics of [`Expr::matches`]).
+    pub fn matches<R: RowAccess + ?Sized>(&self, row: &R) -> Result<bool> {
+        self.compiled.matches(row)
     }
 }
 

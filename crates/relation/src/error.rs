@@ -17,6 +17,10 @@ pub enum RelationError {
     NotUnionCompatible { left: String, right: String },
     /// An expression applied operands of incompatible types.
     TypeMismatch { context: String },
+    /// A selection/join condition evaluated to a non-boolean value.
+    /// Distinct from [`RelationError::TypeMismatch`] so interfaces can
+    /// point at the condition itself rather than an operand inside it.
+    NotBoolean { found: String },
     /// Division (or modulo) by zero during expression evaluation.
     DivisionByZero,
     /// An aggregate was asked for on a column that does not support it.
@@ -43,6 +47,9 @@ impl fmt::Display for RelationError {
                 )
             }
             RelationError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            RelationError::NotBoolean { found } => {
+                write!(f, "condition evaluated to non-boolean value `{found}`")
+            }
             RelationError::DivisionByZero => write!(f, "division by zero"),
             RelationError::BadAggregate { context } => write!(f, "bad aggregate: {context}"),
             RelationError::ParseValue { text, wanted } => {

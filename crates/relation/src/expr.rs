@@ -274,9 +274,19 @@ impl Expr {
         }
     }
 
-    /// Evaluate as a predicate: true iff the result is Bool(true).
+    /// Evaluate as a predicate: `true` iff the result is `Bool(true)`,
+    /// `false` for `Bool(false)` and `Null` (SQL keeps only TRUE rows).
+    /// Any other value is a malformed condition and raises
+    /// [`RelationError::NotBoolean`] so the interface can report the
+    /// condition itself rather than silently dropping every row.
     pub fn matches(&self, schema: &Schema, tuple: &Tuple) -> Result<bool> {
-        Ok(self.eval(schema, tuple)?.is_true())
+        match self.eval(schema, tuple)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            v => Err(RelationError::NotBoolean {
+                found: v.to_string(),
+            }),
+        }
     }
 
     /// The set of column names this expression references. Query state
@@ -336,18 +346,75 @@ impl Expr {
         }
     }
 
-    /// Split a conjunctive condition into its AND-ed factors
+    /// Split a conjunctive condition into its AND-ed factors, borrowed
+    /// (any nesting of `And`; a non-conjunction is its own single factor).
+    /// The join planner classifies these without cloning the tree.
+    pub fn split_conjuncts(&self) -> Vec<&Expr> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Split a conjunctive condition into owned AND-ed factors
     /// (used to separate join conditions from residual selections in the
     /// Theorem-1 construction, Step 2).
     pub fn conjuncts(&self) -> Vec<Expr> {
-        match self {
-            Expr::And(a, b) => {
-                let mut out = a.conjuncts();
-                out.extend(b.conjuncts());
-                out
+        self.split_conjuncts().into_iter().cloned().collect()
+    }
+
+    /// Factor a join condition over `combined` (the product schema whose
+    /// first `left_width` columns come from the left operand) into
+    /// equi-key column pairs plus a residual predicate.
+    ///
+    /// A conjunct of the shape `Col(a) = Col(b)` with the two columns
+    /// resolving to *opposite* sides of the product contributes the pair
+    /// `(left index, right index)` — the right index rebased into the
+    /// right operand's own schema. Every other conjunct (non-equality,
+    /// same-side equality, compound operands, unresolvable names) stays
+    /// in the residual, so `keys AND residual ≡ self` row-for-row: an
+    /// equality over non-NULL keys holds exactly when the hash keys
+    /// collide, and a NULL on either side makes the conjunct non-TRUE,
+    /// which is the hash join's "Null keys never match" rule.
+    pub fn extract_equi_keys(
+        &self,
+        left_width: usize,
+        combined: &Schema,
+    ) -> (Vec<(usize, usize)>, Option<Expr>) {
+        let mut keys = Vec::new();
+        let mut residual = Vec::new();
+        for conjunct in self.split_conjuncts() {
+            let pair = match conjunct {
+                Expr::Cmp(a, CmpOp::Eq, b) => match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(x), Expr::Col(y)) => {
+                        match (combined.index_of(x), combined.index_of(y)) {
+                            (Ok(ix), Ok(iy)) if ix < left_width && iy >= left_width => {
+                                Some((ix, iy - left_width))
+                            }
+                            (Ok(ix), Ok(iy)) if iy < left_width && ix >= left_width => {
+                                Some((iy, ix - left_width))
+                            }
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            match pair {
+                Some(p) => keys.push(p),
+                None => residual.push(conjunct.clone()),
             }
-            other => vec![other.clone()],
         }
+        (keys, Expr::conjoin(residual))
     }
 
     /// Re-join conjuncts into a single condition; `None` when empty.
@@ -659,6 +726,77 @@ mod tests {
         let rejoined = Expr::conjoin(parts).unwrap();
         assert_eq!(rejoined, e);
         assert_eq!(Expr::conjoin(vec![]), None);
+    }
+
+    #[test]
+    fn matches_surfaces_non_boolean_condition() {
+        let s = schema();
+        let t = row();
+        // A condition that evaluates to an Int is a malformed predicate,
+        // not "false": it must raise the typed error.
+        let e = Expr::col("Price").add(Expr::lit(1));
+        assert!(matches!(
+            e.matches(&s, &t),
+            Err(RelationError::NotBoolean { .. })
+        ));
+        let err = e.matches(&s, &t).unwrap_err();
+        assert!(err.to_string().contains("non-boolean"), "{err}");
+        // Bool and Null results keep their SQL meaning.
+        assert!(Expr::lit(true).matches(&s, &t).unwrap());
+        assert!(!Expr::lit(Value::Null).matches(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn split_conjuncts_borrows_factors() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(1))
+            .and(Expr::col("b").lt(Expr::lit(2)));
+        let parts = e.split_conjuncts();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], &Expr::col("a").gt(Expr::lit(1)));
+        // A non-conjunction is its own single factor.
+        assert_eq!(Expr::lit(true).split_conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn extract_equi_keys_factors_join_conditions() {
+        // Combined schema: left = (Model, Price), right = (Name, Cap).
+        let left = Schema::of(&[("Model", Str), ("Price", Int)]);
+        let right = Schema::of(&[("Name", Str), ("Cap", Int)]);
+        let combined = left.product(&right, "r");
+
+        // Pure equi-join, either operand order.
+        let e = Expr::col("Model").eq(Expr::col("Name"));
+        assert_eq!(e.extract_equi_keys(2, &combined), (vec![(0, 0)], None));
+        let flipped = Expr::col("Name").eq(Expr::col("Model"));
+        assert_eq!(
+            flipped.extract_equi_keys(2, &combined),
+            (vec![(0, 0)], None)
+        );
+
+        // Multi-key plus residual: both keys extracted, residual re-joined.
+        let resid = Expr::col("Price").lt(Expr::lit(100));
+        let e = Expr::col("Model")
+            .eq(Expr::col("Name"))
+            .and(Expr::col("Price").eq(Expr::col("Cap")))
+            .and(resid.clone());
+        assert_eq!(
+            e.extract_equi_keys(2, &combined),
+            (vec![(0, 0), (1, 1)], Some(resid.clone()))
+        );
+
+        // Same-side equality, non-equality comparisons, and compound
+        // operands all stay residual.
+        for e in [
+            Expr::col("Model").eq(Expr::col("Price")),
+            Expr::col("Price").lt(Expr::col("Cap")),
+            Expr::col("Price").add(Expr::lit(1)).eq(Expr::col("Cap")),
+            Expr::col("Model").eq(Expr::col("Name")).or(resid.clone()),
+        ] {
+            let (keys, residual) = e.extract_equi_keys(2, &combined);
+            assert!(keys.is_empty(), "{e}");
+            assert_eq!(residual, Some(e));
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod expr;
 pub mod expr_parse;
 pub mod intern;
 pub mod ops;
+pub mod par;
 pub mod relation;
 pub mod rng;
 pub mod schema;
@@ -36,7 +37,7 @@ pub mod value;
 
 pub use agg::AggFunc;
 pub use catalog::Catalog;
-pub use compiled::{CompiledExpr, RowAccess};
+pub use compiled::{BoundExpr, CompiledExpr, PairRow, RowAccess};
 pub use error::{RelationError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use intern::Sym;

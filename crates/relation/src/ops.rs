@@ -7,13 +7,15 @@
 //! the SQL reference evaluator in `ssa-sql` uses them directly.
 
 use crate::agg::AggFunc;
+use crate::compiled::{BoundExpr, PairRow};
 use crate::error::{RelationError, Result};
 use crate::expr::Expr;
+use crate::par::{chunk_map, DEFAULT_PARALLEL_THRESHOLD};
 use crate::relation::Relation;
 use crate::schema::{Column, Schema};
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueType};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// σ — keep tuples satisfying `condition`.
 pub fn select(rel: &Relation, condition: &Expr) -> Result<Relation> {
@@ -66,31 +68,259 @@ pub fn project_out(rel: &Relation, column: &str) -> Result<Relation> {
 /// × — Cartesian product. Clashing right-hand names are prefixed with the
 /// right relation's name (Def. 7's `C^j ∪ C^k_s`).
 pub fn product(left: &Relation, right: &Relation) -> Result<Relation> {
+    product_opts(left, right, DEFAULT_PARALLEL_THRESHOLD)
+}
+
+/// [`product`] with an explicit parallelism threshold: when the output
+/// cardinality `|left| × |right|` reaches it, the row gather is chunked
+/// across scoped threads.
+pub fn product_opts(
+    left: &Relation,
+    right: &Relation,
+    parallel_threshold: usize,
+) -> Result<Relation> {
     let schema = left.schema().product(right.schema(), right.name());
-    let mut out = Relation::new(format!("{}_x_{}", left.name(), right.name()), schema);
-    for l in left.rows() {
-        for r in right.rows() {
-            out.insert(l.concat(r))?;
+    let name = format!("{}_x_{}", left.name(), right.name());
+    let cardinality = left.len().saturating_mul(right.len());
+    let lids: Vec<u32> = (0..left.len() as u32).collect();
+    let chunks = chunk_map(&lids, cardinality >= parallel_threshold.max(1), |chunk| {
+        let mut rows = Vec::with_capacity(chunk.len() * right.len());
+        for &li in chunk {
+            let l = &left.rows()[li as usize];
+            for r in right.rows() {
+                rows.push(l.concat(r));
+            }
         }
+        rows
+    });
+    let mut rows = Vec::with_capacity(cardinality);
+    for c in chunks {
+        rows.extend(c);
     }
-    Ok(out)
+    Relation::with_rows(name, schema, rows)
 }
 
 /// ⋈ — join on an arbitrary condition evaluated over the concatenated row
-/// (Def. 10: relational join with condition F). Equivalent to
-/// `select(product(l, r), F)` but avoids materializing non-matches.
+/// (Def. 10: relational join with condition F). Row-for-row equivalent to
+/// `select(product(l, r), F)` — pinned by [`oracle::join`] differentials —
+/// but evaluated as a build/probe hash join on the equi-key conjuncts of
+/// `F` (falling back to a bound nested loop when `F` has none).
 pub fn join(left: &Relation, right: &Relation, condition: &Expr) -> Result<Relation> {
+    join_opts(left, right, condition, DEFAULT_PARALLEL_THRESHOLD)
+}
+
+/// [`join`] with an explicit parallelism threshold (build partitioning,
+/// probe chunks and the row gather parallelize past it).
+///
+/// The plan: [`Expr::extract_equi_keys`] factors `F` into equi-key column
+/// pairs plus a residual, the smaller operand is hashed on its key tuple
+/// (SQL semantics — a NULL in any key column never matches, so such rows
+/// skip the table entirely), the larger operand probes, and only the
+/// *bound* residual runs on candidate pairs. Output order is exactly the
+/// nested loop's: left-major, right rows in operand order.
+pub fn join_opts(
+    left: &Relation,
+    right: &Relation,
+    condition: &Expr,
+    parallel_threshold: usize,
+) -> Result<Relation> {
     let schema = left.schema().product(right.schema(), right.name());
-    let mut out = Relation::new(format!("{}_join_{}", left.name(), right.name()), schema);
-    for l in left.rows() {
-        for r in right.rows() {
-            let combined = l.concat(r);
-            if condition.matches(out.schema(), &combined)? {
-                out.insert(combined)?;
+    let name = format!("{}_join_{}", left.name(), right.name());
+    let left_width = left.schema().len();
+    let (keys, residual) = condition.extract_equi_keys(left_width, &schema);
+    let pairs = if keys.is_empty() {
+        let bound = condition.bind(&schema)?;
+        nested_pairs(left, right, &bound, left_width, parallel_threshold)?
+    } else {
+        let residual = residual.map(|e| e.bind(&schema)).transpose()?;
+        hash_pairs(
+            left,
+            right,
+            &keys,
+            residual.as_ref(),
+            left_width,
+            parallel_threshold,
+        )?
+    };
+    gather_pairs(name, schema, left, right, &pairs, parallel_threshold)
+}
+
+/// The nested-loop join path, forced: every pair is tested with the bound
+/// condition, no hash table. Kept public as the hash path's differential
+/// oracle and as the baseline the `join` bench measures against.
+pub fn join_nested(
+    left: &Relation,
+    right: &Relation,
+    condition: &Expr,
+    parallel_threshold: usize,
+) -> Result<Relation> {
+    let schema = left.schema().product(right.schema(), right.name());
+    let name = format!("{}_join_{}", left.name(), right.name());
+    let bound = condition.bind(&schema)?;
+    let pairs = nested_pairs(left, right, &bound, left.schema().len(), parallel_threshold)?;
+    gather_pairs(name, schema, left, right, &pairs, parallel_threshold)
+}
+
+/// All (left, right) row-index pairs satisfying `bound`, by exhaustive
+/// scan; left chunks run in parallel when the pair count crosses the
+/// threshold.
+fn nested_pairs(
+    left: &Relation,
+    right: &Relation,
+    bound: &BoundExpr,
+    left_width: usize,
+    parallel_threshold: usize,
+) -> Result<Vec<(u32, u32)>> {
+    let lids: Vec<u32> = (0..left.len() as u32).collect();
+    let parallel = left.len().saturating_mul(right.len()) >= parallel_threshold.max(1);
+    let chunks = chunk_map(&lids, parallel, |chunk| -> Result<Vec<(u32, u32)>> {
+        let mut out = Vec::new();
+        for &li in chunk {
+            let l = &left.rows()[li as usize];
+            for (ri, r) in right.rows().iter().enumerate() {
+                let row = PairRow {
+                    left: l,
+                    right: r,
+                    left_width,
+                };
+                if bound.matches(&row)? {
+                    out.push((li, ri as u32));
+                }
             }
         }
+        Ok(out)
+    });
+    let mut pairs = Vec::new();
+    for c in chunks {
+        pairs.extend(c?);
     }
-    Ok(out)
+    Ok(pairs)
+}
+
+/// Build/probe core: hash the smaller operand on its key tuple, probe the
+/// larger, run the bound residual on candidates. Emits pairs in the
+/// nested loop's order (left-major); when the *left* side is the build
+/// side the probe emits right-major, so a stable re-sort by left index
+/// restores it.
+fn hash_pairs(
+    left: &Relation,
+    right: &Relation,
+    keys: &[(usize, usize)],
+    residual: Option<&BoundExpr>,
+    left_width: usize,
+    parallel_threshold: usize,
+) -> Result<Vec<(u32, u32)>> {
+    let build_left = left.len() < right.len();
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let build_keys: Vec<usize> = keys
+        .iter()
+        .map(|&(l, r)| if build_left { l } else { r })
+        .collect();
+    let probe_keys: Vec<usize> = keys
+        .iter()
+        .map(|&(l, r)| if build_left { r } else { l })
+        .collect();
+
+    // Partitioned build: per-chunk tables merged in chunk order, so each
+    // key's candidate list stays sorted by build-row index. Rows with a
+    // NULL in any key column can never satisfy the equality conjunct
+    // (NULL = x is NULL, not TRUE) and stay out of the table.
+    let bids: Vec<u32> = (0..build.len() as u32).collect();
+    let threshold = parallel_threshold.max(1);
+    let partials = chunk_map(&bids, build.len() >= threshold, |chunk| {
+        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for &bi in chunk {
+            let t = &build.rows()[bi as usize];
+            if build_keys.iter().any(|&k| t.get(k).is_null()) {
+                continue;
+            }
+            table
+                .entry(build_keys.iter().map(|&k| *t.get(k)).collect())
+                .or_default()
+                .push(bi);
+        }
+        table
+    });
+    let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+    for partial in partials {
+        for (k, mut v) in partial {
+            table.entry(k).or_default().append(&mut v);
+        }
+    }
+
+    let pids: Vec<u32> = (0..probe.len() as u32).collect();
+    let chunks = chunk_map(
+        &pids,
+        probe.len() >= threshold,
+        |chunk| -> Result<Vec<(u32, u32)>> {
+            let mut out = Vec::new();
+            let mut key: Vec<Value> = Vec::with_capacity(probe_keys.len());
+            for &pi in chunk {
+                let t = &probe.rows()[pi as usize];
+                if probe_keys.iter().any(|&k| t.get(k).is_null()) {
+                    continue;
+                }
+                key.clear();
+                key.extend(probe_keys.iter().map(|&k| *t.get(k)));
+                let Some(candidates) = table.get(key.as_slice()) else {
+                    continue;
+                };
+                for &bi in candidates {
+                    let (li, ri) = if build_left { (bi, pi) } else { (pi, bi) };
+                    let row = PairRow {
+                        left: &left.rows()[li as usize],
+                        right: &right.rows()[ri as usize],
+                        left_width,
+                    };
+                    let keep = match residual {
+                        Some(e) => e.matches(&row)?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push((li, ri));
+                    }
+                }
+            }
+            Ok(out)
+        },
+    );
+    let mut pairs = Vec::new();
+    for c in chunks {
+        pairs.extend(c?);
+    }
+    if build_left {
+        // Probing the right side emitted right-major order; the stable
+        // sort keeps the per-left right order and restores left-major.
+        pairs.sort_by_key(|&(li, _)| li);
+    }
+    Ok(pairs)
+}
+
+/// Materialize the concatenated output rows for the matched index pairs.
+fn gather_pairs(
+    name: String,
+    schema: Schema,
+    left: &Relation,
+    right: &Relation,
+    pairs: &[(u32, u32)],
+    parallel_threshold: usize,
+) -> Result<Relation> {
+    let chunks = chunk_map(pairs, pairs.len() >= parallel_threshold.max(1), |chunk| {
+        let mut rows = Vec::with_capacity(chunk.len());
+        for &(li, ri) in chunk {
+            rows.push(left.rows()[li as usize].concat(&right.rows()[ri as usize]));
+        }
+        rows
+    });
+    let mut rows = Vec::with_capacity(pairs.len());
+    for c in chunks {
+        rows.extend(c);
+    }
+    Relation::with_rows(name, schema, rows)
 }
 
 /// ∪ — multiset union (UNION ALL): "the union of a tuple and its duplicate
@@ -98,44 +328,113 @@ pub fn join(left: &Relation, right: &Relation, condition: &Expr) -> Result<Relat
 /// to `left`'s column order by name.
 pub fn union_all(left: &Relation, right: &Relation) -> Result<Relation> {
     let mapping = alignment(left, right)?;
-    let mut out = Relation::new(left.name(), left.schema().clone());
-    for t in left.rows() {
-        out.insert(t.clone())?;
-    }
-    for t in right.rows() {
-        out.insert(t.project(&mapping))?;
-    }
-    Ok(out)
+    let mut rows = Vec::with_capacity(left.len() + right.len());
+    rows.extend(left.rows().iter().cloned());
+    rows.extend(right.rows().iter().map(|t| t.project(&mapping)));
+    Relation::with_rows(left.name(), left.schema().clone(), rows)
 }
 
 /// − — multiset difference: `{t, t} − {t} = {t}` (Sec. III-B). Each tuple
-/// of `right` cancels at most one equal tuple of `left`.
+/// of `right` cancels at most one equal tuple of `left`. The cancellation
+/// budget is a hash map over the interned values (O(1) per row) rather
+/// than an ordered map of full-tuple comparisons.
 pub fn difference(left: &Relation, right: &Relation) -> Result<Relation> {
     let mapping = alignment(left, right)?;
-    let mut budget: BTreeMap<Tuple, usize> = BTreeMap::new();
+    let mut budget: HashMap<Tuple, usize> = HashMap::with_capacity(right.len());
     for t in right.rows() {
         *budget.entry(t.project(&mapping)).or_insert(0) += 1;
     }
-    let mut out = Relation::new(left.name(), left.schema().clone());
+    let mut rows = Vec::new();
     for t in left.rows() {
         match budget.get_mut(t) {
             Some(n) if *n > 0 => *n -= 1,
-            _ => out.insert(t.clone())?,
+            _ => rows.push(t.clone()),
         }
     }
-    Ok(out)
+    Relation::with_rows(left.name(), left.schema().clone(), rows)
 }
 
-/// δ — duplicate elimination (DISTINCT), preserving first-occurrence order.
+/// δ — duplicate elimination (DISTINCT), preserving first-occurrence order
+/// via a hash set over the interned values.
 pub fn distinct(rel: &Relation) -> Result<Relation> {
-    let mut seen: BTreeMap<Tuple, ()> = BTreeMap::new();
-    let mut out = Relation::new(rel.name(), rel.schema().clone());
+    let mut seen: HashSet<&Tuple> = HashSet::with_capacity(rel.len());
+    let mut rows = Vec::new();
     for t in rel.rows() {
-        if seen.insert(t.clone(), ()).is_none() {
-            out.insert(t.clone())?;
+        if seen.insert(t) {
+            rows.push(t.clone());
         }
     }
-    Ok(out)
+    Relation::with_rows(rel.name(), rel.schema().clone(), rows)
+}
+
+/// Obvious-by-construction reference implementations of the operators the
+/// hash engine accelerates. These are the *definitions* (Def. 7/9/10 and
+/// Sec. III-B read literally) — quadratic products, ordered maps — kept
+/// for the randomized differential tests and the `join` bench, never for
+/// production evaluation.
+pub mod oracle {
+    use super::*;
+
+    /// ⋈ as literally `select(product(l, r), F)` (Def. 10).
+    pub fn join(left: &Relation, right: &Relation, condition: &Expr) -> Result<Relation> {
+        let mut out = select(&product(left, right)?, condition)?;
+        out.set_name(format!("{}_join_{}", left.name(), right.name()));
+        Ok(out)
+    }
+
+    /// × as the sequential row-at-a-time nested loop.
+    pub fn product(left: &Relation, right: &Relation) -> Result<Relation> {
+        let schema = left.schema().product(right.schema(), right.name());
+        let mut out = Relation::new(format!("{}_x_{}", left.name(), right.name()), schema);
+        for l in left.rows() {
+            for r in right.rows() {
+                out.insert(l.concat(r))?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// ∪ as row-at-a-time inserts.
+    pub fn union_all(left: &Relation, right: &Relation) -> Result<Relation> {
+        let mapping = alignment(left, right)?;
+        let mut out = Relation::new(left.name(), left.schema().clone());
+        for t in left.rows() {
+            out.insert(t.clone())?;
+        }
+        for t in right.rows() {
+            out.insert(t.project(&mapping))?;
+        }
+        Ok(out)
+    }
+
+    /// − with an ordered-map budget (full-tuple comparisons).
+    pub fn difference(left: &Relation, right: &Relation) -> Result<Relation> {
+        let mapping = alignment(left, right)?;
+        let mut budget: BTreeMap<Tuple, usize> = BTreeMap::new();
+        for t in right.rows() {
+            *budget.entry(t.project(&mapping)).or_insert(0) += 1;
+        }
+        let mut out = Relation::new(left.name(), left.schema().clone());
+        for t in left.rows() {
+            match budget.get_mut(t) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => out.insert(t.clone())?,
+            }
+        }
+        Ok(out)
+    }
+
+    /// δ with an ordered map (full-tuple comparisons).
+    pub fn distinct(rel: &Relation) -> Result<Relation> {
+        let mut seen: BTreeMap<Tuple, ()> = BTreeMap::new();
+        let mut out = Relation::new(rel.name(), rel.schema().clone());
+        for t in rel.rows() {
+            if seen.insert(t.clone(), ()).is_none() {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// A sort key: column plus direction.
@@ -382,6 +681,136 @@ mod tests {
         let p = select(&product(&cars(), &models).unwrap(), &cond).unwrap();
         assert_eq!(j.len(), 5);
         assert!(j.multiset_eq(&p));
+        // ... and in the same row order as the definitional nested loop.
+        assert_eq!(
+            j.rows(),
+            oracle::join(&cars(), &models, &cond).unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        // SQL semantics, pinned: NULL = NULL is NULL, not TRUE, so rows
+        // with NULL keys match nothing on either side.
+        let a = Relation::with_rows(
+            "a",
+            Schema::of(&[("k", Int)]),
+            vec![tuple![1], tuple![Value::Null], tuple![2]],
+        )
+        .unwrap();
+        let b = Relation::with_rows(
+            "b",
+            Schema::of(&[("j", Int)]),
+            vec![tuple![Value::Null], tuple![1], tuple![1]],
+        )
+        .unwrap();
+        let cond = Expr::col("k").eq(Expr::col("j"));
+        for threshold in [1, usize::MAX] {
+            let j = join_opts(&a, &b, &cond, threshold).unwrap();
+            assert_eq!(j.len(), 2, "only k=1 matches j=1 twice");
+            assert!(j.rows().iter().all(|t| t.get(0) == &Value::Int(1)));
+            assert_eq!(j.rows(), oracle::join(&a, &b, &cond).unwrap().rows());
+        }
+        // The forced nested loop agrees (it goes through sql_cmp).
+        let n = join_nested(&a, &b, &cond, usize::MAX).unwrap();
+        assert_eq!(n.rows(), join(&a, &b, &cond).unwrap().rows());
+    }
+
+    #[test]
+    fn join_residual_and_duplicate_keys() {
+        let prices = Relation::with_rows(
+            "p",
+            Schema::of(&[("M", Str), ("Cap", Int)]),
+            vec![
+                tuple!["Jetta", 15000],
+                tuple!["Jetta", 14800],
+                tuple!["Civic", 14000],
+            ],
+        )
+        .unwrap();
+        // Equi-conjunct plus a residual comparison between both sides.
+        let cond = Expr::col("Model")
+            .eq(Expr::col("M"))
+            .and(Expr::col("Price").le(Expr::col("Cap")));
+        let j = join(&cars(), &prices, &cond).unwrap();
+        let o = oracle::join(&cars(), &prices, &cond).unwrap();
+        assert_eq!(j.rows(), o.rows());
+        assert_eq!(j.len(), 4); // 14500≤{15000,14800}, 13500≤14000, 15000≤15000
+    }
+
+    #[test]
+    fn join_without_equi_conjunct_falls_back() {
+        let b = Relation::with_rows(
+            "b",
+            Schema::of(&[("lo", Int)]),
+            vec![tuple![14000], tuple![16000]],
+        )
+        .unwrap();
+        let cond = Expr::col("Price").gt(Expr::col("lo"));
+        let (keys, residual) = cond.extract_equi_keys(
+            cars().schema().len(),
+            &cars().schema().product(b.schema(), "b"),
+        );
+        assert!(keys.is_empty());
+        assert_eq!(residual, Some(cond.clone()));
+        let j = join(&cars(), &b, &cond).unwrap();
+        assert_eq!(j.rows(), oracle::join(&cars(), &b, &cond).unwrap().rows());
+    }
+
+    #[test]
+    fn join_builds_on_either_side_with_same_output_order() {
+        // 5-row cars joined against a 1-row and a 9-row right side: one
+        // hashes the right operand, the other the left. Order must match
+        // the nested loop in both regimes.
+        for m in [1usize, 9] {
+            let right = Relation::with_rows(
+                "r",
+                Schema::of(&[("Y", Int)]),
+                (0..m).map(|i| tuple![2005 + (i as i64 % 2)]).collect(),
+            )
+            .unwrap();
+            let cond = Expr::col("Year").eq(Expr::col("Y"));
+            let j = join(&cars(), &right, &cond).unwrap();
+            assert_eq!(
+                j.rows(),
+                oracle::join(&cars(), &right, &cond).unwrap().rows()
+            );
+        }
+    }
+
+    #[test]
+    fn join_condition_must_be_boolean() {
+        let models =
+            Relation::with_rows("m", Schema::of(&[("Name", Str)]), vec![tuple!["Jetta"]]).unwrap();
+        // `Price + 1` is an Int, not a predicate.
+        let bad = Expr::col("Price").add(Expr::lit(1));
+        assert!(matches!(
+            join(&cars(), &models, &bad),
+            Err(RelationError::NotBoolean { .. })
+        ));
+        assert!(matches!(
+            select(&cars(), &bad),
+            Err(RelationError::NotBoolean { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_threshold_does_not_change_join_results() {
+        let models = Relation::with_rows(
+            "models",
+            Schema::of(&[("Name", Str), ("Floor", Int)]),
+            vec![tuple!["Jetta", 14600], tuple!["Civic", 13000]],
+        )
+        .unwrap();
+        let cond = Expr::col("Model")
+            .eq(Expr::col("Name"))
+            .and(Expr::col("Price").ge(Expr::col("Floor")));
+        let seq = join_opts(&cars(), &models, &cond, usize::MAX).unwrap();
+        let par = join_opts(&cars(), &models, &cond, 1).unwrap();
+        assert_eq!(seq.rows(), par.rows());
+        let seq = product_opts(&cars(), &models, usize::MAX).unwrap();
+        let par = product_opts(&cars(), &models, 1).unwrap();
+        assert_eq!(seq.rows(), par.rows());
     }
 
     #[test]
@@ -438,6 +867,41 @@ mod tests {
         let d = distinct(&r).unwrap();
         let xs: Vec<&Value> = d.rows().iter().map(|t| t.get(0)).collect();
         assert_eq!(xs, vec![&Value::Int(2), &Value::Int(1), &Value::Int(3)]);
+    }
+
+    #[test]
+    fn hashed_set_operators_match_oracle() {
+        let schema = Schema::of(&[("x", Int), ("s", Str)]);
+        let a = Relation::with_rows(
+            "a",
+            schema.clone(),
+            vec![
+                tuple![1, "p"],
+                tuple![2, "q"],
+                tuple![1, "p"],
+                tuple![Value::Null, "r"],
+                tuple![Value::Null, "r"],
+            ],
+        )
+        .unwrap();
+        let b = Relation::with_rows(
+            "b",
+            schema,
+            vec![tuple![1, "p"], tuple![Value::Null, "r"], tuple![3, "z"]],
+        )
+        .unwrap();
+        assert_eq!(
+            distinct(&a).unwrap().rows(),
+            oracle::distinct(&a).unwrap().rows()
+        );
+        assert_eq!(
+            difference(&a, &b).unwrap().rows(),
+            oracle::difference(&a, &b).unwrap().rows()
+        );
+        assert_eq!(
+            union_all(&a, &b).unwrap().rows(),
+            oracle::union_all(&a, &b).unwrap().rows()
+        );
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Scoped-thread chunking shared by the relational operators and the
+//! core evaluation engine.
+//!
+//! One pattern serves every data-parallel loop in the workspace: split a
+//! slice into one chunk per available core, run the worker on scoped
+//! threads, and hand the per-chunk results back *in order* so callers can
+//! concatenate without re-sorting. Sequential execution (one chunk) is
+//! the degenerate case, so call sites stay branch-free: they compute the
+//! `parallel` decision from their row counts and a threshold and let
+//! `chunk_map` do the rest.
+
+/// Default number of rows below which the operators and the evaluation
+/// engine stay single-threaded: thread spawning costs microseconds, so
+/// small relations are faster sequentially.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 8192;
+
+/// Run `f` over `items`, chunked across scoped threads when `parallel`
+/// (and the machine has them); chunk results come back in order.
+pub fn chunk_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    let workers = workers.min(items.len().max(1));
+    if workers <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chunk worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_order() {
+        let items: Vec<u32> = (0..10_000).collect();
+        for parallel in [false, true] {
+            let sums = chunk_map(&items, parallel, |c| {
+                c.iter().map(|&x| x as u64).sum::<u64>()
+            });
+            assert_eq!(sums.iter().sum::<u64>(), 49_995_000);
+            let firsts = chunk_map(&items, parallel, |c| c[0]);
+            let mut sorted = firsts.clone();
+            sorted.sort_unstable();
+            assert_eq!(firsts, sorted, "chunks must arrive in slice order");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_one_empty_chunk() {
+        let out = chunk_map(&[] as &[u32], true, <[u32]>::len);
+        assert_eq!(out, vec![0]);
+    }
+}

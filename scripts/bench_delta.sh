@@ -9,7 +9,10 @@
 # read back from git. Entries are matched by their identifying fields
 # (rows, scenario); entries present only on one side — e.g. a fast-mode
 # smoke run records a subset of the row counts — are skipped with a
-# note, never failed.
+# note, never failed. Every BENCH_*.json at the root is gated the same
+# way: BENCH_incremental.json (edit latency speedups) and
+# BENCH_join.json (hash-vs-nested join speedups) today, anything a
+# future bench writes tomorrow.
 #
 # By default only the speedup ratios are gated: they are means recorded
 # by the same run on the same machine, so they transfer across hosts,

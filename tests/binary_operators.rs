@@ -189,6 +189,152 @@ fn union_then_difference_is_identity() {
     }
 }
 
+mod join_differentials {
+    //! Randomized differentials for the hash-join engine:
+    //! `join(l, r, F)` must equal `select(product(l, r), F)` — the
+    //! definitional oracle — *row for row*, across conditions with
+    //! single/multi equi-keys, residuals, no equi-conjunct at all,
+    //! NULL keys and duplicate keys, sequentially and parallel.
+
+    use ssa_relation::ops::{self, oracle};
+    use ssa_relation::rng::Rng;
+    use ssa_relation::schema::Schema;
+    use ssa_relation::ValueType::{Int, Str};
+    use ssa_relation::{Expr, Relation, Tuple, Value};
+
+    /// Small domains so every case has duplicate keys; ~1/6 NULLs so
+    /// every case exercises the Null-keys-never-match rule.
+    fn arb_rows(rng: &mut Rng, n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|_| {
+                let key = if rng.gen_bool(1.0 / 6.0) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.gen_range(0..6i64))
+                };
+                let s = if rng.gen_bool(1.0 / 6.0) {
+                    Value::Null
+                } else {
+                    Value::str(*rng.pick(&["a", "b", "c"]))
+                };
+                let v = Value::Int(rng.gen_range(-20..20i64));
+                Tuple::new(vec![key, s, v])
+            })
+            .collect()
+    }
+
+    fn operands(rng: &mut Rng) -> (Relation, Relation) {
+        let nl = rng.gen_range(0..40usize);
+        let nr = rng.gen_range(0..40usize);
+        let left = Relation::with_rows(
+            "l",
+            Schema::of(&[("k", Int), ("s", Str), ("v", Int)]),
+            arb_rows(rng, nl),
+        )
+        .unwrap();
+        let right = Relation::with_rows(
+            "r",
+            Schema::of(&[("j", Int), ("t", Str), ("w", Int)]),
+            arb_rows(rng, nr),
+        )
+        .unwrap();
+        (left, right)
+    }
+
+    /// The condition shapes the planner must get right: pure equi,
+    /// multi-key, equi + residual, disjunction (no extractable key),
+    /// pure inequality (nested-loop fallback).
+    fn arb_condition(case: u64) -> Expr {
+        match case % 5 {
+            0 => Expr::col("k").eq(Expr::col("j")),
+            1 => Expr::col("k")
+                .eq(Expr::col("j"))
+                .and(Expr::col("s").eq(Expr::col("t"))),
+            2 => Expr::col("k")
+                .eq(Expr::col("j"))
+                .and(Expr::col("v").lt(Expr::col("w"))),
+            3 => Expr::col("k")
+                .eq(Expr::col("j"))
+                .or(Expr::col("v").add(Expr::col("w")).gt(Expr::lit(30))),
+            _ => Expr::col("v").lt(Expr::col("w")),
+        }
+    }
+
+    #[test]
+    fn hash_join_equals_select_of_product() {
+        for case in 0..200u64 {
+            let mut rng = Rng::seed_from_u64(0x10A5 ^ (case << 7));
+            let (left, right) = operands(&mut rng);
+            let cond = arb_condition(case);
+            let expected = oracle::join(&left, &right, &cond).unwrap();
+            // Default, forced-sequential and forced-parallel plans all
+            // agree with the oracle, in the oracle's row order.
+            for joined in [
+                ops::join(&left, &right, &cond).unwrap(),
+                ops::join_opts(&left, &right, &cond, usize::MAX).unwrap(),
+                ops::join_opts(&left, &right, &cond, 1).unwrap(),
+                ops::join_nested(&left, &right, &cond, 1).unwrap(),
+            ] {
+                assert_eq!(
+                    joined.rows(),
+                    expected.rows(),
+                    "case {case} condition {cond}"
+                );
+                assert_eq!(joined.schema(), expected.schema(), "case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_distinct_difference_union_match_oracle() {
+        for case in 0..200u64 {
+            let mut rng = Rng::seed_from_u64(0xD1FF ^ (case << 7));
+            let (a, _) = operands(&mut rng);
+            // Same columns, reversed order: alignment by name must hold.
+            let nb = rng.gen_range(0..40usize);
+            let b = Relation::with_rows(
+                "b",
+                Schema::of(&[("v", Int), ("s", Str), ("k", Int)]),
+                arb_rows(&mut rng, nb)
+                    .into_iter()
+                    .map(|t| t.project(&[2, 1, 0]))
+                    .collect(),
+            )
+            .unwrap();
+            assert_eq!(
+                ops::distinct(&a).unwrap().rows(),
+                oracle::distinct(&a).unwrap().rows(),
+                "case {case}"
+            );
+            assert_eq!(
+                ops::difference(&a, &b).unwrap().rows(),
+                oracle::difference(&a, &b).unwrap().rows(),
+                "case {case}"
+            );
+            assert_eq!(
+                ops::union_all(&a, &b).unwrap().rows(),
+                oracle::union_all(&a, &b).unwrap().rows(),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_matches_oracle() {
+        for case in 0..32u64 {
+            let mut rng = Rng::seed_from_u64(0xF00D ^ (case << 7));
+            let (left, right) = operands(&mut rng);
+            for threshold in [1usize, usize::MAX] {
+                assert_eq!(
+                    ops::product_opts(&left, &right, threshold).unwrap().rows(),
+                    oracle::product(&left, &right).unwrap().rows(),
+                    "case {case}"
+                );
+            }
+        }
+    }
+}
+
 /// Product cardinality: |A × B| = |A|·|B| with retained selections
 /// applied first.
 #[test]
