@@ -104,6 +104,14 @@ pub(crate) fn classify(
     new: &ContentKey,
     base_columns: &BTreeSet<String>,
 ) -> StateDelta {
+    // Failpoint: declare no sound delta, forcing callers onto the full
+    // evaluation path (exercises the fallback under fault injection).
+    #[cfg(feature = "fault-injection")]
+    if ssa_relation::fault::should_fire("delta.classify") {
+        return StateDelta::Full {
+            reason: "fault injected",
+        };
+    }
     if old == new {
         return StateDelta::Reorganize;
     }

@@ -56,6 +56,20 @@ pub enum SheetError {
     ColumnHidden { name: String },
     /// Save/Open serialization failure.
     Persist { message: String },
+    /// A [`crate::sheet::StoredSheet`] failed validation on open: its
+    /// query state references columns the stored relation does not have,
+    /// or its computed columns are cyclic. Hand-edited or corrupted
+    /// persisted sheets surface here, at the open boundary, instead of
+    /// erroring far from the cause at first evaluation.
+    InvalidStored { detail: String },
+    /// An internal engine invariant was broken. Debug builds assert
+    /// before constructing this; release builds degrade to this typed
+    /// error instead of panicking.
+    Internal { detail: String },
+    /// Cache self-audit failure: an incremental cache patch diverged from
+    /// a from-scratch evaluation. `delta` names the incremental path that
+    /// produced the divergence (e.g. `narrow`, `append-computed`).
+    AuditDivergence { delta: String },
 }
 
 impl fmt::Display for SheetError {
@@ -102,6 +116,16 @@ impl fmt::Display for SheetError {
                 write!(f, "column `{name}` is projected out; reinstate it first")
             }
             SheetError::Persist { message } => write!(f, "persistence error: {message}"),
+            SheetError::InvalidStored { detail } => {
+                write!(f, "stored sheet failed validation: {detail}")
+            }
+            SheetError::Internal { detail } => {
+                write!(f, "internal invariant broken: {detail}")
+            }
+            SheetError::AuditDivergence { delta } => write!(
+                f,
+                "cache audit: incremental `{delta}` patch diverged from full evaluation"
+            ),
         }
     }
 }

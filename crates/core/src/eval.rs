@@ -201,7 +201,10 @@ pub(crate) fn evaluate_full_with(
     } else {
         let (derived, canonical) =
             evaluate_indexed(base, state, &plan, opts.parallel_threshold, true)?;
-        let (canonical, perm) = canonical.expect("canonical requested");
+        debug_assert!(canonical.is_some(), "canonical requested");
+        let (canonical, perm) = canonical.ok_or_else(|| SheetError::Internal {
+            detail: "canonical relation requested but not produced".into(),
+        })?;
         Ok((derived, canonical, Some(perm)))
     }
 }
@@ -291,6 +294,10 @@ fn slot_value<'a>(
     if slot < width {
         base_rows[row as usize].get(slot)
     } else {
+        // invariant: rank order materializes dependencies first, so a
+        // computed slot is only read after its buffer is filled (the plan
+        // orders ranks and `needed` closes over dependencies). Read per
+        // value on the hottest path — kept as an expect, not a Result.
         let buf = bufs[slot - width]
             .as_ref()
             .expect("rank order materializes dependencies first");
@@ -450,7 +457,7 @@ fn evaluate_indexed(
     // exactly once, already in presentation order.
     let parallel = live.len() >= threshold;
     let sorted = presentation_order_ids(base, state, &slots, &bufs, &live, parallel)?;
-    let schema = result_schema(base, state, &order, &bufs, &live);
+    let schema = result_schema(base, state, &order, &bufs, &live)?;
     let data = gather_rows(base, &order, &bufs, &sorted, &schema, parallel)?;
     let canonical = want_canonical
         .then(|| -> Result<(Relation, Vec<u32>)> {
@@ -489,17 +496,25 @@ fn result_schema(
     order: &[usize],
     bufs: &[Option<Vec<Value>>],
     live: &[u32],
-) -> Schema {
+) -> Result<Schema> {
     let mut columns: Vec<Column> = base.schema().columns().to_vec();
     for &i in order {
-        let buf = bufs[i].as_ref().expect("all buffers filled in step 4");
+        debug_assert!(bufs[i].is_some(), "all buffers filled in step 4");
+        let buf = bufs[i].as_ref().ok_or_else(|| SheetError::Internal {
+            detail: format!(
+                "computed buffer `{}` missing after step 4",
+                state.computed[i].name
+            ),
+        })?;
         let mut ty = ValueType::Null;
         for &row in live {
             ty = ty.unify(buf[row as usize].value_type());
         }
         columns.push(Column::new(state.computed[i].name.clone(), ty));
     }
-    Schema::new(columns).expect("computed names validated to be distinct")
+    // Computed names were validated distinct by the operators; a clash
+    // here surfaces as the substrate's DuplicateColumn error.
+    Ok(Schema::new(columns)?)
 }
 
 /// Gather the listed base rows (plus computed buffer values, in rank
@@ -513,22 +528,34 @@ fn gather_rows(
     schema: &Schema,
     parallel: bool,
 ) -> Result<Relation> {
+    ssa_relation::fault_check!("eval.gather");
     let base_rows = base.rows();
     let width = base.schema().len();
+    // Bind each computed buffer once, outside the per-row loop: cheaper
+    // than an Option unwrap per value, and a missing buffer (broken step-4
+    // invariant) degrades to a typed error instead of a worker panic.
+    let ordered_bufs: Vec<&Vec<Value>> = order
+        .iter()
+        .map(|&i| {
+            debug_assert!(bufs[i].is_some(), "all buffers filled in step 4");
+            bufs[i].as_ref().ok_or_else(|| SheetError::Internal {
+                detail: "computed buffer missing during row gather".into(),
+            })
+        })
+        .collect::<Result<_>>()?;
     let chunks = chunk_map(ids, parallel, |chunk| {
         chunk
             .iter()
             .map(|&row| {
                 let mut vals = Vec::with_capacity(width + order.len());
                 vals.extend_from_slice(base_rows[row as usize].values());
-                for &i in order {
-                    let buf = bufs[i].as_ref().expect("all buffers filled in step 4");
+                for buf in &ordered_bufs {
                     vals.push(buf[row as usize]);
                 }
                 Tuple::new(vals)
             })
             .collect::<Vec<_>>()
-    });
+    })?;
     let mut rows = Vec::with_capacity(ids.len());
     for c in chunks {
         rows.extend(c);
@@ -615,11 +642,8 @@ fn presentation_order_ids(
     let rank_cols: Vec<(Vec<i64>, bool)> = if parallel && keys.len() > 1 {
         std::thread::scope(|s| {
             let handles: Vec<_> = keys.iter().map(|k| s.spawn(|| rank_column(k))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank worker panicked"))
-                .collect()
-        })
+            ssa_relation::par::join_all(handles)
+        })?
     } else {
         keys.iter().map(rank_column).collect()
     };
@@ -637,7 +661,7 @@ fn presentation_order_ids(
         }
         std::cmp::Ordering::Equal
     };
-    stable_sort_ids(&mut pos, parallel, cmp);
+    stable_sort_ids(&mut pos, parallel, cmp)?;
     Ok(pos.into_iter().map(|p| live[p as usize]).collect())
 }
 
@@ -648,7 +672,7 @@ fn stable_sort_ids(
     ids: &mut Vec<u32>,
     parallel: bool,
     cmp: impl Fn(u32, u32) -> std::cmp::Ordering + Sync,
-) {
+) -> Result<()> {
     let workers = if parallel {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -658,7 +682,7 @@ fn stable_sort_ids(
     };
     if workers <= 1 || ids.len() < 2 * workers {
         ids.sort_by(|&a, &b| cmp(a, b));
-        return;
+        return Ok(());
     }
     let chunk = ids.len().div_ceil(workers);
     let cmp = &cmp;
@@ -673,11 +697,8 @@ fn stable_sort_ids(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sort worker panicked"))
-            .collect()
-    });
+        ssa_relation::par::join_all(handles)
+    })?;
     while runs.len() > 1 {
         runs = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(runs.len().div_ceil(2));
@@ -688,13 +709,14 @@ fn stable_sort_ids(
                     None => handles.push(s.spawn(move || a)),
                 }
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("merge worker panicked"))
-                .collect()
-        });
+            ssa_relation::par::join_all(handles)
+        })?;
     }
-    *ids = runs.pop().expect("at least one run");
+    debug_assert!(runs.len() == 1, "merge loop converges to one run");
+    *ids = runs.pop().ok_or_else(|| SheetError::Internal {
+        detail: "parallel sort produced no runs".into(),
+    })?;
+    Ok(())
 }
 
 fn merge_runs(
@@ -731,6 +753,7 @@ fn materialize_buffer(
     col: &ComputedColumn,
     threshold: usize,
 ) -> Result<Vec<Value>> {
+    ssa_relation::fault_check!("eval.materialize");
     let width = base.schema().len();
     let base_rows = base.rows();
     let parallel = live.len() >= threshold;
@@ -750,7 +773,7 @@ fn materialize_buffer(
                         })
                     })
                     .collect::<ssa_relation::Result<Vec<Value>>>()
-            });
+            })?;
             let mut idx = 0;
             for chunk in chunks {
                 for v in chunk? {
@@ -820,7 +843,7 @@ fn materialize_buffer(
                         func.apply_refs(&inputs)
                     })
                     .collect::<ssa_relation::Result<Vec<Value>>>()
-            });
+            })?;
             let mut gi = 0;
             for chunk in value_chunks {
                 for v in chunk? {
@@ -843,6 +866,7 @@ fn filter_rows(
     live: &[u32],
     threshold: usize,
 ) -> Result<Vec<u32>> {
+    ssa_relation::fault_check!("eval.filter");
     let width = base.schema().len();
     let base_rows = base.rows();
     let parallel = live.len() >= threshold;
@@ -859,7 +883,7 @@ fn filter_rows(
             }
         }
         Ok::<_, ssa_relation::RelationError>(keep)
-    });
+    })?;
     let mut out = Vec::with_capacity(live.len());
     for chunk in chunks {
         out.extend(chunk?);
@@ -930,11 +954,8 @@ pub(crate) fn filter_relation(
                             })
                         })
                         .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("filter worker panicked"))
-                        .collect()
-                });
+                    ssa_relation::par::join_all(handles)
+                })?;
                 return Ok(parts.concat());
             }
             return Ok((0..rows.len())
@@ -1057,8 +1078,10 @@ fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) ->
                 values.push(v);
             }
             let mut it = values.into_iter();
+            // invariant: `values` holds exactly one entry per row and
+            // `add_column` calls the closure exactly once per row.
             data.add_column(Column::new(col.name.clone(), ty), |_, _| {
-                it.next().expect("stable row count")
+                it.next().unwrap_or(Value::Null)
             })?;
         }
         ComputedDef::Aggregate {
@@ -1094,8 +1117,9 @@ fn materialize(data: &mut Relation, col: &ComputedColumn, state: &QueryState) ->
                 }
             }
             let mut it = per_row.into_iter();
+            // invariant: `per_row` was sized to `data.len()` above.
             data.add_column(Column::new(col.name.clone(), ty), |_, _| {
-                it.next().expect("stable row count")
+                it.next().unwrap_or(Value::Null)
             })?;
         }
     }

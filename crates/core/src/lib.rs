@@ -43,6 +43,8 @@
 //! sheet.replace_selection(id, Expr::col("Price").lt(Expr::col(&avg))).unwrap();
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod computed;
 pub mod delta;
 pub mod error;

@@ -150,34 +150,40 @@ impl Spreadsheet {
     }
 
     /// Execute a removal plan: drop the dependent selections and ordering
-    /// keys, then the computed columns, dependents first.
+    /// keys, then the computed columns, dependents first. Atomic as a
+    /// whole: a failure at any step rolls the sheet back to before the
+    /// first removal, not just before the failing one.
     pub fn remove_with_cascade(&mut self, column: &str) -> Result<RemovalPlan> {
         let plan = self.removal_plan(column)?;
-        for id in &plan.selections {
-            self.remove_selection(*id)?;
-        }
-        for key in &plan.order_keys {
-            self.remove_order_key(key)?;
-        }
-        for c in &plan.computed {
-            self.remove_computed(c)?;
-        }
-        Ok(plan)
+        self.transact(|s| {
+            for id in &plan.selections {
+                s.remove_selection(*id)?;
+            }
+            for key in &plan.order_keys {
+                s.remove_order_key(key)?;
+            }
+            for c in &plan.computed {
+                s.remove_computed(c)?;
+            }
+            Ok(plan)
+        })
     }
 
     /// Drop one finest-level ordering key (part of "those that depend on
     /// the ordering should be removed first", Sec. V-B).
     pub fn remove_order_key(&mut self, attribute: &str) -> Result<()> {
-        let spec = &mut self.state_mut_for_modify().spec;
-        let before = spec.finest_order.len();
-        spec.finest_order.retain(|k| k.attribute != attribute);
-        if spec.finest_order.len() == before {
-            return Err(SheetError::UnknownColumn {
-                name: attribute.to_string(),
-            });
-        }
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            let spec = &mut s.state_mut_for_modify().spec;
+            let before = spec.finest_order.len();
+            spec.finest_order.retain(|k| k.attribute != attribute);
+            if spec.finest_order.len() == before {
+                return Err(SheetError::UnknownColumn {
+                    name: attribute.to_string(),
+                });
+            }
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// The state objects that still depend on the grouping below `level`

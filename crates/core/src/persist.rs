@@ -755,8 +755,14 @@ fn state_from_json(j: &Json) -> Result<QueryState> {
     Ok(state)
 }
 
+/// On-disk format version, written as the leading `v` field and checked
+/// on open. Bump when the encoding changes incompatibly, so an old
+/// binary reports a clear error instead of misreading a newer snapshot.
+pub(crate) const FORMAT_VERSION: u64 = 1;
+
 pub(crate) fn stored_sheet_to_json(sheet: &StoredSheet) -> String {
     Json::obj(vec![
+        ("v", Json::num(FORMAT_VERSION)),
         ("name", Json::Str(sheet.name.clone())),
         ("relation", relation_to_json(&sheet.relation)),
         ("state", state_to_json(&sheet.state)),
@@ -765,7 +771,14 @@ pub(crate) fn stored_sheet_to_json(sheet: &StoredSheet) -> String {
 }
 
 pub(crate) fn stored_sheet_from_json(text: &str) -> Result<StoredSheet> {
+    ssa_relation::fault_check!("persist.open");
     let j = Json::parse(text)?;
+    let version = j.field("v")?.u64_value()?;
+    if version != FORMAT_VERSION {
+        return Err(persist_err(format!(
+            "unsupported format version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
     Ok(StoredSheet {
         name: j.field("name")?.str_value()?.to_string(),
         relation: relation_from_json(j.field("relation")?)?,
@@ -860,6 +873,98 @@ mod tests {
         let back = stored_sheet_from_json(&text).unwrap();
         assert_eq!(back.relation, relation);
         assert!(back.relation.multiset_eq(&relation));
+    }
+
+    #[test]
+    fn version_field_is_written_and_checked() {
+        let sheet = StoredSheet {
+            name: "s".into(),
+            relation: Relation::with_rows(
+                "r",
+                Schema::of(&[("A", ValueType::Int)]),
+                vec![Tuple::new(vec![Value::Int(1)])],
+            )
+            .unwrap(),
+            state: crate::state::QueryState::new(),
+        };
+        let text = stored_sheet_to_json(&sheet);
+        assert!(text.starts_with(r#"{"v":1,"#));
+        let bumped = text.replacen(r#""v":1"#, r#""v":2"#, 1);
+        let err = stored_sheet_from_json(&bumped).unwrap_err();
+        assert!(err.to_string().contains("format version"), "{err}");
+        let missing = text.replacen(r#""v":1,"#, "", 1);
+        assert!(stored_sheet_from_json(&missing).is_err());
+    }
+
+    /// Robustness sweep: a snapshot truncated or mutated at an arbitrary
+    /// byte must never panic the decoder — every outcome is either a
+    /// successful parse (the mutation hit don't-care bytes) or a typed
+    /// [`SheetError`]. Deterministically seeded, several hundred cases.
+    #[test]
+    fn corrupted_snapshots_never_panic() {
+        let relation = Relation::with_rows(
+            "cars",
+            Schema::of(&[
+                ("Model", ValueType::Str),
+                ("Price", ValueType::Int),
+                ("Rating", ValueType::Float),
+            ]),
+            (0..24u32)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::from(format!("model-{}", i % 5)),
+                        Value::Int(i64::from(i) * 997),
+                        Value::Float(f64::from(i) / 3.0),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut state = crate::state::QueryState::new();
+        state.computed.push(ComputedColumn {
+            name: "Half".into(),
+            def: ComputedDef::Formula {
+                expr: Expr::col("Price").div(Expr::lit(2)),
+            },
+        });
+        state.spec.levels.push(GroupLevel {
+            basis: vec!["Model".into()],
+            direction: Direction::Asc,
+        });
+        let sheet = StoredSheet {
+            name: "cars".into(),
+            relation,
+            state,
+        };
+        let text = stored_sheet_to_json(&sheet);
+        assert!(stored_sheet_from_json(&text).is_ok());
+
+        let bytes = text.as_bytes();
+        let mut rng = ssa_relation::rng::Rng::seed_from_u64(0x5EED_CAFE);
+        for case in 0..400 {
+            let mut mutated = bytes.to_vec();
+            match case % 3 {
+                // Truncate at a random byte.
+                0 => mutated.truncate(rng.gen_range(0..bytes.len())),
+                // Overwrite one byte with random printable ASCII.
+                1 => {
+                    let at = rng.gen_range(0..bytes.len());
+                    mutated[at] = 0x20 + (rng.next_u64() % 0x5f) as u8;
+                }
+                // Delete one byte.
+                _ => {
+                    let at = rng.gen_range(0..bytes.len());
+                    mutated.remove(at);
+                }
+            }
+            // Mutations that break UTF-8 can't even reach the parser
+            // (it takes &str); skip those.
+            let Ok(mutated) = String::from_utf8(mutated) else {
+                continue;
+            };
+            // Must return, not panic; both outcomes are acceptable.
+            let _ = stored_sheet_from_json(&mutated);
+        }
     }
 
     #[test]

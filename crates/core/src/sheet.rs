@@ -46,6 +46,7 @@ impl StoredSheet {
     /// Serialize to JSON (the reproduction's stand-in for the prototype's
     /// saved sheets).
     pub fn to_json(&self) -> Result<String> {
+        ssa_relation::fault_check!("persist.save");
         Ok(crate::persist::stored_sheet_to_json(self))
     }
 
@@ -352,6 +353,7 @@ impl CacheEntry {
     /// under an unchanged spec (the caller reorganizes only when the
     /// spec moved too). Requires `self.perm`.
     fn narrow(&mut self, predicates: &[Expr], state: &QueryState, threshold: usize) -> Result<()> {
+        ssa_relation::fault_check!("delta.narrow");
         let Some(predicate) = Expr::conjoin(predicates.to_vec()) else {
             return Ok(());
         };
@@ -387,7 +389,13 @@ impl CacheEntry {
         // Both retains walk their whole relation and free the dropped
         // tuples, so above the parallel threshold they run on two
         // threads — they touch disjoint fields and share only `remap`.
-        let old_perm = self.perm.take().expect("narrow requires the permutation");
+        let old_perm = self.perm.take().ok_or_else(|| {
+            // The caller gates this path on `perm.is_some()`; degrade to
+            // the full-evaluation fallback rather than panic if not.
+            SheetError::Internal {
+                detail: "narrow requires the presentation permutation".to_string(),
+            }
+        })?;
         let mut perm = Vec::with_capacity(keep.len());
         // Old derived (presentation) index → new, u32::MAX for dropped —
         // this is what lets the group tree be narrowed in place below.
@@ -411,8 +419,8 @@ impl CacheEntry {
                 std::thread::scope(|s| {
                     let h = s.spawn(|| canonical.retain_rows(|i| remap[i] != u32::MAX));
                     retain_derived(&mut perm, &mut dmap, derived);
-                    h.join().expect("retain worker panicked");
-                });
+                    ssa_relation::par::join_all(vec![h])
+                })?;
             } else {
                 canonical.retain_rows(|i| remap[i] != u32::MAX);
                 retain_derived(&mut perm, &mut dmap, derived);
@@ -530,6 +538,7 @@ impl CacheEntry {
     /// and tree are untouched by a new column; without it the caller
     /// must reorganize to rebuild the derived view.
     fn append_computed(&mut self, col: &ComputedColumn, threshold: usize) -> Result<()> {
+        ssa_relation::fault_check!("delta.append");
         let (values, ty) = compute_column_values(&self.canonical, col, threshold)?;
         if let Some(perm) = &self.perm {
             self.derived
@@ -541,7 +550,9 @@ impl CacheEntry {
         let mut it = values.into_iter();
         self.canonical
             .add_column(Column::new(col.name.clone(), ty), |_, _| {
-                it.next().expect("one computed value per row")
+                // invariant: `compute_column_values` yields one value per
+                // canonical row, in order.
+                it.next().unwrap_or(Value::Null)
             })?;
         Ok(())
     }
@@ -551,6 +562,7 @@ impl CacheEntry {
     /// are untouched (the operators refuse to remove a column anything
     /// depends on), so no reorganize is needed.
     fn remove_computed(&mut self, name: &str) -> Result<()> {
+        ssa_relation::fault_check!("delta.remove");
         let idx = self.canonical.schema().index_of(name)?;
         self.canonical.drop_column(name)?;
         self.derived.data.drop_column(name)?;
@@ -620,12 +632,27 @@ pub struct Spreadsheet {
     /// How many points of non-commutativity this sheet has passed.
     epoch: u64,
     next_formula_id: u64,
+    /// Cache self-audit (DESIGN.md §12): when on, every incremental
+    /// cache patch in `view` is re-checked against a from-scratch
+    /// evaluation. On by default in debug builds, off in release.
+    audit: bool,
 }
 
 /// The delta recorded before any cache exists or after the base changed.
 const FULL_NO_CACHE: StateDelta = StateDelta::Full {
     reason: "no cached evaluation",
 };
+
+/// How `apply_cached` brought (or failed to bring) the cache current —
+/// `view` audits the `Patched` outcomes when the self-audit is on.
+enum CachePath {
+    /// The cached entry was already current; nothing was touched.
+    Hit,
+    /// An incremental patch (named, for the audit report) made it current.
+    Patched(&'static str),
+    /// No sound shortcut exists; the caller must evaluate from scratch.
+    Miss,
+}
 
 impl Spreadsheet {
     /// The base spreadsheet `S^0(R, C^0, ∅, ∅)` over a relation (Def. 2).
@@ -641,6 +668,7 @@ impl Spreadsheet {
             eval_opts: EvalOptions::default(),
             epoch: 0,
             next_formula_id: 1,
+            audit: cfg!(debug_assertions),
         }
     }
 
@@ -655,6 +683,16 @@ impl Spreadsheet {
     /// identical either way, which `view` tests pin).
     pub fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
+    }
+
+    /// Enable/disable the cache self-audit (on by default under
+    /// `cfg(debug_assertions)`): after every incremental cache patch,
+    /// [`Self::view`] recomputes the sheet from scratch and fails with
+    /// [`SheetError::AuditDivergence`] if the patched cache differs.
+    /// Roughly doubles the cost of every patched `view` — a testing and
+    /// debugging tool, not a production setting.
+    pub fn set_audit(&mut self, on: bool) {
+        self.audit = on;
     }
 
     /// How the last state edit was classified against the cached
@@ -728,9 +766,10 @@ impl Spreadsheet {
     pub fn view(&mut self) -> Result<&Derived> {
         let content = ContentKey::of(&self.state);
         let visible = visible_columns(&self.base, &self.state);
-        match self.apply_cached(&content, &visible) {
-            Ok(true) => {}
-            Ok(false) => {
+        let patched = match self.apply_cached(&content, &visible) {
+            Ok(CachePath::Hit) => None,
+            Ok(CachePath::Patched(kind)) => Some(kind),
+            Ok(CachePath::Miss) => {
                 let (derived, canonical, perm) =
                     evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
                 self.cache = Some(CacheEntry::new(
@@ -740,6 +779,7 @@ impl Spreadsheet {
                     self.state.spec.clone(),
                     perm,
                 ));
+                None
             }
             Err(_) => {
                 // An incremental path failed part-way: the entry may be
@@ -755,16 +795,49 @@ impl Spreadsheet {
                     self.state.spec.clone(),
                     perm,
                 ));
+                None
+            }
+        };
+        if self.audit {
+            if let Some(kind) = patched {
+                self.audit_cache(kind)?;
             }
         }
-        Ok(&self.cache.as_ref().expect("cache just filled").derived)
+        match self.cache.as_ref() {
+            Some(entry) => Ok(&entry.derived),
+            // invariant: every arm above either fills the cache or errors.
+            None => Err(SheetError::Internal {
+                detail: "cache missing after evaluation".to_string(),
+            }),
+        }
+    }
+
+    /// Self-audit one incremental cache patch: recompute the sheet from
+    /// scratch and require the patched cache to match exactly. Any
+    /// divergence drops the (untrustworthy) cache and reports
+    /// [`SheetError::AuditDivergence`] naming the patch path `kind`.
+    fn audit_cache(&mut self, kind: &'static str) -> Result<()> {
+        let (derived, canonical, _) = evaluate_full_with(&self.base, &self.state, self.eval_opts)?;
+        let matches = self
+            .cache
+            .as_ref()
+            .is_some_and(|e| e.derived == derived && e.canonical == canonical);
+        if !matches {
+            self.cache = None;
+            return Err(SheetError::AuditDivergence {
+                delta: kind.to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Try to bring the cache up to date without a full evaluation.
-    /// `Ok(true)` means the cached entry is now current; `Ok(false)`
-    /// means no sound shortcut exists; `Err` means a shortcut failed
-    /// mid-application and the entry must be discarded.
-    fn apply_cached(&mut self, content: &ContentKey, visible: &Vec<String>) -> Result<bool> {
+    /// `Ok(Hit)` means the cached entry was already current;
+    /// `Ok(Patched(kind))` means an incremental patch (named for the
+    /// audit) brought it current; `Ok(Miss)` means no sound shortcut
+    /// exists; `Err` means a shortcut failed mid-application and the
+    /// entry must be discarded.
+    fn apply_cached(&mut self, content: &ContentKey, visible: &Vec<String>) -> Result<CachePath> {
         let base_cols = self.base_column_names();
         let spec = self.state.spec.clone();
         let threshold = self.eval_opts.parallel_threshold;
@@ -773,34 +846,34 @@ impl Spreadsheet {
         // pinned to the naive oracle keeps replaying the naive pipeline.
         let incremental = self.incremental && !self.eval_opts.naive;
         let Some(entry) = self.cache.as_mut() else {
-            return Ok(false);
+            return Ok(CachePath::Miss);
         };
         if entry.content == *content {
             if entry.spec == spec && entry.derived.visible == *visible {
-                return Ok(true);
+                return Ok(CachePath::Hit);
             }
             if !fast_reorganize {
-                return Ok(false);
+                return Ok(CachePath::Miss);
             }
             if incremental && entry.spec == spec {
                 // Only projection changed: organization-only in the
                 // narrowest sense — rows, order and tree all stand.
                 entry.derived.visible = visible.clone();
-            } else {
-                entry.reorganize(&spec, visible.clone())?;
+                return Ok(CachePath::Patched("projection-toggle"));
             }
-            return Ok(true);
+            entry.reorganize(&spec, visible.clone())?;
+            return Ok(CachePath::Patched("reorganize"));
         }
         if !incremental {
-            return Ok(false);
+            return Ok(CachePath::Miss);
         }
-        match classify(&entry.content, content, &base_cols) {
+        let kind = match classify(&entry.content, content, &base_cols) {
             StateDelta::Narrow { predicates } => {
                 // The narrow path maintains the derived view through the
                 // presentation permutation; a (naive-built) cache without
                 // one takes the full evaluation instead.
                 if entry.perm.is_none() {
-                    return Ok(false);
+                    return Ok(CachePath::Miss);
                 }
                 entry.narrow(&predicates, &self.state, threshold)?;
                 entry.content = content.clone();
@@ -822,14 +895,16 @@ impl Spreadsheet {
                 } else {
                     entry.derived.visible = visible.clone();
                 }
+                "narrow"
             }
             StateDelta::AppendComputed { name } => {
-                let col = self
-                    .state
-                    .computed
-                    .iter()
-                    .find(|c| c.name == name)
-                    .expect("classified from this state");
+                let Some(col) = self.state.computed.iter().find(|c| c.name == name) else {
+                    // invariant: `classify` derived the name from this
+                    // very state; degrade to the full-evaluation fallback.
+                    return Err(SheetError::Internal {
+                        detail: format!("appended column `{name}` missing from state"),
+                    });
+                };
                 entry.append_computed(col, threshold)?;
                 entry.content = content.clone();
                 if entry.spec != spec || entry.perm.is_none() {
@@ -837,6 +912,7 @@ impl Spreadsheet {
                 } else {
                     entry.derived.visible = visible.clone();
                 }
+                "append-computed"
             }
             StateDelta::RemoveComputed { name } => {
                 entry.remove_computed(&name)?;
@@ -846,10 +922,11 @@ impl Spreadsheet {
                 } else {
                     entry.derived.visible = visible.clone();
                 }
+                "remove-computed"
             }
-            StateDelta::Reorganize | StateDelta::Full { .. } => return Ok(false),
-        }
-        Ok(true)
+            StateDelta::Reorganize | StateDelta::Full { .. } => return Ok(CachePath::Miss),
+        };
+        Ok(CachePath::Patched(kind))
     }
 
     fn base_column_names(&self) -> BTreeSet<String> {
@@ -921,6 +998,64 @@ impl Spreadsheet {
     }
 
     // ------------------------------------------------------------------
+    // Transactional edit machinery (DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    /// Rows the trial evaluation samples on large sheets.
+    const TRIAL_ROWS: usize = 256;
+
+    /// Bounded validation pass over a just-edited state: evaluate the
+    /// base (or, above [`Self::TRIAL_ROWS`] rows, a prefix sample of it)
+    /// so an edit that cannot evaluate is refused before it commits.
+    /// Pure — it never touches the cache or `last_delta`, so the
+    /// incremental paths in [`Self::view`] see exactly the deltas they
+    /// would otherwise.
+    ///
+    /// Most evaluation failures (unknown columns, non-boolean selection
+    /// predicates, type mismatches) are data-independent and surface on
+    /// any prefix. A failure that *is* data-dependent — division by zero
+    /// inside a sampled aggregate, say — could be an artifact of the
+    /// sample, so it is confirmed against a full evaluation before the
+    /// edit is refused: sampling never rejects a valid edit.
+    fn trial_eval(&self) -> Result<()> {
+        if self.base.len() <= Self::TRIAL_ROWS {
+            return evaluate_with(&self.base, &self.state, self.eval_opts).map(drop);
+        }
+        let ids: Vec<u32> = (0..Self::TRIAL_ROWS as u32).collect();
+        let sample = self.base.take_rows(&ids);
+        match evaluate_with(&sample, &self.state, self.eval_opts) {
+            Ok(_) => Ok(()),
+            Err(_) => evaluate_with(&self.base, &self.state, self.eval_opts).map(drop),
+        }
+    }
+
+    /// Run a state edit transactionally: snapshot the cheap mutable
+    /// fields, apply `edit`, validate the result with
+    /// [`Self::trial_eval`], and on any `Err` restore the snapshot so a
+    /// failed edit is a perfect no-op — state, delta classification,
+    /// epoch and generated-name counter all exactly as before. The
+    /// evaluation cache needs no rollback: unary edits never write it
+    /// (only `view` does), which is also why nothing expensive is cloned
+    /// here.
+    pub(crate) fn transact<T>(
+        &mut self,
+        edit: impl FnOnce(&mut Spreadsheet) -> Result<T>,
+    ) -> Result<T> {
+        let state = self.state.clone();
+        let last_delta = self.last_delta.clone();
+        let epoch = self.epoch;
+        let next_formula_id = self.next_formula_id;
+        let result = edit(self).and_then(|value| self.trial_eval().map(|()| value));
+        if result.is_err() {
+            self.state = state;
+            self.last_delta = last_delta;
+            self.epoch = epoch;
+            self.next_formula_id = next_formula_id;
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
     // Data organization operators (Sec. III-A)
     // ------------------------------------------------------------------
 
@@ -931,24 +1066,27 @@ impl Spreadsheet {
     /// grouping basis"). The newly grouped attributes leave the finest
     /// ordering list (`o_L = L − grouping-basis`).
     pub fn group(&mut self, grouping_basis: &[&str], order: Direction) -> Result<()> {
-        for a in grouping_basis {
-            self.assert_column_exists(a)?;
-        }
-        let current: BTreeSet<String> = self.state.spec.all_grouping_attributes();
-        let requested: BTreeSet<String> = grouping_basis.iter().map(|s| s.to_string()).collect();
-        if !requested.is_superset(&current) || requested == current {
-            return Err(SheetError::NotASuperset {
-                basis: grouping_basis.iter().map(|s| s.to_string()).collect(),
-            });
-        }
-        let relative: Vec<String> = requested.difference(&current).cloned().collect();
-        self.state
-            .spec
-            .levels
-            .push(GroupLevel::new(relative.clone(), order));
-        self.state.spec.subtract_from_finest_order(&relative);
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            for a in grouping_basis {
+                s.assert_column_exists(a)?;
+            }
+            let current: BTreeSet<String> = s.state.spec.all_grouping_attributes();
+            let requested: BTreeSet<String> =
+                grouping_basis.iter().map(|a| a.to_string()).collect();
+            if !requested.is_superset(&current) || requested == current {
+                return Err(SheetError::NotASuperset {
+                    basis: grouping_basis.iter().map(|a| a.to_string()).collect(),
+                });
+            }
+            let relative: Vec<String> = requested.difference(&current).cloned().collect();
+            s.state
+                .spec
+                .levels
+                .push(GroupLevel::new(relative.clone(), order));
+            s.state.spec.subtract_from_finest_order(&relative);
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// Convenience: add `attributes` as a new innermost grouping level
@@ -970,39 +1108,43 @@ impl Spreadsheet {
     /// this new one instead" — refused while aggregates depend on the
     /// current grouping.
     pub fn regroup(&mut self, attributes: &[&str], order: Direction) -> Result<()> {
-        let aggs = self.state.aggregates_below_level(1);
-        if !aggs.is_empty() {
-            return Err(SheetError::GroupingInUse {
-                level: 1,
-                aggregates: aggs,
-            });
-        }
-        for a in attributes {
-            self.assert_column_exists(a)?;
-        }
-        self.state.spec.levels.clear();
-        self.state
-            .spec
-            .levels
-            .push(GroupLevel::new(attributes.iter().copied(), order));
-        let grouped: Vec<String> = attributes.iter().map(|s| s.to_string()).collect();
-        self.state.spec.subtract_from_finest_order(&grouped);
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            let aggs = s.state.aggregates_below_level(1);
+            if !aggs.is_empty() {
+                return Err(SheetError::GroupingInUse {
+                    level: 1,
+                    aggregates: aggs,
+                });
+            }
+            for a in attributes {
+                s.assert_column_exists(a)?;
+            }
+            s.state.spec.levels.clear();
+            s.state
+                .spec
+                .levels
+                .push(GroupLevel::new(attributes.iter().copied(), order));
+            let grouped: Vec<String> = attributes.iter().map(|a| a.to_string()).collect();
+            s.state.spec.subtract_from_finest_order(&grouped);
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// Remove all grouping (refused while aggregates depend on it).
     pub fn ungroup(&mut self) -> Result<()> {
-        let aggs = self.state.aggregates_below_level(1);
-        if !aggs.is_empty() {
-            return Err(SheetError::GroupingInUse {
-                level: 1,
-                aggregates: aggs,
-            });
-        }
-        self.state.spec.levels.clear();
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            let aggs = s.state.aggregates_below_level(1);
+            if !aggs.is_empty() {
+                return Err(SheetError::GroupingInUse {
+                    level: 1,
+                    aggregates: aggs,
+                });
+            }
+            s.state.spec.levels.clear();
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// λ — ordering (Def. 4). Orders the contents of level-`l` groups by
@@ -1018,68 +1160,60 @@ impl Spreadsheet {
     ///   no-op; otherwise the attribute's direction is updated in place or
     ///   appended to the finest ordering list.
     pub fn order(&mut self, attribute: &str, direction: Direction, level: usize) -> Result<()> {
-        self.assert_column_exists(attribute)?;
-        let n = self.state.spec.level_count();
-        if level == 0 || level > n {
-            return Err(SheetError::NoSuchLevel { level, levels: n });
-        }
-        if level < n {
-            if self.state.spec.in_relative_basis(attribute, level + 1) {
-                // Case 2: flip direction of the level-(l+1) groups.
-                self.state.spec.levels[level - 1].direction = direction;
+        self.transact(|s| {
+            s.assert_column_exists(attribute)?;
+            let n = s.state.spec.level_count();
+            if level == 0 || level > n {
+                return Err(SheetError::NoSuchLevel { level, levels: n });
+            }
+            if level < n {
+                if s.state.spec.in_relative_basis(attribute, level + 1) {
+                    // Case 2: flip direction of the level-(l+1) groups.
+                    s.state.spec.levels[level - 1].direction = direction;
+                } else {
+                    if s.state.spec.all_grouping_attributes().contains(attribute) {
+                        // Ordering an outer level by some *other* level's
+                        // grouping attribute is meaningless.
+                        return Err(SheetError::BadOrderingAttribute {
+                            attribute: attribute.to_string(),
+                            level,
+                        });
+                    }
+                    // Case 1: destroy deeper levels.
+                    let aggs = s.state.aggregates_below_level(level);
+                    if !aggs.is_empty() {
+                        return Err(SheetError::GroupingInUse {
+                            level,
+                            aggregates: aggs,
+                        });
+                    }
+                    s.state.spec.truncate_levels(level);
+                    s.state.spec.finest_order = vec![OrderKey::new(attribute, direction)];
+                }
             } else {
-                if self
-                    .state
-                    .spec
-                    .all_grouping_attributes()
-                    .contains(attribute)
-                {
-                    // Ordering an outer level by some *other* level's
-                    // grouping attribute is meaningless.
-                    return Err(SheetError::BadOrderingAttribute {
-                        attribute: attribute.to_string(),
-                        level,
-                    });
+                // Case 3: the finest level.
+                if s.state.spec.all_grouping_attributes().contains(attribute) {
+                    // No-op: all tuples in a finest group share this value.
+                    return Ok(());
                 }
-                // Case 1: destroy deeper levels.
-                let aggs = self.state.aggregates_below_level(level);
-                if !aggs.is_empty() {
-                    return Err(SheetError::GroupingInUse {
-                        level,
-                        aggregates: aggs,
-                    });
-                }
-                self.state.spec.truncate_levels(level);
-                self.state.spec.finest_order = vec![OrderKey::new(attribute, direction)];
-            }
-        } else {
-            // Case 3: the finest level.
-            if self
-                .state
-                .spec
-                .all_grouping_attributes()
-                .contains(attribute)
-            {
-                // No-op: all tuples in a finest group share this value.
-                return Ok(());
-            }
-            match self
-                .state
-                .spec
-                .finest_order
-                .iter_mut()
-                .find(|k| k.attribute == attribute)
-            {
-                Some(k) => k.direction = direction,
-                None => self
+                match s
                     .state
                     .spec
                     .finest_order
-                    .push(OrderKey::new(attribute, direction)),
+                    .iter_mut()
+                    .find(|k| k.attribute == attribute)
+                {
+                    Some(k) => k.direction = direction,
+                    None => s
+                        .state
+                        .spec
+                        .finest_order
+                        .push(OrderKey::new(attribute, direction)),
+                }
             }
-        }
-        self.invalidate();
-        Ok(())
+            s.invalidate();
+            Ok(())
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1089,12 +1223,14 @@ impl Spreadsheet {
     /// σ — selection (Def. 5). Returns the id of the retained predicate,
     /// which query modification can later replace or delete (Sec. V-B).
     pub fn select(&mut self, predicate: Expr) -> Result<u64> {
-        for col in predicate.columns() {
-            self.assert_column_exists(&col)?;
-        }
-        let id = self.state.add_selection(predicate);
-        self.invalidate();
-        Ok(id)
+        self.transact(|s| {
+            for col in predicate.columns() {
+                s.assert_column_exists(&col)?;
+            }
+            let id = s.state.add_selection(predicate);
+            s.invalidate();
+            Ok(id)
+        })
     }
 
     /// π — projection (Def. 6): remove one column from `C`.
@@ -1106,39 +1242,43 @@ impl Spreadsheet {
     ///   aggregates have to be projected out", Sec. III-A) — refused while
     ///   other state depends on it.
     pub fn project_out(&mut self, column: &str) -> Result<()> {
-        self.assert_column_exists(column)?;
-        if self.state.is_computed(column) {
-            let dependents = self.state.dependents_of(column);
-            if !dependents.is_empty() {
-                return Err(SheetError::ColumnInUse {
-                    name: column.to_string(),
-                    dependents,
-                });
+        self.transact(|s| {
+            s.assert_column_exists(column)?;
+            if s.state.is_computed(column) {
+                let dependents = s.state.dependents_of(column);
+                if !dependents.is_empty() {
+                    return Err(SheetError::ColumnInUse {
+                        name: column.to_string(),
+                        dependents,
+                    });
+                }
+                s.state.computed.retain(|c| c.name != column);
+                s.state.projected_out.remove(column);
+            } else {
+                if s.state.projected_out.contains(column) {
+                    return Err(SheetError::ColumnHidden {
+                        name: column.to_string(),
+                    });
+                }
+                s.state.projected_out.insert(column.to_string());
             }
-            self.state.computed.retain(|c| c.name != column);
-            self.state.projected_out.remove(column);
-        } else {
-            if self.state.projected_out.contains(column) {
-                return Err(SheetError::ColumnHidden {
-                    name: column.to_string(),
-                });
-            }
-            self.state.projected_out.insert(column.to_string());
-        }
-        self.invalidate();
-        Ok(())
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// Inverse projection Π̄ (Sec. V-B): reinstate a hidden base column as
     /// if the projection never took place.
     pub fn reinstate(&mut self, column: &str) -> Result<()> {
-        if !self.state.projected_out.remove(column) {
-            return Err(SheetError::UnknownColumn {
-                name: column.to_string(),
-            });
-        }
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            if !s.state.projected_out.remove(column) {
+                return Err(SheetError::UnknownColumn {
+                    name: column.to_string(),
+                });
+            }
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// η — aggregation (Def. 11): creates a computed column holding
@@ -1146,83 +1286,91 @@ impl Spreadsheet {
     /// of the group. Returns the generated column name (`Avg_Price`
     /// style, Table III).
     pub fn aggregate(&mut self, func: AggFunc, column: &str, level: usize) -> Result<String> {
-        self.assert_column_exists(column)?;
-        let n = self.state.spec.level_count();
-        if level == 0 || level > n {
-            return Err(SheetError::NoSuchLevel { level, levels: n });
-        }
-        if func.requires_numeric() {
-            // Base columns expose a static type; computed columns are
-            // checked against their current materialization.
-            let numeric = if let Ok(c) = self.base.schema().column(column) {
-                c.ty.is_numeric() || c.ty == ValueType::Null
-            } else {
-                let d = self.evaluate_now()?;
-                d.data
-                    .schema()
-                    .column(column)
-                    .map(|c| c.ty.is_numeric() || c.ty == ValueType::Null)
-                    .unwrap_or(false)
-            };
-            if !numeric {
-                return Err(SheetError::NonNumericAggregate {
-                    func: func.short_name().to_string(),
-                    column: column.to_string(),
-                });
+        self.transact(|s| {
+            s.assert_column_exists(column)?;
+            let n = s.state.spec.level_count();
+            if level == 0 || level > n {
+                return Err(SheetError::NoSuchLevel { level, levels: n });
             }
-        }
-        let name = self.fresh_column_name(&format!("{}_{}", func.short_name(), column));
-        let basis: Vec<String> = self.state.spec.absolute_basis(level).into_iter().collect();
-        self.state.computed.push(ComputedColumn::aggregate(
-            name.clone(),
-            func,
-            column,
-            level,
-            basis,
-        ));
-        self.invalidate();
-        Ok(name)
+            if func.requires_numeric() {
+                // Base columns expose a static type; computed columns are
+                // checked against their current materialization.
+                let numeric = if let Ok(c) = s.base.schema().column(column) {
+                    c.ty.is_numeric() || c.ty == ValueType::Null
+                } else {
+                    let d = s.evaluate_now()?;
+                    d.data
+                        .schema()
+                        .column(column)
+                        .map(|c| c.ty.is_numeric() || c.ty == ValueType::Null)
+                        .unwrap_or(false)
+                };
+                if !numeric {
+                    return Err(SheetError::NonNumericAggregate {
+                        func: func.short_name().to_string(),
+                        column: column.to_string(),
+                    });
+                }
+            }
+            let name = s.fresh_column_name(&format!("{}_{}", func.short_name(), column));
+            let basis: Vec<String> = s.state.spec.absolute_basis(level).into_iter().collect();
+            s.state.computed.push(ComputedColumn::aggregate(
+                name.clone(),
+                func,
+                column,
+                level,
+                basis,
+            ));
+            s.invalidate();
+            Ok(name)
+        })
     }
 
     /// θ — formula computation (Def. 12): a row-wise computed column. With
     /// no name given the system generates one and "reminds the user of the
     /// new column" (Sec. VI-A). Returns the column name.
     pub fn formula(&mut self, name: Option<&str>, expr: Expr) -> Result<String> {
-        for col in expr.columns() {
-            self.assert_column_exists(&col)?;
-        }
-        let name = match name {
-            Some(n) => {
-                if self.base.schema().contains(n) || self.state.is_computed(n) {
-                    return Err(SheetError::DuplicateColumn {
-                        name: n.to_string(),
-                    });
+        self.transact(|s| {
+            for col in expr.columns() {
+                s.assert_column_exists(&col)?;
+            }
+            let name = match name {
+                Some(n) => {
+                    if s.base.schema().contains(n) || s.state.is_computed(n) {
+                        return Err(SheetError::DuplicateColumn {
+                            name: n.to_string(),
+                        });
+                    }
+                    n.to_string()
                 }
-                n.to_string()
-            }
-            None => {
-                let n = self.fresh_column_name(&format!("F{}", self.next_formula_id));
-                self.next_formula_id += 1;
-                n
-            }
-        };
-        self.state
-            .computed
-            .push(ComputedColumn::formula(name.clone(), expr));
-        self.invalidate();
-        Ok(name)
+                None => {
+                    let n = s.fresh_column_name(&format!("F{}", s.next_formula_id));
+                    s.next_formula_id += 1;
+                    n
+                }
+            };
+            s.state
+                .computed
+                .push(ComputedColumn::formula(name.clone(), expr));
+            s.invalidate();
+            Ok(name)
+        })
     }
 
     /// DE — duplicate elimination (Def. 13): removes duplicate `R`-tuples.
     /// Idempotent; computed columns recompute automatically.
     pub fn dedup(&mut self) -> Result<()> {
-        self.state.dedup = true;
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            s.state.dedup = true;
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// Housekeeping **Rename** (Sec. III-C): renames a column everywhere —
     /// data, computed definitions, predicates, grouping and ordering.
+    /// Transactional like every other edit: a trial-evaluation failure
+    /// renames back and restores state, cache and delta.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
         self.assert_column_exists(from)?;
         if from == to {
@@ -1233,11 +1381,27 @@ impl Spreadsheet {
                 name: to.to_string(),
             });
         }
-        if self.base.schema().contains(from) {
+        let in_base = self.base.schema().contains(from);
+        if in_base {
             self.base.schema_mut().rename(from, to)?;
         }
+        let old_state = self.state.clone();
+        let old_delta = self.last_delta.clone();
+        let old_cache = self.cache.take();
         self.state.rename_column(from, to);
-        self.invalidate_base();
+        self.last_delta = StateDelta::Full {
+            reason: "base data changed",
+        };
+        if let Err(e) = self.trial_eval() {
+            if in_base {
+                // invariant: `from` was just freed, so renaming back succeeds.
+                let _ = self.base.schema_mut().rename(to, from);
+            }
+            self.state = old_state;
+            self.last_delta = old_delta;
+            self.cache = old_cache;
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -1266,8 +1430,14 @@ impl Spreadsheet {
     }
 
     /// **Open** (Sec. III-C): resurrect a stored sheet as the current one.
-    pub fn open(stored: &StoredSheet) -> Spreadsheet {
-        Spreadsheet {
+    ///
+    /// The stored state is validated against the stored relation's schema
+    /// first, so a hand-edited or corrupted snapshot fails here, at the
+    /// open boundary, with [`SheetError::InvalidStored`] — not far from
+    /// the cause at first evaluation.
+    pub fn open(stored: &StoredSheet) -> Result<Spreadsheet> {
+        Self::validate_stored(stored)?;
+        Ok(Spreadsheet {
             name: stored.relation.name().to_string(),
             base: stored.relation.clone(),
             state: stored.state.clone(),
@@ -1278,7 +1448,67 @@ impl Spreadsheet {
             eval_opts: EvalOptions::default(),
             epoch: 0,
             next_formula_id: 1,
+            audit: cfg!(debug_assertions),
+        })
+    }
+
+    /// Check a [`StoredSheet`]'s query state against its relation: every
+    /// column referenced by selections, grouping, ordering, computed
+    /// definitions and projections must exist (in the schema or among
+    /// the computed columns), computed names must clash with nothing,
+    /// and the computed definitions must be acyclic.
+    fn validate_stored(stored: &StoredSheet) -> Result<()> {
+        let schema = stored.relation.schema();
+        let mut known: BTreeSet<String> = schema.names().iter().map(|s| s.to_string()).collect();
+        for c in &stored.state.computed {
+            if !known.insert(c.name.clone()) {
+                return Err(SheetError::InvalidStored {
+                    detail: format!(
+                        "computed column `{}` clashes with an existing column",
+                        c.name
+                    ),
+                });
+            }
         }
+        for col in stored.state.referenced_columns() {
+            if !known.contains(&col) {
+                return Err(SheetError::InvalidStored {
+                    detail: format!("state references unknown column `{col}`"),
+                });
+            }
+        }
+        for col in &stored.state.projected_out {
+            if !known.contains(col) {
+                return Err(SheetError::InvalidStored {
+                    detail: format!("projection hides unknown column `{col}`"),
+                });
+            }
+        }
+        // Computed definitions must resolve in some order from the base
+        // columns. Unknown dependencies were rejected above, so a stuck
+        // fixpoint here is a genuine cycle.
+        let mut resolved: BTreeSet<String> = schema.names().iter().map(|s| s.to_string()).collect();
+        let mut remaining: Vec<&ComputedColumn> = stored.state.computed.iter().collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|c| {
+                if c.def.dependencies().iter().all(|d| resolved.contains(d)) {
+                    resolved.insert(c.name.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            if remaining.len() == before {
+                return Err(SheetError::InvalidStored {
+                    detail: format!(
+                        "cyclic computed-column definitions involving `{}`",
+                        remaining[0].name
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The current evaluated `R` (selections and DE applied, computed
@@ -1293,25 +1523,47 @@ impl Spreadsheet {
         Ok(r)
     }
 
+    /// Commit a binary operator's result transactionally: `new_base`
+    /// becomes `R`, the state is consumed at the point of
+    /// non-commutativity, and the epoch advances. Validation and the
+    /// trial evaluation run before the old epoch is discarded; on any
+    /// `Err` the sheet — base, state, cache, delta and epoch — is
+    /// exactly as before the call.
     fn enter_new_epoch(&mut self, new_base: Relation) -> Result<()> {
-        self.base = new_base;
-        self.state.consume_at_non_commutativity_point();
+        let mut new_state = self.state.clone();
+        new_state.consume_at_non_commutativity_point();
         // State referencing columns that vanished (set ops keep schema;
-        // product/join only add) would fail evaluation — validate eagerly.
-        let cols: BTreeSet<String> = self
-            .base
+        // product/join only add) would fail evaluation — validate eagerly,
+        // before anything is committed.
+        let cols: BTreeSet<String> = new_base
             .schema()
             .names()
             .iter()
             .map(|s| s.to_string())
             .collect();
-        for c in self.state.referenced_columns() {
-            if !cols.contains(&c) && !self.state.is_computed(&c) {
+        for c in new_state.referenced_columns() {
+            if !cols.contains(&c) && !new_state.is_computed(&c) {
                 return Err(SheetError::UnknownColumn { name: c });
             }
         }
+        let old_base = std::mem::replace(&mut self.base, new_base);
+        let old_state = std::mem::replace(&mut self.state, new_state);
+        let old_delta = std::mem::replace(
+            &mut self.last_delta,
+            StateDelta::Full {
+                reason: "base data changed",
+            },
+        );
+        let old_cache = self.cache.take();
         self.epoch += 1;
-        self.invalidate_base();
+        if let Err(e) = self.trial_eval() {
+            self.base = old_base;
+            self.state = old_state;
+            self.last_delta = old_delta;
+            self.cache = old_cache;
+            self.epoch -= 1;
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -1386,44 +1638,50 @@ impl Spreadsheet {
     /// Replace the predicate of a retained selection ("change previous
     /// condition of Year = 2005 to Year = 2006", Tables IV–V).
     pub fn replace_selection(&mut self, id: u64, predicate: Expr) -> Result<()> {
-        for col in predicate.columns() {
-            self.assert_column_exists(&col)?;
-        }
-        if !self.state.replace_selection(id, predicate) {
-            return Err(SheetError::UnknownSelection { id });
-        }
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            for col in predicate.columns() {
+                s.assert_column_exists(&col)?;
+            }
+            if !s.state.replace_selection(id, predicate) {
+                return Err(SheetError::UnknownSelection { id });
+            }
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// Delete a retained selection outright.
     pub fn remove_selection(&mut self, id: u64) -> Result<()> {
-        self.state
-            .remove_selection(id)
-            .ok_or(SheetError::UnknownSelection { id })?;
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            s.state
+                .remove_selection(id)
+                .ok_or(SheetError::UnknownSelection { id })?;
+            s.invalidate();
+            Ok(())
+        })
     }
 
     /// Remove an aggregate/FC column through query state (same dependency
     /// rule as projection of a computed column).
     pub fn remove_computed(&mut self, name: &str) -> Result<()> {
-        if !self.state.is_computed(name) {
-            return Err(SheetError::UnknownColumn {
-                name: name.to_string(),
-            });
-        }
-        let dependents = self.state.dependents_of(name);
-        if !dependents.is_empty() {
-            return Err(SheetError::ColumnInUse {
-                name: name.to_string(),
-                dependents,
-            });
-        }
-        self.state.computed.retain(|c| c.name != name);
-        self.state.projected_out.remove(name);
-        self.invalidate();
-        Ok(())
+        self.transact(|s| {
+            if !s.state.is_computed(name) {
+                return Err(SheetError::UnknownColumn {
+                    name: name.to_string(),
+                });
+            }
+            let dependents = s.state.dependents_of(name);
+            if !dependents.is_empty() {
+                return Err(SheetError::ColumnInUse {
+                    name: name.to_string(),
+                    dependents,
+                });
+            }
+            s.state.computed.retain(|c| c.name != name);
+            s.state.projected_out.remove(name);
+            s.invalidate();
+            Ok(())
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1782,7 +2040,7 @@ mod tests {
         // computed column not materialized in stored data
         assert!(!stored.relation.schema().contains("Avg_Price"));
         // but its definition survives re-opening
-        let mut reopened = Spreadsheet::open(&stored);
+        let mut reopened = Spreadsheet::open(&stored).unwrap();
         let d = reopened.view().unwrap();
         assert!(d.data.schema().contains("Avg_Price"));
         assert_eq!(d.len(), 6);

@@ -81,7 +81,7 @@ impl Session {
             .ok_or_else(|| SheetError::UnknownSheet {
                 name: name.to_string(),
             })?;
-        self.current = Some(Engine::from_sheet(Spreadsheet::open(stored)));
+        self.current = Some(Engine::from_sheet(Spreadsheet::open(stored)?));
         Ok(())
     }
 

@@ -33,6 +33,16 @@ pub enum RelationError {
     UnknownRelation { name: String },
     /// A relation with this name already exists in the catalog.
     DuplicateRelation { name: String },
+    /// A worker thread inside a parallel chunked loop panicked. The panic
+    /// is caught at the join point and surfaced as this typed error so
+    /// library callers degrade to an `Err` instead of aborting the
+    /// process; `site` carries the panic payload (or the armed failpoint
+    /// name under the `fault-injection` feature).
+    WorkerPanicked { site: String },
+    /// A deterministic failpoint armed via `ssa_relation::fault` fired at
+    /// the named site. Only ever constructed under the `fault-injection`
+    /// feature; production builds cannot produce it.
+    FaultInjected { site: String },
 }
 
 impl fmt::Display for RelationError {
@@ -61,6 +71,12 @@ impl fmt::Display for RelationError {
             RelationError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
             RelationError::DuplicateRelation { name } => {
                 write!(f, "relation `{name}` already exists")
+            }
+            RelationError::WorkerPanicked { site } => {
+                write!(f, "parallel worker panicked: {site}")
+            }
+            RelationError::FaultInjected { site } => {
+                write!(f, "fault injected at `{site}`")
             }
         }
     }

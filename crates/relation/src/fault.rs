@@ -1,0 +1,192 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! This module only exists under the `fault-injection` cargo feature; in
+//! production builds none of the injection sites compile to anything.
+//! Each site in the workspace is a named probe — `fault::check("eval.filter")?`
+//! or `fault::maybe_panic("par.chunk")` — that does nothing until a test
+//! arms it with [`arm`]. An armed site fires exactly once, on its Nth hit,
+//! then disarms itself, so a single arm produces a single deterministic
+//! failure even when the site is reached from retries or fallbacks.
+//!
+//! The registry is process-global (sites are reached from worker threads),
+//! so tests that arm failpoints must serialize through [`lock`] to avoid
+//! seeing each other's faults.
+//!
+//! Site catalog: see DESIGN.md §12 ("Failure model").
+
+use crate::error::{RelationError, Result};
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Return `Err(RelationError::FaultInjected { site })`.
+    Error,
+    /// Panic with the site name in the payload (exercises unwind paths).
+    Panic,
+}
+
+#[derive(Debug)]
+struct Site {
+    /// Fires when `hits` reaches this value (1-based).
+    nth: u64,
+    behavior: Behavior,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    armed: HashMap<String, Site>,
+    hits: HashMap<String, u64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    // A panic-behavior failpoint poisons this mutex by design; the data is
+    // plain counters, so recover the guard and keep going.
+    let mut guard = match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+/// Arm `site` to fire on its `nth` hit (1-based) with the given behavior.
+/// Re-arming an already-armed site replaces the previous arming. The hit
+/// counter for the site restarts at zero.
+pub fn arm(site: &str, nth: u64, behavior: Behavior) {
+    with_registry(|r| {
+        r.hits.insert(site.to_string(), 0);
+        r.armed.insert(
+            site.to_string(),
+            Site {
+                nth: nth.max(1),
+                behavior,
+            },
+        );
+    });
+}
+
+/// Disarm `site` if armed; hit counting continues either way.
+pub fn disarm(site: &str) {
+    with_registry(|r| {
+        r.armed.remove(site);
+    });
+}
+
+/// Disarm every site and zero every hit counter.
+pub fn reset() {
+    with_registry(|r| {
+        r.armed.clear();
+        r.hits.clear();
+    });
+}
+
+/// How many times `site` has been hit since the last [`arm`]/[`reset`].
+pub fn hits(site: &str) -> u64 {
+    with_registry(|r| r.hits.get(site).copied().unwrap_or(0))
+}
+
+/// Record a hit at `site`; returns the armed behavior when this hit is the
+/// one the site was armed for (and disarms it).
+fn fire(site: &str) -> Option<Behavior> {
+    with_registry(|r| {
+        let count = r.hits.entry(site.to_string()).or_insert(0);
+        *count += 1;
+        if r.armed.get(site).is_some_and(|s| s.nth == *count) {
+            Some(r.armed.remove(site).expect("checked above").behavior)
+        } else {
+            None
+        }
+    })
+}
+
+/// Failpoint probe for fallible sites. Counts a hit; when armed for this
+/// hit, either returns `Err(FaultInjected)` or panics per the behavior.
+pub fn check(site: &str) -> Result<()> {
+    match fire(site) {
+        Some(Behavior::Error) => Err(RelationError::FaultInjected {
+            site: site.to_string(),
+        }),
+        Some(Behavior::Panic) => panic!("fault injected at `{site}`"),
+        None => Ok(()),
+    }
+}
+
+/// Failpoint probe for infallible degradation sites (e.g. "pretend the
+/// delta classifier gave up"). Counts a hit; `true` when armed for it.
+/// A `Panic`-armed site panics here too.
+pub fn should_fire(site: &str) -> bool {
+    match fire(site) {
+        Some(Behavior::Error) => true,
+        Some(Behavior::Panic) => panic!("fault injected at `{site}`"),
+        None => false,
+    }
+}
+
+/// Failpoint probe for panic-only sites inside infallible worker closures.
+pub fn maybe_panic(site: &str) {
+    if fire(site).is_some() {
+        panic!("fault injected at `{site}`");
+    }
+}
+
+/// Global serialization lock for tests that arm failpoints: the registry
+/// is process-wide, so concurrent arming tests would trip each other.
+/// Poison-tolerant, because panic-behavior tests poison it by design.
+pub fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_nth_hit_then_disarms() {
+        let _guard = lock();
+        reset();
+        arm("t.site", 2, Behavior::Error);
+        assert!(check("t.site").is_ok(), "first hit passes");
+        assert!(matches!(
+            check("t.site"),
+            Err(RelationError::FaultInjected { site }) if site == "t.site"
+        ));
+        assert!(check("t.site").is_ok(), "one-shot: disarmed after firing");
+        assert_eq!(hits("t.site"), 3);
+        reset();
+    }
+
+    #[test]
+    fn should_fire_and_disarm_work() {
+        let _guard = lock();
+        reset();
+        assert!(!should_fire("t.degrade"));
+        arm("t.degrade", 1, Behavior::Error);
+        assert!(should_fire("t.degrade"));
+        assert!(!should_fire("t.degrade"));
+        arm("t.degrade", 1, Behavior::Error);
+        disarm("t.degrade");
+        assert!(!should_fire("t.degrade"));
+        reset();
+    }
+
+    #[test]
+    fn panic_behavior_panics_with_site_in_payload() {
+        let _guard = lock();
+        reset();
+        arm("t.panic", 1, Behavior::Panic);
+        let err = std::panic::catch_unwind(|| check("t.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("t.panic"));
+        reset();
+    }
+}

@@ -19,6 +19,10 @@
 //! Everything downstream (`spreadsheet-algebra`, `ssa-sql`, `ssa-tpch`,
 //! `sheetmusiq`, `ssa-study`) builds on these types.
 
+// Test modules assert freely; the unwrap ban applies to library code only
+// (see scripts/verify.sh for the scoped clippy gate).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod agg;
 pub mod catalog;
 pub mod compiled;
@@ -26,6 +30,8 @@ pub mod csv;
 pub mod error;
 pub mod expr;
 pub mod expr_parse;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod intern;
 pub mod ops;
 pub mod par;
@@ -34,6 +40,18 @@ pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+
+/// Failpoint probe: expands to `fault::check(site)?` under the expanding
+/// crate's `fault-injection` feature and to nothing otherwise, so the
+/// injection sites cost zero in production builds. Each crate that hosts
+/// sites forwards its own `fault-injection` feature to ssa-relation's.
+#[macro_export]
+macro_rules! fault_check {
+    ($site:literal) => {
+        #[cfg(feature = "fault-injection")]
+        $crate::fault::check($site)?;
+    };
+}
 
 pub use agg::AggFunc;
 pub use catalog::Catalog;

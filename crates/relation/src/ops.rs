@@ -81,6 +81,7 @@ pub fn product_opts(
 ) -> Result<Relation> {
     let schema = left.schema().product(right.schema(), right.name());
     let name = format!("{}_x_{}", left.name(), right.name());
+    crate::fault_check!("ops.product");
     let cardinality = left.len().saturating_mul(right.len());
     let lids: Vec<u32> = (0..left.len() as u32).collect();
     let chunks = chunk_map(&lids, cardinality >= parallel_threshold.max(1), |chunk| {
@@ -92,7 +93,7 @@ pub fn product_opts(
             }
         }
         rows
-    });
+    })?;
     let mut rows = Vec::with_capacity(cardinality);
     for c in chunks {
         rows.extend(c);
@@ -124,6 +125,7 @@ pub fn join_opts(
     condition: &Expr,
     parallel_threshold: usize,
 ) -> Result<Relation> {
+    crate::fault_check!("ops.join");
     let schema = left.schema().product(right.schema(), right.name());
     let name = format!("{}_join_{}", left.name(), right.name());
     let left_width = left.schema().len();
@@ -189,7 +191,7 @@ fn nested_pairs(
             }
         }
         Ok(out)
-    });
+    })?;
     let mut pairs = Vec::new();
     for c in chunks {
         pairs.extend(c?);
@@ -244,7 +246,7 @@ fn hash_pairs(
                 .push(bi);
         }
         table
-    });
+    })?;
     let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
     for partial in partials {
         for (k, mut v) in partial {
@@ -287,7 +289,7 @@ fn hash_pairs(
             }
             Ok(out)
         },
-    );
+    )?;
     let mut pairs = Vec::new();
     for c in chunks {
         pairs.extend(c?);
@@ -315,7 +317,7 @@ fn gather_pairs(
             rows.push(left.rows()[li as usize].concat(&right.rows()[ri as usize]));
         }
         rows
-    });
+    })?;
     let mut rows = Vec::with_capacity(pairs.len());
     for c in chunks {
         rows.extend(c);
@@ -327,6 +329,7 @@ fn gather_pairs(
 /// are two identical tuples" (Sec. III-B). Columns of `right` are aligned
 /// to `left`'s column order by name.
 pub fn union_all(left: &Relation, right: &Relation) -> Result<Relation> {
+    crate::fault_check!("ops.union");
     let mapping = alignment(left, right)?;
     let mut rows = Vec::with_capacity(left.len() + right.len());
     rows.extend(left.rows().iter().cloned());
@@ -339,6 +342,7 @@ pub fn union_all(left: &Relation, right: &Relation) -> Result<Relation> {
 /// budget is a hash map over the interned values (O(1) per row) rather
 /// than an ordered map of full-tuple comparisons.
 pub fn difference(left: &Relation, right: &Relation) -> Result<Relation> {
+    crate::fault_check!("ops.difference");
     let mapping = alignment(left, right)?;
     let mut budget: HashMap<Tuple, usize> = HashMap::with_capacity(right.len());
     for t in right.rows() {

@@ -8,15 +8,63 @@
 //! the degenerate case, so call sites stay branch-free: they compute the
 //! `parallel` decision from their row counts and a threshold and let
 //! `chunk_map` do the rest.
+//!
+//! Worker panics never abort the process: both the sequential path
+//! (via `catch_unwind`) and the threaded path (via the `join` result)
+//! surface them as [`RelationError::WorkerPanicked`], so the panic policy
+//! is uniform on both sides of the parallelism threshold.
+
+use crate::error::{RelationError, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Default number of rows below which the operators and the evaluation
 /// engine stay single-threaded: thread spawning costs microseconds, so
 /// small relations are faster sequentially.
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 8192;
 
+/// Render a caught panic payload for [`RelationError::WorkerPanicked`].
+/// `&str` and `String` payloads (everything `panic!` produces in this
+/// workspace, including armed failpoints) pass through verbatim.
+pub(crate) fn panic_site(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Join a set of scoped-thread handles in order, converting any worker
+/// panic into [`RelationError::WorkerPanicked`] instead of resuming the
+/// unwind on the caller. Used by `chunk_map` and by the hand-rolled
+/// scoped loops in the evaluation engine.
+pub fn join_all<R>(handles: Vec<std::thread::ScopedJoinHandle<'_, R>>) -> Result<Vec<R>> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut panicked: Option<RelationError> = None;
+    for h in handles {
+        match h.join() {
+            Ok(r) => out.push(r),
+            Err(payload) => {
+                // Keep joining the rest so the scope exits cleanly, but
+                // report the first panic.
+                panicked.get_or_insert(RelationError::WorkerPanicked {
+                    site: panic_site(payload),
+                });
+            }
+        }
+    }
+    match panicked {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
 /// Run `f` over `items`, chunked across scoped threads when `parallel`
-/// (and the machine has them); chunk results come back in order.
-pub fn chunk_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+/// (and the machine has them); chunk results come back in order. A panic
+/// inside `f` — on any thread, or inline on the sequential path — is
+/// caught and returned as [`RelationError::WorkerPanicked`].
+pub fn chunk_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
@@ -31,16 +79,34 @@ where
     };
     let workers = workers.min(items.len().max(1));
     if workers <= 1 {
-        return vec![f(items)];
+        // The closure is re-entered nowhere after a panic, and all results
+        // flow through the return value, so broken-invariant observation
+        // is impossible: AssertUnwindSafe is sound here.
+        return match catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            crate::fault::maybe_panic("par.chunk");
+            f(items)
+        })) {
+            Ok(r) => Ok(vec![r]),
+            Err(payload) => Err(RelationError::WorkerPanicked {
+                site: panic_site(payload),
+            }),
+        };
     }
     let chunk = items.len().div_ceil(workers);
     let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("chunk worker panicked"))
-            .collect()
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    #[cfg(feature = "fault-injection")]
+                    crate::fault::maybe_panic("par.chunk");
+                    f(c)
+                })
+            })
+            .collect();
+        join_all(handles)
     })
 }
 
@@ -54,9 +120,10 @@ mod tests {
         for parallel in [false, true] {
             let sums = chunk_map(&items, parallel, |c| {
                 c.iter().map(|&x| x as u64).sum::<u64>()
-            });
+            })
+            .unwrap();
             assert_eq!(sums.iter().sum::<u64>(), 49_995_000);
-            let firsts = chunk_map(&items, parallel, |c| c[0]);
+            let firsts = chunk_map(&items, parallel, |c| c[0]).unwrap();
             let mut sorted = firsts.clone();
             sorted.sort_unstable();
             assert_eq!(firsts, sorted, "chunks must arrive in slice order");
@@ -65,7 +132,27 @@ mod tests {
 
     #[test]
     fn empty_input_yields_one_empty_chunk() {
-        let out = chunk_map(&[] as &[u32], true, <[u32]>::len);
+        let out = chunk_map(&[] as &[u32], true, <[u32]>::len).unwrap();
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_error_on_both_paths() {
+        let items: Vec<u32> = (0..20_000).collect();
+        for parallel in [false, true] {
+            let out = chunk_map(&items, parallel, |c| {
+                if c.contains(&7) {
+                    panic!("boom in chunk");
+                }
+                c.len()
+            });
+            assert_eq!(
+                out,
+                Err(RelationError::WorkerPanicked {
+                    site: "boom in chunk".to_string()
+                }),
+                "parallel={parallel}"
+            );
+        }
     }
 }

@@ -17,6 +17,9 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> cargo test --workspace --features fault-injection"
+cargo test --workspace --features fault-injection -q
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check
@@ -27,6 +30,11 @@ fi
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy"
     cargo clippy --workspace --all-targets -- -D warnings
+    # Library crates must not unwrap/expect on hot paths (test modules
+    # opt back in via cfg_attr); see DESIGN.md §12.
+    echo "==> cargo clippy (deny unwrap in library crates)"
+    cargo clippy -p spreadsheet-algebra -p ssa-relation -- \
+        -D warnings -D clippy::unwrap_used
 else
     echo "==> cargo clippy not installed; skipping lints"
 fi

@@ -1,0 +1,332 @@
+//! Transactional-edit guarantees (DESIGN.md §12).
+//!
+//! Every mutating `Spreadsheet` operation is atomic: if it returns `Err`
+//! — whether from its own validation, from the bounded trial evaluation,
+//! or from an injected fault — the sheet is a perfect no-op versus its
+//! pre-edit self: same state, same epoch, and a subsequent `view()`
+//! yields the identical derived result.
+//!
+//! The `injected` module (compiled under `--features fault-injection`)
+//! drives randomized edit sequences where every operation is attempted
+//! twice: once with a failpoint armed, once clean, with a naive-engine
+//! oracle replaying the clean applications alongside.
+
+mod common;
+
+#[cfg(feature = "fault-injection")]
+use common::{arb_op, arb_sheet};
+use spreadsheet_algebra::fixtures::used_cars;
+use spreadsheet_algebra::prelude::*;
+use spreadsheet_algebra::{ComputedColumn, SheetError};
+
+/// Serialize against the fault-injection registry when it is compiled
+/// in: armed sites are process-global, so tests that arm (or might trip)
+/// them must not interleave. Without the feature there is nothing to
+/// serialize.
+#[cfg(feature = "fault-injection")]
+fn test_lock() -> Option<std::sync::MutexGuard<'static, ()>> {
+    Some(ssa_relation::fault::lock())
+}
+#[cfg(not(feature = "fault-injection"))]
+fn test_lock() -> Option<()> {
+    None
+}
+
+/// The two sheets are indistinguishable: same query state, same epoch,
+/// and the same evaluated view.
+fn assert_identical(a: &mut Spreadsheet, b: &mut Spreadsheet, ctx: &str) {
+    assert_eq!(a.state(), b.state(), "{ctx}: state diverged");
+    assert_eq!(a.epoch(), b.epoch(), "{ctx}: epoch diverged");
+    let va = a.view().expect("left view").clone();
+    let vb = b.view().expect("right view");
+    assert_eq!(&va, vb, "{ctx}: view diverged");
+}
+
+#[test]
+fn naturally_failing_edits_are_perfect_no_ops() {
+    let _guard = test_lock();
+    let mut s = Spreadsheet::over(used_cars());
+    s.group(&["Model"], Direction::Asc).unwrap();
+    let avg = s.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+    s.view().unwrap();
+    let mut baseline = s.clone();
+
+    // One representative failure per operator family.
+    assert!(s.select(Expr::col("Ghost").lt(Expr::lit(1))).is_err());
+    assert!(s.group(&["Model"], Direction::Asc).is_err()); // not a strict superset
+    assert!(s.ungroup().is_err()); // aggregate depends on the grouping
+    assert!(s.regroup(&["Year"], Direction::Asc).is_err()); // ditto
+    assert!(s.aggregate(AggFunc::Avg, "Model", 2).is_err()); // non-numeric
+    assert!(s.formula(Some(&avg), Expr::lit(1)).is_err()); // duplicate name
+    assert!(s
+        .formula(None, Expr::col("Ghost").add(Expr::lit(1)))
+        .is_err());
+    assert!(s.order("Price", Direction::Asc, 9).is_err()); // no such level
+    assert!(s.project_out("Ghost").is_err());
+    assert!(s.reinstate("Price").is_err()); // not hidden
+    assert!(s.rename("Ghost", "G2").is_err());
+    assert!(s.rename("Price", "Model").is_err()); // target exists
+    assert!(s.remove_selection(999).is_err());
+    assert!(s.replace_selection(999, Expr::lit(true)).is_err());
+    assert!(s.remove_computed("Price").is_err()); // not computed
+
+    assert_identical(&mut s, &mut baseline, "after natural failures");
+}
+
+#[test]
+fn trial_evaluation_rejects_edits_that_cannot_evaluate() {
+    let _guard = test_lock();
+    let mut s = Spreadsheet::over(used_cars());
+    s.view().unwrap();
+    let mut baseline = s.clone();
+
+    // Columns all exist, so static validation passes — only the trial
+    // evaluation can catch the division by zero. Before edits were
+    // transactional this committed and poisoned every later `view`.
+    let zero = Expr::col("Year").sub(Expr::col("Year"));
+    let res = s.formula(Some("Bad"), Expr::col("Price").div(zero));
+    assert!(res.is_err(), "divide-by-zero formula must be refused");
+    assert_identical(&mut s, &mut baseline, "after rejected formula");
+
+    // The sheet is fully usable afterwards.
+    s.select(Expr::col("Price").lt(Expr::lit(20_000))).unwrap();
+    assert!(s.view().is_ok());
+}
+
+#[test]
+fn failed_binary_operator_leaves_epoch_and_state_alone() {
+    let _guard = test_lock();
+    let mut s = Spreadsheet::over(used_cars());
+    s.select(Expr::col("Year").ge(Expr::lit(2004))).unwrap();
+    s.view().unwrap();
+    let mut baseline = s.clone();
+
+    // Dealers has a different schema: union/difference are incompatible.
+    let other = Spreadsheet::over(spreadsheet_algebra::fixtures::dealers())
+        .save("dealers")
+        .unwrap();
+    assert!(matches!(
+        s.union(&other),
+        Err(SheetError::NotCompatible { .. })
+    ));
+    assert!(matches!(
+        s.difference(&other),
+        Err(SheetError::NotCompatible { .. })
+    ));
+    assert!(s.join(&other, Expr::col("Ghost").eq(Expr::lit(1))).is_err());
+    assert_identical(&mut s, &mut baseline, "after failed binary operators");
+}
+
+#[test]
+fn open_validates_stored_sheets() {
+    let _guard = test_lock();
+    let s = Spreadsheet::over(used_cars());
+    let stored = s.save("cars").unwrap();
+    assert!(Spreadsheet::open(&stored).is_ok());
+
+    // A computed column referencing a column the relation doesn't have.
+    let mut bad = stored.clone();
+    bad.state.computed.push(ComputedColumn::formula(
+        "Broken",
+        Expr::col("Ghost").add(Expr::lit(1)),
+    ));
+    assert!(matches!(
+        Spreadsheet::open(&bad),
+        Err(SheetError::InvalidStored { .. })
+    ));
+
+    // A computed column clashing with a base column.
+    let mut clash = stored.clone();
+    clash
+        .state
+        .computed
+        .push(ComputedColumn::formula("Price", Expr::lit(1)));
+    assert!(matches!(
+        Spreadsheet::open(&clash),
+        Err(SheetError::InvalidStored { .. })
+    ));
+
+    // Mutually recursive computed definitions.
+    let mut cyclic = stored.clone();
+    cyclic.state.computed.push(ComputedColumn::formula(
+        "A",
+        Expr::col("B").add(Expr::lit(1)),
+    ));
+    cyclic.state.computed.push(ComputedColumn::formula(
+        "B",
+        Expr::col("A").add(Expr::lit(1)),
+    ));
+    assert!(matches!(
+        Spreadsheet::open(&cyclic),
+        Err(SheetError::InvalidStored { .. })
+    ));
+
+    // An ordering key over a ghost column.
+    let mut bad_order = stored.clone();
+    bad_order
+        .state
+        .spec
+        .finest_order
+        .push(OrderKey::new("Ghost", Direction::Asc));
+    assert!(matches!(
+        Spreadsheet::open(&bad_order),
+        Err(SheetError::InvalidStored { .. })
+    ));
+}
+
+#[cfg(feature = "fault-injection")]
+mod injected {
+    use super::*;
+    use ssa_relation::fault::{self, Behavior};
+    use ssa_relation::rng::Rng;
+    use ssa_relation::{Relation, RelationError, Schema, Tuple, Value, ValueType};
+
+    /// Every named failpoint the library crates expose.
+    const SITES: &[&str] = &[
+        "eval.filter",
+        "eval.materialize",
+        "eval.gather",
+        "delta.classify",
+        "delta.narrow",
+        "delta.append",
+        "delta.remove",
+        "ops.product",
+        "ops.join",
+        "ops.union",
+        "ops.difference",
+        "par.chunk",
+        "persist.save",
+        "persist.open",
+    ];
+
+    /// The tentpole pin: randomized edit sequences where every operation
+    /// is attempted twice — once against a scratch clone with a failpoint
+    /// armed, once clean against the main sheet and a naive-engine
+    /// oracle. An injected `Err` must be a perfect no-op; an `Ok` (the
+    /// site was off-path, or `view`'s fallback masked it) must match the
+    /// clean application exactly.
+    #[test]
+    fn randomized_injected_edits_are_atomic() {
+        let _guard = fault::lock();
+        let mut rng = Rng::seed_from_u64(0xA70_311C_17E5);
+        for case in 0..40u64 {
+            let mut sheet = arb_sheet(&mut rng);
+            sheet.view().unwrap(); // warm the cache so delta sites are reachable
+            let mut oracle = sheet.clone();
+            oracle.set_naive_eval(true);
+            for step in 0..4u64 {
+                let op = arb_op(&mut rng);
+                let site = SITES[rng.gen_range(0..SITES.len())];
+                let nth = rng.gen_range(1..=2u64);
+                let ctx = format!("case {case} step {step} op {op:?} site {site}@{nth}");
+
+                // Attempt 1: fault-injected, on a scratch clone.
+                let mut scratch = sheet.clone();
+                fault::arm(site, nth, Behavior::Error);
+                let injected = op.apply(&mut scratch);
+                fault::disarm(site);
+                if injected.is_err() {
+                    assert_identical(&mut scratch, &mut sheet.clone(), &ctx);
+                }
+
+                // Attempt 2: clean, on the main sheet and the oracle.
+                let clean = op.apply(&mut sheet);
+                let oracle_res = op.apply(&mut oracle);
+                assert_eq!(clean.is_ok(), oracle_res.is_ok(), "{ctx}: outcome split");
+                if clean.is_ok() {
+                    let view = sheet.view().unwrap().clone();
+                    let oracle_view = oracle.view().unwrap();
+                    assert_eq!(&view, oracle_view, "{ctx}: engines diverged");
+                    if injected.is_ok() {
+                        // The armed attempt committed; it must have
+                        // produced exactly the clean result.
+                        assert_identical(&mut scratch, &mut sheet.clone(), &ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_binary_operator_failures_roll_back_completely() {
+        let _guard = fault::lock();
+        let mut base = Spreadsheet::over(used_cars());
+        base.select(Expr::col("Year").ge(Expr::lit(2004))).unwrap();
+        base.view().unwrap();
+        let stored = Spreadsheet::over(used_cars()).save("other").unwrap();
+
+        for site in ["ops.union", "eval.filter", "eval.materialize"] {
+            let mut s = base.clone();
+            fault::arm(site, 1, Behavior::Error);
+            let res = s.union(&stored);
+            fault::disarm(site);
+            if res.is_err() {
+                assert_identical(&mut s, &mut base.clone(), site);
+            } else {
+                // Only sites off the evaluation path may be missed.
+                assert_ne!(site, "ops.union", "ops.union must be on the union path");
+            }
+        }
+
+        // A fault *after* the combine — in the trial evaluation of the
+        // committed epoch — must also restore the pre-union sheet.
+        let mut s = base.clone();
+        fault::arm("eval.filter", 2, Behavior::Error);
+        let res = s.union(&stored);
+        fault::disarm("eval.filter");
+        if res.is_err() {
+            assert_identical(&mut s, &mut base.clone(), "trial-eval fault");
+        }
+    }
+
+    /// Satellite pin: a worker panic inside a parallel chunk surfaces as
+    /// a typed `WorkerPanicked` error — no process abort — and the sheet
+    /// is fully usable afterwards.
+    #[test]
+    fn worker_panic_surfaces_as_typed_error_and_sheet_survives() {
+        let _guard = fault::lock();
+        let rows: Vec<Tuple> = (0..10_000i64)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 7)]))
+            .collect();
+        let relation = Relation::with_rows(
+            "big",
+            Schema::of(&[("A", ValueType::Int), ("B", ValueType::Int)]),
+            rows,
+        )
+        .unwrap();
+        let mut s = Spreadsheet::over(relation);
+        s.select(Expr::col("B").lt(Expr::lit(5))).unwrap();
+        let mut witness = s.clone();
+        let expected = witness.view().unwrap().clone();
+
+        // 10k rows is above the default 8192-row parallel threshold, so
+        // evaluation fans out and the armed failpoint panics a worker.
+        fault::arm("par.chunk", 1, Behavior::Panic);
+        let err = s.view().expect_err("worker panic must surface as Err");
+        match err {
+            SheetError::Relation(RelationError::WorkerPanicked { site }) => {
+                assert!(site.contains("par.chunk"), "payload names the site: {site}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        fault::disarm("par.chunk");
+
+        // The sheet recovers: the next view evaluates from scratch.
+        assert_eq!(s.view().unwrap(), &expected);
+        assert_eq!(s.state(), witness.state());
+    }
+
+    #[test]
+    fn persist_failpoints_surface_typed_errors() {
+        let _guard = fault::lock();
+        let stored = Spreadsheet::over(used_cars()).save("cars").unwrap();
+
+        fault::arm("persist.save", 1, Behavior::Error);
+        assert!(stored.to_json().is_err());
+        let json = stored.to_json().unwrap(); // failpoint auto-disarmed
+
+        fault::arm("persist.open", 1, Behavior::Error);
+        assert!(StoredSheet::from_json(&json).is_err());
+        assert_eq!(StoredSheet::from_json(&json).unwrap(), stored);
+    }
+}

@@ -77,7 +77,7 @@ fn stored_sheet_survives_json_round_trip_across_sessions() {
 
     // "Session 2": deserialize and reopen.
     let revived = StoredSheet::from_json(&json).unwrap();
-    let mut sheet = Spreadsheet::open(&revived);
+    let mut sheet = Spreadsheet::open(&revived).unwrap();
     let view = sheet.view().unwrap();
     assert_eq!(view.len(), 4); // four Excellent cars (all Jettas)
     assert!(view.data.schema().contains("Max_Price"));
