@@ -62,6 +62,21 @@ const SCENARIOS: &[Scenario] = &[
             (probe, build)
         },
     },
+    Scenario {
+        name: "dupheavy",
+        operands: |n| {
+            // Build-side-choice regression case: the left operand is the
+            // *smaller* side (rows/10) but duplicate-heavy (~10 rows per
+            // key), and the right side repeats each key ~100×. Raw row
+            // counts would build left — and then stably re-sort every
+            // output pair back into left-major order; the statistics-based
+            // cost model sees the pair estimate and builds right instead.
+            let d = (n / 100).max(1) as i64;
+            let left = relation("fact", "K", (0..(n / 10).max(1) as i64).map(move |i| i % d));
+            let right = relation("dim", "K2", (0..n as i64).map(move |i| (i * 13) % d));
+            (left, right)
+        },
+    },
 ];
 
 /// Median wall time in milliseconds; one warm-up iteration discarded.
@@ -144,7 +159,7 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"join\",\n");
     json.push_str(
-        "  \"workload\": \"equi-join K = K2, probe side `rows` tuples, build side rows/10; selective = unique keys covering half the probe domain, fanout = 8 duplicates per build key\",\n",
+        "  \"workload\": \"equi-join K = K2, probe side `rows` tuples, build side rows/10; selective = unique keys covering half the probe domain, fanout = 8 duplicates per build key, dupheavy = small duplicate-heavy left side (build-side-choice regression case)\",\n",
     );
     json.push_str(&format!("  \"fast\": {fast},\n"));
     json.push_str("  \"joins\": [\n");

@@ -40,7 +40,7 @@
 //!   relations. It is kept as the differential-testing oracle and the
 //!   benchmark baseline, not for production use.
 
-use crate::computed::{column_rank, compute_ranks, ComputedColumn, ComputedDef};
+use crate::computed::{ComputedColumn, ComputedDef};
 use crate::error::{Result, SheetError};
 use crate::spec::Spec;
 use crate::state::QueryState;
@@ -52,7 +52,7 @@ use ssa_relation::schema::{Column, Schema};
 use ssa_relation::tuple::Tuple;
 use ssa_relation::value::{Value, ValueType};
 use ssa_relation::Expr;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// An evaluated spreadsheet: data in presentation order, the group tree
 /// over it, and the visible columns in display order.
@@ -209,74 +209,12 @@ pub(crate) fn evaluate_full_with(
     }
 }
 
-/// Shared front half of both engines: reference validation and rank
-/// assignment for computed columns and selections.
-struct Plan {
-    /// Rank of each computed column, parallel to `state.computed`.
-    ranks: Vec<usize>,
-    /// Rank of each selection, parallel to `state.selections`.
-    sel_ranks: Vec<usize>,
-    max_rank: usize,
-}
-
-impl Plan {
-    fn prepare(base: &Relation, state: &QueryState) -> Result<Plan> {
-        let base_cols: BTreeSet<String> = base
-            .schema()
-            .names()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-
-        // Validate references before touching data.
-        for col in state.referenced_columns() {
-            if !base_cols.contains(&col) && !state.is_computed(&col) {
-                return Err(SheetError::UnknownColumn { name: col });
-            }
-        }
-        let ranks = compute_ranks(&base_cols, &state.computed).ok_or_else(|| {
-            SheetError::Relation(ssa_relation::RelationError::TypeMismatch {
-                context: "cyclic computed-column definitions".into(),
-            })
-        })?;
-
-        let sel_ranks: Vec<usize> = state
-            .selections
-            .iter()
-            .map(|s| {
-                s.predicate
-                    .columns()
-                    .iter()
-                    .map(|c| {
-                        column_rank(c, &base_cols, &state.computed, &ranks)
-                            .ok_or_else(|| SheetError::UnknownColumn { name: c.clone() })
-                    })
-                    .try_fold(0usize, |acc, r| r.map(|r| acc.max(r)))
-            })
-            .collect::<Result<_>>()?;
-
-        let max_rank = ranks
-            .iter()
-            .chain(sel_ranks.iter())
-            .copied()
-            .max()
-            .unwrap_or(0);
-        Ok(Plan {
-            ranks,
-            sel_ranks,
-            max_rank,
-        })
-    }
-
-    /// Computed-column indices, stably sorted by rank — the order in
-    /// which both engines materialize (and the canonical relation lays
-    /// out) the computed columns.
-    fn rank_order(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.ranks.len()).collect();
-        order.sort_by_key(|&i| self.ranks[i]);
-        order
-    }
-}
+// The shared front half of both engines — reference validation, rank
+// assignment, and the Theorem-2 rewrites — lives in [`crate::plan`]. Both
+// engines consume the same [`Plan`], so rewrites cannot diverge between
+// the full evaluator and the incremental delta path; the naive engine
+// reads only the unrewritten rank assignment and stays the oracle.
+use crate::plan::Plan;
 
 // ---------------------------------------------------------------------
 // Index-vector engine
@@ -353,67 +291,51 @@ fn evaluate_indexed(
     // Buffers span the *base* row space so a row id indexes any of them.
     let mut bufs: Vec<Option<Vec<Value>>> = vec![None; state.computed.len()];
 
-    // Steps 1–2: the index vector of surviving rows; dedup keeps the
-    // first occurrence of each distinct base tuple (matching
-    // `ops::distinct`).
-    let mut live: Vec<u32> = if state.dedup {
-        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(base_rows.len());
-        (0..base_rows.len() as u32)
-            .filter(|&i| seen.insert(&base_rows[i as usize]))
-            .collect()
-    } else {
-        (0..base_rows.len() as u32).collect()
-    };
-
     let compiled_sels: Vec<CompiledExpr> = state
         .selections
         .iter()
         .map(|s| CompiledExpr::compile(&s.predicate, &mut |n| slots.get(n).copied()))
         .collect::<ssa_relation::Result<_>>()?;
+    let fused = |idxs: &[usize]| -> Vec<&CompiledExpr> {
+        idxs.iter().map(|&si| &compiled_sels[si]).collect()
+    };
 
-    // Only columns a selection (transitively) reads have to exist while
-    // step 3 filters; everything else is deferred to step 4, where it is
-    // computed once over the final (smaller) index vector. Deferral is
-    // invisible except for evaluation errors confined to rows the
-    // selections remove — those are simply never raised, as in any lazy
-    // query engine.
-    let mut needed = vec![false; state.computed.len()];
-    let mut pending: Vec<usize> = state
-        .selections
-        .iter()
-        .flat_map(|s| s.predicate.columns())
-        .filter_map(|n| slots.get(n.as_str()).copied())
-        .filter(|&s| s >= width)
-        .map(|s| s - width)
-        .collect();
-    while let Some(i) = pending.pop() {
-        if !needed[i] {
-            needed[i] = true;
-            pending.extend(
-                state.computed[i]
-                    .def
-                    .dependencies()
-                    .iter()
-                    .filter_map(|n| slots.get(n.as_str()).copied())
-                    .filter(|&s| s >= width)
-                    .map(|s| s - width),
-            );
-        }
+    // Steps 1–2: the index vector of surviving rows. The plan hoists
+    // rank-0 (base-column-only) selections *above* duplicate elimination
+    // — duplicate `R`-tuples agree on every base column, so filtering
+    // first keeps exactly the same first occurrences while shrinking the
+    // dedup hash — and fuses them into one pass. Dedup keeps the first
+    // occurrence of each distinct base tuple (matching `ops::distinct`).
+    let mut live: Vec<u32> = (0..base_rows.len() as u32).collect();
+    if !plan.pre_dedup.is_empty() {
+        live = filter_rows(base, &bufs, &fused(&plan.pre_dedup), &live, threshold)?;
+    }
+    if state.dedup {
+        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(live.len());
+        live.retain(|&i| seen.insert(&base_rows[i as usize]));
     }
 
-    // Step 3: layered materialization and filtering over row ids.
-    for rank in 0..=plan.max_rank {
-        for (i, col) in state.computed.iter().enumerate() {
-            if plan.ranks[i] == rank && needed[i] {
-                bufs[i] = Some(materialize_buffer(
-                    base, &bufs, &slots, &live, col, threshold,
-                )?);
-            }
+    // Step 3: layered materialization and filtering over row ids, staged
+    // by the plan. Only columns a selection (transitively) reads
+    // (`plan.early`) have to exist while step 3 filters; everything else
+    // is deferred to step 4, where it is computed once over the final
+    // (smaller) index vector. Deferral is invisible except for
+    // evaluation errors confined to rows the selections remove — those
+    // are simply never raised, as in any lazy query engine. Each rank's
+    // selections run as one fused, cost-ordered pass.
+    for stage in &plan.stages {
+        for &i in &stage.compute {
+            bufs[i] = Some(materialize_buffer(
+                base,
+                &bufs,
+                &slots,
+                &live,
+                &state.computed[i],
+                threshold,
+            )?);
         }
-        for (si, compiled) in compiled_sels.iter().enumerate() {
-            if plan.sel_ranks[si] == rank {
-                live = filter_rows(base, &bufs, compiled, &live, threshold)?;
-            }
+        if !stage.filters.is_empty() {
+            live = filter_rows(base, &bufs, &fused(&stage.filters), &live, threshold)?;
         }
     }
 
@@ -858,11 +780,16 @@ fn materialize_buffer(
     Ok(buf)
 }
 
-/// Filter the index vector through one compiled selection predicate.
+/// Filter the index vector through a fused conjunction of compiled
+/// selection predicates in a single pass. The predicates come cost- and
+/// selectivity-ordered from the plan; a row is kept only if every
+/// predicate matches, with later predicates short-circuited — sound
+/// because same-rank selections commute (Theorem 2) and `AND` is TRUE
+/// exactly when all conjuncts are.
 fn filter_rows(
     base: &Relation,
     bufs: &[Option<Vec<Value>>],
-    compiled: &CompiledExpr,
+    compiled: &[&CompiledExpr],
     live: &[u32],
     threshold: usize,
 ) -> Result<Vec<u32>> {
@@ -872,15 +799,19 @@ fn filter_rows(
     let parallel = live.len() >= threshold;
     let chunks = chunk_map(live, parallel, |chunk| {
         let mut keep = Vec::with_capacity(chunk.len());
-        for &row in chunk {
-            if compiled.matches(&EngineRow {
+        'rows: for &row in chunk {
+            let engine_row = EngineRow {
                 base_rows,
                 bufs,
                 width,
                 row,
-            })? {
-                keep.push(row);
+            };
+            for c in compiled {
+                if !c.matches(&engine_row)? {
+                    continue 'rows;
+                }
             }
+            keep.push(row);
         }
         Ok::<_, ssa_relation::RelationError>(keep)
     })?;
@@ -967,7 +898,7 @@ pub(crate) fn filter_relation(
     }
     let compiled = CompiledExpr::compile(predicate, &mut |n| schema.index_of(n).ok())?;
     let live: Vec<u32> = (0..rel.len() as u32).collect();
-    filter_rows(rel, &[], &compiled, &live, threshold)
+    filter_rows(rel, &[], &[&compiled], &live, threshold)
 }
 
 /// Materialize one computed column over `rel`'s rows — the incremental

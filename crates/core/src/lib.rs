@@ -53,6 +53,7 @@ pub mod fixtures;
 pub mod history;
 pub mod modify;
 mod persist;
+pub mod plan;
 pub mod precedence;
 pub mod render;
 pub mod sheet;
@@ -66,6 +67,7 @@ pub use error::{Result, SheetError};
 pub use eval::{evaluate, evaluate_with, Derived, EvalOptions, DEFAULT_PARALLEL_THRESHOLD};
 pub use history::{Engine, OpRecord};
 pub use modify::RemovalPlan;
+pub use plan::{join_with_pushdown, plan_tables, Plan, PlanNode, TablePlan};
 pub use precedence::{may_commute, precedes, AlgebraOp, OpSignature};
 pub use sheet::{Spreadsheet, StoredSheet};
 pub use spec::{Direction, GroupLevel, OrderKey, Spec};

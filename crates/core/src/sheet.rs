@@ -354,7 +354,11 @@ impl CacheEntry {
     /// spec moved too). Requires `self.perm`.
     fn narrow(&mut self, predicates: &[Expr], state: &QueryState, threshold: usize) -> Result<()> {
         ssa_relation::fault_check!("delta.narrow");
-        let Some(predicate) = Expr::conjoin(predicates.to_vec()) else {
+        // Same rewrite the full evaluator's fused filter pass applies:
+        // cheap and selective predicates first (the narrowed predicates
+        // all commute — they tighten one already-applied conjunction).
+        let ordered = crate::plan::reorder_predicates(predicates, Some(&self.canonical));
+        let Some(predicate) = Expr::conjoin(ordered) else {
             return Ok(());
         };
         let keep = filter_relation(&self.canonical, &predicate, threshold)?;
@@ -941,6 +945,15 @@ impl Spreadsheet {
     /// Evaluate without caching (for read-only contexts).
     pub fn evaluate_now(&self) -> Result<Derived> {
         evaluate_with(&self.base, &self.state, self.eval_opts)
+    }
+
+    /// `EXPLAIN` — render the operator DAG the evaluator would execute
+    /// for the current `(base, state)` pair as an indented text tree
+    /// (fused filter passes, pre-dedup pushdown, deferred computed
+    /// columns, presentation sort and grouping). Read-only: plans
+    /// without evaluating.
+    pub fn explain(&self) -> Result<String> {
+        Ok(crate::plan::Plan::prepare(&self.base, &self.state)?.render())
     }
 
     /// Visible column names in display order (cheap; no evaluation).
@@ -1593,7 +1606,10 @@ impl Spreadsheet {
                 return Err(SheetError::UnknownColumn { name: c });
             }
         }
-        let joined = ops::join_opts(
+        // Planned join: operand-local conjuncts are pushed below the
+        // join into their side, cheap-first (crate::plan) — identical
+        // rows and order to the direct `ops::join_opts` call.
+        let joined = crate::plan::join_with_pushdown(
             &left,
             &stored.relation,
             &condition,

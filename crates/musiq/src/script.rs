@@ -152,6 +152,7 @@ impl ScriptHost {
                 let plan = self.session.engine_ref()?.sheet().removal_plan(rest)?;
                 Ok(plan.to_string())
             }
+            "explain" => self.session.explain(),
             "reinstate" => {
                 self.session.engine()?.reinstate(rest)?;
                 self.after_change(&format!("reinstated {rest}"))
@@ -306,6 +307,7 @@ SheetMusiq commands:
   agg <func> <col> [level] | formula [name =] <expr>
   project <col> | reinstate <col> | dedup | rename <old> <new>
   plan <computed-col> | dropcol <computed-col>   (cascaded removal)
+  explain   (render the evaluation plan as a text tree)
   save <name> | open <name> | close | stored
   product <name> | union <name> | minus <name> | join <name> on <cond>
   sql <core single-block SQL>   (Theorem-1 translation into the session)
@@ -322,6 +324,29 @@ mod tests {
         c.register(used_cars()).unwrap();
         c.register(dealers()).unwrap();
         ScriptHost::new(Session::new(c))
+    }
+
+    #[test]
+    fn explain_renders_current_plan() {
+        let mut h = host();
+        h.run_script(
+            "load cars\n\
+             group Model desc\n\
+             select Year >= 2005\n\
+             agg avg Price 1\n\
+             select Price <= Avg_Price",
+        )
+        .unwrap();
+        let out = h.execute("explain").unwrap();
+        assert!(out.contains("Scan cars"), "{out}");
+        assert!(out.contains("Filter Year >= 2005"), "{out}");
+        assert!(out.contains("Compute [Avg_Price]"), "{out}");
+        assert!(out.contains("Group [Model]"), "{out}");
+        // The Avg_Price selection ranks above the aggregate, so its
+        // filter renders above the compute node.
+        let f = out.find("Filter Price <= Avg_Price").unwrap();
+        let c = out.find("Compute [Avg_Price]").unwrap();
+        assert!(f < c, "selection over the aggregate stays above it:\n{out}");
     }
 
     #[test]

@@ -141,6 +141,13 @@ impl Session {
         let stored = self.stored(stored_name)?.clone();
         self.engine()?.join(&stored, condition)
     }
+
+    /// `EXPLAIN` — the operator DAG the evaluator would execute for the
+    /// current sheet, rendered as an indented text tree. A read-only
+    /// debug action: plans without evaluating.
+    pub fn explain(&self) -> Result<String> {
+        self.engine_ref()?.sheet().explain()
+    }
 }
 
 #[cfg(test)]

@@ -6,11 +6,16 @@
 //! operators, and `{t, t} − {t} = {t}`.
 
 use crate::error::{RelationError, Result};
+use crate::intern::Sym;
 use crate::schema::{Column, Schema};
 use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::value::{Value, ValueType};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Rows examined by [`Relation::distinct_estimate`] before it switches
+/// from exact counting to a sampled estimate.
+const DISTINCT_SAMPLE_BUDGET: usize = 1024;
 
 /// A named multiset of tuples with a fixed schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -206,6 +211,110 @@ impl Relation {
         a == b
     }
 
+    /// Number of rows — the free cardinality statistic the planner leans
+    /// on. Alias of [`Relation::len`], named for symmetry with
+    /// [`Relation::distinct_estimate`].
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Estimate the number of distinct values in `column`. See
+    /// [`Relation::distinct_estimate_at`] for the method.
+    pub fn distinct_estimate(&self, column: &str) -> Result<usize> {
+        let idx = self.schema.index_of(column)?;
+        Ok(self.distinct_estimate_at(idx))
+    }
+
+    /// Estimate the number of distinct values in the column at position
+    /// `idx`, deterministically and without hashing whole values:
+    ///
+    /// * `Str` columns are counted **exactly** with a bitset over interner
+    ///   ids — symbols are dense `u32` handles (the same id space the
+    ///   lexicographic rank snapshot covers), so one bit per interned
+    ///   string suffices and the scan is a cheap `O(rows)` pass.
+    /// * Other columns are counted exactly while the relation fits the
+    ///   sample budget, and above it estimated from a low-discrepancy
+    ///   sample (golden-ratio stride, so periodic data cannot alias) with
+    ///   the GEE singleton scale-up, clamped to `[d_sample, row_count]`.
+    ///   A sample with no repeats at all is treated as a key column.
+    pub fn distinct_estimate_at(&self, idx: usize) -> usize {
+        let n = self.rows.len();
+        if n == 0 {
+            return 0;
+        }
+        if self.schema.columns()[idx].ty == ValueType::Str {
+            return self.distinct_str_exact(idx);
+        }
+        if n <= DISTINCT_SAMPLE_BUDGET {
+            let mut vals: Vec<&Value> = self.rows.iter().map(|t| t.get(idx)).collect();
+            vals.sort();
+            vals.dedup();
+            return vals.len();
+        }
+        // Low-discrepancy row sample: multiples of the golden ratio mod n
+        // cover the index space evenly without the aliasing risk of a
+        // fixed stride, and stay fully deterministic.
+        const GOLDEN: u128 = 0x9E37_79B9_7F4A_7C15;
+        let mut picked: Vec<usize> = (0..DISTINCT_SAMPLE_BUDGET)
+            .map(|k| ((k as u128 * GOLDEN) % n as u128) as usize)
+            .collect();
+        picked.sort_unstable();
+        picked.dedup();
+        let s = picked.len();
+        let mut vals: Vec<&Value> = picked.iter().map(|&r| self.rows[r].get(idx)).collect();
+        vals.sort();
+        let (mut d, mut f1) = (0usize, 0usize);
+        let mut i = 0;
+        while i < vals.len() {
+            let mut j = i + 1;
+            while j < vals.len() && vals[j] == vals[i] {
+                j += 1;
+            }
+            d += 1;
+            if j - i == 1 {
+                f1 += 1;
+            }
+            i = j;
+        }
+        if f1 == d {
+            // No duplicates among the sampled rows: key-like column.
+            return n;
+        }
+        // GEE (Charikar et al.): scale the singletons by √(n/s).
+        let est = ((n as f64 / s as f64).sqrt() * f1 as f64 + (d - f1) as f64).round() as usize;
+        est.clamp(d, n)
+    }
+
+    /// Exact distinct count of a `Str` column via an interner-id bitset.
+    fn distinct_str_exact(&self, idx: usize) -> usize {
+        let mut words = vec![0u64; Sym::interned_count() / 64 + 1];
+        let mut distinct = 0usize;
+        let mut saw_null = false;
+        // Ill-typed stragglers in a Str-declared column (possible in a
+        // hand-built relation) fall back to a sorted side list.
+        let mut other: Vec<&Value> = Vec::new();
+        for t in &self.rows {
+            match t.get(idx) {
+                Value::Str(s) => {
+                    let id = s.id() as usize;
+                    if id / 64 >= words.len() {
+                        words.resize(id / 64 + 1, 0);
+                    }
+                    let bit = 1u64 << (id % 64);
+                    if words[id / 64] & bit == 0 {
+                        words[id / 64] |= bit;
+                        distinct += 1;
+                    }
+                }
+                Value::Null => saw_null = true,
+                v => other.push(v),
+            }
+        }
+        other.sort();
+        other.dedup();
+        distinct + usize::from(saw_null) + other.len()
+    }
+
     /// Count of each distinct tuple (useful in multiset-semantics tests).
     pub fn histogram(&self) -> BTreeMap<Tuple, usize> {
         let mut h = BTreeMap::new();
@@ -362,6 +471,71 @@ mod tests {
         )
         .unwrap();
         assert!(a.multiset_eq_unordered_columns(&b));
+    }
+
+    #[test]
+    fn row_count_is_len() {
+        let r = cars();
+        assert_eq!(r.row_count(), r.len());
+        assert_eq!(r.row_count(), 3);
+    }
+
+    #[test]
+    fn distinct_exact_small_numeric() {
+        let schema = Schema::of(&[("x", Int)]);
+        let rows = vec![tuple![1], tuple![2], tuple![1], tuple![3], tuple![2]];
+        let r = Relation::with_rows("r", schema, rows).unwrap();
+        assert_eq!(r.distinct_estimate("x").unwrap(), 3);
+        assert!(r.distinct_estimate("ghost").is_err());
+    }
+
+    #[test]
+    fn distinct_str_counts_exactly_with_nulls() {
+        let schema = Schema::of(&[("s", Str)]);
+        let rows = vec![
+            tuple!["alpha"],
+            tuple!["beta"],
+            tuple!["alpha"],
+            Tuple::new(vec![Value::Null]),
+            tuple!["gamma"],
+            Tuple::new(vec![Value::Null]),
+        ];
+        let r = Relation::with_rows("r", schema, rows).unwrap();
+        // 3 strings + the null bucket
+        assert_eq!(r.distinct_estimate("s").unwrap(), 4);
+    }
+
+    #[test]
+    fn distinct_sampled_periodic_low_cardinality_is_exact() {
+        // 50k rows cycling through 7 values: a fixed-stride sample could
+        // alias with the period; the golden-ratio sample must not.
+        let schema = Schema::of(&[("x", Int)]);
+        let rows = (0..50_000).map(|i| tuple![i % 7]).collect();
+        let r = Relation::with_rows("r", schema, rows).unwrap();
+        assert_eq!(r.distinct_estimate("x").unwrap(), 7);
+    }
+
+    #[test]
+    fn distinct_sampled_key_column_estimates_full_cardinality() {
+        let schema = Schema::of(&[("x", Int)]);
+        let rows = (0..50_000i64).map(|i| tuple![i]).collect();
+        let r = Relation::with_rows("r", schema, rows).unwrap();
+        // All sampled rows are singletons → treated as a key column.
+        assert_eq!(r.distinct_estimate("x").unwrap(), 50_000);
+    }
+
+    #[test]
+    fn distinct_sampled_stays_clamped() {
+        // Heavy skew: one value dominates, 500 rares. The estimate must
+        // land inside [sampled distinct, row count].
+        let schema = Schema::of(&[("x", Int)]);
+        let rows = (0..40_000i64)
+            .map(|i| if i % 80 == 0 { tuple![i] } else { tuple![-1] })
+            .collect();
+        let r = Relation::with_rows("r", schema, rows).unwrap();
+        let est = r.distinct_estimate("x").unwrap();
+        assert!(est <= 40_000, "est {est} above row count");
+        assert!(est >= 2, "est {est} below sampled distinct");
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod parser;
 pub mod translate;
 
 pub use ast::{AggCall, OutputItem, SelectStmt};
-pub use eval::eval_select;
+pub use eval::{eval_select, eval_select_planned, explain_select};
 pub use parser::parse_select;
 pub use translate::{equivalent, translate, Translated};

@@ -59,20 +59,43 @@ def gated_metrics(entry):
         elif field.endswith("_ms") and STRICT:
             yield field, False
 
+# Absolute floors on top of the relative gate: the planner must keep a
+# ≥5x speedup over the unplanned pipeline on the full-size (100k-row)
+# multi-join workloads — the acceptance bar for the plan rewrites, not
+# just "no worse than last commit". Fast-mode runs only record the smoke
+# size, so the floor never fires there.
+PLAN_SPEEDUP_FLOOR = 5.0
+PLAN_FLOOR_ROWS = 100_000
+
+def floor_checks(path, fresh):
+    if path != "BENCH_plan.json" or fresh.get("fast"):
+        return
+    for entry in fresh.get("plans", []):
+        if entry.get("rows", 0) < PLAN_FLOOR_ROWS:
+            continue
+        label = f"{path}:plans:{dict(entry_key(entry))}"
+        speedup = float(entry.get("speedup", 0.0))
+        verdict = "FAIL" if speedup < PLAN_SPEEDUP_FLOOR else "ok"
+        print(f"{verdict:4} {label} speedup floor: "
+              f"{speedup:g} (need >= {PLAN_SPEEDUP_FLOOR:g})")
+        if speedup < PLAN_SPEEDUP_FLOOR:
+            yield f"{label} speedup {speedup:g} < floor {PLAN_SPEEDUP_FLOOR:g}"
+
 failures = []
 compared = 0
 for path in sorted(glob.glob("BENCH_*.json")):
-    show = subprocess.run(
-        ["git", "show", f"HEAD:{path}"], capture_output=True, text=True
-    )
-    if show.returncode != 0:
-        print(f"{path}: no committed baseline yet, skipping")
-        continue
-    baseline = json.loads(show.stdout)
     with open(path) as f:
         fresh = json.load(f)
     if fresh.get("fast"):
         print(f"{path}: fresh run is fast-mode (smoke sizes/samples)")
+    failures.extend(floor_checks(path, fresh))
+    show = subprocess.run(
+        ["git", "show", f"HEAD:{path}"], capture_output=True, text=True
+    )
+    if show.returncode != 0:
+        print(f"{path}: no committed baseline yet, skipping delta")
+        continue
+    baseline = json.loads(show.stdout)
     base_sections = dict(sections(baseline))
     for name, fresh_entries in sections(fresh):
         base_entries = base_sections.get(name, {})
