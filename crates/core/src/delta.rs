@@ -81,6 +81,29 @@ pub enum StateDelta {
         /// Name of the removed column.
         name: String,
     },
+    /// Base-data rows were appended. The new rows flowed through the
+    /// cached compiled selections, merge-inserted into the presentation
+    /// permutation and group tree, and bumped the per-group aggregate
+    /// accumulators — the query state itself is unchanged.
+    RowsAppended {
+        /// How many base rows the edit appended.
+        count: usize,
+    },
+    /// Base-data rows were deleted; the cache narrowed by the survivor
+    /// mask (aggregates recompute per retracted group — the
+    /// recompute-on-retract rule that keeps Min/Max exact).
+    RowsDeleted {
+        /// How many base rows the edit removed.
+        count: usize,
+    },
+    /// Base-data cells were updated in place (the key-change analysis
+    /// proved no group membership, selection verdict or presentation
+    /// position could move; otherwise the edit is modeled as
+    /// delete + append and reports those deltas instead).
+    CellsUpdated {
+        /// How many cells the edit overwrote.
+        count: usize,
+    },
     /// No sound shortcut: re-run the full pipeline.
     Full {
         /// Why the classifier fell back (for tests and debugging).
@@ -92,6 +115,23 @@ impl StateDelta {
     /// Shorthand used by tests: does this delta avoid the full pipeline?
     pub fn is_incremental(&self) -> bool {
         !matches!(self, StateDelta::Full { .. })
+    }
+}
+
+impl std::fmt::Display for StateDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateDelta::Reorganize => write!(f, "reorganize"),
+            StateDelta::Narrow { predicates } => {
+                write!(f, "narrow ({} predicate(s))", predicates.len())
+            }
+            StateDelta::AppendComputed { name } => write!(f, "append computed `{name}`"),
+            StateDelta::RemoveComputed { name } => write!(f, "remove computed `{name}`"),
+            StateDelta::RowsAppended { count } => write!(f, "rows appended ({count})"),
+            StateDelta::RowsDeleted { count } => write!(f, "rows deleted ({count})"),
+            StateDelta::CellsUpdated { count } => write!(f, "cells updated ({count})"),
+            StateDelta::Full { reason } => write!(f, "full ({reason})"),
+        }
     }
 }
 

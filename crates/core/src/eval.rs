@@ -186,14 +186,17 @@ pub fn evaluate_with(base: &Relation, state: &QueryState, opts: EvalOptions) -> 
 /// tie-breaking matches a from-scratch evaluation exactly (stable sort
 /// over base insertion order). The index-vector engine additionally
 /// returns the presentation permutation (derived row `j` is canonical row
-/// `perm[j]`) which the delta-aware cache maintains across narrowing
-/// edits; the naive engine returns `None` (its cache never takes the
-/// incremental paths).
+/// `perm[j]`) and the surviving base row ids (canonical row `i` is base
+/// row `base_ids[i]`, ascending) which the delta-aware cache maintains
+/// across narrowing and base-data edits; the naive engine returns `None`
+/// (its cache never takes the incremental paths).
+pub(crate) type Provenance = (Vec<u32>, Vec<u32>);
+
 pub(crate) fn evaluate_full_with(
     base: &Relation,
     state: &QueryState,
     opts: EvalOptions,
-) -> Result<(Derived, Relation, Option<Vec<u32>>)> {
+) -> Result<(Derived, Relation, Option<Provenance>)> {
     let plan = Plan::prepare(base, state)?;
     if opts.naive {
         let (derived, canonical) = evaluate_full_naive(base, state, &plan)?;
@@ -202,10 +205,10 @@ pub(crate) fn evaluate_full_with(
         let (derived, canonical) =
             evaluate_indexed(base, state, &plan, opts.parallel_threshold, true)?;
         debug_assert!(canonical.is_some(), "canonical requested");
-        let (canonical, perm) = canonical.ok_or_else(|| SheetError::Internal {
+        let (canonical, perm, base_ids) = canonical.ok_or_else(|| SheetError::Internal {
             detail: "canonical relation requested but not produced".into(),
         })?;
-        Ok((derived, canonical, Some(perm)))
+        Ok((derived, canonical, Some((perm, base_ids))))
     }
 }
 
@@ -263,9 +266,10 @@ impl RowAccess for EngineRow<'_> {
 use ssa_relation::par::chunk_map;
 
 /// Canonical (rank-ordered) relation plus the presentation permutation
-/// mapping derived row `j` to canonical row `perm[j]` — handed to the
-/// sheet cache when it asks for the canonical form alongside the view.
-type Canonical = (Relation, Vec<u32>);
+/// mapping derived row `j` to canonical row `perm[j]` and the surviving
+/// base row ids (canonical row `i` is base row `base_ids[i]`) — handed to
+/// the sheet cache when it asks for the canonical form alongside the view.
+type Canonical = (Relation, Vec<u32>, Vec<u32>);
 
 fn evaluate_indexed(
     base: &Relation,
@@ -382,7 +386,7 @@ fn evaluate_indexed(
     let schema = result_schema(base, state, &order, &bufs, &live)?;
     let data = gather_rows(base, &order, &bufs, &sorted, &schema, parallel)?;
     let canonical = want_canonical
-        .then(|| -> Result<(Relation, Vec<u32>)> {
+        .then(|| -> Result<Canonical> {
             let rel = gather_rows(base, &order, &bufs, &live, &schema, parallel)?;
             // Presentation permutation: `sorted` is a permutation of
             // `live` (both are base row ids), so invert `live` to map a
@@ -392,7 +396,7 @@ fn evaluate_indexed(
                 pos[id as usize] = i as u32;
             }
             let perm = sorted.iter().map(|&id| pos[id as usize]).collect();
-            Ok((rel, perm))
+            Ok((rel, perm, live.clone()))
         })
         .transpose()?;
     let level_bases: Vec<Vec<String>> = state.spec.levels.iter().map(|l| l.basis.clone()).collect();
@@ -1455,13 +1459,23 @@ mod tests {
             },
         )
         .unwrap();
-        let (_, ci, perm) = evaluate_full_with(&base, &st, EvalOptions::default()).unwrap();
+        let (_, ci, prov) = evaluate_full_with(&base, &st, EvalOptions::default()).unwrap();
         assert_eq!(cn, ci);
-        // The permutation really maps presentation rows to canonical rows.
+        // The permutation really maps presentation rows to canonical rows,
+        // and base ids map canonical rows back to base rows (ascending).
         let (di, _, _) = evaluate_full_with(&base, &st, EvalOptions::default()).unwrap();
-        let perm = perm.expect("indexed engine returns the permutation");
+        let (perm, base_ids) = prov.expect("indexed engine returns row provenance");
         for (j, &src) in perm.iter().enumerate() {
             assert_eq!(di.data.rows()[j], ci.rows()[src as usize]);
+        }
+        assert_eq!(base_ids.len(), ci.len());
+        assert!(base_ids.windows(2).all(|w| w[0] < w[1]));
+        let width = base.schema().len();
+        for (i, &b) in base_ids.iter().enumerate() {
+            assert_eq!(
+                &ci.rows()[i].values()[..width],
+                base.rows()[b as usize].values()
+            );
         }
     }
 

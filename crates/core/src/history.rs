@@ -81,6 +81,16 @@ pub enum OpRecord {
     RemoveComputed {
         column: String,
     },
+    AppendRows {
+        count: usize,
+    },
+    DeleteRows {
+        count: usize,
+    },
+    UpdateCell {
+        column: String,
+        row: u32,
+    },
 }
 
 impl OpRecord {
@@ -137,6 +147,11 @@ impl fmt::Display for OpRecord {
             }
             OpRecord::RemoveSelection { id } => write!(f, "Remove selection #{id}"),
             OpRecord::RemoveComputed { column } => write!(f, "Remove column {column}"),
+            OpRecord::AppendRows { count } => write!(f, "Append {count} row(s)"),
+            OpRecord::DeleteRows { count } => write!(f, "Delete {count} row(s)"),
+            OpRecord::UpdateCell { column, row } => {
+                write!(f, "Update {column} of base row {row}")
+            }
         }
     }
 }
@@ -457,6 +472,47 @@ impl Engine {
         };
         self.apply(record, |s| s.remove_computed(column))
     }
+
+    // --- base-data edits (recorded) ------------------------------------
+
+    /// Feed rows into the base relation (DESIGN.md §14). Undo restores
+    /// the pre-append base via the snapshot, like every other entry.
+    pub fn append_rows(&mut self, rows: Vec<ssa_relation::Tuple>) -> Result<usize> {
+        let record = OpRecord::AppendRows { count: rows.len() };
+        self.apply(record, |s| s.append_rows(rows))
+    }
+
+    pub fn delete_rows(&mut self, ids: &[u32]) -> Result<usize> {
+        let record = OpRecord::DeleteRows { count: ids.len() };
+        self.apply(record, |s| s.delete_rows(ids))
+    }
+
+    /// Delete by predicate; the record carries the actual row count.
+    pub fn delete_where(&mut self, predicate: &Expr) -> Result<usize> {
+        let snapshot = self.sheet.snapshot();
+        match self.sheet.delete_where(predicate) {
+            Ok(count) => {
+                self.undo_stack
+                    .push((OpRecord::DeleteRows { count }, snapshot));
+                self.redo_stack.clear();
+                Ok(count)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    pub fn update_cell(
+        &mut self,
+        row: u32,
+        column: &str,
+        value: ssa_relation::Value,
+    ) -> Result<ssa_relation::Value> {
+        let record = OpRecord::UpdateCell {
+            column: column.to_string(),
+            row,
+        };
+        self.apply(record, |s| s.update_cell(row, column, value))
+    }
 }
 
 #[cfg(test)]
@@ -595,5 +651,37 @@ mod tests {
     fn binary_records_flagged() {
         assert!(OpRecord::Union { with: "x".into() }.is_binary());
         assert!(!OpRecord::Dedup.is_binary());
+    }
+
+    #[test]
+    fn base_edits_are_recorded_and_undoable() {
+        use ssa_relation::{tuple, Value};
+        let mut e = engine();
+        e.group_add(&["Model"], Direction::Asc).unwrap();
+        e.view().unwrap();
+        e.append_rows(vec![tuple![999, "Jetta", 15500, 2005, 60000, "Good"]])
+            .unwrap();
+        assert_eq!(e.view().unwrap().len(), 10);
+        e.update_cell(9, "Price", Value::Int(15750)).unwrap();
+        e.delete_where(&Expr::col("Model").eq(Expr::lit("Civic")))
+            .unwrap();
+        assert_eq!(e.view().unwrap().len(), 7);
+        let h = e.history();
+        assert!(h[1].contains("Append 1 row(s)"));
+        assert!(h[2].contains("Update Price of base row 9"));
+        assert!(h[3].contains("Delete 3 row(s)"));
+        e.undo_steps(3).unwrap();
+        assert_eq!(e.view().unwrap().len(), 9);
+        assert_eq!(e.sheet().base().len(), 9);
+        e.redo_steps(3).unwrap();
+        assert_eq!(e.view().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn failed_base_edit_records_nothing() {
+        let mut e = engine();
+        assert!(e.append_rows(vec![ssa_relation::tuple![1]]).is_err());
+        assert!(e.history().is_empty());
+        assert_eq!(e.view().unwrap().len(), 9);
     }
 }

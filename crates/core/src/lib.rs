@@ -72,7 +72,7 @@ pub use precedence::{may_commute, precedes, AlgebraOp, OpSignature};
 pub use sheet::{Spreadsheet, StoredSheet};
 pub use spec::{Direction, GroupLevel, OrderKey, Spec};
 pub use state::{QueryState, SelectionEntry};
-pub use tree::{GroupNode, GroupTree};
+pub use tree::{GroupNode, GroupTree, RowRange};
 
 /// Everything needed for typical use.
 pub mod prelude {

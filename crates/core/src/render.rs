@@ -49,14 +49,14 @@ pub fn render_table(view: &Derived) -> String {
     out.push('\n');
 
     // Row blocks follow the level-2 groups when present.
-    let blocks: Vec<Vec<usize>> = if view.tree.root.children.is_empty() {
-        vec![view.tree.root.rows.clone()]
+    let blocks: Vec<std::ops::Range<usize>> = if view.tree.root.children.is_empty() {
+        vec![view.tree.root.rows.iter()]
     } else {
         view.tree
             .root
             .children
             .iter()
-            .map(|g| g.rows.clone())
+            .map(|g| g.rows.iter())
             .collect()
     };
     for (bi, block) in blocks.iter().enumerate() {
@@ -64,7 +64,7 @@ pub fn render_table(view: &Derived) -> String {
             out.push_str(&rule);
             out.push('\n');
         }
-        for &r in block {
+        for r in block.clone() {
             let mut line = String::new();
             for (k, width) in widths.iter().enumerate() {
                 line.push_str(&format!("| {:width$} ", cell(r, k), width = width));
@@ -130,7 +130,7 @@ pub fn render_tree(view: &Derived) -> String {
                         .expect("visible column exists")
                 })
                 .collect();
-            for &r in &node.rows {
+            for r in node.rows.iter() {
                 let fields: Vec<String> = idx
                     .iter()
                     .map(|&i| format_value(view.data.rows()[r].get(i)))

@@ -9,7 +9,7 @@
 //! consumed; computed columns, projections, grouping and ordering carry
 //! over and keep auto-updating).
 
-use crate::computed::{ComputedColumn, ComputedDef};
+use crate::computed::{compute_ranks, ComputedColumn, ComputedDef};
 use crate::delta::{classify, ContentKey, StateDelta};
 use crate::error::{Result, SheetError};
 use crate::eval::{
@@ -20,7 +20,7 @@ use crate::spec::{Direction, GroupLevel, OrderKey, Spec};
 use crate::state::{volatile_columns, QueryState};
 use crate::tree::build_tree;
 use ssa_relation::schema::Column;
-use ssa_relation::{ops, AggFunc, Expr, Relation, Value, ValueType};
+use ssa_relation::{ops, AggFunc, Expr, Relation, RelationError, Tuple, Value, ValueType};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A snapshot of a spreadsheet produced by the **Save** operator
@@ -69,6 +69,254 @@ struct GroupCache {
     groups: u32,
 }
 
+/// A per-group running fold for one aggregate — the streaming-append
+/// counterpart of [`AggFunc::apply_refs`]. Values are pushed in ascending
+/// canonical order, so the float folds (SUM/AVG) reproduce the evaluator's
+/// left-to-right accumulation bit for bit; that is exactly why the append
+/// paths only consult an accumulator when the new row lands at the
+/// canonical tail, and why every retraction (delete, update) discards
+/// them: a fold cannot un-push exactly.
+///
+/// `CountDistinct` and `StdDev` have no accumulator (`new` returns
+/// `None`) — their groups recompute outright.
+#[derive(Debug, Clone)]
+enum Accum {
+    Count(i64),
+    CountNonNull(i64),
+    Sum {
+        int: i64,
+        float: f64,
+        all_int: bool,
+        /// `apply_refs` reports integer overflow only when *every* input
+        /// is an integer; a later float input switches the whole group to
+        /// the float fold. Remember the overflow instead of failing the
+        /// push, and fail at read time iff the group is still all-int.
+        overflow: bool,
+        non_null: i64,
+    },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
+    Min(Value),
+    Max(Value),
+}
+
+impl Accum {
+    fn new(func: AggFunc) -> Option<Accum> {
+        Some(match func {
+            AggFunc::Count => Accum::Count(0),
+            AggFunc::CountNonNull => Accum::CountNonNull(0),
+            AggFunc::Sum => Accum::Sum {
+                int: 0,
+                float: 0.0,
+                all_int: true,
+                overflow: false,
+                non_null: 0,
+            },
+            AggFunc::Avg => Accum::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => Accum::Min(Value::Null),
+            AggFunc::Max => Accum::Max(Value::Null),
+            AggFunc::CountDistinct | AggFunc::StdDev => return None,
+        })
+    }
+
+    fn non_numeric(func: &str, v: &Value) -> SheetError {
+        SheetError::Relation(RelationError::BadAggregate {
+            context: format!("{func} on non-numeric value `{v}`"),
+        })
+    }
+
+    fn push(&mut self, v: &Value) -> Result<()> {
+        match self {
+            Accum::Count(n) => *n += 1,
+            Accum::CountNonNull(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Accum::Sum {
+                int,
+                float,
+                all_int,
+                overflow,
+                non_null,
+            } => {
+                if !v.is_null() {
+                    let f = v.as_f64().ok_or_else(|| Accum::non_numeric("SUM", v))?;
+                    *float += f;
+                    *non_null += 1;
+                    if let Value::Int(i) = v {
+                        if *all_int {
+                            match int.checked_add(*i) {
+                                Some(s) => *int = s,
+                                None => *overflow = true,
+                            }
+                        }
+                    } else {
+                        *all_int = false;
+                    }
+                }
+            }
+            Accum::Avg { sum, count } => {
+                if !v.is_null() {
+                    *sum += v.as_f64().ok_or_else(|| Accum::non_numeric("AVG", v))?;
+                    *count += 1;
+                }
+            }
+            Accum::Min(m) => {
+                if !v.is_null() && (m.is_null() || v < m) {
+                    *m = *v;
+                }
+            }
+            Accum::Max(m) => {
+                if !v.is_null() && (m.is_null() || v > m) {
+                    *m = *v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&self) -> Result<Value> {
+        Ok(match self {
+            Accum::Count(n) | Accum::CountNonNull(n) => Value::Int(*n),
+            Accum::Sum { non_null: 0, .. } => Value::Null,
+            Accum::Sum {
+                int,
+                all_int: true,
+                overflow,
+                ..
+            } => {
+                if *overflow {
+                    return Err(SheetError::Relation(RelationError::BadAggregate {
+                        context: "integer overflow in SUM".into(),
+                    }));
+                }
+                Value::Int(*int)
+            }
+            Accum::Sum { float, .. } => Value::Float(*float),
+            Accum::Avg { count: 0, .. } => Value::Null,
+            Accum::Avg { sum, count } => Value::Float(*sum / *count as f64),
+            Accum::Min(m) | Accum::Max(m) => *m,
+        })
+    }
+}
+
+/// Resolve the spec's presentation sort columns against the canonical
+/// schema: `(column index, descending)` per key, outermost first.
+fn resolve_sort_idx(spec: &Spec, canonical: &Relation) -> Result<Vec<(usize, bool)>> {
+    spec.sort_columns()
+        .into_iter()
+        .map(|(name, desc)| Ok((canonical.schema().index_of(&name)?, desc)))
+        .collect()
+}
+
+/// Presentation positions (`derived` row indices) of the group whose
+/// basis columns hold the `target` values. When the basis is a prefix of
+/// the presentation sort — the base-patch gate guarantees it — the group
+/// is one contiguous run found by two binary searches; otherwise fall
+/// back to a scan (defensive, O(n)).
+fn group_positions(
+    canonical: &Relation,
+    perm: &[u32],
+    sort_idx: &[(usize, bool)],
+    target: &[(usize, Value)],
+) -> Vec<usize> {
+    let rows = canonical.rows();
+    let want: BTreeSet<usize> = target.iter().map(|&(i, _)| i).collect();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    let mut prefix_len = 0;
+    for &(i, _) in sort_idx {
+        if seen == want {
+            break;
+        }
+        if !want.contains(&i) {
+            break;
+        }
+        seen.insert(i);
+        prefix_len += 1;
+    }
+    if seen != want {
+        // Not a sort prefix: scan every presentation slot for the key.
+        return (0..perm.len())
+            .filter(|&j| {
+                let r = &rows[perm[j] as usize];
+                target.iter().all(|(i, v)| r.get(*i) == v)
+            })
+            .collect();
+    }
+    let value_of = |i: usize| -> Value {
+        target
+            .iter()
+            .find(|&&(ti, _)| ti == i)
+            .map(|&(_, v)| v)
+            .unwrap_or(Value::Null)
+    };
+    let cmp_to_target = |c: u32| -> std::cmp::Ordering {
+        for &(i, desc) in &sort_idx[..prefix_len] {
+            let ord = rows[c as usize].get(i).cmp(&value_of(i));
+            let ord = if desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    let lo = perm.partition_point(|&c| cmp_to_target(c) == std::cmp::Ordering::Less);
+    let hi = perm.partition_point(|&c| cmp_to_target(c) != std::cmp::Ordering::Greater);
+    (lo..hi).collect()
+}
+
+/// Re-aggregate one group from scratch and write its value onto every
+/// member row (canonical and derived). Inputs are gathered in ascending
+/// canonical order — the same order the evaluator feeds `apply_refs` —
+/// so float results are bit-identical. An emptied group has no rows to
+/// receive a value and is skipped, exactly as in a fresh evaluation.
+#[allow(clippy::too_many_arguments)]
+fn recompute_group(
+    canonical: &mut Relation,
+    derived: &mut Relation,
+    perm: &[u32],
+    sort_idx: &[(usize, bool)],
+    agg_idx: usize,
+    in_idx: usize,
+    func: AggFunc,
+    target: &[(usize, Value)],
+) -> Result<()> {
+    let js = group_positions(canonical, perm, sort_idx, target);
+    if js.is_empty() {
+        return Ok(());
+    }
+    let mut ids: Vec<u32> = js.iter().map(|&j| perm[j]).collect();
+    ids.sort_unstable();
+    let v = {
+        let rows = canonical.rows();
+        let inputs: Vec<&Value> = ids.iter().map(|&c| rows[c as usize].get(in_idx)).collect();
+        func.apply_refs(&inputs)?
+    };
+    for &j in &js {
+        derived.rows_mut()[j].set(agg_idx, v);
+    }
+    for &c in &ids {
+        canonical.rows_mut()[c as usize].set(agg_idx, v);
+    }
+    Ok(())
+}
+
+/// Retype column `idx` on both schemas by unifying its surviving values —
+/// what `result_schema` does in a fresh evaluation. Needed whenever a
+/// patch *replaces* values (retraction, group-value change): unlike an
+/// append, replacement can narrow the unify, so unify-up is not enough.
+fn re_unify_column(canonical: &mut Relation, derived: &mut Relation, idx: usize) {
+    let ty = canonical
+        .rows()
+        .iter()
+        .fold(ValueType::Null, |t, r| t.unify(r.get(idx).value_type()));
+    canonical.schema_mut().set_column_type(idx, ty);
+    derived.schema_mut().set_column_type(idx, ty);
+}
+
 #[derive(Debug, Clone)]
 struct CacheEntry {
     derived: Derived,
@@ -108,6 +356,18 @@ struct CacheEntry {
     /// non-volatile columns (whose values the incremental paths never
     /// rewrite) and narrowed by `keep` like the rank caches.
     col_vals: BTreeMap<usize, Vec<Value>>,
+    /// Row provenance: canonical row `i` came from base row
+    /// `base_ids[i]` (strictly ascending — selection preserves base
+    /// order). This is what lets base-data deltas address the cache:
+    /// appends binary-search their insertion point, deletes translate
+    /// base row ids into canonical `keep` sets. `None` for naive-engine
+    /// caches, alongside `perm`.
+    base_ids: Option<Vec<u32>>,
+    /// Per-group running aggregate folds keyed by aggregate column
+    /// position, then by the group's basis values in spec order. Built
+    /// lazily on the first tail append and advanced per append; any
+    /// retraction clears them (see [`Accum`]).
+    agg_accums: BTreeMap<usize, BTreeMap<Vec<Value>, Accum>>,
 }
 
 impl CacheEntry {
@@ -116,8 +376,12 @@ impl CacheEntry {
         canonical: Relation,
         content: ContentKey,
         spec: Spec,
-        perm: Option<Vec<u32>>,
+        prov: Option<(Vec<u32>, Vec<u32>)>,
     ) -> CacheEntry {
+        let (perm, base_ids) = match prov {
+            Some((perm, base_ids)) => (Some(perm), Some(base_ids)),
+            None => (None, None),
+        };
         CacheEntry {
             derived,
             canonical,
@@ -127,6 +391,8 @@ impl CacheEntry {
             perm,
             groups: BTreeMap::new(),
             col_vals: BTreeMap::new(),
+            base_ids,
+            agg_accums: BTreeMap::new(),
         }
     }
 
@@ -367,6 +633,24 @@ impl CacheEntry {
             // order, tree and types all stand exactly as cached.
             return Ok(());
         }
+        self.narrow_to(&keep, state, threshold)
+    }
+
+    /// The retraction core shared by predicate narrowing and base-row
+    /// deletion: keep exactly the canonical rows listed (ascending) in
+    /// `keep`, filter every derived structure through the permutation,
+    /// and refresh the volatile columns over the smaller multiset.
+    fn narrow_to(&mut self, keep: &[u32], state: &QueryState, threshold: usize) -> Result<()> {
+        // Retraction invalidates the running folds: a fold cannot
+        // un-push exactly (float SUM/AVG) and Min/Max cannot retract at
+        // all — the classification rule DESIGN.md §14 documents.
+        self.agg_accums.clear();
+        // Row provenance narrows by the same filter: a surviving
+        // canonical row keeps its base id, and ascending order survives
+        // an order-preserving filter.
+        if let Some(ids) = self.base_ids.as_mut() {
+            *ids = keep.iter().map(|&i| ids[i as usize]).collect();
+        }
         // Old canonical index → new (dense) index, u32::MAX for dropped.
         let mut remap = vec![u32::MAX; self.canonical.len()];
         for (new_idx, &old_idx) in keep.iter().enumerate() {
@@ -606,6 +890,492 @@ impl CacheEntry {
                 Some((key, gc))
             })
             .collect();
+        // Accumulators are keyed by schema position too; dropping a
+        // column shifts every later one, so just rebuild lazily.
+        self.agg_accums.clear();
+        Ok(())
+    }
+
+    /// Run `base` row `base_idx` through the cached query state and, if
+    /// it survives every selection, splice it into the canonical
+    /// relation, the presentation permutation, the derived rows and the
+    /// group tree — the streaming-append tentpole. Returns the canonical
+    /// insertion position, or `None` for a filtered-out row.
+    ///
+    /// Grouped aggregates advance per-group running folds when the row
+    /// lands at the canonical tail (ascending base ids make that the
+    /// common case); an out-of-order splice or a fold-less aggregate
+    /// (CountDistinct/StdDev) recomputes just the affected group.
+    fn insert_base_row(
+        &mut self,
+        base: &Relation,
+        base_idx: u32,
+        state: &QueryState,
+    ) -> Result<Option<usize>> {
+        let internal = |detail: &str| SheetError::Internal {
+            detail: detail.to_string(),
+        };
+        let ids = self
+            .base_ids
+            .as_ref()
+            .ok_or_else(|| internal("insert_base_row requires row provenance"))?;
+        let cpos = ids.partition_point(|&b| b < base_idx);
+
+        // Build a one-row relation with the canonical schema and run the
+        // query state over it rank by rank: formulas of rank r are
+        // computed only if the row survived every selection of rank < r,
+        // exactly matching the full pipeline's fused ordering (a row the
+        // first selection kills never evaluates later formulas, so e.g.
+        // a division by zero there must not fail the append).
+        let mut vals: Vec<Value> = base.rows()[base_idx as usize].values().to_vec();
+        vals.resize(self.canonical.schema().len(), Value::Null);
+        let mut mini = Relation::with_rows(
+            "patch-row",
+            self.canonical.schema().clone(),
+            vec![Tuple::new(vals)],
+        )?;
+        let base_columns: BTreeSet<String> = base
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let ranks = compute_ranks(&base_columns, &state.computed)
+            .ok_or_else(|| internal("cached state has unresolved computed dependencies"))?;
+        let sel_rank = |pred: &Expr| -> usize {
+            pred.columns()
+                .iter()
+                .filter_map(|c| {
+                    state
+                        .computed
+                        .iter()
+                        .position(|col| &col.name == c)
+                        .map(|i| ranks[i])
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let max_rank = ranks.iter().copied().max().unwrap_or(0);
+        for rank in 0..=max_rank {
+            if rank > 0 {
+                for (ci, col) in state.computed.iter().enumerate() {
+                    if ranks[ci] != rank {
+                        continue;
+                    }
+                    let v = match &col.def {
+                        // Aggregates are group-level; their value for the
+                        // new row is patched after insertion. Selections
+                        // never read them on this path (gated by
+                        // `base_patch_block`), so Null is fine here.
+                        ComputedDef::Aggregate { .. } => Value::Null,
+                        ComputedDef::Formula { .. } => {
+                            let (values, _) = compute_column_values(&mini, col, usize::MAX)?;
+                            values.into_iter().next().unwrap_or(Value::Null)
+                        }
+                    };
+                    mini.set_value(0, &col.name, v)?;
+                }
+            }
+            let rank_preds: Vec<Expr> = state
+                .selections
+                .iter()
+                .filter(|s| sel_rank(&s.predicate) == rank)
+                .map(|s| s.predicate.clone())
+                .collect();
+            if let Some(pred) = Expr::conjoin(rank_preds) {
+                if filter_relation(&mini, &pred, usize::MAX)?.is_empty() {
+                    return Ok(None);
+                }
+            }
+        }
+        let row = mini.rows()[0].clone();
+
+        // Appending can only widen a computed column's unified type
+        // (unify is monotone), so unify-up matches what a fresh
+        // evaluation's `result_schema` would produce over the grown
+        // multiset. Base columns keep the base schema's static type
+        // verbatim — `result_schema` copies them unexamined.
+        let base_len = base.schema().len();
+        for (idx, col) in self
+            .canonical
+            .schema()
+            .columns()
+            .to_vec()
+            .iter()
+            .enumerate()
+        {
+            if idx < base_len {
+                continue;
+            }
+            let ty = col.ty.unify(row.get(idx).value_type());
+            if ty != col.ty {
+                self.canonical.schema_mut().set_column_type(idx, ty);
+                self.derived.data.schema_mut().set_column_type(idx, ty);
+            }
+        }
+
+        let CacheEntry {
+            canonical,
+            derived,
+            perm,
+            base_ids,
+            spec,
+            sort_keys,
+            groups,
+            col_vals,
+            agg_accums,
+            content: _,
+        } = self;
+        let perm = perm
+            .as_mut()
+            .ok_or_else(|| internal("insert_base_row requires the presentation permutation"))?;
+        let base_ids = base_ids
+            .as_mut()
+            .ok_or_else(|| internal("insert_base_row requires row provenance"))?;
+        canonical.rows_mut().insert(cpos, row);
+        base_ids.insert(cpos, base_idx);
+        // Renumber canonical positions at or after the splice point. A
+        // live-feed append lands at the canonical tail (base order is
+        // insertion order), where no position shifts — keep that hot
+        // path free of the O(n) scan.
+        if cpos + 1 < canonical.len() {
+            for c in perm.iter_mut() {
+                if *c as usize >= cpos {
+                    *c += 1;
+                }
+            }
+        }
+        // Presentation position: first slot whose row sorts after the
+        // new one; equal keys tie-break by canonical position, matching
+        // the stable sort of a fresh evaluation.
+        let sort_idx = resolve_sort_idx(spec, canonical)?;
+        let rows = canonical.rows();
+        let new_row = &rows[cpos];
+        let p = perm.partition_point(|&c| {
+            let existing = &rows[c as usize];
+            for &(i, desc) in &sort_idx {
+                let ord = existing.get(i).cmp(new_row.get(i));
+                let ord = if desc { ord.reverse() } else { ord };
+                match ord {
+                    std::cmp::Ordering::Less => return true,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+            (c as usize) < cpos
+        });
+        let new_row = new_row.clone();
+        perm.insert(p, cpos as u32);
+        derived.data.rows_mut().insert(p, new_row);
+        // Merge the new presentation row into the group tree: per level,
+        // the absolute basis values identify (or create) its chain.
+        let level_keys: Vec<Vec<(String, Value)>> = spec
+            .levels
+            .iter()
+            .map(|l| {
+                l.basis
+                    .iter()
+                    .map(|b| {
+                        Ok((
+                            b.clone(),
+                            *canonical.rows()[cpos].get(canonical.schema().index_of(b)?),
+                        ))
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        derived.tree.merge_insert(p, &level_keys);
+        // Rank/group/columnar caches assume a fixed row population;
+        // splicing a row mid-sequence would renumber them all, so drop
+        // and rebuild lazily. The running folds survive — they are keyed
+        // by basis *values*, not positions.
+        sort_keys.clear();
+        groups.clear();
+        col_vals.clear();
+
+        // Patch the grouped aggregates.
+        let at_tail = cpos + 1 == canonical.len();
+        for col in &state.computed {
+            let ComputedDef::Aggregate {
+                func,
+                column,
+                basis,
+                ..
+            } = &col.def
+            else {
+                continue;
+            };
+            let idx = canonical.schema().index_of(&col.name)?;
+            let in_idx = canonical.schema().index_of(column)?;
+            let target: Vec<(usize, Value)> = basis
+                .iter()
+                .map(|b| {
+                    let bi = canonical.schema().index_of(b)?;
+                    Ok((bi, *canonical.rows()[cpos].get(bi)))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let use_accum = at_tail && Accum::new(*func).is_some();
+            if !use_accum {
+                agg_accums.remove(&idx);
+                recompute_group(
+                    canonical,
+                    &mut derived.data,
+                    perm,
+                    &sort_idx,
+                    idx,
+                    in_idx,
+                    *func,
+                    &target,
+                )?;
+                re_unify_column(canonical, &mut derived.data, idx);
+                continue;
+            }
+            // Lazily seed the fold map from the pre-append rows (in
+            // ascending canonical order, so the folds equal the cached
+            // group values), then advance the new row's group.
+            let map = match agg_accums.entry(idx) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    let mut map: BTreeMap<Vec<Value>, Accum> = BTreeMap::new();
+                    let basis_idx: Vec<usize> = target.iter().map(|&(i, _)| i).collect();
+                    for r in &canonical.rows()[..cpos] {
+                        let key: Vec<Value> = basis_idx.iter().map(|&i| *r.get(i)).collect();
+                        let acc = map
+                            .entry(key)
+                            .or_insert_with(|| Accum::new(*func).unwrap_or(Accum::Count(0)));
+                        acc.push(r.get(in_idx))?;
+                    }
+                    slot.insert(map)
+                }
+            };
+            let key: Vec<Value> = target.iter().map(|&(_, v)| v).collect();
+            let input = *canonical.rows()[cpos].get(in_idx);
+            match map.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let acc = e.get_mut();
+                    let old = acc.value()?;
+                    acc.push(&input)?;
+                    let new = acc.value()?;
+                    if old == new {
+                        // Untouched group value: only the new row needs
+                        // the cell (it is at the tail, so derived row p
+                        // and canonical row cpos are the only writes).
+                        canonical.rows_mut()[cpos].set(idx, new);
+                        derived.data.rows_mut()[p].set(idx, new);
+                    } else {
+                        for j in group_positions(canonical, perm, &sort_idx, &target) {
+                            derived.data.rows_mut()[j].set(idx, new);
+                            canonical.rows_mut()[perm[j] as usize].set(idx, new);
+                        }
+                        if old.value_type() != new.value_type() {
+                            re_unify_column(canonical, &mut derived.data, idx);
+                        }
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let acc = e.insert(
+                        Accum::new(*func).ok_or_else(|| internal("fold-less accumulator"))?,
+                    );
+                    acc.push(&input)?;
+                    let v = acc.value()?;
+                    canonical.rows_mut()[cpos].set(idx, v);
+                    derived.data.rows_mut()[p].set(idx, v);
+                    let ty = canonical.schema().columns()[idx].ty.unify(v.value_type());
+                    canonical.schema_mut().set_column_type(idx, ty);
+                    derived.data.schema_mut().set_column_type(idx, ty);
+                }
+            }
+        }
+        Ok(Some(cpos))
+    }
+
+    /// Remove the base rows listed (ascending) in `removed` from the
+    /// cached evaluation: translate base ids to surviving canonical
+    /// indices, narrow every structure through the shared retraction
+    /// core, and renumber the provenance for the shrunken base.
+    fn delete_base_rows(
+        &mut self,
+        removed: &[u32],
+        state: &QueryState,
+        threshold: usize,
+    ) -> Result<()> {
+        let ids = self.base_ids.as_ref().ok_or_else(|| SheetError::Internal {
+            detail: "delete_base_rows requires row provenance".to_string(),
+        })?;
+        let mut keep: Vec<u32> = Vec::with_capacity(ids.len());
+        let mut renumbered: Vec<u32> = Vec::with_capacity(ids.len());
+        let mut k = 0usize; // removed ids seen so far (all < current b)
+        for (i, &b) in ids.iter().enumerate() {
+            while k < removed.len() && removed[k] < b {
+                k += 1;
+            }
+            if k < removed.len() && removed[k] == b {
+                continue; // this cached row is being deleted
+            }
+            keep.push(i as u32);
+            renumbered.push(b - k as u32);
+        }
+        if keep.len() != ids.len() {
+            self.narrow_to(&keep, state, threshold)?;
+        }
+        self.base_ids = Some(renumbered);
+        Ok(())
+    }
+
+    /// Drop one canonical row (by canonical index) from every cached
+    /// structure — the retraction half of update-as-delete+append. Group
+    /// values are NOT refreshed here; the caller recomputes affected
+    /// groups after the re-insert.
+    fn remove_canonical_row(&mut self, cpos: usize) -> Result<()> {
+        let internal = |detail: &str| SheetError::Internal {
+            detail: detail.to_string(),
+        };
+        let CacheEntry {
+            canonical,
+            derived,
+            perm,
+            base_ids,
+            sort_keys,
+            groups,
+            col_vals,
+            agg_accums,
+            ..
+        } = self;
+        let perm = perm
+            .as_mut()
+            .ok_or_else(|| internal("remove_canonical_row requires the permutation"))?;
+        let base_ids = base_ids
+            .as_mut()
+            .ok_or_else(|| internal("remove_canonical_row requires row provenance"))?;
+        let j = perm
+            .iter()
+            .position(|&c| c as usize == cpos)
+            .ok_or_else(|| internal("canonical row missing from permutation"))?;
+        let old_len = perm.len();
+        perm.remove(j);
+        for c in perm.iter_mut() {
+            if *c as usize > cpos {
+                *c -= 1;
+            }
+        }
+        base_ids.remove(cpos);
+        canonical.remove_rows_at(&[cpos as u32])?;
+        derived.data.remove_rows_at(&[j as u32])?;
+        let dmap: Vec<u32> = (0..old_len)
+            .map(|oj| match oj.cmp(&j) {
+                std::cmp::Ordering::Less => oj as u32,
+                std::cmp::Ordering::Equal => u32::MAX,
+                std::cmp::Ordering::Greater => (oj - 1) as u32,
+            })
+            .collect();
+        derived.tree.narrow(&dmap);
+        sort_keys.clear();
+        groups.clear();
+        col_vals.clear();
+        agg_accums.clear();
+        Ok(())
+    }
+
+    /// In-place cell update (Tier A): the updated column drives no
+    /// selection, formula, grouping basis or sort key — the caller
+    /// checked — so only the cell itself and any aggregate *reading*
+    /// the column change.
+    fn update_base_cell(
+        &mut self,
+        base: &Relation,
+        row: u32,
+        column: &str,
+        state: &QueryState,
+    ) -> Result<()> {
+        let internal = |detail: &str| SheetError::Internal {
+            detail: detail.to_string(),
+        };
+        let col_idx = self.canonical.schema().index_of(column)?;
+        let ids = self
+            .base_ids
+            .as_ref()
+            .ok_or_else(|| internal("update_base_cell requires row provenance"))?;
+        let Ok(cpos) = ids.binary_search(&row) else {
+            // The row was filtered out of the cached evaluation; with no
+            // selection reading this column (Tier A) it stays out.
+            return Ok(());
+        };
+        let sort_idx = resolve_sort_idx(&self.spec, &self.canonical)?;
+        let newv = *base.value_at(row as usize, column)?;
+        {
+            let CacheEntry {
+                canonical,
+                derived,
+                perm,
+                sort_keys,
+                groups,
+                col_vals,
+                ..
+            } = self;
+            let perm = perm
+                .as_ref()
+                .ok_or_else(|| internal("update_base_cell requires the permutation"))?;
+            let j = perm
+                .iter()
+                .position(|&c| c as usize == cpos)
+                .ok_or_else(|| internal("canonical row missing from permutation"))?;
+            canonical.rows_mut()[cpos].set(col_idx, newv);
+            derived.data.rows_mut()[j].set(col_idx, newv);
+            sort_keys.remove(&col_idx);
+            col_vals.remove(&col_idx);
+            groups.retain(|key, _| !key.contains(&col_idx));
+            // No schema retype: `column` is a base column, and
+            // `result_schema` copies base static types unexamined.
+        }
+        for col in &state.computed {
+            let ComputedDef::Aggregate {
+                func,
+                column: in_col,
+                basis,
+                ..
+            } = &col.def
+            else {
+                continue;
+            };
+            if in_col != column {
+                continue;
+            }
+            let idx = self.canonical.schema().index_of(&col.name)?;
+            let in_idx = col_idx;
+            let target: Vec<(usize, Value)> = basis
+                .iter()
+                .map(|b| {
+                    let bi = self.canonical.schema().index_of(b)?;
+                    Ok((bi, *self.canonical.rows()[cpos].get(bi)))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let CacheEntry {
+                canonical,
+                derived,
+                perm,
+                sort_keys,
+                col_vals,
+                agg_accums,
+                ..
+            } = self;
+            let perm = perm
+                .as_ref()
+                .ok_or_else(|| internal("update_base_cell requires the permutation"))?;
+            agg_accums.remove(&idx);
+            recompute_group(
+                canonical,
+                &mut derived.data,
+                perm,
+                &sort_idx,
+                idx,
+                in_idx,
+                *func,
+                &target,
+            )?;
+            re_unify_column(canonical, &mut derived.data, idx);
+            sort_keys.remove(&idx);
+            col_vals.remove(&idx);
+        }
         Ok(())
     }
 }
@@ -928,7 +1698,14 @@ impl Spreadsheet {
                 }
                 "remove-computed"
             }
-            StateDelta::Reorganize | StateDelta::Full { .. } => return Ok(CachePath::Miss),
+            // The base-data variants are recorded by the edit methods
+            // themselves (`append_rows` & co patch eagerly); a state
+            // *diff* never classifies as one of them.
+            StateDelta::Reorganize
+            | StateDelta::Full { .. }
+            | StateDelta::RowsAppended { .. }
+            | StateDelta::RowsDeleted { .. }
+            | StateDelta::CellsUpdated { .. } => return Ok(CachePath::Miss),
         };
         Ok(CachePath::Patched(kind))
     }
@@ -953,7 +1730,11 @@ impl Spreadsheet {
     /// columns, presentation sort and grouping). Read-only: plans
     /// without evaluating.
     pub fn explain(&self) -> Result<String> {
-        Ok(crate::plan::Plan::prepare(&self.base, &self.state)?.render())
+        let plan = crate::plan::Plan::prepare(&self.base, &self.state)?.render();
+        // Surface how the last edit was classified (including
+        // `Full { reason }`) so fallbacks — e.g. a base edit a gate
+        // refused to patch — are diagnosable from the session.
+        Ok(format!("{plan}\nlast delta: {}", self.last_delta))
     }
 
     /// Visible column names in display order (cheap; no evaluation).
@@ -1066,6 +1847,423 @@ impl Spreadsheet {
             self.next_formula_id = next_formula_id;
         }
         result
+    }
+
+    // ------------------------------------------------------------------
+    // Base-data edit operators (streaming deltas, DESIGN.md §14)
+    // ------------------------------------------------------------------
+
+    /// Why the cached evaluation cannot be patched for a base-data edit,
+    /// or `None` when the streaming paths are sound. The returned string
+    /// doubles as the `Full { reason }` the fallback records, so a
+    /// refused patch is diagnosable through [`Self::explain`].
+    /// Armable failure gates for the base-data edit paths (the macro
+    /// needs the site as a literal, hence one function per site); with
+    /// the `fault-injection` feature off they compile to `Ok(())`.
+    fn fault_base_append() -> Result<()> {
+        ssa_relation::fault_check!("delta.base_append");
+        Ok(())
+    }
+
+    fn fault_base_retract() -> Result<()> {
+        ssa_relation::fault_check!("delta.base_retract");
+        Ok(())
+    }
+
+    fn base_patch_block(&self) -> Option<&'static str> {
+        if !self.incremental || self.eval_opts.naive {
+            return Some("incremental paths disabled");
+        }
+        let Some(entry) = self.cache.as_ref() else {
+            return Some("no cached evaluation");
+        };
+        if entry.perm.is_none() || entry.base_ids.is_none() {
+            return Some("cache lacks row provenance");
+        }
+        if self.state.dedup {
+            // An appended duplicate must vanish and a delete can
+            // resurface a previously-shadowed duplicate; both re-decide
+            // survivor identity globally.
+            return Some("duplicate elimination re-decides survivors");
+        }
+        let volatile = volatile_columns(&self.state.computed);
+        if self
+            .state
+            .selections
+            .iter()
+            .any(|s| s.predicate.columns().iter().any(|c| volatile.contains(c)))
+        {
+            // Group membership moves with the data, so a row's survival
+            // could flip without being touched itself.
+            return Some("a selection reads an aggregate-dependent column");
+        }
+        for col in &self.state.computed {
+            match &col.def {
+                ComputedDef::Formula { .. } if volatile.contains(&col.name) => {
+                    // Every row's value changes when the aggregate does.
+                    return Some("a formula depends on an aggregate");
+                }
+                ComputedDef::Aggregate { column, basis, .. }
+                    if volatile.contains(column) || basis.iter().any(|b| volatile.contains(b)) =>
+                {
+                    return Some("a nested aggregate reads another aggregate");
+                }
+                ComputedDef::Aggregate { basis, .. } if !self.basis_matches_spec(basis) => {
+                    // Groups are no longer contiguous runs of the
+                    // presentation order; patchable in principle (scan
+                    // fallback) but kept off the streaming fast path.
+                    return Some("an aggregate's basis no longer matches a grouping level");
+                }
+                _ => {}
+            }
+        }
+        if self
+            .state
+            .spec
+            .sort_columns()
+            .iter()
+            .any(|(c, _)| volatile.contains(c))
+        {
+            // A single append could reorder every group.
+            return Some("presentation order depends on an aggregate");
+        }
+        None
+    }
+
+    /// Whether `basis` is the absolute basis of some current grouping
+    /// level (or empty — a whole-sheet aggregate), which makes its
+    /// groups contiguous runs of the presentation order.
+    fn basis_matches_spec(&self, basis: &[String]) -> bool {
+        let want: BTreeSet<&str> = basis.iter().map(|s| s.as_str()).collect();
+        let mut acc: BTreeSet<&str> = BTreeSet::new();
+        if want == acc {
+            return true;
+        }
+        for level in &self.state.spec.levels {
+            acc.extend(level.basis.iter().map(|s| s.as_str()));
+            if want == acc {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether updating `column` can be patched in place (Tier A): the
+    /// column drives no selection, no formula, no grouping basis and no
+    /// sort key, so only the cell itself — plus any aggregate *reading*
+    /// the column — changes. Anything else takes the delete+re-insert
+    /// path, which re-runs selections and re-places the row.
+    fn update_in_place_ok(&self, column: &str) -> bool {
+        if self
+            .state
+            .selections
+            .iter()
+            .any(|s| s.predicate.columns().contains(column))
+        {
+            return false;
+        }
+        for col in &self.state.computed {
+            match &col.def {
+                // A formula reading the column must be recomputed for the
+                // row; route through re-insert rather than special-case.
+                ComputedDef::Formula { expr } => {
+                    if expr.columns().contains(column) {
+                        return false;
+                    }
+                }
+                ComputedDef::Aggregate { basis, .. } => {
+                    if basis.iter().any(|b| b == column) {
+                        return false;
+                    }
+                }
+            }
+        }
+        !self
+            .state
+            .spec
+            .sort_columns()
+            .iter()
+            .any(|(c, _)| c == column)
+    }
+
+    /// Append rows to the base relation, patching the cached evaluation
+    /// in place when sound (sublinear per row: each row runs the
+    /// selections once, splices into the permutation/tree by binary
+    /// search, and advances per-group aggregate folds). Returns the
+    /// number of rows appended. On any failure the base relation is
+    /// restored — a failed append is a perfect no-op.
+    pub fn append_rows(&mut self, rows: Vec<Tuple>) -> Result<usize> {
+        let count = rows.len();
+        if count == 0 {
+            return Ok(0);
+        }
+        // Base edits do not move the content key, so a stale cache from
+        // an unseen state edit would otherwise be patched as if current:
+        // bring it current (or discover it cannot be) first.
+        if self.incremental && !self.eval_opts.naive && self.cache.is_some() {
+            self.view()?;
+        }
+        let block = self.base_patch_block();
+        let first = self.base.append_rows(rows)?;
+        let patched: Result<bool> = Self::fault_base_append().and_then(|()| match block {
+            None => self.patch_base_append(first, count).map(|()| true),
+            Some(_) => self.trial_eval().map(|()| false),
+        });
+        match patched {
+            Ok(true) => {
+                self.last_delta = StateDelta::RowsAppended { count };
+                if self.audit {
+                    self.audit_cache("rows-appended")?;
+                }
+                Ok(count)
+            }
+            Ok(false) => {
+                self.cache = None;
+                self.last_delta = StateDelta::Full {
+                    reason: block.unwrap_or("base data changed"),
+                };
+                Ok(count)
+            }
+            Err(e) => {
+                let ids: Vec<u32> = (first..first + count).map(|i| i as u32).collect();
+                // The rows were just appended at the tail, so removal
+                // cannot fail; a half-applied patch still forces the
+                // cache drop below either way.
+                let _ = self.base.remove_rows_at(&ids);
+                self.cache = None;
+                self.last_delta = FULL_NO_CACHE;
+                Err(e)
+            }
+        }
+    }
+
+    /// Append a single row (convenience over [`Self::append_rows`]).
+    pub fn append_row(&mut self, row: Tuple) -> Result<usize> {
+        self.append_rows(vec![row])
+    }
+
+    /// Delete the base rows at `ids` (positions in the base relation;
+    /// duplicates ignored), narrowing the cached evaluation through the
+    /// row-provenance map when sound. Returns the number of rows
+    /// deleted. On failure the rows are reinserted — a no-op.
+    pub fn delete_rows(&mut self, ids: &[u32]) -> Result<usize> {
+        let mut ids: Vec<u32> = ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        if self.incremental && !self.eval_opts.naive && self.cache.is_some() {
+            self.view()?;
+        }
+        let block = self.base_patch_block();
+        let removed = self.base.remove_rows_at(&ids)?;
+        let count = removed.len();
+        let patched: Result<bool> = Self::fault_base_retract().and_then(|()| match block {
+            None => self.patch_base_delete(&ids).map(|()| true),
+            Some(_) => self.trial_eval().map(|()| false),
+        });
+        match patched {
+            Ok(true) => {
+                self.last_delta = StateDelta::RowsDeleted { count };
+                if self.audit {
+                    self.audit_cache("rows-deleted")?;
+                }
+                Ok(count)
+            }
+            Ok(false) => {
+                self.cache = None;
+                self.last_delta = StateDelta::Full {
+                    reason: block.unwrap_or("base data changed"),
+                };
+                Ok(count)
+            }
+            Err(e) => {
+                self.base.reinsert_rows(removed);
+                self.cache = None;
+                self.last_delta = FULL_NO_CACHE;
+                Err(e)
+            }
+        }
+    }
+
+    /// Delete every base row satisfying `predicate` (over base columns
+    /// only — deletes address the data, not the derived view). Returns
+    /// the number of rows deleted.
+    pub fn delete_where(&mut self, predicate: &Expr) -> Result<usize> {
+        for c in predicate.columns() {
+            if !self.base.schema().contains(&c) {
+                return Err(SheetError::UnknownColumn { name: c });
+            }
+        }
+        let ids = filter_relation(&self.base, predicate, self.eval_opts.parallel_threshold)?;
+        self.delete_rows(&ids)
+    }
+
+    /// Update one base cell, patching the cached evaluation when sound:
+    /// in place when the column drives nothing positional (Tier A), as
+    /// delete+re-insert of the row otherwise — with key-change detection
+    /// confined to the row's old and new groups, so untouched groups
+    /// never re-aggregate. Returns the previous value. On failure the
+    /// old value is restored — a no-op.
+    pub fn update_cell(&mut self, row: u32, column: &str, value: Value) -> Result<Value> {
+        if !self.base.schema().contains(column) {
+            return Err(SheetError::UnknownColumn {
+                name: column.to_string(),
+            });
+        }
+        let current = *self.base.value_at(row as usize, column)?;
+        if current == value {
+            return Ok(current);
+        }
+        if self.incremental && !self.eval_opts.naive && self.cache.is_some() {
+            self.view()?;
+        }
+        let block = self.base_patch_block();
+        let old = self.base.set_value(row as usize, column, value)?;
+        let patched: Result<bool> = Self::fault_base_retract().and_then(|()| match block {
+            None => self.patch_base_update(row, column).map(|()| true),
+            Some(_) => self.trial_eval().map(|()| false),
+        });
+        match patched {
+            Ok(true) => {
+                self.last_delta = StateDelta::CellsUpdated { count: 1 };
+                if self.audit {
+                    self.audit_cache("cells-updated")?;
+                }
+                Ok(old)
+            }
+            Ok(false) => {
+                self.cache = None;
+                self.last_delta = StateDelta::Full {
+                    reason: block.unwrap_or("base data changed"),
+                };
+                Ok(old)
+            }
+            Err(e) => {
+                let _ = self.base.set_value(row as usize, column, old);
+                self.cache = None;
+                self.last_delta = FULL_NO_CACHE;
+                Err(e)
+            }
+        }
+    }
+
+    fn patch_base_append(&mut self, first: usize, count: usize) -> Result<()> {
+        let Spreadsheet {
+            cache, base, state, ..
+        } = self;
+        let entry = cache.as_mut().ok_or_else(|| SheetError::Internal {
+            detail: "base-data patch without a cached evaluation".to_string(),
+        })?;
+        for i in 0..count {
+            entry.insert_base_row(base, (first + i) as u32, state)?;
+        }
+        Ok(())
+    }
+
+    fn patch_base_delete(&mut self, removed: &[u32]) -> Result<()> {
+        let threshold = self.eval_opts.parallel_threshold;
+        let Spreadsheet { cache, state, .. } = self;
+        let entry = cache.as_mut().ok_or_else(|| SheetError::Internal {
+            detail: "base-data patch without a cached evaluation".to_string(),
+        })?;
+        entry.delete_base_rows(removed, state, threshold)
+    }
+
+    fn patch_base_update(&mut self, row: u32, column: &str) -> Result<()> {
+        let in_place = self.update_in_place_ok(column);
+        let Spreadsheet {
+            cache, base, state, ..
+        } = self;
+        let entry = cache.as_mut().ok_or_else(|| SheetError::Internal {
+            detail: "base-data patch without a cached evaluation".to_string(),
+        })?;
+        if in_place {
+            return entry.update_base_cell(base, row, column, state);
+        }
+        // Tier C — delete + re-insert. Record each aggregate's *old*
+        // group key first: the updated row may leave its group, whose
+        // remaining rows then hold a stale (wider) fold.
+        let live = entry
+            .base_ids
+            .as_ref()
+            .ok_or_else(|| SheetError::Internal {
+                detail: "base-data patch without row provenance".to_string(),
+            })?
+            .binary_search(&row)
+            .ok();
+        let mut old_targets: Vec<Option<Vec<(usize, Value)>>> = vec![None; state.computed.len()];
+        if let Some(cpos) = live {
+            for (ci, col) in state.computed.iter().enumerate() {
+                let ComputedDef::Aggregate { basis, .. } = &col.def else {
+                    continue;
+                };
+                let target: Vec<(usize, Value)> = basis
+                    .iter()
+                    .map(|b| {
+                        let bi = entry.canonical.schema().index_of(b)?;
+                        Ok((bi, *entry.canonical.rows()[cpos].get(bi)))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                old_targets[ci] = Some(target);
+            }
+            entry.remove_canonical_row(cpos)?;
+        }
+        entry.insert_base_row(base, row, state)?;
+        // Re-aggregate every old group unconditionally. Even when the
+        // row re-enters the same group the fast "value unchanged" check
+        // inside the insert is not sound here: the cached cells hold the
+        // pre-removal fold while the fresh accumulators hold the
+        // post-removal one, so equality of the latter proves nothing
+        // about the former. (Pure appends never remove, which is why the
+        // check is sound there.)
+        let sort_idx = resolve_sort_idx(&entry.spec, &entry.canonical)?;
+        for (ci, col) in state.computed.iter().enumerate() {
+            let Some(target) = &old_targets[ci] else {
+                continue;
+            };
+            let ComputedDef::Aggregate {
+                func,
+                column: in_col,
+                ..
+            } = &col.def
+            else {
+                continue;
+            };
+            let idx = entry.canonical.schema().index_of(&col.name)?;
+            let in_idx = entry.canonical.schema().index_of(in_col)?;
+            entry.agg_accums.remove(&idx);
+            let CacheEntry {
+                canonical,
+                derived,
+                perm,
+                ..
+            } = &mut *entry;
+            let perm = perm.as_ref().ok_or_else(|| SheetError::Internal {
+                detail: "base-data patch without the permutation".to_string(),
+            })?;
+            recompute_group(
+                canonical,
+                &mut derived.data,
+                perm,
+                &sort_idx,
+                idx,
+                in_idx,
+                *func,
+                target,
+            )?;
+        }
+        // Retraction can narrow any computed column's unified type;
+        // updates are not on the µs-gated path, so re-derive them all.
+        for col in &state.computed {
+            let idx = entry.canonical.schema().index_of(&col.name)?;
+            let CacheEntry {
+                canonical, derived, ..
+            } = &mut *entry;
+            re_unify_column(canonical, &mut derived.data, idx);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1741,7 +2939,7 @@ impl Spreadsheet {
 mod tests {
     use super::*;
     use crate::fixtures::{dealers, used_cars};
-    use ssa_relation::Value;
+    use ssa_relation::{tuple, Value};
 
     fn sheet() -> Spreadsheet {
         Spreadsheet::over(used_cars())
@@ -2179,5 +3377,307 @@ mod tests {
         s.group_add(&["Model"], Direction::Asc).unwrap();
         s.ungroup().unwrap();
         assert!(s.state().is_computed("Max_Price"));
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming base-data deltas (DESIGN.md §14). Audit is on by default
+    // in debug builds, so every patched view below is recompute-checked.
+    // ------------------------------------------------------------------
+
+    /// The bench scenario in miniature: grouped, aggregated, sorted.
+    fn warm_grouped_sheet() -> Spreadsheet {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Asc).unwrap();
+        s.group_add(&["Year"], Direction::Asc).unwrap();
+        s.order("Price", Direction::Asc, 3).unwrap();
+        s.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+        s.aggregate(AggFunc::Count, "ID", 3).unwrap();
+        s.view().unwrap();
+        s
+    }
+
+    fn assert_matches_fresh(s: &mut Spreadsheet) {
+        let fresh = s.evaluate_now().unwrap();
+        assert_eq!(s.view().unwrap(), &fresh);
+    }
+
+    #[test]
+    fn append_patches_grouped_view() {
+        let mut s = warm_grouped_sheet();
+        s.append_row(tuple![999, "Jetta", 15500, 2005, 60000, "Good"])
+            .unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::RowsAppended { count: 1 });
+        assert_matches_fresh(&mut s);
+        // The new row sorted into the Jetta/2005 group by price.
+        assert_eq!(
+            ids(&mut s),
+            vec![132, 879, 322, 304, 872, 999, 901, 423, 723, 725]
+        );
+        // And the model-level AVG includes it (999 sits at position 5).
+        let d = s.view().unwrap();
+        let avg = d.data.value_at(5, "Avg_Price").unwrap();
+        assert_eq!(avg, &Value::Float(113500.0 / 7.0));
+    }
+
+    #[test]
+    fn append_lands_new_group_between_groups() {
+        // "Ford" sorts between Civic and Jetta: the merge-insert must
+        // create a fresh chain in the middle of the tree.
+        let mut s = warm_grouped_sheet();
+        s.append_row(tuple![555, "Ford", 9000, 2001, 120000, "Fair"])
+            .unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::RowsAppended { count: 1 });
+        assert_matches_fresh(&mut s);
+        assert_eq!(
+            ids(&mut s),
+            vec![132, 879, 322, 555, 304, 872, 901, 423, 723, 725]
+        );
+    }
+
+    #[test]
+    fn append_respects_selections() {
+        let mut s = warm_grouped_sheet();
+        s.select(Expr::col("Price").lt(Expr::lit(16000))).unwrap();
+        s.view().unwrap();
+        let before = s.view().unwrap().len();
+        // One surviving row, one filtered out.
+        s.append_rows(vec![
+            tuple![991, "Jetta", 15900, 2005, 1000, "Good"],
+            tuple![992, "Jetta", 99000, 2005, 1000, "Good"],
+        ])
+        .unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::RowsAppended { count: 2 });
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.view().unwrap().len(), before + 1);
+        assert_eq!(s.base().len(), 11);
+    }
+
+    #[test]
+    fn append_through_rank_ordered_formulas() {
+        // The selection reads a formula; a row the *first* selection
+        // kills must never evaluate the formula (division by zero).
+        let mut s = sheet();
+        s.select(Expr::col("Mileage").gt(Expr::lit(0))).unwrap();
+        s.formula(
+            Some("PerMile"),
+            Expr::col("Price").div(Expr::col("Mileage")),
+        )
+        .unwrap();
+        s.select(Expr::col("PerMile").ge(Expr::lit(0))).unwrap();
+        s.view().unwrap();
+        s.append_row(tuple![993, "Civic", 9999, 2001, 0, "Fair"])
+            .unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::RowsAppended { count: 1 });
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.view().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn delete_patches_grouped_view() {
+        let mut s = warm_grouped_sheet();
+        // Base rows 1 and 2 are the 872/901 Jettas.
+        s.delete_rows(&[1, 2]).unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::RowsDeleted { count: 2 });
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.base().len(), 7);
+        assert_eq!(ids(&mut s), vec![132, 879, 322, 304, 423, 723, 725]);
+        // Appending after a delete exercises the renumbered provenance.
+        s.append_row(tuple![777, "Jetta", 15200, 2005, 1000, "Good"])
+            .unwrap();
+        assert_matches_fresh(&mut s);
+    }
+
+    #[test]
+    fn delete_where_uses_base_predicates() {
+        let mut s = warm_grouped_sheet();
+        let n = s
+            .delete_where(&Expr::col("Model").eq(Expr::lit("Civic")))
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(s.last_delta(), &StateDelta::RowsDeleted { count: 3 });
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.view().unwrap().len(), 6);
+        assert!(matches!(
+            s.delete_where(&Expr::col("Nope").eq(Expr::lit(1))),
+            Err(SheetError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn update_in_place_keeps_row_position() {
+        let mut s = warm_grouped_sheet();
+        // Mileage drives nothing positional: Tier A in-place patch.
+        let old = s.update_cell(0, "Mileage", Value::Int(75000)).unwrap();
+        assert_eq!(old, Value::Int(76000));
+        assert_eq!(s.last_delta(), &StateDelta::CellsUpdated { count: 1 });
+        assert_matches_fresh(&mut s);
+    }
+
+    #[test]
+    fn update_aggregate_input_recomputes_group() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Asc).unwrap();
+        s.aggregate(AggFunc::Avg, "Mileage", 2).unwrap();
+        s.view().unwrap();
+        // Mileage feeds the aggregate but drives nothing positional:
+        // still Tier A, with the touched group re-aggregated.
+        s.update_cell(0, "Mileage", Value::Int(0)).unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::CellsUpdated { count: 1 });
+        assert_matches_fresh(&mut s);
+    }
+
+    #[test]
+    fn update_grouping_key_moves_row() {
+        let mut s = warm_grouped_sheet();
+        // Model is a grouping key: delete + re-insert, old group's
+        // aggregates narrow, new group's widen.
+        s.update_cell(0, "Model", Value::str("Civic")).unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::CellsUpdated { count: 1 });
+        assert_matches_fresh(&mut s);
+        assert_eq!(
+            ids(&mut s),
+            vec![132, 304, 879, 322, 872, 901, 423, 723, 725]
+        );
+    }
+
+    #[test]
+    fn update_selection_column_can_revive_row() {
+        let mut s = sheet();
+        s.select(Expr::col("Price").lt(Expr::lit(15000))).unwrap();
+        s.view().unwrap();
+        assert_eq!(s.view().unwrap().len(), 2);
+        // 872 (base row 1) is filtered out at 15000; drop its price.
+        s.update_cell(1, "Price", Value::Int(14000)).unwrap();
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.view().unwrap().len(), 3);
+        // And the reverse: push a surviving row out.
+        s.update_cell(0, "Price", Value::Int(20000)).unwrap();
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.view().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn min_max_retraction_recomputes() {
+        let mut s = sheet();
+        s.group_add(&["Model"], Direction::Asc).unwrap();
+        s.aggregate(AggFunc::Min, "Price", 2).unwrap();
+        s.aggregate(AggFunc::Max, "Price", 2).unwrap();
+        s.view().unwrap();
+        // Deleting the min-holder must re-derive the group's MIN.
+        s.delete_rows(&[6]).unwrap(); // Civic 13500
+        assert_matches_fresh(&mut s);
+        let d = s.view().unwrap();
+        assert_eq!(d.data.value_at(0, "Min_Price").unwrap(), &Value::Int(15000));
+        // Updating the max-holder downward re-derives MAX.
+        s.update_cell(5, "Price", Value::Int(100)).unwrap(); // Jetta 18000
+        assert_matches_fresh(&mut s);
+    }
+
+    #[test]
+    fn dedup_blocks_base_patch() {
+        let mut s = sheet();
+        s.dedup().unwrap();
+        s.view().unwrap();
+        s.append_row(tuple![999, "Jetta", 15500, 2005, 60000, "Good"])
+            .unwrap();
+        assert_eq!(
+            s.last_delta(),
+            &StateDelta::Full {
+                reason: "duplicate elimination re-decides survivors"
+            }
+        );
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.view().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn naive_engine_blocks_base_patch_but_stays_correct() {
+        let mut s = warm_grouped_sheet();
+        s.set_naive_eval(true);
+        s.view().unwrap();
+        s.append_row(tuple![999, "Jetta", 15500, 2005, 60000, "Good"])
+            .unwrap();
+        assert!(!s.last_delta().is_incremental());
+        assert_eq!(s.view().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn explain_surfaces_last_delta() {
+        let mut s = warm_grouped_sheet();
+        s.append_row(tuple![999, "Jetta", 15500, 2005, 60000, "Good"])
+            .unwrap();
+        assert!(s
+            .explain()
+            .unwrap()
+            .contains("last delta: rows appended (1)"));
+        s.dedup().unwrap();
+        s.view().unwrap();
+        s.append_row(tuple![998, "Jetta", 15600, 2005, 60000, "Good"])
+            .unwrap();
+        assert!(s
+            .explain()
+            .unwrap()
+            .contains("last delta: full (duplicate elimination re-decides survivors)"));
+    }
+
+    #[test]
+    fn failed_append_is_a_no_op() {
+        let mut s = warm_grouped_sheet();
+        let before = s.base().clone();
+        // Wrong arity: refused by the relation layer before any patch.
+        assert!(s.append_row(tuple![1, "Only-two"]).is_err());
+        assert_eq!(s.base(), &before);
+        assert_matches_fresh(&mut s);
+    }
+
+    #[test]
+    fn stale_cache_is_warmed_before_patching() {
+        let mut s = warm_grouped_sheet();
+        // Edit the state but do NOT view: the cached entry is stale.
+        s.select(Expr::col("Price").lt(Expr::lit(17000))).unwrap();
+        s.append_row(tuple![999, "Jetta", 15500, 2005, 60000, "Good"])
+            .unwrap();
+        assert_eq!(s.last_delta(), &StateDelta::RowsAppended { count: 1 });
+        assert_matches_fresh(&mut s);
+        assert_eq!(s.view().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn sum_overflow_surfaces_on_append() {
+        use ssa_relation::schema::Schema;
+        let r = Relation::with_rows(
+            "big",
+            Schema::of(&[("K", ValueType::Str), ("V", ValueType::Int)]),
+            vec![tuple!["a", i64::MAX], tuple!["a", 0]],
+        )
+        .unwrap();
+        let mut s = Spreadsheet::over(r);
+        s.group_add(&["K"], Direction::Asc).unwrap();
+        s.aggregate(AggFunc::Sum, "V", 2).unwrap();
+        s.view().unwrap();
+        // The appended 1 overflows the all-int SUM — same error the full
+        // evaluator raises, and the failed append must roll back.
+        let err = s.append_row(tuple!["a", 1i64]).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+        assert_eq!(s.base().len(), 2);
+        assert_matches_fresh(&mut s);
+        // A float lands the group in float territory: no overflow.
+        s.append_row(tuple!["a", 0.5f64]).unwrap();
+        assert_matches_fresh(&mut s);
+    }
+
+    #[test]
+    fn incremental_off_falls_back_on_base_edits() {
+        let mut s = warm_grouped_sheet();
+        s.set_incremental(false);
+        s.append_row(tuple![999, "Jetta", 15500, 2005, 60000, "Good"])
+            .unwrap();
+        assert_eq!(
+            s.last_delta(),
+            &StateDelta::Full {
+                reason: "incremental paths disabled"
+            }
+        );
+        assert_eq!(s.view().unwrap().len(), 10);
     }
 }

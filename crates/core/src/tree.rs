@@ -9,6 +9,67 @@
 use ssa_relation::{Relation, Value};
 use std::fmt;
 
+/// A contiguous run `[start, start+len)` of presentation positions.
+///
+/// A group's members are always consecutive rows of the evaluated
+/// relation — the evaluator sorts by the grouping basis before building
+/// the tree, and every in-place maintenance operation (narrow,
+/// merge-insert) preserves contiguity. Storing the run as a range
+/// instead of a per-row index list is what makes splicing one row into
+/// the tree O(#groups) rather than O(rows × depth): a splice shifts
+/// range starts, not every stored index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    start: usize,
+    len: usize,
+}
+
+impl RowRange {
+    /// An empty range is canonically `[0, 0)` so trees compare equal
+    /// regardless of where their empty groups used to sit.
+    pub fn new(start: usize, len: usize) -> RowRange {
+        RowRange {
+            start: if len == 0 { 0 } else { start },
+            len,
+        }
+    }
+
+    pub fn empty() -> RowRange {
+        RowRange::new(0, 0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First presentation position of the run.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last presentation position of the run.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    pub fn contains(&self, row: usize) -> bool {
+        row >= self.start && row < self.end()
+    }
+
+    /// The positions of the run, ascending.
+    pub fn iter(&self) -> std::ops::Range<usize> {
+        self.start..self.end()
+    }
+
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
 /// One group node. The root has an empty `key`; every other node's `key`
 /// holds the (attribute, value) pairs of its level's relative basis.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,9 +80,8 @@ pub struct GroupNode {
     pub key: Vec<(String, Value)>,
     /// Sub-groups (empty at the finest level).
     pub children: Vec<GroupNode>,
-    /// Indices (into the evaluated relation's rows) of every tuple in
-    /// this group, in presentation order.
-    pub rows: Vec<usize>,
+    /// The contiguous run of presentation positions this group covers.
+    pub rows: RowRange,
 }
 
 impl GroupNode {
@@ -57,7 +117,7 @@ impl GroupTree {
                 level: 1,
                 key: Vec::new(),
                 children: Vec::new(),
-                rows: (0..n).collect(),
+                rows: RowRange::new(0, n),
             },
         }
     }
@@ -80,16 +140,16 @@ impl GroupTree {
     pub fn finest_group_of(&self, row: usize) -> &GroupNode {
         let mut node = &self.root;
         loop {
-            match node.children.iter().find(|c| c.rows.contains(&row)) {
+            match node.children.iter().find(|c| c.rows.contains(row)) {
                 Some(c) => node = c,
                 None => return node,
             }
         }
     }
 
-    /// Row indices in presentation order (the root's rows).
-    pub fn row_order(&self) -> &[usize] {
-        &self.root.rows
+    /// Row indices in presentation order (the root's run).
+    pub fn row_order(&self) -> std::ops::Range<usize> {
+        self.root.rows.iter()
     }
 
     /// Narrow the tree in place after rows were filtered out of the
@@ -100,21 +160,113 @@ impl GroupTree {
     /// as long as the filtering did not change any grouping-basis value.
     pub fn narrow(&mut self, dmap: &[u32]) {
         fn rec(node: &mut GroupNode, dmap: &[u32]) {
-            let mut w = 0;
-            for r in 0..node.rows.len() {
-                let m = dmap[node.rows[r]];
+            // The kept rows of a contiguous run stay contiguous after
+            // compaction (dmap is monotone on survivors), so the new
+            // run is (first survivor's new index, survivor count).
+            let mut first = None;
+            let mut kept = 0;
+            for r in node.rows.iter() {
+                let m = dmap[r];
                 if m != u32::MAX {
-                    node.rows[w] = m as usize;
-                    w += 1;
+                    if first.is_none() {
+                        first = Some(m as usize);
+                    }
+                    kept += 1;
                 }
             }
-            node.rows.truncate(w);
+            node.rows = RowRange::new(first.unwrap_or(0), kept);
             node.children.retain_mut(|c| {
                 rec(c, dmap);
                 !c.rows.is_empty()
             });
         }
         rec(&mut self.root, dmap);
+    }
+
+    /// Insert one row at presentation position `p`: every existing index
+    /// `>= p` shifts up by one, then `p` joins the group chain whose
+    /// per-level relative keys equal `level_keys` (one `(attribute,
+    /// value)` vector per non-root level, coarsest first), creating new
+    /// nodes at the sibling position presentation order dictates.
+    ///
+    /// Produces exactly the tree [`build_tree`] yields over the relation
+    /// with the row spliced in at `p`, provided `p` is
+    /// presentation-consistent: rows with equal grouping keys stay
+    /// contiguous, which the caller guarantees by deriving `p` from the
+    /// spec's sort columns (grouping attributes lead the sort).
+    pub fn merge_insert(&mut self, p: usize, level_keys: &[Vec<(String, Value)>]) {
+        // Ranges entirely at or past `p` slide up by one; ranges
+        // containing `p` belong to the insertion chain (groups are
+        // contiguous and `p` is presentation-consistent) and grow when
+        // `insert` reaches them. O(#groups), not O(rows).
+        fn shift(node: &mut GroupNode, p: usize) {
+            if !node.rows.is_empty() && node.rows.start() >= p {
+                node.rows = RowRange::new(node.rows.start() + 1, node.rows.len());
+            }
+            for c in &mut node.children {
+                shift(c, p);
+            }
+        }
+        /// A fresh single-row chain for the levels below `level`.
+        fn chain(
+            level: usize,
+            key: Vec<(String, Value)>,
+            p: usize,
+            level_keys: &[Vec<(String, Value)>],
+            depth: usize,
+        ) -> GroupNode {
+            let children = match level_keys.get(depth) {
+                Some(rel) => {
+                    let mut k = key.clone();
+                    k.extend(rel.iter().cloned());
+                    vec![chain(level + 1, k, p, level_keys, depth + 1)]
+                }
+                None => Vec::new(),
+            };
+            GroupNode {
+                level,
+                key,
+                children,
+                rows: RowRange::new(p, 1),
+            }
+        }
+        fn insert(
+            node: &mut GroupNode,
+            p: usize,
+            level_keys: &[Vec<(String, Value)>],
+            depth: usize,
+        ) {
+            // Grow the chain node's run to absorb `p`. A run that was
+            // shifted past `p` (it started exactly at `p`) swallows it
+            // back by extending downwards.
+            node.rows = if node.rows.is_empty() {
+                RowRange::new(p, 1)
+            } else {
+                RowRange::new(node.rows.start().min(p), node.rows.len() + 1)
+            };
+            let Some(rel_key) = level_keys.get(depth) else {
+                return;
+            };
+            // A child's key accumulates the whole path; its own relative
+            // part is the tail.
+            let matching = node
+                .children
+                .iter_mut()
+                .find(|c| c.key[c.key.len() - rel_key.len()..] == rel_key[..]);
+            if let Some(c) = matching {
+                insert(c, p, level_keys, depth + 1);
+                return;
+            }
+            let mut key = node.key.clone();
+            key.extend(rel_key.iter().cloned());
+            let child = chain(node.level + 1, key, p, level_keys, depth + 1);
+            // Siblings hold disjoint contiguous row ranges; the new
+            // single-row group slots before the first sibling past `p`.
+            let at = node.children.partition_point(|c| c.rows.start() < p);
+            node.children.insert(at, child);
+        }
+        shift(&mut self.root, p);
+        insert(&mut self.root, p, level_keys, 0);
     }
 }
 
@@ -125,7 +277,7 @@ impl GroupTree {
 pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
     fn split(
         data: &Relation,
-        rows: &[usize],
+        rows: RowRange,
         level_bases: &[Vec<String>],
         depth: usize, // index into level_bases
         level: usize,
@@ -135,7 +287,7 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
             level,
             key,
             children: Vec::new(),
-            rows: rows.to_vec(),
+            rows,
         };
         if depth >= level_bases.len() || rows.is_empty() {
             return node;
@@ -151,10 +303,10 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
             idx.iter()
                 .all(|&i| data.rows()[a].get(i) == data.rows()[b].get(i))
         };
-        let mut start = 0;
-        while start < rows.len() {
+        let mut start = rows.start();
+        while start < rows.end() {
             let mut end = start + 1;
-            while end < rows.len() && same_key(rows[start], rows[end]) {
+            while end < rows.end() && same_key(start, end) {
                 end += 1;
             }
             // Accumulate the parent's key so a node names its group fully
@@ -164,11 +316,11 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
                 basis
                     .iter()
                     .cloned()
-                    .zip(idx.iter().map(|&i| *data.rows()[rows[start]].get(i))),
+                    .zip(idx.iter().map(|&i| *data.rows()[start].get(i))),
             );
             node.children.push(split(
                 data,
-                &rows[start..end],
+                RowRange::new(start, end - start),
                 level_bases,
                 depth + 1,
                 level + 1,
@@ -179,9 +331,15 @@ pub fn build_tree(data: &Relation, level_bases: &[Vec<String>]) -> GroupTree {
         node
     }
 
-    let all: Vec<usize> = (0..data.len()).collect();
     GroupTree {
-        root: split(data, &all, level_bases, 0, 1, Vec::new()),
+        root: split(
+            data,
+            RowRange::new(0, data.len()),
+            level_bases,
+            0,
+            1,
+            Vec::new(),
+        ),
     }
 }
 
@@ -245,7 +403,7 @@ mod tests {
     #[test]
     fn flat_tree_has_all_rows_at_root() {
         let t = GroupTree::flat(4);
-        assert_eq!(t.root.rows, vec![0, 1, 2, 3]);
+        assert_eq!(t.root.rows.to_vec(), vec![0, 1, 2, 3]);
         assert_eq!(t.depth(), 1);
         assert!(t.root.children.is_empty());
     }
@@ -257,12 +415,12 @@ mod tests {
         let l2 = t.groups_at_level(2);
         assert_eq!(l2.len(), 2);
         assert_eq!(l2[0].key, vec![("Model".to_string(), "Jetta".into())]);
-        assert_eq!(l2[0].rows, vec![0, 1, 2]);
+        assert_eq!(l2[0].rows.to_vec(), vec![0, 1, 2]);
         assert_eq!(l2[1].key, vec![("Model".to_string(), "Civic".into())]);
         let l3 = t.groups_at_level(3);
         assert_eq!(l3.len(), 4); // Jetta05, Jetta06, Civic05, Civic06
-        assert_eq!(l3[0].rows, vec![0, 1]);
-        assert_eq!(l3[1].rows, vec![2]);
+        assert_eq!(l3[0].rows.to_vec(), vec![0, 1]);
+        assert_eq!(l3[1].rows.to_vec(), vec![2]);
     }
 
     #[test]
@@ -270,7 +428,7 @@ mod tests {
         let t = two_level_tree();
         let g = t.finest_group_of(1);
         assert_eq!(g.level, 3);
-        assert_eq!(g.rows, vec![0, 1]);
+        assert_eq!(g.rows.to_vec(), vec![0, 1]);
         let g = t.finest_group_of(3);
         assert_eq!(g.key[1], ("Year".to_string(), 2005.into()));
     }
@@ -286,7 +444,7 @@ mod tests {
     #[test]
     fn row_order_is_root_rows() {
         let t = two_level_tree();
-        assert_eq!(t.row_order(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.row_order(), 0..6);
         assert_eq!(t.root.len(), 6);
     }
 
@@ -317,6 +475,59 @@ mod tests {
         assert!(t.root.is_empty());
         assert!(t.root.children.is_empty());
         assert_eq!(t.depth(), 1);
+    }
+
+    /// Oracle for merge_insert: splice the row into the sorted relation
+    /// at `p`, rebuild from scratch, and compare trees.
+    fn assert_merge_matches_fresh(p: usize, row: ssa_relation::Tuple) {
+        let bases = [vec!["Model".to_string()], vec!["Year".to_string()]];
+        let level_keys: Vec<Vec<(String, Value)>> = bases
+            .iter()
+            .map(|basis| {
+                basis
+                    .iter()
+                    .map(|a| {
+                        let i = cars_sorted().schema().index_of(a).unwrap();
+                        (a.clone(), *row.get(i))
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut t = two_level_tree();
+        t.merge_insert(p, &level_keys);
+        let mut data = cars_sorted();
+        data.rows_mut().insert(p, row);
+        assert_eq!(t, build_tree(&data, &bases), "insert at {p}");
+    }
+
+    #[test]
+    fn merge_insert_into_existing_group() {
+        // A third Jetta 2005 lands at position 2, inside the existing
+        // finest group.
+        assert_merge_matches_fresh(2, tuple!["Jetta", 2005, 14800]);
+    }
+
+    #[test]
+    fn merge_insert_new_group_between_groups() {
+        // Jetta 2007 opens a new finest group between Jetta 2006 and the
+        // Civic block; Prius opens a whole new level-2 group between the
+        // Jetta and Civic blocks.
+        assert_merge_matches_fresh(3, tuple!["Jetta", 2007, 19000]);
+        assert_merge_matches_fresh(3, tuple!["Prius", 2006, 21000]);
+    }
+
+    #[test]
+    fn merge_insert_at_the_ends() {
+        assert_merge_matches_fresh(0, tuple!["Jetta", 2004, 12000]);
+        assert_merge_matches_fresh(6, tuple!["Civic", 2007, 17500]);
+    }
+
+    #[test]
+    fn merge_insert_into_flat_tree() {
+        let mut t = GroupTree::flat(3);
+        t.merge_insert(1, &[]);
+        assert_eq!(t.row_order(), 0..4);
+        assert!(t.root.children.is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::session::Session;
 use spreadsheet_algebra::{Direction, Result, SheetError};
-use ssa_relation::{Expr, Value};
+use ssa_relation::{Expr, Tuple, Value};
 use std::collections::BTreeMap;
 
 /// One user gesture.
@@ -28,6 +28,17 @@ pub enum UserAction {
     CheckColumn { column: String },
     /// Right-click a cell, choose "filter by this value".
     FilterByCellValue { column: String, row: usize },
+    /// A live feed (or an editing user) appends base rows; the cached
+    /// view is patched incrementally (DESIGN.md §14).
+    FeedRows { rows: Vec<Tuple> },
+    /// Delete base rows by base position.
+    DeleteRows { ids: Vec<u32> },
+    /// Edit one base cell in place.
+    EditCell {
+        row: u32,
+        column: String,
+        value: Value,
+    },
 }
 
 /// Tracks the asc/desc toggle per column, like the header arrows.
@@ -89,6 +100,12 @@ pub fn apply_action(
                 .select(Expr::col(column).eq(Expr::Lit(value)))
                 .map(|_| ())
         }
+        UserAction::FeedRows { rows } => session.engine()?.append_rows(rows.clone()).map(|_| ()),
+        UserAction::DeleteRows { ids } => session.engine()?.delete_rows(ids).map(|_| ()),
+        UserAction::EditCell { row, column, value } => session
+            .engine()?
+            .update_cell(*row, column, *value)
+            .map(|_| ()),
     }
 }
 
@@ -179,6 +196,42 @@ mod tests {
         assert_eq!(s.engine().unwrap().view().unwrap().len(), 6);
         // result shown immediately and recorded in history
         assert!(s.engine().unwrap().history()[0].contains("Model = 'Jetta'"));
+    }
+
+    #[test]
+    fn feed_actions_edit_the_base() {
+        use ssa_relation::tuple;
+        let mut s = session();
+        let mut t = HeaderToggles::new();
+        apply_action(
+            &mut s,
+            &mut t,
+            &UserAction::FeedRows {
+                rows: vec![tuple![999, "Jetta", 15500, 2005, 60000, "Good"]],
+            },
+        )
+        .unwrap();
+        assert_eq!(s.engine().unwrap().view().unwrap().len(), 10);
+        apply_action(
+            &mut s,
+            &mut t,
+            &UserAction::EditCell {
+                row: 9,
+                column: "Price".into(),
+                value: Value::Int(15750),
+            },
+        )
+        .unwrap();
+        apply_action(&mut s, &mut t, &UserAction::DeleteRows { ids: vec![9] }).unwrap();
+        assert_eq!(s.engine().unwrap().view().unwrap().len(), 9);
+        let h = s.engine().unwrap().history();
+        assert!(h[0].contains("Append 1 row(s)"));
+        assert!(h[1].contains("Update Price of base row 9"));
+        assert!(h[2].contains("Delete 1 row(s)"));
+        // Undo unwinds the whole feed burst.
+        s.engine().unwrap().undo_steps(3).unwrap();
+        assert_eq!(s.engine().unwrap().view().unwrap().len(), 9);
+        assert_eq!(s.engine().unwrap().sheet().base().len(), 9);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use spreadsheet_algebra::render::{render_table, render_tree};
 use spreadsheet_algebra::{Direction, Result, SheetError};
 use ssa_relation::agg::parse_agg_func;
 use ssa_relation::expr_parse::parse_expr;
+use ssa_relation::{Schema, Tuple, Value};
 
 /// A scriptable session: the session plus the header-arrow state.
 #[derive(Debug)]
@@ -153,6 +154,42 @@ impl ScriptHost {
                 Ok(plan.to_string())
             }
             "explain" => self.session.explain(),
+            "feed" => {
+                // One base row as comma-separated literals, e.g.
+                // `feed 999, 'Jetta', 15500, 2005, 60000, 'Good'`.
+                let vals = rest
+                    .split(',')
+                    .map(|v| parse_constant(v.trim()))
+                    .collect::<Result<Vec<Value>>>()?;
+                let action = UserAction::FeedRows {
+                    rows: vec![Tuple::new(vals)],
+                };
+                apply_action(&mut self.session, &mut self.toggles, &action)?;
+                self.after_change("row appended")
+            }
+            "delrows" => {
+                let ids = rest
+                    .split_whitespace()
+                    .map(|t| t.parse().map_err(|_| bad_args("delrows <base-row-id>...")))
+                    .collect::<Result<Vec<u32>>>()?;
+                let n = ids.len();
+                let action = UserAction::DeleteRows { ids };
+                apply_action(&mut self.session, &mut self.toggles, &action)?;
+                self.after_change(&format!("deleted {n} base row(s)"))
+            }
+            "setcell" => {
+                let parts: Vec<&str> = rest.splitn(3, char::is_whitespace).collect();
+                let [row, column, value] = parts.as_slice() else {
+                    return Err(bad_args("setcell <base-row-id> <column> <literal>"));
+                };
+                let action = UserAction::EditCell {
+                    row: row.parse().map_err(|_| bad_args("numeric base row id"))?,
+                    column: column.to_string(),
+                    value: parse_constant(value)?,
+                };
+                apply_action(&mut self.session, &mut self.toggles, &action)?;
+                self.after_change(&format!("updated {column} of base row {row}"))
+            }
             "reinstate" => {
                 self.session.engine()?.reinstate(rest)?;
                 self.after_change(&format!("reinstated {rest}"))
@@ -297,6 +334,14 @@ fn bad_args(usage: &str) -> SheetError {
     }
 }
 
+/// Parse one constant value for the base-edit commands: any literal
+/// expression (`15500`, `'Jetta'`, `-3.5`, `null`) — column references
+/// fail against the empty schema.
+fn parse_constant(text: &str) -> Result<Value> {
+    let v = parse_expr(text)?.eval(&Schema::empty(), &Tuple::new(Vec::new()))?;
+    Ok(v)
+}
+
 /// Help text for the REPL.
 pub const HELP: &str = "\
 SheetMusiq commands:
@@ -308,6 +353,7 @@ SheetMusiq commands:
   project <col> | reinstate <col> | dedup | rename <old> <new>
   plan <computed-col> | dropcol <computed-col>   (cascaded removal)
   explain   (render the evaluation plan as a text tree)
+  feed <v1, v2, ...> | delrows <base-row-id>... | setcell <row> <col> <value>
   save <name> | open <name> | close | stored
   product <name> | union <name> | minus <name> | join <name> on <cond>
   sql <core single-block SQL>   (Theorem-1 translation into the session)
@@ -324,6 +370,29 @@ mod tests {
         c.register(used_cars()).unwrap();
         c.register(dealers()).unwrap();
         ScriptHost::new(Session::new(c))
+    }
+
+    #[test]
+    fn base_edit_commands_drive_the_feed_actions() {
+        let mut h = host();
+        h.execute("load cars").unwrap();
+        h.execute("group Model asc").unwrap();
+        h.execute("agg avg Price 2").unwrap();
+        let out = h
+            .execute("feed 999, 'Jetta', 15500, 2005, 60000, 'Good'")
+            .unwrap();
+        assert_eq!(out, "row appended (10 rows)");
+        let out = h.execute("setcell 9 Price 15750").unwrap();
+        assert_eq!(out, "updated Price of base row 9 (10 rows)");
+        // The patched view is live: explain names the base-data delta.
+        let explained = h.execute("explain").unwrap();
+        assert!(explained.contains("cells updated (1)"), "{explained}");
+        let out = h.execute("delrows 9").unwrap();
+        assert_eq!(out, "deleted 1 base row(s) (9 rows)");
+        // Bad literals and malformed ids report usage errors, not panics.
+        assert!(h.execute("feed 1, Ghost").is_err());
+        assert!(h.execute("delrows nine").is_err());
+        assert!(h.execute("setcell 0 Price").is_err());
     }
 
     #[test]

@@ -96,6 +96,89 @@ impl Relation {
         Ok(())
     }
 
+    /// Append a batch of tuples, validating every width **before** the
+    /// first mutation so a bad batch leaves the relation untouched.
+    /// String values were interned when the tuples were built, so the
+    /// append itself is a pure `memcpy`-class extend. Returns the index
+    /// of the first appended row.
+    pub fn append_rows(&mut self, rows: Vec<Tuple>) -> Result<usize> {
+        for t in &rows {
+            if t.len() != self.schema.len() {
+                return Err(RelationError::TypeMismatch {
+                    context: format!(
+                        "tuple width {} does not match schema width {} of `{}`",
+                        t.len(),
+                        self.schema.len(),
+                        self.name
+                    ),
+                });
+            }
+        }
+        let first = self.rows.len();
+        self.rows.extend(rows);
+        Ok(first)
+    }
+
+    /// Remove the rows at `indices` (any order, duplicates ignored),
+    /// returning the removed `(index, tuple)` pairs in ascending index
+    /// order — exactly what [`Relation::reinsert_rows`] needs to undo the
+    /// removal. One retain pass, `O(rows)`.
+    pub fn remove_rows_at(&mut self, indices: &[u32]) -> Result<Vec<(u32, Tuple)>> {
+        for &i in indices {
+            if i as usize >= self.rows.len() {
+                return Err(RelationError::TypeMismatch {
+                    context: format!(
+                        "row index {i} out of range for `{}` ({} rows)",
+                        self.name,
+                        self.rows.len()
+                    ),
+                });
+            }
+        }
+        let mut drop = vec![false; self.rows.len()];
+        for &i in indices {
+            drop[i as usize] = true;
+        }
+        let mut removed = Vec::with_capacity(indices.len());
+        let mut i = 0;
+        self.rows.retain(|t| {
+            if drop[i] {
+                removed.push((i as u32, t.clone()));
+            }
+            i += 1;
+            !drop[i - 1]
+        });
+        Ok(removed)
+    }
+
+    /// Undo a [`Relation::remove_rows_at`]: reinsert the removed rows at
+    /// their original positions. `removed` must be the pairs that call
+    /// returned (ascending original indices).
+    pub fn reinsert_rows(&mut self, removed: Vec<(u32, Tuple)>) {
+        // Inserting in ascending original-index order keeps every later
+        // original index valid as the vector regrows.
+        for (idx, t) in removed {
+            self.rows.insert(idx as usize, t);
+        }
+    }
+
+    /// Overwrite one cell, returning the previous value (for rollback).
+    pub fn set_value(&mut self, row: usize, column: &str, value: Value) -> Result<Value> {
+        let idx = self.schema.index_of(column)?;
+        if row >= self.rows.len() {
+            return Err(RelationError::TypeMismatch {
+                context: format!(
+                    "row index {row} out of range for `{}` ({} rows)",
+                    self.name,
+                    self.rows.len()
+                ),
+            });
+        }
+        let old = *self.rows[row].get(idx);
+        self.rows[row].set(idx, value);
+        Ok(old)
+    }
+
     /// Value at (row, column-name).
     pub fn value_at(&self, row: usize, column: &str) -> Result<&Value> {
         let idx = self.schema.index_of(column)?;
@@ -536,6 +619,47 @@ mod tests {
         let est = r.distinct_estimate("x").unwrap();
         assert!(est <= 40_000, "est {est} above row count");
         assert!(est >= 2, "est {est} below sampled distinct");
+    }
+
+    #[test]
+    fn append_rows_is_all_or_nothing() {
+        let mut r = cars();
+        let first = r
+            .append_rows(vec![tuple![9, "Prius", 21000], tuple![10, "Prius", 22000]])
+            .unwrap();
+        assert_eq!(first, 3);
+        assert_eq!(r.len(), 5);
+        // One bad width in the batch: nothing is appended.
+        assert!(r
+            .append_rows(vec![tuple![11, "Civic", 9000], tuple![12, "short"]])
+            .is_err());
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn remove_and_reinsert_roundtrip() {
+        let mut r = cars();
+        let before = r.clone();
+        let removed = r.remove_rows_at(&[2, 0, 0]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value_at(0, "ID").unwrap(), &Value::Int(872));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].0, 0);
+        assert_eq!(removed[1].0, 2);
+        r.reinsert_rows(removed);
+        assert_eq!(r, before);
+        assert!(r.remove_rows_at(&[99]).is_err());
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn set_value_returns_old() {
+        let mut r = cars();
+        let old = r.set_value(1, "Price", Value::Int(9999)).unwrap();
+        assert_eq!(old, Value::Int(15000));
+        assert_eq!(r.value_at(1, "Price").unwrap(), &Value::Int(9999));
+        assert!(r.set_value(9, "Price", Value::Int(1)).is_err());
+        assert!(r.set_value(0, "Ghost", Value::Int(1)).is_err());
     }
 
     #[test]

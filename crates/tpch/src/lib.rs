@@ -12,11 +12,13 @@
 //! * [`queries`] — the ten study tasks with English statements, core SQL,
 //!   and structural profiles that drive the simulated study.
 
+pub mod feed;
 pub mod gen;
 pub mod queries;
 pub mod schema;
 pub mod views;
 
+pub use feed::{FeedConfig, OrderFeed};
 pub use gen::{generate, GenConfig, TpchData};
 pub use queries::{study_setup, study_tasks, Complexity, QueryTask, TaskProfile};
 pub use views::study_catalog;

@@ -10,9 +10,11 @@
 # (rows, scenario); entries present only on one side — e.g. a fast-mode
 # smoke run records a subset of the row counts — are skipped with a
 # note, never failed. Every BENCH_*.json at the root is gated the same
-# way: BENCH_incremental.json (edit latency speedups) and
-# BENCH_join.json (hash-vs-nested join speedups) today, anything a
-# future bench writes tomorrow.
+# way: BENCH_incremental.json (edit latency speedups), BENCH_join.json
+# (hash-vs-nested join speedups), BENCH_plan.json (planned multi-join
+# speedups) and BENCH_stream.json (streaming base-delta speedups)
+# today, anything a future bench writes tomorrow. Plan and stream
+# additionally carry absolute speedup floors — see below.
 #
 # By default only the speedup ratios are gated: they are means recorded
 # by the same run on the same machine, so they transfer across hosts,
@@ -67,19 +69,41 @@ def gated_metrics(entry):
 PLAN_SPEEDUP_FLOOR = 5.0
 PLAN_FLOOR_ROWS = 100_000
 
+# The streaming base-data delta paths must keep a ≥10x per-append
+# speedup over full re-evaluation at the full 100k-row size — the
+# acceptance bar for the live-feed patching (DESIGN.md §14). Applied to
+# every append scenario (single and burst); deletes and updates are
+# covered by the relative gate only, since their cost is dominated by
+# the O(n) narrowing pass by design.
+STREAM_SPEEDUP_FLOOR = 10.0
+STREAM_FLOOR_ROWS = 100_000
+
+def floor_entries(path, fresh):
+    """(section, entry, floor) triples whose speedup has an absolute
+    floor on top of the relative gate."""
+    if path == "BENCH_plan.json":
+        for entry in fresh.get("plans", []):
+            if entry.get("rows", 0) >= PLAN_FLOOR_ROWS:
+                yield "plans", entry, PLAN_SPEEDUP_FLOOR
+    elif path == "BENCH_stream.json":
+        for entry in fresh.get("edits", []):
+            if entry.get("rows", 0) >= STREAM_FLOOR_ROWS and str(
+                entry.get("scenario", "")
+            ).startswith("append"):
+                yield "edits", entry, STREAM_SPEEDUP_FLOOR
+
 def floor_checks(path, fresh):
-    if path != "BENCH_plan.json" or fresh.get("fast"):
+    # Fast-mode runs only record the smoke size, so floors never fire.
+    if fresh.get("fast"):
         return
-    for entry in fresh.get("plans", []):
-        if entry.get("rows", 0) < PLAN_FLOOR_ROWS:
-            continue
-        label = f"{path}:plans:{dict(entry_key(entry))}"
+    for section, entry, floor in floor_entries(path, fresh):
+        label = f"{path}:{section}:{dict(entry_key(entry))}"
         speedup = float(entry.get("speedup", 0.0))
-        verdict = "FAIL" if speedup < PLAN_SPEEDUP_FLOOR else "ok"
+        verdict = "FAIL" if speedup < floor else "ok"
         print(f"{verdict:4} {label} speedup floor: "
-              f"{speedup:g} (need >= {PLAN_SPEEDUP_FLOOR:g})")
-        if speedup < PLAN_SPEEDUP_FLOOR:
-            yield f"{label} speedup {speedup:g} < floor {PLAN_SPEEDUP_FLOOR:g}"
+              f"{speedup:g} (need >= {floor:g})")
+        if speedup < floor:
+            yield f"{label} speedup {speedup:g} < floor {floor:g}"
 
 failures = []
 compared = 0

@@ -190,6 +190,8 @@ mod injected {
         "delta.narrow",
         "delta.append",
         "delta.remove",
+        "delta.base_append",
+        "delta.base_retract",
         "ops.product",
         "ops.join",
         "ops.union",
@@ -277,6 +279,81 @@ mod injected {
         if res.is_err() {
             assert_identical(&mut s, &mut base.clone(), "trial-eval fault");
         }
+    }
+
+    /// Satellite pin (DESIGN.md §14): a fault injected mid-way through a
+    /// streaming base-data patch must leave the sheet at its pre-edit
+    /// snapshot — base relation, query state, epoch and evaluated view
+    /// all bitwise identical — even though the base row was already
+    /// appended (or removed, or overwritten) when the failpoint tripped.
+    #[test]
+    fn injected_base_edit_failures_roll_back_completely() {
+        let _guard = fault::lock();
+        let mut base = Spreadsheet::over(used_cars());
+        base.group(&["Model"], Direction::Asc).unwrap();
+        base.aggregate(AggFunc::Avg, "Price", 2).unwrap();
+        base.order("Price", Direction::Asc, 2).unwrap();
+        base.view().unwrap(); // warm: the failing edits patch, not re-evaluate
+
+        // Append: the row is in the base when the failpoint fires; the
+        // rollback must pull it back out.
+        let mut s = base.clone();
+        fault::arm("delta.base_append", 1, Behavior::Error);
+        let res = s.append_rows(vec![ssa_relation::tuple![
+            999, "Jetta", 15_500, 2005, 60_000, "Good"
+        ]]);
+        fault::disarm("delta.base_append");
+        assert!(res.is_err(), "armed append must surface the fault");
+        assert_eq!(s.base().len(), 9, "appended row must be rolled back");
+        assert_identical(&mut s, &mut base.clone(), "failed append");
+
+        // Delete: the rows are already out of the base; the rollback
+        // reinserts them at their original positions.
+        let mut s = base.clone();
+        fault::arm("delta.base_retract", 1, Behavior::Error);
+        let res = s.delete_rows(&[1, 4]);
+        fault::disarm("delta.base_retract");
+        assert!(res.is_err(), "armed delete must surface the fault");
+        assert_eq!(s.base().len(), 9, "deleted rows must be reinserted");
+        assert_identical(&mut s, &mut base.clone(), "failed delete");
+
+        // Update: the cell already holds the new value; the rollback
+        // restores the old one.
+        let mut s = base.clone();
+        fault::arm("delta.base_retract", 1, Behavior::Error);
+        let res = s.update_cell(0, "Price", Value::Int(1));
+        fault::disarm("delta.base_retract");
+        assert!(res.is_err(), "armed update must surface the fault");
+        assert_eq!(
+            s.base().value_at(0, "Price").unwrap(),
+            base.base().value_at(0, "Price").unwrap(),
+            "updated cell must be restored"
+        );
+        assert_identical(&mut s, &mut base.clone(), "failed update");
+
+        // All three sheets remain fully usable: a clean replay of each
+        // edit succeeds and matches a naive-engine application.
+        let mut s = base.clone();
+        let mut oracle = base.clone();
+        oracle.set_naive_eval(true);
+        s.append_rows(vec![ssa_relation::tuple![
+            999, "Jetta", 15_500, 2005, 60_000, "Good"
+        ]])
+        .unwrap();
+        oracle
+            .append_rows(vec![ssa_relation::tuple![
+                999, "Jetta", 15_500, 2005, 60_000, "Good"
+            ]])
+            .unwrap();
+        s.update_cell(9, "Price", Value::Int(15_750)).unwrap();
+        oracle.update_cell(9, "Price", Value::Int(15_750)).unwrap();
+        s.delete_rows(&[2]).unwrap();
+        oracle.delete_rows(&[2]).unwrap();
+        assert_eq!(
+            s.view().unwrap(),
+            oracle.view().unwrap(),
+            "clean replay diverged from the naive oracle"
+        );
     }
 
     /// Satellite pin: a worker panic inside a parallel chunk surfaces as
