@@ -15,6 +15,7 @@ use crate::spec::Direction;
 use crate::state::QueryState;
 use ssa_relation::{AggFunc, Expr, Relation};
 use std::fmt;
+use std::sync::Arc;
 
 /// A completed operation, named the way the History menu shows it.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,7 +157,9 @@ impl fmt::Display for OpRecord {
     }
 }
 
-type Snapshot = (Relation, QueryState, u64);
+/// O(1): the base is held by `Arc`, so recording history never
+/// copies data (base edits copy-on-write away from held snapshots).
+type Snapshot = (Arc<Relation>, QueryState, u64, u64);
 
 /// A spreadsheet with history: every operator of the algebra, recorded,
 /// undoable and redoable.
@@ -171,6 +174,16 @@ impl Engine {
     pub fn over(relation: Relation) -> Engine {
         Engine {
             sheet: Spreadsheet::over(relation),
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+        }
+    }
+
+    /// An engine over an already-shared base relation: the session holds
+    /// the `Arc` without copying data (see [`Spreadsheet::over_shared`]).
+    pub fn over_shared(relation: Arc<Relation>) -> Engine {
+        Engine {
+            sheet: Spreadsheet::over_shared(relation),
             undo_stack: Vec::new(),
             redo_stack: Vec::new(),
         }
@@ -226,8 +239,8 @@ impl Engine {
             Err(e) => {
                 // A failed operator must leave the sheet untouched; most
                 // ops validate before mutating, but restore defensively.
-                let (b, s, ep) = snapshot;
-                self.sheet.restore(b, s, ep);
+                let (b, s, ep, ver) = snapshot;
+                self.sheet.restore(b, s, ep, ver);
                 Err(e)
             }
         }
@@ -240,8 +253,8 @@ impl Engine {
             .pop()
             .ok_or(SheetError::HistoryExhausted { redo: false })?;
         let now = self.sheet.snapshot();
-        let (b, s, ep) = before;
-        self.sheet.restore(b, s, ep);
+        let (b, s, ep, ver) = before;
+        self.sheet.restore(b, s, ep, ver);
         self.redo_stack.push((op.clone(), now));
         Ok(op)
     }
@@ -253,8 +266,8 @@ impl Engine {
             .pop()
             .ok_or(SheetError::HistoryExhausted { redo: true })?;
         let before = self.sheet.snapshot();
-        let (b, s, ep) = after;
-        self.sheet.restore(b, s, ep);
+        let (b, s, ep, ver) = after;
+        self.sheet.restore(b, s, ep, ver);
         self.undo_stack.push((op.clone(), before));
         Ok(op)
     }

@@ -22,6 +22,7 @@ use crate::tree::build_tree;
 use ssa_relation::schema::Column;
 use ssa_relation::{ops, AggFunc, Expr, Relation, RelationError, Tuple, Value, ValueType};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A snapshot of a spreadsheet produced by the **Save** operator
 /// (Sec. III-C). Binary operators take a stored sheet as their right
@@ -1381,10 +1382,17 @@ impl CacheEntry {
 }
 
 /// A live spreadsheet.
+///
+/// The base data `R` is held behind an [`Arc`]: many sheets (concurrent
+/// server sessions, undo snapshots, published reader snapshots) share one
+/// immutable copy, and the base-editing operators copy-on-write via
+/// [`Arc::make_mut`] — an unshared sheet mutates in place at the §14
+/// streaming costs, a shared one pays one relation clone and leaves every
+/// other holder's snapshot untouched.
 #[derive(Debug, Clone)]
 pub struct Spreadsheet {
     name: String,
-    base: Relation,
+    base: Arc<Relation>,
     state: QueryState,
     /// Cached evaluation; reorganized in place when only `G`/`O`/`C`
     /// changed, recomputed when the content-determining state changed,
@@ -1405,6 +1413,13 @@ pub struct Spreadsheet {
     eval_opts: EvalOptions,
     /// How many points of non-commutativity this sheet has passed.
     epoch: u64,
+    /// Monotone count of committed base-data mutations (appends, deletes,
+    /// cell updates, epoch transitions, renames) — the §12 transactional
+    /// machinery extended into a *data version*: every committed change to
+    /// `R` bumps it exactly once, every rolled-back change leaves it
+    /// untouched. Snapshot hosts (the `ssa-server` crate) use it as the
+    /// published snapshot version.
+    version: u64,
     next_formula_id: u64,
     /// Cache self-audit (DESIGN.md §12): when on, every incremental
     /// cache patch in `view` is re-checked against a from-scratch
@@ -1431,6 +1446,15 @@ enum CachePath {
 impl Spreadsheet {
     /// The base spreadsheet `S^0(R, C^0, ∅, ∅)` over a relation (Def. 2).
     pub fn over(relation: Relation) -> Spreadsheet {
+        Self::over_shared(Arc::new(relation))
+    }
+
+    /// The base spreadsheet over an already-shared relation: the sheet
+    /// holds the `Arc` without copying the data, so forking a session off
+    /// a published snapshot is O(1) regardless of row count. The paper's
+    /// Sec. V split made concrete: the immutable base `R` is shared, the
+    /// per-session query state is private.
+    pub fn over_shared(relation: Arc<Relation>) -> Spreadsheet {
         Spreadsheet {
             name: relation.name().to_string(),
             base: relation,
@@ -1441,6 +1465,7 @@ impl Spreadsheet {
             last_delta: FULL_NO_CACHE,
             eval_opts: EvalOptions::default(),
             epoch: 0,
+            version: 0,
             next_formula_id: 1,
             audit: cfg!(debug_assertions),
         }
@@ -1515,10 +1540,35 @@ impl Spreadsheet {
         &self.base
     }
 
+    /// The base data behind its sharing handle: cloning the returned
+    /// `Arc` snapshots the current base in O(1). Readers holding the
+    /// snapshot are immune to later edits (which copy-on-write).
+    pub fn base_arc(&self) -> Arc<Relation> {
+        Arc::clone(&self.base)
+    }
+
     /// Number of binary-operator applications (points of
     /// non-commutativity) in this sheet's history.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Monotone data version: the number of committed base-data
+    /// mutations (appends, deletes, cell updates, binary operators,
+    /// renames). Failed edits roll it back with everything else, so two
+    /// sheets with equal version and common history hold identical base
+    /// data.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Restore the data-version counter — for snapshot hosts rebuilding
+    /// a writer sheet from a published snapshot after a failed publish,
+    /// so version numbers stay continuous across the rollback. The
+    /// editing operators manage the counter themselves; ordinary callers
+    /// never need this.
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// Evaluate and return the derived view.
@@ -2004,13 +2054,14 @@ impl Spreadsheet {
             self.view()?;
         }
         let block = self.base_patch_block();
-        let first = self.base.append_rows(rows)?;
+        let first = Arc::make_mut(&mut self.base).append_rows(rows)?;
         let patched: Result<bool> = Self::fault_base_append().and_then(|()| match block {
             None => self.patch_base_append(first, count).map(|()| true),
             Some(_) => self.trial_eval().map(|()| false),
         });
         match patched {
             Ok(true) => {
+                self.version += 1;
                 self.last_delta = StateDelta::RowsAppended { count };
                 if self.audit {
                     self.audit_cache("rows-appended")?;
@@ -2018,6 +2069,7 @@ impl Spreadsheet {
                 Ok(count)
             }
             Ok(false) => {
+                self.version += 1;
                 self.cache = None;
                 self.last_delta = StateDelta::Full {
                     reason: block.unwrap_or("base data changed"),
@@ -2029,7 +2081,7 @@ impl Spreadsheet {
                 // The rows were just appended at the tail, so removal
                 // cannot fail; a half-applied patch still forces the
                 // cache drop below either way.
-                let _ = self.base.remove_rows_at(&ids);
+                let _ = Arc::make_mut(&mut self.base).remove_rows_at(&ids);
                 self.cache = None;
                 self.last_delta = FULL_NO_CACHE;
                 Err(e)
@@ -2057,7 +2109,7 @@ impl Spreadsheet {
             self.view()?;
         }
         let block = self.base_patch_block();
-        let removed = self.base.remove_rows_at(&ids)?;
+        let removed = Arc::make_mut(&mut self.base).remove_rows_at(&ids)?;
         let count = removed.len();
         let patched: Result<bool> = Self::fault_base_retract().and_then(|()| match block {
             None => self.patch_base_delete(&ids).map(|()| true),
@@ -2065,6 +2117,7 @@ impl Spreadsheet {
         });
         match patched {
             Ok(true) => {
+                self.version += 1;
                 self.last_delta = StateDelta::RowsDeleted { count };
                 if self.audit {
                     self.audit_cache("rows-deleted")?;
@@ -2072,6 +2125,7 @@ impl Spreadsheet {
                 Ok(count)
             }
             Ok(false) => {
+                self.version += 1;
                 self.cache = None;
                 self.last_delta = StateDelta::Full {
                     reason: block.unwrap_or("base data changed"),
@@ -2079,7 +2133,7 @@ impl Spreadsheet {
                 Ok(count)
             }
             Err(e) => {
-                self.base.reinsert_rows(removed);
+                Arc::make_mut(&mut self.base).reinsert_rows(removed);
                 self.cache = None;
                 self.last_delta = FULL_NO_CACHE;
                 Err(e)
@@ -2120,13 +2174,14 @@ impl Spreadsheet {
             self.view()?;
         }
         let block = self.base_patch_block();
-        let old = self.base.set_value(row as usize, column, value)?;
+        let old = Arc::make_mut(&mut self.base).set_value(row as usize, column, value)?;
         let patched: Result<bool> = Self::fault_base_retract().and_then(|()| match block {
             None => self.patch_base_update(row, column).map(|()| true),
             Some(_) => self.trial_eval().map(|()| false),
         });
         match patched {
             Ok(true) => {
+                self.version += 1;
                 self.last_delta = StateDelta::CellsUpdated { count: 1 };
                 if self.audit {
                     self.audit_cache("cells-updated")?;
@@ -2134,6 +2189,7 @@ impl Spreadsheet {
                 Ok(old)
             }
             Ok(false) => {
+                self.version += 1;
                 self.cache = None;
                 self.last_delta = StateDelta::Full {
                     reason: block.unwrap_or("base data changed"),
@@ -2141,7 +2197,7 @@ impl Spreadsheet {
                 Ok(old)
             }
             Err(e) => {
-                let _ = self.base.set_value(row as usize, column, old);
+                let _ = Arc::make_mut(&mut self.base).set_value(row as usize, column, old);
                 self.cache = None;
                 self.last_delta = FULL_NO_CACHE;
                 Err(e)
@@ -2594,7 +2650,9 @@ impl Spreadsheet {
         }
         let in_base = self.base.schema().contains(from);
         if in_base {
-            self.base.schema_mut().rename(from, to)?;
+            Arc::make_mut(&mut self.base)
+                .schema_mut()
+                .rename(from, to)?;
         }
         let old_state = self.state.clone();
         let old_delta = self.last_delta.clone();
@@ -2606,13 +2664,14 @@ impl Spreadsheet {
         if let Err(e) = self.trial_eval() {
             if in_base {
                 // invariant: `from` was just freed, so renaming back succeeds.
-                let _ = self.base.schema_mut().rename(to, from);
+                let _ = Arc::make_mut(&mut self.base).schema_mut().rename(to, from);
             }
             self.state = old_state;
             self.last_delta = old_delta;
             self.cache = old_cache;
             return Err(e);
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -2650,7 +2709,7 @@ impl Spreadsheet {
         Self::validate_stored(stored)?;
         Ok(Spreadsheet {
             name: stored.relation.name().to_string(),
-            base: stored.relation.clone(),
+            base: Arc::new(stored.relation.clone()),
             state: stored.state.clone(),
             cache: None,
             fast_reorganize: true,
@@ -2658,6 +2717,7 @@ impl Spreadsheet {
             last_delta: FULL_NO_CACHE,
             eval_opts: EvalOptions::default(),
             epoch: 0,
+            version: 0,
             next_formula_id: 1,
             audit: cfg!(debug_assertions),
         })
@@ -2757,7 +2817,7 @@ impl Spreadsheet {
                 return Err(SheetError::UnknownColumn { name: c });
             }
         }
-        let old_base = std::mem::replace(&mut self.base, new_base);
+        let old_base = std::mem::replace(&mut self.base, Arc::new(new_base));
         let old_state = std::mem::replace(&mut self.state, new_state);
         let old_delta = std::mem::replace(
             &mut self.last_delta,
@@ -2775,6 +2835,7 @@ impl Spreadsheet {
             self.epoch -= 1;
             return Err(e);
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -2915,17 +2976,67 @@ impl Spreadsheet {
         }
     }
 
+    /// Re-pin this sheet to a newer version of its base data, keeping
+    /// the accumulated query state (the paper's Sec. II-B: "tuples in R
+    /// can be changed anytime, and the spreadsheet always retrieves the
+    /// latest data"). The columns of `R` are fixed for the lifetime of a
+    /// sheet, so the schemas must match exactly. Transactional: a state
+    /// that cannot evaluate over the new data (a data-dependent formula
+    /// failure, say) leaves the sheet on its old base.
+    pub fn rebase(&mut self, base: Arc<Relation>) -> Result<()> {
+        if base.schema() != self.base.schema() {
+            return Err(SheetError::NotCompatible {
+                detail: format!("rebase of `{}` must keep the base columns fixed", self.name),
+            });
+        }
+        if Arc::ptr_eq(&base, &self.base) {
+            return Ok(());
+        }
+        let old_base = std::mem::replace(&mut self.base, base);
+        let old_cache = self.cache.take();
+        let old_delta = std::mem::replace(
+            &mut self.last_delta,
+            StateDelta::Full {
+                reason: "base data changed",
+            },
+        );
+        if let Err(e) = self.trial_eval() {
+            self.base = old_base;
+            self.cache = old_cache;
+            self.last_delta = old_delta;
+            return Err(e);
+        }
+        self.version += 1;
+        Ok(())
+    }
+
     /// Restore from a raw snapshot (used by the history/undo machinery).
-    pub(crate) fn restore(&mut self, base: Relation, state: QueryState, epoch: u64) {
+    /// The base comes back as a shared handle: undo never copies data.
+    pub(crate) fn restore(
+        &mut self,
+        base: Arc<Relation>,
+        state: QueryState,
+        epoch: u64,
+        version: u64,
+    ) {
         self.base = base;
         self.state = state;
         self.epoch = epoch;
+        self.version = version;
         self.invalidate_base();
     }
 
-    /// Raw snapshot of the sheet's defining data (for undo).
-    pub(crate) fn snapshot(&self) -> (Relation, QueryState, u64) {
-        (self.base.clone(), self.state.clone(), self.epoch)
+    /// Raw snapshot of the sheet's defining data (for undo). O(1): the
+    /// base is captured by `Arc` handle, so recording history costs
+    /// nothing per operation regardless of sheet size; base-editing
+    /// operators copy-on-write away from any held snapshot.
+    pub(crate) fn snapshot(&self) -> (Arc<Relation>, QueryState, u64, u64) {
+        (
+            Arc::clone(&self.base),
+            self.state.clone(),
+            self.epoch,
+            self.version,
+        )
     }
 
     /// Crate-private mutable state access for the cascaded-modification

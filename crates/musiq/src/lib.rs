@@ -19,5 +19,5 @@ pub mod session;
 pub use actions::{apply_action, HeaderToggles, UserAction};
 pub use dialogs::{AggregationDialog, CompareWith, JoinDialog, SelectionDialog};
 pub use menu::{context_menu, ClickTarget, MenuEntry};
-pub use script::{ScriptHost, HELP};
+pub use script::{is_write_command, ScriptHost, HELP};
 pub use session::Session;

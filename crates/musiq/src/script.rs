@@ -318,6 +318,23 @@ impl ScriptHost {
     }
 }
 
+/// Whether a script command mutates the *base data* (`feed`, `delrows`,
+/// `setcell`, `rename`) or replaces the session's sheet outright (`load`,
+/// `open`, `sql`). The server's read sessions share an immutable base
+/// snapshot pinned to one hosted sheet, so both kinds must be rejected
+/// there: base edits go through the sheet host's serialized writer, and
+/// re-pointing the session would silently un-pin it from the snapshot.
+pub fn is_write_command(line: &str) -> bool {
+    let line = line.trim();
+    let cmd = line
+        .split_once(char::is_whitespace)
+        .map_or(line, |(c, _)| c);
+    matches!(
+        cmd.to_ascii_lowercase().as_str(),
+        "feed" | "delrows" | "setcell" | "rename" | "load" | "open" | "sql"
+    )
+}
+
 fn column_and_direction(rest: &str) -> Result<(String, Direction)> {
     let parts: Vec<&str> = rest.split_whitespace().collect();
     match parts.as_slice() {

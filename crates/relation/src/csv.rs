@@ -12,8 +12,10 @@ use crate::schema::{Column, Schema};
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueType};
 
-/// Split one CSV line into raw fields, honouring quotes.
-fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
+/// Split one CSV line into raw fields, honouring quotes. Public so
+/// wire-format parsers (the HTTP server's row bodies) can reuse the
+/// exact quoting rules of this module instead of approximating them.
+pub fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut chars = line.chars().peekable();

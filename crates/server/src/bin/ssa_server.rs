@@ -1,0 +1,102 @@
+//! The `ssa-server` binary: host spreadsheets over HTTP.
+//!
+//! ```text
+//! ssa-server [--port N] [--pool N] [--preload tiny|scale:F]
+//! ```
+//!
+//! `--preload` hosts the deterministic TPC-H tables (seed 42) so the
+//! server starts with data to query; new sheets can always be created
+//! at runtime with `PUT /sheets/{name}` and a CSV body.
+
+use ssa_server::ServerState;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ssa-server [--port N] [--pool N] [--preload tiny|scale:F]");
+    ExitCode::FAILURE
+}
+
+fn preload(state: &ServerState, spec: &str) -> Result<(), String> {
+    let config = if spec == "tiny" {
+        ssa_tpch::GenConfig::tiny()
+    } else if let Some(f) = spec.strip_prefix("scale:") {
+        let factor: f64 = f
+            .parse()
+            .map_err(|_| format!("bad scale factor {f:?} in --preload"))?;
+        ssa_tpch::GenConfig::scale(factor)
+    } else {
+        return Err(format!("bad --preload spec {spec:?} (tiny|scale:F)"));
+    };
+    let data = ssa_tpch::generate(&config, 42);
+    let catalog = data.catalog();
+    let mut names: Vec<String> = catalog.names().iter().map(|n| n.to_string()).collect();
+    names.sort();
+    for name in names {
+        let relation = catalog
+            .get(&name)
+            .map_err(|e| format!("preload {name}: {e}"))?
+            .clone();
+        let rows = relation.len();
+        state
+            .create_sheet(relation)
+            .map_err(|e| format!("preload {name}: {e}"))?;
+        eprintln!("preloaded {name} ({rows} rows)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut port = 7878u16;
+    let mut pool = 4usize;
+    let mut preload_spec: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let value = |argv: &mut dyn Iterator<Item = String>| {
+            argv.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--port" => value(&mut argv).and_then(|v| {
+                v.parse::<u16>()
+                    .map(|p| port = p)
+                    .map_err(|_| format!("bad port {v:?}"))
+            }),
+            "--pool" => value(&mut argv).and_then(|v| {
+                v.parse::<usize>()
+                    .map(|p| pool = p.max(1))
+                    .map_err(|_| format!("bad pool size {v:?}"))
+            }),
+            "--preload" => value(&mut argv).map(|v| preload_spec = Some(v)),
+            "--help" | "-h" => return usage(),
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    }
+
+    let state = Arc::new(ServerState::new());
+    if let Some(spec) = preload_spec {
+        if let Err(e) = preload(&state, &spec) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let handle = match ssa_server::serve(Arc::clone(&state), ("127.0.0.1", port), pool) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The smoke script scrapes this exact line for the bound address.
+    println!("listening on {}", handle.addr());
+
+    // Serve until killed: the accept loop owns the process lifetime.
+    loop {
+        std::thread::park();
+    }
+}

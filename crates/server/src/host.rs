@@ -1,0 +1,314 @@
+//! Shared-snapshot sheet hosting (DESIGN.md §15).
+//!
+//! Each named sheet lives in a [`SheetHost`]: one writer [`Spreadsheet`]
+//! serialized behind a mutex, plus the currently *published*
+//! [`SheetSnapshot`] — an `Arc` of the base relation tagged with the
+//! sheet's data version (the §12 epoch counter extended to count every
+//! committed base mutation). Reads never take the writer lock: a session
+//! clones the snapshot `Arc` (two pointer bumps under a short read lock)
+//! and evaluates its own query state against that immutable base. Writes
+//! apply to the writer sheet — transactionally, as per §12 — and then
+//! publish a fresh snapshot with a single pointer swap, so readers
+//! observe either the old base or the new one, never a torn state.
+//!
+//! The copy-on-write seam is `Arc::make_mut` inside `Spreadsheet`: the
+//! first write after a publish pays one base-relation clone (readers
+//! still hold the old `Arc`); subsequent writes before the next snapshot
+//! is taken mutate in place.
+//!
+//! Failure model: the `server.publish` failpoint sits between the
+//! committed write and the snapshot swap. When it fires, the writer is
+//! rebuilt from the still-published snapshot, so a failed publish leaves
+//! writer and readers agreeing on the pre-write state — the write
+//! reports an error and has no partial effect anywhere.
+
+use sheetmusiq::{ScriptHost, Session};
+use spreadsheet_algebra::{Engine, Result, SheetError, Spreadsheet};
+use ssa_relation::{Catalog, Relation, Tuple, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// An immutable, atomically published view of one sheet's base data.
+#[derive(Debug, Clone)]
+pub struct SheetSnapshot {
+    /// Sheet (relation) name.
+    pub name: String,
+    /// The base relation; shared with the writer until its next edit.
+    pub base: Arc<Relation>,
+    /// Monotone data version at publish time (see `Spreadsheet::version`).
+    pub version: u64,
+}
+
+/// One hosted sheet: serialized writer + published snapshot.
+#[derive(Debug)]
+pub struct SheetHost {
+    name: String,
+    writer: Mutex<Spreadsheet>,
+    published: RwLock<Arc<SheetSnapshot>>,
+}
+
+/// Poison-safe lock: the data under these locks is kept consistent by
+/// the §12 transactional edits, so a panicking writer leaves a valid
+/// (pre- or post-publish) state behind and the guard can be recovered.
+fn lock_writer(m: &Mutex<Spreadsheet>) -> MutexGuard<'_, Spreadsheet> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl SheetHost {
+    /// Host a relation, publishing its initial snapshot at version 0.
+    pub fn new(relation: Relation) -> SheetHost {
+        let name = relation.name().to_string();
+        let writer = Spreadsheet::over(relation);
+        let snapshot = Arc::new(SheetSnapshot {
+            name: name.clone(),
+            base: writer.base_arc(),
+            version: writer.version(),
+        });
+        SheetHost {
+            name,
+            writer: Mutex::new(writer),
+            published: RwLock::new(snapshot),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The currently published snapshot (lock-free for practical
+    /// purposes: a short read lock around one `Arc` clone).
+    pub fn snapshot(&self) -> Arc<SheetSnapshot> {
+        match self.published.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Apply one base edit on the serialized writer and publish the
+    /// resulting snapshot. Returns the new data version.
+    ///
+    /// The edit itself is transactional inside `Spreadsheet` (§12); the
+    /// publish step carries the `server.publish` failpoint. If publish
+    /// fails the writer is rebuilt from the published snapshot, so the
+    /// committed-but-unpublished write is rolled back and the next write
+    /// starts from exactly what readers see.
+    fn commit<T>(&self, op: impl FnOnce(&mut Spreadsheet) -> Result<T>) -> Result<(T, u64)> {
+        let mut writer = lock_writer(&self.writer);
+        let out = op(&mut writer)?;
+        // A panicking publish (the failpoint's `Panic` behavior) must be
+        // as harmless as an erroring one: catch it, roll back, surface a
+        // typed error — the caller's connection reports 500, everyone
+        // else keeps reading the old snapshot.
+        let published = std::panic::catch_unwind(Self::publish_guard).unwrap_or_else(|payload| {
+            let site = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "server.publish panicked".to_string());
+            Err(SheetError::Relation(
+                ssa_relation::RelationError::WorkerPanicked { site },
+            ))
+        });
+        match published {
+            Ok(()) => {
+                let snapshot = Arc::new(SheetSnapshot {
+                    name: self.name.clone(),
+                    base: writer.base_arc(),
+                    version: writer.version(),
+                });
+                let version = snapshot.version;
+                match self.published.write() {
+                    Ok(mut g) => *g = snapshot,
+                    Err(poisoned) => *poisoned.into_inner() = snapshot,
+                }
+                Ok((out, version))
+            }
+            Err(e) => {
+                let snapshot = self.snapshot();
+                let mut fresh = Spreadsheet::over_shared(Arc::clone(&snapshot.base));
+                fresh.set_version(snapshot.version);
+                *writer = fresh;
+                Err(e)
+            }
+        }
+    }
+
+    /// The `server.publish` failpoint, between commit and snapshot swap.
+    fn publish_guard() -> Result<()> {
+        ssa_relation::fault_check!("server.publish");
+        Ok(())
+    }
+
+    /// Append rows; returns (rows appended, new version).
+    pub fn append_rows(&self, rows: Vec<Tuple>) -> Result<(usize, u64)> {
+        let n = rows.len();
+        let (_, version) = self.commit(move |w| w.append_rows(rows))?;
+        Ok((n, version))
+    }
+
+    /// Delete base rows by id; returns the new version.
+    pub fn delete_rows(&self, ids: &[u32]) -> Result<u64> {
+        let (_, version) = self.commit(|w| w.delete_rows(ids))?;
+        Ok(version)
+    }
+
+    /// Update one base cell; returns the new version.
+    pub fn update_cell(&self, row: u32, column: &str, value: Value) -> Result<u64> {
+        let (_, version) = self.commit(|w| w.update_cell(row, column, value))?;
+        Ok(version)
+    }
+}
+
+/// One HTTP session: a `sheetmusiq` script host whose engine is pinned
+/// to a published snapshot of its sheet.
+#[derive(Debug)]
+pub struct SessionSlot {
+    /// Name of the hosted sheet this session reads.
+    pub sheet: String,
+    /// Version of the snapshot the session is currently pinned to.
+    pub version: u64,
+    /// The scriptable session driving `sheetmusiq` actions.
+    pub script: ScriptHost,
+}
+
+/// The whole server: named sheet hosts plus live sessions.
+#[derive(Debug, Default)]
+pub struct ServerState {
+    sheets: RwLock<BTreeMap<String, Arc<SheetHost>>>,
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionSlot>>>>,
+    next_session: AtomicU64,
+}
+
+impl ServerState {
+    pub fn new() -> ServerState {
+        ServerState::default()
+    }
+
+    /// Host a relation under its own name. Errors if the name is taken.
+    pub fn create_sheet(&self, relation: Relation) -> Result<u64> {
+        let name = relation.name().to_string();
+        let mut sheets = match self.sheets.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if sheets.contains_key(&name) {
+            return Err(SheetError::Persist {
+                message: format!("sheet `{name}` already exists"),
+            });
+        }
+        let host = Arc::new(SheetHost::new(relation));
+        let version = host.snapshot().version;
+        sheets.insert(name, host);
+        Ok(version)
+    }
+
+    /// Look up a hosted sheet.
+    pub fn host(&self, name: &str) -> Result<Arc<SheetHost>> {
+        let sheets = match self.sheets.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sheets
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| SheetError::UnknownSheet {
+                name: name.to_string(),
+            })
+    }
+
+    /// Names of all hosted sheets, sorted.
+    pub fn sheet_names(&self) -> Vec<String> {
+        let sheets = match self.sheets.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sheets.keys().cloned().collect()
+    }
+
+    /// Open a session over the named sheet's current snapshot.
+    /// Returns (session id, pinned snapshot version).
+    pub fn create_session(&self, sheet: &str) -> Result<(u64, u64)> {
+        let snapshot = self.host(sheet)?.snapshot();
+        let slot = session_over(&snapshot);
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut sessions = match self.sessions.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let version = slot.version;
+        sessions.insert(id, Arc::new(Mutex::new(slot)));
+        Ok((id, version))
+    }
+
+    /// Look up a live session by id.
+    pub fn session(&self, id: u64) -> Result<Arc<Mutex<SessionSlot>>> {
+        let sessions = match self.sessions.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sessions
+            .get(&id)
+            .map(Arc::clone)
+            .ok_or_else(|| SheetError::Persist {
+                message: format!("no session {id}"),
+            })
+    }
+
+    /// Close a session; returns whether it existed.
+    pub fn drop_session(&self, id: u64) -> bool {
+        let mut sessions = match self.sessions.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sessions.remove(&id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        let sessions = match self.sessions.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sessions.len()
+    }
+
+    /// Re-pin a session to its sheet's latest snapshot, keeping the
+    /// session's query state (selections, grouping, aggregates) intact —
+    /// the paper's Sec. V split makes this a pure base swap + re-eval.
+    pub fn refresh_session(&self, id: u64) -> Result<u64> {
+        let slot = self.session(id)?;
+        let mut slot = match slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let snapshot = self.host(&slot.sheet)?.snapshot();
+        if snapshot.version == slot.version {
+            return Ok(slot.version);
+        }
+        slot.script
+            .session
+            .engine()?
+            .sheet_mut()
+            .rebase(Arc::clone(&snapshot.base))?;
+        slot.version = snapshot.version;
+        Ok(slot.version)
+    }
+}
+
+/// Build a session slot pinned to a snapshot: the engine shares the
+/// snapshot's base `Arc` — no data is copied until the host's writer
+/// edits it, and then only on the writer's side.
+pub fn session_over(snapshot: &SheetSnapshot) -> SessionSlot {
+    let engine = Engine::over_shared(Arc::clone(&snapshot.base));
+    let mut session = Session::new(Catalog::new());
+    session.adopt(engine);
+    SessionSlot {
+        sheet: snapshot.name.clone(),
+        version: snapshot.version,
+        script: ScriptHost::new(session),
+    }
+}

@@ -1,0 +1,23 @@
+//! # ssa-server — the multi-session spreadsheet server
+//!
+//! Hosts many named spreadsheets behind a hand-rolled HTTP/1.1 server
+//! (`std::net` only — the workspace is offline) and lets many concurrent
+//! sessions drive `sheetmusiq` direct-manipulation actions over them.
+//!
+//! The concurrency model is the paper's Sec. V split made operational
+//! (DESIGN.md §15): base data is immutable and `Arc`-shared, query state
+//! is per-session. Reads never block on writes — each session evaluates
+//! against a cheap versioned [`host::SheetSnapshot`]; writes serialize
+//! per sheet behind a mutex and publish a new snapshot with one pointer
+//! swap. Fault sites `server.publish` and `server.accept` (§12) prove a
+//! failed publish never corrupts readers and a transient accept fault
+//! never kills the server.
+
+pub mod api;
+pub mod host;
+pub mod http;
+pub mod wire;
+
+pub use api::{route, status_for};
+pub use host::{session_over, ServerState, SessionSlot, SheetHost, SheetSnapshot};
+pub use http::{serve, Request, Response, ServerHandle};

@@ -1,0 +1,202 @@
+//! Wire formats: hand-rolled JSON emission for responses and
+//! schema-typed CSV row parsing for request bodies. The workspace is
+//! offline, so there is no JSON parser to lean on — inputs that need
+//! structure arrive as CSV (reusing `ssa_relation::csv` quoting rules)
+//! or as the same literal syntax the `setcell` script command takes.
+
+use spreadsheet_algebra::{Result, SheetError};
+use ssa_relation::expr_parse::parse_expr;
+use ssa_relation::{csv, Relation, Schema, Tuple, Value, ValueType};
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON string literal (quotes included).
+pub fn json_str(text: &str) -> String {
+    format!("\"{}\"", json_escape(text))
+}
+
+/// A value as a JSON literal: numbers and booleans stay bare, strings
+/// are quoted, nulls (and non-finite floats, which JSON lacks) are null.
+pub fn json_value(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Float(f) if f.is_finite() => format!("{f}"),
+        Value::Float(_) => "null".to_string(),
+        Value::Str(s) => json_str(s.as_str()),
+    }
+}
+
+fn bad(message: String) -> SheetError {
+    SheetError::Persist { message }
+}
+
+/// Parse one field of text into a value of the column's type. Empty
+/// text is NULL; type errors carry the column name for a precise 400.
+fn parse_field(text: &str, ty: ValueType, column: &str) -> Result<Value> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Value::Null);
+    }
+    let fail = || {
+        bad(format!(
+            "column `{column}`: cannot parse {text:?} as {ty:?}"
+        ))
+    };
+    match ty {
+        ValueType::Str => Ok(Value::str(text)),
+        ValueType::Bool => match text.to_ascii_lowercase().as_str() {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(fail()),
+        },
+        ValueType::Int => text.parse::<i64>().map(Value::Int).map_err(|_| fail()),
+        ValueType::Float => text.parse::<f64>().map(Value::Float).map_err(|_| fail()),
+        // An all-NULL column accepts whatever the text looks like.
+        ValueType::Null => Ok(Value::infer_parse(text)),
+    }
+}
+
+/// Parse a CSV body (no header — the schema is the sheet's own) into
+/// rows typed against `schema`. Every line must have exactly one field
+/// per column.
+pub fn rows_from_csv(schema: &Schema, body: &str) -> Result<Vec<Tuple>> {
+    let mut rows = Vec::new();
+    for (lno, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = csv::split_line(line, lno + 1).map_err(SheetError::from)?;
+        if fields.len() != schema.len() {
+            return Err(bad(format!(
+                "line {}: expected {} fields, found {}",
+                lno + 1,
+                schema.len(),
+                fields.len()
+            )));
+        }
+        let values = schema
+            .columns()
+            .iter()
+            .zip(&fields)
+            .map(|(col, f)| parse_field(f, col.ty, &col.name))
+            .collect::<Result<Vec<Value>>>()?;
+        rows.push(Tuple::new(values));
+    }
+    if rows.is_empty() {
+        return Err(bad("empty row body".to_string()));
+    }
+    Ok(rows)
+}
+
+/// Parse one literal the way the `setcell` script command does: any
+/// constant expression (`15500`, `'Jetta'`, `-3.5`, `null`).
+pub fn parse_literal(text: &str) -> Result<Value> {
+    let v = parse_expr(text)?.eval(&Schema::empty(), &Tuple::new(Vec::new()))?;
+    Ok(v)
+}
+
+/// Whitespace/comma separated base-row ids.
+pub fn parse_row_ids(body: &str) -> Result<Vec<u32>> {
+    let ids = body
+        .split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse::<u32>()
+                .map_err(|_| bad(format!("bad base-row id {t:?}")))
+        })
+        .collect::<Result<Vec<u32>>>()?;
+    if ids.is_empty() {
+        return Err(bad("no row ids in body".to_string()));
+    }
+    Ok(ids)
+}
+
+/// Sheet metadata as JSON: name, version, shape, column names/types.
+pub fn sheet_json(name: &str, version: u64, base: &Relation) -> String {
+    let cols: Vec<String> = base
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"name\": {}, \"type\": {}}}",
+                json_str(&c.name),
+                json_str(&c.ty.to_string())
+            )
+        })
+        .collect();
+    format!(
+        "{{\"sheet\": {}, \"version\": {}, \"rows\": {}, \"columns\": [{}]}}\n",
+        json_str(name),
+        version,
+        base.len(),
+        cols.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_relation::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Str),
+            Column::new("price", ValueType::Float),
+        ])
+        .expect("test schema")
+    }
+
+    #[test]
+    fn rows_parse_against_schema_types() {
+        let rows = rows_from_csv(&schema(), "1,\"Jetta, GL\",15500\n2,Golf,\n").expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(*rows[0].get(0), Value::Int(1));
+        assert_eq!(*rows[0].get(1), Value::str("Jetta, GL"));
+        assert_eq!(*rows[0].get(2), Value::Float(15500.0));
+        assert_eq!(*rows[1].get(2), Value::Null);
+    }
+
+    #[test]
+    fn row_parse_errors_name_the_column() {
+        let err = rows_from_csv(&schema(), "x,Jetta,1.0").expect_err("bad int");
+        assert!(err.to_string().contains("id"), "got: {err}");
+        let err = rows_from_csv(&schema(), "1,Jetta").expect_err("arity");
+        assert!(err.to_string().contains("expected 3 fields"), "got: {err}");
+    }
+
+    #[test]
+    fn json_escaping_and_values() {
+        assert_eq!(json_str("a\"b\nc"), "\"a\\\"b\\nc\"");
+        assert_eq!(json_value(&Value::Null), "null");
+        assert_eq!(json_value(&Value::Int(-3)), "-3");
+        assert_eq!(json_value(&Value::Float(f64::NAN)), "null");
+        assert_eq!(json_value(&Value::str("hi")), "\"hi\"");
+    }
+
+    #[test]
+    fn literals_and_ids() {
+        assert_eq!(parse_literal("'Jetta'").expect("str"), Value::str("Jetta"));
+        assert_eq!(parse_literal("-3.5").expect("float"), Value::Float(-3.5));
+        assert_eq!(parse_row_ids("1, 2 7").expect("ids"), vec![1, 2, 7]);
+        assert!(parse_row_ids("  ").is_err());
+    }
+}

@@ -7,14 +7,19 @@
 #
 # The benches overwrite the committed JSON in place, so the baseline is
 # read back from git. Entries are matched by their identifying fields
-# (rows, scenario); entries present only on one side — e.g. a fast-mode
-# smoke run records a subset of the row counts — are skipped with a
-# note, never failed. Every BENCH_*.json at the root is gated the same
-# way: BENCH_incremental.json (edit latency speedups), BENCH_join.json
+# (rows, scenario). Missing coverage fails loudly: a BENCH_*.json with
+# no committed baseline fails (commit the baseline in the same change
+# that adds the bench), a fresh entry whose key the baseline does not
+# know fails, and a baseline entry the fresh run did not reproduce
+# fails too — except under fast mode, which records a smoke-size subset
+# by design (its keys must still all exist in the baseline). Every
+# BENCH_*.json at the root is gated the same way:
+# BENCH_incremental.json (edit latency speedups), BENCH_join.json
 # (hash-vs-nested join speedups), BENCH_plan.json (planned multi-join
-# speedups) and BENCH_stream.json (streaming base-delta speedups)
-# today, anything a future bench writes tomorrow. Plan and stream
-# additionally carry absolute speedup floors — see below.
+# speedups), BENCH_stream.json (streaming base-delta speedups) and
+# BENCH_server.json (shared-snapshot read throughput/tails) today,
+# anything a future bench writes tomorrow. Plan, stream and server
+# additionally carry absolute floors — see below.
 #
 # By default only the speedup ratios are gated: they are means recorded
 # by the same run on the same machine, so they transfer across hosts,
@@ -78,6 +83,15 @@ PLAN_FLOOR_ROWS = 100_000
 STREAM_SPEEDUP_FLOOR = 10.0
 STREAM_FLOOR_ROWS = 100_000
 
+# The server's shared-snapshot reads must sustain >= 5x the single-site
+# (deep-copy-per-session, deep-copy-per-undo-snapshot) baseline at the
+# full 100k-row size with 4 reader threads, and a concurrent writer must
+# not degrade read tail latency beyond 2x quiet — the acceptance bars
+# for the snapshot/epoch architecture (DESIGN.md §15).
+SERVER_SPEEDUP_FLOOR = 5.0
+SERVER_P99_RATIO_CEILING = 2.0
+SERVER_FLOOR_ROWS = 100_000
+
 def floor_entries(path, fresh):
     """(section, entry, floor) triples whose speedup has an absolute
     floor on top of the relative gate."""
@@ -91,6 +105,12 @@ def floor_entries(path, fresh):
                 entry.get("scenario", "")
             ).startswith("append"):
                 yield "edits", entry, STREAM_SPEEDUP_FLOOR
+    elif path == "BENCH_server.json":
+        for entry in fresh.get("reads", []):
+            if entry.get("rows", 0) >= SERVER_FLOOR_ROWS and str(
+                entry.get("scenario", "")
+            ).startswith("read_shared_4"):
+                yield "reads", entry, SERVER_SPEEDUP_FLOOR
 
 def floor_checks(path, fresh):
     # Fast-mode runs only record the smoke size, so floors never fire.
@@ -104,6 +124,14 @@ def floor_checks(path, fresh):
               f"{speedup:g} (need >= {floor:g})")
         if speedup < floor:
             yield f"{label} speedup {speedup:g} < floor {floor:g}"
+        if path == "BENCH_server.json" and "p99_ratio" in entry:
+            ratio = float(entry["p99_ratio"])
+            ceiling = SERVER_P99_RATIO_CEILING
+            verdict = "FAIL" if ratio > ceiling else "ok"
+            print(f"{verdict:4} {label} p99_ratio ceiling: "
+                  f"{ratio:g} (need <= {ceiling:g})")
+            if ratio > ceiling:
+                yield f"{label} p99_ratio {ratio:g} > ceiling {ceiling:g}"
 
 failures = []
 compared = 0
@@ -117,17 +145,40 @@ for path in sorted(glob.glob("BENCH_*.json")):
         ["git", "show", f"HEAD:{path}"], capture_output=True, text=True
     )
     if show.returncode != 0:
-        print(f"{path}: no committed baseline yet, skipping delta")
+        # A bench without a committed baseline would silently skip the
+        # gate forever; the change adding a bench must commit its
+        # baseline JSON too.
+        print(f"FAIL {path}: no committed baseline "
+              f"(commit the full-run JSON alongside the bench)")
+        failures.append(f"{path}: no committed baseline")
         continue
     baseline = json.loads(show.stdout)
     base_sections = dict(sections(baseline))
-    for name, fresh_entries in sections(fresh):
+    fresh_sections = dict(sections(fresh))
+    # Coverage must be loud in both directions: a fresh key the baseline
+    # does not know means the gate has nothing to compare it against; a
+    # baseline key the fresh run skipped means coverage silently
+    # shrank (tolerated only for fast-mode smoke subsets).
+    for name, base_entries in base_sections.items():
+        fresh_entries = fresh_sections.get(name, {})
+        for key in base_entries:
+            if key not in fresh_entries:
+                label = f"{path}:{name}:{dict(key)}"
+                if fresh.get("fast"):
+                    print(f"{label}: not re-run by the fast-mode subset")
+                else:
+                    print(f"FAIL {label}: in baseline but missing from "
+                          f"the fresh run")
+                    failures.append(f"{label}: missing from fresh run")
+    for name, fresh_entries in fresh_sections.items():
         base_entries = base_sections.get(name, {})
         for key, entry in fresh_entries.items():
             base = base_entries.get(key)
             label = f"{path}:{name}:{dict(key)}"
             if base is None:
-                print(f"{label}: not in baseline, skipping")
+                print(f"FAIL {label}: not in committed baseline "
+                      f"(unknown entry key — update the baseline)")
+                failures.append(f"{label}: not in committed baseline")
                 continue
             for field, higher_better in gated_metrics(entry):
                 if field not in base:

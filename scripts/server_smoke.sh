@@ -1,0 +1,161 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the sheet server (DESIGN.md §15): boot the
+# release binary with the tiny TPC-H preload, drive a multi-session
+# workload over plain HTTP with curl, and verify snapshot isolation,
+# refresh, writer endpoints and the error->status mapping from outside
+# the process.
+#
+#   scripts/server_smoke.sh [path/to/ssa-server]
+#
+# The binary defaults to target/release/ssa-server (build it first with
+# `cargo build --release -p ssa-server`). The server is started on an
+# ephemeral port (--port 0) and its bound address scraped from the
+# "listening on ADDR" line it prints, so parallel CI jobs cannot collide.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SERVER_BIN="${1:-target/release/ssa-server}"
+if [ ! -x "$SERVER_BIN" ]; then
+    echo "server_smoke: $SERVER_BIN not found or not executable" >&2
+    echo "server_smoke: build it with: cargo build --release -p ssa-server" >&2
+    exit 1
+fi
+
+WORK_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> booting $SERVER_BIN --port 0 --preload tiny"
+"$SERVER_BIN" --port 0 --preload tiny >"$WORK_DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the "listening on ADDR" line (the binary prints it once the
+# socket is bound); fail fast if the process dies first.
+ADDR=""
+tries=0
+while [ -z "$ADDR" ]; do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server_smoke: server died during startup:" >&2
+        cat "$WORK_DIR/server.log" >&2
+        exit 1
+    fi
+    ADDR="$(sed -n 's/^listening on //p' "$WORK_DIR/server.log" | head -n 1)"
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "server_smoke: no 'listening on' line after 10s" >&2
+        cat "$WORK_DIR/server.log" >&2
+        exit 1
+    fi
+    [ -z "$ADDR" ] && sleep 0.1
+done
+BASE="http://$ADDR"
+echo "==> server up at $BASE (pid $SERVER_PID)"
+
+# req METHOD PATH EXPECTED_STATUS [BODY_FILE] -> body on stdout.
+req() {
+    method="$1" path="$2" expect="$3" body_file="${4:-}"
+    out="$WORK_DIR/resp.body"
+    if [ -n "$body_file" ]; then
+        status="$(curl -s -o "$out" -w '%{http_code}' -X "$method" \
+            --data-binary "@$body_file" "$BASE$path")"
+    else
+        status="$(curl -s -o "$out" -w '%{http_code}' -X "$method" \
+            "$BASE$path")"
+    fi
+    if [ "$status" != "$expect" ]; then
+        echo "server_smoke: $method $path -> $status (want $expect)" >&2
+        cat "$out" >&2
+        exit 1
+    fi
+    cat "$out"
+}
+
+# expect_contains HAYSTACK NEEDLE LABEL
+expect_contains() {
+    case "$1" in
+    *"$2"*) ;;
+    *)
+        echo "server_smoke: $3: expected $2 in: $1" >&2
+        exit 1
+        ;;
+    esac
+}
+
+echo "==> health + preloaded catalog"
+req GET /health 200 >/dev/null
+sheets="$(req GET /sheets 200)"
+expect_contains "$sheets" '"orders"' "preloaded sheets"
+
+echo "==> create a sheet from CSV, duplicate is 409"
+cat >"$WORK_DIR/fruit.csv" <<'CSV'
+name,qty,price
+apple,10,0.5
+banana,6,0.25
+cherry,40,3.0
+CSV
+req PUT /sheets/fruit 201 "$WORK_DIR/fruit.csv" >/dev/null
+req PUT /sheets/fruit 409 "$WORK_DIR/fruit.csv" >/dev/null
+meta="$(req GET /sheets/fruit 200)"
+expect_contains "$meta" '"rows": 3' "fresh sheet row count"
+req GET /sheets/nosuch 404 >/dev/null
+
+echo "==> two sessions pin the same snapshot, one queries"
+s1="$(req POST '/sessions?sheet=fruit' 201)"
+s2="$(req POST '/sessions?sheet=fruit' 201)"
+id1="$(printf '%s' "$s1" | sed -n 's/.*"session": \([0-9]*\).*/\1/p')"
+id2="$(printf '%s' "$s2" | sed -n 's/.*"session": \([0-9]*\).*/\1/p')"
+printf 'order price desc' >"$WORK_DIR/op"
+req POST "/sessions/$id1/apply" 200 "$WORK_DIR/op" >/dev/null
+view1="$(req GET "/sessions/$id1/view" 200)"
+expect_contains "$view1" cherry "ordered view"
+
+echo "==> writer endpoints commit and bump the version"
+printf 'durian,2,7.5' >"$WORK_DIR/rows"
+appended="$(req POST /sheets/fruit/rows 200 "$WORK_DIR/rows")"
+expect_contains "$appended" '"version": 1' "append bumps version"
+printf '1 qty 11' >"$WORK_DIR/cell"
+updated="$(req POST /sheets/fruit/cells 200 "$WORK_DIR/cell")"
+expect_contains "$updated" '"version": 2' "update bumps version"
+
+echo "==> pinned sessions do not see the commit until refresh"
+view1_after="$(req GET "/sessions/$id1/view" 200)"
+if [ "$view1" != "$view1_after" ]; then
+    echo "server_smoke: pinned session view drifted across a commit" >&2
+    exit 1
+fi
+view2="$(req GET "/sessions/$id2/view" 200)"
+case "$view2" in
+*durian*)
+    echo "server_smoke: unrefreshed session sees the new row" >&2
+    exit 1
+    ;;
+esac
+refreshed="$(req POST "/sessions/$id2/refresh" 200)"
+expect_contains "$refreshed" '"version": 2' "refresh re-pins to latest"
+view2="$(req GET "/sessions/$id2/view" 200)"
+expect_contains "$view2" durian "refreshed session sees the new row"
+view1_after="$(req GET "/sessions/$id1/view" 200)"
+if [ "$view1" != "$view1_after" ]; then
+    echo "server_smoke: session 1 drifted after session 2 refreshed" >&2
+    exit 1
+fi
+
+echo "==> error mapping: write commands in sessions are 409, bad ops 400"
+printf 'setcell 1 qty 99' >"$WORK_DIR/op"
+req POST "/sessions/$id1/apply" 409 "$WORK_DIR/op" >/dev/null
+printf 'select nosuchcol > 1' >"$WORK_DIR/op"
+req POST "/sessions/$id1/apply" 404 "$WORK_DIR/op" >/dev/null
+printf 'frobnicate' >"$WORK_DIR/op"
+req POST "/sessions/$id1/apply" 400 "$WORK_DIR/op" >/dev/null
+
+echo "==> sessions close cleanly"
+req DELETE "/sessions/$id1" 200 >/dev/null
+req GET "/sessions/$id1/view" 404 >/dev/null
+req DELETE "/sessions/$id2" 200 >/dev/null
+
+echo "server_smoke: OK"

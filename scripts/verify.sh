@@ -14,6 +14,12 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+# The server binary must build warning-free on its own: it is what CI's
+# server-smoke job boots, and a warning there is a bug waiting for a
+# connection to trigger it.
+echo "==> cargo build -p ssa-server --release (deny warnings)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build -p ssa-server --release
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
@@ -33,10 +39,17 @@ if cargo clippy --version >/dev/null 2>&1; then
     # Library crates must not unwrap/expect on hot paths (test modules
     # opt back in via cfg_attr); see DESIGN.md §12.
     echo "==> cargo clippy (deny unwrap in library crates)"
-    cargo clippy -p spreadsheet-algebra -p ssa-relation -- \
+    cargo clippy -p spreadsheet-algebra -p ssa-relation -p ssa-server -- \
         -D warnings -D clippy::unwrap_used
 else
     echo "==> cargo clippy not installed; skipping lints"
+fi
+
+if command -v shellcheck >/dev/null 2>&1; then
+    echo "==> shellcheck scripts/*.sh"
+    shellcheck scripts/*.sh
+else
+    echo "==> shellcheck not installed; skipping shell lint"
 fi
 
 echo "==> cargo doc (deny warnings)"
