@@ -59,6 +59,7 @@ pub mod render;
 pub mod sheet;
 pub mod spec;
 pub mod state;
+pub mod storage;
 pub mod tree;
 
 pub use computed::{ComputedColumn, ComputedDef};
@@ -72,6 +73,7 @@ pub use precedence::{may_commute, precedes, AlgebraOp, OpSignature};
 pub use sheet::{Spreadsheet, StoredSheet};
 pub use spec::{Direction, GroupLevel, OrderKey, Spec};
 pub use state::{QueryState, SelectionEntry};
+pub use storage::{open_paged, open_sheet, save_sheet, save_sheet_json, PagedSheet, SheetFile};
 pub use tree::{GroupNode, GroupTree, RowRange};
 
 /// Everything needed for typical use.

@@ -695,7 +695,7 @@ fn spec_from_json(j: &Json) -> Result<Spec> {
     Ok(spec)
 }
 
-fn state_to_json(state: &QueryState) -> Json {
+pub(crate) fn state_to_json(state: &QueryState) -> Json {
     Json::obj(vec![
         (
             "selections",
@@ -735,7 +735,7 @@ fn state_to_json(state: &QueryState) -> Json {
     ])
 }
 
-fn state_from_json(j: &Json) -> Result<QueryState> {
+pub(crate) fn state_from_json(j: &Json) -> Result<QueryState> {
     let mut state = QueryState::new();
     for s in j.field("selections")?.arr_value()? {
         state.selections.push(crate::state::SelectionEntry {

@@ -54,6 +54,31 @@ impl StoredSheet {
     pub fn from_json(text: &str) -> Result<StoredSheet> {
         crate::persist::stored_sheet_from_json(text)
     }
+
+    /// Serialize to the binary columnar format (DESIGN.md §16): the
+    /// default on-disk representation, readable lazily via
+    /// [`crate::storage::PagedSheet`].
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        ssa_relation::fault_check!("persist.save");
+        crate::storage::encode(self)
+    }
+
+    /// Decode a binary columnar image (eagerly — every column loads).
+    pub fn from_binary(bytes: Vec<u8>) -> Result<StoredSheet> {
+        crate::storage::SheetFile::from_bytes(bytes)?.materialize()
+    }
+
+    /// Write this sheet to `path` in the binary format via atomic
+    /// temp-file + rename; a failed save never clobbers the old file.
+    pub fn save_path(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        crate::storage::save_sheet(self, path)
+    }
+
+    /// Read a sheet from `path`, auto-detecting binary vs JSON from the
+    /// leading magic bytes.
+    pub fn open_path(path: impl AsRef<std::path::Path>) -> Result<StoredSheet> {
+        crate::storage::open_sheet(path)
+    }
 }
 
 /// Cached group membership of the canonical rows under one grouping

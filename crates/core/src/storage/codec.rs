@@ -1,0 +1,287 @@
+//! Byte-level primitives of the binary sheet format: CRC-checked frames,
+//! little-endian integer encoding, and a bounds-checked cursor.
+//!
+//! Everything here is deliberately dumb: the writer appends to a
+//! `Vec<u8>`, the reader walks a borrowed slice, and every read is
+//! length-checked so corrupt input surfaces as a typed
+//! [`SheetError::Persist`](crate::error::SheetError) — never a panic or
+//! an out-of-bounds slice.
+
+use crate::error::{Result, SheetError};
+
+/// Leading magic of a binary sheet file (`header = magic + version`).
+pub(crate) const MAGIC: [u8; 4] = *b"SSAB";
+/// Trailing magic, after the footer offset — lets the reader verify the
+/// file was written to completion before trusting any offset in it.
+pub(crate) const TAIL_MAGIC: [u8; 4] = *b"SSAE";
+/// Binary format version; bump on incompatible layout changes.
+pub(crate) const BINARY_VERSION: u32 = 1;
+/// Fixed byte sizes of the file head (magic + version) and tail
+/// (footer offset + tail magic).
+pub(crate) const HEADER_LEN: u64 = 8;
+pub(crate) const TAIL_LEN: u64 = 12;
+/// Frame header: kind (1) + payload length (4) + payload CRC (4).
+pub(crate) const FRAME_HEADER_LEN: u64 = 9;
+
+/// A typed persistence error with a uniform prefix, so every decoder
+/// failure is recognizably "the binary sheet codec said no".
+pub(crate) fn corrupt(message: impl std::fmt::Display) -> SheetError {
+    SheetError::Persist {
+        message: format!("binary sheet: {message}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven — no registry deps allowed, so the
+// table is built at compile time.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 of a byte slice (IEEE polynomial, as in gzip/PNG).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// Frame kinds. The footer indexes frames by offset, so kinds double as a
+/// sanity check that an offset landed on the frame it claims to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameKind {
+    /// Sheet name, relation name, schema, row count, query state.
+    Meta = 1,
+    /// Sheet-local string dictionary (local id = position).
+    Dict = 2,
+    /// One column chunk (a page of up to [`PAGE_ROWS`] values).
+    ///
+    /// [`PAGE_ROWS`]: crate::storage::writer::PAGE_ROWS
+    Chunk = 3,
+    /// Offsets of everything else; located via the fixed-size tail.
+    Footer = 4,
+}
+
+impl FrameKind {
+    pub(crate) fn from_u8(b: u8) -> Result<FrameKind> {
+        match b {
+            1 => Ok(FrameKind::Meta),
+            2 => Ok(FrameKind::Dict),
+            3 => Ok(FrameKind::Chunk),
+            4 => Ok(FrameKind::Footer),
+            other => Err(corrupt(format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+/// Append one frame (`kind, len, crc, payload`) and return its offset
+/// within `out`.
+pub(crate) fn write_frame(out: &mut Vec<u8>, kind: FrameKind, payload: &[u8]) -> Result<u64> {
+    let offset = out.len() as u64;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| corrupt(format!("frame payload too large ({} bytes)", payload.len())))?;
+    out.push(kind as u8);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(offset)
+}
+
+/// Parse one frame header from a 9-byte buffer: `(kind, payload_len, crc)`.
+pub(crate) fn parse_frame_header(buf: &[u8; 9]) -> Result<(FrameKind, u32, u32)> {
+    let kind = FrameKind::from_u8(buf[0])?;
+    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    let crc = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
+    Ok((kind, len, crc))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding (little-endian throughout)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    let len = u32::try_from(s.len())
+        .map_err(|_| corrupt(format!("string too long ({} bytes)", s.len())))?;
+    put_u32(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Bounds-checked cursor over a borrowed payload.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "payload truncated: wanted {n} bytes at {}, have {}",
+                    self.pos,
+                    self.buf.len().saturating_sub(self.pos)
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Length-prefixed UTF-8 string (owned: the caller usually interns
+    /// or stores it).
+    pub(crate) fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string payload is not UTF-8"))
+    }
+}
+
+/// A null bitmap: bit `i` of byte `i / 8` set means row `i` is non-null.
+pub(crate) struct Bitmap<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Bitmap<'a> {
+    pub(crate) fn read(cur: &mut Cursor<'a>, rows: usize) -> Result<Bitmap<'a>> {
+        Ok(Bitmap {
+            bytes: cur.take(rows.div_ceil(8))?,
+        })
+    }
+
+    pub(crate) fn is_set(&self, i: usize) -> bool {
+        (self.bytes[i / 8] >> (i % 8)) & 1 == 1
+    }
+}
+
+/// Build a null bitmap from a presence predicate.
+pub(crate) fn write_bitmap(out: &mut Vec<u8>, rows: usize, mut present: impl FnMut(usize) -> bool) {
+    let mut byte = 0u8;
+    for i in 0..rows {
+        if present(i) {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !rows.is_multiple_of(8) {
+        out.push(byte);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        let off = write_frame(&mut buf, FrameKind::Meta, b"hello").unwrap();
+        assert_eq!(off, 0);
+        let header: [u8; 9] = buf[0..9].try_into().unwrap();
+        let (kind, len, crc) = parse_frame_header(&header).unwrap();
+        assert_eq!(kind, FrameKind::Meta);
+        assert_eq!(len, 5);
+        assert_eq!(crc, crc32(b"hello"));
+        assert_eq!(&buf[9..], b"hello");
+    }
+
+    #[test]
+    fn cursor_rejects_overreads() {
+        let mut cur = Cursor::new(&[1, 2, 3]);
+        assert_eq!(cur.u8().unwrap(), 1);
+        assert!(cur.u32().is_err());
+    }
+
+    #[test]
+    fn bitmaps_round_trip() {
+        for rows in [0usize, 1, 7, 8, 9, 64, 65] {
+            let mut buf = Vec::new();
+            write_bitmap(&mut buf, rows, |i| i % 3 == 0);
+            let mut cur = Cursor::new(&buf);
+            let bm = Bitmap::read(&mut cur, rows).unwrap();
+            for i in 0..rows {
+                assert_eq!(bm.is_set(i), i % 3 == 0, "rows={rows} i={i}");
+            }
+            assert!(cur.is_empty());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Binary columnar persistence and out-of-core sheet access
+//! (DESIGN.md §16).
+//!
+//! A saved sheet is written as a versioned, CRC-framed columnar file:
+//! meta (names, schema, query state), a sheet-local string dictionary,
+//! per-column chunk frames of up to 64Ki rows, and a footer indexing
+//! every chunk by byte offset. [`SheetFile`] opens by reading only the
+//! head, footer and meta — O(schema + state) — and decodes column chunks
+//! on first touch; [`PagedSheet`] layers filter + projection scans on
+//! top so a query touching a strict subset of columns never reads the
+//! rest of the file.
+//!
+//! The JSON codec from §12 stays as the compatibility import path:
+//! [`open_sheet`] sniffs the leading magic bytes and routes to whichever
+//! decoder matches, while [`save_sheet`] writes binary by default.
+//! Saves are atomic — encode to `<path>.tmp`, fsync, rename — so a
+//! failed save (including one injected at the `persist.bin_write`
+//! failpoint) never clobbers the previous file.
+
+mod codec;
+mod paged;
+mod reader;
+mod writer;
+
+pub use paged::PagedSheet;
+pub use reader::SheetFile;
+
+use crate::error::{Result, SheetError};
+use crate::sheet::StoredSheet;
+use std::io::Write;
+use std::path::Path;
+
+pub(crate) use codec::corrupt;
+pub(crate) use writer::encode;
+
+/// Whether `bytes` begin with the binary sheet magic (`SSAB`).
+pub fn is_binary_image(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[0..4] == codec::MAGIC
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> SheetError {
+    SheetError::Persist {
+        message: format!("{what} {} failed: {e}", path.display()),
+    }
+}
+
+/// Write a stored sheet to `path` in the binary columnar format, via
+/// atomic temp-file + rename. The previous file (if any) survives every
+/// failure mode short of a successful rename.
+pub fn save_sheet(sheet: &StoredSheet, path: impl AsRef<Path>) -> Result<()> {
+    ssa_relation::fault_check!("persist.bin_write");
+    let bytes = encode(sheet)?;
+    write_atomic(path.as_ref(), &bytes)
+}
+
+/// Write a stored sheet to `path` in the JSON compatibility format,
+/// with the same atomic temp-file + rename discipline.
+pub fn save_sheet_json(sheet: &StoredSheet, path: impl AsRef<Path>) -> Result<()> {
+    let text = sheet.to_json()?;
+    write_atomic(path.as_ref(), text.as_bytes())
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    let result = (|| {
+        let mut f = std::fs::File::create(tmp).map_err(|e| io_err("create", tmp, e))?;
+        f.write_all(bytes).map_err(|e| io_err("write", tmp, e))?;
+        f.sync_all().map_err(|e| io_err("sync", tmp, e))?;
+        drop(f);
+        // Second arming point of `persist.bin_write`: the temp file is
+        // fully written but the rename has not happened — a failure here
+        // must leave the destination untouched.
+        ssa_relation::fault_check!("persist.bin_write");
+        std::fs::rename(tmp, path).map_err(|e| io_err("rename", tmp, e))
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(tmp);
+    }
+    result
+}
+
+/// Open a stored sheet from `path`, auto-detecting the format from its
+/// magic bytes: binary files materialize through the lazy reader, JSON
+/// files go through the §12 compatibility decoder.
+pub fn open_sheet(path: impl AsRef<Path>) -> Result<StoredSheet> {
+    let path = path.as_ref();
+    let mut head = [0u8; 4];
+    {
+        use std::io::Read;
+        let mut f = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
+        let n = f.read(&mut head).map_err(|e| io_err("read", path, e))?;
+        if n < 4 {
+            return Err(corrupt(format!(
+                "{} is too short to be a sheet file",
+                path.display()
+            )));
+        }
+    }
+    if is_binary_image(&head) {
+        SheetFile::open(path)?.materialize()
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, e))?;
+        StoredSheet::from_json(&text)
+    }
+}
+
+/// Open a binary sheet file lazily (see [`PagedSheet`]). JSON files are
+/// rejected here: the compat path has no paged representation, use
+/// [`open_sheet`] for those.
+pub fn open_paged(path: impl AsRef<Path>) -> Result<PagedSheet> {
+    PagedSheet::open(path)
+}

@@ -1,0 +1,535 @@
+//! Decoder: a lazily-loaded view of one binary sheet file.
+//!
+//! [`SheetFile::open`] reads only the fixed head, the footer frame and
+//! the meta frame — O(schema), independent of row count. Column data
+//! stays on disk until [`SheetFile::column`] is first called for that
+//! column, at which point exactly that column's chunks are read,
+//! CRC-verified and decoded into a `Vec<Value>` cached in a `OnceLock`
+//! slot. The sheet-local string dictionary loads the same way, on the
+//! first string-bearing chunk, and is remapped through the global
+//! interner ([`Sym::intern`]) — local ids never escape this module.
+
+use super::codec::{
+    corrupt, parse_frame_header, Bitmap, Cursor, FrameKind, BINARY_VERSION, FRAME_HEADER_LEN,
+    HEADER_LEN, MAGIC, TAIL_LEN, TAIL_MAGIC,
+};
+use super::writer::{type_from_tag, ChunkEncoding};
+use crate::error::Result;
+use crate::persist;
+use crate::sheet::StoredSheet;
+use crate::state::QueryState;
+use ssa_relation::schema::Column;
+use ssa_relation::{Relation, Schema, Sym, Value};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Where the bytes come from: a seekable file (the paged, out-of-core
+/// path) or an in-memory image (round-trip and corruption tests).
+enum Source {
+    File(Mutex<File>),
+    Mem(Vec<u8>),
+}
+
+impl Source {
+    fn len(&self) -> Result<u64> {
+        match self {
+            Source::Mem(b) => Ok(b.len() as u64),
+            Source::File(f) => {
+                let f = match f.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                f.metadata()
+                    .map(|m| m.len())
+                    .map_err(|e| corrupt(format!("stat failed: {e}")))
+            }
+        }
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        match self {
+            Source::Mem(b) => {
+                let start = usize::try_from(offset).map_err(|_| corrupt("offset overflow"))?;
+                let end = start
+                    .checked_add(buf.len())
+                    .filter(|&e| e <= b.len())
+                    .ok_or_else(|| {
+                        corrupt(format!(
+                            "read of {} bytes at {offset} past end ({})",
+                            buf.len(),
+                            b.len()
+                        ))
+                    })?;
+                buf.copy_from_slice(&b[start..end]);
+                Ok(())
+            }
+            Source::File(f) => {
+                let mut f = match f.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                f.seek(SeekFrom::Start(offset))
+                    .map_err(|e| corrupt(format!("seek to {offset} failed: {e}")))?;
+                f.read_exact(buf)
+                    .map_err(|e| corrupt(format!("read at {offset} failed: {e}")))
+            }
+        }
+    }
+}
+
+/// Footer entry for one column chunk.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRef {
+    offset: u64,
+    first_row: u64,
+    rows: u32,
+}
+
+/// One open binary sheet: parsed head/meta/footer plus lazy column slots.
+pub struct SheetFile {
+    source: Source,
+    file_len: u64,
+    name: String,
+    relation_name: String,
+    schema: Schema,
+    rows: usize,
+    state: QueryState,
+    dict_offset: u64,
+    chunks: Vec<Vec<ChunkRef>>,
+    dict: OnceLock<Vec<Sym>>,
+    columns: Vec<OnceLock<Vec<Value>>>,
+    bytes_read: AtomicU64,
+}
+
+impl std::fmt::Debug for SheetFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SheetFile")
+            .field("name", &self.name)
+            .field("rows", &self.rows)
+            .field("columns", &self.schema.len())
+            .field("loaded", &self.columns_loaded())
+            .finish()
+    }
+}
+
+impl SheetFile {
+    /// Open a binary sheet file, reading only head + footer + meta.
+    pub fn open(path: impl AsRef<Path>) -> Result<SheetFile> {
+        ssa_relation::fault_check!("persist.bin_read");
+        let path = path.as_ref();
+        let file = File::open(path)
+            .map_err(|e| corrupt(format!("open {} failed: {e}", path.display())))?;
+        SheetFile::from_source(Source::File(Mutex::new(file)))
+    }
+
+    /// Open an in-memory image (tests, network transfer).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<SheetFile> {
+        SheetFile::from_source(Source::Mem(bytes))
+    }
+
+    fn from_source(source: Source) -> Result<SheetFile> {
+        let file_len = source.len()?;
+        if file_len < HEADER_LEN + TAIL_LEN {
+            return Err(corrupt(format!("file too short ({file_len} bytes)")));
+        }
+        let mut head = [0u8; 8];
+        source.read_exact_at(0, &mut head)?;
+        if head[0..4] != MAGIC {
+            return Err(corrupt("bad magic — not a binary sheet file"));
+        }
+        let version = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+        if version != BINARY_VERSION {
+            return Err(corrupt(format!(
+                "unsupported binary version {version} (expected {BINARY_VERSION})"
+            )));
+        }
+        let mut tail = [0u8; 12];
+        source.read_exact_at(file_len - TAIL_LEN, &mut tail)?;
+        if tail[8..12] != TAIL_MAGIC {
+            return Err(corrupt("missing tail magic — file truncated mid-write"));
+        }
+        let footer_offset = u64::from_le_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+
+        let loader = FrameLoader {
+            source: &source,
+            file_len,
+            bytes_read: AtomicU64::new(HEADER_LEN + TAIL_LEN),
+        };
+        let footer = loader.frame(footer_offset, FrameKind::Footer)?;
+        let mut cur = Cursor::new(&footer);
+        let meta_offset = cur.u64()?;
+        let dict_offset = cur.u64()?;
+        let rows_u64 = cur.u64()?;
+        let rows = usize::try_from(rows_u64).map_err(|_| corrupt("row count overflows usize"))?;
+        let ncols = cur.u32()? as usize;
+        let mut chunks = Vec::with_capacity(ncols.min(4096));
+        for _ in 0..ncols {
+            let nchunks = cur.u32()? as usize;
+            let mut refs = Vec::with_capacity(nchunks.min(4096));
+            let mut expect_first = 0u64;
+            let mut total = 0u64;
+            for _ in 0..nchunks {
+                let r = ChunkRef {
+                    offset: cur.u64()?,
+                    first_row: cur.u64()?,
+                    rows: cur.u32()?,
+                };
+                if r.offset < HEADER_LEN || r.offset + FRAME_HEADER_LEN > file_len {
+                    return Err(corrupt(format!("chunk offset {} out of range", r.offset)));
+                }
+                if r.first_row != expect_first {
+                    return Err(corrupt(format!(
+                        "chunk rows not contiguous: expected first_row {expect_first}, got {}",
+                        r.first_row
+                    )));
+                }
+                expect_first += u64::from(r.rows);
+                total += u64::from(r.rows);
+                refs.push(r);
+            }
+            if total != rows_u64 {
+                return Err(corrupt(format!(
+                    "column chunks cover {total} rows, footer says {rows_u64}"
+                )));
+            }
+            chunks.push(refs);
+        }
+        if !cur.is_empty() {
+            return Err(corrupt("trailing bytes in footer"));
+        }
+
+        let meta = loader.frame(meta_offset, FrameKind::Meta)?;
+        let mut cur = Cursor::new(&meta);
+        let name = cur.string()?;
+        let relation_name = cur.string()?;
+        let meta_ncols = cur.u32()? as usize;
+        if meta_ncols != ncols {
+            return Err(corrupt(format!(
+                "meta schema has {meta_ncols} columns, footer indexes {ncols}"
+            )));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let col_name = cur.string()?;
+            let ty = type_from_tag(cur.u8()?)?;
+            columns.push(Column::new(col_name, ty));
+        }
+        let meta_rows = cur.u64()?;
+        if meta_rows != rows_u64 {
+            return Err(corrupt(format!(
+                "meta says {meta_rows} rows, footer says {rows_u64}"
+            )));
+        }
+        let state_json = cur.string()?;
+        if !cur.is_empty() {
+            return Err(corrupt("trailing bytes in meta frame"));
+        }
+        let schema = Schema::new(columns).map_err(corrupt)?;
+        let state = persist::state_from_json(&persist::Json::parse(&state_json)?)?;
+
+        Ok(SheetFile {
+            bytes_read: AtomicU64::new(loader.bytes_read.load(Ordering::Relaxed)),
+            source,
+            file_len,
+            name,
+            relation_name,
+            schema,
+            rows,
+            state,
+            dict_offset,
+            chunks,
+            dict: OnceLock::new(),
+            columns: (0..ncols).map(|_| OnceLock::new()).collect(),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn relation_name(&self) -> &str {
+        &self.relation_name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    pub fn state(&self) -> &QueryState {
+        &self.state
+    }
+
+    /// How many column slots are currently materialized in memory.
+    pub fn columns_loaded(&self) -> usize {
+        self.columns.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Total payload bytes fetched from the source so far (head, frames,
+    /// loaded chunks). The lazy-load assertions in tests and the bench's
+    /// cold-open accounting both read this.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total length of the underlying file image.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    fn read_frame(&self, offset: u64, expect: FrameKind) -> Result<Vec<u8>> {
+        let loader = FrameLoader {
+            source: &self.source,
+            file_len: self.file_len,
+            bytes_read: AtomicU64::new(0),
+        };
+        let payload = loader.frame(offset, expect)?;
+        self.bytes_read
+            .fetch_add(loader.bytes_read.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(payload)
+    }
+
+    /// The sheet-local dictionary, remapped to global interner symbols.
+    fn dict(&self) -> Result<&[Sym]> {
+        if let Some(d) = self.dict.get() {
+            return Ok(d);
+        }
+        let payload = self.read_frame(self.dict_offset, FrameKind::Dict)?;
+        let mut cur = Cursor::new(&payload);
+        let count = cur.u32()? as usize;
+        let mut syms = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            syms.push(Sym::intern(&cur.string()?));
+        }
+        if !cur.is_empty() {
+            return Err(corrupt("trailing bytes in dictionary frame"));
+        }
+        Ok(self.dict.get_or_init(|| syms))
+    }
+
+    /// The full decoded column, loading and caching it on first touch.
+    pub fn column(&self, idx: usize) -> Result<&[Value]> {
+        let slot = self.columns.get(idx).ok_or_else(|| {
+            corrupt(format!(
+                "column index {idx} out of range ({} columns)",
+                self.schema.len()
+            ))
+        })?;
+        if let Some(v) = slot.get() {
+            return Ok(v);
+        }
+        let decoded = self.load_column(idx)?;
+        Ok(slot.get_or_init(|| decoded))
+    }
+
+    /// A column by name (schema lookup + [`SheetFile::column`]).
+    pub fn column_by_name(&self, name: &str) -> Result<&[Value]> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .map_err(crate::error::SheetError::Relation)?;
+        self.column(idx)
+    }
+
+    fn load_column(&self, idx: usize) -> Result<Vec<Value>> {
+        let mut out: Vec<Value> = Vec::with_capacity(self.rows);
+        for chunk in &self.chunks[idx] {
+            let payload = self.read_frame(chunk.offset, FrameKind::Chunk)?;
+            self.decode_chunk(idx, chunk, &payload, &mut out)?;
+        }
+        if out.len() != self.rows {
+            return Err(corrupt(format!(
+                "column {idx} decoded {} rows, expected {}",
+                out.len(),
+                self.rows
+            )));
+        }
+        Ok(out)
+    }
+
+    fn decode_chunk(
+        &self,
+        idx: usize,
+        chunk: &ChunkRef,
+        payload: &[u8],
+        out: &mut Vec<Value>,
+    ) -> Result<()> {
+        let mut cur = Cursor::new(payload);
+        let col = cur.u32()? as usize;
+        let first_row = cur.u64()?;
+        let nrows = cur.u32()?;
+        if col != idx || first_row != chunk.first_row || nrows != chunk.rows {
+            return Err(corrupt(format!(
+                "chunk at {} claims column {col} rows {first_row}+{nrows}, footer expected \
+                 column {idx} rows {}+{}",
+                chunk.offset, chunk.first_row, chunk.rows
+            )));
+        }
+        let n = nrows as usize;
+        let enc = ChunkEncoding::from_u8(cur.u8()?)?;
+        match enc {
+            ChunkEncoding::Int => {
+                let bm = Bitmap::read(&mut cur, n)?;
+                for i in 0..n {
+                    let v = cur.i64()?;
+                    out.push(if bm.is_set(i) {
+                        Value::Int(v)
+                    } else {
+                        Value::Null
+                    });
+                }
+            }
+            ChunkEncoding::Float => {
+                let bm = Bitmap::read(&mut cur, n)?;
+                for i in 0..n {
+                    let bits = cur.u64()?;
+                    out.push(if bm.is_set(i) {
+                        Value::Float(f64::from_bits(bits))
+                    } else {
+                        Value::Null
+                    });
+                }
+            }
+            ChunkEncoding::Str => {
+                let dict = self.dict()?;
+                let bm = Bitmap::read(&mut cur, n)?;
+                for i in 0..n {
+                    let id = cur.u32()? as usize;
+                    if bm.is_set(i) {
+                        let sym = dict
+                            .get(id)
+                            .ok_or_else(|| corrupt(format!("dictionary id {id} out of range")))?;
+                        out.push(Value::Str(*sym));
+                    } else {
+                        out.push(Value::Null);
+                    }
+                }
+            }
+            ChunkEncoding::Bool => {
+                let nulls = Bitmap::read(&mut cur, n)?;
+                let vals = Bitmap::read(&mut cur, n)?;
+                for i in 0..n {
+                    out.push(if nulls.is_set(i) {
+                        Value::Bool(vals.is_set(i))
+                    } else {
+                        Value::Null
+                    });
+                }
+            }
+            ChunkEncoding::Mixed => {
+                for _ in 0..n {
+                    let v = match cur.u8()? {
+                        0 => Value::Null,
+                        1 => Value::Bool(false),
+                        2 => Value::Bool(true),
+                        3 => Value::Int(cur.i64()?),
+                        4 => Value::Float(f64::from_bits(cur.u64()?)),
+                        5 => {
+                            let id = cur.u32()? as usize;
+                            let dict = self.dict()?;
+                            let sym = dict.get(id).ok_or_else(|| {
+                                corrupt(format!("dictionary id {id} out of range"))
+                            })?;
+                            Value::Str(*sym)
+                        }
+                        other => return Err(corrupt(format!("bad mixed-value tag {other}"))),
+                    };
+                    out.push(v);
+                }
+            }
+        }
+        if !cur.is_empty() {
+            return Err(corrupt("trailing bytes in chunk payload"));
+        }
+        Ok(())
+    }
+
+    /// Load every column and rebuild the full in-memory [`StoredSheet`]
+    /// (the eager compat path and the binary-operator open path).
+    pub fn materialize(&self) -> Result<StoredSheet> {
+        let ncols = self.schema.len();
+        let mut cols: Vec<&[Value]> = Vec::with_capacity(ncols);
+        for idx in 0..ncols {
+            cols.push(self.column(idx)?);
+        }
+        let relation =
+            Relation::from_columns(self.relation_name.clone(), self.schema.clone(), &cols)
+                .map_err(corrupt)?;
+        Ok(StoredSheet {
+            name: self.name.clone(),
+            relation,
+            state: self.state.clone(),
+        })
+    }
+
+    /// Build a relation from a subset of columns (schema order), without
+    /// touching the others. `indices` must be valid schema indices.
+    pub(crate) fn project_relation(&self, indices: &[usize]) -> Result<Relation> {
+        let mut cols: Vec<&[Value]> = Vec::with_capacity(indices.len());
+        let mut columns = Vec::with_capacity(indices.len());
+        for &idx in indices {
+            cols.push(self.column(idx)?);
+            let c = self
+                .schema
+                .columns()
+                .get(idx)
+                .ok_or_else(|| corrupt(format!("column index {idx} out of range")))?;
+            columns.push(c.clone());
+        }
+        let schema = Schema::new(columns).map_err(corrupt)?;
+        Relation::from_columns(self.relation_name.clone(), schema, &cols).map_err(corrupt)
+    }
+}
+
+/// Reads one CRC-checked frame at a byte offset, accumulating a read
+/// counter (header + payload bytes).
+struct FrameLoader<'a> {
+    source: &'a Source,
+    file_len: u64,
+    bytes_read: AtomicU64,
+}
+
+impl FrameLoader<'_> {
+    fn frame(&self, offset: u64, expect: FrameKind) -> Result<Vec<u8>> {
+        if offset < HEADER_LEN || offset + FRAME_HEADER_LEN > self.file_len {
+            return Err(corrupt(format!("frame offset {offset} out of range")));
+        }
+        let mut header = [0u8; 9];
+        self.source.read_exact_at(offset, &mut header)?;
+        let (kind, len, crc) = parse_frame_header(&header)?;
+        if kind != expect {
+            return Err(corrupt(format!(
+                "expected {expect:?} frame at {offset}, found {kind:?}"
+            )));
+        }
+        let fits = offset
+            .checked_add(FRAME_HEADER_LEN)
+            .and_then(|s| s.checked_add(u64::from(len)))
+            .is_some_and(|e| e <= self.file_len);
+        if !fits {
+            return Err(corrupt(format!(
+                "frame at {offset} claims {len} payload bytes past end of file"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.source
+            .read_exact_at(offset + FRAME_HEADER_LEN, &mut payload)?;
+        let actual = super::codec::crc32(&payload);
+        if actual != crc {
+            return Err(corrupt(format!(
+                "checksum mismatch in {kind:?} frame at {offset}: stored {crc:#010x}, computed {actual:#010x}"
+            )));
+        }
+        self.bytes_read
+            .fetch_add(FRAME_HEADER_LEN + u64::from(len), Ordering::Relaxed);
+        Ok(payload)
+    }
+}

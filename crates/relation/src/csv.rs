@@ -60,37 +60,68 @@ pub fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
 }
 
 /// Parse CSV text (first row = header) into a relation with inferred
-/// column types.
+/// column types. Delegates to the streaming reader path.
 pub fn parse_csv(name: &str, text: &str) -> Result<Relation> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (hno, header) = lines.next().ok_or(RelationError::Csv {
-        line: 0,
-        message: "empty input".into(),
-    })?;
-    let names = split_line(header, hno + 1)?;
-    let mut raw_rows: Vec<Vec<Value>> = Vec::new();
+    parse_csv_reader(name, text.as_bytes())
+}
+
+/// Parse CSV from any buffered reader, one line at a time — the input is
+/// never materialized as a whole `String`, so import memory tracks the
+/// parsed rows (which become the relation) plus one line buffer.
+///
+/// Values are parsed into typed cells as lines arrive; the single
+/// retroactive pass at EOF unifies column types (mixed numeric/string
+/// columns degrade to strings, int/float widen to float) exactly as the
+/// in-memory parser always has.
+pub fn parse_csv_reader<R: std::io::BufRead>(name: &str, reader: R) -> Result<Relation> {
+    let io_err = |line: usize, e: std::io::Error| RelationError::Csv {
+        line,
+        message: format!("read failed: {e}"),
+    };
+    let mut lines = reader.lines().enumerate();
+    // Header: first non-blank line. Line numbers are 1-based over the
+    // raw input, blank lines included, matching the string parser.
+    let (hno, header) = loop {
+        match lines.next() {
+            None => {
+                return Err(RelationError::Csv {
+                    line: 0,
+                    message: "empty input".into(),
+                })
+            }
+            Some((lno, line)) => {
+                let line = line.map_err(|e| io_err(lno + 1, e))?;
+                if !line.trim().is_empty() {
+                    break (lno, line);
+                }
+            }
+        }
+    };
+    let names = split_line(&header, hno + 1)?;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    // Running column types, unified as rows stream in; columns whose
+    // values need a retroactive rewrite (to Str or Float) are flagged so
+    // the EOF pass only touches columns that actually changed type.
+    let mut types = vec![ValueType::Null; names.len()];
     for (lno, line) in lines {
-        let fields = split_line(line, lno + 1)?;
+        let line = line.map_err(|e| io_err(lno + 1, e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(&line, lno + 1)?;
         if fields.len() != names.len() {
             return Err(RelationError::Csv {
                 line: lno + 1,
                 message: format!("expected {} fields, found {}", names.len(), fields.len()),
             });
         }
-        raw_rows.push(fields.iter().map(|f| Value::infer_parse(f)).collect());
-    }
-    // Per-column type inference; a column with mixed numeric/string values
-    // is re-parsed as strings to stay uniform.
-    let mut types = vec![ValueType::Null; names.len()];
-    for row in &raw_rows {
+        let row: Vec<Value> = fields.iter().map(|f| Value::infer_parse(f)).collect();
         for (i, v) in row.iter().enumerate() {
             types[i] = types[i].unify(v.value_type());
         }
+        rows.push(row);
     }
-    for row in &mut raw_rows {
+    for row in &mut rows {
         for (i, v) in row.iter_mut().enumerate() {
             if types[i] == ValueType::Str && !matches!(v, Value::Str(_) | Value::Null) {
                 *v = Value::from(v.to_string());
@@ -108,7 +139,18 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Relation> {
             .map(|(n, t)| Column::new(n.clone(), *t))
             .collect(),
     )?;
-    Relation::with_rows(name, schema, raw_rows.into_iter().map(Tuple::new).collect())
+    Relation::with_rows(name, schema, rows.into_iter().map(Tuple::new).collect())
+}
+
+/// Load a CSV file through the streaming reader: the file is read in
+/// `BufReader`-sized chunks, never held in memory whole.
+pub fn load_csv_path(name: &str, path: impl AsRef<std::path::Path>) -> Result<Relation> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| RelationError::Csv {
+        line: 0,
+        message: format!("open {} failed: {e}", path.display()),
+    })?;
+    parse_csv_reader(name, std::io::BufReader::new(file))
 }
 
 /// Serialize a relation to CSV text (header + rows).
@@ -212,6 +254,60 @@ ID,Model,Price,Year
         let text = to_csv(&r);
         let r2 = parse_csv("cars", &text).unwrap();
         assert!(r.multiset_eq(&r2));
+    }
+
+    /// A reader that hands out the input a few bytes at a time, so the
+    /// streaming path is exercised across chunk boundaries.
+    struct Trickle<'a> {
+        rest: &'a [u8],
+    }
+
+    impl std::io::Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.rest.len().min(buf.len()).min(3);
+            buf[..n].copy_from_slice(&self.rest[..n]);
+            self.rest = &self.rest[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn streaming_reader_matches_string_parser() {
+        let text = "x,y,note\n1,2.5,\"a,b\"\n\n3,4,plain\n,5.5,\"q\"\"q\"\n";
+        let eager = parse_csv("t", text).unwrap();
+        let streamed = parse_csv_reader(
+            "t",
+            std::io::BufReader::with_capacity(
+                4,
+                Trickle {
+                    rest: text.as_bytes(),
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(eager, streamed);
+        assert_eq!(streamed.schema().column("x").unwrap().ty, ValueType::Int);
+        assert_eq!(streamed.schema().column("y").unwrap().ty, ValueType::Float);
+    }
+
+    #[test]
+    fn streaming_reader_reports_line_numbers() {
+        let text = "x,y\n1,2\n3\n";
+        assert!(matches!(
+            parse_csv_reader("t", text.as_bytes()),
+            Err(RelationError::Csv { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn load_csv_path_streams_from_disk() {
+        let path = std::env::temp_dir().join(format!("ssa_csv_stream_{}.csv", std::process::id()));
+        std::fs::write(&path, CARS).unwrap();
+        let from_disk = load_csv_path("cars", &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let from_text = parse_csv("cars", CARS).unwrap();
+        assert_eq!(from_disk, from_text);
+        assert!(load_csv_path("cars", "/nonexistent/nope.csv").is_err());
     }
 
     #[test]

@@ -48,6 +48,38 @@ impl Relation {
         Ok(r)
     }
 
+    /// Create a relation from column vectors — the transpose step of a
+    /// columnar reader. All columns must match the schema width and have
+    /// equal lengths.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: &[&[Value]],
+    ) -> Result<Relation> {
+        if columns.len() != schema.len() {
+            return Err(RelationError::TypeMismatch {
+                context: format!(
+                    "{} columns supplied for a {}-column schema",
+                    columns.len(),
+                    schema.len()
+                ),
+            });
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        if let Some(odd) = columns.iter().find(|c| c.len() != rows) {
+            return Err(RelationError::TypeMismatch {
+                context: format!("column lengths differ: {} vs {rows}", odd.len()),
+            });
+        }
+        let mut r = Relation::new(name, schema);
+        r.rows.reserve(rows);
+        for i in 0..rows {
+            r.rows
+                .push(Tuple::new(columns.iter().map(|c| c[i]).collect()));
+        }
+        Ok(r)
+    }
+
     pub fn name(&self) -> &str {
         &self.name
     }

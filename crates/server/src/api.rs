@@ -113,7 +113,7 @@ fn create_sheet(state: &ServerState, name: &str, req: &Request) -> Response {
         Ok(b) => b,
         Err(resp) => return resp,
     };
-    if state.host(name).is_ok() {
+    if state.sheet_exists(name) {
         return Response::json(
             409,
             format!(

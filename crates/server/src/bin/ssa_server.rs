@@ -1,19 +1,22 @@
 //! The `ssa-server` binary: host spreadsheets over HTTP.
 //!
 //! ```text
-//! ssa-server [--port N] [--pool N] [--preload tiny|scale:F]
+//! ssa-server [--port N] [--pool N] [--preload tiny|scale:F] [--open FILE]...
 //! ```
 //!
 //! `--preload` hosts the deterministic TPC-H tables (seed 42) so the
 //! server starts with data to query; new sheets can always be created
-//! at runtime with `PUT /sheets/{name}` and a CSV body.
+//! at runtime with `PUT /sheets/{name}` and a CSV body. `--open`
+//! (repeatable) registers binary sheet files from the paged store:
+//! startup reads only each file's header and footer, and row data loads
+//! lazily when a session first touches the sheet.
 
 use ssa_server::ServerState;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ssa-server [--port N] [--pool N] [--preload tiny|scale:F]");
+    eprintln!("usage: ssa-server [--port N] [--pool N] [--preload tiny|scale:F] [--open FILE]...");
     ExitCode::FAILURE
 }
 
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
     let mut port = 7878u16;
     let mut pool = 4usize;
     let mut preload_spec: Option<String> = None;
+    let mut open_paths: Vec<String> = Vec::new();
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -68,6 +72,7 @@ fn main() -> ExitCode {
                     .map_err(|_| format!("bad pool size {v:?}"))
             }),
             "--preload" => value(&mut argv).map(|v| preload_spec = Some(v)),
+            "--open" => value(&mut argv).map(|v| open_paths.push(v)),
             "--help" | "-h" => return usage(),
             other => Err(format!("unknown argument {other:?}")),
         };
@@ -82,6 +87,15 @@ fn main() -> ExitCode {
         if let Err(e) = preload(&state, &spec) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    for path in open_paths {
+        match state.open_sheet_file(&path) {
+            Ok((name, rows)) => eprintln!("opened {name} ({rows} rows, paged) from {path}"),
+            Err(e) => {
+                eprintln!("error: open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

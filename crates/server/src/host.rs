@@ -23,11 +23,12 @@
 //! reports an error and has no partial effect anywhere.
 
 use sheetmusiq::{ScriptHost, Session};
-use spreadsheet_algebra::{Engine, Result, SheetError, Spreadsheet};
+use spreadsheet_algebra::{Engine, PagedSheet, Result, SheetError, Spreadsheet};
 use ssa_relation::{Catalog, Relation, Tuple, Value};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 
 /// An immutable, atomically published view of one sheet's base data.
 #[derive(Debug, Clone)]
@@ -175,10 +176,96 @@ pub struct SessionSlot {
     pub script: ScriptHost,
 }
 
-/// The whole server: named sheet hosts plus live sessions.
+/// One registered sheet: either a live [`SheetHost`] or a still-on-disk
+/// [`PagedSheet`] that materializes on first touch.
+///
+/// Sheets opened from the binary paged store register with only their
+/// head/footer/meta read — schema and row count are known, row data is
+/// not. The first request that needs the sheet (a session, a write)
+/// resolves the slot: the paged source loads its columns, becomes a
+/// relation, and the resulting host is cached in the `OnceLock` for
+/// every later request. A failed materialization puts the source back,
+/// so a transient I/O error is retryable and never wedges the slot.
+#[derive(Debug)]
+struct SheetSlot {
+    host: OnceLock<Arc<SheetHost>>,
+    pending: Mutex<Option<PagedSheet>>,
+    /// Stored row count for listings before materialization.
+    rows: usize,
+}
+
+impl SheetSlot {
+    fn ready(host: Arc<SheetHost>) -> SheetSlot {
+        let rows = host.snapshot().base.len();
+        let slot = SheetSlot {
+            host: OnceLock::new(),
+            pending: Mutex::new(None),
+            rows,
+        };
+        let _ = slot.host.set(host);
+        slot
+    }
+
+    fn paged(paged: PagedSheet) -> SheetSlot {
+        let rows = paged.row_count();
+        SheetSlot {
+            host: OnceLock::new(),
+            pending: Mutex::new(Some(paged)),
+            rows,
+        }
+    }
+
+    fn is_loaded(&self) -> bool {
+        self.host.get().is_some()
+    }
+
+    /// The live host, materializing the paged source on first touch.
+    fn resolve(&self, name: &str) -> Result<Arc<SheetHost>> {
+        if let Some(h) = self.host.get() {
+            return Ok(Arc::clone(h));
+        }
+        let mut pending = match self.pending.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Double-check under the lock: another thread may have finished
+        // materializing while this one waited.
+        if let Some(h) = self.host.get() {
+            return Ok(Arc::clone(h));
+        }
+        let paged = pending.take().ok_or_else(|| SheetError::Persist {
+            message: format!("sheet `{name}` has no live host and no paged source"),
+        })?;
+        match paged.materialize() {
+            Ok(stored) => {
+                let mut relation = stored.relation;
+                relation.set_name(name.to_string());
+                let host = Arc::new(SheetHost::new(relation));
+                let host = match self.host.set(host) {
+                    Ok(()) => Arc::clone(self.host.get().ok_or_else(|| SheetError::Persist {
+                        message: "sheet host vanished after set".into(),
+                    })?),
+                    // Unreachable in practice (set happens under the
+                    // pending lock), but losing the race is harmless:
+                    // use whoever won.
+                    Err(_) => Arc::clone(self.host.get().ok_or_else(|| SheetError::Persist {
+                        message: "sheet host vanished after race".into(),
+                    })?),
+                };
+                Ok(host)
+            }
+            Err(e) => {
+                *pending = Some(paged);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The whole server: named sheet slots plus live sessions.
 #[derive(Debug, Default)]
 pub struct ServerState {
-    sheets: RwLock<BTreeMap<String, Arc<SheetHost>>>,
+    sheets: RwLock<BTreeMap<String, Arc<SheetSlot>>>,
     sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionSlot>>>>,
     next_session: AtomicU64,
 }
@@ -202,12 +289,32 @@ impl ServerState {
         }
         let host = Arc::new(SheetHost::new(relation));
         let version = host.snapshot().version;
-        sheets.insert(name, host);
+        sheets.insert(name, Arc::new(SheetSlot::ready(host)));
         Ok(version)
     }
 
-    /// Look up a hosted sheet.
-    pub fn host(&self, name: &str) -> Result<Arc<SheetHost>> {
+    /// Register a sheet straight from a binary paged file: only the
+    /// head, footer and meta frames are read here — row data stays on
+    /// disk until the first session or write touches the sheet. Returns
+    /// the registered name and the stored row count.
+    pub fn open_sheet_file(&self, path: impl AsRef<Path>) -> Result<(String, usize)> {
+        let paged = spreadsheet_algebra::open_paged(path)?;
+        let name = paged.name().to_string();
+        let rows = paged.row_count();
+        let mut sheets = match self.sheets.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if sheets.contains_key(&name) {
+            return Err(SheetError::Persist {
+                message: format!("sheet `{name}` already exists"),
+            });
+        }
+        sheets.insert(name.clone(), Arc::new(SheetSlot::paged(paged)));
+        Ok((name, rows))
+    }
+
+    fn slot(&self, name: &str) -> Result<Arc<SheetSlot>> {
         let sheets = match self.sheets.read() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -218,6 +325,28 @@ impl ServerState {
             .ok_or_else(|| SheetError::UnknownSheet {
                 name: name.to_string(),
             })
+    }
+
+    /// Look up a hosted sheet, materializing a paged one on first touch.
+    pub fn host(&self, name: &str) -> Result<Arc<SheetHost>> {
+        self.slot(name)?.resolve(name)
+    }
+
+    /// Whether a sheet is registered under `name` (live or still paged),
+    /// without forcing materialization.
+    pub fn sheet_exists(&self, name: &str) -> bool {
+        self.slot(name).is_ok()
+    }
+
+    /// Whether the named sheet is materialized in memory (false while a
+    /// paged sheet is still waiting on disk for its first touch).
+    pub fn sheet_loaded(&self, name: &str) -> Result<bool> {
+        Ok(self.slot(name)?.is_loaded())
+    }
+
+    /// Stored row count without forcing materialization.
+    pub fn sheet_rows(&self, name: &str) -> Result<usize> {
+        Ok(self.slot(name)?.rows)
     }
 
     /// Names of all hosted sheets, sorted.

@@ -1,0 +1,100 @@
+//! Paged sheet hosting: a binary sheet file registers with only its
+//! header/footer read, serves listings without touching row data, and
+//! materializes exactly once — on the first session that needs it.
+
+use spreadsheet_algebra::{QueryState, StoredSheet};
+use ssa_relation::{Relation, Schema, Tuple, Value, ValueType};
+use ssa_server::ServerState;
+use std::path::PathBuf;
+
+fn sample_sheet(name: &str, rows: u32) -> StoredSheet {
+    let relation = Relation::with_rows(
+        name,
+        Schema::of(&[
+            ("Id", ValueType::Int),
+            ("Model", ValueType::Str),
+            ("Price", ValueType::Int),
+        ]),
+        (0..rows)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i64::from(i)),
+                    Value::from(format!("model-{}", i % 7)),
+                    Value::Int(10_000 + i64::from(i) * 13),
+                ])
+            })
+            .collect(),
+    )
+    .expect("sample relation");
+    StoredSheet {
+        name: name.to_string(),
+        relation,
+        state: QueryState::new(),
+    }
+}
+
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ssa_paged_{tag}_{}.sheet", std::process::id()))
+}
+
+#[test]
+fn paged_sheet_defers_materialization_until_first_session() {
+    let path = temp_file("defer");
+    sample_sheet("cars_paged", 500)
+        .save_path(&path)
+        .expect("save binary sheet");
+
+    let state = ServerState::new();
+    let (name, rows) = state.open_sheet_file(&path).expect("register paged sheet");
+    assert_eq!(name, "cars_paged");
+    assert_eq!(rows, 500);
+
+    // Registered and listable, but no row data in memory yet.
+    assert_eq!(state.sheet_names(), vec!["cars_paged".to_string()]);
+    assert!(state.sheet_exists("cars_paged"));
+    assert!(!state.sheet_loaded("cars_paged").expect("slot exists"));
+    assert_eq!(state.sheet_rows("cars_paged").expect("slot exists"), 500);
+
+    // First session forces materialization; the snapshot serves the data.
+    let (session, version) = state.create_session("cars_paged").expect("open session");
+    assert_eq!(version, 0);
+    assert!(state.sheet_loaded("cars_paged").expect("slot exists"));
+    let snapshot = state.host("cars_paged").expect("live host").snapshot();
+    assert_eq!(snapshot.base.len(), 500);
+    assert_eq!(
+        snapshot.base.value_at(3, "Model").expect("cell"),
+        &Value::str("model-3")
+    );
+    assert!(state.drop_session(session));
+
+    // Writes work after lazy open: the host behaves like an eager one.
+    let (appended, version) = state
+        .host("cars_paged")
+        .expect("live host")
+        .append_rows(vec![Tuple::new(vec![
+            Value::Int(500),
+            Value::str("model-new"),
+            Value::Int(9_999),
+        ])])
+        .expect("append");
+    assert_eq!(appended, 1);
+    assert!(version > 0);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn duplicate_and_missing_paged_registrations_error() {
+    let path = temp_file("dup");
+    sample_sheet("dup_sheet", 10)
+        .save_path(&path)
+        .expect("save binary sheet");
+
+    let state = ServerState::new();
+    state.open_sheet_file(&path).expect("first registration");
+    let err = state.open_sheet_file(&path).expect_err("duplicate name");
+    assert!(err.to_string().contains("already exists"), "{err}");
+
+    assert!(state.open_sheet_file("/nonexistent/nope.sheet").is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -16,10 +16,11 @@
 # BENCH_*.json at the root is gated the same way:
 # BENCH_incremental.json (edit latency speedups), BENCH_join.json
 # (hash-vs-nested join speedups), BENCH_plan.json (planned multi-join
-# speedups), BENCH_stream.json (streaming base-delta speedups) and
-# BENCH_server.json (shared-snapshot read throughput/tails) today,
-# anything a future bench writes tomorrow. Plan, stream and server
-# additionally carry absolute floors — see below.
+# speedups), BENCH_stream.json (streaming base-delta speedups),
+# BENCH_server.json (shared-snapshot read throughput/tails) and
+# BENCH_persist.json (binary columnar save / cold-open speedups) today,
+# anything a future bench writes tomorrow. Plan, stream, server and
+# persist additionally carry absolute floors — see below.
 #
 # By default only the speedup ratios are gated: they are means recorded
 # by the same run on the same machine, so they transfer across hosts,
@@ -92,6 +93,14 @@ SERVER_SPEEDUP_FLOOR = 5.0
 SERVER_P99_RATIO_CEILING = 2.0
 SERVER_FLOOR_ROWS = 100_000
 
+# Cold open-to-first-answer through the paged binary store must stay
+# >= 5x faster than parsing the JSON dump when the query touches a
+# strict subset of the columns, at the full 1M-row size — the
+# acceptance bar for the lazily-loaded columnar format (DESIGN.md §16).
+# The all-columns scenario and save are covered by the relative gate.
+PERSIST_SPEEDUP_FLOOR = 5.0
+PERSIST_FLOOR_ROWS = 1_000_000
+
 def floor_entries(path, fresh):
     """(section, entry, floor) triples whose speedup has an absolute
     floor on top of the relative gate."""
@@ -111,6 +120,11 @@ def floor_entries(path, fresh):
                 entry.get("scenario", "")
             ).startswith("read_shared_4"):
                 yield "reads", entry, SERVER_SPEEDUP_FLOOR
+    elif path == "BENCH_persist.json":
+        for entry in fresh.get("scenarios", []):
+            if (entry.get("rows", 0) >= PERSIST_FLOOR_ROWS
+                    and entry.get("scenario") == "cold_open_query_1col"):
+                yield "scenarios", entry, PERSIST_SPEEDUP_FLOOR
 
 def floor_checks(path, fresh):
     # Fast-mode runs only record the smoke size, so floors never fire.

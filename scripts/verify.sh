@@ -26,6 +26,13 @@ cargo test --workspace -q
 echo "==> cargo test --workspace --features fault-injection"
 cargo test --workspace --features fault-injection -q
 
+# The binary codec's corruption fuzz and save-rollback pins run above as
+# part of the workspace suites, but they are the load-bearing gate for
+# the on-disk format (DESIGN.md §16), so name them: a refactor that
+# accidentally drops these test files must fail here, not pass quietly.
+echo "==> corruption fuzz + atomic-save rollback (fault-injection)"
+cargo test --features fault-injection --test persist_binary --test atomicity -q
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check

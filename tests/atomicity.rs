@@ -199,6 +199,8 @@ mod injected {
         "par.chunk",
         "persist.save",
         "persist.open",
+        "persist.bin_write",
+        "persist.bin_read",
     ];
 
     /// The tentpole pin: randomized edit sequences where every operation
@@ -405,5 +407,74 @@ mod injected {
         fault::arm("persist.open", 1, Behavior::Error);
         assert!(StoredSheet::from_json(&json).is_err());
         assert_eq!(StoredSheet::from_json(&json).unwrap(), stored);
+
+        // The binary codec's sites surface the same way.
+        fault::arm("persist.save", 1, Behavior::Error);
+        assert!(stored.to_binary().is_err());
+        let bin = stored.to_binary().unwrap();
+
+        fault::arm("persist.bin_read", 1, Behavior::Error);
+        let path =
+            std::env::temp_dir().join(format!("ssa_binread_fp_{}.sheet", std::process::id()));
+        std::fs::write(&path, &bin).unwrap();
+        assert!(StoredSheet::open_path(&path).is_err());
+        assert_eq!(StoredSheet::open_path(&path).unwrap(), stored);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The §16 atomic-save pin: a save that fails at either
+    /// `persist.bin_write` arming point — before the temp file is
+    /// written (hit 1) or after it is written but before the rename
+    /// (hit 2) — leaves the previous file byte-identical and leaves no
+    /// temp file behind.
+    #[test]
+    fn failed_binary_save_never_clobbers_previous_file() {
+        let _guard = fault::lock();
+        let dir = std::env::temp_dir().join(format!("ssa_atomic_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cars.sheet");
+
+        let first = Spreadsheet::over(used_cars()).save("cars-v1").unwrap();
+        first.save_path(&path).unwrap();
+        let baseline = std::fs::read(&path).unwrap();
+
+        let mut changed = Spreadsheet::over(used_cars());
+        changed
+            .select(Expr::col("Price").lt(Expr::lit(15_000)))
+            .unwrap();
+        let second = changed.save("cars-v2").unwrap();
+
+        for nth in 1..=2u64 {
+            fault::arm("persist.bin_write", nth, Behavior::Error);
+            let err = second.save_path(&path).expect_err("armed save must fail");
+            assert!(
+                matches!(
+                    err,
+                    SheetError::Relation(RelationError::FaultInjected { .. })
+                ),
+                "hit {nth}: {err}"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                baseline,
+                "hit {nth} clobbered the previous file"
+            );
+            let leftovers: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n != "cars.sheet")
+                .collect();
+            assert!(
+                leftovers.is_empty(),
+                "hit {nth} left temp files: {leftovers:?}"
+            );
+        }
+
+        // Disarmed, the save goes through and replaces the file whole.
+        second.save_path(&path).unwrap();
+        let reopened = StoredSheet::open_path(&path).unwrap();
+        assert_eq!(reopened, second);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
