@@ -70,6 +70,16 @@ pub enum SheetError {
     /// a from-scratch evaluation. `delta` names the incremental path that
     /// produced the divergence (e.g. `narrow`, `append-computed`).
     AuditDivergence { delta: String },
+    /// A write-ahead log has a corrupt frame *before* its final frame.
+    /// A torn final frame is the expected crash signature and is trimmed
+    /// silently; damage earlier in the log means the file was corrupted
+    /// after it was written, so recovery refuses to guess.
+    TornLog { path: String, offset: u64 },
+    /// A replication exchange referenced history this replica has already
+    /// compacted into its base snapshot (an event sorting at or before
+    /// the compaction frontier, or a peer whose version vector predates
+    /// it). The peer must re-seed from a snapshot instead.
+    BehindCompaction { detail: String },
 }
 
 impl fmt::Display for SheetError {
@@ -126,6 +136,13 @@ impl fmt::Display for SheetError {
                 f,
                 "cache audit: incremental `{delta}` patch diverged from full evaluation"
             ),
+            SheetError::TornLog { path, offset } => write!(
+                f,
+                "write-ahead log `{path}` has a corrupt frame at offset {offset} before the log tail"
+            ),
+            SheetError::BehindCompaction { detail } => {
+                write!(f, "behind compaction frontier: {detail}")
+            }
         }
     }
 }

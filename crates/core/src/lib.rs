@@ -56,6 +56,7 @@ mod persist;
 pub mod plan;
 pub mod precedence;
 pub mod render;
+pub mod replica;
 pub mod sheet;
 pub mod spec;
 pub mod state;
@@ -70,9 +71,13 @@ pub use history::{Engine, OpRecord};
 pub use modify::RemovalPlan;
 pub use plan::{join_with_pushdown, plan_tables, Plan, PlanNode, TablePlan};
 pub use precedence::{may_commute, precedes, AlgebraOp, OpSignature};
+pub use replica::{
+    EventId, EventKey, MergeOutcome, MergePath, OpEvent, Replica, SheetOp, VersionVector,
+};
 pub use sheet::{Spreadsheet, StoredSheet};
 pub use spec::{Direction, GroupLevel, OrderKey, Spec};
 pub use state::{QueryState, SelectionEntry};
+pub use storage::wal::{DurableSheet, FsyncPolicy, WalWriter};
 pub use storage::{open_paged, open_sheet, save_sheet, save_sheet_json, PagedSheet, SheetFile};
 pub use tree::{GroupNode, GroupTree, RowRange};
 

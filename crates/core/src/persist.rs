@@ -49,40 +49,40 @@ impl Json {
         Json::Num(n.to_string())
     }
 
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn field<'a>(&'a self, key: &str) -> Result<&'a Json> {
+    pub(crate) fn field<'a>(&'a self, key: &str) -> Result<&'a Json> {
         self.get(key)
             .ok_or_else(|| persist_err(format!("missing field `{key}`")))
     }
 
-    fn str_value(&self) -> Result<&str> {
+    pub(crate) fn str_value(&self) -> Result<&str> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(persist_err(format!("expected string, got {other:?}"))),
         }
     }
 
-    fn bool_value(&self) -> Result<bool> {
+    pub(crate) fn bool_value(&self) -> Result<bool> {
         match self {
             Json::Bool(b) => Ok(*b),
             other => Err(persist_err(format!("expected bool, got {other:?}"))),
         }
     }
 
-    fn arr_value(&self) -> Result<&[Json]> {
+    pub(crate) fn arr_value(&self) -> Result<&[Json]> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(persist_err(format!("expected array, got {other:?}"))),
         }
     }
 
-    fn u64_value(&self) -> Result<u64> {
+    pub(crate) fn u64_value(&self) -> Result<u64> {
         match self {
             Json::Num(raw) => raw
                 .parse()
@@ -328,7 +328,7 @@ impl Parser {
 // Encoding/decoding the saved-sheet types
 // ---------------------------------------------------------------------------
 
-fn value_to_json(v: &Value) -> Json {
+pub(crate) fn value_to_json(v: &Value) -> Json {
     match v {
         Value::Null => Json::Null,
         Value::Bool(b) => Json::Bool(*b),
@@ -339,7 +339,7 @@ fn value_to_json(v: &Value) -> Json {
     }
 }
 
-fn value_from_json(j: &Json) -> Result<Value> {
+pub(crate) fn value_from_json(j: &Json) -> Result<Value> {
     match j {
         Json::Null => Ok(Value::Null),
         Json::Bool(b) => Ok(Value::Bool(*b)),
@@ -379,7 +379,7 @@ fn type_from_json(j: &Json) -> Result<ValueType> {
     }
 }
 
-fn relation_to_json(r: &Relation) -> Json {
+pub(crate) fn relation_to_json(r: &Relation) -> Json {
     Json::obj(vec![
         ("name", Json::Str(r.name().to_string())),
         (
@@ -427,7 +427,7 @@ fn relation_from_json(j: &Json) -> Result<Relation> {
     Relation::with_rows(name, schema, rows).map_err(|e| persist_err(e.to_string()))
 }
 
-fn expr_to_json(e: &Expr) -> Json {
+pub(crate) fn expr_to_json(e: &Expr) -> Json {
     match e {
         Expr::Col(name) => Json::obj(vec![("col", Json::Str(name.clone()))]),
         Expr::Lit(v) => Json::obj(vec![("lit", value_to_json(v))]),
@@ -504,7 +504,7 @@ fn expr_pair(j: &Json) -> Result<(Expr, Expr)> {
     Ok((expr_from_json(&items[0])?, expr_from_json(&items[1])?))
 }
 
-fn expr_from_json(j: &Json) -> Result<Expr> {
+pub(crate) fn expr_from_json(j: &Json) -> Result<Expr> {
     if let Some(c) = j.get("col") {
         return Ok(Expr::Col(c.str_value()?.to_string()));
     }
@@ -574,18 +574,18 @@ fn expr_from_json(j: &Json) -> Result<Expr> {
     Err(persist_err("unrecognized expression encoding"))
 }
 
-fn agg_func_from_name(name: &str) -> Result<AggFunc> {
+pub(crate) fn agg_func_from_name(name: &str) -> Result<AggFunc> {
     AggFunc::ALL
         .into_iter()
         .find(|f| f.short_name() == name)
         .ok_or_else(|| persist_err(format!("unknown aggregate function `{name}`")))
 }
 
-fn direction_to_json(d: Direction) -> Json {
+pub(crate) fn direction_to_json(d: Direction) -> Json {
     Json::Str(d.to_string())
 }
 
-fn direction_from_json(j: &Json) -> Result<Direction> {
+pub(crate) fn direction_from_json(j: &Json) -> Result<Direction> {
     match j.str_value()? {
         "ASC" => Ok(Direction::Asc),
         "DESC" => Ok(Direction::Desc),

@@ -2525,6 +2525,21 @@ impl Spreadsheet {
         })
     }
 
+    /// σ with a caller-assigned selection id. Replicated sheets name
+    /// selections after the event that created them (see
+    /// [`QueryState::add_selection_with_id`]); everything else matches
+    /// [`Self::select`].
+    pub fn select_with_id(&mut self, id: u64, predicate: Expr) -> Result<u64> {
+        self.transact(|s| {
+            for col in predicate.columns() {
+                s.assert_column_exists(&col)?;
+            }
+            let id = s.state.add_selection_with_id(id, predicate);
+            s.invalidate();
+            Ok(id)
+        })
+    }
+
     /// π — projection (Def. 6): remove one column from `C`.
     ///
     /// * A **base** column is merely hidden (`R` is untouched) and can be
@@ -2722,6 +2737,19 @@ impl Spreadsheet {
             relation,
             state,
         })
+    }
+
+    /// Raw durability snapshot: the live base relation and query state
+    /// exactly as they stand — selections retained, nothing consumed.
+    /// Unlike [`Self::save`], which evaluates and folds state for binary
+    /// operators, re-opening this image via [`Self::open`] reproduces the
+    /// sheet bit for bit, which is what log compaction needs.
+    pub fn freeze_raw(&self) -> StoredSheet {
+        StoredSheet {
+            name: self.name.clone(),
+            relation: (*self.base).clone(),
+            state: self.state.clone(),
+        }
     }
 
     /// **Open** (Sec. III-C): resurrect a stored sheet as the current one.

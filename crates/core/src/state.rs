@@ -75,6 +75,20 @@ impl QueryState {
         id
     }
 
+    /// Record a selection under a caller-chosen id. Replicated sheets
+    /// derive selection ids from the creating event's identity, so the id
+    /// must survive as given; the entry is inserted in id order (not
+    /// appended) so that replicas converging on the same event set hold
+    /// bitwise-identical state regardless of merge order, and the local
+    /// counter jumps past `id` so later local selections never collide.
+    pub fn add_selection_with_id(&mut self, id: u64, predicate: Expr) -> u64 {
+        let pos = self.selections.partition_point(|s| s.id < id);
+        self.selections
+            .insert(pos, SelectionEntry { id, predicate });
+        self.next_selection_id = self.next_selection_id.max(id + 1);
+        id
+    }
+
     pub fn selection(&self, id: u64) -> Option<&SelectionEntry> {
         self.selections.iter().find(|s| s.id == id)
     }

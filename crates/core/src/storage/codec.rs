@@ -85,6 +85,12 @@ pub(crate) enum FrameKind {
     Chunk = 3,
     /// Offsets of everything else; located via the fixed-size tail.
     Footer = 4,
+    /// Write-ahead log header: replica id, compacted version vector,
+    /// compaction frontier (first frame of a `.wal` file).
+    WalHeader = 5,
+    /// One committed [`OpEvent`](crate::replica::OpEvent) in a `.wal`
+    /// file (payload is the event's JSON encoding).
+    WalOp = 6,
 }
 
 impl FrameKind {
@@ -94,6 +100,8 @@ impl FrameKind {
             2 => Ok(FrameKind::Dict),
             3 => Ok(FrameKind::Chunk),
             4 => Ok(FrameKind::Footer),
+            5 => Ok(FrameKind::WalHeader),
+            6 => Ok(FrameKind::WalOp),
             other => Err(corrupt(format!("unknown frame kind {other}"))),
         }
     }

@@ -20,12 +20,14 @@
 mod codec;
 mod paged;
 mod reader;
+pub mod wal;
 mod writer;
 
 pub use paged::PagedSheet;
 pub use reader::SheetFile;
 
 use crate::error::{Result, SheetError};
+use crate::replica::VersionVector;
 use crate::sheet::StoredSheet;
 use std::io::Write;
 use std::path::Path;
@@ -53,6 +55,19 @@ pub fn save_sheet(sheet: &StoredSheet, path: impl AsRef<Path>) -> Result<()> {
     write_atomic(path.as_ref(), &bytes)
 }
 
+/// [`save_sheet`], stamping a replication version vector into the meta
+/// frame — the durable layer's compaction snapshots record which events
+/// are already baked into the file.
+pub fn save_sheet_with_vv(
+    sheet: &StoredSheet,
+    vv: &VersionVector,
+    path: impl AsRef<Path>,
+) -> Result<()> {
+    ssa_relation::fault_check!("persist.bin_write");
+    let bytes = writer::encode_with_vv(sheet, vv)?;
+    write_atomic(path.as_ref(), &bytes)
+}
+
 /// Write a stored sheet to `path` in the JSON compatibility format,
 /// with the same atomic temp-file + rename discipline.
 pub fn save_sheet_json(sheet: &StoredSheet, path: impl AsRef<Path>) -> Result<()> {
@@ -60,7 +75,7 @@ pub fn save_sheet_json(sheet: &StoredSheet, path: impl AsRef<Path>) -> Result<()
     write_atomic(path.as_ref(), text.as_bytes())
 }
 
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = Path::new(&tmp);
@@ -103,6 +118,32 @@ pub fn open_sheet(path: impl AsRef<Path>) -> Result<StoredSheet> {
     } else {
         let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, e))?;
         StoredSheet::from_json(&text)
+    }
+}
+
+/// [`open_sheet`] plus the replication version vector stamped into the
+/// file (empty for ordinary sheets and all JSON files).
+pub fn open_sheet_with_vv(path: impl AsRef<Path>) -> Result<(StoredSheet, VersionVector)> {
+    let path = path.as_ref();
+    let mut head = [0u8; 4];
+    {
+        use std::io::Read;
+        let mut f = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
+        let n = f.read(&mut head).map_err(|e| io_err("read", path, e))?;
+        if n < 4 {
+            return Err(corrupt(format!(
+                "{} is too short to be a sheet file",
+                path.display()
+            )));
+        }
+    }
+    if is_binary_image(&head) {
+        let file = SheetFile::open(path)?;
+        let vv = file.replica_vv().clone();
+        Ok((file.materialize()?, vv))
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, e))?;
+        Ok((StoredSheet::from_json(&text)?, VersionVector::new()))
     }
 }
 

@@ -16,6 +16,7 @@ use super::codec::{
 use super::writer::{type_from_tag, ChunkEncoding};
 use crate::error::Result;
 use crate::persist;
+use crate::replica::{EventId, VersionVector};
 use crate::sheet::StoredSheet;
 use crate::state::QueryState;
 use ssa_relation::schema::Column;
@@ -97,6 +98,7 @@ pub struct SheetFile {
     schema: Schema,
     rows: usize,
     state: QueryState,
+    replica_vv: VersionVector,
     dict_offset: u64,
     chunks: Vec<Vec<ChunkRef>>,
     dict: OnceLock<Vec<Sym>>,
@@ -226,8 +228,19 @@ impl SheetFile {
             )));
         }
         let state_json = cur.string()?;
+        // Optional trailing section: replication version vector of a
+        // compaction snapshot (absent in ordinary sheet files).
+        let mut replica_vv = VersionVector::new();
         if !cur.is_empty() {
-            return Err(corrupt("trailing bytes in meta frame"));
+            let n = cur.u32()?;
+            for _ in 0..n {
+                let replica = cur.u64()?;
+                let seq = cur.u64()?;
+                replica_vv.record(EventId { replica, seq });
+            }
+            if !cur.is_empty() {
+                return Err(corrupt("trailing bytes in meta frame"));
+            }
         }
         let schema = Schema::new(columns).map_err(corrupt)?;
         let state = persist::state_from_json(&persist::Json::parse(&state_json)?)?;
@@ -241,6 +254,7 @@ impl SheetFile {
             schema,
             rows,
             state,
+            replica_vv,
             dict_offset,
             chunks,
             dict: OnceLock::new(),
@@ -254,6 +268,12 @@ impl SheetFile {
 
     pub fn relation_name(&self) -> &str {
         &self.relation_name
+    }
+
+    /// The replication version vector stamped into a compaction
+    /// snapshot; empty for ordinary sheet files.
+    pub fn replica_vv(&self) -> &VersionVector {
+        &self.replica_vv
     }
 
     pub fn schema(&self) -> &Schema {

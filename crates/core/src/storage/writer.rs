@@ -22,6 +22,7 @@ use super::codec::{
 };
 use crate::error::Result;
 use crate::persist;
+use crate::replica::VersionVector;
 use crate::sheet::StoredSheet;
 use ssa_relation::{Value, ValueType};
 use std::collections::HashMap;
@@ -129,7 +130,7 @@ impl Dict {
     }
 }
 
-fn meta_payload(sheet: &StoredSheet) -> Result<Vec<u8>> {
+fn meta_payload(sheet: &StoredSheet, vv: &VersionVector) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     put_str(&mut out, &sheet.name)?;
     put_str(&mut out, sheet.relation.name())?;
@@ -144,6 +145,17 @@ fn meta_payload(sheet: &StoredSheet) -> Result<Vec<u8>> {
     // tiny (no row data), structurally lossless, and reusing it keeps one
     // source of truth for expression encoding across both formats.
     put_str(&mut out, &persist::state_to_json(&sheet.state).render())?;
+    // Optional trailing section: the replication version vector of a
+    // compaction snapshot (count + (replica, seq) pairs). Written only
+    // when non-empty, so ordinary sheets keep the original byte layout;
+    // the reader treats an exhausted cursor as an empty vector.
+    if !vv.is_empty() {
+        put_u32(&mut out, vv.iter().count() as u32);
+        for (replica, seq) in vv.iter() {
+            put_u64(&mut out, replica);
+            put_u64(&mut out, seq);
+        }
+    }
     Ok(out)
 }
 
@@ -240,11 +252,17 @@ fn chunk_payload(col: u32, first_row: u64, page: &[&Value], dict: &Dict) -> Vec<
 
 /// Encode a stored sheet into the full binary file image.
 pub(crate) fn encode(sheet: &StoredSheet) -> Result<Vec<u8>> {
+    encode_with_vv(sheet, &VersionVector::new())
+}
+
+/// [`encode`], stamping a replication version vector into the meta frame
+/// (compaction snapshots record which events are baked in).
+pub(crate) fn encode_with_vv(sheet: &StoredSheet, vv: &VersionVector) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&BINARY_VERSION.to_le_bytes());
 
-    let meta_off = write_frame(&mut out, FrameKind::Meta, &meta_payload(sheet)?)?;
+    let meta_off = write_frame(&mut out, FrameKind::Meta, &meta_payload(sheet, vv)?)?;
     let dict = Dict::build(sheet);
     let dict_off = write_frame(&mut out, FrameKind::Dict, &dict.payload()?)?;
 

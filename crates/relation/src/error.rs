@@ -27,6 +27,10 @@ pub enum RelationError {
     BadAggregate { context: String },
     /// A value could not be parsed from text.
     ParseValue { text: String, wanted: &'static str },
+    /// A row index past the end of the relation. Typed (rather than a
+    /// panic) because replicated cell updates can legitimately race a
+    /// concurrent delete and must degrade to a recoverable error.
+    RowOutOfRange { row: usize, len: usize },
     /// Malformed CSV input.
     Csv { line: usize, message: String },
     /// The named relation is not present in the catalog.
@@ -64,6 +68,9 @@ impl fmt::Display for RelationError {
             RelationError::BadAggregate { context } => write!(f, "bad aggregate: {context}"),
             RelationError::ParseValue { text, wanted } => {
                 write!(f, "cannot parse `{text}` as {wanted}")
+            }
+            RelationError::RowOutOfRange { row, len } => {
+                write!(f, "row {row} is out of range (relation has {len} rows)")
             }
             RelationError::Csv { line, message } => {
                 write!(f, "CSV error at line {line}: {message}")

@@ -25,6 +25,11 @@ pub enum Behavior {
     Error,
     /// Panic with the site name in the payload (exercises unwind paths).
     Panic,
+    /// Abort the whole process (`std::process::abort`) — a hard crash
+    /// with no unwinding and no destructors, equivalent to `kill -9`
+    /// landing exactly at the site. Only meaningful in child processes
+    /// spawned by crash-recovery tests (armed via [`arm_from_env`]).
+    Abort,
 }
 
 #[derive(Debug)]
@@ -105,14 +110,24 @@ fn fire(site: &str) -> Option<Behavior> {
     })
 }
 
+/// Hard-stop the process at `site` (no unwinding, no destructors). The
+/// eprintln gives crash tests something to correlate in the child's
+/// stderr before the abort.
+fn abort_at(site: &str) -> ! {
+    eprintln!("fault: aborting process at `{site}`");
+    std::process::abort();
+}
+
 /// Failpoint probe for fallible sites. Counts a hit; when armed for this
-/// hit, either returns `Err(FaultInjected)` or panics per the behavior.
+/// hit, either returns `Err(FaultInjected)`, panics, or aborts the
+/// process per the behavior.
 pub fn check(site: &str) -> Result<()> {
     match fire(site) {
         Some(Behavior::Error) => Err(RelationError::FaultInjected {
             site: site.to_string(),
         }),
         Some(Behavior::Panic) => panic!("fault injected at `{site}`"),
+        Some(Behavior::Abort) => abort_at(site),
         None => Ok(()),
     }
 }
@@ -124,15 +139,58 @@ pub fn should_fire(site: &str) -> bool {
     match fire(site) {
         Some(Behavior::Error) => true,
         Some(Behavior::Panic) => panic!("fault injected at `{site}`"),
+        Some(Behavior::Abort) => abort_at(site),
         None => false,
     }
 }
 
 /// Failpoint probe for panic-only sites inside infallible worker closures.
 pub fn maybe_panic(site: &str) {
-    if fire(site).is_some() {
-        panic!("fault injected at `{site}`");
+    match fire(site) {
+        Some(Behavior::Abort) => abort_at(site),
+        Some(_) => panic!("fault injected at `{site}`"),
+        None => {}
     }
+}
+
+/// Arm failpoints from the `SSA_FAULTS` environment variable, so a child
+/// process under test can be made to die (or fail) deterministically at a
+/// named site. Format: comma-separated `site=nth:behavior` specs, with
+/// behavior one of `error`, `panic`, `abort`:
+///
+/// ```text
+/// SSA_FAULTS="wal.fsync=3:abort,server.publish=1:error"
+/// ```
+///
+/// Returns the number of sites armed; malformed specs are reported on
+/// stderr and skipped (a crash-test child should still come up).
+pub fn arm_from_env() -> usize {
+    let Ok(spec) = std::env::var("SSA_FAULTS") else {
+        return 0;
+    };
+    let mut armed = 0;
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let parsed = (|| {
+            let (site, rest) = part.trim().split_once('=')?;
+            let (nth, behavior) = rest.split_once(':')?;
+            let nth: u64 = nth.parse().ok()?;
+            let behavior = match behavior {
+                "error" => Behavior::Error,
+                "panic" => Behavior::Panic,
+                "abort" => Behavior::Abort,
+                _ => return None,
+            };
+            Some((site.to_string(), nth, behavior))
+        })();
+        match parsed {
+            Some((site, nth, behavior)) => {
+                arm(&site, nth, behavior);
+                armed += 1;
+            }
+            None => eprintln!("fault: ignoring malformed SSA_FAULTS spec {part:?}"),
+        }
+    }
+    armed
 }
 
 /// Global serialization lock for tests that arm failpoints: the registry
@@ -176,6 +234,25 @@ mod tests {
         arm("t.degrade", 1, Behavior::Error);
         disarm("t.degrade");
         assert!(!should_fire("t.degrade"));
+        reset();
+    }
+
+    #[test]
+    fn arm_from_env_parses_specs_and_skips_garbage() {
+        let _guard = lock();
+        reset();
+        std::env::set_var(
+            "SSA_FAULTS",
+            "t.env=2:error, t.env2=1:panic ,notaspec,t.bad=1:explode",
+        );
+        assert_eq!(arm_from_env(), 2);
+        std::env::remove_var("SSA_FAULTS");
+        assert!(check("t.env").is_ok());
+        assert!(matches!(
+            check("t.env"),
+            Err(RelationError::FaultInjected { site }) if site == "t.env"
+        ));
+        assert!(std::panic::catch_unwind(|| check("t.env2")).is_err());
         reset();
     }
 

@@ -198,12 +198,9 @@ impl Relation {
     pub fn set_value(&mut self, row: usize, column: &str, value: Value) -> Result<Value> {
         let idx = self.schema.index_of(column)?;
         if row >= self.rows.len() {
-            return Err(RelationError::TypeMismatch {
-                context: format!(
-                    "row index {row} out of range for `{}` ({} rows)",
-                    self.name,
-                    self.rows.len()
-                ),
+            return Err(RelationError::RowOutOfRange {
+                row,
+                len: self.rows.len(),
             });
         }
         let old = *self.rows[row].get(idx);
@@ -214,7 +211,11 @@ impl Relation {
     /// Value at (row, column-name).
     pub fn value_at(&self, row: usize, column: &str) -> Result<&Value> {
         let idx = self.schema.index_of(column)?;
-        Ok(self.rows[row].get(idx))
+        let tuple = self.rows.get(row).ok_or(RelationError::RowOutOfRange {
+            row,
+            len: self.rows.len(),
+        })?;
+        Ok(tuple.get(idx))
     }
 
     /// All values in a column, in row order.

@@ -12,6 +12,11 @@
 //! | POST   | /sheets/{name}/rows     | CSV rows (no hdr)  | append via writer |
 //! | POST   | /sheets/{name}/delete   | row ids            | delete via writer |
 //! | POST   | /sheets/{name}/cells    | `row col literal`  | update via writer |
+//! | POST   | /sheets/{name}/ops      | op lines           | replicated query-state ops |
+//! | GET    | /sheets/{name}/sync     | —                  | full replication payload |
+//! | POST   | /sheets/{name}/sync     | sync payload       | merge peer log, reply with ours |
+//! | POST   | /sheets/{name}/compact  | —                  | snapshot + truncate the WAL |
+//! | GET    | /sheets/{name}/fingerprint | —               | canonical (base, state) rendering |
 //! | POST   | /sessions?sheet=name    | —                  | open a session |
 //! | GET    | /sessions/{id}/view     | —                  | rendered view |
 //! | GET    | /sessions/{id}/explain  | —                  | evaluation plan |
@@ -22,28 +27,38 @@
 //! Write commands (`feed`, `setcell`, …) inside `/apply` get 409: a
 //! session reads a shared immutable snapshot, so base edits must go
 //! through the sheet's serialized writer endpoints.
+//!
+//! `/sheets/{name}/ops` is the replicated counterpart of `/apply`: each
+//! line becomes a tagged [`SheetOp`] event committed through the WAL on
+//! the *shared* writer sheet (DESIGN.md §17), so it survives crashes
+//! and flows to peers over `/sync`.
 
 use crate::host::{ServerState, SessionSlot};
 use crate::http::{Request, Response};
 use crate::wire;
 use sheetmusiq::is_write_command;
-use spreadsheet_algebra::{Result, SheetError};
+use spreadsheet_algebra::{Result, SheetError, SheetOp};
 use ssa_relation::{csv, RelationError};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Map a sheet-level error onto an HTTP status: unknown names are 404,
-/// injected faults are 503 (retryable), internal invariants are 500,
-/// and everything else — bad literals, incompatible schemas, operations
+/// injected faults are 503 (retryable), internal invariants and a
+/// corrupt mid-log WAL frame are 500, a peer behind the compaction
+/// frontier is 409 (it must re-bootstrap from the snapshot), and
+/// everything else — bad literals, incompatible schemas, operations
 /// the algebra rejects — is the client's 400.
 pub fn status_for(err: &SheetError) -> u16 {
     match err {
         SheetError::UnknownSheet { .. }
         | SheetError::UnknownColumn { .. }
         | SheetError::UnknownSelection { .. }
-        | SheetError::Relation(RelationError::UnknownRelation { .. }) => 404,
+        | SheetError::Relation(RelationError::UnknownRelation { .. })
+        | SheetError::Relation(RelationError::RowOutOfRange { .. }) => 404,
         SheetError::Relation(RelationError::FaultInjected { .. }) => 503,
+        SheetError::BehindCompaction { .. } => 409,
         SheetError::Relation(RelationError::WorkerPanicked { .. })
         | SheetError::Internal { .. }
+        | SheetError::TornLog { .. }
         | SheetError::AuditDivergence { .. } => 500,
         _ => 400,
     }
@@ -202,6 +217,82 @@ fn update_cell(state: &ServerState, name: &str, req: &Request) -> Response {
     })
 }
 
+/// Replicated query-state (and base) ops: each non-empty line is parsed
+/// as one [`SheetOp`] and committed through the durable pipeline —
+/// apply, WAL append, publish — so the response acks logged events. The
+/// whole body is parsed before anything commits, so a bad line rejects
+/// the batch instead of acking half of it.
+fn sheet_ops(state: &ServerState, name: &str, req: &Request) -> Response {
+    let body = match body_text(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    respond(|| {
+        let ops = body
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(SheetOp::parse_command)
+            .collect::<Result<Vec<SheetOp>>>()?;
+        if ops.is_empty() {
+            return Err(SheetError::Persist {
+                message: "empty op body".to_string(),
+            });
+        }
+        let host = state.host(name)?;
+        let mut version = 0;
+        let mut events = Vec::with_capacity(ops.len());
+        for op in ops {
+            let (event, v) = host.apply_op(op)?;
+            version = v;
+            events.push(format!("[{}, {}]", event.replica, event.seq));
+        }
+        Ok(Response::json(
+            200,
+            format!(
+                "{{\"applied\": {}, \"version\": {version}, \"events\": [{}]}}\n",
+                events.len(),
+                events.join(", ")
+            ),
+        ))
+    })
+}
+
+/// GET: the full replication payload. POST: one sync exchange — merge
+/// the peer's payload, reply with the events it is missing.
+fn sheet_sync(state: &ServerState, name: &str, req: &Request) -> Response {
+    respond(|| {
+        let host = state.host(name)?;
+        let payload = if req.method == "GET" {
+            host.sync_pull()?
+        } else {
+            let body = match body_text(req) {
+                Ok(b) => b,
+                Err(_) => {
+                    return Err(SheetError::Persist {
+                        message: "sync body is not valid UTF-8".to_string(),
+                    })
+                }
+            };
+            host.sync_exchange(body)?
+        };
+        Ok(Response::json(200, payload))
+    })
+}
+
+fn sheet_compact(state: &ServerState, name: &str) -> Response {
+    respond(|| {
+        let wal_len = state.host(name)?.compact()?;
+        Ok(Response::json(
+            200,
+            format!("{{\"compacted\": true, \"wal_bytes\": {wal_len}}}\n"),
+        ))
+    })
+}
+
+fn sheet_fingerprint(state: &ServerState, name: &str) -> Response {
+    respond(|| Ok(Response::json(200, state.host(name)?.fingerprint())))
+}
+
 fn create_session(state: &ServerState, req: &Request) -> Response {
     let Some(sheet) = req.query.get("sheet") else {
         return Response::json(
@@ -328,6 +419,10 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
         ("POST", ["sheets", name, "rows"]) => append_rows(state, name, req),
         ("POST", ["sheets", name, "delete"]) => delete_rows(state, name, req),
         ("POST", ["sheets", name, "cells"]) => update_cell(state, name, req),
+        ("POST", ["sheets", name, "ops"]) => sheet_ops(state, name, req),
+        ("GET" | "POST", ["sheets", name, "sync"]) => sheet_sync(state, name, req),
+        ("POST", ["sheets", name, "compact"]) => sheet_compact(state, name),
+        ("GET", ["sheets", name, "fingerprint"]) => sheet_fingerprint(state, name),
         ("POST", ["sessions"]) => create_session(state, req),
         ("POST", ["sessions", id, "apply"]) => session_apply(state, id, req),
         ("GET", ["sessions", id, "view"]) => session_view(state, id),

@@ -1,22 +1,35 @@
 //! The `ssa-server` binary: host spreadsheets over HTTP.
 //!
 //! ```text
-//! ssa-server [--port N] [--pool N] [--preload tiny|scale:F] [--open FILE]...
+//! ssa-server [--port N] [--pool N] [--backlog N]
+//!            [--preload tiny|scale:F] [--open FILE]...
+//!            [--durable DIR] [--fsync always|batch:MS|never] [--replica N]
 //! ```
 //!
 //! `--preload` hosts the deterministic TPC-H tables (seed 42) so the
 //! server starts with data to query; new sheets can always be created
 //! at runtime with `PUT /sheets/{name}` and a CSV body. `--open`
-//! (repeatable) registers binary sheet files from the paged store:
-//! startup reads only each file's header and footer, and row data loads
-//! lazily when a session first touches the sheet.
+//! (repeatable) registers binary sheet files: on a durable server it
+//! recovers snapshot + WAL tail (DESIGN.md §17); otherwise it uses the
+//! paged store, reading only header/footer and loading rows lazily.
+//!
+//! `--durable DIR` makes every hosted sheet crash-safe: commits append
+//! to a per-sheet write-ahead log under DIR before they are acked, with
+//! the fsync policy from `--fsync` (default `batch:25`). `--replica`
+//! sets the id stamped on committed events — give each server of a
+//! replicated group a distinct one. `--backlog` bounds the accept
+//! queue; overflow connections get 503 + Retry-After.
 
-use ssa_server::ServerState;
+use ssa_server::{DurabilityConfig, ServerState};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ssa-server [--port N] [--pool N] [--preload tiny|scale:F] [--open FILE]...");
+    eprintln!(
+        "usage: ssa-server [--port N] [--pool N] [--backlog N] \
+         [--preload tiny|scale:F] [--open FILE]... \
+         [--durable DIR] [--fsync always|batch:MS|never] [--replica N]"
+    );
     ExitCode::FAILURE
 }
 
@@ -52,8 +65,12 @@ fn preload(state: &ServerState, spec: &str) -> Result<(), String> {
 fn main() -> ExitCode {
     let mut port = 7878u16;
     let mut pool = 4usize;
+    let mut backlog: Option<usize> = None;
     let mut preload_spec: Option<String> = None;
     let mut open_paths: Vec<String> = Vec::new();
+    let mut durable_dir: Option<String> = None;
+    let mut fsync_spec = "batch:25".to_string();
+    let mut replica = 0u64;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -71,8 +88,20 @@ fn main() -> ExitCode {
                     .map(|p| pool = p.max(1))
                     .map_err(|_| format!("bad pool size {v:?}"))
             }),
+            "--backlog" => value(&mut argv).and_then(|v| {
+                v.parse::<usize>()
+                    .map(|b| backlog = Some(b.max(1)))
+                    .map_err(|_| format!("bad backlog size {v:?}"))
+            }),
             "--preload" => value(&mut argv).map(|v| preload_spec = Some(v)),
             "--open" => value(&mut argv).map(|v| open_paths.push(v)),
+            "--durable" => value(&mut argv).map(|v| durable_dir = Some(v)),
+            "--fsync" => value(&mut argv).map(|v| fsync_spec = v),
+            "--replica" => value(&mut argv).and_then(|v| {
+                v.parse::<u64>()
+                    .map(|r| replica = r)
+                    .map_err(|_| format!("bad replica id {v:?}"))
+            }),
             "--help" | "-h" => return usage(),
             other => Err(format!("unknown argument {other:?}")),
         };
@@ -82,7 +111,39 @@ fn main() -> ExitCode {
         }
     }
 
-    let state = Arc::new(ServerState::new());
+    // Crash-schedule tests arm failpoints in the child through the
+    // environment; a release build compiles this away entirely.
+    #[cfg(feature = "fault-injection")]
+    {
+        let armed = ssa_relation::fault::arm_from_env();
+        if armed > 0 {
+            eprintln!("armed {armed} failpoint(s) from SSA_FAULTS");
+        }
+    }
+
+    let policy = match spreadsheet_algebra::FsyncPolicy::parse(&fsync_spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    let state = match &durable_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create durability dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Arc::new(ServerState::durable(DurabilityConfig {
+                dir: dir.into(),
+                policy,
+                replica,
+            }))
+        }
+        None => Arc::new(ServerState::new()),
+    };
+
     if let Some(spec) = preload_spec {
         if let Err(e) = preload(&state, &spec) {
             eprintln!("error: {e}");
@@ -90,8 +151,13 @@ fn main() -> ExitCode {
         }
     }
     for path in open_paths {
-        match state.open_sheet_file(&path) {
-            Ok((name, rows)) => eprintln!("opened {name} ({rows} rows, paged) from {path}"),
+        let opened = if durable_dir.is_some() {
+            state.open_durable_sheet(&path)
+        } else {
+            state.open_sheet_file(&path)
+        };
+        match opened {
+            Ok((name, rows)) => eprintln!("opened {name} ({rows} rows) from {path}"),
             Err(e) => {
                 eprintln!("error: open {path}: {e}");
                 return ExitCode::FAILURE;
@@ -99,13 +165,32 @@ fn main() -> ExitCode {
         }
     }
 
-    let handle = match ssa_server::serve(Arc::clone(&state), ("127.0.0.1", port), pool) {
-        Ok(h) => h,
-        Err(e) => {
-            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
-            return ExitCode::FAILURE;
+    // Under `--fsync batch:MS` a background sweep flushes dirty WALs on
+    // the batch interval, bounding the window in which an acked-but-
+    // unsynced op can be lost to a power cut (a process crash alone
+    // loses nothing: the OS has the appended bytes).
+    if durable_dir.is_some() {
+        if let spreadsheet_algebra::FsyncPolicy::Batch(interval) = policy {
+            let flusher_state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("ssa-server-wal-flush".into())
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    flusher_state.flush_wals();
+                })
+                .expect("spawn wal flusher thread");
         }
-    };
+    }
+
+    let backlog = backlog.unwrap_or(pool * 16 + 16);
+    let handle =
+        match ssa_server::serve_with(Arc::clone(&state), ("127.0.0.1", port), pool, backlog) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     // The smoke script scrapes this exact line for the bound address.
     println!("listening on {}", handle.addr());
 

@@ -8,6 +8,15 @@
 //! accept failure drops that one connection attempt and keeps serving —
 //! robustness tests prove a transient accept error never kills the
 //! server.
+//!
+//! Load shedding: accepted connections queue in a *bounded* channel
+//! between the accept loop and the worker pool. When every worker is
+//! busy and the backlog is full, the accept loop answers the overflow
+//! connection inline with `503 Service Unavailable` + `Retry-After` and
+//! closes it — bounded memory under overload, and clients get an
+//! explicit retry signal instead of an unbounded queue or a silent
+//! reset (`scripts/server_smoke.sh` retries on it with jittered
+//! backoff).
 
 use crate::api;
 use crate::host::ServerState;
@@ -40,6 +49,8 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: String,
+    /// Seconds for a `Retry-After` header (load-shedding 503s).
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -48,6 +59,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -56,7 +68,21 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body,
+            retry_after: None,
         }
+    }
+
+    /// The load-shedding response: the worker pool and its bounded
+    /// backlog are saturated, come back after `retry_after` seconds.
+    pub fn unavailable(retry_after: u32) -> Response {
+        let mut resp = Response::json(
+            503,
+            format!(
+                "{{\"error\": \"server saturated, retry after {retry_after}s\", \"status\": 503}}\n"
+            ),
+        );
+        resp.retry_after = Some(retry_after);
+        resp
     }
 
     fn reason(status: u16) -> &'static str {
@@ -77,13 +103,17 @@ impl Response {
     fn write_to(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             Self::reason(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(out, "Retry-After: {secs}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
         out.write_all(self.body.as_bytes())
     }
 }
@@ -277,17 +307,34 @@ fn accept_fault() -> bool {
     }
 }
 
-/// Bind and serve `state` on `addr` with `pool` worker threads.
+/// Seconds a shed client is told to wait before retrying.
+const SHED_RETRY_AFTER_SECS: u32 = 1;
+
+/// Bind and serve `state` on `addr` with `pool` worker threads and a
+/// default accept backlog of `pool * 16 + 16` queued connections.
 /// Returns once the listener is live; use the handle to stop.
 pub fn serve(
     state: Arc<ServerState>,
     addr: impl ToSocketAddrs,
     pool: usize,
 ) -> std::io::Result<ServerHandle> {
+    let backlog = pool.max(1) * 16 + 16;
+    serve_with(state, addr, pool, backlog)
+}
+
+/// [`serve`] with an explicit accept-backlog bound: at most `backlog`
+/// accepted connections wait for a worker; the overflow connection is
+/// answered inline with a 503 + `Retry-After` and closed.
+pub fn serve_with(
+    state: Arc<ServerState>,
+    addr: impl ToSocketAddrs,
+    pool: usize,
+    backlog: usize,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(backlog.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
     let workers: Vec<JoinHandle<()>> = (0..pool.max(1))
@@ -326,11 +373,19 @@ pub fn serve(
                     continue; // transient fault: drop this connection only
                 }
                 match stream {
-                    Ok(s) => {
-                        if tx.send(s).is_err() {
-                            break;
+                    Ok(s) => match tx.try_send(s) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(s)) => {
+                            // Pool + backlog saturated: shed this
+                            // connection with an explicit retry signal
+                            // instead of queueing without bound.
+                            let mut s = s;
+                            let _ = Response::unavailable(SHED_RETRY_AFTER_SECS)
+                                .write_to(&mut s, false);
+                            let _ = s.flush();
                         }
-                    }
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    },
                     Err(_) => continue, // transient OS-level accept error
                 }
             }

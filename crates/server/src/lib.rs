@@ -12,6 +12,13 @@
 //! swap. Fault sites `server.publish` and `server.accept` (§12) prove a
 //! failed publish never corrupts readers and a transient accept fault
 //! never kills the server.
+//!
+//! With `--durable DIR` the writer is backed by a per-sheet write-ahead
+//! log (DESIGN.md §17): every committed op is appended (fsync per
+//! `--fsync always|batch:<ms>|never`) *before* the snapshot publish and
+//! the client ack, `--open` recovers snapshot + WAL tail after a crash,
+//! and `/sheets/{name}/sync` exchanges op-logs with peer replicas,
+//! converging deterministically per the paper's Theorems 2–3.
 
 pub mod api;
 pub mod host;
@@ -19,5 +26,7 @@ pub mod http;
 pub mod wire;
 
 pub use api::{route, status_for};
-pub use host::{session_over, ServerState, SessionSlot, SheetHost, SheetSnapshot};
-pub use http::{serve, Request, Response, ServerHandle};
+pub use host::{
+    session_over, DurabilityConfig, ServerState, SessionSlot, SheetHost, SheetSnapshot,
+};
+pub use http::{serve, serve_with, Request, Response, ServerHandle};

@@ -1,0 +1,239 @@
+//! Hard-kill recovery: spawn the real `ssa-server` binary, kill it —
+//! SIGKILL mid-workload, or `std::process::abort` at an armed WAL
+//! failpoint — restart it with `--open`, and assert the §17 durability
+//! contract: **every op the client saw acked survives recovery** (with
+//! `--fsync always`; recovery may additionally contain ops that were
+//! logged but never acked, which is allowed).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+
+const CARS_CSV: &str = "\
+Id,Model,Price,Year
+1,Jetta,15500,2005
+2,Golf,13990,2004
+";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ssa-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// Spawn the server binary on an ephemeral port and scrape the bound
+/// address off its stdout. `faults` goes into `SSA_FAULTS` (armed only
+/// when the binary was built with fault-injection).
+fn spawn_server(args: &[&str], faults: Option<&str>) -> (Child, SocketAddr) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ssa-server"));
+    cmd.args(["--port", "0", "--pool", "2"])
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match faults {
+        Some(spec) => cmd.env("SSA_FAULTS", spec),
+        None => cmd.env_remove("SSA_FAULTS"),
+    };
+    let mut child = cmd.spawn().expect("spawn ssa-server");
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read child stdout");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.trim().parse().expect("parse bound address");
+        }
+    };
+    (child, addr)
+}
+
+/// One-shot request that tolerates a dying server: any I/O error (reset,
+/// refused, torn response) is `Err`, which the workload treats as
+/// "never acked".
+fn try_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    try_request(addr, method, path, body).expect("request")
+}
+
+/// Restart from the snapshot + WAL in `dir` and assert every acked
+/// marker row is present in the recovered CSV.
+fn assert_recovered(dir: &Path, acked: &[u32]) {
+    let open = dir.join("cars.sheet");
+    let open = open.to_str().expect("utf-8 path");
+    let dir_arg = dir.to_str().expect("utf-8 path");
+    let (mut child, addr) = spawn_server(
+        &["--durable", dir_arg, "--fsync", "always", "--open", open],
+        None,
+    );
+    let (status, csv) = request(addr, "GET", "/sheets/cars/csv", "");
+    assert_eq!(status, 200, "recovered csv: {csv}");
+    for id in acked {
+        assert!(
+            csv.contains(&format!("{id},Marker{id},")),
+            "acked row {id} lost after recovery (have {} acked)",
+            acked.len()
+        );
+    }
+    child.kill().ok();
+    child.wait().ok();
+}
+
+/// Drive appends against a server until it dies (or `max` acks), and
+/// return the ids the server actually acked with a 200.
+fn append_until_dead(addr: SocketAddr, start: u32, max: u32) -> Vec<u32> {
+    let mut acked = Vec::new();
+    for i in 0..max {
+        let id = start + i;
+        let row = format!("{id},Marker{id},{},2000\n", 1000 + id);
+        match try_request(addr, "POST", "/sheets/cars/rows", &row) {
+            Ok((200, _)) => acked.push(id),
+            Ok(_) | Err(_) => break,
+        }
+    }
+    acked
+}
+
+#[test]
+fn sigkill_mid_workload_loses_no_acked_op() {
+    // Deterministic schedule variety without wall-clock dependence: a
+    // seeded jitter decides how long the writer runs before the kill.
+    let mut rng = ssa_relation::rng::Rng::seed_from_u64(0xC0FFEE);
+    for round in 0..3u32 {
+        let dir = tmp_dir(&format!("sigkill-{round}"));
+        let dir_arg = dir.to_str().expect("utf-8 path").to_string();
+        let (mut child, addr) = spawn_server(&["--durable", &dir_arg, "--fsync", "always"], None);
+        let (status, body) = request(addr, "PUT", "/sheets/cars", CARS_CSV);
+        assert_eq!(status, 201, "create: {body}");
+
+        // Writer streams appends; the main thread SIGKILLs the server at
+        // a random point while requests are in flight.
+        let acked = Arc::new(Mutex::new(Vec::new()));
+        let acked_writer = Arc::clone(&acked);
+        let writer = std::thread::spawn(move || {
+            let ids = append_until_dead(addr, 100, 10_000);
+            acked_writer.lock().expect("acked lock").extend(ids);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(rng.gen_range(5..120)));
+        child.kill().expect("SIGKILL server");
+        child.wait().expect("reap server");
+        writer.join().expect("writer thread");
+
+        let acked = acked.lock().expect("acked lock").clone();
+        assert_recovered(&dir, &acked);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash-at-every-failpoint: abort the process *at* each WAL pipeline
+/// site via `SSA_FAULTS` and check that recovery keeps every acked op.
+/// Only meaningful when the binary has the failpoints compiled in.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn abort_at_each_wal_failpoint_loses_no_acked_op() {
+    for (site, nth) in [
+        ("wal.append", 4),
+        ("wal.fsync", 4),
+        ("server.publish", 4),
+        ("wal.append", 1),
+        ("wal.fsync", 7),
+    ] {
+        let dir = tmp_dir(&format!("abort-{}-{nth}", site.replace('.', "-")));
+        let dir_arg = dir.to_str().expect("utf-8 path").to_string();
+        let spec = format!("{site}={nth}:abort");
+        let (mut child, addr) =
+            spawn_server(&["--durable", &dir_arg, "--fsync", "always"], Some(&spec));
+        let (status, body) = request(addr, "PUT", "/sheets/cars", CARS_CSV);
+        assert_eq!(status, 201, "create under {spec}: {body}");
+
+        // Run appends into the armed abort: the request that hits the
+        // site never acks; everything acked before it must survive.
+        let acked = append_until_dead(addr, 200, 50);
+        assert!(
+            acked.len() < 50,
+            "failpoint {spec} never fired (all 50 appends acked)"
+        );
+        child.wait().expect("reap aborted server");
+
+        assert_recovered(&dir, &acked);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A replay fault on restart is a typed startup failure (nonzero exit),
+/// not a silent half-recovery — and a clean retry still recovers.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn replay_fault_fails_startup_then_clean_restart_recovers() {
+    let dir = tmp_dir("replay-fault");
+    let dir_arg = dir.to_str().expect("utf-8 path").to_string();
+    let (mut child, addr) = spawn_server(&["--durable", &dir_arg, "--fsync", "always"], None);
+    request(addr, "PUT", "/sheets/cars", CARS_CSV);
+    let acked = append_until_dead(addr, 300, 5);
+    assert_eq!(acked.len(), 5, "workload acked");
+    child.kill().expect("kill server");
+    child.wait().expect("reap server");
+
+    // Restart with the replay failpoint armed: `--open` must fail the
+    // whole process rather than serve a partially recovered sheet.
+    let open = dir.join("cars.sheet");
+    let open_arg = open.to_str().expect("utf-8 path");
+    let status = Command::new(env!("CARGO_BIN_EXE_ssa-server"))
+        .args(["--port", "0", "--durable", &dir_arg, "--fsync", "always"])
+        .args(["--open", open_arg])
+        .env("SSA_FAULTS", "wal.replay=1:error")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run ssa-server with replay fault");
+    assert!(!status.success(), "replay fault must fail startup");
+
+    assert_recovered(&dir, &acked);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,10 +17,11 @@
 # BENCH_incremental.json (edit latency speedups), BENCH_join.json
 # (hash-vs-nested join speedups), BENCH_plan.json (planned multi-join
 # speedups), BENCH_stream.json (streaming base-delta speedups),
-# BENCH_server.json (shared-snapshot read throughput/tails) and
-# BENCH_persist.json (binary columnar save / cold-open speedups) today,
-# anything a future bench writes tomorrow. Plan, stream, server and
-# persist additionally carry absolute floors — see below.
+# BENCH_server.json (shared-snapshot read throughput/tails),
+# BENCH_persist.json (binary columnar save / cold-open speedups) and
+# BENCH_wal.json (durability tax of logged appends) today, anything a
+# future bench writes tomorrow. Plan, stream, server, persist and wal
+# additionally carry absolute floors — see below.
 #
 # By default only the speedup ratios are gated: they are means recorded
 # by the same run on the same machine, so they transfer across hosts,
@@ -101,6 +102,15 @@ SERVER_FLOOR_ROWS = 100_000
 PERSIST_SPEEDUP_FLOOR = 5.0
 PERSIST_FLOOR_ROWS = 1_000_000
 
+# Durability must not eat the streaming win: with the default batch
+# fsync policy, one acked logged append must keep the §14 >= 10x
+# speedup over full re-evaluation at the full 100k-row size, and cost
+# <= 2x the same append on an unlogged in-memory replica (DESIGN.md
+# §17). The never/always policies are covered by the relative gate.
+WAL_SPEEDUP_FLOOR = 10.0
+WAL_OVERHEAD_CEILING = 2.0
+WAL_FLOOR_ROWS = 100_000
+
 def floor_entries(path, fresh):
     """(section, entry, floor) triples whose speedup has an absolute
     floor on top of the relative gate."""
@@ -125,6 +135,11 @@ def floor_entries(path, fresh):
             if (entry.get("rows", 0) >= PERSIST_FLOOR_ROWS
                     and entry.get("scenario") == "cold_open_query_1col"):
                 yield "scenarios", entry, PERSIST_SPEEDUP_FLOOR
+    elif path == "BENCH_wal.json":
+        for entry in fresh.get("appends", []):
+            if (entry.get("rows", 0) >= WAL_FLOOR_ROWS
+                    and entry.get("scenario") == "append_wal_batch"):
+                yield "appends", entry, WAL_SPEEDUP_FLOOR
 
 def floor_checks(path, fresh):
     # Fast-mode runs only record the smoke size, so floors never fire.
@@ -146,6 +161,14 @@ def floor_checks(path, fresh):
                   f"{ratio:g} (need <= {ceiling:g})")
             if ratio > ceiling:
                 yield f"{label} p99_ratio {ratio:g} > ceiling {ceiling:g}"
+        if path == "BENCH_wal.json" and "overhead_ratio" in entry:
+            ratio = float(entry["overhead_ratio"])
+            ceiling = WAL_OVERHEAD_CEILING
+            verdict = "FAIL" if ratio > ceiling else "ok"
+            print(f"{verdict:4} {label} overhead_ratio ceiling: "
+                  f"{ratio:g} (need <= {ceiling:g})")
+            if ratio > ceiling:
+                yield f"{label} overhead_ratio {ratio:g} > ceiling {ceiling:g}"
 
 failures = []
 compared = 0

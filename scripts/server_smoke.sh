@@ -24,11 +24,36 @@ fi
 
 WORK_DIR="$(mktemp -d)"
 SERVER_PID=""
+REPLICA_PIDS=""
 cleanup() {
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    for pid in $REPLICA_PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$WORK_DIR"
 }
 trap cleanup EXIT INT TERM
+
+# wait_addr LOGFILE PID -> the "listening on ADDR" address, or dies.
+wait_addr() {
+    log="$1" pid="$2" addr="" tries=0
+    while [ -z "$addr" ]; do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "server_smoke: server (pid $pid) died during startup:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        addr="$(sed -n 's/^listening on //p' "$log" | head -n 1)"
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "server_smoke: no 'listening on' line after 10s" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        [ -z "$addr" ] && sleep 0.1
+    done
+    printf '%s' "$addr"
+}
 
 echo "==> booting $SERVER_BIN --port 0 --preload tiny"
 "$SERVER_BIN" --port 0 --preload tiny >"$WORK_DIR/server.log" 2>&1 &
@@ -36,43 +61,47 @@ SERVER_PID=$!
 
 # Wait for the "listening on ADDR" line (the binary prints it once the
 # socket is bound); fail fast if the process dies first.
-ADDR=""
-tries=0
-while [ -z "$ADDR" ]; do
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-        echo "server_smoke: server died during startup:" >&2
-        cat "$WORK_DIR/server.log" >&2
-        exit 1
-    fi
-    ADDR="$(sed -n 's/^listening on //p' "$WORK_DIR/server.log" | head -n 1)"
-    tries=$((tries + 1))
-    if [ "$tries" -gt 100 ]; then
-        echo "server_smoke: no 'listening on' line after 10s" >&2
-        cat "$WORK_DIR/server.log" >&2
-        exit 1
-    fi
-    [ -z "$ADDR" ] && sleep 0.1
-done
+ADDR="$(wait_addr "$WORK_DIR/server.log" "$SERVER_PID")"
 BASE="http://$ADDR"
 echo "==> server up at $BASE (pid $SERVER_PID)"
 
-# req METHOD PATH EXPECTED_STATUS [BODY_FILE] -> body on stdout.
-req() {
-    method="$1" path="$2" expect="$3" body_file="${4:-}"
+# req_at BASE METHOD PATH EXPECTED_STATUS [BODY_FILE] -> body on stdout.
+# A 503 means the accept queue shed the connection (the server asks for
+# a retry via Retry-After); back off with jitter and try again rather
+# than failing the smoke run on transient saturation.
+req_at() {
+    base="$1" method="$2" path="$3" expect="$4" body_file="${5:-}"
     out="$WORK_DIR/resp.body"
-    if [ -n "$body_file" ]; then
-        status="$(curl -s -o "$out" -w '%{http_code}' -X "$method" \
-            --data-binary "@$body_file" "$BASE$path")"
-    else
-        status="$(curl -s -o "$out" -w '%{http_code}' -X "$method" \
-            "$BASE$path")"
-    fi
+    attempt=0
+    while :; do
+        if [ -n "$body_file" ]; then
+            status="$(curl -s -o "$out" -w '%{http_code}' -X "$method" \
+                --data-binary "@$body_file" "$base$path")"
+        else
+            status="$(curl -s -o "$out" -w '%{http_code}' -X "$method" \
+                "$base$path")"
+        fi
+        if [ "$status" = 503 ] && [ "$expect" != 503 ] && [ "$attempt" -lt 5 ]; then
+            attempt=$((attempt + 1))
+            pause="$(awk -v a="$attempt" \
+                'BEGIN{srand(); printf "%.2f", 0.1 * a + rand() * 0.2}')"
+            echo "server_smoke: $method $path shed with 503; retry $attempt in ${pause}s" >&2
+            sleep "$pause"
+            continue
+        fi
+        break
+    done
     if [ "$status" != "$expect" ]; then
         echo "server_smoke: $method $path -> $status (want $expect)" >&2
         cat "$out" >&2
         exit 1
     fi
     cat "$out"
+}
+
+# req METHOD PATH EXPECTED_STATUS [BODY_FILE] -> body on stdout.
+req() {
+    req_at "$BASE" "$@"
 }
 
 # expect_contains HAYSTACK NEEDLE LABEL
@@ -157,5 +186,67 @@ echo "==> sessions close cleanly"
 req DELETE "/sessions/$id1" 200 >/dev/null
 req GET "/sessions/$id1/view" 404 >/dev/null
 req DELETE "/sessions/$id2" 200 >/dev/null
+
+# --- Durability & replication (DESIGN.md §17) -------------------------
+# Two durable replicas of the same sheet diverge, exchange op-logs over
+# /sync, and converge bitwise; a SIGKILLed replica reopens its snapshot
+# + WAL and still agrees with its peer.
+
+echo "==> booting two durable replicas (fsync always)"
+mkdir -p "$WORK_DIR/ra" "$WORK_DIR/rb"
+"$SERVER_BIN" --port 0 --durable "$WORK_DIR/ra" --fsync always --replica 1 \
+    >"$WORK_DIR/ra.log" 2>&1 &
+PID_A=$!
+REPLICA_PIDS="$REPLICA_PIDS $PID_A"
+"$SERVER_BIN" --port 0 --durable "$WORK_DIR/rb" --fsync always --replica 2 \
+    >"$WORK_DIR/rb.log" 2>&1 &
+PID_B=$!
+REPLICA_PIDS="$REPLICA_PIDS $PID_B"
+BASE_A="http://$(wait_addr "$WORK_DIR/ra.log" "$PID_A")"
+BASE_B="http://$(wait_addr "$WORK_DIR/rb.log" "$PID_B")"
+echo "==> replica 1 at $BASE_A, replica 2 at $BASE_B"
+
+echo "==> same genesis on both, divergent edits"
+req_at "$BASE_A" PUT /sheets/fruit 201 "$WORK_DIR/fruit.csv" >/dev/null
+req_at "$BASE_B" PUT /sheets/fruit 201 "$WORK_DIR/fruit.csv" >/dev/null
+printf 'select price < 2.0\norder qty desc 1\n' >"$WORK_DIR/ops_a"
+req_at "$BASE_A" POST /sheets/fruit/ops 200 "$WORK_DIR/ops_a" >/dev/null
+printf 'elderberry,12,1.75' >"$WORK_DIR/rows_b"
+req_at "$BASE_B" POST /sheets/fruit/rows 200 "$WORK_DIR/rows_b" >/dev/null
+fp_a="$(req_at "$BASE_A" GET /sheets/fruit/fingerprint 200)"
+fp_b="$(req_at "$BASE_B" GET /sheets/fruit/fingerprint 200)"
+if [ "$fp_a" = "$fp_b" ]; then
+    echo "server_smoke: replicas agree before sync (edits not divergent?)" >&2
+    exit 1
+fi
+
+echo "==> op-log exchange: A -> B, reply B -> A"
+req_at "$BASE_A" GET /sheets/fruit/sync 200 >"$WORK_DIR/pull_a"
+req_at "$BASE_B" POST /sheets/fruit/sync 200 "$WORK_DIR/pull_a" >"$WORK_DIR/reply_b"
+req_at "$BASE_A" POST /sheets/fruit/sync 200 "$WORK_DIR/reply_b" >/dev/null
+fp_a="$(req_at "$BASE_A" GET /sheets/fruit/fingerprint 200)"
+fp_b="$(req_at "$BASE_B" GET /sheets/fruit/fingerprint 200)"
+if [ "$fp_a" != "$fp_b" ]; then
+    echo "server_smoke: replicas diverge after sync round-trip:" >&2
+    echo "  A: $fp_a" >&2
+    echo "  B: $fp_b" >&2
+    exit 1
+fi
+echo "==> replicas converged: $(printf '%s' "$fp_a" | cut -c1-64)..."
+
+echo "==> SIGKILL replica 1, reopen from snapshot + WAL"
+kill -9 "$PID_A" 2>/dev/null || true
+wait "$PID_A" 2>/dev/null || true
+"$SERVER_BIN" --port 0 --durable "$WORK_DIR/ra" --fsync always --replica 1 \
+    --open "$WORK_DIR/ra/fruit.sheet" >"$WORK_DIR/ra2.log" 2>&1 &
+PID_A=$!
+REPLICA_PIDS="$REPLICA_PIDS $PID_A"
+BASE_A="http://$(wait_addr "$WORK_DIR/ra2.log" "$PID_A")"
+fp_a="$(req_at "$BASE_A" GET /sheets/fruit/fingerprint 200)"
+if [ "$fp_a" != "$fp_b" ]; then
+    echo "server_smoke: recovered replica lost state: $fp_a != $fp_b" >&2
+    exit 1
+fi
+echo "==> recovered replica still agrees with its peer"
 
 echo "server_smoke: OK"

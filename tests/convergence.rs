@@ -1,0 +1,261 @@
+//! Randomized multi-replica convergence (DESIGN.md §17): two or three
+//! replicas commit interleaved query-state ops and base-data deltas,
+//! exchange op-logs through lossy schedules — partitions, reordered
+//! batches, duplicate delivery — and must end bitwise equal to a
+//! single-site oracle that merges every event once.
+//!
+//! Case count scales with `SSA_CONVERGENCE_CASES` (default 120; CI runs
+//! 500), each case fully determined by its seed.
+
+use spreadsheet_algebra::{MergePath, OpEvent, Replica, SheetOp, VersionVector};
+use ssa_relation::rng::Rng;
+use ssa_relation::{csv, Relation, Tuple, Value};
+
+fn base() -> Relation {
+    csv::parse_csv(
+        "cars",
+        "Id,Model,Price,Year\n\
+         1,Jetta,15500,2005\n\
+         2,Golf,13990,2004\n\
+         3,Jetta,16990,2006\n\
+         4,Passat,22400,2006\n\
+         5,Beetle,9900,2001\n\
+         6,Golf,11500,2003\n",
+    )
+    .expect("base csv")
+}
+
+/// One random op command; invalid-in-context ops are fine — the replica
+/// rejects them at commit time and the schedule just moves on.
+fn random_op(rng: &mut Rng, next_row_id: &mut i64) -> SheetOp {
+    let columns = ["Id", "Model", "Price", "Year"];
+    match rng.gen_range(0..12u32) {
+        0..=2 => {
+            let col = *rng.pick(&["Price", "Year"]);
+            let cmp = *rng.pick(&["<", ">", "<=", ">="]);
+            let lit = match col {
+                "Price" => rng.gen_range(9_000..25_000i64),
+                _ => rng.gen_range(2000..2008i64),
+            };
+            parse(&format!("select {col} {cmp} {lit}"))
+        }
+        3 => parse(&format!(
+            "group {} {}",
+            rng.pick(&["Model", "Year"]),
+            rng.pick(&["asc", "desc"])
+        )),
+        4 => parse("ungroup"),
+        5 => parse(&format!("hide {}", rng.pick(&columns))),
+        6 => parse(&format!("show {}", rng.pick(&columns))),
+        7 => parse(&format!(
+            "agg {} Price {}",
+            rng.pick(&["avg", "sum", "min", "max"]),
+            rng.gen_range(0..3u32)
+        )),
+        8 => parse(&format!(
+            "order {} {} {}",
+            rng.pick(&["Price", "Year"]),
+            rng.pick(&["asc", "desc"]),
+            rng.gen_range(0..2u32)
+        )),
+        9 => {
+            *next_row_id += 1;
+            let id = *next_row_id;
+            SheetOp::AppendRows {
+                rows: vec![Tuple::new(vec![
+                    Value::Int(id),
+                    Value::str(format!("Gen{id}")),
+                    Value::Int(rng.gen_range(8_000..30_000i64)),
+                    Value::Int(rng.gen_range(1999..2009i64)),
+                ])],
+            }
+        }
+        10 => SheetOp::DeleteRows {
+            ids: vec![rng.gen_range(0..8u32)],
+        },
+        _ => SheetOp::UpdateCell {
+            row: rng.gen_range(0..6u32),
+            column: "Price".to_string(),
+            value: Value::Int(rng.gen_range(8_000..30_000i64)),
+        },
+    }
+}
+
+fn parse(cmd: &str) -> SheetOp {
+    SheetOp::parse_command(cmd).expect("generated command parses")
+}
+
+/// Run one seeded schedule; returns the converged fingerprint and how
+/// many events the run committed (for the distribution sanity check).
+fn run_case(seed: u64) -> usize {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = rng.gen_range(2..4usize);
+    let mut replicas: Vec<Replica> = (0..n)
+        .map(|i| Replica::new(i as u64 + 1, base()).expect("replica"))
+        .collect();
+    let mut all_events: Vec<OpEvent> = Vec::new();
+    let mut next_row_id = 100i64;
+
+    let rounds = rng.gen_range(2..5usize);
+    for _ in 0..rounds {
+        // Everyone commits a few local ops (invalid ones are skipped —
+        // commit already rejected them, so no event exists).
+        for r in replicas.iter_mut() {
+            for _ in 0..rng.gen_range(0..3usize) {
+                let op = random_op(&mut rng, &mut next_row_id);
+                if let Ok(event) = r.commit(op) {
+                    all_events.push(event);
+                }
+            }
+        }
+        // Lossy gossip: each ordered pair syncs only sometimes
+        // (partition), batches may be shuffled (reordering) and may be
+        // delivered twice (duplicate delivery).
+        for from in 0..n {
+            for to in 0..n {
+                if from == to || rng.gen_bool(0.4) {
+                    continue;
+                }
+                let peer_vv = replicas[to].frontier_vv();
+                let mut batch = replicas[from]
+                    .events_since(&peer_vv)
+                    .expect("no compaction in this schedule");
+                rng.shuffle(&mut batch);
+                replicas[to].merge(&batch).expect("merge");
+                if rng.gen_bool(0.3) {
+                    let outcome = replicas[to].merge(&batch).expect("re-merge");
+                    assert_eq!(
+                        outcome.added.len(),
+                        0,
+                        "duplicate delivery adopted events (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    // Anti-entropy until quiescent: full-mesh exchange must converge in
+    // a bounded number of sweeps once no new ops are committed.
+    for sweep in 0..8 {
+        let mut moved = false;
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let peer_vv = replicas[to].frontier_vv();
+                let batch = replicas[from].events_since(&peer_vv).expect("events");
+                if !batch.is_empty() {
+                    moved = true;
+                    replicas[to].merge(&batch).expect("merge");
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+        assert!(sweep < 7, "anti-entropy did not quiesce (seed {seed})");
+    }
+
+    // Every replica equals the single-site oracle that merges the whole
+    // event set once, in one arbitrary (shuffled) order.
+    let mut oracle = Replica::new(99, base()).expect("oracle");
+    rng.shuffle(&mut all_events);
+    oracle.merge(&all_events).expect("oracle merge");
+    let expected = oracle.fingerprint();
+    for r in &replicas {
+        assert_eq!(
+            r.fingerprint(),
+            expected,
+            "replica {} diverged from oracle (seed {seed})",
+            r.id()
+        );
+    }
+    all_events.len()
+}
+
+#[test]
+fn randomized_schedules_converge_to_single_site_oracle() {
+    let cases: u64 = std::env::var("SSA_CONVERGENCE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let mut total_events = 0usize;
+    for seed in 0..cases {
+        total_events += run_case(0xD15C0 + seed);
+    }
+    // Distribution sanity: the generator must actually commit work, or
+    // the convergence assertions are vacuous.
+    assert!(
+        total_events as u64 >= cases,
+        "schedules committed too few events ({total_events} over {cases} cases)"
+    );
+}
+
+/// Pinned Theorem-2 path: a concurrent pure-σ merges without replay
+/// when everything it has to cross is selection-family.
+#[test]
+fn concurrent_selects_take_the_direct_commute_path() {
+    let mut a = Replica::new(1, base()).expect("a");
+    let mut b = Replica::new(2, base()).expect("b");
+    let ea = a.commit(parse("select Price < 20000")).expect("commit a");
+    let eb = b.commit(parse("select Year >= 2004")).expect("commit b");
+
+    // The earlier key lands on top of the later one on exactly one side;
+    // that side must merge via DirectCommute, and both end bitwise equal.
+    let out_a = a.merge(std::slice::from_ref(&eb)).expect("merge into a");
+    let out_b = b.merge(std::slice::from_ref(&ea)).expect("merge into b");
+    assert!(
+        matches!(out_a.path, MergePath::DirectCommute)
+            || matches!(out_b.path, MergePath::DirectCommute),
+        "one side must commute directly: {:?} / {:?}",
+        out_a.path,
+        out_b.path
+    );
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+/// Pinned Theorem-3 path: a non-commuting pair (σ vs base delete it
+/// would have to cross) forces the deterministic history rewrite, and
+/// both orders agree.
+#[test]
+fn non_commuting_pair_rewrites_history_deterministically() {
+    let mut a = Replica::new(1, base()).expect("a");
+    let mut b = Replica::new(2, base()).expect("b");
+    let ea = a.commit(parse("group Model asc")).expect("commit a");
+    let eb = b
+        .commit(SheetOp::DeleteRows { ids: vec![1] })
+        .expect("commit b");
+    let out_a = a.merge(&[eb]).expect("merge into a");
+    let out_b = b.merge(&[ea]).expect("merge into b");
+    assert!(
+        matches!(out_a.path, MergePath::Rewritten) || matches!(out_b.path, MergePath::Rewritten),
+        "at least one side must replay: {:?} / {:?}",
+        out_a.path,
+        out_b.path
+    );
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+/// Pinned staleness rule: a peer whose frontier predates our compaction
+/// horizon gets the typed `BehindCompaction` error, not a partial log.
+#[test]
+fn peer_behind_compaction_horizon_is_refused() {
+    let mut a = Replica::new(1, base()).expect("a");
+    a.commit(parse("select Price < 20000")).expect("commit");
+    a.commit(parse("group Model asc")).expect("commit");
+    assert!(a.can_compact());
+    a.mark_compacted().expect("compact");
+    let err = a
+        .events_since(&VersionVector::new())
+        .expect_err("stale peer must be refused");
+    assert!(
+        matches!(
+            err,
+            spreadsheet_algebra::SheetError::BehindCompaction { .. }
+        ),
+        "typed staleness error, got: {err}"
+    );
+    // An up-to-date peer still syncs fine.
+    assert!(a.events_since(&a.frontier_vv()).expect("fresh").is_empty());
+}

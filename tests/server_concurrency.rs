@@ -224,6 +224,10 @@ mod injected {
                     ),
                     "got: {err}"
                 ),
+                // This test only arms Error/Panic; Abort kills the
+                // process and is exercised by the child-process crash
+                // suite (crates/server/tests/crash_recovery.rs).
+                Behavior::Abort => unreachable!("not armed here"),
             }
 
             // Readers: same snapshot object, same version, same view.
